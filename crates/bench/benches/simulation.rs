@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks for the simulation substrate itself, so
+//! performance regressions in the kernel, MCU emulator, converter solver
+//! and channel are visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use picocube_mcu::{asm, Mcu, StepResult};
+use picocube_node::{NodeConfig, PicoCube};
+use picocube_power::sc::ScConverter;
+use picocube_radio::{Channel, Link, PatchAntenna};
+use picocube_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use picocube_units::{Amps, Db, Dbm, Hertz, Volts};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u32>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.push(SimTime::from_nanos(i * 37 % 50_000), i as u32);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_mcu(c: &mut Criterion) {
+    let image = asm::assemble(
+        r#"
+        .org 0xF000
+start:  mov #0x0A00, sp
+loop:   mov #0xFFFF, r4
+inner:  dec r4
+        jnz inner
+        jmp loop
+        .vector reset, start
+        "#,
+    )
+    .expect("bench program assembles");
+
+    let mut group = c.benchmark_group("mcu");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("emulator_100k_instructions", |b| {
+        let mut mcu = Mcu::new();
+        mcu.load(&image);
+        b.iter(|| {
+            mcu.reset();
+            for _ in 0..100_000 {
+                match mcu.step() {
+                    StepResult::Ran { .. } => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            mcu.cycles()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sc_solver(c: &mut Criterion) {
+    let conv = ScConverter::paper_1to2();
+    let mut group = c.benchmark_group("power");
+    group.bench_function("sc_convert_fixed_frequency", |b| {
+        b.iter(|| {
+            conv.convert(Volts::new(1.2), Amps::from_micro(200.0), Hertz::from_kilo(800.0))
+                .unwrap()
+        });
+    });
+    group.bench_function("sc_optimal_frequency_search", |b| {
+        b.iter(|| conv.convert_optimal(Volts::new(1.2), Amps::from_micro(200.0)).unwrap());
+    });
+    group.bench_function("sc_regulate_bisection", |b| {
+        b.iter(|| {
+            conv.regulate(Volts::new(1.2), Volts::new(2.1), Amps::from_micro(200.0)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_channel(c: &mut Criterion) {
+    let link = Link {
+        tx_power: Dbm::new(0.8),
+        tx_gain: PatchAntenna::as_built().gain_dbi(Hertz::new(1.863e9)),
+        rx_gain: Db::new(0.0),
+        orientation_loss: Db::new(2.0),
+        channel: Channel::demo_room(),
+    };
+    let mut group = c.benchmark_group("radio");
+    group.bench_function("link_packet_trial_104_bits", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| link.try_packet(4.0, 104, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_full_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node");
+    group.sample_size(10);
+    group.bench_function("tpms_node_60_simulated_seconds", |b| {
+        b.iter_batched(
+            || PicoCube::tpms(NodeConfig::default()).unwrap(),
+            |mut node| {
+                node.run_for(SimDuration::from_secs(60));
+                node.report().wakes
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_mcu,
+    bench_sc_solver,
+    bench_channel,
+    bench_full_node
+);
+criterion_main!(benches);

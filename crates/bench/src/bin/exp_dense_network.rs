@@ -1,0 +1,59 @@
+//! E13 (extension) — §1: "very dense collaborative networks". The Cube is
+//! transmit-only, so its MAC is pure unslotted ALOHA; this experiment maps
+//! packet delivery vs deployment density, with the capture effect.
+
+use picocube_bench::{banner, bar};
+use picocube_node::{run_fleet, FleetConfig};
+use picocube_sim::SimDuration;
+
+fn main() {
+    banner(
+        "E13 / §1 (extension)",
+        "dense deployments: ALOHA delivery vs fleet size",
+        "nodes \"in very dense collaborative networks\" must share one channel blind",
+    );
+
+    println!("\n2-minute deployments, 6 s sample period, ~1 ms airtime per packet:\n");
+    println!(
+        "{:>7} {:>9} {:>10} {:>10} {:>10} {:>9}",
+        "nodes", "offered", "collided", "chan-lost", "delivered", "ratio"
+    );
+    for nodes in [1, 4, 16, 64, 128, 256] {
+        let out = run_fleet(&FleetConfig {
+            nodes,
+            duration: SimDuration::from_secs(120),
+            seed: 42,
+            ..FleetConfig::default()
+        });
+        println!(
+            "{:>7} {:>9} {:>10} {:>10} {:>10} {:>8.1}% {}",
+            nodes,
+            out.offered,
+            out.collided,
+            out.channel_losses,
+            out.delivered,
+            out.delivery_ratio() * 100.0,
+            bar(out.delivery_ratio(), 1.0, 20)
+        );
+    }
+
+    println!("\nALOHA context: with G the normalized offered load, pure ALOHA");
+    println!("delivers exp(−2G). At 256 nodes G ≈ 256 × 1 ms / 6 s ≈ 4.3 %, so");
+    println!("~92 % delivery is expected — blind transmission scales remarkably");
+    println!("far at this duty cycle, which is why the Cube can skip a receiver.");
+
+    // Worst case: clock-locked nodes.
+    let locked = run_fleet(&FleetConfig {
+        nodes: 32,
+        duration: SimDuration::from_secs(120),
+        distance_range: (1.0, 1.05),
+        seed: 43,
+        ..FleetConfig::default()
+    });
+    println!(
+        "\nequal-power fleet at one table (no capture possible): {:.1} % delivery",
+        locked.delivery_ratio() * 100.0
+    );
+    println!("the ±500 ppm timer tolerance is what keeps phase-locked nodes from");
+    println!("colliding forever: drift walks simultaneous transmitters apart.");
+}

@@ -1,0 +1,68 @@
+//! E10 — §4.1–4.2 / Figs 3–5: packaging feasibility. 18 pads/side
+//! elastomer bus, 7.2 × 7.2 mm placement, tube-and-ring stack in ~1 cm³,
+//! and the §5 note that more bus signals need smaller pads.
+
+use picocube_bench::banner;
+use picocube_node::{PackagingError, StackDesign};
+use picocube_units::Millimeters;
+
+fn main() {
+    banner(
+        "E10 / §4.1–4.2",
+        "interconnect and packaging design rules",
+        "18 pads/side, 0.1 mm elastomer pitch, 7.2×7.2 mm placement, 1 cm³ class",
+    );
+
+    let design = StackDesign::picocube();
+    match design.check() {
+        Ok(report) => {
+            println!("\nas-built design: PASS\n");
+            println!("  stack height     : {:.2}", report.stack_height);
+            println!("  outer envelope   : {:.1} × {:.1} × {:.2} mm", report.outer_edge.value(), report.outer_edge.value(), report.outer_height.value());
+            println!("  volume           : {:.0} mm³ ({:.2} cm³ incl. case)", report.volume.value(), report.volume.value() / 1000.0);
+            println!("  placement area   : {:.2} mm² per board (paper: 7.2 × 7.2 = 51.84)", report.placement_area.value());
+            println!("  bus signals      : {} ({} pads/side × 4)", report.bus_signals, design.bus.pads_per_side);
+            println!("  wires per pad    : {} (redundant contact, §4.1)", report.wires_per_pad);
+            println!("  node mass        : {:.1} — the \"mechanical mass\" problem is the harvester's, not the node's (§1)", report.mass);
+        }
+        Err(e) => println!("\nas-built design FAILS: {e}"),
+    }
+
+    // §5: growing the bus. How many signals fit as pads shrink?
+    println!("\nbus-growth headroom (pad width swept at 0.08 mm gaps):\n");
+    println!("{:>12} {:>10} {:>9} {:>12}", "pads/side", "pad width", "signals", "feasible?");
+    for (pads, width) in [
+        (18u32, 0.45),
+        (22, 0.36),
+        (24, 0.30),
+        (28, 0.26),
+        (32, 0.22),
+        (40, 0.16),
+        (48, 0.12),
+    ] {
+        let mut d = StackDesign::picocube();
+        d.bus.pads_per_side = pads;
+        d.bus.pad_width = Millimeters::new(width);
+        let verdict = match d.check() {
+            Ok(_) => "yes".to_string(),
+            Err(PackagingError::PadRowTooLong { .. }) => "no: row too long".to_string(),
+            Err(PackagingError::TooFewWiresPerPad { wires }) => {
+                format!("no: {wires} wire/pad")
+            }
+            Err(e) => format!("no: {e}"),
+        };
+        println!("{:>12} {:>8.2}mm {:>9} {:>16}", pads, width, pads * 4, verdict);
+    }
+    println!("\nthe §5 prediction quantified: beyond ~32 pads/side the 0.1 mm wire");
+    println!("pitch stops giving redundant contact — \"smaller pads with tighter");
+    println!("tolerances\" is a hard wall, motivating the stacked-die future work.");
+
+    // Failure modes the rules catch.
+    println!("\nnegative checks:");
+    let mut tall = StackDesign::picocube();
+    tall.boards[2].component_height = Millimeters::new(3.0);
+    println!("  3.0 mm part on the sensor board: {:?}", tall.check().unwrap_err());
+    let mut six = StackDesign::picocube();
+    six.boards.push(picocube_node::BoardSpec::standard("extra", Millimeters::new(1.0)));
+    println!("  six-board stack: {:?}", six.check().unwrap_err());
+}

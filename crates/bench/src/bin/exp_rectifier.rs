@@ -1,0 +1,51 @@
+//! E3 — §7.1: "The synchronous rectifier achieves 96 % of the efficiency
+//! of an ideal rectifier at 450 µW input." Sweeps efficiency vs input
+//! power against the diode-bridge baselines.
+
+use picocube_bench::{banner, bar};
+use picocube_power::rectifier::{DiodeBridge, IdealRectifier, Rectifier, SynchronousRectifier};
+use picocube_units::{Volts, Watts};
+
+fn main() {
+    banner(
+        "E3 / §7.1",
+        "synchronous rectifier vs diode bridges",
+        "96 % of ideal at 450 µW input",
+    );
+
+    let vbat = Volts::new(1.2);
+    let sync = SynchronousRectifier::paper();
+    let schottky = DiodeBridge::schottky();
+    let silicon = DiodeBridge::silicon();
+
+    println!("\nefficiency vs harvester input power (into a 1.2 V cell):\n");
+    println!("{:>10} {:>8} {:>10} {:>9} {:>7}", "P_in", "sync", "schottky", "silicon", "ideal");
+    for uw in [20.0, 50.0, 100.0, 200.0, 300.0, 450.0, 700.0, 1_000.0, 2_000.0, 5_000.0] {
+        let pin = Watts::from_micro(uw);
+        let e = |r: &dyn Rectifier| r.efficiency(pin, vbat).unwrap() * 100.0;
+        let es = e(&sync);
+        println!(
+            "{:>8.0}µW {:>7.1}% {:>9.1}% {:>8.1}% {:>6.0}%  {}",
+            uw,
+            es,
+            e(&schottky),
+            e(&silicon),
+            e(&IdealRectifier),
+            bar(es, 100.0, 25),
+        );
+    }
+
+    let at_450 = sync
+        .efficiency_vs_ideal(Watts::from_micro(450.0), vbat)
+        .unwrap();
+    let peak_in = sync.peak_efficiency_input(vbat);
+    println!("\nmeasured:");
+    println!("  at 450 µW: {:.1} % of ideal   (paper: 96 %)", at_450 * 100.0);
+    println!("  peak-efficiency input: {:.0} µW", peak_in.micro());
+    println!(
+        "  Schottky bridge ceiling: {:.1} % (the 2·Vf tax against 1.2 V)",
+        schottky.efficiency(Watts::from_micro(450.0), vbat).unwrap() * 100.0
+    );
+    println!("\nshape: control power dominates at low input, I²R at high input —");
+    println!("the bell centers on the shaker's operating regime by design.");
+}

@@ -1,0 +1,63 @@
+//! E5 — §4.4: the storage-technology trade. "220 J/g for a NiMH battery
+//! vs. 10 J/g for a super capacitor or 2 J/g for a typical capacitor";
+//! NiMH's flat 1.2 V plateau; capacitors' burst advantage; C/10 trickle.
+
+use picocube_bench::banner;
+use picocube_storage::{technology_table, NimhCell, StorageElement};
+use picocube_units::{Amps, Joules, Seconds};
+
+fn main() {
+    banner(
+        "E5 / §4.4",
+        "harvested-energy storage technologies",
+        "NiMH 220 J/g vs supercap 10 J/g vs capacitor 2 J/g; flat plateau; C/10 trickle",
+    );
+
+    let budget = Joules::from_milliamp_hours(15.0, picocube_units::Volts::new(1.2));
+    println!("\nsized for the Cube's 15 mAh (64.8 J) buffer:\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>9} {:>9} {:>9} {:>11}",
+        "technology", "J/g", "mass", "V(full)", "V(half-E)", "swing", "burst"
+    );
+    for row in technology_table(budget) {
+        println!(
+            "{:<16} {:>10.0} {:>9.2}g {:>8.2}V {:>8.2}V {:>8.1}% {:>10.3}A",
+            row.technology,
+            row.energy_density.value(),
+            row.mass_for_budget.value(),
+            row.voltage_full.value(),
+            row.voltage_half.value(),
+            row.voltage_swing * 100.0,
+            row.burst_current.value(),
+        );
+    }
+
+    // The plateau, explicitly.
+    let mut cell = NimhCell::picocube();
+    println!("\nNiMH open-circuit voltage vs state of charge:\n");
+    for soc in [1.0, 0.9, 0.8, 0.6, 0.4, 0.2, 0.1, 0.05, 0.02] {
+        cell.set_state_of_charge(soc);
+        let v = cell.open_circuit_voltage();
+        println!(
+            "  SoC {:>4.0} %  {:>5.2} V  {}",
+            soc * 100.0,
+            v.value(),
+            picocube_bench::bar(v.value(), 1.45, 40)
+        );
+    }
+    println!("  plateau fraction (within ±5 % of 1.2 V): {:.0} %", cell.plateau_fraction() * 100.0);
+
+    // Trickle tolerance.
+    let mut cell = NimhCell::picocube();
+    cell.set_state_of_charge(1.0);
+    for _ in 0..(90 * 24) {
+        cell.step(cell.trickle_limit(), Seconds::HOUR);
+    }
+    println!("\nthree months of continuous C/10 trickle on a full cell:");
+    println!("  damaged: {}   (paper: \"indefinite period … without damage\")", cell.is_damaged());
+
+    let mut abused = NimhCell::picocube();
+    abused.set_state_of_charge(1.0);
+    abused.step(Amps::from_milli(15.0), Seconds::MINUTE); // 1C overcharge
+    println!("  1C into a full cell: damaged = {} (the failure C/10 avoids)", abused.is_damaged());
+}

@@ -1,0 +1,73 @@
+//! Experiment harness for the PicoCube reproduction.
+//!
+//! One binary per paper figure/result (see `DESIGN.md` §3 and
+//! `EXPERIMENTS.md` for the index):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `exp_fig6_power_profile` | Fig. 6 power profile + the 6 µW average (E1) |
+//! | `exp_sc_converter` | §7.1 / Fig. 10 SC converter efficiencies (E2) |
+//! | `exp_rectifier` | §7.1 synchronous-rectifier efficiency (E3) |
+//! | `exp_demo_link` | §6 / Figs 7–8 demo link (E4) |
+//! | `exp_storage` | §4.4 storage-technology table (E5) |
+//! | `exp_radio` | §4.6 transmitter operating points (E6) |
+//! | `exp_antenna` | §4.6 patch-antenna design story (E7) |
+//! | `exp_power_budget` | §4.3/§6 power-management breakdown (E8) |
+//! | `exp_mote_baseline` | §2 node-class comparison (E9) |
+//! | `exp_packaging` | §4.1–4.2 packaging feasibility (E10) |
+//! | `exp_wakeup_radio` | §7.3 wakeup-radio extension (E11) |
+//! | `exp_energy_neutral` | §4.4/§7.2 energy-neutral operation (E12) |
+//!
+//! Each binary prints a `paper:` line with the published value and a
+//! `measured:` table produced by running the models, so paper-vs-measured
+//! comparisons (recorded in `EXPERIMENTS.md`) are regenerable with
+//! `cargo run --release -p picocube-bench --bin exp_…`.
+
+/// Prints the standard experiment header.
+pub fn banner(id: &str, title: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Prints a named series as an aligned two-column table.
+pub fn series(header: (&str, &str), rows: &[(String, String)]) {
+    println!("{:<28} {:>18}", header.0, header.1);
+    for (a, b) in rows {
+        println!("{a:<28} {b:>18}");
+    }
+}
+
+/// Formats a watts value with an adaptive µW/mW unit.
+pub fn fmt_power(w: picocube_units::Watts) -> String {
+    if w.value() >= 1e-3 {
+        format!("{:.3} mW", w.milli())
+    } else {
+        format!("{:.2} µW", w.micro())
+    }
+}
+
+/// A fixed-width bar for terminal "plots".
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn power_formatting() {
+        assert_eq!(fmt_power(picocube_units::Watts::from_micro(6.0)), "6.00 µW");
+        assert_eq!(fmt_power(picocube_units::Watts::from_milli(1.35)), "1.350 mW");
+    }
+}

@@ -1,0 +1,191 @@
+//! The 18-signal bus: SPI multiplexing between sensor and radio, and the
+//! radio front-end that turns firmware SPI writes into on-air packets.
+
+use picocube_mcu::firmware::{PIN_RADIO_PA, PIN_RADIO_SPI, PIN_SENSOR_CS};
+use picocube_mcu::SpiDevice;
+use picocube_radio::{OokTransmitter, Transmission};
+use picocube_sensors::{Sca3000, Sp12};
+use picocube_sim::SimTime;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A packet the node put on the air, with its RF accounting.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransmittedPacket {
+    /// When the PA window closed (end of transmission).
+    pub time: SimTime,
+    /// The frame bytes as clocked to the radio.
+    pub bytes: Vec<u8>,
+    /// RF energy/duration accounting from the transmitter model.
+    pub transmission: Transmission,
+}
+
+/// The radio board's baseband side: buffers bytes the firmware clocks in
+/// over SPI while the radio is selected, and finalizes a packet when the
+/// PA window closes.
+#[derive(Debug)]
+pub struct RadioFrontend {
+    tx: OokTransmitter,
+    buffer: Vec<u8>,
+    packets: Vec<TransmittedPacket>,
+}
+
+impl RadioFrontend {
+    /// Creates a front-end around a transmitter model.
+    pub fn new(tx: OokTransmitter) -> Self {
+        Self { tx, buffer: Vec::new(), packets: Vec::new() }
+    }
+
+    /// The transmitter model.
+    pub fn transmitter(&self) -> &OokTransmitter {
+        &self.tx
+    }
+
+    /// Accepts one byte from the firmware.
+    pub fn feed(&mut self, byte: u8) {
+        self.buffer.push(byte);
+    }
+
+    /// Whether bytes are pending in the current window.
+    pub fn window_open(&self) -> bool {
+        !self.buffer.is_empty()
+    }
+
+    /// Closes the PA window: accounts the buffered bytes as one packet.
+    pub fn close_window(&mut self, at: SimTime) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let bytes = std::mem::take(&mut self.buffer);
+        let transmission = self.tx.transmit(&bytes);
+        self.packets.push(TransmittedPacket { time: at, bytes, transmission });
+    }
+
+    /// All packets transmitted so far.
+    pub fn packets(&self) -> &[TransmittedPacket] {
+        &self.packets
+    }
+}
+
+/// The sensor plugged into the bus.
+#[derive(Debug)]
+pub enum BusSensor {
+    /// SP12 TPMS board.
+    Sp12(Rc<RefCell<Sp12>>),
+    /// SCA3000 accelerometer board.
+    Sca3000(Rc<RefCell<Sca3000>>),
+}
+
+/// Routes the MCU's SPI transfers by the same GPIO lines the firmware
+/// drives: sensor when its chip select is high, radio when the radio SPI
+/// power is on.
+pub struct BusMux {
+    /// P1 output pins, mirrored from the MCU by the node after every step.
+    pub(crate) p1: Rc<Cell<u8>>,
+    /// P2 output pins, mirrored likewise.
+    pub(crate) p2: Rc<Cell<u8>>,
+    pub(crate) sensor: BusSensor,
+    pub(crate) radio: Rc<RefCell<RadioFrontend>>,
+}
+
+impl core::fmt::Debug for BusMux {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "BusMux(p1={:#04x}, p2={:#04x})", self.p1.get(), self.p2.get())
+    }
+}
+
+impl SpiDevice for BusMux {
+    fn transfer(&mut self, mosi: u8) -> u8 {
+        if self.p2.get() & PIN_SENSOR_CS != 0 {
+            match &self.sensor {
+                BusSensor::Sp12(s) => s.borrow_mut().spi(mosi),
+                BusSensor::Sca3000(s) => s.borrow_mut().spi(mosi),
+            }
+        } else if self.p1.get() & PIN_RADIO_SPI != 0 {
+            self.radio.borrow_mut().feed(mosi);
+            0x00
+        } else {
+            // Nothing selected: the bus floats high.
+            0xFF
+        }
+    }
+}
+
+/// Exposed for tests: is the PA window currently flagged by the pins?
+pub(crate) fn pa_enabled(p1: u8) -> bool {
+    p1 & PIN_RADIO_PA != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picocube_sensors::TireSample;
+
+    type MuxParts = (BusMux, Rc<Cell<u8>>, Rc<Cell<u8>>, Rc<RefCell<RadioFrontend>>);
+
+    fn mux_with_sp12() -> MuxParts {
+        let p1 = Rc::new(Cell::new(0u8));
+        let p2 = Rc::new(Cell::new(0u8));
+        let sp12 = Rc::new(RefCell::new(Sp12::new()));
+        sp12.borrow_mut().set_sample(TireSample::parked());
+        let radio = Rc::new(RefCell::new(RadioFrontend::new(OokTransmitter::picocube())));
+        let mux = BusMux {
+            p1: p1.clone(),
+            p2: p2.clone(),
+            sensor: BusSensor::Sp12(sp12),
+            radio: radio.clone(),
+        };
+        (mux, p1, p2, radio)
+    }
+
+    #[test]
+    fn routes_to_sensor_when_selected() {
+        let (mut mux, _p1, p2, _) = mux_with_sp12();
+        p2.set(PIN_SENSOR_CS);
+        // Idle status read: SP12 answers ready.
+        assert_eq!(mux.transfer(0xF0) & 1, 1);
+    }
+
+    #[test]
+    fn routes_to_radio_when_powered() {
+        let (mut mux, p1, _p2, radio) = mux_with_sp12();
+        p1.set(PIN_RADIO_SPI);
+        mux.transfer(0xAA);
+        mux.transfer(0xD3);
+        assert!(radio.borrow().window_open());
+    }
+
+    #[test]
+    fn floats_high_when_nothing_selected() {
+        let (mut mux, ..) = mux_with_sp12();
+        assert_eq!(mux.transfer(0x55), 0xFF);
+    }
+
+    #[test]
+    fn sensor_wins_over_radio() {
+        // Firmware never enables both, but the mux must be deterministic.
+        let (mut mux, p1, p2, radio) = mux_with_sp12();
+        p1.set(PIN_RADIO_SPI);
+        p2.set(PIN_SENSOR_CS);
+        mux.transfer(0xF0);
+        assert!(!radio.borrow().window_open());
+    }
+
+    #[test]
+    fn frontend_packetizes_on_window_close() {
+        let mut fe = RadioFrontend::new(OokTransmitter::picocube());
+        fe.close_window(SimTime::ZERO); // empty window: no packet
+        assert!(fe.packets().is_empty());
+        for b in [0xAA, 0xAA, 0xD3, 0x42, 1, 2, 3] {
+            fe.feed(b);
+        }
+        fe.close_window(SimTime::from_millis(10));
+        assert_eq!(fe.packets().len(), 1);
+        let p = &fe.packets()[0];
+        assert_eq!(p.bytes.len(), 7);
+        assert_eq!(p.transmission.bits, 56);
+        assert!(p.transmission.energy.value() > 0.0);
+        // The window resets.
+        assert!(!fe.window_open());
+    }
+}

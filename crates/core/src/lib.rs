@@ -1,0 +1,47 @@
+//! The assembled PicoCube: a full-node simulation of the 1 cm³
+//! harvested-energy sensor node.
+//!
+//! This crate wires the subsystem models together exactly as the hardware
+//! is wired (Fig. 1): the emulated MSP430 runs the stock interrupt-driven
+//! firmware; its SPI bus is multiplexed between the sensor and the radio by
+//! the same GPIO lines the firmware drives; the power chain (the built
+//! COTS chain or the §7.1 integrated IC) maps every rail's draw back to
+//! the NiMH bus; a harvester charges the cell through the rectifier; and a
+//! [`PowerLedger`](picocube_sim::PowerLedger) integrates it all so the
+//! paper's measured quantities — the Fig. 6 power profile, the 6 µW
+//! average, the ~14 ms burst — are *measurements of the simulation*.
+//!
+//! # Examples
+//!
+//! ```
+//! use picocube_node::{NodeConfig, PicoCube};
+//! use picocube_sim::SimDuration;
+//!
+//! let mut node = PicoCube::tpms(NodeConfig::default())?;
+//! node.run_for(SimDuration::from_secs(60));
+//! let report = node.report();
+//! assert!(report.average_power.micro() < 20.0);
+//! assert!(!report.packets.is_empty());
+//! # Ok::<(), picocube_node::BuildError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+mod bus;
+mod demo;
+mod fleet;
+mod node;
+mod packaging;
+
+pub use baseline::{node_class_table, MoteClassNode, NodeClassRow};
+pub use bus::{RadioFrontend, TransmittedPacket};
+pub use demo::{DemoStation, ReceivedSample};
+pub use fleet::{run_fleet, FleetConfig, FleetOutcome, PacketFate};
+pub use node::{
+    BuildError, HarvesterKind, NodeConfig, NodeReport, PicoCube, PowerChainKind, SensorKind,
+};
+pub use packaging::{
+    BoardSpec, BusAllocation, ElastomerSpec, PackagingError, StackDesign, StackReport,
+};

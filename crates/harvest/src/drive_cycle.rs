@@ -1,0 +1,200 @@
+//! Synthetic speed profiles that excite the motion-driven harvesters.
+
+use picocube_units::{MetersPerSecond, Seconds};
+
+/// One linear-ramp segment of a drive cycle.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DrivePhase {
+    /// Segment duration.
+    pub duration: Seconds,
+    /// Speed at the start of the segment.
+    pub start_speed: MetersPerSecond,
+    /// Speed at the end of the segment (linear interpolation between).
+    pub end_speed: MetersPerSecond,
+}
+
+impl DrivePhase {
+    /// A constant-speed segment.
+    pub fn cruise(duration: Seconds, speed: MetersPerSecond) -> Self {
+        Self { duration, start_speed: speed, end_speed: speed }
+    }
+
+    /// A linear ramp between two speeds.
+    pub fn ramp(duration: Seconds, from: MetersPerSecond, to: MetersPerSecond) -> Self {
+        Self { duration, start_speed: from, end_speed: to }
+    }
+}
+
+/// A repeating, piecewise-linear speed profile.
+///
+/// # Examples
+///
+/// ```
+/// use picocube_harvest::DriveCycle;
+/// use picocube_units::Seconds;
+///
+/// let cycle = DriveCycle::urban();
+/// let v = cycle.speed_at(Seconds::new(120.0));
+/// assert!(v.kmh() >= 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriveCycle {
+    phases: Vec<DrivePhase>,
+    period: Seconds,
+}
+
+impl DriveCycle {
+    /// Builds a cycle from segments. The profile repeats with the summed
+    /// period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any duration is non-positive.
+    pub fn new(phases: Vec<DrivePhase>) -> Self {
+        assert!(!phases.is_empty(), "drive cycle needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.duration.value() > 0.0),
+            "phase durations must be positive"
+        );
+        let period = Seconds::new(phases.iter().map(|p| p.duration.value()).sum());
+        Self { phases, period }
+    }
+
+    /// Urban stop-and-go: accelerate to 50 km/h, cruise, brake, idle at a
+    /// light; 2-minute period.
+    pub fn urban() -> Self {
+        let kmh = MetersPerSecond::from_kmh;
+        Self::new(vec![
+            DrivePhase::ramp(Seconds::new(10.0), kmh(0.0), kmh(50.0)),
+            DrivePhase::cruise(Seconds::new(60.0), kmh(50.0)),
+            DrivePhase::ramp(Seconds::new(8.0), kmh(50.0), kmh(0.0)),
+            DrivePhase::cruise(Seconds::new(42.0), kmh(0.0)),
+        ])
+    }
+
+    /// Highway: long 110 km/h cruise with a brief slowdown; 10-minute
+    /// period.
+    pub fn highway() -> Self {
+        let kmh = MetersPerSecond::from_kmh;
+        Self::new(vec![
+            DrivePhase::cruise(Seconds::new(500.0), kmh(110.0)),
+            DrivePhase::ramp(Seconds::new(20.0), kmh(110.0), kmh(80.0)),
+            DrivePhase::cruise(Seconds::new(60.0), kmh(80.0)),
+            DrivePhase::ramp(Seconds::new(20.0), kmh(80.0), kmh(110.0)),
+        ])
+    }
+
+    /// The §6 retreat demo: a bicycle wheel spun to ~20 km/h, coasting
+    /// down, with pauses.
+    pub fn bicycle() -> Self {
+        let kmh = MetersPerSecond::from_kmh;
+        Self::new(vec![
+            DrivePhase::ramp(Seconds::new(5.0), kmh(0.0), kmh(20.0)),
+            DrivePhase::ramp(Seconds::new(40.0), kmh(20.0), kmh(5.0)),
+            DrivePhase::ramp(Seconds::new(10.0), kmh(5.0), kmh(0.0)),
+            DrivePhase::cruise(Seconds::new(15.0), kmh(0.0)),
+        ])
+    }
+
+    /// Parked: permanently stationary (the harvester-outage worst case).
+    pub fn parked() -> Self {
+        Self::new(vec![DrivePhase::cruise(Seconds::HOUR, MetersPerSecond::ZERO)])
+    }
+
+    /// The repeat period of the cycle.
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Speed at absolute time `t` (the cycle repeats).
+    pub fn speed_at(&self, t: Seconds) -> MetersPerSecond {
+        let mut remainder = t.value().rem_euclid(self.period.value());
+        for phase in &self.phases {
+            let d = phase.duration.value();
+            if remainder < d {
+                let frac = remainder / d;
+                return phase.start_speed + (phase.end_speed - phase.start_speed) * frac;
+            }
+            remainder -= d;
+        }
+        // Floating-point edge: land on the period boundary.
+        self.phases[0].start_speed
+    }
+
+    /// Time-averaged speed over one period.
+    pub fn average_speed(&self) -> MetersPerSecond {
+        let weighted: f64 = self
+            .phases
+            .iter()
+            .map(|p| 0.5 * (p.start_speed + p.end_speed).value() * p.duration.value())
+            .sum();
+        MetersPerSecond::new(weighted / self.period.value())
+    }
+
+    /// Fraction of the period spent moving (above 0.5 m/s).
+    pub fn duty_moving(&self) -> f64 {
+        let n = 10_000;
+        let moving = (0..n)
+            .filter(|&i| {
+                let t = Seconds::new(self.period.value() * i as f64 / n as f64);
+                self.speed_at(t).value() > 0.5
+            })
+            .count();
+        moving as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urban_cycle_period() {
+        assert_eq!(DriveCycle::urban().period(), Seconds::new(120.0));
+    }
+
+    #[test]
+    fn speed_interpolates_within_ramps() {
+        let cycle = DriveCycle::urban();
+        // Midway through the 10 s 0→50 km/h ramp.
+        let v = cycle.speed_at(Seconds::new(5.0));
+        assert!((v.kmh() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_repeats() {
+        let cycle = DriveCycle::urban();
+        let a = cycle.speed_at(Seconds::new(30.0));
+        let b = cycle.speed_at(Seconds::new(30.0 + 120.0 * 7.0));
+        assert!((a.value() - b.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_speed_weighted_by_duration() {
+        let cycle = DriveCycle::new(vec![
+            DrivePhase::cruise(Seconds::new(10.0), MetersPerSecond::new(10.0)),
+            DrivePhase::cruise(Seconds::new(30.0), MetersPerSecond::new(2.0)),
+        ]);
+        assert!((cycle.average_speed().value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn urban_duty_includes_the_idle() {
+        let duty = DriveCycle::urban().duty_moving();
+        // ~65 % of the urban period is in motion.
+        assert!(duty > 0.55 && duty < 0.75, "duty {duty:.2}");
+    }
+
+    #[test]
+    fn parked_never_moves() {
+        let cycle = DriveCycle::parked();
+        assert_eq!(cycle.duty_moving(), 0.0);
+        assert_eq!(cycle.average_speed(), MetersPerSecond::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_cycle_rejected() {
+        DriveCycle::new(vec![]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Energy-harvester models.
+//!
+//! The paper is deliberately source-agnostic — "the Cube requires an AC
+//! source that meets specifications determined by the storage and management
+//! blocks" (§4.4) — and defers harvester design to its references \[3–5\]
+//! (Roundy, Wright, Rabaey). The node was demonstrated with an
+//! electromagnetic shaker on a bicycle wheel (§6), tire-pressure monitoring
+//! is the motivating application, and solar cladding is suggested for
+//! well-lit deployments (§1).
+//!
+//! This crate provides those sources as [`Harvester`] implementations that
+//! report available AC power over time, plus the drive-cycle generators
+//! that excite the motion-driven ones:
+//!
+//! * [`ElectromagneticShaker`] — pulsed-EMF proof-mass generator.
+//! * [`WheelHarvester`] — rim-mounted generator driven by a speed profile.
+//! * [`VibrationBeam`] — resonant cantilever (Roundy model) for machine
+//!   vibration.
+//! * [`SolarCladding`] — photovoltaic skin on the cube faces.
+//! * [`DriveCycle`] — synthetic vehicle/bicycle speed profiles.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod drive_cycle;
+mod shaker;
+mod solar;
+mod vibration;
+mod wheel;
+
+pub use drive_cycle::{DriveCycle, DrivePhase};
+pub use shaker::ElectromagneticShaker;
+pub use solar::{Irradiance, SolarCladding};
+pub use vibration::VibrationBeam;
+pub use wheel::WheelHarvester;
+
+use picocube_units::{Seconds, Watts};
+
+/// A source of harvested AC power.
+///
+/// Harvesters report the *electrical power available at their terminals*
+/// as a function of time; rectification and storage losses are downstream
+/// (the `picocube-power` crate). Implementations are deterministic given
+/// their configuration and any RNG they were built with.
+pub trait Harvester {
+    /// Human-readable source name.
+    fn name(&self) -> &'static str;
+
+    /// Available AC power at simulated time `t` (measured from scenario
+    /// start).
+    fn power_at(&self, t: Seconds) -> Watts;
+
+    /// Average power over `[t0, t1]`, by trapezoidal integration at `n`
+    /// samples. Implementations with closed forms may override.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 < t0` or `n < 2`.
+    fn average_power(&self, t0: Seconds, t1: Seconds, n: usize) -> Watts {
+        assert!(t1 >= t0, "reversed interval");
+        assert!(n >= 2, "need at least two samples");
+        let span = (t1 - t0).value();
+        if span == 0.0 {
+            return self.power_at(t0);
+        }
+        let mut acc = 0.0;
+        for i in 0..n {
+            let frac = i as f64 / (n - 1) as f64;
+            let w = if i == 0 || i == n - 1 { 0.5 } else { 1.0 };
+            acc += w * self.power_at(Seconds::new(t0.value() + frac * span)).value();
+        }
+        Watts::new(acc / (n - 1) as f64)
+    }
+}

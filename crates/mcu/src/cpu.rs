@@ -1,0 +1,1134 @@
+//! The MSP430-subset CPU: fetch/decode/execute with cycle accounting.
+
+use crate::isa::{Condition, Format1Op, Format2Op};
+use crate::memory::{FlatMemory, Image};
+use crate::peripherals::{Irq, Peripherals, SpiDevice};
+use crate::power_model::{McuPowerModel, OperatingMode};
+
+/// Carry flag bit in `SR`.
+pub const FLAG_C: u16 = 0x0001;
+/// Zero flag bit in `SR`.
+pub const FLAG_Z: u16 = 0x0002;
+/// Negative flag bit in `SR`.
+pub const FLAG_N: u16 = 0x0004;
+/// Global interrupt enable bit in `SR`.
+pub const FLAG_GIE: u16 = 0x0008;
+/// CPU-off bit (all LPMs).
+pub const FLAG_CPUOFF: u16 = 0x0010;
+/// Oscillator-off bit (LPM4).
+pub const FLAG_OSCOFF: u16 = 0x0020;
+/// System clock generator 0 off.
+pub const FLAG_SCG0: u16 = 0x0040;
+/// System clock generator 1 off.
+pub const FLAG_SCG1: u16 = 0x0080;
+/// Overflow flag bit in `SR`.
+pub const FLAG_V: u16 = 0x0100;
+
+const PC: usize = 0;
+const SP: usize = 1;
+const SR: usize = 2;
+
+/// What one [`Mcu::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// Executed an instruction (or serviced an interrupt) costing the given
+    /// MCLK cycles.
+    Ran {
+        /// Cycles consumed.
+        cycles: u32,
+    },
+    /// The core is in a low-power mode with no pending enabled interrupt.
+    Sleeping(OperatingMode),
+    /// The core fetched an opcode it cannot decode (treated as a fault; PC
+    /// stops advancing).
+    IllegalInstruction {
+        /// The undecodable word.
+        word: u16,
+        /// Address it was fetched from.
+        at: u16,
+    },
+}
+
+/// The emulated microcontroller: core, memory, peripherals and clock.
+pub struct Mcu {
+    regs: [u16; 16],
+    mem: FlatMemory,
+    periph: Peripherals,
+    power: McuPowerModel,
+    cycles: u64,
+    pending: Vec<Irq>,
+    halted_on_fault: bool,
+}
+
+impl core::fmt::Debug for Mcu {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Mcu")
+            .field("pc", &format_args!("{:#06x}", self.regs[PC]))
+            .field("sr", &format_args!("{:#06x}", self.regs[SR]))
+            .field("cycles", &self.cycles)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Mcu {
+    /// A fresh core with zeroed memory and the default F1222 power model.
+    pub fn new() -> Self {
+        Self::with_power_model(McuPowerModel::msp430f1222())
+    }
+
+    /// A fresh core with a custom power model.
+    pub fn with_power_model(power: McuPowerModel) -> Self {
+        Self {
+            regs: [0; 16],
+            mem: FlatMemory::new(),
+            periph: Peripherals::new(),
+            power,
+            cycles: 0,
+            pending: Vec::new(),
+            halted_on_fault: false,
+        }
+    }
+
+    /// Loads a program image into memory.
+    pub fn load(&mut self, image: &Image) {
+        self.mem.load(image);
+    }
+
+    /// Applies the reset vector: PC from `0xFFFE`, SR cleared, cycle
+    /// counter zeroed (power-on reset).
+    pub fn reset(&mut self) {
+        self.warm_reset();
+        self.cycles = 0;
+    }
+
+    /// Reset without clearing the cycle counter: what a supply supervisor's
+    /// reset release looks like mid-simulation (brown-out recovery).
+    pub fn warm_reset(&mut self) {
+        self.regs = [0; 16];
+        self.regs[PC] = self.mem.read16(crate::memory::vectors::RESET);
+        self.pending.clear();
+        self.halted_on_fault = false;
+    }
+
+    /// Drops all latched interrupt requests (the node uses this while the
+    /// supervisor holds the part in reset during a brown-out).
+    pub fn clear_pending_irqs(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Attaches an SPI slave.
+    pub fn attach_spi(&mut self, device: Box<dyn SpiDevice>) {
+        self.periph.attach_spi(device);
+    }
+
+    /// Reads a register (0 = PC, 1 = SP, 2 = SR).
+    pub fn register(&self, n: usize) -> u16 {
+        self.regs[n]
+    }
+
+    /// Writes a register (testing / scenario setup).
+    pub fn set_register(&mut self, n: usize, value: u16) {
+        self.regs[n] = value;
+    }
+
+    /// Total MCLK cycles elapsed (including slept cycles).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Reads a memory byte (board-side view; routes through peripherals).
+    pub fn read_mem8(&self, addr: u16) -> u8 {
+        if Peripherals::owns(addr) {
+            self.periph.read(addr)
+        } else {
+            self.mem.read8(addr)
+        }
+    }
+
+    /// Reads a memory word.
+    pub fn read_mem16(&self, addr: u16) -> u16 {
+        u16::from(self.read_mem8(addr & !1)) | (u16::from(self.read_mem8((addr & !1) + 1)) << 8)
+    }
+
+    /// Writes a memory byte (board-side view).
+    pub fn write_mem8(&mut self, addr: u16, value: u8) {
+        if Peripherals::owns(addr) {
+            self.periph.write(addr, value);
+        } else {
+            self.mem.write8(addr, value);
+        }
+    }
+
+    /// The present operating mode per the SR low-power bits.
+    pub fn mode(&self) -> OperatingMode {
+        let sr = self.regs[SR];
+        if sr & FLAG_CPUOFF == 0 {
+            OperatingMode::Active
+        } else if sr & FLAG_OSCOFF != 0 {
+            OperatingMode::Lpm4
+        } else if sr & FLAG_SCG1 != 0 {
+            OperatingMode::Lpm3
+        } else {
+            OperatingMode::Lpm0
+        }
+    }
+
+    /// Supply current in the present mode.
+    pub fn current_draw(&self) -> picocube_units::Amps {
+        self.power.current(self.mode())
+    }
+
+    /// The power model in force.
+    pub fn power_model(&self) -> &McuPowerModel {
+        &self.power
+    }
+
+    /// Whether the SPI engine is mid-transfer (board-side visibility).
+    pub fn spi_busy(&self) -> bool {
+        self.periph.spi_busy()
+    }
+
+    /// Board-side GPIO: port 1 output pins.
+    pub fn p1_output(&self) -> u8 {
+        self.periph.p1_output()
+    }
+
+    /// Board-side GPIO: port 2 output pins.
+    pub fn p2_output(&self) -> u8 {
+        self.periph.p2_output()
+    }
+
+    /// Drives a port-1 input pin; may latch a pin-change interrupt.
+    pub fn drive_p1(&mut self, bit: u8, high: bool) {
+        if let Some(irq) = self.periph.set_p1_input(bit, high) {
+            self.raise(irq);
+        }
+    }
+
+    /// Drives a port-2 input pin; may latch a pin-change interrupt.
+    pub fn drive_p2(&mut self, bit: u8, high: bool) {
+        if let Some(irq) = self.periph.set_p2_input(bit, high) {
+            self.raise(irq);
+        }
+    }
+
+    /// Latches an interrupt request.
+    pub fn raise(&mut self, irq: Irq) {
+        if !self.pending.contains(&irq) {
+            self.pending.push(irq);
+            self.pending.sort();
+        }
+    }
+
+    /// Whether any interrupt is latched.
+    pub fn has_pending_irq(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Executes one instruction, services one interrupt, or reports sleep.
+    pub fn step(&mut self) -> StepResult {
+        if self.halted_on_fault {
+            return StepResult::IllegalInstruction { word: 0, at: self.regs[PC] };
+        }
+        // Interrupt dispatch: GIE must be set (an interrupt also wakes any
+        // LPM, clearing the low-power bits for the ISR's duration).
+        if self.regs[SR] & FLAG_GIE != 0 && !self.pending.is_empty() {
+            let irq = self.pending.remove(0);
+            let cycles = self.enter_interrupt(irq);
+            self.tick_peripherals(cycles);
+            return StepResult::Ran { cycles };
+        }
+        if self.regs[SR] & FLAG_CPUOFF != 0 {
+            return StepResult::Sleeping(self.mode());
+        }
+        let at = self.regs[PC];
+        let word = self.fetch16();
+        let cycles = match self.execute(word) {
+            Some(c) => c,
+            None => {
+                self.halted_on_fault = true;
+                self.regs[PC] = at;
+                return StepResult::IllegalInstruction { word, at };
+            }
+        };
+        self.tick_peripherals(cycles);
+        StepResult::Ran { cycles }
+    }
+
+    /// Runs until the core sleeps, faults, or `max_cycles` elapse. Returns
+    /// the cycles consumed.
+    pub fn run(&mut self, max_cycles: u64) -> u64 {
+        let start = self.cycles;
+        while self.cycles - start < max_cycles {
+            match self.step() {
+                StepResult::Ran { .. } => {}
+                _ => break,
+            }
+        }
+        self.cycles - start
+    }
+
+    /// Fast-forwards through a low-power period: advances the clock by up
+    /// to `max_cycles` without executing instructions, ticking the timer
+    /// (when its clock domain is alive) and stopping early the moment an
+    /// interrupt is latched. Returns the cycles actually slept.
+    ///
+    /// External events (pin changes) must be injected by the caller between
+    /// calls; this only models time passing.
+    pub fn sleep(&mut self, max_cycles: u64) -> u64 {
+        let aclk_alive = self.mode() != OperatingMode::Lpm4;
+        let mut slept = 0u64;
+        while slept < max_cycles {
+            if !self.pending.is_empty() && self.regs[SR] & FLAG_GIE != 0 {
+                break;
+            }
+            // Bound the quantum by the next timer match so wake timing is
+            // cycle-exact rather than overshooting into the batch.
+            let mut quantum = max_cycles - slept;
+            if let Some(c) = self.periph.cycles_until_timer_fire(aclk_alive) {
+                quantum = quantum.min(c.max(1));
+            }
+            let quantum = quantum.min(u64::from(u32::MAX / 2)) as u32;
+            self.cycles += u64::from(quantum);
+            slept += u64::from(quantum);
+            if let Some(irq) = self.periph.tick(quantum, aclk_alive) {
+                self.raise(irq);
+                break;
+            }
+        }
+        slept
+    }
+
+    fn tick_peripherals(&mut self, cycles: u32) {
+        self.cycles += u64::from(cycles);
+        let aclk_alive = self.mode() != OperatingMode::Lpm4;
+        if let Some(irq) = self.periph.tick(cycles, aclk_alive) {
+            self.raise(irq);
+        }
+    }
+
+    fn enter_interrupt(&mut self, irq: Irq) -> u32 {
+        // MSP430 sequence: push PC, push SR, clear GIE and the LPM bits (the
+        // ISR runs active), vector.
+        self.push(self.regs[PC]);
+        self.push(self.regs[SR]);
+        self.regs[SR] &= !(FLAG_GIE | FLAG_CPUOFF | FLAG_OSCOFF | FLAG_SCG0 | FLAG_SCG1);
+        self.regs[PC] = self.mem.read16(irq.vector());
+        if irq == Irq::Spi {
+            self.periph.clear_spi_ifg();
+        }
+        6
+    }
+
+    fn push(&mut self, value: u16) {
+        self.regs[SP] = self.regs[SP].wrapping_sub(2);
+        self.mem_write16(self.regs[SP], value);
+    }
+
+    fn pop(&mut self) -> u16 {
+        let v = self.mem_read16(self.regs[SP]);
+        self.regs[SP] = self.regs[SP].wrapping_add(2);
+        v
+    }
+
+    fn fetch16(&mut self) -> u16 {
+        let w = self.mem.read16(self.regs[PC]);
+        self.regs[PC] = self.regs[PC].wrapping_add(2);
+        w
+    }
+
+    fn mem_read16(&self, addr: u16) -> u16 {
+        if Peripherals::owns(addr) {
+            u16::from(self.periph.read(addr)) | (u16::from(self.periph.read(addr + 1)) << 8)
+        } else {
+            self.mem.read16(addr)
+        }
+    }
+
+    fn mem_write16(&mut self, addr: u16, value: u16) {
+        if Peripherals::owns(addr) {
+            self.periph.write(addr, value as u8);
+            self.periph.write(addr + 1, (value >> 8) as u8);
+        } else {
+            self.mem.write16(addr, value);
+        }
+    }
+
+    fn mem_read(&self, addr: u16, byte: bool) -> u16 {
+        if byte {
+            u16::from(if Peripherals::owns(addr) {
+                self.periph.read(addr)
+            } else {
+                self.mem.read8(addr)
+            })
+        } else {
+            self.mem_read16(addr)
+        }
+    }
+
+    fn mem_write(&mut self, addr: u16, value: u16, byte: bool) {
+        if byte {
+            if Peripherals::owns(addr) {
+                self.periph.write(addr, value as u8);
+            } else {
+                self.mem.write8(addr, value as u8);
+            }
+        } else {
+            self.mem_write16(addr, value);
+        }
+    }
+
+    /// Resolves a source operand. Returns `(value, write_back_addr, extra_cycles)`.
+    fn resolve_src(&mut self, reg: usize, as_mode: u16, byte: bool) -> (u16, Option<u16>, u32) {
+        match (reg, as_mode) {
+            // Constant generators.
+            (SR, 0b10) => (4, None, 0),
+            (SR, 0b11) => (8, None, 0),
+            (3, 0b00) => (0, None, 0),
+            (3, 0b01) => (1, None, 0),
+            (3, 0b10) => (2, None, 0),
+            (3, 0b11) => (0xFFFF, None, 0),
+            // Register direct.
+            (r, 0b00) => {
+                let v = self.regs[r];
+                (if byte { v & 0xFF } else { v }, None, 0)
+            }
+            // Absolute &ADDR (SR with indexed mode).
+            (SR, 0b01) => {
+                let addr = self.fetch16();
+                (self.mem_read(addr, byte), Some(addr), 2)
+            }
+            // Indexed X(Rn) — including symbolic X(PC), where the base is
+            // the PC at the extension word.
+            (r, 0b01) => {
+                let base = self.regs[r];
+                let x = self.fetch16();
+                let addr = base.wrapping_add(x);
+                (self.mem_read(addr, byte), Some(addr), 2)
+            }
+            // Indirect @Rn.
+            (r, 0b10) => {
+                let addr = self.regs[r];
+                (self.mem_read(addr, byte), Some(addr), 1)
+            }
+            // Immediate #N (@PC+).
+            (PC, 0b11) => {
+                let v = self.fetch16();
+                (if byte { v & 0xFF } else { v }, None, 1)
+            }
+            // Indirect autoincrement @Rn+.
+            (r, 0b11) => {
+                let addr = self.regs[r];
+                self.regs[r] = self.regs[r].wrapping_add(if byte { 1 } else { 2 });
+                (self.mem_read(addr, byte), Some(addr), 1)
+            }
+            _ => unreachable!("2-bit addressing mode"),
+        }
+    }
+
+    /// Resolves a destination operand location: register index or address.
+    fn resolve_dst(&mut self, reg: usize, ad: u16, byte: bool) -> (u16, DstLoc, u32) {
+        if ad == 0 {
+            let v = self.regs[reg];
+            (if byte { v & 0xFF } else { v }, DstLoc::Reg(reg), 0)
+        } else {
+            let x = self.fetch16();
+            let addr = if reg == SR { x } else { self.regs[reg].wrapping_add(x) };
+            (self.mem_read(addr, byte), DstLoc::Mem(addr), 3)
+        }
+    }
+
+    fn write_dst(&mut self, loc: DstLoc, value: u16, byte: bool) {
+        match loc {
+            DstLoc::Reg(r) => self.regs[r] = if byte { value & 0xFF } else { value },
+            DstLoc::Mem(a) => self.mem_write(a, value, byte),
+        }
+    }
+
+    fn set_flags_logic(&mut self, result: u16, byte: bool, v: bool) {
+        let msb = if byte { 0x80 } else { 0x8000 };
+        let masked = if byte { result & 0xFF } else { result };
+        let mut sr = self.regs[SR] & !(FLAG_C | FLAG_Z | FLAG_N | FLAG_V);
+        if masked == 0 {
+            sr |= FLAG_Z;
+        } else {
+            sr |= FLAG_C; // MSP430: C = !Z for logic ops
+        }
+        if masked & msb != 0 {
+            sr |= FLAG_N;
+        }
+        if v {
+            sr |= FLAG_V;
+        }
+        self.regs[SR] = sr;
+    }
+
+    fn add_with_flags(&mut self, dst: u16, src: u16, carry_in: u16, byte: bool) -> u16 {
+        let mask: u32 = if byte { 0xFF } else { 0xFFFF };
+        let msb: u32 = if byte { 0x80 } else { 0x8000 };
+        let d = u32::from(dst) & mask;
+        let s = u32::from(src) & mask;
+        let c = u32::from(carry_in);
+        let full = d + s + c;
+        let result = full & mask;
+        let mut sr = self.regs[SR] & !(FLAG_C | FLAG_Z | FLAG_N | FLAG_V);
+        if full > mask {
+            sr |= FLAG_C;
+        }
+        if result == 0 {
+            sr |= FLAG_Z;
+        }
+        if result & msb != 0 {
+            sr |= FLAG_N;
+        }
+        if (d ^ result) & (s ^ result) & msb != 0 {
+            sr |= FLAG_V;
+        }
+        self.regs[SR] = sr;
+        result as u16
+    }
+
+    fn dadd_with_flags(&mut self, dst: u16, src: u16, byte: bool) -> u16 {
+        // BCD addition, digit at a time, including incoming carry.
+        let digits = if byte { 2 } else { 4 };
+        let mut carry = u16::from(self.regs[SR] & FLAG_C != 0);
+        let mut result: u16 = 0;
+        for i in 0..digits {
+            let shift = 4 * i;
+            let a = (dst >> shift) & 0xF;
+            let b = (src >> shift) & 0xF;
+            let mut sum = a + b + carry;
+            carry = if sum > 9 {
+                sum -= 10;
+                1
+            } else {
+                0
+            };
+            result |= sum << shift;
+        }
+        let msb = if byte { 0x80 } else { 0x8000 };
+        let mut sr = self.regs[SR] & !(FLAG_C | FLAG_Z | FLAG_N);
+        if carry != 0 {
+            sr |= FLAG_C;
+        }
+        if result == 0 {
+            sr |= FLAG_Z;
+        }
+        if result & msb != 0 {
+            sr |= FLAG_N;
+        }
+        self.regs[SR] = sr;
+        result
+    }
+
+    fn execute(&mut self, word: u16) -> Option<u32> {
+        let top = word >> 12;
+        if top == 0x1 {
+            return self.execute_format2(word);
+        }
+        if top >> 1 == 0x1 {
+            // 0x2000..=0x3FFF: jumps.
+            let cond = Condition::from_bits((word >> 10) & 0x7);
+            let mut offset = i32::from(word & 0x3FF);
+            if offset & 0x200 != 0 {
+                offset -= 0x400;
+            }
+            if cond.taken(self.regs[SR]) {
+                self.regs[PC] = self.regs[PC].wrapping_add((2 * offset) as u16);
+            }
+            return Some(2);
+        }
+        let op = Format1Op::from_opcode(top)?;
+        let src_reg = usize::from((word >> 8) & 0xF);
+        let ad = (word >> 7) & 1;
+        let byte = (word >> 6) & 1 != 0;
+        let as_mode = (word >> 4) & 0x3;
+        let dst_reg = usize::from(word & 0xF);
+
+        let (src, _, src_cycles) = self.resolve_src(src_reg, as_mode, byte);
+        let (dst, loc, dst_cycles) = self.resolve_dst(dst_reg, ad, byte);
+
+        let carry = u16::from(self.regs[SR] & FLAG_C != 0);
+        let result = match op {
+            Format1Op::Mov => src,
+            Format1Op::Add => self.add_with_flags(dst, src, 0, byte),
+            Format1Op::Addc => self.add_with_flags(dst, src, carry, byte),
+            Format1Op::Sub => self.add_with_flags(dst, !src, 1, byte),
+            Format1Op::Subc => self.add_with_flags(dst, !src, carry, byte),
+            Format1Op::Cmp => {
+                self.add_with_flags(dst, !src, 1, byte);
+                dst
+            }
+            Format1Op::Dadd => self.dadd_with_flags(dst, src, byte),
+            Format1Op::Bit => {
+                let r = src & dst;
+                self.set_flags_logic(r, byte, false);
+                dst
+            }
+            Format1Op::Bic => dst & !src,
+            Format1Op::Bis => dst | src,
+            Format1Op::Xor => {
+                let msb = if byte { 0x80 } else { 0x8000 };
+                let v = (src & msb != 0) && (dst & msb != 0);
+                let r = src ^ dst;
+                self.set_flags_logic(r, byte, v);
+                r
+            }
+            Format1Op::And => {
+                let r = src & dst;
+                self.set_flags_logic(r, byte, false);
+                r
+            }
+        };
+        if op.writes_back() {
+            self.write_dst(loc, result, byte);
+        }
+        let mut cycles = 1 + src_cycles + dst_cycles;
+        if matches!(loc, DstLoc::Reg(0)) && op.writes_back() {
+            cycles += 1; // writing the PC costs an extra cycle
+        }
+        Some(cycles)
+    }
+
+    fn execute_format2(&mut self, word: u16) -> Option<u32> {
+        let opbits = (word >> 7) & 0x7;
+        let op = Format2Op::from_bits(opbits)?;
+        if op == Format2Op::Reti {
+            self.regs[SR] = self.pop();
+            self.regs[PC] = self.pop();
+            return Some(5);
+        }
+        let byte = (word >> 6) & 1 != 0;
+        let as_mode = (word >> 4) & 0x3;
+        let reg = usize::from(word & 0xF);
+        let (value, addr, src_cycles) = self.resolve_src(reg, as_mode, byte);
+        let write = |cpu: &mut Self, v: u16| {
+            if let Some(a) = addr {
+                cpu.mem_write(a, v, byte);
+            } else {
+                cpu.regs[reg] = if byte { v & 0xFF } else { v };
+            }
+        };
+        let msb = if byte { 0x80u16 } else { 0x8000 };
+        match op {
+            Format2Op::Rrc => {
+                let carry_in = self.regs[SR] & FLAG_C != 0;
+                let carry_out = value & 1 != 0;
+                let mut r = value >> 1;
+                if byte {
+                    r &= 0x7F;
+                }
+                if carry_in {
+                    r |= msb;
+                }
+                let mut sr = self.regs[SR] & !(FLAG_C | FLAG_Z | FLAG_N | FLAG_V);
+                if carry_out {
+                    sr |= FLAG_C;
+                }
+                if r == 0 {
+                    sr |= FLAG_Z;
+                }
+                if r & msb != 0 {
+                    sr |= FLAG_N;
+                }
+                self.regs[SR] = sr;
+                write(self, r);
+                Some(1 + src_cycles)
+            }
+            Format2Op::Rra => {
+                let carry_out = value & 1 != 0;
+                let sign = value & msb;
+                let mut r = (value >> 1) | sign;
+                if byte {
+                    r &= 0xFF;
+                }
+                let mut sr = self.regs[SR] & !(FLAG_C | FLAG_Z | FLAG_N | FLAG_V);
+                if carry_out {
+                    sr |= FLAG_C;
+                }
+                if r == 0 {
+                    sr |= FLAG_Z;
+                }
+                if r & msb != 0 {
+                    sr |= FLAG_N;
+                }
+                self.regs[SR] = sr;
+                write(self, r);
+                Some(1 + src_cycles)
+            }
+            Format2Op::Swpb => {
+                let r = value.rotate_left(8);
+                write(self, r);
+                Some(1 + src_cycles)
+            }
+            Format2Op::Sxt => {
+                let r = if value & 0x80 != 0 { value | 0xFF00 } else { value & 0x00FF };
+                self.set_flags_logic(r, false, false);
+                write(self, r);
+                Some(1 + src_cycles)
+            }
+            Format2Op::Push => {
+                self.push(value);
+                Some(3 + src_cycles)
+            }
+            Format2Op::Call => {
+                self.push(self.regs[PC]);
+                self.regs[PC] = value;
+                Some(4 + src_cycles)
+            }
+            Format2Op::Reti => unreachable!("handled above"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum DstLoc {
+    Reg(usize),
+    Mem(u16),
+}
+
+impl Default for Mcu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn boot(src: &str) -> Mcu {
+        let image = assemble(src).expect("test program must assemble");
+        let mut mcu = Mcu::new();
+        mcu.load(&image);
+        mcu.reset();
+        mcu
+    }
+
+    fn run_steps(mcu: &mut Mcu, n: usize) {
+        for _ in 0..n {
+            if !matches!(mcu.step(), StepResult::Ran { .. }) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn mov_immediate_and_register() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x1234, r4
+        mov r4, r5
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        assert_eq!(mcu.register(4), 0x1234);
+        assert_eq!(mcu.register(5), 0x1234);
+    }
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0xFFFF, r4
+        add #1, r4
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 2);
+        assert_eq!(mcu.register(4), 0);
+        assert_ne!(mcu.register(2) & FLAG_C, 0);
+        assert_ne!(mcu.register(2) & FLAG_Z, 0);
+        assert_eq!(mcu.register(2) & FLAG_V, 0);
+    }
+
+    #[test]
+    fn signed_overflow_detected() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x7FFF, r4
+        add #1, r4
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 2);
+        assert_eq!(mcu.register(4), 0x8000);
+        assert_ne!(mcu.register(2) & FLAG_V, 0);
+        assert_ne!(mcu.register(2) & FLAG_N, 0);
+    }
+
+    #[test]
+    fn sub_and_cmp_borrow_semantics() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #5, r4
+        sub #3, r4
+        cmp #2, r4
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        assert_eq!(mcu.register(4), 2);
+        // CMP equal: Z set, C set (no borrow).
+        assert_ne!(mcu.register(2) & FLAG_Z, 0);
+        assert_ne!(mcu.register(2) & FLAG_C, 0);
+    }
+
+    #[test]
+    fn byte_ops_clear_high_byte_in_registers() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0xABCD, r4
+        mov.b #0x12, r4
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 2);
+        assert_eq!(mcu.register(4), 0x0012);
+    }
+
+    #[test]
+    fn memory_indexed_and_absolute() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0200, r4
+        mov #0xBEEF, 2(r4)
+        mov &0x0202, r5
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        assert_eq!(mcu.register(5), 0xBEEF);
+        assert_eq!(mcu.read_mem16(0x0202), 0xBEEF);
+    }
+
+    #[test]
+    fn autoincrement_walks_a_table() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #table, r4
+        mov @r4+, r5
+        mov @r4+, r6
+halt:   jmp halt
+table:  .word 0x1111
+        .word 0x2222
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        assert_eq!(mcu.register(5), 0x1111);
+        assert_eq!(mcu.register(6), 0x2222);
+    }
+
+    #[test]
+    fn loop_with_jnz() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #10, r4
+        mov #0, r5
+loop:   add #3, r5
+        dec r4
+        jnz loop
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 100);
+        assert_eq!(mcu.register(5), 30);
+        assert_eq!(mcu.register(4), 0);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0A00, r1
+        call #sub
+        mov #1, r6
+halt:   jmp halt
+sub:    mov #42, r5
+        ret
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 6);
+        assert_eq!(mcu.register(5), 42);
+        assert_eq!(mcu.register(6), 1);
+    }
+
+    #[test]
+    fn push_pop_stack_discipline() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0A00, r1
+        mov #0x1111, r4
+        push r4
+        mov #0x2222, r4
+        pop r4
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 5);
+        assert_eq!(mcu.register(4), 0x1111);
+        assert_eq!(mcu.register(1), 0x0A00);
+    }
+
+    #[test]
+    fn rra_rrc_swpb_sxt() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x8004, r4
+        rra r4
+        mov #0x0001, r5
+        rrc r5
+        mov #0x1234, r6
+        swpb r6
+        mov #0x0080, r7
+        sxt r7
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 8);
+        assert_eq!(mcu.register(4), 0xC002); // arithmetic shift keeps sign
+        // RRC shifted the old C (0) in; C now holds the shifted-out 1.
+        assert_eq!(mcu.register(5), 0x0000);
+        assert_ne!(mcu.register(2) & FLAG_C, 0);
+        assert_eq!(mcu.register(6), 0x3412);
+        assert_eq!(mcu.register(7), 0xFF80);
+    }
+
+    #[test]
+    fn dadd_bcd_arithmetic() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  clrc
+        mov #0x0199, r4
+        dadd #0x0001, r4
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        assert_eq!(mcu.register(4), 0x0200); // BCD 199 + 1 = 200
+    }
+
+    #[test]
+    fn constant_generators_cost_nothing_extra() {
+        // #4 and #8 come from R2, #0/#1/#2/#-1 from R3 — no extension word.
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #4, r4
+        mov #8, r5
+        mov #-1, r6
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        let pc0 = mcu.register(0);
+        run_steps(&mut mcu, 3);
+        assert_eq!(mcu.register(4), 4);
+        assert_eq!(mcu.register(5), 8);
+        assert_eq!(mcu.register(6), 0xFFFF);
+        // Three single-word instructions: PC advanced 6 bytes.
+        assert_eq!(mcu.register(0), pc0.wrapping_add(6));
+    }
+
+    #[test]
+    fn interrupt_enters_and_returns() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0A00, r1
+        mov #0, r5
+        eint
+loop:   jmp loop
+isr:    mov #99, r5
+        reti
+        .vector reset, start
+        .vector port1, isr
+        "#,
+        );
+        run_steps(&mut mcu, 5);
+        mcu.raise(Irq::Port1);
+        run_steps(&mut mcu, 4); // enter ISR, mov, reti
+        assert_eq!(mcu.register(5), 99);
+        // Back in the loop with GIE restored.
+        assert_ne!(mcu.register(2) & FLAG_GIE, 0);
+    }
+
+    #[test]
+    fn interrupt_requires_gie() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0A00, r1
+        mov #0, r5
+loop:   jmp loop
+isr:    mov #99, r5
+        reti
+        .vector reset, start
+        .vector port1, isr
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        mcu.raise(Irq::Port1);
+        run_steps(&mut mcu, 5);
+        assert_eq!(mcu.register(5), 0, "ISR must not run with GIE clear");
+    }
+
+    #[test]
+    fn lpm3_sleep_and_wake() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0A00, r1
+        mov #0, r5
+        bis #0x00D8, r2      ; LPM3 + GIE: CPUOFF|SCG1|SCG0|GIE
+        mov #1, r6           ; runs only after wake + ISR clears LPM
+done:   jmp done
+isr:    mov #7, r5
+        bic #0x00F0, 0(r1)   ; clear LPM bits in the saved SR
+        reti
+        .vector reset, start
+        .vector port1, isr
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        assert_eq!(mcu.mode(), OperatingMode::Lpm3);
+        assert!(matches!(mcu.step(), StepResult::Sleeping(OperatingMode::Lpm3)));
+        // Time passes; nothing happens.
+        assert_eq!(mcu.sleep(1_000_000), 1_000_000);
+        // External wake (the SP12's 6-second interrupt line).
+        mcu.drive_p1(0, true);
+        // The pin change has no IE bit set in this minimal program, so
+        // raise directly as the board would through a latched line.
+        mcu.raise(Irq::Port1);
+        run_steps(&mut mcu, 10);
+        assert_eq!(mcu.register(5), 7);
+        assert_eq!(mcu.mode(), OperatingMode::Active);
+        assert_eq!(mcu.register(6), 1);
+    }
+
+    #[test]
+    fn sleep_mode_current_draws_differ() {
+        let mcu = Mcu::new();
+        let active = mcu.power_model().current(OperatingMode::Active);
+        let lpm3 = mcu.power_model().current(OperatingMode::Lpm3);
+        let lpm4 = mcu.power_model().current(OperatingMode::Lpm4);
+        assert!(active.value() / lpm3.value() > 100.0);
+        assert!(lpm3 > lpm4);
+    }
+
+    #[test]
+    fn illegal_instruction_faults_and_sticks() {
+        let mut mcu = Mcu::new();
+        // Memory is zero: opcode 0x0000 is undecodable.
+        mcu.set_register(0, 0x0200);
+        let r = mcu.step();
+        assert!(matches!(r, StepResult::IllegalInstruction { word: 0, .. }));
+        assert!(matches!(mcu.step(), StepResult::IllegalInstruction { .. }));
+    }
+
+    #[test]
+    fn gpio_visible_to_board() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov.b #0xFF, &0x0022  ; P1DIR all out
+        mov.b #0x05, &0x0021  ; P1OUT
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        run_steps(&mut mcu, 2);
+        assert_eq!(mcu.p1_output(), 0x05);
+    }
+
+    #[test]
+    fn spi_roundtrip_through_firmware() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov.b #0x41, &0x0040  ; SPITX
+wait:   bit.b #1, &0x0042     ; SPISTAT busy?
+        jnz wait
+        mov.b &0x0041, r5     ; SPIRX
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        mcu.attach_spi(Box::new(|mosi: u8| mosi ^ 0xFF));
+        run_steps(&mut mcu, 50);
+        assert_eq!(mcu.register(5) & 0xFF, 0xBE);
+    }
+
+    #[test]
+    fn cycle_counts_are_plausible() {
+        // reg→reg MOV costs 1 cycle; immediate→reg costs 2.
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov r4, r5
+        mov #0x1234, r6
+halt:   jmp halt
+        .vector reset, start
+        "#,
+        );
+        let StepResult::Ran { cycles: c1 } = mcu.step() else { panic!("step 1") };
+        let StepResult::Ran { cycles: c2 } = mcu.step() else { panic!("step 2") };
+        assert_eq!(c1, 1);
+        assert_eq!(c2, 2);
+    }
+
+    #[test]
+    fn timer_wakes_lpm3_via_sleep() {
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0A00, r1
+        mov #0, r5
+        mov #32, &0x0062      ; TACCR0 = 32 ACLK ticks (~1 ms)
+        mov.b #3, &0x0060     ; TACTL: run + interrupt
+        bis #0x00D8, r2       ; LPM3 + GIE
+        mov #1, r6
+done:   jmp done
+isr:    mov #5, r5
+        bic #0x00F0, 0(r1)
+        reti
+        .vector reset, start
+        .vector timera, isr
+        "#,
+        );
+        run_steps(&mut mcu, 5);
+        assert_eq!(mcu.mode(), OperatingMode::Lpm3);
+        // ~32 ACLK ticks ≈ 977 µs ≈ 977 cycles at 1 MHz.
+        let slept = mcu.sleep(10_000);
+        assert!(slept < 10_000, "timer should cut the sleep short");
+        run_steps(&mut mcu, 10);
+        assert_eq!(mcu.register(5), 5);
+        assert_eq!(mcu.register(6), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Instruction-set definitions and decoding for the MSP430 subset.
+
+/// Two-operand (format I) operations, by their 4-bit opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // names are the MSP430 mnemonics
+pub enum Format1Op {
+    Mov,
+    Add,
+    Addc,
+    Subc,
+    Sub,
+    Cmp,
+    Dadd,
+    Bit,
+    Bic,
+    Bis,
+    Xor,
+    And,
+}
+
+impl Format1Op {
+    /// Decodes from the instruction word's top nibble (0x4–0xF).
+    pub fn from_opcode(op: u16) -> Option<Self> {
+        Some(match op {
+            0x4 => Self::Mov,
+            0x5 => Self::Add,
+            0x6 => Self::Addc,
+            0x7 => Self::Subc,
+            0x8 => Self::Sub,
+            0x9 => Self::Cmp,
+            0xA => Self::Dadd,
+            0xB => Self::Bit,
+            0xC => Self::Bic,
+            0xD => Self::Bis,
+            0xE => Self::Xor,
+            0xF => Self::And,
+            _ => return None,
+        })
+    }
+
+    /// Whether the operation writes its result back to the destination.
+    pub fn writes_back(self) -> bool {
+        !matches!(self, Self::Cmp | Self::Bit)
+    }
+}
+
+/// Single-operand (format II) operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // names are the MSP430 mnemonics
+pub enum Format2Op {
+    Rrc,
+    Swpb,
+    Rra,
+    Sxt,
+    Push,
+    Call,
+    Reti,
+}
+
+impl Format2Op {
+    /// Decodes from bits 9:7 of a 0b000100… instruction word.
+    pub fn from_bits(bits: u16) -> Option<Self> {
+        Some(match bits {
+            0 => Self::Rrc,
+            1 => Self::Swpb,
+            2 => Self::Rra,
+            3 => Self::Sxt,
+            4 => Self::Push,
+            5 => Self::Call,
+            6 => Self::Reti,
+            _ => return None,
+        })
+    }
+}
+
+/// Jump conditions (bits 12:10 of a jump instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // names are the MSP430 mnemonics
+pub enum Condition {
+    Jnz,
+    Jz,
+    Jnc,
+    Jc,
+    Jn,
+    Jge,
+    Jl,
+    Jmp,
+}
+
+impl Condition {
+    /// Decodes from the 3-bit condition field.
+    pub fn from_bits(bits: u16) -> Self {
+        match bits & 0x7 {
+            0 => Self::Jnz,
+            1 => Self::Jz,
+            2 => Self::Jnc,
+            3 => Self::Jc,
+            4 => Self::Jn,
+            5 => Self::Jge,
+            6 => Self::Jl,
+            _ => Self::Jmp,
+        }
+    }
+
+    /// Evaluates against the status flags.
+    pub fn taken(self, sr: u16) -> bool {
+        let c = sr & super::cpu::FLAG_C != 0;
+        let z = sr & super::cpu::FLAG_Z != 0;
+        let n = sr & super::cpu::FLAG_N != 0;
+        let v = sr & super::cpu::FLAG_V != 0;
+        match self {
+            Self::Jnz => !z,
+            Self::Jz => z,
+            Self::Jnc => !c,
+            Self::Jc => c,
+            Self::Jn => n,
+            Self::Jge => n == v,
+            Self::Jl => n != v,
+            Self::Jmp => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::{FLAG_C, FLAG_N, FLAG_V, FLAG_Z};
+
+    #[test]
+    fn format1_decode_covers_all_opcodes() {
+        for op in 0x4..=0xF {
+            assert!(Format1Op::from_opcode(op).is_some());
+        }
+        assert!(Format1Op::from_opcode(0x3).is_none());
+        assert!(Format1Op::from_opcode(0x10).is_none());
+    }
+
+    #[test]
+    fn cmp_and_bit_do_not_write_back() {
+        assert!(!Format1Op::Cmp.writes_back());
+        assert!(!Format1Op::Bit.writes_back());
+        assert!(Format1Op::Add.writes_back());
+    }
+
+    #[test]
+    fn jump_conditions() {
+        assert!(Condition::Jz.taken(FLAG_Z));
+        assert!(!Condition::Jz.taken(0));
+        assert!(Condition::Jc.taken(FLAG_C));
+        assert!(Condition::Jn.taken(FLAG_N));
+        assert!(Condition::Jmp.taken(0));
+        // Signed comparisons: JGE is N == V.
+        assert!(Condition::Jge.taken(0));
+        assert!(Condition::Jge.taken(FLAG_N | FLAG_V));
+        assert!(Condition::Jl.taken(FLAG_N));
+        assert!(Condition::Jl.taken(FLAG_V));
+    }
+
+    #[test]
+    fn format2_decode() {
+        assert_eq!(Format2Op::from_bits(0), Some(Format2Op::Rrc));
+        assert_eq!(Format2Op::from_bits(5), Some(Format2Op::Call));
+        assert_eq!(Format2Op::from_bits(6), Some(Format2Op::Reti));
+        assert_eq!(Format2Op::from_bits(7), None);
+    }
+}

@@ -1,0 +1,109 @@
+//! Supply-current model for the MSP430-class core.
+
+use picocube_units::{Amps, Hertz, Volts};
+
+/// The core's operating mode, derived from the `SR` low-power bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum OperatingMode {
+    /// CPU executing instructions.
+    Active,
+    /// CPUOFF: CPU halted, all clocks alive.
+    Lpm0,
+    /// CPUOFF + SCG0/SCG1: only ACLK alive — the Cube's between-samples
+    /// state (timers keep running; §4.5 "only an internal timer is
+    /// running").
+    Lpm3,
+    /// CPUOFF + OSCOFF: everything stopped; wake only by external
+    /// interrupt. The "sub-microwatt deep sleep" headline mode.
+    Lpm4,
+}
+
+/// Datasheet-class supply currents for the F1222 at 2.2 V.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct McuPowerModel {
+    /// Active current per MHz of MCLK.
+    pub active_per_mhz: Amps,
+    /// LPM0 standing current.
+    pub lpm0: Amps,
+    /// LPM3 standing current (ACLK + RTC domain alive).
+    pub lpm3: Amps,
+    /// LPM4 standing current (RAM retention only).
+    pub lpm4: Amps,
+    /// Nominal supply for power computations.
+    pub vdd: Volts,
+    /// Master clock frequency.
+    pub mclk: Hertz,
+}
+
+impl McuPowerModel {
+    /// The F1222 numbers the Cube's budget is built on: 300 µA/MHz active,
+    /// 50 µA LPM0, 0.7 µA LPM3, 0.1 µA LPM4, at 2.2 V / 1 MHz.
+    pub fn msp430f1222() -> Self {
+        Self {
+            active_per_mhz: Amps::from_micro(300.0),
+            lpm0: Amps::from_micro(50.0),
+            lpm3: Amps::from_micro(0.7),
+            lpm4: Amps::from_micro(0.1),
+            vdd: Volts::new(2.2),
+            mclk: Hertz::from_mega(1.0),
+        }
+    }
+
+    /// Supply current in the given mode.
+    pub fn current(&self, mode: OperatingMode) -> Amps {
+        match mode {
+            OperatingMode::Active => self.active_per_mhz * self.mclk.mega(),
+            OperatingMode::Lpm0 => self.lpm0,
+            OperatingMode::Lpm3 => self.lpm3,
+            OperatingMode::Lpm4 => self.lpm4,
+        }
+    }
+
+    /// Wall-clock duration of `cycles` of MCLK.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> picocube_units::Seconds {
+        picocube_units::Seconds::new(cycles as f64 / self.mclk.value())
+    }
+}
+
+impl Default for McuPowerModel {
+    fn default() -> Self {
+        Self::msp430f1222()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picocube_units::Watts;
+
+    #[test]
+    fn deep_sleep_is_sub_microwatt() {
+        // §4.5: "a sub-microwatt deep sleep mode".
+        let m = McuPowerModel::msp430f1222();
+        let p = m.vdd * m.current(OperatingMode::Lpm4);
+        assert!(p < Watts::from_micro(1.0));
+        let p3 = m.vdd * m.current(OperatingMode::Lpm3);
+        assert!(p3 < Watts::from_micro(2.0));
+    }
+
+    #[test]
+    fn active_current_scales_with_mclk() {
+        let mut m = McuPowerModel::msp430f1222();
+        let at_1mhz = m.current(OperatingMode::Active);
+        m.mclk = Hertz::from_mega(8.0);
+        assert!((m.current(OperatingMode::Active).value() / at_1mhz.value() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_ordering_tracks_depth() {
+        assert!(OperatingMode::Active < OperatingMode::Lpm0);
+        assert!(OperatingMode::Lpm0 < OperatingMode::Lpm3);
+        assert!(OperatingMode::Lpm3 < OperatingMode::Lpm4);
+    }
+
+    #[test]
+    fn cycle_timing_at_1mhz() {
+        let m = McuPowerModel::msp430f1222();
+        assert!((m.cycles_to_seconds(14_000).value() - 14e-3).abs() < 1e-12);
+    }
+}

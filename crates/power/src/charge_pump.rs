@@ -1,0 +1,248 @@
+//! The COTS charge pump generating the always-on controller/sensor supply.
+//!
+//! The built Cube uses a TI TPS60313-class switched-capacitor doubler on the
+//! sensor board (§4.3): it steps the 1.2 V NiMH bus up to the 2.1–3.6 V the
+//! MSP430 and SP12 require, and its defining feature for this application is
+//! a *snooze* mode with sub-µA quiescent current — this supply can never be
+//! turned off (sleep circuitry and timers hang from it), so its quiescent
+//! draw is a permanent floor under the whole node's power budget.
+
+use crate::{Conversion, PowerError, Result};
+use picocube_units::{Amps, Ohms, Volts, Watts};
+
+/// Operating mode of the charge pump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PumpMode {
+    /// Full-performance mode: fast switching, high quiescent current.
+    Active,
+    /// Low-power "snooze" mode: burst switching for light loads, very low
+    /// quiescent current. The Cube lives here.
+    Snooze,
+}
+
+/// A fixed-gain switched-capacitor charge pump (TPS60313 class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargePump {
+    gain: f64,
+    vin_min: Volts,
+    vin_max: Volts,
+    rout: Ohms,
+    iq_active: Amps,
+    iq_snooze: Amps,
+    snooze_current_limit: Amps,
+}
+
+impl ChargePump {
+    /// Creates a charge pump model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive gain or
+    /// input range, or negative impedance/quiescent parameters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        gain: f64,
+        vin_min: Volts,
+        vin_max: Volts,
+        rout: Ohms,
+        iq_active: Amps,
+        iq_snooze: Amps,
+        snooze_current_limit: Amps,
+    ) -> Result<Self> {
+        if gain <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "gain must be positive" });
+        }
+        if vin_min.value() <= 0.0 || vin_max < vin_min {
+            return Err(PowerError::InvalidParameter { what: "invalid input voltage range" });
+        }
+        if rout.value() < 0.0 || iq_active.value() < 0.0 || iq_snooze.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "negative impedance or quiescent" });
+        }
+        if snooze_current_limit.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "snooze limit must be positive" });
+        }
+        Ok(Self { gain, vin_min, vin_max, rout, iq_active, iq_snooze, snooze_current_limit })
+    }
+
+    /// The TPS60313-class part on the PicoCube sensor board: a voltage
+    /// doubler accepting 0.9–1.8 V, with 0.5 µA snooze quiescent, 45 µA
+    /// active quiescent, and ~25 Ω open-loop output impedance.
+    pub fn tps60313() -> Self {
+        Self {
+            gain: 2.0,
+            vin_min: Volts::new(0.9),
+            vin_max: Volts::new(1.8),
+            rout: Ohms::new(25.0),
+            iq_active: Amps::from_micro(45.0),
+            iq_snooze: Amps::from_micro(0.5),
+            snooze_current_limit: Amps::from_milli(2.0),
+        }
+    }
+
+    /// Voltage multiplication ratio.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The mode the pump selects for a given load: snooze whenever the load
+    /// fits under the snooze current limit.
+    pub fn mode_for(&self, iout: Amps) -> PumpMode {
+        if iout <= self.snooze_current_limit {
+            PumpMode::Snooze
+        } else {
+            PumpMode::Active
+        }
+    }
+
+    /// Quiescent current in the given mode.
+    pub fn quiescent(&self, mode: PumpMode) -> Amps {
+        match mode {
+            PumpMode::Active => self.iq_active,
+            PumpMode::Snooze => self.iq_snooze,
+        }
+    }
+
+    /// Solves the DC operating point for a demanded load current.
+    ///
+    /// # Errors
+    ///
+    /// * [`PowerError::InputOutOfRange`] if `vin` is outside the rated range.
+    /// * [`PowerError::OverCurrent`] if the load collapses the output.
+    pub fn convert(&self, vin: Volts, iout: Amps) -> Result<Conversion> {
+        if vin < self.vin_min || vin > self.vin_max {
+            return Err(PowerError::InputOutOfRange {
+                vin,
+                min: self.vin_min,
+                max: self.vin_max,
+            });
+        }
+        if iout.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "load current must be non-negative" });
+        }
+        let vout = Volts::new(self.gain * vin.value()) - self.rout * iout;
+        if vout.value() <= 0.0 {
+            return Err(PowerError::OverCurrent {
+                demanded: iout,
+                limit: Amps::new(self.gain * vin.value() / self.rout.value()),
+            });
+        }
+        // A charge pump reflects load current to the input multiplied by the
+        // gain (charge conservation), plus its own quiescent draw.
+        let iq = self.quiescent(self.mode_for(iout));
+        let iin = Amps::new(self.gain * iout.value()) + iq;
+        Ok(Conversion::from_terminals(vin, iin, vout, iout))
+    }
+
+    /// The standing input power burned when the output is unloaded — the
+    /// term that shows up in the Cube's sleep floor.
+    pub fn sleep_floor(&self, vin: Volts) -> Watts {
+        vin * self.iq_snooze
+    }
+}
+
+impl Default for ChargePump {
+    fn default() -> Self {
+        Self::tps60313()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_the_battery_bus() {
+        let pump = ChargePump::tps60313();
+        let op = pump.convert(Volts::new(1.2), Amps::from_micro(100.0)).unwrap();
+        // 2.4 V minus a small IR drop, comfortably above the 2.1 V floor.
+        assert!(op.vout > Volts::new(2.1) && op.vout < Volts::new(2.4));
+    }
+
+    #[test]
+    fn input_current_is_gain_times_load_plus_quiescent() {
+        let pump = ChargePump::tps60313();
+        let op = pump.convert(Volts::new(1.2), Amps::from_micro(100.0)).unwrap();
+        assert!((op.iin.micro() - (200.0 + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_near_vout_over_gain_vin_under_load() {
+        let pump = ChargePump::tps60313();
+        let op = pump.convert(Volts::new(1.2), Amps::from_milli(1.0)).unwrap();
+        // Linear-extrinsic SC efficiency bound: vout / (gain · vin).
+        let bound = op.vout.value() / (2.0 * 1.2);
+        assert!((op.efficiency() - bound).abs() < 0.05);
+        assert!(op.efficiency() > 0.9);
+    }
+
+    #[test]
+    fn snooze_mode_below_limit_active_above() {
+        let pump = ChargePump::tps60313();
+        assert_eq!(pump.mode_for(Amps::from_micro(100.0)), PumpMode::Snooze);
+        assert_eq!(pump.mode_for(Amps::from_milli(5.0)), PumpMode::Active);
+    }
+
+    #[test]
+    fn sleep_floor_is_sub_microwatt() {
+        // 0.5 µA at 1.2 V = 0.6 µW: a tenth of the node's 6 µW average by
+        // itself, which is the paper's "quiescent losses dominate" point.
+        let floor = ChargePump::tps60313().sleep_floor(Volts::new(1.2));
+        assert!((floor.micro() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn light_load_efficiency_depends_on_mode() {
+        // At 10 µA load, the snooze pump wastes only 0.5 µA of quiescent;
+        // a pump stuck in active mode would burn 45 µA and crater.
+        let pump = ChargePump::tps60313();
+        let op = pump.convert(Volts::new(1.2), Amps::from_micro(10.0)).unwrap();
+        assert!(op.efficiency() > 0.9, "snooze efficiency {:.3}", op.efficiency());
+        let active_iin = 2.0 * 10.0 + 45.0; // µA
+        let active_eff = (op.vout.value() * 10.0) / (1.2 * active_iin);
+        assert!(active_eff < 0.35);
+    }
+
+    #[test]
+    fn rejects_out_of_range_input() {
+        let pump = ChargePump::tps60313();
+        assert!(matches!(
+            pump.convert(Volts::new(0.5), Amps::ZERO),
+            Err(PowerError::InputOutOfRange { .. })
+        ));
+        assert!(matches!(
+            pump.convert(Volts::new(2.5), Amps::ZERO),
+            Err(PowerError::InputOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_collapsing_load() {
+        let pump = ChargePump::tps60313();
+        let r = pump.convert(Volts::new(1.2), Amps::new(1.0));
+        assert!(matches!(r, Err(PowerError::OverCurrent { .. })));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ChargePump::new(
+            0.0,
+            Volts::new(1.0),
+            Volts::new(2.0),
+            Ohms::new(1.0),
+            Amps::ZERO,
+            Amps::ZERO,
+            Amps::new(1.0)
+        )
+        .is_err());
+        assert!(ChargePump::new(
+            2.0,
+            Volts::new(2.0),
+            Volts::new(1.0),
+            Ohms::new(1.0),
+            Amps::ZERO,
+            Amps::ZERO,
+            Amps::new(1.0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! The common operating-point result all converter models return.
+
+use picocube_units::{Amps, Volts, Watts};
+
+/// One DC operating point of a power converter.
+///
+/// Converters in this crate are *load-driven*: callers specify the input
+/// voltage and the output current demanded by the load, and the model solves
+/// for the delivered output voltage, the input current drawn, and the loss
+/// breakdown. Chaining converters is then just feeding one stage's `iin`
+/// into the previous stage's load.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Conversion {
+    /// Delivered output voltage.
+    pub vout: Volts,
+    /// Output current (echo of the demanded load current).
+    pub iout: Amps,
+    /// Current drawn from the input source, including quiescent overhead.
+    pub iin: Amps,
+    /// Input voltage (echo of the applied source voltage).
+    pub vin: Volts,
+    /// Power dissipated inside the converter.
+    pub loss: Watts,
+}
+
+impl Conversion {
+    /// Output power `vout × iout`.
+    #[inline]
+    pub fn output_power(&self) -> Watts {
+        self.vout * self.iout
+    }
+
+    /// Input power `vin × iin`.
+    #[inline]
+    pub fn input_power(&self) -> Watts {
+        self.vin * self.iin
+    }
+
+    /// Power efficiency `Pout / Pin` in `[0, 1]`. Zero-input operating
+    /// points (no load, no quiescent) report zero.
+    #[inline]
+    pub fn efficiency(&self) -> f64 {
+        let pin = self.input_power().value();
+        if pin <= 0.0 {
+            0.0
+        } else {
+            (self.output_power().value() / pin).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Builds a conversion from terminal quantities, deriving the loss as
+    /// `Pin − Pout` (clamped at zero against rounding).
+    pub fn from_terminals(vin: Volts, iin: Amps, vout: Volts, iout: Amps) -> Self {
+        let loss = Watts::new((vin * iin - vout * iout).value().max(0.0));
+        Self { vin, iin, vout, iout, loss }
+    }
+}
+
+impl core::fmt::Display for Conversion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{:.3} @ {:.1} µA -> {:.3} @ {:.1} µA (η={:.1} %, loss {:.2} µW)",
+            self.vin,
+            self.iin.micro(),
+            self.vout,
+            self.iout.micro(),
+            self.efficiency() * 100.0,
+            self.loss.micro()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_from_terminals() {
+        let c = Conversion::from_terminals(
+            Volts::new(1.2),
+            Amps::from_micro(500.0),
+            Volts::new(2.4),
+            Amps::from_micro(225.0),
+        );
+        // Pin = 600 µW, Pout = 540 µW -> 90 %.
+        assert!((c.efficiency() - 0.9).abs() < 1e-9);
+        assert!((c.loss.micro() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_input_is_zero_efficiency() {
+        let c = Conversion::from_terminals(Volts::new(1.2), Amps::ZERO, Volts::new(1.0), Amps::ZERO);
+        assert_eq!(c.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_percent() {
+        let c = Conversion::from_terminals(
+            Volts::new(1.2),
+            Amps::from_micro(100.0),
+            Volts::new(1.0),
+            Amps::from_micro(100.0),
+        );
+        assert!(format!("{c}").contains('%'));
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for power-train operating-point violations.
+
+use picocube_units::{Amps, Volts};
+
+/// An invalid or unreachable converter operating point.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// The input voltage is outside the block's rated range.
+    InputOutOfRange {
+        /// Applied input voltage.
+        vin: Volts,
+        /// Minimum rated input.
+        min: Volts,
+        /// Maximum rated input.
+        max: Volts,
+    },
+    /// The demanded load current exceeds what the block can deliver.
+    OverCurrent {
+        /// Demanded load current.
+        demanded: Amps,
+        /// Maximum deliverable current at this operating point.
+        limit: Amps,
+    },
+    /// A linear regulator cannot maintain regulation because the input is
+    /// below `vout + dropout`.
+    DropoutViolation {
+        /// Applied input voltage.
+        vin: Volts,
+        /// Minimum input required for regulation.
+        required: Volts,
+    },
+    /// The converter's output impedance collapses the output below zero at
+    /// this load — no valid DC solution.
+    OutputCollapsed {
+        /// Demanded load current.
+        demanded: Amps,
+    },
+    /// A parameter passed to a model constructor is unphysical.
+    InvalidParameter {
+        /// Description of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl core::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InputOutOfRange { vin, min, max } => {
+                write!(f, "input {vin:.3} outside rated range [{min:.3}, {max:.3}]")
+            }
+            Self::OverCurrent { demanded, limit } => write!(
+                f,
+                "load current {:.1} µA exceeds limit {:.1} µA",
+                demanded.micro(),
+                limit.micro()
+            ),
+            Self::DropoutViolation { vin, required } => {
+                write!(f, "input {vin:.3} below dropout requirement {required:.3}")
+            }
+            Self::OutputCollapsed { demanded } => write!(
+                f,
+                "no DC solution: output collapses at {:.1} µA load",
+                demanded.micro()
+            ),
+            Self::InvalidParameter { what } => write!(f, "invalid model parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = PowerError::DropoutViolation { vin: Volts::new(0.7), required: Volts::new(0.8) };
+        let msg = format!("{e}");
+        assert!(msg.starts_with("input"));
+        assert!(msg.contains("0.700"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<PowerError>();
+    }
+}

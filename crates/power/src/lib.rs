@@ -1,0 +1,68 @@
+//! Power-management models for the PicoCube.
+//!
+//! The paper's §4.3 observation — *"since at least one supply is always on,
+//! the contribution that management makes to the total system power can be
+//! dominant"* — is the thesis this crate exists to reproduce. It provides
+//! electrical models, faithful to the published operating points, for every
+//! block in the node's power train:
+//!
+//! * [`rectifier`] — the full-bridge diode rectifier on the storage board
+//!   and the actively-controlled synchronous rectifier of the §7.1 power
+//!   interface IC (96 % of ideal at 450 µW input).
+//! * [`charge_pump`] — the TPS60313-class doubler with its low-power snooze
+//!   mode that generates the always-on microcontroller/sensor supply.
+//! * [`linear`] — the LT3020-class low-dropout regulator for the 0.65 V
+//!   radio RF rail, gated on both input and output.
+//! * [`shunt`] — the controller-I/O-fed shunt regulator for the 1.0 V radio
+//!   digital rail.
+//! * [`sc`] — switched-capacitor DC-DC converters in the Seeman–Sanders
+//!   SSL/FSL output-impedance framework, instantiated as the Fig. 10 1:2
+//!   and 3:2 topologies (> 84 % efficient).
+//! * [`references`] — the 18 nA self-biased current reference and the
+//!   ultralow-power sampled bandgap.
+//! * [`switches`] — power-gating switches and level shifters.
+//! * [`converter_ic`] — the Fig. 9 power interface IC assembled from the
+//!   above, with its ≈ 6.5 µA leakage budget.
+//! * [`cots`] — the COTS power chain of the built Cube (charge pump +
+//!   LT3020 + shunt + gates), for the integrated-vs-COTS ablation.
+//!
+//! All converters expose the same [`Conversion`] operating-point result so
+//! efficiency accounting composes across the train.
+//!
+//! # Examples
+//!
+//! ```
+//! use picocube_power::sc::ScConverter;
+//! use picocube_units::{Volts, Amps};
+//!
+//! // The Fig. 10(a) doubler feeding the 2.1 V microcontroller rail, run at
+//! // its efficiency-optimal switching frequency.
+//! let doubler = ScConverter::paper_1to2();
+//! let op = doubler.convert_optimal(Volts::new(1.2), Amps::from_micro(200.0))?;
+//! assert!(op.vout > Volts::new(2.1));
+//! assert!(op.efficiency() > 0.8);
+//! # Ok::<(), picocube_power::PowerError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod charge_pump;
+pub mod converter_ic;
+pub mod cots;
+pub mod linear;
+pub mod rectifier;
+pub mod references;
+pub mod sc;
+pub mod sc_ratio;
+pub mod shunt;
+pub mod switches;
+
+mod conversion;
+mod error;
+
+pub use conversion::Conversion;
+pub use error::PowerError;
+
+/// Convenience result alias for power-train operations.
+pub type Result<T> = core::result::Result<T, PowerError>;

@@ -1,0 +1,244 @@
+//! Low-dropout linear regulator for the 0.65 V radio RF rail.
+//!
+//! The built Cube uses an LT3020-class LDO (§4.3) "gated on both input and
+//! output by solid state switches": the radio supplies are only live for the
+//! ~millisecond transmit burst, so the LDO's comparatively large ground
+//! current is tolerable while its low noise and tight regulation are exactly
+//! what the FBAR oscillator and PA need. The §7.1 IC keeps a (much smaller)
+//! linear regulator as a post-regulator that trims the 3:2 SC converter's
+//! 0.8 V output down to a clean 0.65 V.
+
+use crate::{Conversion, PowerError, Result};
+use picocube_units::{Amps, Volts};
+
+/// A low-dropout linear regulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegulator {
+    vout_set: Volts,
+    dropout: Volts,
+    iq_on: Amps,
+    iq_shutdown: Amps,
+    i_limit: Amps,
+    enabled: bool,
+}
+
+impl LinearRegulator {
+    /// Creates an LDO model with the given setpoint, dropout, quiescent
+    /// currents and current limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive setpoint or
+    /// current limit, or negative dropout/quiescent values.
+    pub fn new(
+        vout_set: Volts,
+        dropout: Volts,
+        iq_on: Amps,
+        iq_shutdown: Amps,
+        i_limit: Amps,
+    ) -> Result<Self> {
+        if vout_set.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "setpoint must be positive" });
+        }
+        if dropout.value() < 0.0 || iq_on.value() < 0.0 || iq_shutdown.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "negative dropout or quiescent" });
+        }
+        if i_limit.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "current limit must be positive" });
+        }
+        Ok(Self { vout_set, dropout, iq_on, iq_shutdown, i_limit, enabled: true })
+    }
+
+    /// The LT3020-class part on the switch board, set to 0.65 V: 100 mV
+    /// dropout at radio loads, 120 µA operating ground current (hence the
+    /// gating), 2 µA in shutdown, 100 mA limit.
+    pub fn lt3020_rf_rail() -> Self {
+        Self {
+            vout_set: Volts::from_milli(650.0),
+            dropout: Volts::from_milli(100.0),
+            iq_on: Amps::from_micro(120.0),
+            iq_shutdown: Amps::from_micro(2.0),
+            i_limit: Amps::from_milli(100.0),
+            enabled: true,
+        }
+    }
+
+    /// The on-chip post-regulator of the §7.1 power interface IC: trims
+    /// 0.8 V from the 3:2 converter to 0.65 V with only 1 µA of ground
+    /// current and 50 mV dropout.
+    pub fn ic_post_regulator() -> Self {
+        Self {
+            vout_set: Volts::from_milli(650.0),
+            dropout: Volts::from_milli(50.0),
+            iq_on: Amps::from_micro(1.0),
+            iq_shutdown: Amps::from_nano(50.0),
+            i_limit: Amps::from_milli(10.0),
+            enabled: true,
+        }
+    }
+
+    /// Regulation setpoint.
+    pub fn setpoint(&self) -> Volts {
+        self.vout_set
+    }
+
+    /// Whether the regulator is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables (gates) the regulator.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Minimum input voltage that sustains regulation.
+    pub fn min_input(&self) -> Volts {
+        self.vout_set + self.dropout
+    }
+
+    /// Quiescent (ground-pin) current in the present state.
+    pub fn quiescent(&self) -> Amps {
+        if self.enabled {
+            self.iq_on
+        } else {
+            self.iq_shutdown
+        }
+    }
+
+    /// Solves the DC operating point.
+    ///
+    /// A disabled regulator draws only its shutdown current and delivers
+    /// nothing (demanding load current from a disabled LDO is an error).
+    ///
+    /// # Errors
+    ///
+    /// * [`PowerError::DropoutViolation`] if `vin < vout + dropout`.
+    /// * [`PowerError::OverCurrent`] if the load exceeds the current limit,
+    ///   or any load is demanded while disabled.
+    pub fn convert(&self, vin: Volts, iout: Amps) -> Result<Conversion> {
+        if iout.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "load current must be non-negative" });
+        }
+        if !self.enabled {
+            if iout.value() > 0.0 {
+                return Err(PowerError::OverCurrent { demanded: iout, limit: Amps::ZERO });
+            }
+            return Ok(Conversion {
+                vin,
+                iin: self.iq_shutdown,
+                vout: Volts::ZERO,
+                iout: Amps::ZERO,
+                loss: vin * self.iq_shutdown,
+            });
+        }
+        if vin < self.min_input() {
+            return Err(PowerError::DropoutViolation { vin, required: self.min_input() });
+        }
+        if iout > self.i_limit {
+            return Err(PowerError::OverCurrent { demanded: iout, limit: self.i_limit });
+        }
+        // Series-pass element: the full load current flows from input to
+        // output; the (vin − vout) headroom plus the ground current burn.
+        let iin = iout + self.iq_on;
+        Ok(Conversion::from_terminals(vin, iin, self.vout_set, iout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picocube_units::Watts;
+
+    #[test]
+    fn regulates_to_setpoint() {
+        let ldo = LinearRegulator::lt3020_rf_rail();
+        let op = ldo.convert(Volts::new(1.2), Amps::from_milli(2.0)).unwrap();
+        assert_eq!(op.vout, Volts::from_milli(650.0));
+    }
+
+    #[test]
+    fn efficiency_is_vout_over_vin_for_heavy_load() {
+        // Linear regulator ceiling: η → vout/vin as load ≫ Iq.
+        let ldo = LinearRegulator::lt3020_rf_rail();
+        let op = ldo.convert(Volts::new(1.2), Amps::from_milli(50.0)).unwrap();
+        assert!((op.efficiency() - 0.65 / 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn dropout_enforced() {
+        let ldo = LinearRegulator::lt3020_rf_rail();
+        let r = ldo.convert(Volts::from_milli(700.0), Amps::from_milli(1.0));
+        assert!(matches!(r, Err(PowerError::DropoutViolation { .. })));
+        // 0.75 V exactly meets vout + dropout.
+        assert!(ldo.convert(Volts::from_milli(750.0), Amps::from_milli(1.0)).is_ok());
+    }
+
+    #[test]
+    fn gating_kills_quiescent() {
+        let mut ldo = LinearRegulator::lt3020_rf_rail();
+        assert_eq!(ldo.quiescent(), Amps::from_micro(120.0));
+        ldo.set_enabled(false);
+        assert_eq!(ldo.quiescent(), Amps::from_micro(2.0));
+        let op = ldo.convert(Volts::new(1.2), Amps::ZERO).unwrap();
+        assert_eq!(op.vout, Volts::ZERO);
+        assert!((op.loss.micro() - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_regulator_rejects_load() {
+        let mut ldo = LinearRegulator::lt3020_rf_rail();
+        ldo.set_enabled(false);
+        assert!(matches!(
+            ldo.convert(Volts::new(1.2), Amps::from_milli(1.0)),
+            Err(PowerError::OverCurrent { .. })
+        ));
+    }
+
+    #[test]
+    fn current_limit_enforced() {
+        let ldo = LinearRegulator::lt3020_rf_rail();
+        assert!(matches!(
+            ldo.convert(Volts::new(1.2), Amps::from_milli(150.0)),
+            Err(PowerError::OverCurrent { .. })
+        ));
+    }
+
+    #[test]
+    fn why_the_cube_gates_this_part() {
+        // Left enabled between transmissions, the LT3020 alone would burn
+        // 120 µA × 1.2 V = 144 µW — 24× the whole node's 6 µW average.
+        let ldo = LinearRegulator::lt3020_rf_rail();
+        let idle_burn = Volts::new(1.2) * ldo.quiescent();
+        assert!(idle_burn > Watts::from_micro(100.0));
+    }
+
+    #[test]
+    fn post_regulator_trims_sc_output() {
+        let post = LinearRegulator::ic_post_regulator();
+        let op = post.convert(Volts::from_milli(800.0), Amps::from_milli(2.0)).unwrap();
+        assert_eq!(op.vout, Volts::from_milli(650.0));
+        // 0.65/0.8 ≈ 81 % — the price of ripple smoothing after the 3:2.
+        assert!((op.efficiency() - 0.8122).abs() < 0.01);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(LinearRegulator::new(
+            Volts::ZERO,
+            Volts::ZERO,
+            Amps::ZERO,
+            Amps::ZERO,
+            Amps::new(1.0)
+        )
+        .is_err());
+        assert!(LinearRegulator::new(
+            Volts::new(1.0),
+            Volts::new(-0.1),
+            Amps::ZERO,
+            Amps::ZERO,
+            Amps::new(1.0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,316 @@
+//! AC-to-DC rectification at the harvester interface.
+//!
+//! The built Cube uses a full-bridge diode rectifier on the storage board
+//! (§4.5); the §7.1 power interface IC replaces the junction diodes with
+//! comparator-controlled transistors — a synchronous rectifier that reaches
+//! **96 % of the efficiency of an ideal rectifier at 450 µW input**. Both
+//! are modeled here against the same [`Rectifier`] interface, plus the ideal
+//! reference they are compared to.
+//!
+//! The harvester delivers a pulsed AC waveform (an electromagnetic shaker
+//! produces bursts as the proof mass passes the coil). For DC efficiency
+//! accounting the models work at the envelope level: input power `Pin` with
+//! a conduction duty factor `d` (fraction of the period during which current
+//! actually flows), charging a storage element held at `vbat`.
+
+use crate::{PowerError, Result};
+use picocube_units::{Amps, Ohms, Volts, Watts};
+
+/// Common interface for rectifier models.
+pub trait Rectifier {
+    /// Human-readable model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Average DC power delivered into a storage element held at `vbat`
+    /// when the harvester supplies `pin` of AC input power.
+    ///
+    /// Returns zero when the input cannot overcome the rectifier's
+    /// conduction threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if `pin` is negative or
+    /// `vbat` is non-positive.
+    fn deliver(&self, pin: Watts, vbat: Volts) -> Result<Watts>;
+
+    /// Conversion efficiency `Pout / Pin` at this operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`deliver`](Self::deliver).
+    fn efficiency(&self, pin: Watts, vbat: Volts) -> Result<f64> {
+        if pin.value() <= 0.0 {
+            return Ok(0.0);
+        }
+        Ok((self.deliver(pin, vbat)?.value() / pin.value()).clamp(0.0, 1.0))
+    }
+
+    /// Efficiency relative to an ideal (lossless) rectifier, the metric the
+    /// paper quotes (96 % at 450 µW).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`deliver`](Self::deliver).
+    fn efficiency_vs_ideal(&self, pin: Watts, vbat: Volts) -> Result<f64> {
+        self.efficiency(pin, vbat)
+    }
+}
+
+fn validate(pin: Watts, vbat: Volts) -> Result<()> {
+    if pin.value() < 0.0 || !pin.is_finite() {
+        return Err(PowerError::InvalidParameter { what: "input power must be non-negative" });
+    }
+    if vbat.value() <= 0.0 || !vbat.is_finite() {
+        return Err(PowerError::InvalidParameter { what: "storage voltage must be positive" });
+    }
+    Ok(())
+}
+
+/// A lossless reference rectifier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealRectifier;
+
+impl Rectifier for IdealRectifier {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn deliver(&self, pin: Watts, vbat: Volts) -> Result<Watts> {
+        validate(pin, vbat)?;
+        Ok(pin)
+    }
+}
+
+/// The full-bridge junction-diode rectifier of the built storage board.
+///
+/// Two diodes conduct in series on each half cycle, so the storage element
+/// at `vbat` is charged through a `2·Vf` headroom tax: of every joule the
+/// harvester supplies, the fraction `vbat / (vbat + 2·Vf)` reaches storage.
+/// Schottky diodes (`Vf ≈ 0.25 V`) are assumed by default — with silicon
+/// diodes a 1.2 V NiMH cell would lose over half the harvest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeBridge {
+    forward_drop: Volts,
+}
+
+impl DiodeBridge {
+    /// Creates a bridge from the per-diode forward drop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the drop is negative.
+    pub fn new(forward_drop: Volts) -> Result<Self> {
+        if forward_drop.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "diode drop must be non-negative" });
+        }
+        Ok(Self { forward_drop })
+    }
+
+    /// Schottky bridge with 0.25 V per-diode drop (the storage-board part).
+    pub fn schottky() -> Self {
+        Self { forward_drop: Volts::from_milli(250.0) }
+    }
+
+    /// Silicon junction bridge with 0.6 V per-diode drop (worst case the
+    /// synchronous rectifier is motivated against).
+    pub fn silicon() -> Self {
+        Self { forward_drop: Volts::from_milli(600.0) }
+    }
+
+    /// Per-diode forward drop.
+    pub fn forward_drop(&self) -> Volts {
+        self.forward_drop
+    }
+}
+
+impl Rectifier for DiodeBridge {
+    fn name(&self) -> &'static str {
+        "diode bridge"
+    }
+
+    fn deliver(&self, pin: Watts, vbat: Volts) -> Result<Watts> {
+        validate(pin, vbat)?;
+        // The source must develop vbat + 2Vf before any current flows; the
+        // delivered fraction is the voltage divider between storage and the
+        // two conducting drops.
+        let total = vbat + self.forward_drop * 2.0;
+        Ok(pin * (vbat / total))
+    }
+}
+
+/// The §7.1 comparator-controlled synchronous rectifier.
+///
+/// Transistors replace the junction diodes, exchanging the `2·Vf` headroom
+/// tax for an `I²·R` conduction loss plus a constant comparator/control
+/// overhead. Defaults are calibrated so that the model reproduces the
+/// paper's measured point: **96 % of ideal at 450 µW input** into a 1.2 V
+/// cell, with the characteristic efficiency roll-off below ~100 µW (control
+/// power dominates) and the gentle decline at high input (conduction grows
+/// as `Pin²`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynchronousRectifier {
+    /// On-resistance of each of the two conducting transistors.
+    rds_on: Ohms,
+    /// Constant comparator + gate-control power while rectifying.
+    control_power: Watts,
+    /// Fraction of each cycle during which current flows (pulsed harvester
+    /// waveforms concentrate the same average current into a shorter
+    /// conduction window, raising the RMS-to-average ratio).
+    conduction_duty: f64,
+}
+
+impl SynchronousRectifier {
+    /// Creates a synchronous rectifier model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if `rds_on` or
+    /// `control_power` is negative, or `conduction_duty` is outside
+    /// `(0, 1]`.
+    pub fn new(rds_on: Ohms, control_power: Watts, conduction_duty: f64) -> Result<Self> {
+        if rds_on.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "rds_on must be non-negative" });
+        }
+        if control_power.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "control power must be non-negative" });
+        }
+        if !(0.0..=1.0).contains(&conduction_duty) || conduction_duty == 0.0 {
+            return Err(PowerError::InvalidParameter { what: "conduction duty must be in (0, 1]" });
+        }
+        Ok(Self { rds_on, control_power, conduction_duty })
+    }
+
+    /// The paper-calibrated instance: 10 Ω switches, 6 µW of comparator and
+    /// gate-drive overhead, 25 % conduction duty (shaker pulse waveform).
+    pub fn paper() -> Self {
+        Self {
+            rds_on: Ohms::new(10.0),
+            control_power: Watts::from_micro(6.0),
+            conduction_duty: 0.25,
+        }
+    }
+
+    /// Conduction loss at an average charging current `i_avg` into `vbat`.
+    fn conduction_loss(&self, i_avg: Amps) -> Watts {
+        // Pulsed conduction: I_rms² = I_avg² / duty; two devices in series.
+        let i_sq = i_avg.value() * i_avg.value() / self.conduction_duty;
+        Watts::new(i_sq * 2.0 * self.rds_on.value())
+    }
+
+    /// The input power at which efficiency peaks, `√(P_ctrl·V²·d / 2R)`.
+    pub fn peak_efficiency_input(&self, vbat: Volts) -> Watts {
+        let v2 = vbat.value() * vbat.value();
+        Watts::new(
+            (self.control_power.value() * v2 * self.conduction_duty
+                / (2.0 * self.rds_on.value()))
+            .sqrt(),
+        )
+    }
+}
+
+impl Rectifier for SynchronousRectifier {
+    fn name(&self) -> &'static str {
+        "synchronous rectifier"
+    }
+
+    fn deliver(&self, pin: Watts, vbat: Volts) -> Result<Watts> {
+        validate(pin, vbat)?;
+        if pin.value() == 0.0 {
+            return Ok(Watts::ZERO);
+        }
+        let i_avg: Amps = pin / vbat;
+        let loss = self.conduction_loss(i_avg) + self.control_power;
+        Ok(Watts::new((pin - loss).value().max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_96_percent_at_450_uw() {
+        let sync = SynchronousRectifier::paper();
+        let eff = sync
+            .efficiency_vs_ideal(Watts::from_micro(450.0), Volts::new(1.2))
+            .unwrap();
+        assert!((eff - 0.96).abs() < 0.01, "expected ~96 %, got {:.3}", eff);
+    }
+
+    #[test]
+    fn sync_beats_schottky_bridge_at_operating_point() {
+        let sync = SynchronousRectifier::paper();
+        let bridge = DiodeBridge::schottky();
+        let pin = Watts::from_micro(450.0);
+        let v = Volts::new(1.2);
+        let e_sync = sync.efficiency(pin, v).unwrap();
+        let e_bridge = bridge.efficiency(pin, v).unwrap();
+        assert!(e_sync > e_bridge, "sync {e_sync:.3} vs bridge {e_bridge:.3}");
+        // The Schottky bridge loses vbat/(vbat+0.5) -> ~70.6 %.
+        assert!((e_bridge - 1.2 / 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn silicon_bridge_loses_half() {
+        let bridge = DiodeBridge::silicon();
+        let eff = bridge.efficiency(Watts::from_micro(450.0), Volts::new(1.2)).unwrap();
+        assert!((eff - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_peaks_near_half_milliwatt() {
+        let sync = SynchronousRectifier::paper();
+        let peak = sync.peak_efficiency_input(Volts::new(1.2));
+        assert!(
+            peak > Watts::from_micro(200.0) && peak < Watts::from_micro(600.0),
+            "peak at {peak:?}"
+        );
+        // Efficiency at the analytic peak beats efficiency 10x away on
+        // either side.
+        let at = |p: Watts| sync.efficiency(p, Volts::new(1.2)).unwrap();
+        assert!(at(peak) > at(peak * 0.1));
+        assert!(at(peak) > at(peak * 10.0));
+    }
+
+    #[test]
+    fn control_power_dominates_at_low_input() {
+        let sync = SynchronousRectifier::paper();
+        // Below the control overhead nothing is delivered.
+        let out = sync.deliver(Watts::from_micro(5.0), Volts::new(1.2)).unwrap();
+        assert_eq!(out, Watts::ZERO);
+    }
+
+    #[test]
+    fn ideal_rectifier_is_lossless() {
+        let pin = Watts::from_micro(123.0);
+        assert_eq!(IdealRectifier.deliver(pin, Volts::new(1.2)).unwrap(), pin);
+        assert_eq!(IdealRectifier.efficiency(pin, Volts::new(1.2)).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_input_zero_everything() {
+        let sync = SynchronousRectifier::paper();
+        assert_eq!(sync.deliver(Watts::ZERO, Volts::new(1.2)).unwrap(), Watts::ZERO);
+        assert_eq!(sync.efficiency(Watts::ZERO, Volts::new(1.2)).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let sync = SynchronousRectifier::paper();
+        assert!(sync.deliver(Watts::new(-1.0), Volts::new(1.2)).is_err());
+        assert!(sync.deliver(Watts::new(1.0), Volts::ZERO).is_err());
+        assert!(SynchronousRectifier::new(Ohms::new(1.0), Watts::ZERO, 0.0).is_err());
+        assert!(DiodeBridge::new(Volts::new(-0.1)).is_err());
+    }
+
+    #[test]
+    fn bridge_efficiency_improves_with_storage_voltage() {
+        // The 2·Vf tax is relatively smaller against a higher vbat — one of
+        // the considerations in storage-element choice.
+        let bridge = DiodeBridge::schottky();
+        let pin = Watts::from_micro(100.0);
+        let low = bridge.efficiency(pin, Volts::new(1.2)).unwrap();
+        let high = bridge.efficiency(pin, Volts::new(2.4)).unwrap();
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,222 @@
+//! Bias and voltage references of the §7.1 power interface IC.
+//!
+//! "A self biased current source (reference) supplies bias current to the
+//! chip via a current mirror. It is biased at 18 nA independent of VDD and
+//! mildly dependent on temperature. An ultralow-power sampled bandgap
+//! reference provides a reference voltage to both the converter feedback
+//! circuitry and the linear regulators."
+
+use crate::{PowerError, Result};
+use picocube_units::{Amps, Celsius, Joules, Seconds, Volts, Watts};
+
+/// The self-biased 18 nA current reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurrentReference {
+    nominal: Amps,
+    /// Fractional drift per °C away from the 25 °C calibration point.
+    temp_coefficient: f64,
+    /// Supply sensitivity: fractional change per volt of VDD deviation from
+    /// nominal (≈ 0 — "independent of VDD").
+    supply_sensitivity: f64,
+    nominal_vdd: Volts,
+    /// Total mirrored copies distributed to the chip's analog blocks.
+    mirror_branches: u32,
+}
+
+impl CurrentReference {
+    /// Creates a current reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive nominal
+    /// current or zero mirror branches.
+    pub fn new(
+        nominal: Amps,
+        temp_coefficient: f64,
+        supply_sensitivity: f64,
+        nominal_vdd: Volts,
+        mirror_branches: u32,
+    ) -> Result<Self> {
+        if nominal.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "nominal current must be positive" });
+        }
+        if mirror_branches == 0 {
+            return Err(PowerError::InvalidParameter { what: "at least one mirror branch" });
+        }
+        Ok(Self { nominal, temp_coefficient, supply_sensitivity, nominal_vdd, mirror_branches })
+    }
+
+    /// The paper's instance: 18 nA, mild temperature dependence
+    /// (+0.2 %/°C), VDD-independent to first order, five mirror branches.
+    pub fn paper() -> Self {
+        Self {
+            nominal: Amps::from_nano(18.0),
+            temp_coefficient: 0.002,
+            supply_sensitivity: 0.001,
+            nominal_vdd: Volts::new(1.2),
+            mirror_branches: 5,
+        }
+    }
+
+    /// Reference current at temperature `t` and supply `vdd`.
+    pub fn current_at(&self, t: Celsius, vdd: Volts) -> Amps {
+        let dt = t.value() - 25.0;
+        let dv = vdd.value() - self.nominal_vdd.value();
+        self.nominal * (1.0 + self.temp_coefficient * dt) * (1.0 + self.supply_sensitivity * dv)
+    }
+
+    /// Total standing current including all mirror branches.
+    pub fn total_bias(&self, t: Celsius, vdd: Volts) -> Amps {
+        self.current_at(t, vdd) * f64::from(self.mirror_branches)
+    }
+
+    /// Standing power of the bias network.
+    pub fn power(&self, t: Celsius, vdd: Volts) -> Watts {
+        vdd * self.total_bias(t, vdd)
+    }
+}
+
+/// The ultralow-power *sampled* bandgap reference.
+///
+/// Rather than burning continuous bias, the bandgap wakes at a low duty
+/// cycle, settles, samples its output onto a hold capacitor, and powers
+/// down; the feedback comparators then reference the held voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledBandgap {
+    vref: Volts,
+    /// Energy burned per refresh (startup + settle + sample).
+    energy_per_sample: Joules,
+    /// Refresh interval.
+    refresh_interval: Seconds,
+    /// Droop rate of the held voltage between refreshes (V/s, leakage on
+    /// the hold cap).
+    droop_rate: f64,
+}
+
+impl SampledBandgap {
+    /// Creates a sampled bandgap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive reference
+    /// voltage, energy, or interval, or negative droop.
+    pub fn new(
+        vref: Volts,
+        energy_per_sample: Joules,
+        refresh_interval: Seconds,
+        droop_rate: f64,
+    ) -> Result<Self> {
+        if vref.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "vref must be positive" });
+        }
+        if energy_per_sample.value() <= 0.0 || refresh_interval.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "sample energy/interval must be positive" });
+        }
+        if droop_rate < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "negative droop rate" });
+        }
+        Ok(Self { vref, energy_per_sample, refresh_interval, droop_rate })
+    }
+
+    /// The paper-class instance: 0.6 V reference, 10 nJ per refresh every
+    /// 100 ms, 10 µV/s droop.
+    pub fn paper() -> Self {
+        Self {
+            vref: Volts::from_milli(600.0),
+            energy_per_sample: Joules::from_nano(10.0),
+            refresh_interval: Seconds::new(0.1),
+            droop_rate: 10e-6,
+        }
+    }
+
+    /// Nominal reference voltage.
+    pub fn vref(&self) -> Volts {
+        self.vref
+    }
+
+    /// Average power of the duty-cycled reference.
+    pub fn average_power(&self) -> Watts {
+        self.energy_per_sample / self.refresh_interval
+    }
+
+    /// Held voltage a time `since_refresh` after the last refresh.
+    pub fn held_voltage(&self, since_refresh: Seconds) -> Volts {
+        let droop = self.droop_rate * since_refresh.value().max(0.0);
+        Volts::new((self.vref.value() - droop).max(0.0))
+    }
+
+    /// Worst-case droop just before the next refresh, as a fraction of vref.
+    pub fn worst_case_error(&self) -> f64 {
+        self.droop_rate * self.refresh_interval.value() / self.vref.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_18_na_at_room_temperature() {
+        let r = CurrentReference::paper();
+        let i = r.current_at(Celsius::new(25.0), Volts::new(1.2));
+        assert!((i.nano() - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mild_temperature_dependence() {
+        let r = CurrentReference::paper();
+        // −40 °C to +85 °C (automotive TPMS range) moves the current by
+        // roughly ±13 % — "mildly dependent on temperature".
+        let cold = r.current_at(Celsius::new(-40.0), Volts::new(1.2));
+        let hot = r.current_at(Celsius::new(85.0), Volts::new(1.2));
+        assert!(cold < Amps::from_nano(18.0) && hot > Amps::from_nano(18.0));
+        assert!((hot.nano() / 18.0 - 1.0) < 0.15);
+        assert!((1.0 - cold.nano() / 18.0) < 0.15);
+    }
+
+    #[test]
+    fn vdd_independence_to_first_order() {
+        let r = CurrentReference::paper();
+        let lo = r.current_at(Celsius::new(25.0), Volts::new(1.0));
+        let hi = r.current_at(Celsius::new(25.0), Volts::new(1.4));
+        assert!((hi.value() / lo.value() - 1.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn bias_network_power_is_nanowatts() {
+        let r = CurrentReference::paper();
+        let p = r.power(Celsius::new(25.0), Volts::new(1.2));
+        // 5 branches × 18 nA × 1.2 V = 108 nW: negligible in the 6 µW budget.
+        assert!((p.nano() - 108.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sampled_bandgap_average_power_is_sub_microwatt() {
+        let bg = SampledBandgap::paper();
+        assert!((bg.average_power().nano() - 100.0).abs() < 1e-6);
+        assert!(bg.average_power() < Watts::from_micro(1.0));
+    }
+
+    #[test]
+    fn droop_between_refreshes_is_tiny() {
+        let bg = SampledBandgap::paper();
+        let held = bg.held_voltage(Seconds::new(0.1));
+        assert!(held < bg.vref());
+        assert!(bg.worst_case_error() < 1e-5);
+    }
+
+    #[test]
+    fn held_voltage_never_negative() {
+        let bg = SampledBandgap::paper();
+        assert_eq!(bg.held_voltage(Seconds::new(1e12)).value(), 0.0);
+        assert_eq!(bg.held_voltage(Seconds::new(-5.0)), bg.vref());
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(CurrentReference::new(Amps::ZERO, 0.0, 0.0, Volts::new(1.2), 1).is_err());
+        assert!(CurrentReference::new(Amps::from_nano(18.0), 0.0, 0.0, Volts::new(1.2), 0).is_err());
+        assert!(SampledBandgap::new(Volts::ZERO, Joules::from_nano(1.0), Seconds::new(0.1), 0.0).is_err());
+        assert!(SampledBandgap::new(Volts::new(0.6), Joules::from_nano(1.0), Seconds::new(0.1), -1.0).is_err());
+    }
+}

@@ -1,0 +1,443 @@
+//! Arbitrary-ratio and variable-ratio switched-capacitor conversion — the
+//! §7.1 extension: "large-ratio conversions are possible through topologies
+//! in \[13\]. In addition, variable-ratio inverters can be used to both
+//! efficiently create an AC waveform and to also efficiently rectify a
+//! varying waveform from an energy scavenger."
+//!
+//! The series-parallel family generalizes the Fig. 10 pair: `1:n` step-up
+//! (n−1 flying capacitors charged in parallel, discharged in series) and
+//! `(n−1):n`-style fractional step-down. A [`VariableRatioConverter`] holds
+//! a bank of such gears and, like an automatic transmission, picks the
+//! ratio that minimizes intrinsic (ratio-mismatch) loss for each operating
+//! point — which is exactly what efficient rectification of a varying
+//! scavenger waveform needs.
+
+use crate::sc::{ScConverter, ScTopology};
+use crate::{Conversion, PowerError, Result};
+use picocube_units::{Amps, Farads, Ohms, Volts};
+
+/// Builds a `1:n` series-parallel step-up topology from a per-capacitor
+/// budget (total flying capacitance is split evenly).
+///
+/// Charge multipliers: each of the `n−1` flying capacitors delivers the
+/// full output charge (`a_c = 1`); roughly `3(n−1) + 1` switches carry it.
+///
+/// # Errors
+///
+/// Returns [`PowerError::InvalidParameter`] if `n < 2` or the budgets are
+/// non-positive.
+pub fn series_parallel_step_up(
+    n: u32,
+    total_capacitance: Farads,
+    switch_resistance: Ohms,
+) -> Result<ScTopology> {
+    if n < 2 {
+        return Err(PowerError::InvalidParameter { what: "step-up ratio needs n >= 2" });
+    }
+    if total_capacitance.value() <= 0.0 || switch_resistance.value() <= 0.0 {
+        return Err(PowerError::InvalidParameter { what: "capacitance/resistance must be positive" });
+    }
+    let stages = (n - 1) as usize;
+    let per_cap = total_capacitance / stages as f64;
+    let switches = 3 * stages + 1;
+    ScTopology::new(
+        format!("1:{n} series-parallel"),
+        f64::from(n),
+        vec![(1.0, per_cap); stages],
+        vec![(1.0, switch_resistance); switches],
+        vec![(Farads::new(0.4e-12), Volts::new(1.2 * f64::from(n))); switches],
+        0.01,
+        1.0,
+    )
+}
+
+/// Builds an `n:(n−1)`-ratio (fractional) step-down topology:
+/// `vout = (n−1)/n · vin`, the generalization of the Fig. 10(b) 3:2.
+///
+/// # Errors
+///
+/// Returns [`PowerError::InvalidParameter`] if `n < 2` or the budgets are
+/// non-positive.
+pub fn series_parallel_step_down(
+    n: u32,
+    total_capacitance: Farads,
+    switch_resistance: Ohms,
+) -> Result<ScTopology> {
+    if n < 2 {
+        return Err(PowerError::InvalidParameter { what: "step-down ratio needs n >= 2" });
+    }
+    if total_capacitance.value() <= 0.0 || switch_resistance.value() <= 0.0 {
+        return Err(PowerError::InvalidParameter { what: "capacitance/resistance must be positive" });
+    }
+    let stages = (n - 1) as usize;
+    let per_cap = total_capacitance / stages as f64;
+    let a = 1.0 / f64::from(n);
+    let switches = 2 * stages + 3;
+    ScTopology::new(
+        format!("{n}:{} series-parallel", n - 1),
+        f64::from(n - 1) / f64::from(n),
+        vec![(a, per_cap); stages],
+        vec![(a, switch_resistance); switches],
+        vec![(Farads::new(0.5e-12), Volts::new(1.2)); switches],
+        0.01,
+        a,
+    )
+}
+
+/// Builds a `1:n` Dickson (charge-pump) step-up topology.
+///
+/// The Dickson ladder trades the series-parallel topology's capacitor
+/// friendliness for switch friendliness: every capacitor carries the full
+/// output charge (`a_c = 1`) but capacitor `i` is charged to `i·vin`
+/// (rising stress), while every switch blocks only `~1·vin`. Reference
+/// \[13\]'s comparison: SP wins the SSL (capacitor-limited) regime, Dickson
+/// wins the FSL (switch-limited) regime.
+///
+/// # Errors
+///
+/// Returns [`PowerError::InvalidParameter`] if `n < 2` or the budgets are
+/// non-positive.
+pub fn dickson_step_up(
+    n: u32,
+    total_capacitance: Farads,
+    switch_resistance: Ohms,
+) -> Result<ScTopology> {
+    if n < 2 {
+        return Err(PowerError::InvalidParameter { what: "step-up ratio needs n >= 2" });
+    }
+    if total_capacitance.value() <= 0.0 || switch_resistance.value() <= 0.0 {
+        return Err(PowerError::InvalidParameter { what: "capacitance/resistance must be positive" });
+    }
+    let stages = (n - 1) as usize;
+    let per_cap = total_capacitance / stages as f64;
+    let switches = 2 * stages + 2;
+    let topo = ScTopology::new(
+        format!("1:{n} Dickson"),
+        f64::from(n),
+        vec![(1.0, per_cap); stages],
+        vec![(1.0, switch_resistance); switches],
+        vec![(Farads::new(0.4e-12), Volts::new(2.4)); switches],
+        0.01,
+        1.0,
+    )?;
+    // Capacitor i floats at i·vin; switches block ~1·vin (the Dickson
+    // advantage — compare the SP step-up, whose output switches block up
+    // to (n−1)·vin).
+    let cap_stress = (1..=stages).map(|i| i as f64).collect();
+    let switch_stress = vec![1.0; switches];
+    topo.with_stress(cap_stress, switch_stress)
+}
+
+/// Annotated stress variant of [`series_parallel_step_up`], for the
+/// figure-of-merit comparison (caps at `1·vin`, output-side switches at up
+/// to `(n−1)·vin`).
+///
+/// # Errors
+///
+/// Propagates construction errors from the unannotated builder.
+pub fn series_parallel_step_up_stressed(
+    n: u32,
+    total_capacitance: Farads,
+    switch_resistance: Ohms,
+) -> Result<ScTopology> {
+    let topo = series_parallel_step_up(n, total_capacitance, switch_resistance)?;
+    let stages = (n - 1) as usize;
+    let switches = 3 * stages + 1;
+    let cap_stress = vec![1.0; stages];
+    // One third of the switches sit on the series (output) side and block
+    // the stacked voltage; the rest see ~1·vin.
+    let switch_stress: Vec<f64> = (0..switches)
+        .map(|i| if i % 3 == 2 { f64::from(n - 1).max(1.0) } else { 1.0 })
+        .collect();
+    topo.with_stress(cap_stress, switch_stress)
+}
+
+/// A bank of SC "gears" with automatic ratio selection.
+#[derive(Debug, Clone)]
+pub struct VariableRatioConverter {
+    gears: Vec<ScConverter>,
+}
+
+impl VariableRatioConverter {
+    /// Creates a converter from a set of gears.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the bank is empty.
+    pub fn new(gears: Vec<ScConverter>) -> Result<Self> {
+        if gears.is_empty() {
+            return Err(PowerError::InvalidParameter { what: "need at least one gear" });
+        }
+        Ok(Self { gears })
+    }
+
+    /// The §7.1 rectifier-interface bank: fractional and integer ratios
+    /// from 1/3 up to 4, suitable for squeezing a 0.4–4 V scavenger swing
+    /// onto the 1.2 V cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology-construction errors (none for these parameters).
+    pub fn scavenger_bank() -> Result<Self> {
+        let c = Farads::from_nano(4.0);
+        let r = Ohms::new(3.0);
+        let iq = Amps::from_micro(1.0);
+        let mut gears = Vec::new();
+        // Step-down gears for high scavenger peaks: 1/3, 1/2, 2/3, 3/4.
+        for topo in [
+            inverse_ratio(3, c, r)?, // 1/3
+            inverse_ratio(2, c, r)?, // 1/2
+            series_parallel_step_down(3, c, r)?,
+            series_parallel_step_down(4, c, r)?,
+        ] {
+            gears.push(ScConverter::new(topo, iq)?);
+        }
+        // Unity "gear" (pass-through with switch losses).
+        gears.push(ScConverter::new(unity_gear(c, r)?, iq)?);
+        // Step-up gears for low-voltage sources: 2, 3, 4.
+        for n in [2, 3, 4] {
+            gears.push(ScConverter::new(series_parallel_step_up(n, c, r)?, iq)?);
+        }
+        Self::new(gears)
+    }
+
+    /// Number of gears in the bank.
+    pub fn gear_count(&self) -> usize {
+        self.gears.len()
+    }
+
+    /// The gear whose ideal ratio most closely reaches `vout_target` from
+    /// `vin` *from above* (SC converters can only lose voltage off their
+    /// ideal ratio; a ratio below target is unreachable).
+    pub fn best_gear(&self, vin: Volts, vout_target: Volts) -> Option<&ScConverter> {
+        self.gears
+            .iter()
+            .filter(|g| g.topology().ratio() * vin.value() > vout_target.value())
+            .min_by(|a, b| {
+                let ka = a.topology().ratio() * vin.value() - vout_target.value();
+                let kb = b.topology().ratio() * vin.value() - vout_target.value();
+                ka.partial_cmp(&kb).expect("finite ratios")
+            })
+    }
+
+    /// Converts `vin → vout_target` at `iout`, selecting the best gear and
+    /// regulating it by frequency.
+    ///
+    /// # Errors
+    ///
+    /// * [`PowerError::InputOutOfRange`] if no gear's ratio reaches the
+    ///   target from this input.
+    /// * Propagates the gear's regulation errors.
+    pub fn convert(&self, vin: Volts, vout_target: Volts, iout: Amps) -> Result<Conversion> {
+        let gear = self.best_gear(vin, vout_target).ok_or(PowerError::InputOutOfRange {
+            vin,
+            min: Volts::new(vout_target.value() / self.max_ratio()),
+            max: Volts::new(f64::INFINITY),
+        })?;
+        gear.regulate(vin, vout_target, iout)
+    }
+
+    /// The largest ideal ratio in the bank.
+    pub fn max_ratio(&self) -> f64 {
+        self.gears.iter().map(|g| g.topology().ratio()).fold(0.0, f64::max)
+    }
+}
+
+/// A 1:1 "gear": one bypass capacitor and two series switches.
+fn unity_gear(c: Farads, r: Ohms) -> Result<ScTopology> {
+    ScTopology::new(
+        "1:1 pass-through",
+        1.0,
+        vec![(0.05, c)], // small ripple charge through the holdup cap
+        vec![(1.0, r), (1.0, r)],
+        vec![(Farads::new(0.4e-12), Volts::new(1.2)); 2],
+        0.01,
+        0.1,
+    )
+}
+
+/// A `1/n` step-down built as the mirror of the 1:n step-up.
+fn inverse_ratio(n: u32, c: Farads, r: Ohms) -> Result<ScTopology> {
+    if n < 2 {
+        return Err(PowerError::InvalidParameter { what: "inverse ratio needs n >= 2" });
+    }
+    let stages = (n - 1) as usize;
+    // Mirrored step-up: output charge multipliers scale with the ratio.
+    let a = 1.0 / f64::from(n);
+    ScTopology::new(
+        format!("{n}:1 step-down"),
+        1.0 / f64::from(n),
+        vec![(a, c / stages as f64); stages],
+        vec![(a, r); 3 * stages + 1],
+        vec![(Farads::new(0.4e-12), Volts::new(1.2)); 3 * stages + 1],
+        0.01,
+        a,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: Farads = Farads::new(4e-9);
+    const R: Ohms = Ohms::new(3.0);
+
+    #[test]
+    fn step_up_ratios_are_integral() {
+        for n in 2..=5 {
+            let topo = series_parallel_step_up(n, C, R).unwrap();
+            assert!((topo.ratio() - f64::from(n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fig10_topologies_are_family_members() {
+        // The paper's 1:2 is series_parallel_step_up(2); its 3:2 is
+        // series_parallel_step_down(3). Ratios must agree.
+        assert_eq!(series_parallel_step_up(2, C, R).unwrap().ratio(), 2.0);
+        assert!(
+            (series_parallel_step_down(3, C, R).unwrap().ratio() - 2.0 / 3.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn large_ratio_conversion_works_but_costs_efficiency() {
+        // §7.1: "large-ratio conversions are possible" — a 1:4 gear can
+        // make 4.4 V from the 1.2 V cell, at lower efficiency than the 1:2
+        // (more charge-multiplier squared per output charge).
+        let double = ScConverter::new(series_parallel_step_up(2, C, R).unwrap(), Amps::from_micro(1.0)).unwrap();
+        let quad = ScConverter::new(series_parallel_step_up(4, C, R).unwrap(), Amps::from_micro(1.0)).unwrap();
+        let load = Amps::from_micro(200.0);
+        let e2 = double.convert_optimal(Volts::new(1.2), load).unwrap();
+        let e4 = quad.convert_optimal(Volts::new(1.2), load).unwrap();
+        assert!(e4.vout > Volts::new(4.0), "1:4 vout {}", e4.vout);
+        assert!(e4.efficiency() > 0.6, "large ratio still works: {:.2}", e4.efficiency());
+        assert!(e2.efficiency() > e4.efficiency());
+    }
+
+    #[test]
+    fn gear_selection_tracks_input_voltage() {
+        let bank = VariableRatioConverter::scavenger_bank().unwrap();
+        // Charging a 1.25 V cell from a swinging scavenger voltage.
+        let target = Volts::new(1.25);
+        let expect = [
+            (0.5, 3.0),
+            (0.8, 2.0),
+            (1.5, 1.0),
+            (1.75, 0.75),
+            (2.0, 2.0 / 3.0),
+            (2.8, 0.5),
+            (4.0, 1.0 / 3.0),
+        ];
+        for (vin, want_ratio) in expect {
+            let gear = bank.best_gear(Volts::new(vin), target).expect("gear exists");
+            assert!(
+                (gear.topology().ratio() - want_ratio).abs() < 1e-9,
+                "vin {vin}: picked {} (ratio {}), wanted {want_ratio}",
+                gear.topology().name(),
+                gear.topology().ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn variable_ratio_beats_fixed_gear_across_a_swing() {
+        // The §7.1 claim behind variable-ratio rectification: across a
+        // scavenger's voltage swing, switching gears preserves efficiency
+        // where a fixed doubler must burn the mismatch.
+        let bank = VariableRatioConverter::scavenger_bank().unwrap();
+        let fixed = ScConverter::new(series_parallel_step_up(2, C, R).unwrap(), Amps::from_micro(1.0)).unwrap();
+        let target = Volts::new(1.25);
+        let load = Amps::from_milli(1.0);
+        let mut bank_eff = Vec::new();
+        let mut fixed_eff = Vec::new();
+        for vin_v in [0.7, 0.9, 1.1, 1.5, 2.0, 3.0] {
+            let vin = Volts::new(vin_v);
+            bank_eff.push(bank.convert(vin, target, load).map(|c| c.efficiency()).unwrap_or(0.0));
+            fixed_eff.push(fixed.regulate(vin, target, load).map(|c| c.efficiency()).unwrap_or(0.0));
+        }
+        let bank_avg: f64 = bank_eff.iter().sum::<f64>() / bank_eff.len() as f64;
+        let fixed_avg: f64 = fixed_eff.iter().sum::<f64>() / fixed_eff.len() as f64;
+        assert!(
+            bank_avg > fixed_avg + 0.1,
+            "bank {bank_avg:.2} vs fixed doubler {fixed_avg:.2}"
+        );
+    }
+
+    #[test]
+    fn unreachable_target_is_an_error() {
+        let bank = VariableRatioConverter::scavenger_bank().unwrap();
+        // 6 V from 1.2 V exceeds the largest (1:4) gear.
+        assert!(matches!(
+            bank.convert(Volts::new(1.2), Volts::new(6.0), Amps::from_micro(10.0)),
+            Err(PowerError::InputOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(series_parallel_step_up(1, C, R).is_err());
+        assert!(series_parallel_step_down(1, C, R).is_err());
+        assert!(series_parallel_step_up(2, Farads::ZERO, R).is_err());
+        assert!(VariableRatioConverter::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn dickson_vs_series_parallel_figures_of_merit() {
+        // Reference [13]'s headline comparison, regenerated: at ratio 1:4,
+        // series-parallel is the better capacitor user (lower SSL FoM),
+        // Dickson the better switch user (lower FSL FoM).
+        let sp = series_parallel_step_up_stressed(4, C, R).unwrap();
+        let dickson = dickson_step_up(4, C, R).unwrap();
+        assert!(
+            sp.ssl_figure_of_merit() < dickson.ssl_figure_of_merit(),
+            "SP SSL {} vs Dickson {}",
+            sp.ssl_figure_of_merit(),
+            dickson.ssl_figure_of_merit()
+        );
+        assert!(
+            dickson.fsl_figure_of_merit() < sp.fsl_figure_of_merit(),
+            "Dickson FSL {} vs SP {}",
+            dickson.fsl_figure_of_merit(),
+            sp.fsl_figure_of_merit()
+        );
+    }
+
+    #[test]
+    fn fom_gap_grows_with_ratio() {
+        // The trade sharpens at larger ratios — the regime where the
+        // "large-ratio conversions" of §7.1 live.
+        let gap = |n: u32| {
+            let sp = series_parallel_step_up_stressed(n, C, R).unwrap();
+            let d = dickson_step_up(n, C, R).unwrap();
+            d.ssl_figure_of_merit() / sp.ssl_figure_of_merit()
+        };
+        assert!(gap(5) > gap(3));
+    }
+
+    #[test]
+    fn dickson_converts_like_its_ratio() {
+        let conv = ScConverter::new(dickson_step_up(3, C, R).unwrap(), Amps::from_micro(1.0))
+            .unwrap();
+        let op = conv.convert_optimal(Volts::new(1.2), Amps::from_micro(100.0)).unwrap();
+        assert!(op.vout > Volts::new(3.3) && op.vout < Volts::new(3.6));
+        assert!(op.efficiency() > 0.7);
+    }
+
+    #[test]
+    fn stress_vector_validation() {
+        // A 1:2 series-parallel has one flying cap and 3·1+1 = 4 switches.
+        let topo = series_parallel_step_up(2, C, R).unwrap();
+        assert!(topo.clone().with_stress(vec![1.0], vec![1.0; 4]).is_ok());
+        assert!(topo.clone().with_stress(vec![1.0, 1.0], vec![1.0; 4]).is_err());
+        assert!(topo.with_stress(vec![-1.0], vec![1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn regulation_through_the_bank_hits_target() {
+        let bank = VariableRatioConverter::scavenger_bank().unwrap();
+        let op = bank.convert(Volts::new(2.0), Volts::new(1.25), Amps::from_micro(500.0)).unwrap();
+        assert!((op.vout.value() - 1.25).abs() < 2e-3, "vout {}", op.vout);
+        assert!(op.efficiency() > 0.6);
+    }
+}

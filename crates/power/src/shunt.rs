@@ -1,0 +1,156 @@
+//! The shunt regulator feeding the 1.0 V radio digital rail.
+//!
+//! §4.3: "the radio digital section demands so little power that a
+//! controller I/O signal fed through a shunt regulator is sufficient", and
+//! §4.5: its output is switched "to ensure a clean rising edge with no
+//! overshoot". A GPIO pin at VDD drives a series resistor into a shunt
+//! element that clamps the rail at 1.0 V — crude, lossy, but nearly free in
+//! parts and only live during the transmit burst.
+
+use crate::{Conversion, PowerError, Result};
+use picocube_units::{Amps, Ohms, Volts};
+
+/// A series-resistor + shunt-clamp regulator driven from a GPIO pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShuntRegulator {
+    vout_set: Volts,
+    series: Ohms,
+    shunt_min_bias: Amps,
+}
+
+impl ShuntRegulator {
+    /// Creates a shunt regulator with the given clamp voltage, series
+    /// resistance and minimum shunt bias current (the clamp needs a floor
+    /// current to regulate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for non-positive setpoint or
+    /// series resistance, or negative bias.
+    pub fn new(vout_set: Volts, series: Ohms, shunt_min_bias: Amps) -> Result<Self> {
+        if vout_set.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "clamp voltage must be positive" });
+        }
+        if series.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "series resistance must be positive" });
+        }
+        if shunt_min_bias.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "negative shunt bias" });
+        }
+        Ok(Self { vout_set, series, shunt_min_bias })
+    }
+
+    /// The switch-board part: 1.0 V clamp, 2.2 kΩ series resistor, 20 µA
+    /// minimum shunt bias. Sized for the radio digital section's ~300 µA.
+    pub fn radio_digital_rail() -> Self {
+        Self {
+            vout_set: Volts::new(1.0),
+            series: Ohms::new(2_200.0),
+            shunt_min_bias: Amps::from_micro(20.0),
+        }
+    }
+
+    /// Clamp voltage.
+    pub fn setpoint(&self) -> Volts {
+        self.vout_set
+    }
+
+    /// Maximum load current available from a GPIO at `vin`: what the series
+    /// resistor passes minus the shunt's bias floor.
+    pub fn max_load(&self, vin: Volts) -> Amps {
+        let through = Amps::new(((vin - self.vout_set) / self.series).value().max(0.0));
+        Amps::new((through - self.shunt_min_bias).value().max(0.0))
+    }
+
+    /// Solves the DC operating point for a load `iout` fed from a GPIO pin
+    /// at `vin`.
+    ///
+    /// The GPIO always sources the full series current
+    /// `(vin − vout) / R`; whatever the load does not take, the shunt burns.
+    ///
+    /// # Errors
+    ///
+    /// * [`PowerError::DropoutViolation`] if `vin` cannot push the bias
+    ///   floor through the series resistor.
+    /// * [`PowerError::OverCurrent`] if the load starves the shunt below its
+    ///   bias floor.
+    pub fn convert(&self, vin: Volts, iout: Amps) -> Result<Conversion> {
+        if iout.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "load current must be non-negative" });
+        }
+        let required = self.vout_set + self.series * (iout + self.shunt_min_bias);
+        if vin < required {
+            if iout.value() == 0.0 || vin < self.vout_set {
+                return Err(PowerError::DropoutViolation { vin, required });
+            }
+            return Err(PowerError::OverCurrent { demanded: iout, limit: self.max_load(vin) });
+        }
+        let iin = Amps::new(((vin - self.vout_set) / self.series).value());
+        Ok(Conversion::from_terminals(vin, iin, self.vout_set, iout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_at_one_volt() {
+        let shunt = ShuntRegulator::radio_digital_rail();
+        let op = shunt.convert(Volts::new(2.4), Amps::from_micro(300.0)).unwrap();
+        assert_eq!(op.vout, Volts::new(1.0));
+    }
+
+    #[test]
+    fn gpio_current_is_fixed_by_series_resistor() {
+        let shunt = ShuntRegulator::radio_digital_rail();
+        let op = shunt.convert(Volts::new(2.4), Amps::from_micro(300.0)).unwrap();
+        // (2.4 − 1.0) / 2.2 kΩ ≈ 636 µA regardless of the load split.
+        assert!((op.iin.micro() - 636.36).abs() < 0.1);
+        let op2 = shunt.convert(Volts::new(2.4), Amps::from_micro(100.0)).unwrap();
+        assert_eq!(op.iin, op2.iin);
+    }
+
+    #[test]
+    fn efficiency_is_poor_by_design() {
+        // ~1.0 V × 300 µA out of 2.4 V × 636 µA ≈ 20 % — acceptable only
+        // because the rail is on for ~1 ms per 6 s cycle (§4.3: "efficiency
+        // is less important than size").
+        let shunt = ShuntRegulator::radio_digital_rail();
+        let op = shunt.convert(Volts::new(2.4), Amps::from_micro(300.0)).unwrap();
+        assert!(op.efficiency() < 0.25, "η = {:.3}", op.efficiency());
+    }
+
+    #[test]
+    fn starved_shunt_is_rejected() {
+        let shunt = ShuntRegulator::radio_digital_rail();
+        let max = shunt.max_load(Volts::new(2.4));
+        assert!(matches!(
+            shunt.convert(Volts::new(2.4), max + Amps::from_micro(10.0)),
+            Err(PowerError::OverCurrent { .. })
+        ));
+    }
+
+    #[test]
+    fn insufficient_gpio_voltage_rejected() {
+        let shunt = ShuntRegulator::radio_digital_rail();
+        assert!(matches!(
+            shunt.convert(Volts::new(1.0), Amps::ZERO),
+            Err(PowerError::DropoutViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn max_load_scales_with_vin() {
+        let shunt = ShuntRegulator::radio_digital_rail();
+        assert!(shunt.max_load(Volts::new(3.0)) > shunt.max_load(Volts::new(2.1)));
+        assert_eq!(shunt.max_load(Volts::new(0.5)), Amps::ZERO);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ShuntRegulator::new(Volts::ZERO, Ohms::new(1.0), Amps::ZERO).is_err());
+        assert!(ShuntRegulator::new(Volts::new(1.0), Ohms::ZERO, Amps::ZERO).is_err());
+        assert!(ShuntRegulator::new(Volts::new(1.0), Ohms::new(1.0), Amps::new(-1.0)).is_err());
+    }
+}

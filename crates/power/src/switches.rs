@@ -1,0 +1,218 @@
+//! Power-gating switches and level shifters.
+//!
+//! The switch board (§4.5) gates both radio supplies: the 1.0 V shunt
+//! output is switched for a clean rising edge, and the 0.65 V PA supply is
+//! switched at its input (to kill quiescent loss) and a short time later at
+//! its output (for the clean edge). The radio board carries level
+//! converters "in tiny CSP packages" that shift the controller's 2.1–3.6 V
+//! signals down to the radio logic's 1.0 V domain.
+
+use crate::{PowerError, Result};
+use picocube_units::{Amps, Farads, Hertz, Ohms, Volts, Watts};
+
+/// A solid-state power-gating switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSwitch {
+    rds_on: Ohms,
+    leakage_off: Amps,
+    closed: bool,
+}
+
+impl PowerSwitch {
+    /// Creates a switch with the given on-resistance and off-state leakage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for negative parameters.
+    pub fn new(rds_on: Ohms, leakage_off: Amps) -> Result<Self> {
+        if rds_on.value() < 0.0 || leakage_off.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "negative switch parameter" });
+        }
+        Ok(Self { rds_on, leakage_off, closed: false })
+    }
+
+    /// The switch-board load switch: 0.5 Ω on, 10 nA off-leakage.
+    pub fn load_switch() -> Self {
+        Self { rds_on: Ohms::new(0.5), leakage_off: Amps::from_nano(10.0), closed: false }
+    }
+
+    /// Whether the switch is conducting.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Closes (turns on) or opens (turns off) the switch.
+    pub fn set_closed(&mut self, closed: bool) {
+        self.closed = closed;
+    }
+
+    /// Voltage across the switch while carrying `i`.
+    pub fn drop_at(&self, i: Amps) -> Volts {
+        if self.closed {
+            i * self.rds_on
+        } else {
+            Volts::ZERO // no current path; the drop is across the open switch
+        }
+    }
+
+    /// Power dissipated: conduction when closed, leakage against the rail
+    /// when open.
+    pub fn dissipation(&self, rail: Volts, i: Amps) -> Watts {
+        if self.closed {
+            self.rds_on.conduction_loss(i)
+        } else {
+            rail * self.leakage_off
+        }
+    }
+
+    /// Off-state leakage current.
+    pub fn leakage(&self) -> Amps {
+        self.leakage_off
+    }
+}
+
+/// Timing of the PA-rail double gating (§4.5): input switch first (to build
+/// the supply behind the regulator), output switch a fixed delay later (for
+/// a clean, overshoot-free rising edge at the PA).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GateSequence {
+    /// Delay between input-switch close and output-switch close.
+    pub input_to_output_delay: picocube_units::Seconds,
+}
+
+impl GateSequence {
+    /// The paper's sequencing: 100 µs between input and output enables.
+    pub fn paper() -> Self {
+        Self { input_to_output_delay: picocube_units::Seconds::new(100e-6) }
+    }
+}
+
+/// A CSP level shifter translating controller-domain logic (2.1–3.6 V) to
+/// the radio's 1.0 V domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LevelShifter {
+    /// Effective switched capacitance per transition.
+    c_eff: Farads,
+    /// Static supply leakage while powered.
+    static_leakage: Amps,
+    /// Output (low) domain supply.
+    vout_domain: Volts,
+}
+
+impl LevelShifter {
+    /// Creates a level shifter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for negative parameters or a
+    /// non-positive output domain.
+    pub fn new(c_eff: Farads, static_leakage: Amps, vout_domain: Volts) -> Result<Self> {
+        if c_eff.value() < 0.0 || static_leakage.value() < 0.0 {
+            return Err(PowerError::InvalidParameter { what: "negative level-shifter parameter" });
+        }
+        if vout_domain.value() <= 0.0 {
+            return Err(PowerError::InvalidParameter { what: "output domain must be positive" });
+        }
+        Ok(Self { c_eff, static_leakage, vout_domain })
+    }
+
+    /// The radio-board CSP part: 5 pF effective, 50 nA static, 1.0 V out.
+    pub fn radio_board() -> Self {
+        Self {
+            c_eff: Farads::new(5e-12),
+            static_leakage: Amps::from_nano(50.0),
+            vout_domain: Volts::new(1.0),
+        }
+    }
+
+    /// Dynamic power while toggling at `rate` (SPI clock or TX data rate):
+    /// `C·V²·f` against the high-side domain.
+    pub fn dynamic_power(&self, vhigh: Volts, rate: Hertz) -> Watts {
+        Watts::new(self.c_eff.value() * vhigh.value() * vhigh.value() * rate.value())
+    }
+
+    /// Static power while idle but powered.
+    pub fn static_power(&self, vhigh: Volts) -> Watts {
+        vhigh * self.static_leakage
+    }
+
+    /// Total power at the given toggle rate.
+    pub fn power(&self, vhigh: Volts, rate: Hertz) -> Watts {
+        self.dynamic_power(vhigh, rate) + self.static_power(vhigh)
+    }
+
+    /// Output-domain supply voltage.
+    pub fn output_domain(&self) -> Volts {
+        self.vout_domain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_switch_conducts_with_ir_drop() {
+        let mut sw = PowerSwitch::load_switch();
+        sw.set_closed(true);
+        let drop = sw.drop_at(Amps::from_milli(2.0));
+        assert!((drop.milli() - 1.0).abs() < 1e-9); // 2 mA × 0.5 Ω
+    }
+
+    #[test]
+    fn open_switch_only_leaks() {
+        let sw = PowerSwitch::load_switch();
+        assert!(!sw.is_closed());
+        let p = sw.dissipation(Volts::new(1.2), Amps::ZERO);
+        // 10 nA × 1.2 V = 12 nW.
+        assert!((p.nano() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conduction_loss_when_closed() {
+        let mut sw = PowerSwitch::load_switch();
+        sw.set_closed(true);
+        let p = sw.dissipation(Volts::new(0.65), Amps::from_milli(2.0));
+        // (2 mA)² × 0.5 Ω = 2 µW.
+        assert!((p.micro() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gating_beats_ldo_quiescent_by_orders_of_magnitude() {
+        // The reason the switch board exists: an open gate leaks 12 nW where
+        // the un-gated LT3020 would burn 144 µW.
+        let sw = PowerSwitch::load_switch();
+        let gate_leak = sw.dissipation(Volts::new(1.2), Amps::ZERO);
+        let ldo_idle = Volts::new(1.2) * Amps::from_micro(120.0);
+        assert!(ldo_idle.value() / gate_leak.value() > 1_000.0);
+    }
+
+    #[test]
+    fn level_shifter_dynamic_power_scales_with_rate() {
+        let ls = LevelShifter::radio_board();
+        let p1 = ls.dynamic_power(Volts::new(2.4), Hertz::from_kilo(330.0));
+        let p2 = ls.dynamic_power(Volts::new(2.4), Hertz::from_kilo(660.0));
+        assert!((p2.value() / p1.value() - 2.0).abs() < 1e-9);
+        // At the full 330 kbps: 5 pF × (2.4 V)² × 330 kHz ≈ 9.5 µW.
+        assert!((p1.micro() - 9.504).abs() < 0.01);
+    }
+
+    #[test]
+    fn level_shifter_total_includes_static() {
+        let ls = LevelShifter::radio_board();
+        let total = ls.power(Volts::new(2.4), Hertz::ZERO);
+        assert_eq!(total, ls.static_power(Volts::new(2.4)));
+    }
+
+    #[test]
+    fn gate_sequence_default_delay() {
+        let seq = GateSequence::paper();
+        assert!((seq.input_to_output_delay.value() - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(PowerSwitch::new(Ohms::new(-1.0), Amps::ZERO).is_err());
+        assert!(LevelShifter::new(Farads::ZERO, Amps::ZERO, Volts::ZERO).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the power-train models: physical invariants
+//! that must hold at every operating point, not just the calibrated ones.
+
+use picocube_power::charge_pump::ChargePump;
+use picocube_power::linear::LinearRegulator;
+use picocube_power::rectifier::{DiodeBridge, Rectifier, SynchronousRectifier};
+use picocube_power::sc::{ScConverter, ScTopology};
+use picocube_units::{Amps, Hertz, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sc_energy_balance_holds_everywhere(
+        vin in 0.8f64..2.0,
+        iout_ua in 1.0f64..2_000.0,
+        f_khz in 50.0f64..5_000.0,
+    ) {
+        for conv in [ScConverter::paper_1to2(), ScConverter::paper_3to2_down()] {
+            if let Ok(op) = conv.convert(
+                Volts::new(vin),
+                Amps::from_micro(iout_ua),
+                Hertz::from_kilo(f_khz),
+            ) {
+                let balance = op.input_power().value() - op.output_power().value() - op.loss.value();
+                prop_assert!(balance.abs() < 1e-12, "energy imbalance {balance}");
+                prop_assert!((0.0..=1.0).contains(&op.efficiency()));
+                // Output never exceeds the ideal transformer ratio.
+                prop_assert!(op.vout.value() <= conv.topology().ratio() * vin + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn sc_output_impedance_is_monotone_in_frequency(
+        f1 in 10.0f64..10_000.0,
+        k in 1.1f64..100.0,
+    ) {
+        let topo = ScTopology::paper_1to2();
+        let r_low = topo.r_out(Hertz::from_kilo(f1));
+        let r_high = topo.r_out(Hertz::from_kilo(f1 * k));
+        prop_assert!(r_high <= r_low, "impedance must not rise with frequency");
+        prop_assert!(r_high >= topo.r_fsl(), "FSL is the floor");
+    }
+
+    #[test]
+    fn sc_regulation_never_exceeds_target_error(
+        iout_ua in 10.0f64..900.0,
+        target in 2.05f64..2.2,
+    ) {
+        let conv = ScConverter::paper_1to2();
+        if let Ok(op) = conv.regulate(Volts::new(1.2), Volts::new(target), Amps::from_micro(iout_ua)) {
+            prop_assert!((op.vout.value() - target).abs() < 5e-3,
+                "regulated to {} for target {target}", op.vout.value());
+        }
+    }
+
+    #[test]
+    fn rectifiers_never_create_energy(
+        pin_uw in 0.0f64..10_000.0,
+        vbat in 0.8f64..1.6,
+    ) {
+        let pin = Watts::from_micro(pin_uw);
+        let v = Volts::new(vbat);
+        for r in [
+            &SynchronousRectifier::paper() as &dyn Rectifier,
+            &DiodeBridge::schottky(),
+            &DiodeBridge::silicon(),
+        ] {
+            let out = r.deliver(pin, v).unwrap();
+            prop_assert!(out <= pin, "{} output {out:?} exceeds input {pin:?}", r.name());
+            prop_assert!(out.value() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pump_conservation_and_bounds(
+        vin in 0.9f64..1.8,
+        iout_ua in 0.0f64..2_000.0,
+    ) {
+        let pump = ChargePump::tps60313();
+        if let Ok(op) = pump.convert(Volts::new(vin), Amps::from_micro(iout_ua)) {
+            // Charge conservation: input at least gain × output current.
+            prop_assert!(op.iin.value() >= 2.0 * op.iout.value() - 1e-15);
+            prop_assert!(op.vout.value() <= 2.0 * vin + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&op.efficiency()));
+        }
+    }
+
+    #[test]
+    fn ldo_current_conservation(
+        vin in 0.75f64..3.6,
+        iout_ma in 0.0f64..100.0,
+    ) {
+        let ldo = LinearRegulator::lt3020_rf_rail();
+        if let Ok(op) = ldo.convert(Volts::new(vin), Amps::from_milli(iout_ma)) {
+            // Series pass: iin = iout + Iq exactly.
+            prop_assert!((op.iin.value() - op.iout.value() - 120e-6).abs() < 1e-12);
+            prop_assert_eq!(op.vout, Volts::from_milli(650.0));
+        }
+    }
+
+    #[test]
+    fn optimal_frequency_is_no_worse_than_probes(
+        iout_ua in 5.0f64..1_000.0,
+        probe_khz in 20.0f64..20_000.0,
+    ) {
+        let conv = ScConverter::paper_1to2();
+        let vin = Volts::new(1.2);
+        let iout = Amps::from_micro(iout_ua);
+        let best = conv.convert_optimal(vin, iout).unwrap().efficiency();
+        if let Ok(op) = conv.convert(vin, iout, Hertz::from_kilo(probe_khz)) {
+            prop_assert!(best >= op.efficiency() - 1e-6,
+                "probe at {probe_khz} kHz beats 'optimal': {} > {best}", op.efficiency());
+        }
+    }
+
+    #[test]
+    fn sync_rectifier_efficiency_is_unimodal_in_input(
+        lo in 10.0f64..200.0,
+        mid_scale in 1.1f64..3.0,
+        hi_scale in 1.1f64..3.0,
+    ) {
+        // Sample three increasing points around the analytic optimum: the
+        // middle point closest to it must not be the worst of the three.
+        let sync = SynchronousRectifier::paper();
+        let v = Volts::new(1.2);
+        let peak = sync.peak_efficiency_input(v).micro();
+        let a = lo;
+        let b = lo * mid_scale;
+        let c = lo * mid_scale * hi_scale;
+        let eff = |uw: f64| sync.efficiency(Watts::from_micro(uw), v).unwrap();
+        // Unimodality check: if b is between a and c in distance-to-peak,
+        // its efficiency is at least min(eff(a), eff(c)).
+        let closest = |x: f64| (x - peak).abs();
+        if closest(b) <= closest(a) && closest(b) <= closest(c) {
+            prop_assert!(eff(b) + 1e-9 >= eff(a).min(eff(c)));
+        }
+    }
+}

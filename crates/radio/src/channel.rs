@@ -1,0 +1,297 @@
+//! The RF channel: Friis path loss, shadowing, noise, and the
+//! noncoherent-OOK error model that turns a link budget into packet
+//! success probabilities.
+
+use picocube_units::{Db, Dbm, Hertz, Watts};
+
+/// Speed of light, m/s.
+const C: f64 = 299_792_458.0;
+
+/// A propagation channel at a fixed carrier frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    carrier: Hertz,
+    /// Path-loss exponent (2 = free space; indoor demo floors run 2.5–3).
+    exponent: f64,
+    /// Log-normal shadowing standard deviation.
+    shadowing_sigma: Db,
+    /// Receiver noise figure.
+    noise_figure: Db,
+    /// Receiver noise bandwidth.
+    bandwidth: Hertz,
+}
+
+impl Channel {
+    /// Creates a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the carrier or bandwidth is non-positive, or the exponent
+    /// is below 1.
+    pub fn new(
+        carrier: Hertz,
+        exponent: f64,
+        shadowing_sigma: Db,
+        noise_figure: Db,
+        bandwidth: Hertz,
+    ) -> Self {
+        assert!(carrier.value() > 0.0 && bandwidth.value() > 0.0, "carrier/bandwidth positive");
+        assert!(exponent >= 1.0, "path-loss exponent must be >= 1");
+        Self { carrier, exponent, shadowing_sigma, noise_figure, bandwidth }
+    }
+
+    /// The §6 demo floor: 1.863 GHz indoors, exponent 2.4, 3 dB shadowing,
+    /// 10 dB receiver noise figure, 500 kHz noise bandwidth.
+    pub fn demo_room() -> Self {
+        Self::new(
+            Hertz::new(1.863e9),
+            2.4,
+            Db::new(3.0),
+            Db::new(10.0),
+            Hertz::from_kilo(500.0),
+        )
+    }
+
+    /// Free-space variant (outdoor line of sight).
+    pub fn free_space() -> Self {
+        Self::new(Hertz::new(1.863e9), 2.0, Db::new(0.0), Db::new(10.0), Hertz::from_kilo(500.0))
+    }
+
+    /// Carrier frequency.
+    pub fn carrier(&self) -> Hertz {
+        self.carrier
+    }
+
+    /// Median path loss at `distance_m` meters: Friis at 1 m, then the
+    /// exponent beyond.
+    pub fn path_loss(&self, distance_m: f64) -> Db {
+        assert!(distance_m > 0.0, "distance must be positive");
+        let pl_1m = 20.0 * (4.0 * core::f64::consts::PI * self.carrier.value() / C).log10();
+        Db::new(pl_1m + 10.0 * self.exponent * distance_m.log10())
+    }
+
+    /// Thermal noise floor (kTB + NF).
+    pub fn noise_floor(&self) -> Dbm {
+        let ktb_dbm = -174.0 + 10.0 * self.bandwidth.value().log10();
+        Dbm::new(ktb_dbm) + self.noise_figure
+    }
+
+    /// A shadowing realization drawn from `rng`.
+    pub fn shadowing(&self, rng: &mut picocube_sim::SimRng) -> Db {
+        Db::new(rng.normal(0.0, self.shadowing_sigma.value()))
+    }
+}
+
+/// The computed budget for one link geometry.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkBudget {
+    /// Power at the receiver input.
+    pub received: Dbm,
+    /// Receiver noise floor.
+    pub noise_floor: Dbm,
+    /// `received − noise_floor`.
+    pub snr: Db,
+    /// Raw bit error rate for noncoherent OOK at this SNR.
+    pub ber: f64,
+}
+
+/// A point-to-point OOK link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Transmit power at the PA output.
+    pub tx_power: Dbm,
+    /// Transmit antenna realized gain.
+    pub tx_gain: Db,
+    /// Receive antenna realized gain.
+    pub rx_gain: Db,
+    /// Extra orientation/polarization loss (the §6 "depending on
+    /// orientation of the antenna" term).
+    pub orientation_loss: Db,
+    /// The propagation channel.
+    pub channel: Channel,
+}
+
+impl Link {
+    /// Budget at a given range with median shadowing.
+    pub fn budget(&self, distance_m: f64) -> LinkBudget {
+        self.budget_with_shadowing(distance_m, Db::new(0.0))
+    }
+
+    /// Budget at a given range with an explicit shadowing realization.
+    pub fn budget_with_shadowing(&self, distance_m: f64, shadowing: Db) -> LinkBudget {
+        let received = self.tx_power + self.tx_gain + self.rx_gain
+            - self.channel.path_loss(distance_m)
+            - self.orientation_loss
+            - shadowing;
+        let noise_floor = self.channel.noise_floor();
+        let snr = received - noise_floor;
+        LinkBudget { received, noise_floor, snr, ber: ook_ber(snr) }
+    }
+
+    /// Probability that an `n_bits` packet decodes error-free at range,
+    /// with median shadowing.
+    pub fn packet_success(&self, distance_m: f64, n_bits: usize) -> f64 {
+        let b = self.budget(distance_m);
+        (1.0 - b.ber).powi(n_bits as i32)
+    }
+
+    /// Simulates one packet attempt with shadowing and per-bit errors drawn
+    /// from `rng`. Returns `true` when all bits survive.
+    pub fn try_packet(
+        &self,
+        distance_m: f64,
+        n_bits: usize,
+        rng: &mut picocube_sim::SimRng,
+    ) -> bool {
+        let shadow = self.channel.shadowing(rng);
+        let b = self.budget_with_shadowing(distance_m, shadow);
+        if b.ber >= 0.5 {
+            return false;
+        }
+        (0..n_bits).all(|_| !rng.bernoulli(b.ber))
+    }
+
+    /// The range at which packet success (median shadowing) crosses 50 %,
+    /// by bisection over `[0.01 m, 100 m]`.
+    pub fn half_success_range(&self, n_bits: usize) -> f64 {
+        let (mut lo, mut hi) = (0.01f64, 100.0f64);
+        if self.packet_success(hi, n_bits) > 0.5 {
+            return hi;
+        }
+        if self.packet_success(lo, n_bits) < 0.5 {
+            return lo;
+        }
+        for _ in 0..60 {
+            let mid = (lo * hi).sqrt();
+            if self.packet_success(mid, n_bits) > 0.5 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo * hi).sqrt()
+    }
+}
+
+/// The SNR at which [`ook_ber`] equals 1e-3 — the reference receivers use
+/// to anchor their quoted sensitivity: `4·ln(500)` linear, ≈ 14 dB.
+pub fn ook_ber_reference_snr() -> Db {
+    Db::from_ratio(4.0 * 500.0f64.ln())
+}
+
+/// Bit error rate of noncoherent (envelope-detected) OOK at a given SNR:
+/// `0.5·exp(−SNR/4)`, the standard approximation.
+pub fn ook_ber(snr: Db) -> f64 {
+    let snr_lin = snr.to_ratio();
+    (0.5 * (-snr_lin / 4.0).exp()).clamp(0.0, 0.5)
+}
+
+impl LinkBudget {
+    /// Received power as linear watts (for energy-detector models).
+    pub fn received_watts(&self) -> Watts {
+        self.received.to_watts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picocube_sim::SimRng;
+
+    fn paper_link() -> Link {
+        Link {
+            tx_power: Dbm::new(0.8),
+            tx_gain: crate::PatchAntenna::as_built().gain_dbi(Hertz::new(1.863e9)),
+            rx_gain: Db::new(0.0),
+            orientation_loss: Db::new(2.0),
+            channel: Channel::free_space(),
+        }
+    }
+
+    #[test]
+    fn free_space_loss_at_1m_is_37_8_db() {
+        let ch = Channel::free_space();
+        assert!((ch.path_loss(1.0).value() - 37.85).abs() < 0.1);
+    }
+
+    #[test]
+    fn received_power_at_1m_is_about_minus_60_dbm() {
+        // §4.6: "Transmitted signal strength is about −60 dBm at 1 meter."
+        let b = paper_link().budget(1.0);
+        assert!(
+            (b.received.value() + 60.0).abs() < 2.0,
+            "received {:.1} dBm (paper ≈ −60)",
+            b.received.value()
+        );
+    }
+
+    #[test]
+    fn noise_floor_is_about_minus_107_dbm() {
+        let ch = Channel::demo_room();
+        assert!((ch.noise_floor().value() + 107.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn one_meter_link_has_huge_margin() {
+        let b = paper_link().budget(1.0);
+        assert!(b.snr.value() > 40.0);
+        assert!(b.ber < 1e-12);
+    }
+
+    #[test]
+    fn ber_rises_with_range() {
+        let link = paper_link();
+        let near = link.budget(1.0).ber;
+        let mid = link.budget(30.0).ber;
+        let far = link.budget(80.0).ber;
+        assert!(near < mid && mid < far);
+    }
+
+    #[test]
+    fn packet_success_has_a_cliff() {
+        // OOK links fall off a cliff: find the 50 % range and check ±50 %
+        // around it swings success from near-1 to near-0.
+        let link = Link { channel: Channel::demo_room(), ..paper_link() };
+        let r50 = link.half_success_range(104);
+        assert!(r50 > 1.0, "r50 {r50:.2} m");
+        assert!(link.packet_success(r50 / 2.0, 104) > 0.97);
+        assert!(link.packet_success(r50 * 2.0, 104) < 0.05);
+    }
+
+    #[test]
+    fn orientation_loss_shrinks_range() {
+        let good = paper_link();
+        let bad = Link { orientation_loss: Db::new(20.0), ..good };
+        assert!(bad.half_success_range(104) < good.half_success_range(104));
+    }
+
+    #[test]
+    fn try_packet_statistics_match_budget() {
+        let link = Link { channel: Channel::free_space(), ..paper_link() };
+        let mut rng = SimRng::seed_from(5);
+        // At a range with effectively zero BER every attempt succeeds.
+        let ok = (0..200).filter(|_| link.try_packet(1.0, 104, &mut rng)).count();
+        assert_eq!(ok, 200);
+    }
+
+    #[test]
+    fn shadowing_randomizes_outcomes_at_the_edge() {
+        let link = Link { channel: Channel::demo_room(), ..paper_link() };
+        let r50 = link.half_success_range(104);
+        let mut rng = SimRng::seed_from(6);
+        let ok = (0..400).filter(|_| link.try_packet(r50, 104, &mut rng)).count();
+        assert!(ok > 40 && ok < 360, "edge-of-range successes {ok}/400");
+    }
+
+    #[test]
+    fn ook_ber_limits() {
+        assert!((ook_ber(Db::new(-100.0)) - 0.5).abs() < 1e-9);
+        assert!(ook_ber(Db::new(30.0)) < 1e-100);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance")]
+    fn zero_distance_rejected() {
+        Channel::free_space().path_loss(0.0);
+    }
+}

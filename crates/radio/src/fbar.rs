@@ -1,0 +1,169 @@
+//! The film bulk acoustic resonator, in the Butterworth–Van Dyke model.
+//!
+//! §4.6: "An FBAR is a MEMS device that behaves like a capacitor except at
+//! resonance, where it has Q > 1000." The BVD equivalent circuit is a
+//! series RLC (motional) branch in parallel with a plate capacitance `C0`.
+//! Its extremely high Q at GHz frequencies is what lets the transmitter
+//! gate the *oscillator itself* per OOK bit: start-up takes microseconds
+//! instead of the milliseconds a quartz reference would need.
+
+use picocube_units::{Farads, Hertz, Ohms, Seconds};
+
+/// A Butterworth–Van Dyke resonator model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fbar {
+    /// Motional resistance.
+    rm: Ohms,
+    /// Motional inductance (henries).
+    lm_h: f64,
+    /// Motional capacitance.
+    cm: Farads,
+    /// Plate (static) capacitance.
+    c0: Farads,
+}
+
+impl Fbar {
+    /// Creates a resonator from BVD parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not strictly positive.
+    pub fn new(rm: Ohms, lm_h: f64, cm: Farads, c0: Farads) -> Self {
+        assert!(rm.value() > 0.0 && lm_h > 0.0, "motional branch must be positive");
+        assert!(cm.value() > 0.0 && c0.value() > 0.0, "capacitances must be positive");
+        Self { rm, lm_h, cm, c0 }
+    }
+
+    /// The transmitter's resonator: series resonance at 1.863 GHz with
+    /// Q ≈ 1200 and a typical FBAR plate capacitance around 1 pF.
+    pub fn picocube() -> Self {
+        // Choose Lm, then Cm for fs = 1.863 GHz and Rm for Q = 1200:
+        // Q = (1/Rm)·√(Lm/Cm), fs = 1/(2π√(Lm·Cm)).
+        let fs = 1.863e9;
+        let lm_h = 80e-9;
+        let cm = 1.0 / ((2.0 * core::f64::consts::PI * fs).powi(2) * lm_h);
+        let q = 1200.0;
+        let rm = (lm_h / cm).sqrt() / q;
+        Self::new(Ohms::new(rm), lm_h, Farads::new(cm), Farads::new(1e-12))
+    }
+
+    /// Series (motional) resonance frequency.
+    pub fn series_resonance(&self) -> Hertz {
+        Hertz::new(1.0 / (2.0 * core::f64::consts::PI * (self.lm_h * self.cm.value()).sqrt()))
+    }
+
+    /// Parallel (anti-) resonance: `fs·√(1 + Cm/C0)`.
+    pub fn parallel_resonance(&self) -> Hertz {
+        Hertz::new(
+            self.series_resonance().value() * (1.0 + self.cm.value() / self.c0.value()).sqrt(),
+        )
+    }
+
+    /// Quality factor of the motional branch.
+    pub fn q_factor(&self) -> f64 {
+        (self.lm_h / self.cm.value()).sqrt() / self.rm.value()
+    }
+
+    /// Magnitude of the resonator impedance at `f` (BVD network).
+    pub fn impedance_at(&self, f: Hertz) -> Ohms {
+        let w = 2.0 * core::f64::consts::PI * f.value();
+        // Motional branch: Rm + j(wLm − 1/wCm).
+        let xm = w * self.lm_h - 1.0 / (w * self.cm.value());
+        let (rm, xm) = (self.rm.value(), xm);
+        // Plate branch: 1/(jwC0) in parallel.
+        let xc0 = -1.0 / (w * self.c0.value());
+        // Parallel combination of Zm = rm + j·xm and Zc = j·xc0.
+        let (a, b) = (rm, xm); // Zm
+        let (c, d) = (0.0, xc0); // Zc
+        // Zp = Zm·Zc / (Zm + Zc)
+        let num_re = a * c - b * d;
+        let num_im = a * d + b * c;
+        let den_re = a + c;
+        let den_im = b + d;
+        let den_sq = den_re * den_re + den_im * den_im;
+        let re = (num_re * den_re + num_im * den_im) / den_sq;
+        let im = (num_im * den_re - num_re * den_im) / den_sq;
+        Ohms::new((re * re + im * im).sqrt())
+    }
+
+    /// Oscillator start-up time: the envelope grows with time constant
+    /// `2Q_eff/ω`. The start-up circuit overdrives the negative resistance
+    /// (lowering the effective Q during growth), so ~3.5 effective time
+    /// constants reach switching amplitude — microseconds, against the
+    /// milliseconds a quartz reference would need.
+    pub fn startup_time(&self) -> Seconds {
+        let w = 2.0 * core::f64::consts::PI * self.series_resonance().value();
+        Seconds::new(3.5 * 2.0 * self.q_factor() / w)
+    }
+
+    /// The highest OOK bit rate at which start-up occupies at most a
+    /// quarter of the bit period — the oscillator-gating speed limit.
+    pub fn max_ook_rate(&self) -> Hertz {
+        Hertz::new(0.25 / self.startup_time().value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resonates_at_1_863_ghz_with_high_q() {
+        let fbar = Fbar::picocube();
+        assert!((fbar.series_resonance().value() - 1.863e9).abs() / 1.863e9 < 1e-9);
+        assert!(fbar.q_factor() > 1000.0, "Q = {:.0}", fbar.q_factor());
+    }
+
+    #[test]
+    fn behaves_like_a_capacitor_off_resonance() {
+        // §4.6's description: "behaves like a capacitor except at
+        // resonance". Well below resonance the motional branch is also
+        // capacitive, so the device looks like C0 + Cm.
+        let fbar = Fbar::picocube();
+        let f = Hertz::new(1.0e9);
+        let z = fbar.impedance_at(f).value();
+        let c_eff = 1e-12 + 9.12e-14;
+        let zc = 1.0 / (2.0 * core::f64::consts::PI * f.value() * c_eff);
+        assert!((z / zc - 1.0).abs() < 0.05, "z {z:.1} vs C-like {zc:.1}");
+    }
+
+    #[test]
+    fn impedance_collapses_at_series_resonance() {
+        let fbar = Fbar::picocube();
+        let at_res = fbar.impedance_at(fbar.series_resonance());
+        let off_res = fbar.impedance_at(Hertz::new(1.80e9));
+        assert!(at_res.value() < off_res.value() / 20.0);
+        // Near the motional resistance (a couple of ohms for this Q).
+        assert!(at_res.value() < 5.0);
+    }
+
+    #[test]
+    fn impedance_peaks_at_parallel_resonance() {
+        let fbar = Fbar::picocube();
+        let fp = fbar.parallel_resonance();
+        let at_fp = fbar.impedance_at(fp).value();
+        let nearby = fbar.impedance_at(Hertz::new(fp.value() * 1.01)).value();
+        assert!(at_fp > 5.0 * nearby, "fp {at_fp:.0} vs nearby {nearby:.0}");
+    }
+
+    #[test]
+    fn startup_is_microseconds_enabling_per_bit_gating() {
+        let fbar = Fbar::picocube();
+        let t = fbar.startup_time();
+        assert!(t.value() > 0.5e-6 && t.value() < 5e-6, "startup {t:?}");
+        // The paper's 330 kbps works: a bit lasts 3 µs, startup fits.
+        assert!(fbar.max_ook_rate() > Hertz::from_kilo(100.0));
+    }
+
+    #[test]
+    fn parallel_above_series() {
+        let fbar = Fbar::picocube();
+        assert!(fbar.parallel_resonance() > fbar.series_resonance());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_parameters_rejected() {
+        Fbar::new(Ohms::ZERO, 1e-9, Farads::new(1e-15), Farads::new(1e-12));
+    }
+}

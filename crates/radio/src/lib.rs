@@ -1,0 +1,46 @@
+//! The PicoCube radio: FBAR-referenced OOK transmitter, patch antenna,
+//! channel, and the receivers used to demonstrate and extend the node.
+//!
+//! §4.6: "The Cube uses a 0.8 dBm transmitter based on Film Bulk Acoustic
+//! Resonator (FBAR) technology for RF carrier generation. […] Transmitter
+//! properties include a 1.863 GHz channel, 46 % efficiency @ 1.2 mW
+//! transmit power, 650 mV supply, and direct modulation. […] With 50 %
+//! on-off keying (OOK), power consumption is 1.35 mW at data rates up to
+//! 330 kbps. […] Transmitted signal strength is about −60 dBm at 1 meter."
+//!
+//! Every number above is an *output* of the models here:
+//!
+//! * [`Fbar`] — Butterworth–Van Dyke resonator (Q > 1000 at 1.863 GHz),
+//!   whose high Q is what makes microsecond oscillator start-up — and
+//!   therefore per-bit carrier gating — possible.
+//! * [`OokTransmitter`] — the PA/oscillator pair with the measured
+//!   efficiency point and direct OOK modulation.
+//! * [`PatchAntenna`] — the top-metal-layer patch, with the §4.6 design
+//!   story (70 mil target vs 50 mil as-built) as an efficiency model.
+//! * [`Channel`] / [`Link`] — Friis path loss at 1.863 GHz with log-normal
+//!   shadowing and the noncoherent-OOK error model.
+//! * [`packet`] — the preamble/sync/id/payload/checksum framing shared
+//!   with the firmware, plus encode/decode.
+//! * [`SuperRegenReceiver`] — the BWRC research receiver used in the §6
+//!   demo (reference \[12\]).
+//! * [`WakeupReceiver`] — the §7.3 always-on wakeup radio extension.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod demod;
+pub mod packet;
+
+mod antenna;
+mod channel;
+mod fbar;
+mod receiver;
+mod transmitter;
+mod wakeup;
+
+pub use antenna::PatchAntenna;
+pub use channel::{ook_ber, Channel, Link, LinkBudget};
+pub use fbar::Fbar;
+pub use receiver::SuperRegenReceiver;
+pub use transmitter::{OokTransmitter, Transmission};
+pub use wakeup::WakeupReceiver;

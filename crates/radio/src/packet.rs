@@ -1,0 +1,213 @@
+//! Packet framing shared between the firmware and the receivers.
+//!
+//! Frames are `AA AA D3 <id> <payload…> <checksum>`: an OOK-friendly
+//! alternating preamble, a sync byte, the node id, a payload whose length
+//! the application fixes, and a XOR checksum over the payload. A CRC-8
+//! variant is provided for the extension experiments.
+
+/// Preamble byte (alternating pattern for the envelope detector's AGC).
+pub const PREAMBLE: u8 = 0xAA;
+/// Number of preamble bytes.
+pub const PREAMBLE_LEN: usize = 2;
+/// Start-of-frame sync byte.
+pub const SYNC: u8 = 0xD3;
+
+/// Checksum algorithm used by a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Checksum {
+    /// Single-byte XOR over the payload (what the stock firmware computes —
+    /// cheap on an MSP430).
+    Xor,
+    /// CRC-8/ATM (poly 0x07) over the payload.
+    Crc8,
+}
+
+impl Checksum {
+    /// Computes the check byte over a payload.
+    pub fn compute(self, payload: &[u8]) -> u8 {
+        match self {
+            Self::Xor => payload.iter().fold(0, |a, b| a ^ b),
+            Self::Crc8 => {
+                let mut crc: u8 = 0;
+                for &byte in payload {
+                    crc ^= byte;
+                    for _ in 0..8 {
+                        crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+                    }
+                }
+                crc
+            }
+        }
+    }
+}
+
+/// A decoded application frame.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Frame {
+    /// Transmitting node's id byte.
+    pub node_id: u8,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Fewer bytes than the minimal frame.
+    Truncated,
+    /// The sync byte was not found after the preamble.
+    NoSync,
+    /// The checksum over the payload did not verify.
+    BadChecksum {
+        /// Checksum carried by the frame.
+        got: u8,
+        /// Checksum recomputed over the payload.
+        expected: u8,
+    },
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "frame shorter than header + checksum"),
+            Self::NoSync => write!(f, "sync byte not found"),
+            Self::BadChecksum { got, expected } => {
+                write!(f, "checksum mismatch: got {got:#04x}, expected {expected:#04x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Builds a frame around a payload.
+pub fn encode(node_id: u8, payload: &[u8], checksum: Checksum) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PREAMBLE_LEN + 2 + payload.len() + 1);
+    out.extend_from_slice(&[PREAMBLE; PREAMBLE_LEN]);
+    out.push(SYNC);
+    out.push(node_id);
+    out.extend_from_slice(payload);
+    out.push(checksum.compute(payload));
+    out
+}
+
+/// Parses a frame from a received byte stream (which may carry leading
+/// noise before the preamble), verifying the checksum.
+///
+/// The payload length is whatever sits between the id byte and the final
+/// checksum byte; callers knowing the expected length should verify it.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on truncation, missing sync, or checksum
+/// mismatch.
+pub fn decode(bytes: &[u8], checksum: Checksum) -> Result<Frame, DecodeError> {
+    // Hunt for the sync byte; tolerate noise/partial preamble before it.
+    let sync_pos = bytes.iter().position(|&b| b == SYNC).ok_or(DecodeError::NoSync)?;
+    let rest = &bytes[sync_pos + 1..];
+    if rest.len() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let node_id = rest[0];
+    let payload = rest[1..rest.len() - 1].to_vec();
+    let got = rest[rest.len() - 1];
+    let expected = checksum.compute(&payload);
+    if got != expected {
+        return Err(DecodeError::BadChecksum { got, expected });
+    }
+    Ok(Frame { node_id, payload })
+}
+
+/// Expands bytes into OOK symbols (MSB first), the physical bit stream.
+pub fn to_bits(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|&b| (0..8).rev().map(move |i| b & (1 << i) != 0))
+        .collect()
+}
+
+/// Packs OOK symbols back into bytes (MSB first). Trailing partial bytes
+/// are dropped.
+pub fn from_bits(bits: &[bool]) -> Vec<u8> {
+    bits.chunks_exact(8)
+        .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for checksum in [Checksum::Xor, Checksum::Crc8] {
+            let frame = encode(0x42, &[1, 2, 3, 4, 5, 6, 7, 8], checksum);
+            let decoded = decode(&frame, checksum).unwrap();
+            assert_eq!(decoded.node_id, 0x42);
+            assert_eq!(decoded.payload, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        }
+    }
+
+    #[test]
+    fn frame_layout_matches_firmware() {
+        let frame = encode(0x42, &[0xDE, 0xAD], Checksum::Xor);
+        assert_eq!(frame, vec![0xAA, 0xAA, 0xD3, 0x42, 0xDE, 0xAD, 0xDE ^ 0xAD]);
+    }
+
+    #[test]
+    fn leading_noise_is_tolerated() {
+        let mut stream = vec![0x00, 0x5A, 0xAA];
+        stream.extend(encode(7, &[9, 9], Checksum::Xor));
+        let decoded = decode(&stream, Checksum::Xor).unwrap();
+        assert_eq!(decoded.node_id, 7);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut frame = encode(1, &[10, 20, 30], Checksum::Xor);
+        frame[5] ^= 0x01; // flip a payload bit
+        assert!(matches!(decode(&frame, Checksum::Xor), Err(DecodeError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn crc8_catches_swaps_that_xor_misses() {
+        // XOR is order-insensitive; CRC-8 is not.
+        let a = Checksum::Xor.compute(&[1, 2]);
+        let b = Checksum::Xor.compute(&[2, 1]);
+        assert_eq!(a, b);
+        let c = Checksum::Crc8.compute(&[1, 2]);
+        let d = Checksum::Crc8.compute(&[2, 1]);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn missing_sync_reported() {
+        assert_eq!(decode(&[0xAA, 0xAA, 0x00], Checksum::Xor), Err(DecodeError::NoSync));
+    }
+
+    #[test]
+    fn truncated_reported() {
+        assert_eq!(decode(&[0xD3, 0x42], Checksum::Xor), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let bytes = [0xAA, 0xD3, 0x00, 0xFF, 0x42];
+        assert_eq!(from_bits(&to_bits(&bytes)), bytes.to_vec());
+        // MSB first: 0xAA = 10101010.
+        let bits = to_bits(&[0xAA]);
+        assert_eq!(
+            bits,
+            vec![true, false, true, false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn preamble_is_half_ones() {
+        // The 50 % OOK duty the paper quotes holds for the preamble.
+        let bits = to_bits(&[PREAMBLE; 4]);
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert_eq!(ones * 2, bits.len());
+    }
+}

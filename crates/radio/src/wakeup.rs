@@ -1,0 +1,166 @@
+//! The §7.3 wakeup radio: "an extremely low-power receiver that listens
+//! full-time for a wake-up signal, then starts a more complex (and more
+//! power hungry) receiver for data transfer" (reference \[16\], Pletcher's
+//! BWRC work).
+//!
+//! Its system-level value is a latency/power trade: a node without it must
+//! either duty-cycle its main receiver (paying average power proportional
+//! to the polling duty) or accept polling latency. This module models the
+//! detector itself and provides the comparison maths for experiment E11.
+
+use picocube_units::{Dbm, Seconds, Watts};
+
+/// An always-on wake-up signal detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeupReceiver {
+    /// Continuous listening power.
+    listen_power: Watts,
+    /// Detection threshold (wake-up signals must arrive above this).
+    sensitivity: Dbm,
+    /// Time from signal start to wake assertion.
+    latency: Seconds,
+    /// False-wake rate (noise-triggered wakes per second).
+    false_rate_hz: f64,
+}
+
+impl WakeupReceiver {
+    /// Creates a wakeup receiver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if power or latency is non-positive, or the false rate is
+    /// negative.
+    pub fn new(listen_power: Watts, sensitivity: Dbm, latency: Seconds, false_rate_hz: f64) -> Self {
+        assert!(listen_power.value() > 0.0, "listen power must be positive");
+        assert!(latency.value() > 0.0, "latency must be positive");
+        assert!(false_rate_hz >= 0.0, "false rate must be non-negative");
+        Self { listen_power, sensitivity, latency, false_rate_hz }
+    }
+
+    /// The reference-\[16\] class detector: 50 µW always-on, −50 dBm
+    /// threshold (poor sensitivity is the price of the power), 100 µs
+    /// latency, one false wake per hour.
+    pub fn bwrc() -> Self {
+        Self::new(
+            Watts::from_micro(50.0),
+            Dbm::new(-50.0),
+            Seconds::new(100e-6),
+            1.0 / 3600.0,
+        )
+    }
+
+    /// Continuous listening power.
+    pub fn listen_power(&self) -> Watts {
+        self.listen_power
+    }
+
+    /// Detection threshold.
+    pub fn sensitivity(&self) -> Dbm {
+        self.sensitivity
+    }
+
+    /// Wake latency.
+    pub fn latency(&self) -> Seconds {
+        self.latency
+    }
+
+    /// Whether a signal at `level` triggers a wake.
+    pub fn detects(&self, level: Dbm) -> bool {
+        level >= self.sensitivity
+    }
+
+    /// Average power of the wakeup approach, including the main receiver's
+    /// energy for real events and false wakes.
+    pub fn average_power(
+        &self,
+        event_rate_hz: f64,
+        main_rx_power: Watts,
+        main_rx_on_time: Seconds,
+    ) -> Watts {
+        let wake_energy = main_rx_power * main_rx_on_time;
+        let wakes_per_sec = event_rate_hz + self.false_rate_hz;
+        self.listen_power + wake_energy * wakes_per_sec / Seconds::new(1.0)
+    }
+
+    /// Average power of the *duty-cycled* alternative achieving the same
+    /// worst-case latency: the main receiver must listen every
+    /// `latency` for at least `on_time`.
+    pub fn duty_cycled_equivalent(
+        latency: Seconds,
+        main_rx_power: Watts,
+        on_time: Seconds,
+    ) -> Watts {
+        assert!(latency.value() > 0.0, "latency must be positive");
+        let duty = (on_time.value() / latency.value()).min(1.0);
+        main_rx_power * duty
+    }
+
+    /// The worst-case latency below which duty-cycling the main receiver
+    /// costs more than this wakeup detector (the E11 crossover).
+    pub fn crossover_latency(&self, main_rx_power: Watts, on_time: Seconds) -> Seconds {
+        // duty-cycled power = P_rx·t_on/T == listen_power  ⇒  T*.
+        Seconds::new(main_rx_power.value() * on_time.value() / self.listen_power.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_cost_is_50_uw() {
+        let w = WakeupReceiver::bwrc();
+        assert_eq!(w.listen_power(), Watts::from_micro(50.0));
+    }
+
+    #[test]
+    fn detection_threshold() {
+        let w = WakeupReceiver::bwrc();
+        assert!(w.detects(Dbm::new(-45.0)));
+        assert!(!w.detects(Dbm::new(-55.0)));
+    }
+
+    #[test]
+    fn crossover_against_the_demo_receiver() {
+        // Main RX: 400 µW, needs 5 ms per poll. Crossover latency:
+        // 400 µW · 5 ms / 50 µW = 40 ms. Tighter latency demands favor the
+        // wakeup radio; looser ones favor duty cycling.
+        let w = WakeupReceiver::bwrc();
+        let rx = Watts::from_micro(400.0);
+        let on = Seconds::new(5e-3);
+        let t_star = w.crossover_latency(rx, on);
+        assert!((t_star.value() - 0.04).abs() < 1e-9);
+        let tight = WakeupReceiver::duty_cycled_equivalent(Seconds::new(0.01), rx, on);
+        assert!(tight > w.listen_power());
+        let loose = WakeupReceiver::duty_cycled_equivalent(Seconds::new(1.0), rx, on);
+        assert!(loose < w.listen_power());
+    }
+
+    #[test]
+    fn average_power_includes_false_wakes() {
+        let w = WakeupReceiver::bwrc();
+        let rx = Watts::from_micro(400.0);
+        let on = Seconds::new(5e-3);
+        let idle = w.average_power(0.0, rx, on);
+        // 50 µW + (400 µW × 5 ms)/3600 s ≈ 50.0006 µW.
+        assert!(idle > w.listen_power());
+        assert!((idle - w.listen_power()).nano() < 1.0);
+        let busy = w.average_power(1.0, rx, on);
+        assert!((busy.micro() - 52.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn duty_cycle_saturates_at_continuous() {
+        let p = WakeupReceiver::duty_cycled_equivalent(
+            Seconds::new(1e-3),
+            Watts::from_micro(400.0),
+            Seconds::new(5e-3),
+        );
+        assert_eq!(p, Watts::from_micro(400.0));
+    }
+
+    #[test]
+    fn latency_is_fast() {
+        assert!(WakeupReceiver::bwrc().latency() < Seconds::new(1e-3));
+    }
+}

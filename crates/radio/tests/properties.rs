@@ -1,0 +1,86 @@
+//! Property-based tests for framing, modulation accounting and the link
+//! error model.
+
+use picocube_radio::packet::{decode, encode, from_bits, to_bits, Checksum};
+use picocube_radio::{ook_ber, OokTransmitter};
+use picocube_units::Db;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn frame_round_trips(node_id: u8, payload in prop::collection::vec(any::<u8>(), 0..64)) {
+        for checksum in [Checksum::Xor, Checksum::Crc8] {
+            let frame = encode(node_id, &payload, checksum);
+            let decoded = decode(&frame, checksum).expect("clean frame decodes");
+            prop_assert_eq!(decoded.node_id, node_id);
+            prop_assert_eq!(&decoded.payload, &payload);
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_in_payload_are_always_detected(
+        payload in prop::collection::vec(any::<u8>(), 1..32),
+        flip_byte in 0usize..32,
+        flip_bit in 0u8..8,
+    ) {
+        let flip_byte = flip_byte % payload.len();
+        for checksum in [Checksum::Xor, Checksum::Crc8] {
+            let mut frame = encode(0x42, &payload, checksum);
+            // Flip inside the payload region (after preamble+sync+id).
+            let idx = 4 + flip_byte;
+            frame[idx] ^= 1 << flip_bit;
+            let r = decode(&frame, checksum);
+            prop_assert!(r.is_err(), "{checksum:?} missed a single-bit flip");
+        }
+    }
+
+    #[test]
+    fn bits_round_trip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(from_bits(&to_bits(&bytes)), bytes);
+    }
+
+    #[test]
+    fn ones_fraction_matches_popcount(bytes in prop::collection::vec(any::<u8>(), 1..64)) {
+        let tx = OokTransmitter::picocube();
+        let t = tx.transmit(&bytes);
+        let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        let expected = f64::from(ones) / (bytes.len() * 8) as f64;
+        prop_assert!((t.ones_fraction - expected).abs() < 1e-12);
+        // Energy is linear in the number of one-bits at fixed rate.
+        let dc_on = tx.dc_power_on().value();
+        let expected_energy = dc_on * f64::from(ones) / tx.data_rate().value();
+        prop_assert!((t.energy.value() - expected_energy).abs() < 1e-15 + 1e-9 * expected_energy);
+    }
+
+    #[test]
+    fn transmission_duration_is_bits_over_rate(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let tx = OokTransmitter::picocube();
+        let t = tx.transmit(&bytes);
+        let expected = (bytes.len() * 8) as f64 / tx.data_rate().value();
+        prop_assert!((t.duration.value() - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ber_is_monotone_in_snr(a in -30.0f64..60.0, delta in 0.0f64..30.0) {
+        let low = ook_ber(Db::new(a));
+        let high = ook_ber(Db::new(a + delta));
+        prop_assert!(high <= low + 1e-18);
+        prop_assert!((0.0..=0.5).contains(&low));
+    }
+
+    #[test]
+    fn duplicated_payload_doubles_energy(bytes in prop::collection::vec(any::<u8>(), 1..32)) {
+        let tx = OokTransmitter::picocube();
+        let single = tx.transmit(&bytes);
+        let doubled: Vec<u8> = bytes.iter().chain(bytes.iter()).copied().collect();
+        let double = tx.transmit(&doubled);
+        prop_assert!((double.energy.value() - 2.0 * single.energy.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..80)) {
+        // Any byte soup must produce Ok or a typed error, never a panic.
+        let _ = decode(&bytes, Checksum::Xor);
+        let _ = decode(&bytes, Checksum::Crc8);
+    }
+}

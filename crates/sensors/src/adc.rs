@@ -1,0 +1,103 @@
+//! Generic ADC channel: linear mapping, quantization, and noise.
+
+/// A linear ADC channel mapping a physical range onto an n-bit code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcChannel {
+    bits: u8,
+    min: f64,
+    max: f64,
+    /// RMS input-referred noise, in LSBs.
+    noise_lsb: f64,
+}
+
+impl AdcChannel {
+    /// Creates a channel quantizing `[min, max]` onto `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16, `min >= max`, or the noise
+    /// is negative.
+    pub fn new(bits: u8, min: f64, max: f64, noise_lsb: f64) -> Self {
+        assert!(bits > 0 && bits <= 16, "bits must be in 1..=16");
+        assert!(min < max, "range must be non-empty");
+        assert!(noise_lsb >= 0.0, "noise must be non-negative");
+        Self { bits, min, max, noise_lsb }
+    }
+
+    /// Resolution in codes.
+    pub fn full_scale(&self) -> u16 {
+        ((1u32 << self.bits) - 1) as u16
+    }
+
+    /// The physical value of one LSB.
+    pub fn lsb(&self) -> f64 {
+        (self.max - self.min) / f64::from(self.full_scale())
+    }
+
+    /// Quantizes a physical value (clamped to the range), adding Gaussian
+    /// noise drawn from `rng`.
+    pub fn quantize(&self, value: f64, rng: &mut picocube_sim::SimRng) -> u16 {
+        let noisy = value + rng.normal(0.0, self.noise_lsb) * self.lsb();
+        self.quantize_noiseless(noisy)
+    }
+
+    /// Quantizes without noise (deterministic helper).
+    pub fn quantize_noiseless(&self, value: f64) -> u16 {
+        let clamped = value.clamp(self.min, self.max);
+        let frac = (clamped - self.min) / (self.max - self.min);
+        (frac * f64::from(self.full_scale())).round() as u16
+    }
+
+    /// The physical value corresponding to a code (mid-tread).
+    pub fn dequantize(&self, code: u16) -> f64 {
+        let code = code.min(self.full_scale());
+        self.min + f64::from(code) / f64::from(self.full_scale()) * (self.max - self.min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picocube_sim::SimRng;
+
+    #[test]
+    fn endpoints_map_to_code_extremes() {
+        let ch = AdcChannel::new(12, 0.0, 450.0, 0.0);
+        assert_eq!(ch.quantize_noiseless(0.0), 0);
+        assert_eq!(ch.quantize_noiseless(450.0), 4095);
+        assert_eq!(ch.quantize_noiseless(-10.0), 0); // clamped
+        assert_eq!(ch.quantize_noiseless(500.0), 4095);
+    }
+
+    #[test]
+    fn round_trip_within_one_lsb() {
+        let ch = AdcChannel::new(10, -40.0, 125.0, 0.0);
+        for v in [-40.0, -7.5, 0.0, 25.0, 99.9, 125.0] {
+            let back = ch.dequantize(ch.quantize_noiseless(v));
+            assert!((back - v).abs() <= ch.lsb(), "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn noise_spreads_codes() {
+        let ch = AdcChannel::new(12, 0.0, 1.0, 2.0);
+        let mut rng = SimRng::seed_from(9);
+        let codes: Vec<u16> = (0..200).map(|_| ch.quantize(0.5, &mut rng)).collect();
+        let min = codes.iter().min().unwrap();
+        let max = codes.iter().max().unwrap();
+        assert!(max > min, "2-LSB noise must dither the code");
+        assert!(i32::from(*max) - i32::from(*min) < 20);
+    }
+
+    #[test]
+    fn dequantize_clamps_code() {
+        let ch = AdcChannel::new(8, 0.0, 10.0, 0.0);
+        assert_eq!(ch.dequantize(9999), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be non-empty")]
+    fn empty_range_rejected() {
+        AdcChannel::new(8, 1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Sensor models and the physical environments that drive them.
+//!
+//! The Cube has two sensor boards (§4.5):
+//!
+//! * [`Sp12`] — the Sensonor SP12 TPMS device (chip-on-board bare dice):
+//!   pressure, temperature, acceleration and supply-voltage channels, plus
+//!   the digital die whose internal timer "generates an interrupt every six
+//!   seconds" while the MSP430 sleeps.
+//! * [`Sca3000`] — the VTI SCA3000-E01 3-axis accelerometer with per-axis
+//!   motion thresholds that interrupt the controller, the basis of the §6
+//!   retreat demo.
+//!
+//! Sensors are driven by *environment* models rather than canned values:
+//! [`TireEnvironment`] turns a drive cycle into pressure/temperature/
+//! acceleration physics (isochoric pressure-temperature coupling, friction
+//! warm-up, centripetal acceleration at the rim), and [`MotionScenario`]
+//! scripts the pick-up/put-down motion of the demo table.
+//!
+//! # Examples
+//!
+//! ```
+//! use picocube_sensors::{Sp12, TireEnvironment};
+//! use picocube_harvest::DriveCycle;
+//! use picocube_units::Seconds;
+//!
+//! let mut tire = TireEnvironment::passenger_car(DriveCycle::highway());
+//! let sample = tire.step(Seconds::new(600.0)); // ten minutes of driving
+//! assert!(sample.temperature.value() > 21.0);  // friction warm-up
+//!
+//! let mut sp12 = Sp12::new();
+//! sp12.set_sample(sample);
+//! let (code, _) = sp12.convert(picocube_sensors::Sp12Channel::Pressure);
+//! assert!(code > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adc;
+mod motion;
+mod sca3000;
+mod sp12;
+mod tire;
+
+pub use adc::AdcChannel;
+pub use motion::{MotionPhase, MotionScenario};
+pub use sca3000::{AxisSample, Sca3000, Sca3000Mode};
+pub use sp12::{Sp12, Sp12Channel, TireSample};
+pub use tire::TireEnvironment;

@@ -1,0 +1,132 @@
+//! The §6 retreat-demo motion script: a cube on a table that visitors pick
+//! up, wave around, and put back down.
+
+use crate::sca3000::AxisSample;
+use picocube_sim::SimRng;
+use picocube_units::{Gs, Seconds};
+
+/// What the cube is doing at a given moment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MotionPhase {
+    /// Flat on the table: 1 g on Z, no interrupts, deep sleep.
+    AtRest,
+    /// In a visitor's hand: acceleration excursions on all axes.
+    Handled,
+}
+
+/// A scripted alternation of rest and handling periods with stochastic
+/// in-hand acceleration.
+#[derive(Debug, Clone)]
+pub struct MotionScenario {
+    rest: Seconds,
+    handled: Seconds,
+    /// RMS handling acceleration per axis.
+    vigor: Gs,
+    rng: SimRng,
+}
+
+impl MotionScenario {
+    /// Creates a scenario alternating `rest` and `handled` spans, with the
+    /// given per-axis RMS handling acceleration, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either span is non-positive or the vigor is negative.
+    pub fn new(rest: Seconds, handled: Seconds, vigor: Gs, seed: u64) -> Self {
+        assert!(rest.value() > 0.0 && handled.value() > 0.0, "spans must be positive");
+        assert!(vigor.value() >= 0.0, "vigor must be non-negative");
+        Self { rest, handled, vigor, rng: SimRng::seed_from(seed) }
+    }
+
+    /// The retreat-table default: 20 s of rest, 8 s of handling at 1.2 g
+    /// RMS (a cube being waved around, not gently slid).
+    pub fn retreat_table(seed: u64) -> Self {
+        Self::new(Seconds::new(20.0), Seconds::new(8.0), Gs::new(1.2), seed)
+    }
+
+    /// The scenario's repeat period.
+    pub fn period(&self) -> Seconds {
+        self.rest + self.handled
+    }
+
+    /// The phase at time `t`.
+    pub fn phase_at(&self, t: Seconds) -> MotionPhase {
+        let cycle = t.value().rem_euclid(self.period().value());
+        if cycle < self.rest.value() {
+            MotionPhase::AtRest
+        } else {
+            MotionPhase::Handled
+        }
+    }
+
+    /// Samples the acceleration at time `t`. Handling draws fresh noise
+    /// from the scenario RNG (call in time order for reproducible runs).
+    pub fn sample_at(&mut self, t: Seconds) -> AxisSample {
+        match self.phase_at(t) {
+            MotionPhase::AtRest => AxisSample::at_rest(),
+            MotionPhase::Handled => {
+                let v = self.vigor.value();
+                AxisSample {
+                    x: Gs::new(self.rng.normal(0.0, v)),
+                    y: Gs::new(self.rng.normal(0.0, v)),
+                    z: Gs::new(1.0 + self.rng.normal(0.0, v)),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_alternate_on_schedule() {
+        let s = MotionScenario::retreat_table(1);
+        assert_eq!(s.phase_at(Seconds::new(5.0)), MotionPhase::AtRest);
+        assert_eq!(s.phase_at(Seconds::new(21.0)), MotionPhase::Handled);
+        assert_eq!(s.phase_at(Seconds::new(29.0)), MotionPhase::AtRest); // wrapped
+    }
+
+    #[test]
+    fn rest_sample_is_exactly_gravity() {
+        let mut s = MotionScenario::retreat_table(1);
+        let a = s.sample_at(Seconds::new(1.0));
+        assert_eq!(a, AxisSample::at_rest());
+    }
+
+    #[test]
+    fn handling_moves_the_axes() {
+        let mut s = MotionScenario::retreat_table(1);
+        let a = s.sample_at(Seconds::new(25.0));
+        let energy = a.x.value().abs() + a.y.value().abs() + (a.z.value() - 1.0).abs();
+        assert!(energy > 0.1, "handling should perturb the axes");
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let mut a = MotionScenario::retreat_table(42);
+        let mut b = MotionScenario::retreat_table(42);
+        for i in 0..50 {
+            let t = Seconds::new(i as f64);
+            assert_eq!(a.sample_at(t), b.sample_at(t));
+        }
+    }
+
+    #[test]
+    fn handling_triggers_the_sca3000_most_of_the_time() {
+        let mut s = MotionScenario::retreat_table(3);
+        let mut acc = crate::Sca3000::new();
+        let mut triggers = 0;
+        for i in 0..100 {
+            // Sample inside handling windows only.
+            let t = Seconds::new(20.0 + 28.0 * i as f64 + 2.0);
+            if acc.update(s.sample_at(t)) {
+                triggers += 1;
+                acc.clear_interrupt();
+            }
+        }
+        assert!(triggers > 50, "triggers {triggers}");
+    }
+}

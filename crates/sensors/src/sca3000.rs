@@ -1,0 +1,238 @@
+//! The VTI SCA3000-E01 3-axis accelerometer (the second sensor board).
+//!
+//! §6: "for each axis, a threshold can be set that, when exceeded, causes
+//! an interrupt to the controller. If the Cube is sitting motionless on a
+//! table it is in deep sleep mode."
+
+use picocube_units::{Amps, Gs};
+
+/// Operating mode of the part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Sca3000Mode {
+    /// Continuous measurement (~120 µA): full-rate XYZ output.
+    Measurement,
+    /// Motion-detection (~10 µA): only the threshold comparators run; the
+    /// demo's standby state.
+    MotionDetect,
+}
+
+/// One three-axis sample in g.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct AxisSample {
+    /// X-axis acceleration.
+    pub x: Gs,
+    /// Y-axis acceleration.
+    pub y: Gs,
+    /// Z-axis acceleration (gravity shows up here at rest).
+    pub z: Gs,
+}
+
+impl AxisSample {
+    /// At rest, flat on the table: 1 g on Z.
+    pub fn at_rest() -> Self {
+        Self { x: Gs::ZERO, y: Gs::ZERO, z: Gs::new(1.0) }
+    }
+}
+
+/// SPI protocol constants.
+pub mod protocol {
+    /// Axis read request base: `0x10 | axis` (0 = X, 1 = Y, 2 = Z).
+    pub const CMD_READ_AXIS: u8 = 0x10;
+    /// Read selected-axis high byte.
+    pub const CMD_READ_HI: u8 = 0xF1;
+    /// Read selected-axis low byte.
+    pub const CMD_READ_LO: u8 = 0xF2;
+}
+
+/// The accelerometer model: ±3 g, 13-bit signed codes (SCA3000 format).
+#[derive(Debug, Clone)]
+pub struct Sca3000 {
+    mode: Sca3000Mode,
+    sample: AxisSample,
+    threshold: Gs,
+    latched: u16,
+    interrupt_pending: bool,
+}
+
+/// Codes are signed 13-bit two's complement at 1333 counts/g (±3 g range).
+const COUNTS_PER_G: f64 = 1333.0;
+
+impl Sca3000 {
+    /// A fresh part in motion-detect mode with a 1.3 g wake threshold
+    /// (rest reads 1 g on Z; handling the cube exceeds the margin).
+    pub fn new() -> Self {
+        Self {
+            mode: Sca3000Mode::MotionDetect,
+            sample: AxisSample::at_rest(),
+            threshold: Gs::new(1.3),
+            latched: 0,
+            interrupt_pending: false,
+        }
+    }
+
+    /// Current operating mode.
+    pub fn mode(&self) -> Sca3000Mode {
+        self.mode
+    }
+
+    /// Switches mode.
+    pub fn set_mode(&mut self, mode: Sca3000Mode) {
+        self.mode = mode;
+    }
+
+    /// Sets the per-axis motion threshold (applies to |value| on any axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is negative.
+    pub fn set_threshold(&mut self, threshold: Gs) {
+        assert!(threshold.value() >= 0.0, "threshold must be non-negative");
+        self.threshold = threshold;
+    }
+
+    /// Applies a new physical acceleration. In motion-detect mode an
+    /// excursion beyond the threshold latches an interrupt; returns `true`
+    /// when the interrupt line should assert (rising edge).
+    pub fn update(&mut self, sample: AxisSample) -> bool {
+        self.sample = sample;
+        let exceeded = [sample.x, sample.y, sample.z]
+            .iter()
+            .any(|a| a.abs() > self.threshold);
+        if exceeded && !self.interrupt_pending {
+            self.interrupt_pending = true;
+            return true;
+        }
+        false
+    }
+
+    /// Clears the interrupt latch (done by firmware reading the part).
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt_pending = false;
+    }
+
+    /// Whether the interrupt line is asserted.
+    pub fn interrupt_pending(&self) -> bool {
+        self.interrupt_pending
+    }
+
+    /// Encodes an acceleration as the part's signed 13-bit code.
+    pub fn encode(value: Gs) -> u16 {
+        let counts = (value.value() * COUNTS_PER_G).round().clamp(-4096.0, 4095.0) as i16;
+        (counts as u16) & 0x1FFF
+    }
+
+    /// Decodes a 13-bit code back to g.
+    pub fn decode(code: u16) -> Gs {
+        let raw = (code & 0x1FFF) as i16;
+        // Sign-extend 13 bits.
+        let signed = (raw << 3) >> 3;
+        Gs::new(f64::from(signed) / COUNTS_PER_G)
+    }
+
+    /// One SPI byte exchange.
+    pub fn spi(&mut self, mosi: u8) -> u8 {
+        use protocol::*;
+        match mosi {
+            m if m & 0xFC == CMD_READ_AXIS && m & 0x03 < 3 => {
+                let axis = match m & 0x03 {
+                    0 => self.sample.x,
+                    1 => self.sample.y,
+                    _ => self.sample.z,
+                };
+                self.latched = Self::encode(axis);
+                self.clear_interrupt();
+                0x00
+            }
+            CMD_READ_HI => (self.latched >> 8) as u8,
+            CMD_READ_LO => self.latched as u8,
+            _ => 0x00,
+        }
+    }
+
+    /// Supply current in the present mode.
+    pub fn current_draw(&self) -> Amps {
+        match self.mode {
+            Sca3000Mode::Measurement => Amps::from_micro(120.0),
+            Sca3000Mode::MotionDetect => Amps::from_micro(10.0),
+        }
+    }
+}
+
+impl Default for Sca3000 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rest_does_not_trigger() {
+        let mut acc = Sca3000::new();
+        assert!(!acc.update(AxisSample::at_rest()));
+        assert!(!acc.interrupt_pending());
+    }
+
+    #[test]
+    fn pickup_triggers_once_until_cleared() {
+        let mut acc = Sca3000::new();
+        let moving = AxisSample { x: Gs::new(0.8), y: Gs::new(1.1), z: Gs::new(1.6) };
+        assert!(acc.update(moving));
+        // Still moving: level-triggered latch does not re-edge.
+        assert!(!acc.update(moving));
+        acc.clear_interrupt();
+        assert!(acc.update(moving));
+    }
+
+    #[test]
+    fn negative_excursions_count() {
+        let mut acc = Sca3000::new();
+        assert!(acc.update(AxisSample { x: Gs::new(-2.0), y: Gs::ZERO, z: Gs::new(1.0) }));
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for g in [-3.0, -1.0, -0.001, 0.0, 0.5, 1.0, 2.99] {
+            let code = Sca3000::encode(Gs::new(g));
+            let back = Sca3000::decode(code);
+            assert!((back.value() - g).abs() < 1.0 / COUNTS_PER_G, "{g}");
+        }
+    }
+
+    #[test]
+    fn spi_reads_latched_axis() {
+        let mut acc = Sca3000::new();
+        acc.update(AxisSample { x: Gs::new(1.5), y: Gs::ZERO, z: Gs::new(1.0) });
+        acc.spi(0x10); // select X
+        let hi = acc.spi(0xF1);
+        let lo = acc.spi(0xF2);
+        let g = Sca3000::decode(u16::from(hi) << 8 | u16::from(lo));
+        assert!((g.value() - 1.5).abs() < 0.01);
+        // Reading cleared the interrupt latch.
+        assert!(!acc.interrupt_pending());
+    }
+
+    #[test]
+    fn motion_detect_mode_draws_less() {
+        let mut acc = Sca3000::new();
+        let md = acc.current_draw();
+        acc.set_mode(Sca3000Mode::Measurement);
+        assert!(acc.current_draw() > md);
+    }
+
+    #[test]
+    fn threshold_is_adjustable() {
+        let mut acc = Sca3000::new();
+        acc.set_threshold(Gs::new(0.5));
+        // Rest now exceeds the threshold (1 g on Z).
+        assert!(acc.update(AxisSample::at_rest()));
+    }
+
+    #[test]
+    fn saturates_at_range_limits() {
+        let code = Sca3000::encode(Gs::new(10.0));
+        assert!((Sca3000::decode(code).value() - 3.07).abs() < 0.01);
+    }
+}

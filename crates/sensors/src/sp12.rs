@@ -1,0 +1,335 @@
+//! The Sensonor SP12 TPMS sensor (two bare dice, chip-on-board).
+//!
+//! §4.5: "This device has sensors for tire pressure, temperature,
+//! acceleration, and supply voltage. […] The digital die generates an
+//! interrupt every six seconds — between events, only an internal timer is
+//! running and the MSP430 controller is in deep sleep mode."
+
+use crate::adc::AdcChannel;
+use picocube_units::{Amps, Celsius, Gs, Kilopascals, Seconds, Volts};
+
+/// The four measurement channels, in the firmware's channel order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Sp12Channel {
+    /// Tire gauge pressure, 0–450 kPa on 12 bits.
+    Pressure,
+    /// Die temperature, −40…125 °C on 12 bits.
+    Temperature,
+    /// Radial acceleration, 0–500 g on 12 bits (the rim sees hundreds of g
+    /// at highway speed; the channel doubles as a rotation detector).
+    Acceleration,
+    /// Supply voltage, 0–3.6 V on 12 bits.
+    Voltage,
+}
+
+impl Sp12Channel {
+    /// Channel index as used on the SPI command byte (`0xA0 | index`).
+    pub fn index(self) -> u8 {
+        match self {
+            Self::Pressure => 0,
+            Self::Temperature => 1,
+            Self::Acceleration => 2,
+            Self::Voltage => 3,
+        }
+    }
+
+    /// Channel from a command index.
+    pub fn from_index(i: u8) -> Option<Self> {
+        Some(match i {
+            0 => Self::Pressure,
+            1 => Self::Temperature,
+            2 => Self::Acceleration,
+            3 => Self::Voltage,
+            _ => return None,
+        })
+    }
+}
+
+/// One snapshot of the quantities the SP12 digitizes.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TireSample {
+    /// Gauge pressure inside the tire.
+    pub pressure: Kilopascals,
+    /// Sensor die temperature.
+    pub temperature: Celsius,
+    /// Radial (centripetal) acceleration at the rim.
+    pub acceleration: Gs,
+    /// Supply voltage at the sensor.
+    pub supply: Volts,
+}
+
+impl TireSample {
+    /// A parked, cold tire at the recommended 220 kPa with a healthy rail.
+    pub fn parked() -> Self {
+        Self {
+            pressure: Kilopascals::new(220.0),
+            temperature: Celsius::new(20.0),
+            acceleration: Gs::ZERO,
+            supply: Volts::new(2.4),
+        }
+    }
+}
+
+/// SPI protocol constants (the firmware's view of the part).
+pub mod protocol {
+    /// Start-conversion command base: `0xA0 | channel`.
+    pub const CMD_CONVERT: u8 = 0xA0;
+    /// Status request; response bit 0 = conversion ready.
+    pub const CMD_STATUS: u8 = 0xF0;
+    /// Read result high byte.
+    pub const CMD_READ_HI: u8 = 0xF1;
+    /// Read result low byte.
+    pub const CMD_READ_LO: u8 = 0xF2;
+}
+
+/// The SP12 behavioural model.
+#[derive(Debug, Clone)]
+pub struct Sp12 {
+    sample: TireSample,
+    channels: [AdcChannel; 4],
+    /// Conversion time modeled as status polls before ready: with the
+    /// firmware's ~0.5 ms poll loop this yields the SP12's ~3 ms
+    /// per-channel conversion, and in aggregate the ~14 ms cycle of §4.5.
+    polls_until_ready: u8,
+    polls_seen: u8,
+    result: u16,
+    converting: Option<Sp12Channel>,
+    wake_interval: Seconds,
+    rng: picocube_sim::SimRng,
+    noisy: bool,
+}
+
+impl Sp12 {
+    /// A part with nominal calibration and noiseless conversions.
+    pub fn new() -> Self {
+        Self {
+            sample: TireSample::parked(),
+            channels: [
+                AdcChannel::new(12, 0.0, 450.0, 0.5),  // kPa
+                AdcChannel::new(12, -40.0, 125.0, 0.5), // °C
+                AdcChannel::new(12, 0.0, 500.0, 0.5),  // g
+                AdcChannel::new(12, 0.0, 3.6, 0.5),    // V
+            ],
+            polls_until_ready: 6,
+            polls_seen: 0,
+            result: 0,
+            converting: None,
+            wake_interval: Seconds::new(6.0),
+            rng: picocube_sim::SimRng::seed_from(0x5012),
+            noisy: false,
+        }
+    }
+
+    /// Enables ADC noise, seeded for reproducibility.
+    pub fn with_noise(mut self, seed: u64) -> Self {
+        self.rng = picocube_sim::SimRng::seed_from(seed);
+        self.noisy = true;
+        self
+    }
+
+    /// Reprograms the digital die's wake interval (the part is one-time
+    /// programmable at test; design-space sweeps use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is not strictly positive.
+    pub fn with_wake_interval(mut self, interval: Seconds) -> Self {
+        assert!(interval.value() > 0.0, "wake interval must be positive");
+        self.wake_interval = interval;
+        self
+    }
+
+    /// The digital die's wake-interrupt period (§4.5: six seconds).
+    pub fn wake_interval(&self) -> Seconds {
+        self.wake_interval
+    }
+
+    /// Updates the physical quantities the next conversion will digitize.
+    pub fn set_sample(&mut self, sample: TireSample) {
+        self.sample = sample;
+    }
+
+    /// The currently applied physical sample.
+    pub fn sample(&self) -> TireSample {
+        self.sample
+    }
+
+    /// Performs a complete conversion directly (bench-test path; the SPI
+    /// protocol below is what firmware uses). Returns `(code, physical)`.
+    pub fn convert(&mut self, channel: Sp12Channel) -> (u16, f64) {
+        let value = match channel {
+            Sp12Channel::Pressure => self.sample.pressure.value(),
+            Sp12Channel::Temperature => self.sample.temperature.value(),
+            Sp12Channel::Acceleration => self.sample.acceleration.value(),
+            Sp12Channel::Voltage => self.sample.supply.value(),
+        };
+        let ch = &self.channels[channel.index() as usize];
+        let code =
+            if self.noisy { ch.quantize(value, &mut self.rng) } else { ch.quantize_noiseless(value) };
+        (code, value)
+    }
+
+    /// Decodes a 12-bit code back to physical units for a channel.
+    pub fn decode(&self, channel: Sp12Channel, code: u16) -> f64 {
+        self.channels[channel.index() as usize].dequantize(code)
+    }
+
+    /// Encodes a physical value as the channel's 12-bit code (what firmware
+    /// thresholds — e.g. a low-pressure alarm level — must be expressed in).
+    pub fn encode(&self, channel: Sp12Channel, value: f64) -> u16 {
+        self.channels[channel.index() as usize].quantize_noiseless(value)
+    }
+
+    /// One SPI byte exchange (the analog/digital die pair's protocol).
+    pub fn spi(&mut self, mosi: u8) -> u8 {
+        use protocol::*;
+        match mosi {
+            m if m & 0xFC == CMD_CONVERT => {
+                if let Some(ch) = Sp12Channel::from_index(m & 0x03) {
+                    self.converting = Some(ch);
+                    self.polls_seen = 0;
+                    let (code, _) = self.convert(ch);
+                    self.result = code;
+                }
+                0x00
+            }
+            CMD_STATUS => {
+                if self.converting.is_some() {
+                    self.polls_seen = self.polls_seen.saturating_add(1);
+                    u8::from(self.polls_seen >= self.polls_until_ready)
+                } else {
+                    0x01 // idle counts as ready
+                }
+            }
+            CMD_READ_HI => (self.result >> 8) as u8,
+            CMD_READ_LO => {
+                self.converting = None;
+                self.result as u8
+            }
+            _ => 0x00,
+        }
+    }
+
+    /// Supply current: the digital die's timer ticks in sleep; a conversion
+    /// burns the analog die's bias.
+    pub fn current_draw(&self) -> Amps {
+        if self.converting.is_some() {
+            Amps::from_micro(350.0)
+        } else {
+            Amps::from_nano(300.0)
+        }
+    }
+}
+
+impl Default for Sp12 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_interval_is_six_seconds() {
+        assert_eq!(Sp12::new().wake_interval(), Seconds::new(6.0));
+    }
+
+    #[test]
+    fn conversion_round_trips_through_codes() {
+        let mut sp12 = Sp12::new();
+        sp12.set_sample(TireSample {
+            pressure: Kilopascals::new(230.0),
+            temperature: Celsius::new(35.0),
+            acceleration: Gs::new(120.0),
+            supply: Volts::new(2.35),
+        });
+        for (ch, expect) in [
+            (Sp12Channel::Pressure, 230.0),
+            (Sp12Channel::Temperature, 35.0),
+            (Sp12Channel::Acceleration, 120.0),
+            (Sp12Channel::Voltage, 2.35),
+        ] {
+            let (code, _) = sp12.convert(ch);
+            let back = sp12.decode(ch, code);
+            assert!((back - expect).abs() < 0.2, "{ch:?}: {back} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn spi_protocol_full_conversation() {
+        let mut sp12 = Sp12::new();
+        sp12.set_sample(TireSample::parked());
+        // Trigger channel 0 (pressure).
+        sp12.spi(0xA0);
+        // Not ready for the first five polls.
+        for _ in 0..5 {
+            assert_eq!(sp12.spi(0xF0) & 1, 0);
+        }
+        assert_eq!(sp12.spi(0xF0) & 1, 1);
+        let hi = sp12.spi(0xF1);
+        let lo = sp12.spi(0xF2);
+        let code = u16::from(hi) << 8 | u16::from(lo);
+        let kpa = sp12.decode(Sp12Channel::Pressure, code);
+        assert!((kpa - 220.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn status_idle_reads_ready() {
+        let mut sp12 = Sp12::new();
+        assert_eq!(sp12.spi(0xF0) & 1, 1);
+    }
+
+    #[test]
+    fn conversion_current_exceeds_sleep_current() {
+        let mut sp12 = Sp12::new();
+        let asleep = sp12.current_draw();
+        sp12.spi(0xA1);
+        let converting = sp12.current_draw();
+        assert!(converting.value() / asleep.value() > 1000.0);
+        // Reading the low byte ends the conversion.
+        sp12.spi(0xF1);
+        sp12.spi(0xF2);
+        assert_eq!(sp12.current_draw(), asleep);
+    }
+
+    #[test]
+    fn sleep_current_is_sub_microamp() {
+        // The "only an internal timer is running" state.
+        assert!(Sp12::new().current_draw() < Amps::from_micro(1.0));
+    }
+
+    #[test]
+    fn unknown_commands_are_harmless() {
+        let mut sp12 = Sp12::new();
+        assert_eq!(sp12.spi(0x55), 0);
+        assert_eq!(sp12.spi(0xFF), 0);
+    }
+
+    #[test]
+    fn noisy_part_dithers_within_spec() {
+        let mut sp12 = Sp12::new().with_noise(7);
+        sp12.set_sample(TireSample::parked());
+        let codes: Vec<u16> =
+            (0..100).map(|_| sp12.convert(Sp12Channel::Pressure).0).collect();
+        let min = *codes.iter().min().unwrap();
+        let max = *codes.iter().max().unwrap();
+        assert!(max > min);
+        // 0.5-LSB RMS noise: total spread stays within a few LSBs.
+        assert!(max - min <= 6, "spread {}", max - min);
+    }
+
+    #[test]
+    fn channel_index_round_trip() {
+        for ch in [
+            Sp12Channel::Pressure,
+            Sp12Channel::Temperature,
+            Sp12Channel::Acceleration,
+            Sp12Channel::Voltage,
+        ] {
+            assert_eq!(Sp12Channel::from_index(ch.index()), Some(ch));
+        }
+        assert_eq!(Sp12Channel::from_index(4), None);
+    }
+}

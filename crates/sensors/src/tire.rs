@@ -1,0 +1,203 @@
+//! Tire physics: the environment behind the SP12's channels.
+
+use crate::sp12::TireSample;
+use picocube_harvest::DriveCycle;
+use picocube_units::{Celsius, Kilopascals, Seconds, Volts};
+
+/// Atmospheric pressure used for gauge/absolute conversions.
+const ATMOSPHERE_KPA: f64 = 101.325;
+
+/// A rolling tire: pressure, temperature, and rim acceleration driven by a
+/// [`DriveCycle`].
+///
+/// * Temperature relaxes toward `ambient + k·v` (flexing friction) with a
+///   first-order time constant — highway driving warms a tire by tens of
+///   degrees over ~10 minutes.
+/// * Pressure follows the isochoric gas law `P_abs ∝ T_abs`, optionally
+///   minus a slow leak (the fault TPMS exists to catch).
+/// * Rim acceleration is centripetal, `v²/r` — hundreds of g at speed.
+#[derive(Debug, Clone)]
+pub struct TireEnvironment {
+    cycle: DriveCycle,
+    wheel_radius_m: f64,
+    ambient: Celsius,
+    /// Steady-state warm-up per (m/s) of speed.
+    warmup_per_mps: f64,
+    /// First-order thermal time constant.
+    thermal_tau: Seconds,
+    /// Cold inflation (gauge) at ambient.
+    cold_pressure: Kilopascals,
+    /// Gauge-pressure loss per hour (puncture model).
+    leak_per_hour: Kilopascals,
+    /// Supply rail the SP12 reports (updated by the node).
+    supply: Volts,
+    // State.
+    time: Seconds,
+    temperature: Celsius,
+    leaked: Kilopascals,
+}
+
+impl TireEnvironment {
+    /// A passenger-car tire: 0.3 m wheel, 220 kPa cold at 20 °C ambient,
+    /// +0.9 °C steady-state per m/s, 5-minute thermal time constant.
+    pub fn passenger_car(cycle: DriveCycle) -> Self {
+        Self {
+            cycle,
+            wheel_radius_m: 0.3,
+            ambient: Celsius::new(20.0),
+            warmup_per_mps: 0.9,
+            thermal_tau: Seconds::new(300.0),
+            cold_pressure: Kilopascals::new(220.0),
+            leak_per_hour: Kilopascals::ZERO,
+            supply: Volts::new(2.4),
+            time: Seconds::ZERO,
+            temperature: Celsius::new(20.0),
+            leaked: Kilopascals::ZERO,
+        }
+    }
+
+    /// Adds a slow leak (gauge kPa lost per hour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative.
+    pub fn with_leak(mut self, per_hour: Kilopascals) -> Self {
+        assert!(per_hour.value() >= 0.0, "leak rate must be non-negative");
+        self.leak_per_hour = per_hour;
+        self
+    }
+
+    /// Sets the supply voltage the SP12 will report.
+    pub fn set_supply(&mut self, supply: Volts) {
+        self.supply = supply;
+    }
+
+    /// Elapsed scenario time.
+    pub fn time(&self) -> Seconds {
+        self.time
+    }
+
+    /// Advances the physics by `dt` and returns the new sensor-visible
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn step(&mut self, dt: Seconds) -> TireSample {
+        assert!(dt.value() >= 0.0, "negative time step");
+        let v = self.cycle.speed_at(self.time);
+        // First-order relaxation toward the speed-dependent setpoint.
+        let target = self.ambient.value() + self.warmup_per_mps * v.value();
+        let alpha = 1.0 - (-dt.value() / self.thermal_tau.value()).exp();
+        self.temperature =
+            Celsius::new(self.temperature.value() + alpha * (target - self.temperature.value()));
+        self.leaked += self.leak_per_hour * (dt.value() / 3600.0);
+        self.time += dt;
+        self.sample()
+    }
+
+    /// The present sensor-visible sample without advancing time.
+    pub fn sample(&self) -> TireSample {
+        let v = self.cycle.speed_at(self.time);
+        // Isochoric: gauge+atm scales with absolute temperature relative to
+        // the cold (ambient) fill.
+        let p_cold_abs = self.cold_pressure.value() + ATMOSPHERE_KPA;
+        let p_abs = p_cold_abs * self.temperature.kelvin() / self.ambient.kelvin();
+        let gauge = (p_abs - ATMOSPHERE_KPA - self.leaked.value()).max(0.0);
+        TireSample {
+            pressure: Kilopascals::new(gauge),
+            temperature: self.temperature,
+            acceleration: v.centripetal_at_radius(self.wheel_radius_m).to_gs(),
+            supply: self.supply,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use picocube_units::Gs;
+
+    #[test]
+    fn parked_tire_stays_cold_at_fill_pressure() {
+        let mut tire = TireEnvironment::passenger_car(DriveCycle::parked());
+        let s = tire.step(Seconds::HOUR);
+        assert!((s.pressure.value() - 220.0).abs() < 0.5);
+        assert!((s.temperature.value() - 20.0).abs() < 0.1);
+        assert_eq!(s.acceleration, Gs::ZERO);
+    }
+
+    #[test]
+    fn highway_driving_warms_and_pressurizes() {
+        let mut tire = TireEnvironment::passenger_car(DriveCycle::highway());
+        let mut s = TireSample::parked();
+        for _ in 0..120 {
+            s = tire.step(Seconds::new(10.0)); // 20 minutes
+        }
+        // ~110 km/h ≈ 30.6 m/s: target ≈ 20 + 27.5 °C.
+        assert!(s.temperature.value() > 40.0, "temp {:?}", s.temperature);
+        // Warmer gas pushes the gauge up ~8 %/25 °C.
+        assert!(s.pressure.value() > 240.0, "pressure {:?}", s.pressure);
+    }
+
+    #[test]
+    fn rim_acceleration_is_hundreds_of_g() {
+        let mut tire = TireEnvironment::passenger_car(DriveCycle::highway());
+        let s = tire.step(Seconds::new(1.0));
+        assert!(s.acceleration.value() > 200.0, "accel {:?}", s.acceleration);
+    }
+
+    #[test]
+    fn warmup_is_first_order() {
+        let mut tire = TireEnvironment::passenger_car(DriveCycle::highway());
+        // One time constant: ~63 % of the way to the target.
+        let mut temp_tau = 0.0;
+        for _ in 0..30 {
+            temp_tau = tire.step(Seconds::new(10.0)).temperature.value();
+        }
+        let target = 20.0 + 0.9 * (110.0 / 3.6);
+        let frac = (temp_tau - 20.0) / (target - 20.0);
+        assert!((frac - 0.63).abs() < 0.05, "relaxation fraction {frac:.2}");
+    }
+
+    #[test]
+    fn leak_deflates_over_hours() {
+        let mut tire = TireEnvironment::passenger_car(DriveCycle::parked())
+            .with_leak(Kilopascals::new(10.0));
+        let mut last = TireSample::parked();
+        for _ in 0..5 {
+            last = tire.step(Seconds::HOUR);
+        }
+        assert!((last.pressure.value() - 170.0).abs() < 1.0, "pressure {:?}", last.pressure);
+    }
+
+    #[test]
+    fn pressure_never_goes_negative() {
+        let mut tire = TireEnvironment::passenger_car(DriveCycle::parked())
+            .with_leak(Kilopascals::new(100.0));
+        for _ in 0..10 {
+            tire.step(Seconds::HOUR);
+        }
+        assert_eq!(tire.sample().pressure.value(), 0.0);
+    }
+
+    #[test]
+    fn supply_passthrough() {
+        let mut tire = TireEnvironment::passenger_car(DriveCycle::parked());
+        tire.set_supply(Volts::new(2.17));
+        assert_eq!(tire.sample().supply, Volts::new(2.17));
+    }
+
+    #[test]
+    fn cooldown_after_stopping() {
+        // Urban cycle: the tire's temperature must track below the pure
+        // highway steady state because of the idle fraction.
+        let mut urban = TireEnvironment::passenger_car(DriveCycle::urban());
+        let mut hw = TireEnvironment::passenger_car(DriveCycle::highway());
+        for _ in 0..360 {
+            urban.step(Seconds::new(10.0));
+            hw.step(Seconds::new(10.0));
+        }
+        assert!(urban.sample().temperature < hw.sample().temperature);
+    }
+}

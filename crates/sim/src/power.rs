@@ -1,0 +1,344 @@
+//! Rail-by-rail, load-by-load power accounting.
+//!
+//! The PicoCube has three supply rails (2.1–3.6 V controller/sensor, 1.0 V
+//! radio digital, 0.65 V radio RF) plus the 1.2 V battery bus. Every
+//! component model registers one or more *loads* on a rail and publishes its
+//! instantaneous current draw whenever it changes state. The ledger treats
+//! draws as piecewise-constant between updates and integrates exact per-load
+//! energies, which is what the paper's Fig. 6 profile and §6 power budget
+//! measure on the bench.
+
+use crate::{SimDuration, SimTime};
+use picocube_units::{Amps, Joules, Seconds, Volts, Watts};
+
+/// Identifies a supply rail registered with a [`PowerLedger`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct RailId(usize);
+
+/// Identifies a load registered on a rail.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct LoadId {
+    rail: usize,
+    load: usize,
+}
+
+impl LoadId {
+    /// The rail this load draws from.
+    pub fn rail(self) -> RailId {
+        RailId(self.rail)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Load {
+    name: String,
+    current: Amps,
+    energy: Joules,
+}
+
+#[derive(Debug, Clone)]
+struct Rail {
+    name: String,
+    voltage: Volts,
+    loads: Vec<Load>,
+}
+
+/// Integrating energy meter over a set of named rails and loads.
+///
+/// # Examples
+///
+/// ```
+/// use picocube_sim::{PowerLedger, SimTime};
+/// use picocube_units::{Volts, Amps, Watts};
+///
+/// let mut ledger = PowerLedger::new();
+/// let vdd = ledger.add_rail("VDD", Volts::new(3.0));
+/// let mcu = ledger.register_load(vdd, "MSP430");
+///
+/// ledger.set_load_current(mcu, Amps::from_micro(0.5)); // deep sleep
+/// ledger.advance_to(SimTime::from_secs(6));
+/// assert!((ledger.total_energy().micro() - 9.0).abs() < 1e-9); // 3V*0.5µA*6s
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerLedger {
+    rails: Vec<Rail>,
+    now: SimTime,
+}
+
+impl PowerLedger {
+    /// Creates an empty ledger at time zero.
+    pub fn new() -> Self {
+        Self { rails: Vec::new(), now: SimTime::ZERO }
+    }
+
+    /// Registers a supply rail at the given nominal voltage.
+    pub fn add_rail(&mut self, name: impl Into<String>, voltage: Volts) -> RailId {
+        self.rails.push(Rail { name: name.into(), voltage, loads: Vec::new() });
+        RailId(self.rails.len() - 1)
+    }
+
+    /// Registers a named load on `rail`, initially drawing zero current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rail` was not issued by this ledger.
+    pub fn register_load(&mut self, rail: RailId, name: impl Into<String>) -> LoadId {
+        let r = &mut self.rails[rail.0];
+        r.loads.push(Load { name: name.into(), current: Amps::ZERO, energy: Joules::ZERO });
+        LoadId { rail: rail.0, load: r.loads.len() - 1 }
+    }
+
+    /// Current simulation time of the ledger.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Updates the instantaneous current drawn by `load`.
+    ///
+    /// The previous draw is assumed to have held since the last
+    /// [`advance_to`](Self::advance_to); call `advance_to` *before* changing
+    /// currents at an event boundary.
+    pub fn set_load_current(&mut self, load: LoadId, current: Amps) {
+        self.rails[load.rail].loads[load.load].current = current;
+    }
+
+    /// Reads back the instantaneous current drawn by `load`.
+    pub fn load_current(&self, load: LoadId) -> Amps {
+        self.rails[load.rail].loads[load.load].current
+    }
+
+    /// Updates the rail voltage (e.g. battery sag). Takes effect for energy
+    /// integrated after the call.
+    pub fn set_rail_voltage(&mut self, rail: RailId, voltage: Volts) {
+        self.rails[rail.0].voltage = voltage;
+    }
+
+    /// The present voltage of `rail`.
+    pub fn rail_voltage(&self, rail: RailId) -> Volts {
+        self.rails[rail.0].voltage
+    }
+
+    /// Instantaneous power drawn from `rail` (sum over its loads).
+    pub fn rail_power(&self, rail: RailId) -> Watts {
+        let r = &self.rails[rail.0];
+        let total: Amps = r.loads.iter().map(|l| l.current).sum();
+        r.voltage * total
+    }
+
+    /// Instantaneous total power across all rails.
+    pub fn total_power(&self) -> Watts {
+        (0..self.rails.len()).map(|i| self.rail_power(RailId(i))).sum()
+    }
+
+    /// Integrates all loads forward to `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the ledger's current time.
+    pub fn advance_to(&mut self, t: SimTime) {
+        let dt: Seconds = t.duration_since(self.now).as_seconds();
+        if dt.value() > 0.0 {
+            for rail in &mut self.rails {
+                for load in &mut rail.loads {
+                    load.energy += rail.voltage * load.current * dt;
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Integrates all loads forward by `dt`.
+    pub fn advance_by(&mut self, dt: SimDuration) {
+        self.advance_to(self.now + dt);
+    }
+
+    /// Total energy consumed from `rail` so far.
+    pub fn rail_energy(&self, rail: RailId) -> Joules {
+        self.rails[rail.0].loads.iter().map(|l| l.energy).sum()
+    }
+
+    /// Energy consumed by one load so far.
+    pub fn load_energy(&self, load: LoadId) -> Joules {
+        self.rails[load.rail].loads[load.load].energy
+    }
+
+    /// Total energy consumed across all rails so far.
+    pub fn total_energy(&self) -> Joules {
+        (0..self.rails.len()).map(|i| self.rail_energy(RailId(i))).sum()
+    }
+
+    /// Average power since simulation start (total energy / elapsed time).
+    /// Returns zero before any time has elapsed.
+    pub fn average_power(&self) -> Watts {
+        let t = self.now.as_seconds();
+        if t.value() <= 0.0 {
+            Watts::ZERO
+        } else {
+            self.total_energy() / t
+        }
+    }
+
+    /// Produces a structured per-rail, per-load energy report.
+    pub fn report(&self) -> PowerReport {
+        PowerReport {
+            elapsed: self.now.as_seconds(),
+            total_energy: self.total_energy(),
+            average_power: self.average_power(),
+            rails: self
+                .rails
+                .iter()
+                .map(|r| RailReport {
+                    name: r.name.clone(),
+                    voltage: r.voltage,
+                    energy: r.loads.iter().map(|l| l.energy).sum(),
+                    loads: r.loads.iter().map(|l| (l.name.clone(), l.energy)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for PowerLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-rail slice of a [`PowerReport`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RailReport {
+    /// Rail name as registered.
+    pub name: String,
+    /// Rail voltage at report time.
+    pub voltage: Volts,
+    /// Total energy drawn from this rail.
+    pub energy: Joules,
+    /// `(load name, energy)` pairs in registration order.
+    pub loads: Vec<(String, Joules)>,
+}
+
+/// Snapshot of a [`PowerLedger`]'s accumulated energy accounting.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PowerReport {
+    /// Simulated time covered by the report.
+    pub elapsed: Seconds,
+    /// Total energy drawn across all rails.
+    pub total_energy: Joules,
+    /// `total_energy / elapsed`.
+    pub average_power: Watts,
+    /// Per-rail breakdowns.
+    pub rails: Vec<RailReport>,
+}
+
+impl core::fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "power report: {:.3} over {:.3} (avg {:.3})",
+            self.total_energy, self.elapsed, self.average_power
+        )?;
+        for rail in &self.rails {
+            writeln!(f, "  rail {:<18} {:>7.3}: {:.6}", rail.name, rail.voltage, rail.energy)?;
+            for (name, energy) in &rail.loads {
+                writeln!(f, "    {:<20} {:.9}", name, energy)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_piecewise_constant_current() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VBAT", Volts::new(1.2));
+        let load = ledger.register_load(rail, "radio");
+
+        ledger.set_load_current(load, Amps::from_milli(1.0));
+        ledger.advance_to(SimTime::from_millis(10));
+        ledger.set_load_current(load, Amps::ZERO);
+        ledger.advance_to(SimTime::from_secs(10));
+
+        // 1.2 V * 1 mA * 10 ms = 12 µJ
+        assert!((ledger.total_energy().micro() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_load_breakdown() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VDD", Volts::new(2.0));
+        let a = ledger.register_load(rail, "a");
+        let b = ledger.register_load(rail, "b");
+        ledger.set_load_current(a, Amps::from_micro(1.0));
+        ledger.set_load_current(b, Amps::from_micro(3.0));
+        ledger.advance_to(SimTime::from_secs(1));
+        assert!((ledger.load_energy(a).micro() - 2.0).abs() < 1e-9);
+        assert!((ledger.load_energy(b).micro() - 6.0).abs() < 1e-9);
+        assert!((ledger.rail_energy(rail).micro() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rail_voltage_change_applies_forward() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VBAT", Volts::new(1.2));
+        let load = ledger.register_load(rail, "mcu");
+        ledger.set_load_current(load, Amps::new(1.0));
+        ledger.advance_to(SimTime::from_secs(1)); // 1.2 J
+        ledger.set_rail_voltage(rail, Volts::new(1.0));
+        ledger.advance_to(SimTime::from_secs(2)); // +1.0 J
+        assert!((ledger.total_energy().value() - 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power_matches_energy_over_time() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VDD", Volts::new(3.0));
+        let load = ledger.register_load(rail, "x");
+        ledger.set_load_current(load, Amps::from_micro(2.0));
+        ledger.advance_to(SimTime::from_secs(100));
+        assert!((ledger.average_power().micro() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power_is_zero_at_t0() {
+        let ledger = PowerLedger::new();
+        assert_eq!(ledger.average_power(), Watts::ZERO);
+    }
+
+    #[test]
+    fn instantaneous_power_sums_rails() {
+        let mut ledger = PowerLedger::new();
+        let r1 = ledger.add_rail("a", Volts::new(1.0));
+        let r2 = ledger.add_rail("b", Volts::new(2.0));
+        let l1 = ledger.register_load(r1, "x");
+        let l2 = ledger.register_load(r2, "y");
+        ledger.set_load_current(l1, Amps::new(1.0));
+        ledger.set_load_current(l2, Amps::new(1.0));
+        assert!((ledger.total_power().value() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn advancing_backwards_panics() {
+        let mut ledger = PowerLedger::new();
+        ledger.advance_to(SimTime::from_secs(2));
+        ledger.advance_to(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn report_contains_all_loads() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VDD", Volts::new(3.0));
+        ledger.register_load(rail, "mcu");
+        ledger.register_load(rail, "sensor");
+        let report = ledger.report();
+        assert_eq!(report.rails.len(), 1);
+        assert_eq!(report.rails[0].loads.len(), 2);
+        assert_eq!(report.rails[0].loads[0].0, "mcu");
+        let shown = format!("{report}");
+        assert!(shown.contains("mcu") && shown.contains("sensor"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Time-ordered, insertion-stable event queue.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic discrete-event queue.
+///
+/// Events pop in ascending time order; events scheduled for the same instant
+/// pop in the order they were pushed (FIFO). This stability is what makes
+/// whole-node simulations reproducible without per-event tie-break keys.
+///
+/// # Examples
+///
+/// ```
+/// use picocube_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(6), "sp12 wake");
+/// q.push(SimTime::from_millis(1), "boot");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "boot")));
+/// assert_eq!(q.peek_time(), Some(SimTime::from_secs(6)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(capacity), seq: 0 }
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes and returns the earliest event only if it is due at or before
+    /// `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Drops every pending event for which `keep` returns `false`.
+    ///
+    /// Used to model cancellation (e.g. power-gating a block whose timer had
+    /// a pending expiry). Relative order of surviving events is preserved.
+    pub fn retain<F: FnMut(SimTime, &E) -> bool>(&mut self, mut keep: F) {
+        let entries = std::mem::take(&mut self.heap);
+        self.heap = entries
+            .into_iter()
+            .filter(|Reverse(e)| keep(e.time, &e.event))
+            .collect();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), "later");
+        assert_eq!(q.pop_due(SimTime::from_secs(9)), None);
+        assert_eq!(q.pop_due(SimTime::from_secs(10)), Some((SimTime::from_secs(10), "later")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn retain_cancels_events() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.push(SimTime::from_secs(u64::from(i)), i);
+        }
+        q.retain(|_, &e| e % 2 == 0);
+        assert_eq!(q.len(), 5);
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::with_capacity(16);
+        q.push(SimTime::ZERO, 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn fifo_survives_interleaved_pops() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, "a");
+        q.push(t, "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(t, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic random numbers for stochastic device models.
+
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seedable RNG wrapper used by every stochastic model in the workspace.
+///
+/// All PicoCube models take a `SimRng` (or derive one via
+/// [`fork`](Self::fork)) so experiments are reproducible bit-for-bit from a
+/// single seed. Backed by [`rand::rngs::StdRng`].
+///
+/// # Examples
+///
+/// ```
+/// use picocube_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self { inner: rand::rngs::StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child RNG. Forking lets subsystems consume
+    /// randomness without perturbing each other's streams, so adding a model
+    /// does not change the draws seen by existing ones.
+    pub fn fork(&mut self) -> Self {
+        Self::seed_from(self.inner.next_u64())
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid uniform range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// A standard normal sample via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Box–Muller: u1 in (0,1], u2 in [0,1).
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(sigma >= 0.0, "negative standard deviation");
+        mean + sigma * self.standard_normal()
+    }
+
+    /// A Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.gen::<f64>() < p
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.inner.gen_range(0..n)
+    }
+
+    /// An exponential sample with the given rate (events per unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -u.ln() / rate
+    }
+
+    /// A raw `u64`, for callers that need bits rather than floats.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forked_streams_are_independent_of_later_parent_use() {
+        let mut parent1 = SimRng::seed_from(7);
+        let mut child1 = parent1.fork();
+        let c1: Vec<u64> = (0..8).map(|_| child1.next_u64()).collect();
+
+        let mut parent2 = SimRng::seed_from(7);
+        let mut child2 = parent2.fork();
+        // Use the parent *before* reading the child: child draws must not move.
+        for _ in 0..100 {
+            parent2.next_u64();
+        }
+        let c2: Vec<u64> = (0..8).map(|_| child2.next_u64()).collect();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let mut rng = SimRng::seed_from(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = SimRng::seed_from(3);
+        let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02);
+        // Degenerate probabilities never panic.
+        assert!(!rng.bernoulli(-1.0));
+        assert!(rng.bernoulli(2.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SimRng::seed_from(4);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn index_bounds() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..100 {
+            assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform range")]
+    fn uniform_rejects_bad_range() {
+        SimRng::seed_from(0).uniform(1.0, 1.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Integer-nanosecond simulation time.
+
+use picocube_units::Seconds;
+
+/// An absolute instant on the simulation clock, in nanoseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is a `u64`, giving a range of about 584 simulated years —
+/// comfortably beyond the "decades in a building" deployment horizon the
+/// paper motivates.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+/// A span between two [`SimTime`] instants, in nanoseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates an instant from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates an instant from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Creates an instant from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000_000)
+    }
+
+    /// Creates an instant from a floating-point [`Seconds`] value, rounding
+    /// to the nearest nanosecond. Negative values clamp to zero.
+    #[inline]
+    pub fn from_seconds(s: Seconds) -> Self {
+        Self((s.value().max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as floating-point seconds since simulation start.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds::new(self.0 as f64 * 1e-9)
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is after `self`; use
+    /// [`checked_duration_since`](Self::checked_duration_since) when the
+    /// ordering is not known statically.
+    #[inline]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        self.checked_duration_since(earlier)
+            .expect("duration_since: earlier instant is after self")
+    }
+
+    /// The span from `earlier` to `self`, or `None` if `earlier > self`.
+    #[inline]
+    pub fn checked_duration_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> Self {
+        Self(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a span from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// Creates a span from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    /// Creates a span from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000_000)
+    }
+
+    /// Creates a span from a floating-point [`Seconds`] value, rounding to
+    /// the nearest nanosecond. Negative values clamp to zero.
+    #[inline]
+    pub fn from_seconds(s: Seconds) -> Self {
+        Self((s.value().max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span as floating-point seconds.
+    #[inline]
+    pub fn as_seconds(self) -> Seconds {
+        Seconds::new(self.0 as f64 * 1e-9)
+    }
+
+    /// Whether the span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Self {
+        Self(self.0.saturating_mul(k))
+    }
+}
+
+impl core::ops::Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl core::ops::Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl core::ops::Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t={:.9}s", self.0 as f64 * 1e-9)
+    }
+}
+
+impl core::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.9}s", self.0 as f64 * 1e-9)
+    }
+}
+
+impl core::fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SimTime({} ns)", self.0)
+    }
+}
+
+impl core::fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SimDuration({} ns)", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_seconds(Seconds::new(14e-3));
+        assert_eq!(t, SimTime::from_millis(14));
+        assert!((t.as_seconds().value() - 14e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_seconds(Seconds::new(-1.0)), SimTime::ZERO);
+        assert_eq!(SimDuration::from_seconds(Seconds::new(-1.0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(6) + SimDuration::from_millis(14);
+        assert_eq!(t.as_nanos(), 6_014_000_000);
+        assert_eq!(t - SimTime::from_secs(6), SimDuration::from_millis(14));
+        assert_eq!(t - SimDuration::from_millis(14), SimTime::from_secs(6));
+    }
+
+    #[test]
+    fn checked_duration_since_handles_misordering() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_secs(1)));
+        assert_eq!(a.checked_duration_since(b), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_when_misordered() {
+        let _ = SimTime::from_secs(1).duration_since(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(6) * 1000;
+        assert_eq!(d, SimDuration::from_secs(6));
+        assert_eq!(d / 6, SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime::from_millis(14)), "t=0.014000000s");
+        assert_eq!(format!("{}", SimDuration::from_micros(500)), "0.000500000s");
+    }
+}

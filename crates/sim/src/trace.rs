@@ -1,0 +1,309 @@
+//! Time-series capture: the instrument behind the paper's Fig. 6 scope shot.
+
+use crate::SimTime;
+use picocube_units::{Joules, Seconds, Watts};
+
+/// A generic scalar-valued time series sampled at irregular instants.
+///
+/// Samples are interpreted as a zero-order hold: the recorded value holds
+/// from its timestamp until the next sample. That matches how the power
+/// ledger's piecewise-constant draws evolve.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct ScalarTrace {
+    label: String,
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl ScalarTrace {
+    /// Creates an empty trace with a label used in CSV headers.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), samples: Vec::new() }
+    }
+
+    /// The trace label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a sample. Out-of-order timestamps are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last recorded sample.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t >= last, "trace samples must be recorded in time order");
+        }
+        // Collapse repeated equal values at distinct times only when the
+        // previous two samples already hold the same value; keeps traces
+        // compact without losing edges.
+        if self.samples.len() >= 2 {
+            let n = self.samples.len();
+            if self.samples[n - 1].1 == value && self.samples[n - 2].1 == value {
+                self.samples[n - 1].0 = t;
+                return;
+            }
+        }
+        self.samples.push((t, value));
+    }
+
+    /// The recorded samples in time order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Value at time `t` under the zero-order-hold interpretation, or `None`
+    /// before the first sample.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.samples.binary_search_by(|&(st, _)| st.cmp(&t)) {
+            Ok(i) => {
+                // Multiple samples can share a timestamp (an instantaneous
+                // step); the last one wins.
+                let mut i = i;
+                while i + 1 < self.samples.len() && self.samples[i + 1].0 == t {
+                    i += 1;
+                }
+                Some(self.samples[i].1)
+            }
+            Err(0) => None,
+            Err(i) => Some(self.samples[i - 1].1),
+        }
+    }
+
+    /// Minimum, maximum, and time-weighted mean over the recorded span.
+    /// Returns `None` for traces with fewer than one sample.
+    pub fn stats(&self) -> Option<TraceStats> {
+        let (&(t0, _), &(t_end, _)) = (self.samples.first()?, self.samples.last()?);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut weighted = 0.0;
+        for w in self.samples.windows(2) {
+            let (ta, va) = w[0];
+            let (tb, _) = w[1];
+            min = min.min(va);
+            max = max.max(va);
+            weighted += va * tb.duration_since(ta).as_seconds().value();
+        }
+        let (_, v_last) = *self.samples.last()?;
+        min = min.min(v_last);
+        max = max.max(v_last);
+        let span = t_end.duration_since(t0).as_seconds().value();
+        let mean = if span > 0.0 { weighted / span } else { v_last };
+        Some(TraceStats { min, max, mean, span: Seconds::new(span) })
+    }
+
+    /// Serializes the trace as two-column CSV (`time_s,<label>`).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("time_s,{}\n", self.label);
+        for &(t, v) in &self.samples {
+            out.push_str(&format!("{:.9},{:.9e}\n", t.as_seconds().value(), v));
+        }
+        out
+    }
+
+    /// Resamples onto a uniform grid of `n` points across the recorded span
+    /// (zero-order hold). Useful for plotting Fig. 6-style profiles.
+    pub fn resample(&self, n: usize) -> Vec<(Seconds, f64)> {
+        if self.samples.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let t0 = self.samples[0].0.as_nanos();
+        let t1 = self.samples[self.samples.len() - 1].0.as_nanos();
+        (0..n)
+            .map(|i| {
+                let frac = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                let t = SimTime::from_nanos(t0 + ((t1 - t0) as f64 * frac) as u64);
+                (t.as_seconds(), self.value_at(t).unwrap_or(0.0))
+            })
+            .collect()
+    }
+}
+
+/// Summary statistics of a [`ScalarTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceStats {
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Time-weighted mean over the span.
+    pub mean: f64,
+    /// Duration between the first and last samples.
+    pub span: Seconds,
+}
+
+/// A power-vs-time trace: a [`ScalarTrace`] with watt semantics plus energy
+/// integration, the digital twin of the oscilloscope capture in Fig. 6.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PowerTrace {
+    inner: ScalarTrace,
+}
+
+impl PowerTrace {
+    /// Creates an empty power trace.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { inner: ScalarTrace::new(label) }
+    }
+
+    /// Records the instantaneous total power at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last recorded sample.
+    pub fn record(&mut self, t: SimTime, power: Watts) {
+        self.inner.record(t, power.value());
+    }
+
+    /// Power at `t` (zero-order hold).
+    pub fn power_at(&self, t: SimTime) -> Option<Watts> {
+        self.inner.value_at(t).map(Watts::new)
+    }
+
+    /// Energy under the trace between its first and last samples.
+    pub fn energy(&self) -> Joules {
+        self.inner
+            .stats()
+            .map(|s| Watts::new(s.mean) * s.span)
+            .unwrap_or(Joules::ZERO)
+    }
+
+    /// Time-weighted average power over the span.
+    pub fn average(&self) -> Watts {
+        Watts::new(self.inner.stats().map(|s| s.mean).unwrap_or(0.0))
+    }
+
+    /// Peak recorded power.
+    pub fn peak(&self) -> Watts {
+        Watts::new(self.inner.stats().map(|s| s.max).unwrap_or(0.0))
+    }
+
+    /// Access to the underlying scalar trace (samples, CSV, resampling).
+    pub fn as_scalar(&self) -> &ScalarTrace {
+        &self.inner
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_order_hold_lookup() {
+        let mut tr = ScalarTrace::new("x");
+        tr.record(SimTime::from_secs(1), 10.0);
+        tr.record(SimTime::from_secs(2), 20.0);
+        assert_eq!(tr.value_at(SimTime::ZERO), None);
+        assert_eq!(tr.value_at(SimTime::from_secs(1)), Some(10.0));
+        assert_eq!(tr.value_at(SimTime::from_millis(1500)), Some(10.0));
+        assert_eq!(tr.value_at(SimTime::from_secs(3)), Some(20.0));
+    }
+
+    #[test]
+    fn step_at_same_instant_takes_last_value() {
+        let mut tr = ScalarTrace::new("x");
+        tr.record(SimTime::from_secs(1), 1.0);
+        tr.record(SimTime::from_secs(1), 2.0);
+        assert_eq!(tr.value_at(SimTime::from_secs(1)), Some(2.0));
+    }
+
+    #[test]
+    fn stats_time_weighted_mean() {
+        let mut tr = ScalarTrace::new("p");
+        tr.record(SimTime::ZERO, 1.0);
+        tr.record(SimTime::from_secs(9), 11.0); // 1.0 held for 9 s
+        tr.record(SimTime::from_secs(10), 11.0); // 11.0 held for 1 s
+        let s = tr.stats().unwrap();
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 11.0);
+    }
+
+    #[test]
+    fn power_trace_energy_and_average() {
+        let mut p = PowerTrace::new("node");
+        p.record(SimTime::ZERO, Watts::from_micro(1.0));
+        p.record(SimTime::from_millis(14), Watts::from_milli(2.0)); // burst
+        p.record(SimTime::from_millis(28), Watts::from_micro(1.0));
+        p.record(SimTime::from_secs(6), Watts::from_micro(1.0));
+        let avg = p.average();
+        // 1µW for ~5.986 s + 2mW for 14 ms over 6 s ≈ 5.66 µW
+        assert!(avg > Watts::from_micro(5.0) && avg < Watts::from_micro(6.0));
+        assert!((p.energy().value() - avg.value() * 6.0).abs() < 1e-12);
+        assert_eq!(p.peak(), Watts::from_milli(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_record_panics() {
+        let mut tr = ScalarTrace::new("x");
+        tr.record(SimTime::from_secs(2), 1.0);
+        tr.record(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn run_length_compression_keeps_edges() {
+        let mut tr = ScalarTrace::new("x");
+        tr.record(SimTime::from_secs(0), 5.0);
+        tr.record(SimTime::from_secs(1), 5.0);
+        tr.record(SimTime::from_secs(2), 5.0); // collapses into previous
+        tr.record(SimTime::from_secs(3), 5.0);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.value_at(SimTime::from_secs(3)), Some(5.0));
+        tr.record(SimTime::from_secs(4), 7.0); // edge must survive
+        assert_eq!(tr.value_at(SimTime::from_millis(3_500)), Some(5.0));
+        assert_eq!(tr.value_at(SimTime::from_secs(4)), Some(7.0));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = ScalarTrace::new("power_w");
+        tr.record(SimTime::ZERO, 1e-6);
+        let csv = tr.to_csv();
+        assert!(csv.starts_with("time_s,power_w\n"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn resample_uniform_grid() {
+        let mut tr = ScalarTrace::new("x");
+        tr.record(SimTime::ZERO, 0.0);
+        tr.record(SimTime::from_secs(10), 10.0);
+        let pts = tr.resample(11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].1, 0.0);
+        // Held at 0.0 until the final instant.
+        assert_eq!(pts[5].1, 0.0);
+        assert_eq!(pts[10].1, 10.0);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let tr = ScalarTrace::new("x");
+        assert!(tr.is_empty());
+        assert!(tr.stats().is_none());
+        assert!(tr.resample(5).is_empty());
+        let p = PowerTrace::new("p");
+        assert_eq!(p.average(), Watts::ZERO);
+        assert_eq!(p.energy(), Joules::ZERO);
+    }
+}

@@ -1,0 +1,135 @@
+//! The bypass-capacitor network that covers NiMH's burst weakness.
+//!
+//! §4.4: "batteries typically exhibit poor burst current performance
+//! relative to capacitors. This can be addressed by using bypass
+//! capacitors." The radio board carries bypass capacitors on the 0.65 V
+//! supply; the storage board carries filter capacitors behind the
+//! rectifier. This model answers the sizing question: for a given burst
+//! (current × duration) and allowed droop, is the network adequate?
+
+use picocube_units::{Amps, Farads, Ohms, Seconds, Volts};
+
+/// A parallel bank of bypass capacitors local to a bursty load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BypassNetwork {
+    total_capacitance: Farads,
+    effective_esr: Ohms,
+}
+
+impl BypassNetwork {
+    /// Creates a network from total capacitance and effective (parallel)
+    /// ESR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(total_capacitance: Farads, effective_esr: Ohms) -> Self {
+        assert!(total_capacitance.value() > 0.0, "capacitance must be positive");
+        assert!(effective_esr.value() > 0.0, "esr must be positive");
+        Self { total_capacitance, effective_esr }
+    }
+
+    /// The radio-board 0.65 V rail bypass: 4 × 2.2 µF ceramics.
+    pub fn radio_rail() -> Self {
+        Self::new(Farads::from_micro(8.8), Ohms::new(0.01))
+    }
+
+    /// Total capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.total_capacitance
+    }
+
+    /// Instantaneous + droop voltage dip for a rectangular burst of `i`
+    /// lasting `dt`, assuming the upstream source supplies nothing during
+    /// the burst (worst case).
+    pub fn droop(&self, i: Amps, dt: Seconds) -> Volts {
+        let dq = i.value() * dt.value();
+        Volts::new(dq / self.total_capacitance.value()) + i * self.effective_esr
+    }
+
+    /// Whether a burst stays within the allowed droop.
+    pub fn supports_burst(&self, i: Amps, dt: Seconds, max_droop: Volts) -> bool {
+        self.droop(i, dt) <= max_droop
+    }
+
+    /// Minimum capacitance needed for a burst within `max_droop`, at this
+    /// network's ESR.
+    ///
+    /// Returns `None` if the ESR drop alone already exceeds the budget (no
+    /// amount of capacitance helps).
+    pub fn required_capacitance(&self, i: Amps, dt: Seconds, max_droop: Volts) -> Option<Farads> {
+        let esr_drop = i * self.effective_esr;
+        let budget = (max_droop - esr_drop).value();
+        if budget <= 0.0 {
+            return None;
+        }
+        Some(Farads::new(i.value() * dt.value() / budget))
+    }
+
+    /// Recharge time through a source impedance `r_source` back to within
+    /// 1 % of the rail after a full `droop`: ≈ `4.6·(R_src·C)`.
+    pub fn recovery_time(&self, r_source: Ohms) -> Seconds {
+        Seconds::new(4.6 * r_source.value() * self.total_capacitance.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radio_burst_droop_is_small() {
+        // The bypass bank only needs to carry the PA's 2 mA until the
+        // regulator loop responds (~50 µs); over that window the droop must
+        // stay inside the FBAR oscillator's ±20 mV supply budget.
+        let net = BypassNetwork::radio_rail();
+        let droop = net.droop(Amps::from_milli(2.0), Seconds::new(50e-6));
+        assert!(droop < Volts::from_milli(12.0), "droop {droop:?}");
+        assert!(net.supports_burst(
+            Amps::from_milli(2.0),
+            Seconds::new(50e-6),
+            Volts::from_milli(20.0)
+        ));
+    }
+
+    #[test]
+    fn required_capacitance_inverse_in_budget() {
+        let net = BypassNetwork::radio_rail();
+        let c1 = net
+            .required_capacitance(Amps::from_milli(2.0), Seconds::new(50e-6), Volts::from_milli(20.0))
+            .unwrap();
+        let c2 = net
+            .required_capacitance(Amps::from_milli(2.0), Seconds::new(50e-6), Volts::from_milli(10.0))
+            .unwrap();
+        assert!(c2 > c1);
+        // Supporting the burst implies the fitted capacitance suffices.
+        assert!(net.capacitance() >= c1);
+    }
+
+    #[test]
+    fn esr_dominated_budget_is_unsolvable() {
+        let lossy = BypassNetwork::new(Farads::from_micro(10.0), Ohms::new(50.0));
+        // 2 mA × 50 Ω = 100 mV of ESR drop > 20 mV budget.
+        assert!(lossy
+            .required_capacitance(
+                Amps::from_milli(2.0),
+                Seconds::new(1e-3),
+                Volts::from_milli(20.0)
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn recovery_time_scales_with_source_impedance() {
+        let net = BypassNetwork::radio_rail();
+        let fast = net.recovery_time(Ohms::new(1.0));
+        let slow = net.recovery_time(Ohms::new(100.0));
+        assert!((slow.value() / fast.value() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_rejected() {
+        BypassNetwork::new(Farads::ZERO, Ohms::new(0.01));
+    }
+}

@@ -1,0 +1,275 @@
+//! Capacitive storage: supercapacitors and ordinary (ceramic/tantalum)
+//! capacitors, the §4.4 alternatives to the NiMH cell.
+//!
+//! Capacitors deliver power "in bursts" but their terminal voltage is
+//! directly tied to state of charge (`V = Q/C`), which the paper flags as
+//! inconvenient: holding the load rails would require additional wide-range
+//! DC-DC hardware. Their energy density is also 20–100× worse than NiMH.
+
+use crate::element::{StepOutcome, StorageElement};
+use crate::{CAPACITOR_ENERGY_DENSITY, SUPERCAP_ENERGY_DENSITY};
+use picocube_units::{Amps, Farads, Joules, JoulesPerGram, Ohms, Seconds, Volts};
+
+/// Which capacitor technology a [`CapacitorBank`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CapacitorTechnology {
+    /// Electric double-layer supercapacitor: ~10 J/g, higher ESR, some
+    /// leakage.
+    Supercapacitor,
+    /// Ordinary ceramic/film capacitor: ~2 J/g, very low ESR and leakage.
+    Ceramic,
+}
+
+impl CapacitorTechnology {
+    /// §4.4 energy density for the technology.
+    pub fn energy_density(self) -> JoulesPerGram {
+        match self {
+            Self::Supercapacitor => SUPERCAP_ENERGY_DENSITY,
+            Self::Ceramic => CAPACITOR_ENERGY_DENSITY,
+        }
+    }
+}
+
+/// A capacitor used as an energy buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitorBank {
+    technology: CapacitorTechnology,
+    capacitance: Farads,
+    v_rated: Volts,
+    v_now: Volts,
+    esr: Ohms,
+    /// Leakage as a parallel resistance.
+    leakage: Ohms,
+}
+
+impl CapacitorBank {
+    /// Creates a capacitor bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitance, rated voltage, ESR or leakage resistance are
+    /// not strictly positive.
+    pub fn new(
+        technology: CapacitorTechnology,
+        capacitance: Farads,
+        v_rated: Volts,
+        esr: Ohms,
+        leakage: Ohms,
+    ) -> Self {
+        assert!(capacitance.value() > 0.0, "capacitance must be positive");
+        assert!(v_rated.value() > 0.0, "rated voltage must be positive");
+        assert!(esr.value() > 0.0 && leakage.value() > 0.0, "esr/leakage must be positive");
+        Self { technology, capacitance, v_rated, v_now: Volts::ZERO, esr, leakage }
+    }
+
+    /// A 0.1 F / 2.5 V supercapacitor sized to hold roughly the same energy
+    /// budget window the NiMH cell covers in a day of node operation.
+    pub fn supercap_100mf() -> Self {
+        Self::new(
+            CapacitorTechnology::Supercapacitor,
+            Farads::from_milli(100.0),
+            Volts::new(2.5),
+            Ohms::new(5.0),
+            Ohms::new(250_000.0),
+        )
+    }
+
+    /// A 100 µF ceramic bypass-class capacitor.
+    pub fn ceramic_100uf() -> Self {
+        Self::new(
+            CapacitorTechnology::Ceramic,
+            Farads::from_micro(100.0),
+            Volts::new(6.3),
+            Ohms::new(0.02),
+            Ohms::new(1e10),
+        )
+    }
+
+    /// The bank's capacitance.
+    pub fn capacitance(&self) -> Farads {
+        self.capacitance
+    }
+
+    /// Rated (maximum) voltage.
+    pub fn rated_voltage(&self) -> Volts {
+        self.v_rated
+    }
+
+    /// Sets the present voltage directly (scenario setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is negative or exceeds the rating.
+    pub fn set_voltage(&mut self, v: Volts) {
+        assert!(
+            v.value() >= 0.0 && v <= self.v_rated,
+            "voltage must be within [0, rated]"
+        );
+        self.v_now = v;
+    }
+
+    /// Voltage sag when asked for a burst `i` for duration `dt`:
+    /// `ΔV = i·dt/C + i·ESR`. The complement of the NiMH burst weakness —
+    /// and the sizing equation for the Cube's bypass network.
+    pub fn burst_sag(&self, i: Amps, dt: Seconds) -> Volts {
+        Volts::new(i.value() * dt.value() / self.capacitance.value()) + i * self.esr
+    }
+}
+
+impl StorageElement for CapacitorBank {
+    fn name(&self) -> &'static str {
+        match self.technology {
+            CapacitorTechnology::Supercapacitor => "supercapacitor",
+            CapacitorTechnology::Ceramic => "capacitor",
+        }
+    }
+
+    fn open_circuit_voltage(&self) -> Volts {
+        self.v_now
+    }
+
+    fn terminal_voltage(&self, current: Amps) -> Volts {
+        self.v_now + current * self.esr
+    }
+
+    fn stored_energy(&self) -> Joules {
+        self.capacitance.energy_at(self.v_now)
+    }
+
+    fn capacity(&self) -> Joules {
+        self.capacitance.energy_at(self.v_rated)
+    }
+
+    fn energy_density(&self) -> JoulesPerGram {
+        self.technology.energy_density()
+    }
+
+    fn max_burst_current(&self) -> Amps {
+        // Bursts limited only by ESR: current that halves the terminal
+        // voltage instantaneously.
+        Amps::new(self.v_now.value() / (2.0 * self.esr.value()))
+    }
+
+    fn step(&mut self, current: Amps, dt: Seconds) -> StepOutcome {
+        assert!(dt.value() >= 0.0, "negative time step");
+        let mut dissipated = Joules::ZERO;
+
+        // Leakage: exponential decay through the parallel resistance.
+        let tau = self.leakage.value() * self.capacitance.value();
+        let before = self.stored_energy();
+        let decay = (-dt.value() / tau).exp();
+        self.v_now = self.v_now * decay;
+        dissipated += before - self.stored_energy();
+
+        // Ideal charge integration, clamped to [0, rated].
+        let dv = current.value() * dt.value() / self.capacitance.value();
+        let target = self.v_now.value() + dv;
+        let clamped = target.clamp(0.0, self.v_rated.value());
+        let depleted = current.value() < 0.0 && target < 0.0;
+        // Overcharge beyond the rating is dissipated (protection clamp).
+        if target > self.v_rated.value() {
+            let excess_q = (target - self.v_rated.value()) * self.capacitance.value();
+            dissipated += Joules::new(excess_q * self.v_rated.value());
+        }
+        let accepted = if depleted {
+            let removed_q = self.v_now.value() * self.capacitance.value();
+            Amps::new(if dt.value() > 0.0 { -removed_q / dt.value() } else { 0.0 })
+        } else {
+            current
+        };
+        // ESR conduction heat.
+        dissipated += Joules::new(current.value() * current.value() * self.esr.value() * dt.value());
+        self.v_now = Volts::new(clamped);
+        StepOutcome { accepted, dissipated, depleted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_tracks_state_of_charge_linearly() {
+        // The §4.4 inconvenience: V is proportional to charge, so a
+        // half-discharged capacitor has lost 75 % of its energy.
+        let mut cap = CapacitorBank::supercap_100mf();
+        cap.set_voltage(Volts::new(2.5));
+        let full = cap.stored_energy();
+        cap.set_voltage(Volts::new(1.25));
+        assert!((cap.stored_energy().value() / full.value() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charging_raises_voltage() {
+        let mut cap = CapacitorBank::ceramic_100uf();
+        cap.step(Amps::from_milli(1.0), Seconds::new(0.1));
+        // ΔV = 1 mA × 0.1 s / 100 µF = 1 V.
+        assert!((cap.open_circuit_voltage().value() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn burst_current_dwarfs_nimh() {
+        let mut cap = CapacitorBank::ceramic_100uf();
+        cap.set_voltage(Volts::new(1.2));
+        // 1.2 V / (2 × 0.02 Ω) = 30 A vs the NiMH's 30 mA: three orders.
+        assert!(cap.max_burst_current() > Amps::new(10.0));
+    }
+
+    #[test]
+    fn overcharge_clamps_at_rating() {
+        let mut cap = CapacitorBank::ceramic_100uf();
+        cap.set_voltage(Volts::new(6.0));
+        let out = cap.step(Amps::from_milli(10.0), Seconds::new(10.0));
+        assert_eq!(cap.open_circuit_voltage(), cap.rated_voltage());
+        assert!(out.dissipated > Joules::ZERO);
+    }
+
+    #[test]
+    fn over_discharge_flags_depletion() {
+        let mut cap = CapacitorBank::ceramic_100uf();
+        cap.set_voltage(Volts::from_milli(10.0));
+        let out = cap.step(Amps::from_milli(-10.0), Seconds::new(1.0));
+        assert!(out.depleted);
+        assert_eq!(cap.open_circuit_voltage(), Volts::ZERO);
+    }
+
+    #[test]
+    fn supercap_leaks_faster_than_ceramic() {
+        let mut sc = CapacitorBank::supercap_100mf();
+        sc.set_voltage(Volts::new(2.0));
+        let mut ce = CapacitorBank::ceramic_100uf();
+        ce.set_voltage(Volts::new(2.0));
+        sc.step(Amps::ZERO, Seconds::DAY);
+        ce.step(Amps::ZERO, Seconds::DAY);
+        let sc_kept = sc.open_circuit_voltage().value() / 2.0;
+        let ce_kept = ce.open_circuit_voltage().value() / 2.0;
+        assert!(sc_kept < ce_kept);
+    }
+
+    #[test]
+    fn burst_sag_formula() {
+        let cap = CapacitorBank::ceramic_100uf();
+        // 2 mA for 1 ms from 100 µF: 20 mV of droop + 40 µV of ESR drop.
+        let sag = cap.burst_sag(Amps::from_milli(2.0), Seconds::new(1e-3));
+        assert!((sag.milli() - 20.04).abs() < 1e-6);
+    }
+
+    #[test]
+    fn technology_energy_densities() {
+        assert_eq!(
+            CapacitorTechnology::Supercapacitor.energy_density().value(),
+            10.0
+        );
+        assert_eq!(CapacitorTechnology::Ceramic.energy_density().value(), 2.0);
+        let sc = CapacitorBank::supercap_100mf();
+        // mass implied by density: E_max / ρ.
+        let expected = sc.capacity().value() / 10.0;
+        assert!((sc.mass().value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage must be within")]
+    fn set_voltage_beyond_rating_panics() {
+        CapacitorBank::ceramic_100uf().set_voltage(Volts::new(10.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! The §4.4 storage-technology trade study, generated from the models.
+
+use crate::{CapacitorBank, NimhCell, StorageElement};
+use picocube_units::{Amps, Grams, Joules, JoulesPerGram, Volts};
+
+/// One row of the storage-technology comparison table (experiment E5).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TechnologyRow {
+    /// Technology name.
+    pub technology: String,
+    /// Gravimetric energy density.
+    pub energy_density: JoulesPerGram,
+    /// Mass required to store the given energy budget.
+    pub mass_for_budget: Grams,
+    /// Open-circuit voltage at 100 % state of charge.
+    pub voltage_full: Volts,
+    /// Open-circuit voltage at 50 % state of charge.
+    pub voltage_half: Volts,
+    /// Relative voltage swing over the top half of the discharge
+    /// (`(V_full − V_half) / V_full`): the DC-DC-matching burden.
+    pub voltage_swing: f64,
+    /// Maximum burst current at full charge.
+    pub burst_current: Amps,
+}
+
+/// Builds the comparison table for a given energy budget (how much storage
+/// the application needs to ride through harvester outages).
+///
+/// The returned rows regenerate the qualitative §4.4 argument: NiMH wins on
+/// density and plateau flatness, capacitors win on bursts.
+pub fn technology_table(budget: Joules) -> Vec<TechnologyRow> {
+    let mut rows = Vec::new();
+
+    // NiMH sized to the budget.
+    let mah = budget.as_milliamp_hours(Volts::new(1.2));
+    let mut nimh = NimhCell::new(mah.max(1e-3));
+    nimh.set_state_of_charge(1.0);
+    let v_full = nimh.open_circuit_voltage();
+    nimh.set_state_of_charge(0.5);
+    let v_half = nimh.open_circuit_voltage();
+    rows.push(TechnologyRow {
+        technology: "NiMH".into(),
+        energy_density: nimh.energy_density(),
+        mass_for_budget: Grams::new(budget.value() / nimh.energy_density().value()),
+        voltage_full: v_full,
+        voltage_half: v_half,
+        voltage_swing: (v_full - v_half).value() / v_full.value(),
+        burst_current: nimh.max_burst_current(),
+    });
+
+    // Capacitors sized so that E = ½CV² at rated voltage equals the budget.
+    for proto in [CapacitorBank::supercap_100mf(), CapacitorBank::ceramic_100uf()] {
+        let v_rated = proto.rated_voltage();
+        let c = picocube_units::Farads::new(2.0 * budget.value() / (v_rated.value() * v_rated.value()));
+        let mut bank = CapacitorBank::new(
+            match proto.name() {
+                "supercapacitor" => crate::CapacitorTechnology::Supercapacitor,
+                _ => crate::CapacitorTechnology::Ceramic,
+            },
+            c,
+            v_rated,
+            picocube_units::Ohms::new(if proto.name() == "supercapacitor" { 5.0 } else { 0.02 }),
+            picocube_units::Ohms::new(1e7),
+        );
+        bank.set_voltage(v_rated);
+        let v_full = bank.open_circuit_voltage();
+        let burst = bank.max_burst_current();
+        // 50 % of *energy* means V/√2.
+        bank.set_voltage(Volts::new(v_rated.value() / 2f64.sqrt()));
+        let v_half = bank.open_circuit_voltage();
+        rows.push(TechnologyRow {
+            technology: proto.name().into(),
+            energy_density: bank.energy_density(),
+            mass_for_budget: Grams::new(budget.value() / bank.energy_density().value()),
+            voltage_full: v_full,
+            voltage_half: v_half,
+            voltage_swing: (v_full - v_half).value() / v_full.value(),
+            burst_current: burst,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nimh_is_lightest_for_the_budget() {
+        let rows = technology_table(Joules::new(64.8)); // the 15 mAh budget
+        let nimh = &rows[0];
+        assert_eq!(nimh.technology, "NiMH");
+        for other in &rows[1..] {
+            assert!(nimh.mass_for_budget < other.mass_for_budget);
+        }
+        // Density ratios straight from §4.4: 220 / 10 / 2.
+        assert!((rows[1].mass_for_budget.value() / nimh.mass_for_budget.value() - 22.0).abs() < 0.1);
+        assert!((rows[2].mass_for_budget.value() / nimh.mass_for_budget.value() - 110.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn nimh_has_the_flattest_voltage() {
+        let rows = technology_table(Joules::new(64.8));
+        let nimh_swing = rows[0].voltage_swing;
+        for other in &rows[1..] {
+            assert!(nimh_swing < other.voltage_swing);
+        }
+        // Capacitor swing to half energy is exactly 1 − 1/√2 ≈ 29 %.
+        assert!((rows[1].voltage_swing - (1.0 - 1.0 / 2f64.sqrt())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitors_win_bursts() {
+        let rows = technology_table(Joules::new(64.8));
+        let nimh_burst = rows[0].burst_current;
+        assert!(rows[2].burst_current > nimh_burst * 10.0);
+    }
+
+    #[test]
+    fn table_scales_with_budget() {
+        let small = technology_table(Joules::new(10.0));
+        let large = technology_table(Joules::new(100.0));
+        for (s, l) in small.iter().zip(&large) {
+            assert!((l.mass_for_budget.value() / s.mass_for_budget.value() - 10.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! The common interface all storage technologies implement.
+
+use picocube_units::{Amps, Grams, Joules, JoulesPerGram, Seconds, Volts};
+
+/// What actually happened during a [`StorageElement::step`] call.
+///
+/// Storage elements are *saturating*: charging a full element or
+/// discharging an empty one moves less charge than requested. The outcome
+/// reports the accepted current so harvest-side accounting can attribute the
+/// difference (overcharge dissipation, brown-out) correctly.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StepOutcome {
+    /// The current actually integrated (signed; positive = charging).
+    pub accepted: Amps,
+    /// Energy turned into heat inside the element during the step
+    /// (overcharge dissipation, coulombic inefficiency, self-discharge).
+    pub dissipated: Joules,
+    /// `true` if the element hit empty during the step.
+    pub depleted: bool,
+}
+
+/// A rechargeable energy buffer between harvester and load.
+pub trait StorageElement {
+    /// Technology name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Open-circuit (rest) terminal voltage at the present state of charge.
+    fn open_circuit_voltage(&self) -> Volts;
+
+    /// Terminal voltage under a signed load current (positive = charging
+    /// raises the terminal, negative = discharging sags it through the
+    /// internal resistance).
+    fn terminal_voltage(&self, current: Amps) -> Volts;
+
+    /// Energy currently stored and extractable.
+    fn stored_energy(&self) -> Joules;
+
+    /// Energy stored when completely full.
+    fn capacity(&self) -> Joules;
+
+    /// `stored_energy / capacity` in `[0, 1]`.
+    fn state_of_charge(&self) -> f64 {
+        let cap = self.capacity().value();
+        if cap <= 0.0 {
+            0.0
+        } else {
+            (self.stored_energy().value() / cap).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Element mass implied by its technology's energy density.
+    fn mass(&self) -> Grams {
+        Grams::new(self.capacity().value() / self.energy_density().value())
+    }
+
+    /// Technology gravimetric energy density.
+    fn energy_density(&self) -> JoulesPerGram;
+
+    /// Largest discharge current the element can deliver without abuse
+    /// (voltage collapse / damage), at the present state.
+    fn max_burst_current(&self) -> Amps;
+
+    /// Integrates a signed current (positive = charge) over `dt`.
+    fn step(&mut self, current: Amps, dt: Seconds) -> StepOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial linear element for exercising the trait's defaults.
+    #[derive(Debug)]
+    struct Linear {
+        stored: Joules,
+        cap: Joules,
+    }
+
+    impl StorageElement for Linear {
+        fn name(&self) -> &'static str {
+            "linear"
+        }
+        fn open_circuit_voltage(&self) -> Volts {
+            Volts::new(1.0)
+        }
+        fn terminal_voltage(&self, _current: Amps) -> Volts {
+            Volts::new(1.0)
+        }
+        fn stored_energy(&self) -> Joules {
+            self.stored
+        }
+        fn capacity(&self) -> Joules {
+            self.cap
+        }
+        fn energy_density(&self) -> JoulesPerGram {
+            JoulesPerGram::new(10.0)
+        }
+        fn max_burst_current(&self) -> Amps {
+            Amps::new(1.0)
+        }
+        fn step(&mut self, current: Amps, dt: Seconds) -> StepOutcome {
+            let delta = Volts::new(1.0) * current * dt;
+            self.stored = Joules::new((self.stored + delta).value().clamp(0.0, self.cap.value()));
+            StepOutcome { accepted: current, dissipated: Joules::ZERO, depleted: false }
+        }
+    }
+
+    #[test]
+    fn default_soc_and_mass() {
+        let e = Linear { stored: Joules::new(5.0), cap: Joules::new(20.0) };
+        assert!((e.state_of_charge() - 0.25).abs() < 1e-12);
+        assert!((e.mass().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_of_zero_capacity_is_zero() {
+        let e = Linear { stored: Joules::ZERO, cap: Joules::ZERO };
+        assert_eq!(e.state_of_charge(), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Energy-storage models for harvested-energy buffering.
+//!
+//! §4.4 of the paper weighs storage technologies by three properties:
+//! gravimetric energy density (NiMH ≈ 220 J/g vs ≈ 10 J/g for a
+//! supercapacitor and ≈ 2 J/g for a typical capacitor), the voltage/
+//! state-of-charge relationship (flat for NiMH, linear for capacitors —
+//! which would force extra DC-DC hardware), and burst-current capability
+//! (capacitors win; the Cube pairs its NiMH cell with bypass capacitors).
+//! NiMH is chosen because its 1.2 V plateau is "close to optimal" for the
+//! supply generation and because it tolerates indefinite C/10 trickle
+//! charging with no charge-control circuitry.
+//!
+//! This crate models all three technologies behind one [`StorageElement`]
+//! interface, plus the bypass network that papers over NiMH's burst
+//! weakness, so the §4.4 trade table is a *measurement* of the models.
+//!
+//! # Examples
+//!
+//! ```
+//! use picocube_storage::{NimhCell, StorageElement};
+//! use picocube_units::{Amps, Seconds};
+//!
+//! let mut cell = NimhCell::picocube(); // 15 mAh, 1.2 V nominal
+//! let v0 = cell.open_circuit_voltage();
+//!
+//! // Discharge at 1 mA for an hour: the plateau barely moves.
+//! cell.step(Amps::from_milli(-1.0), Seconds::HOUR);
+//! assert!((v0 - cell.open_circuit_voltage()).value() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bypass;
+mod capacitor;
+mod comparison;
+mod element;
+mod nimh;
+mod printed;
+
+pub use bypass::BypassNetwork;
+pub use capacitor::{CapacitorBank, CapacitorTechnology};
+pub use comparison::{technology_table, TechnologyRow};
+pub use element::{StepOutcome, StorageElement};
+pub use nimh::NimhCell;
+pub use printed::{PrintedFilmCell, PRINTED_J_PER_CM2_100UM};
+
+/// Gravimetric energy density of NiMH cells quoted in §4.4.
+pub const NIMH_ENERGY_DENSITY: picocube_units::JoulesPerGram =
+    picocube_units::JoulesPerGram::new(220.0);
+
+/// Gravimetric energy density of supercapacitors quoted in §4.4.
+pub const SUPERCAP_ENERGY_DENSITY: picocube_units::JoulesPerGram =
+    picocube_units::JoulesPerGram::new(10.0);
+
+/// Gravimetric energy density of ordinary capacitors quoted in §4.4.
+pub const CAPACITOR_ENERGY_DENSITY: picocube_units::JoulesPerGram =
+    picocube_units::JoulesPerGram::new(2.0);

@@ -1,0 +1,244 @@
+//! §7.2: dispenser-printed thick-film storage. "We are developing a low
+//! cost, direct write printing method which integrates the capacitor and
+//! battery micropower system directly on a device. […] Films of 30 to
+//! 100 µm of these various materials have been printed […] A great benefit
+//! of this approach is the ability to design storage to fit the consumer,
+//! for example, a specific voltage range."
+
+use crate::element::{StepOutcome, StorageElement};
+use picocube_units::{Amps, Joules, JoulesPerGram, Ohms, Seconds, SquareMillimeters, Volts};
+
+/// Areal energy capacity of the printed zinc-chemistry films, per cm² at
+/// 100 µm thickness (scales linearly with thickness in the printable
+/// 30–100 µm window).
+pub const PRINTED_J_PER_CM2_100UM: f64 = 2.0;
+
+/// A dispenser-printed thick-film micro-battery.
+///
+/// Compared with the packaged NiMH cell it trades capacity and internal
+/// resistance for conformality: it prints directly onto the board (zero
+/// packaging volume) and its footprint/voltage are design parameters —
+/// "design storage to fit the consumer".
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrintedFilmCell {
+    area: SquareMillimeters,
+    thickness_um: f64,
+    /// Open-circuit voltage at full charge.
+    v_full: Volts,
+    /// Open-circuit voltage at empty (printed chemistries slope).
+    v_empty: Volts,
+    capacity: Joules,
+    stored: Joules,
+    /// Printed current collectors are resistive.
+    internal_resistance: Ohms,
+    /// Fraction of stored energy lost per second.
+    self_discharge_rate: f64,
+}
+
+impl PrintedFilmCell {
+    /// Prints a cell of the given footprint and film thickness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the area is non-positive or the thickness is outside the
+    /// printable 30–100 µm window the paper reports.
+    pub fn new(area: SquareMillimeters, thickness_um: f64) -> Self {
+        assert!(area.value() > 0.0, "area must be positive");
+        assert!(
+            (30.0..=100.0).contains(&thickness_um),
+            "printable films are 30-100 µm"
+        );
+        let area_cm2 = area.value() / 100.0;
+        let capacity = Joules::new(PRINTED_J_PER_CM2_100UM * area_cm2 * thickness_um / 100.0);
+        Self {
+            area,
+            thickness_um,
+            v_full: Volts::new(1.5),
+            v_empty: Volts::new(0.9),
+            capacity,
+            stored: capacity * 0.5,
+            internal_resistance: Ohms::new(120.0),
+            self_discharge_rate: 0.05 / (30.0 * 86_400.0), // 5 %/month
+        }
+    }
+
+    /// Design-to-fit: the footprint needed to hold `budget` at a film
+    /// thickness, the §7.2 sizing question.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is non-positive or the thickness is outside
+    /// the printable window.
+    pub fn area_for(budget: Joules, thickness_um: f64) -> SquareMillimeters {
+        assert!(budget.value() > 0.0, "budget must be positive");
+        assert!((30.0..=100.0).contains(&thickness_um), "printable films are 30-100 µm");
+        let cm2 = budget.value() / (PRINTED_J_PER_CM2_100UM * thickness_um / 100.0);
+        SquareMillimeters::new(cm2 * 100.0)
+    }
+
+    /// Printed footprint.
+    pub fn area(&self) -> SquareMillimeters {
+        self.area
+    }
+
+    /// Film thickness in micrometers.
+    pub fn thickness_um(&self) -> f64 {
+        self.thickness_um
+    }
+
+    /// Sets the state of charge (scenario setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `soc` is outside `[0, 1]`.
+    pub fn set_state_of_charge(&mut self, soc: f64) {
+        assert!((0.0..=1.0).contains(&soc), "state of charge must be in [0, 1]");
+        self.stored = self.capacity * soc;
+    }
+}
+
+impl StorageElement for PrintedFilmCell {
+    fn name(&self) -> &'static str {
+        "printed film"
+    }
+
+    fn open_circuit_voltage(&self) -> Volts {
+        let soc = self.state_of_charge();
+        self.v_empty + (self.v_full - self.v_empty) * soc
+    }
+
+    fn terminal_voltage(&self, current: Amps) -> Volts {
+        self.open_circuit_voltage() + current * self.internal_resistance
+    }
+
+    fn stored_energy(&self) -> Joules {
+        self.stored
+    }
+
+    fn capacity(&self) -> Joules {
+        self.capacity
+    }
+
+    fn energy_density(&self) -> JoulesPerGram {
+        // Zinc-based printed films: ~20 J/g, between the §4.4 supercap and
+        // NiMH points.
+        JoulesPerGram::new(20.0)
+    }
+
+    fn max_burst_current(&self) -> Amps {
+        // The resistive collectors cap useful bursts: I that halves V.
+        Amps::new(self.open_circuit_voltage().value() / (2.0 * self.internal_resistance.value()))
+    }
+
+    fn step(&mut self, current: Amps, dt: Seconds) -> StepOutcome {
+        assert!(dt.value() >= 0.0, "negative time step");
+        let mut dissipated = Joules::ZERO;
+
+        // Self-discharge.
+        let leak = Joules::new(self.stored.value() * self.self_discharge_rate * dt.value());
+        self.stored = Joules::new((self.stored - leak).value().max(0.0));
+        dissipated += leak;
+
+        let v = self.open_circuit_voltage();
+        let delta = v * current * dt;
+        let mut depleted = false;
+        let target = self.stored.value() + delta.value();
+        if target > self.capacity.value() {
+            dissipated += Joules::new(target - self.capacity.value());
+            self.stored = self.capacity;
+        } else if target < 0.0 {
+            depleted = true;
+            self.stored = Joules::ZERO;
+        } else {
+            self.stored = Joules::new(target);
+        }
+        // Collector conduction heat.
+        dissipated += Joules::new(
+            current.value() * current.value() * self.internal_resistance.value() * dt.value(),
+        );
+        let accepted = if depleted { Amps::ZERO } else { current };
+        StepOutcome { accepted, dissipated, depleted }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_scales_with_area_and_thickness() {
+        // 1 cm² at 100 µm = 2 J; half the thickness halves it.
+        let full = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        assert!((full.capacity().value() - 2.0).abs() < 1e-12);
+        let thin = PrintedFilmCell::new(SquareMillimeters::new(100.0), 50.0);
+        assert!((thin.capacity().value() - 1.0).abs() < 1e-12);
+        let wide = PrintedFilmCell::new(SquareMillimeters::new(200.0), 100.0);
+        assert!((wide.capacity().value() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_to_fit_round_trips() {
+        let area = PrintedFilmCell::area_for(Joules::new(2.0), 100.0);
+        assert!((area.value() - 100.0).abs() < 1e-9);
+        let cell = PrintedFilmCell::new(area, 100.0);
+        assert!((cell.capacity().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_board_sized_film_covers_days_of_node_sleep() {
+        // The 7.2 × 7.2 mm placement area at 100 µm: ~1 J → ~4 days at the
+        // node's 3 µW sleep floor. Outage cover, exactly the role §7.2
+        // proposes.
+        let cell = PrintedFilmCell::new(SquareMillimeters::new(51.84), 100.0);
+        let days = cell.capacity().value() / 3e-6 / 86_400.0;
+        assert!(days > 3.0 && days < 5.0, "{days:.1} days");
+    }
+
+    #[test]
+    fn voltage_slopes_with_charge() {
+        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        cell.set_state_of_charge(1.0);
+        assert_eq!(cell.open_circuit_voltage(), Volts::new(1.5));
+        cell.set_state_of_charge(0.0);
+        assert_eq!(cell.open_circuit_voltage(), Volts::new(0.9));
+        cell.set_state_of_charge(0.5);
+        assert!((cell.open_circuit_voltage().value() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistive_collectors_limit_bursts() {
+        let cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        // The 2 mA radio burst would sag a printed cell by 240 mV — the
+        // bypass network becomes mandatory, unlike with NiMH.
+        let sag = Amps::from_milli(2.0) * Ohms::new(120.0);
+        assert!(sag > Volts::from_milli(200.0));
+        assert!(cell.max_burst_current() < Amps::from_milli(10.0));
+    }
+
+    #[test]
+    fn charge_discharge_round_trip() {
+        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        cell.set_state_of_charge(0.5);
+        let before = cell.stored_energy();
+        cell.step(Amps::from_micro(100.0), Seconds::HOUR);
+        assert!(cell.stored_energy() > before);
+        let out = cell.step(Amps::from_milli(-100.0), Seconds::HOUR);
+        assert!(out.depleted);
+        assert_eq!(cell.stored_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn overcharge_clamps_and_dissipates() {
+        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        cell.set_state_of_charge(0.99);
+        let out = cell.step(Amps::from_milli(1.0), Seconds::HOUR);
+        assert_eq!(cell.state_of_charge(), 1.0);
+        assert!(out.dissipated > Joules::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "printable films")]
+    fn unprintable_thickness_rejected() {
+        PrintedFilmCell::new(SquareMillimeters::new(100.0), 200.0);
+    }
+}

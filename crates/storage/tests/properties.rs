@@ -1,0 +1,100 @@
+//! Property-based tests for the storage models: conservation, saturation
+//! and bounds invariants across random charge/discharge schedules.
+
+use picocube_storage::{CapacitorBank, NimhCell, PrintedFilmCell, StorageElement};
+use picocube_units::{Amps, Seconds, SquareMillimeters, Volts};
+use proptest::prelude::*;
+
+/// A random signed current step in mA and a duration in seconds.
+fn schedule() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec(((-20.0f64..20.0), (0.1f64..600.0)), 1..40)
+}
+
+proptest! {
+    #[test]
+    fn nimh_soc_stays_in_bounds(steps in schedule()) {
+        let mut cell = NimhCell::picocube();
+        for &(ma, secs) in &steps {
+            cell.step(Amps::from_milli(ma), Seconds::new(secs));
+            let soc = cell.state_of_charge();
+            prop_assert!((0.0..=1.0).contains(&soc), "soc {soc}");
+            prop_assert!(cell.stored_energy().value() >= 0.0);
+            prop_assert!(cell.stored_energy() <= cell.capacity());
+        }
+    }
+
+    #[test]
+    fn nimh_never_creates_energy(steps in schedule()) {
+        let mut cell = NimhCell::picocube();
+        cell.set_state_of_charge(0.5);
+        let mut stored_before = cell.stored_energy().value();
+        for &(ma, secs) in &steps {
+            let applied = 1.2 * (ma * 1e-3).max(0.0) * secs; // charging energy in
+            cell.step(Amps::from_milli(ma), Seconds::new(secs));
+            let stored_now = cell.stored_energy().value();
+            prop_assert!(
+                stored_now - stored_before <= applied + 1e-9,
+                "gained {} from {} applied", stored_now - stored_before, applied
+            );
+            stored_before = stored_now;
+        }
+    }
+
+    #[test]
+    fn nimh_ocv_is_monotone_in_soc(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let mut cell = NimhCell::picocube();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        cell.set_state_of_charge(lo);
+        let v_lo = cell.open_circuit_voltage();
+        cell.set_state_of_charge(hi);
+        let v_hi = cell.open_circuit_voltage();
+        prop_assert!(v_hi >= v_lo);
+    }
+
+    #[test]
+    fn capacitor_voltage_respects_rating(steps in schedule()) {
+        let mut cap = CapacitorBank::supercap_100mf();
+        for &(ma, secs) in &steps {
+            cap.step(Amps::from_milli(ma), Seconds::new(secs));
+            let v = cap.open_circuit_voltage();
+            prop_assert!(v.value() >= 0.0);
+            prop_assert!(v <= cap.rated_voltage());
+        }
+    }
+
+    #[test]
+    fn capacitor_energy_is_half_cv_squared(v in 0.0f64..2.5) {
+        let mut cap = CapacitorBank::supercap_100mf();
+        cap.set_voltage(Volts::new(v));
+        let expected = 0.5 * 0.1 * v * v;
+        prop_assert!((cap.stored_energy().value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn printed_film_bounds(steps in schedule(), area in 10.0f64..500.0, film in 30.0f64..100.0) {
+        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(area), film);
+        for &(ma, secs) in &steps {
+            let out = cell.step(Amps::from_milli(ma), Seconds::new(secs));
+            prop_assert!(out.dissipated.value() >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&cell.state_of_charge()));
+            let v = cell.open_circuit_voltage().value();
+            prop_assert!((0.9..=1.5).contains(&v), "ocv {v}");
+        }
+    }
+
+    #[test]
+    fn printed_sizing_round_trips(budget in 0.1f64..20.0, film in 30.0f64..100.0) {
+        let area = PrintedFilmCell::area_for(picocube_units::Joules::new(budget), film);
+        let cell = PrintedFilmCell::new(area, film);
+        prop_assert!((cell.capacity().value() - budget).abs() < 1e-9 * budget.max(1.0));
+    }
+
+    #[test]
+    fn discharge_accepted_never_exceeds_requested(ma in 0.1f64..50.0, secs in 1.0f64..3600.0) {
+        let mut cell = NimhCell::picocube();
+        cell.set_state_of_charge(0.05);
+        let out = cell.step(Amps::from_milli(-ma), Seconds::new(secs));
+        prop_assert!(out.accepted.value() <= 0.0);
+        prop_assert!(out.accepted.value().abs() <= ma * 1e-3 + 1e-15);
+    }
+}

@@ -1,0 +1,161 @@
+//! Electrical quantities: voltage, current, resistance, capacitance, charge
+//! and frequency, plus the dimensional relations among them.
+
+use crate::energy::{Joules, Seconds, Watts};
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+// P = V * I
+relate!(Volts * Amps = Watts);
+// V = I * R
+relate!(Amps * Ohms = Volts);
+// Q = C * V
+relate!(Farads * Volts = Coulombs);
+// Q = I * t
+relate!(Amps * Seconds = Coulombs);
+
+impl Volts {
+    /// Power dissipated across this voltage at the given current.
+    ///
+    /// Equivalent to `self * current`; provided for call-site readability in
+    /// loss-accounting code.
+    #[inline]
+    pub fn power_at(self, current: Amps) -> Watts {
+        self * current
+    }
+}
+
+impl Ohms {
+    /// Conduction (I²R) loss through this resistance at the given current.
+    #[inline]
+    pub fn conduction_loss(self, current: Amps) -> Watts {
+        Watts::new(current.value() * current.value() * self.value())
+    }
+}
+
+impl Farads {
+    /// Energy stored in this capacitance charged to `v`: `E = ½ C V²`.
+    #[inline]
+    pub fn energy_at(self, v: Volts) -> Joules {
+        Joules::new(0.5 * self.value() * v.value() * v.value())
+    }
+
+    /// Charge held at voltage `v`: `Q = C V`.
+    #[inline]
+    pub fn charge_at(self, v: Volts) -> Coulombs {
+        self * v
+    }
+}
+
+impl Hertz {
+    /// The period of one cycle, `1/f`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; a zero frequency yields an infinite period.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+impl Seconds {
+    /// The frequency whose period is this duration, `1/t`.
+    #[inline]
+    pub fn frequency(self) -> Hertz {
+        Hertz::new(1.0 / self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Volts::new(1.2)), "1.2 V");
+        assert_eq!(format!("{:.2}", Amps::from_milli(1.5)), "0.00 A");
+        assert_eq!(format!("{}", Ohms::new(50.0)), "50 Ω");
+    }
+
+    #[test]
+    fn si_prefixes_round_trip() {
+        let i = Amps::from_nano(18.0);
+        assert!((i.nano() - 18.0).abs() < 1e-9);
+        let c = Farads::from_micro(2.2);
+        assert!((c.micro() - 2.2).abs() < 1e-12);
+        let f = Hertz::from_mega(1863.0);
+        assert!((f.mega() - 1863.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charge_from_current_and_time() {
+        let q = Amps::from_milli(1.5) * Seconds::new(10.0);
+        assert!((q.milli() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conduction_loss_quadratic_in_current() {
+        let r = Ohms::new(2.0);
+        let p1 = r.conduction_loss(Amps::from_milli(1.0));
+        let p2 = r.conduction_loss(Amps::from_milli(2.0));
+        assert!((p2.value() / p1.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_frequency_inverse() {
+        let f = Hertz::from_kilo(330.0);
+        let t = f.period();
+        assert!((t.frequency().value() - f.value()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantity_sum() {
+        let rails = [Amps::from_micro(1.0), Amps::from_micro(2.0), Amps::from_micro(3.0)];
+        let total: Amps = rails.iter().sum();
+        assert!((total.micro() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless() {
+        let ratio = Volts::new(2.4) / Volts::new(1.2);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let v = Volts::new(3.9);
+        assert_eq!(v.clamp(Volts::new(2.1), Volts::new(3.6)), Volts::new(3.6));
+        assert_eq!(Volts::new(1.0).max(Volts::new(2.0)), Volts::new(2.0));
+        assert_eq!(Volts::new(1.0).min(Volts::new(2.0)), Volts::new(1.0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Energy, power and time quantities.
+
+use crate::mechanics::Grams;
+
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Duration in seconds (floating point; the simulation kernel uses an
+    /// integer tick clock and converts at the boundary).
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Gravimetric energy density in joules per gram, the figure of merit
+    /// the paper uses to compare NiMH (220 J/g), supercapacitors (10 J/g)
+    /// and ceramic capacitors (2 J/g).
+    JoulesPerGram,
+    "J/g"
+);
+
+// E = P * t
+relate!(Watts * Seconds = Joules);
+// E = (J/g) * m
+relate!(JoulesPerGram * Grams = Joules);
+
+impl Seconds {
+    /// One millisecond.
+    pub const MILLI: Self = Self::new(1e-3);
+    /// One minute.
+    pub const MINUTE: Self = Self::new(60.0);
+    /// One hour.
+    pub const HOUR: Self = Self::new(3600.0);
+    /// One day.
+    pub const DAY: Self = Self::new(86_400.0);
+    /// One (365-day) year.
+    pub const YEAR: Self = Self::new(365.0 * 86_400.0);
+
+    /// Creates a duration from hours.
+    #[inline]
+    pub fn from_hours(hours: f64) -> Self {
+        Self::new(hours * 3600.0)
+    }
+
+    /// Returns the duration expressed in hours.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.value() / 3600.0
+    }
+
+    /// Creates a duration from days.
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Self::new(days * 86_400.0)
+    }
+
+    /// Returns the duration expressed in days.
+    #[inline]
+    pub fn days(self) -> f64 {
+        self.value() / 86_400.0
+    }
+}
+
+impl Joules {
+    /// Creates an energy from milliamp-hours at a given voltage — the way
+    /// battery capacity is specified on datasheets (the PicoCube cell is
+    /// 15 mAh at a nominal 1.2 V).
+    #[inline]
+    pub fn from_milliamp_hours(mah: f64, nominal: crate::Volts) -> Self {
+        Self::new(mah * 1e-3 * 3600.0 * nominal.value())
+    }
+
+    /// Expresses this energy as milliamp-hours at a given nominal voltage.
+    #[inline]
+    pub fn as_milliamp_hours(self, nominal: crate::Volts) -> f64 {
+        self.value() / (1e-3 * 3600.0 * nominal.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Volts;
+
+    #[test]
+    fn battery_capacity_round_trip() {
+        let e = Joules::from_milliamp_hours(15.0, Volts::new(1.2));
+        // 15 mAh * 1.2 V = 64.8 J
+        assert!((e.value() - 64.8).abs() < 1e-9);
+        assert!((e.as_milliamp_hours(Volts::new(1.2)) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_constants() {
+        assert_eq!(Seconds::HOUR.value(), 3600.0);
+        assert!((Seconds::from_days(2.0).hours() - 48.0).abs() < 1e-9);
+        assert!((Seconds::YEAR.days() - 365.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_density_times_mass() {
+        // The paper's NiMH figure: 220 J/g. A 1 g cell stores 220 J.
+        let e = JoulesPerGram::new(220.0) * Grams::new(1.0);
+        assert!((e.value() - 220.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn six_microwatt_average_over_a_year() {
+        // Sanity check on the paper's headline claim: 6 µW for a year is
+        // about 189 J — three 15 mAh NiMH cells' worth, hence harvesting.
+        let e = Watts::from_micro(6.0) * Seconds::YEAR;
+        assert!((e.value() - 189.216).abs() < 1e-3);
+    }
+}

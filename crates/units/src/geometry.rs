@@ -1,0 +1,78 @@
+//! Geometric quantities for the packaging model: the PicoCube's defining
+//! constraint is its 1 cm³ volume, and the paper's §4.1–4.2 quantify board
+//! areas, connector pitches and stack heights in millimeters and mils.
+
+quantity!(
+    /// Length in millimeters, the natural unit for PCB geometry.
+    Millimeters,
+    "mm"
+);
+quantity!(
+    /// Area in square millimeters.
+    SquareMillimeters,
+    "mm²"
+);
+quantity!(
+    /// Volume in cubic millimeters. One cubic centimeter is 1000 mm³.
+    CubicMillimeters,
+    "mm³"
+);
+
+relate!(Millimeters ^2 = SquareMillimeters);
+relate!(SquareMillimeters * Millimeters = CubicMillimeters);
+
+/// Millimeters per mil (thousandth of an inch) — PCB dielectric thicknesses
+/// in the paper are quoted in mils (50 mil and 70 mil Rogers 3010 layers).
+pub const MM_PER_MIL: f64 = 0.0254;
+
+impl Millimeters {
+    /// Creates a length from mils (thousandths of an inch).
+    #[inline]
+    pub fn from_mils(mils: f64) -> Self {
+        Self::new(mils * MM_PER_MIL)
+    }
+
+    /// Returns the length in mils.
+    #[inline]
+    pub fn mils(self) -> f64 {
+        self.value() / MM_PER_MIL
+    }
+}
+
+impl CubicMillimeters {
+    /// One cubic centimeter — the PicoCube's total volume budget.
+    pub const ONE_CM3: Self = Self::new(1000.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mil_conversions() {
+        let t = Millimeters::from_mils(50.0);
+        assert!((t.value() - 1.27).abs() < 1e-9);
+        assert!((t.mils() - 50.0).abs() < 1e-9);
+        // The paper's as-built radio board: 64.8 mil total thickness.
+        assert!((Millimeters::from_mils(64.8).value() - 1.64592).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_and_volume_algebra() {
+        let side = Millimeters::new(10.0);
+        let area = side * side;
+        assert!((area.value() - 100.0).abs() < 1e-12);
+        let vol = area * Millimeters::new(10.0);
+        assert!((vol.value() - CubicMillimeters::ONE_CM3.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_area_from_the_paper() {
+        // §4.1: 1.4 mm devoted to connectors on each edge of a 10 mm board
+        // leaves a 7.2 × 7.2 mm placement area.
+        let usable = Millimeters::new(10.0) - Millimeters::new(2.0 * 1.4);
+        assert!((usable.value() - 7.2).abs() < 1e-9);
+        let area = usable * usable;
+        assert!((area.value() - 51.84).abs() < 1e-9);
+    }
+}

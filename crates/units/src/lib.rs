@@ -1,0 +1,102 @@
+//! Typed physical quantities for the PicoCube simulation.
+//!
+//! Every electrical, thermal, mechanical and RF quantity that crosses a
+//! module boundary in the PicoCube workspace is a dedicated newtype over
+//! `f64` (see the Rust API guidelines, C-NEWTYPE). This statically prevents
+//! the classic power-train mistakes — feeding millivolts where volts are
+//! expected, adding energy to power, confusing dBm with watts — at zero
+//! runtime cost.
+//!
+//! Quantities implement the arithmetic that is physically meaningful and
+//! nothing more: same-type addition/subtraction, scaling by dimensionless
+//! `f64`, and the cross-type products and quotients of the underlying
+//! dimensional algebra (`Volts * Amps = Watts`, `Watts * Seconds = Joules`,
+//! `Coulombs / Farads = Volts`, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use picocube_units::{Volts, Amps, Watts, Seconds, Joules};
+//!
+//! let rail = Volts::new(1.2);
+//! let draw = Amps::from_micro(5.0);
+//! let power: Watts = rail * draw;
+//! assert!((power.micro() - 6.0).abs() < 1e-9);
+//!
+//! let energy: Joules = power * Seconds::new(14e-3);
+//! assert!(energy > Joules::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+#[macro_use]
+mod quantity;
+
+mod electrical;
+mod energy;
+mod geometry;
+mod mechanics;
+mod rf;
+mod thermo;
+
+pub use electrical::{Amps, Coulombs, Farads, Hertz, Ohms, Volts};
+pub use energy::{Joules, JoulesPerGram, Seconds, Watts};
+pub use geometry::{CubicMillimeters, Millimeters, SquareMillimeters};
+pub use mechanics::{Gs, Grams, Kilopascals, MetersPerSecond, MetersPerSecond2, Rpm};
+pub use rf::{Db, Dbm};
+pub use thermo::Celsius;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_dimensional_algebra_round_trips() {
+        let v = Volts::new(1.2);
+        let i = Amps::new(0.5e-3);
+        let p = v * i;
+        assert!((p.value() - 0.6e-3).abs() < 1e-12);
+        // P / V = I and P / I = V
+        assert!(((p / v).value() - i.value()).abs() < 1e-12);
+        assert!(((p / i).value() - v.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_power_time_relations() {
+        let w = Watts::from_micro(6.0);
+        let t = Seconds::new(3600.0);
+        let e = w * t;
+        assert!((e.milli() - 21.6).abs() < 1e-9);
+        assert!(((e / t).micro() - 6.0).abs() < 1e-9);
+        assert!(((e / w).value() - 3600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn charge_capacitance_voltage() {
+        let c = Farads::from_micro(100.0);
+        let v = Volts::new(1.2);
+        let q = c * v;
+        assert!((q.micro() - 120.0).abs() < 1e-9);
+        assert!(((q / c).value() - 1.2).abs() < 1e-12);
+        assert!(((q / v).micro() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ohms_law() {
+        let r = Ohms::new(1000.0);
+        let v = Volts::new(1.0);
+        let i = v / r;
+        assert!((i.milli() - 1.0).abs() < 1e-12);
+        assert!(((i * r).value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitor_energy() {
+        // E = 1/2 C V^2 via the quantity algebra.
+        let c = Farads::from_micro(10.0);
+        let v = Volts::new(2.0);
+        let e = c.energy_at(v);
+        assert!((e.micro() - 20.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Mechanical and environmental quantities used by the sensor and harvester
+//! models: mass, pressure, acceleration, speed and rotation rate.
+
+quantity!(
+    /// Mass in grams. Gram (not kilogram) is the natural scale for the
+    /// "mechanical mass" budgets of a 1 cm³ node.
+    Grams,
+    "g"
+);
+quantity!(
+    /// Pressure in kilopascals (tire gauge pressure for the TPMS sensor).
+    Kilopascals,
+    "kPa"
+);
+quantity!(
+    /// Acceleration in units of standard gravity (g = 9.80665 m/s²), the
+    /// scale accelerometer datasheets use.
+    Gs,
+    "g₀"
+);
+quantity!(
+    /// Acceleration in meters per second squared.
+    MetersPerSecond2,
+    "m/s²"
+);
+quantity!(
+    /// Speed in meters per second.
+    MetersPerSecond,
+    "m/s"
+);
+quantity!(
+    /// Rotation rate in revolutions per minute.
+    Rpm,
+    "rpm"
+);
+
+/// Standard gravity in m/s².
+pub const STANDARD_GRAVITY: f64 = 9.806_65;
+
+impl Gs {
+    /// Converts to m/s².
+    #[inline]
+    pub fn to_si(self) -> MetersPerSecond2 {
+        MetersPerSecond2::new(self.value() * STANDARD_GRAVITY)
+    }
+}
+
+impl MetersPerSecond2 {
+    /// Converts to multiples of standard gravity.
+    #[inline]
+    pub fn to_gs(self) -> Gs {
+        Gs::new(self.value() / STANDARD_GRAVITY)
+    }
+}
+
+impl MetersPerSecond {
+    /// Creates a speed from kilometers per hour.
+    #[inline]
+    pub fn from_kmh(kmh: f64) -> Self {
+        Self::new(kmh / 3.6)
+    }
+
+    /// Returns the speed in kilometers per hour.
+    #[inline]
+    pub fn kmh(self) -> f64 {
+        self.value() * 3.6
+    }
+
+    /// Rotation rate of a wheel of the given radius (meters) rolling at this
+    /// speed.
+    #[inline]
+    pub fn wheel_rpm(self, wheel_radius_m: f64) -> Rpm {
+        let omega = self.value() / wheel_radius_m; // rad/s
+        Rpm::new(omega * 60.0 / (2.0 * core::f64::consts::PI))
+    }
+
+    /// Centripetal acceleration at the rim of a wheel of the given radius
+    /// (meters) rolling at this speed: `a = v² / r`. This is the large
+    /// quasi-DC acceleration a rim-mounted TPMS node experiences.
+    #[inline]
+    pub fn centripetal_at_radius(self, wheel_radius_m: f64) -> MetersPerSecond2 {
+        MetersPerSecond2::new(self.value() * self.value() / wheel_radius_m)
+    }
+}
+
+impl Kilopascals {
+    /// Creates a pressure from pounds per square inch (US tire gauges).
+    #[inline]
+    pub fn from_psi(psi: f64) -> Self {
+        Self::new(psi * 6.894_757_293_168)
+    }
+
+    /// Returns the pressure in psi.
+    #[inline]
+    pub fn psi(self) -> f64 {
+        self.value() / 6.894_757_293_168
+    }
+
+    /// Creates a pressure from bar.
+    #[inline]
+    pub fn from_bar(bar: f64) -> Self {
+        Self::new(bar * 100.0)
+    }
+
+    /// Returns the pressure in bar.
+    #[inline]
+    pub fn bar(self) -> f64 {
+        self.value() / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gravity_conversion_round_trips() {
+        let a = Gs::new(2.0);
+        assert!((a.to_si().value() - 19.6133).abs() < 1e-4);
+        assert!((a.to_si().to_gs().value() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_conversions() {
+        let v = MetersPerSecond::from_kmh(90.0);
+        assert!((v.value() - 25.0).abs() < 1e-9);
+        assert!((v.kmh() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wheel_rpm_at_highway_speed() {
+        // 0.3 m radius wheel at 90 km/h -> ~796 rpm.
+        let rpm = MetersPerSecond::from_kmh(90.0).wheel_rpm(0.3);
+        assert!((rpm.value() - 795.77).abs() < 0.5);
+    }
+
+    #[test]
+    fn rim_centripetal_acceleration_is_huge() {
+        // At 90 km/h on a 0.3 m wheel the rim sees v²/r ≈ 2083 m/s² ≈ 212 g.
+        // This is why TPMS accelerometer channels have enormous ranges.
+        let a = MetersPerSecond::from_kmh(90.0).centripetal_at_radius(0.3);
+        assert!((a.value() - 2083.3).abs() < 1.0);
+        assert!(a.to_gs().value() > 200.0);
+    }
+
+    #[test]
+    fn pressure_conversions() {
+        let p = Kilopascals::from_psi(32.0);
+        assert!((p.value() - 220.632).abs() < 0.01);
+        assert!((p.psi() - 32.0).abs() < 1e-9);
+        assert!((Kilopascals::from_bar(2.2).value() - 220.0).abs() < 1e-9);
+        assert!((Kilopascals::new(220.0).bar() - 2.2).abs() < 1e-12);
+    }
+}

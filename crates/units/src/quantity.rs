@@ -1,0 +1,290 @@
+//! The `quantity!` macro: defines an `f64`-backed newtype with the full set
+//! of physically meaningful same-type arithmetic, SI-prefix accessors, and
+//! the common trait impls the API guidelines call for.
+
+/// Defines a physical quantity newtype.
+///
+/// Generated items per quantity `Q`:
+/// * `Q::new(f64)`, `Q::value(self) -> f64`, `Q::ZERO`
+/// * SI prefix constructors and accessors: `from_nano/micro/milli/kilo/mega`
+///   and `nano()/micro()/milli()/kilo()/mega()`
+/// * `abs`, `min`, `max`, `clamp`, `is_finite`
+/// * `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign` (same type),
+///   `Mul<f64>`, `Div<f64>` (scaling), `f64 * Q`,
+///   `Div<Q> for Q -> f64` (ratio of like quantities)
+/// * `Sum`, `Default`, `Display` (with the unit suffix), `Debug`,
+///   `Clone`, `Copy`, `PartialEq`, `PartialOrd`, serde
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a value in base SI units.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the value in base SI units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Creates a quantity from a value expressed in nano-units.
+            #[inline]
+            pub fn from_nano(value: f64) -> Self {
+                Self(value * 1e-9)
+            }
+
+            /// Creates a quantity from a value expressed in micro-units.
+            #[inline]
+            pub fn from_micro(value: f64) -> Self {
+                Self(value * 1e-6)
+            }
+
+            /// Creates a quantity from a value expressed in milli-units.
+            #[inline]
+            pub fn from_milli(value: f64) -> Self {
+                Self(value * 1e-3)
+            }
+
+            /// Creates a quantity from a value expressed in kilo-units.
+            #[inline]
+            pub fn from_kilo(value: f64) -> Self {
+                Self(value * 1e3)
+            }
+
+            /// Creates a quantity from a value expressed in mega-units.
+            #[inline]
+            pub fn from_mega(value: f64) -> Self {
+                Self(value * 1e6)
+            }
+
+            /// Returns the value expressed in nano-units.
+            #[inline]
+            pub fn nano(self) -> f64 {
+                self.0 * 1e9
+            }
+
+            /// Returns the value expressed in micro-units.
+            #[inline]
+            pub fn micro(self) -> f64 {
+                self.0 * 1e6
+            }
+
+            /// Returns the value expressed in milli-units.
+            #[inline]
+            pub fn milli(self) -> f64 {
+                self.0 * 1e3
+            }
+
+            /// Returns the value expressed in kilo-units.
+            #[inline]
+            pub fn kilo(self) -> f64 {
+                self.0 * 1e-3
+            }
+
+            /// Returns the value expressed in mega-units.
+            #[inline]
+            pub fn mega(self) -> f64 {
+                self.0 * 1e-6
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps `self` to the inclusive range `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// Returns `true` if the value is neither infinite nor NaN.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}({} {})", stringify!($name), self.0, $suffix)
+            }
+        }
+    };
+}
+
+/// Implements `Mul`/`Div` relations between quantities:
+/// `relate!(A * B = C)` generates `A * B -> C`, `B * A -> C`,
+/// `C / A -> B` and `C / B -> A`.
+macro_rules! relate {
+    ($a:ident * $b:ident = $c:ident) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                $b::new(self.value() / rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $b) -> $a {
+                $a::new(self.value() / rhs.value())
+            }
+        }
+    };
+    // Squared variant: A * A = C (avoids the duplicate-impl problem).
+    ($a:ident ^2 = $c:ident) => {
+        impl core::ops::Mul<$a> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c::new(self.value() * rhs.value())
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $a) -> $a {
+                $a::new(self.value() / rhs.value())
+            }
+        }
+    };
+}

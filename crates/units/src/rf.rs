@@ -1,0 +1,202 @@
+//! RF quantities: absolute power in dBm and relative gain/loss in dB.
+//!
+//! `Dbm` is logarithmic, so it deliberately does **not** implement `Add`
+//! with itself (adding two absolute powers in dB is meaningless); instead,
+//! gains and losses are applied as [`Db`] offsets, and conversion to/from
+//! linear [`Watts`](crate::Watts) is explicit.
+
+use crate::Watts;
+
+/// Absolute RF power referenced to 1 mW, in decibels (dBm).
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Dbm(f64);
+
+/// A relative power ratio in decibels: antenna gain, path loss, fade margin.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct Db(f64);
+
+impl Dbm {
+    /// Creates an absolute power level in dBm.
+    #[inline]
+    pub const fn new(dbm: f64) -> Self {
+        Self(dbm)
+    }
+
+    /// Returns the level in dBm.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a linear power to dBm.
+    ///
+    /// Zero (or negative) power maps to negative infinity dBm, which
+    /// propagates correctly through comparisons (it is below any threshold).
+    #[inline]
+    pub fn from_watts(power: Watts) -> Self {
+        Self(10.0 * (power.value() / 1e-3).log10())
+    }
+
+    /// Converts to linear power.
+    #[inline]
+    pub fn to_watts(self) -> Watts {
+        Watts::new(1e-3 * 10f64.powf(self.0 / 10.0))
+    }
+
+    /// Returns the margin of this level above `other`, in dB.
+    #[inline]
+    pub fn margin_over(self, other: Dbm) -> Db {
+        Db::new(self.0 - other.0)
+    }
+}
+
+impl Db {
+    /// Creates a relative level in dB.
+    #[inline]
+    pub const fn new(db: f64) -> Self {
+        Self(db)
+    }
+
+    /// Returns the level in dB.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts a linear power ratio to dB.
+    #[inline]
+    pub fn from_ratio(ratio: f64) -> Self {
+        Self(10.0 * ratio.log10())
+    }
+
+    /// Converts to a linear power ratio.
+    #[inline]
+    pub fn to_ratio(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+}
+
+impl core::ops::Add<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub<Db> for Dbm {
+    type Output = Dbm;
+    #[inline]
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Sub<Dbm> for Dbm {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add for Db {
+    type Output = Db;
+    #[inline]
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub for Db {
+    type Output = Db;
+    #[inline]
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Neg for Db {
+    type Output = Db;
+    #[inline]
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl core::fmt::Display for Dbm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} dBm", prec, self.0)
+        } else {
+            write!(f, "{} dBm", self.0)
+        }
+    }
+}
+
+impl core::fmt::Display for Db {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*} dB", prec, self.0)
+        } else {
+            write!(f, "{} dB", self.0)
+        }
+    }
+}
+
+impl core::fmt::Debug for Dbm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Dbm({} dBm)", self.0)
+    }
+}
+
+impl core::fmt::Debug for Db {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Db({} dB)", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tx_power_is_1_2_mw() {
+        // The PicoCube transmitter is specified as 0.8 dBm ≈ 1.2 mW.
+        let p = Dbm::new(0.8).to_watts();
+        assert!((p.milli() - 1.202).abs() < 0.002);
+    }
+
+    #[test]
+    fn dbm_watts_round_trip() {
+        for dbm in [-90.0, -60.0, -30.0, 0.0, 0.8, 10.0] {
+            let back = Dbm::from_watts(Dbm::new(dbm).to_watts());
+            assert!((back.value() - dbm).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_watts_is_minus_infinity() {
+        let level = Dbm::from_watts(Watts::ZERO);
+        assert!(level.value().is_infinite() && level.value() < 0.0);
+        assert!(level < Dbm::new(-200.0));
+    }
+
+    #[test]
+    fn link_budget_arithmetic() {
+        // TX 0.8 dBm, path loss 60.8 dB -> RX -60 dBm (the paper's 1 m figure).
+        let rx = Dbm::new(0.8) - Db::new(60.8);
+        assert!((rx.value() + 60.0).abs() < 1e-9);
+        // Margin above a -75 dBm sensitivity is 15 dB.
+        let margin = rx.margin_over(Dbm::new(-75.0));
+        assert!((margin.value() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_ratio_round_trip() {
+        assert!((Db::new(3.0103).to_ratio() - 2.0).abs() < 1e-4);
+        assert!((Db::from_ratio(100.0).value() - 20.0).abs() < 1e-9);
+    }
+}

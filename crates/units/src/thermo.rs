@@ -1,0 +1,63 @@
+//! Thermal quantities.
+
+quantity!(
+    /// Temperature in degrees Celsius.
+    ///
+    /// Celsius is an affine scale, so multiplication between temperatures is
+    /// not provided; differences (`Sub`) are meaningful as temperature
+    /// deltas and that is what component temperature-coefficient models use.
+    Celsius,
+    "°C"
+);
+
+impl Celsius {
+    /// Absolute zero.
+    pub const ABSOLUTE_ZERO: Self = Self::new(-273.15);
+
+    /// Converts to kelvin.
+    #[inline]
+    pub fn kelvin(self) -> f64 {
+        self.value() + 273.15
+    }
+
+    /// Creates a temperature from kelvin.
+    #[inline]
+    pub fn from_kelvin(k: f64) -> Self {
+        Self::new(k - 273.15)
+    }
+
+    /// Creates a temperature from degrees Fahrenheit.
+    #[inline]
+    pub fn from_fahrenheit(f: f64) -> Self {
+        Self::new((f - 32.0) * 5.0 / 9.0)
+    }
+
+    /// Returns the temperature in degrees Fahrenheit.
+    #[inline]
+    pub fn fahrenheit(self) -> f64 {
+        self.value() * 9.0 / 5.0 + 32.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kelvin_round_trip() {
+        let t = Celsius::new(25.0);
+        assert!((t.kelvin() - 298.15).abs() < 1e-9);
+        assert!((Celsius::from_kelvin(t.kelvin()).value() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fahrenheit_round_trip() {
+        assert!((Celsius::from_fahrenheit(212.0).value() - 100.0).abs() < 1e-9);
+        assert!((Celsius::new(-40.0).fahrenheit() + 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absolute_zero() {
+        assert!((Celsius::ABSOLUTE_ZERO.kelvin()).abs() < 1e-9);
+    }
+}

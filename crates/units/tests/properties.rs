@@ -1,0 +1,104 @@
+//! Property-based tests for the quantity algebra.
+
+use picocube_units::*;
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= EPS * scale
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let x = Volts::new(a) + Volts::new(b);
+        let y = Volts::new(b) + Volts::new(a);
+        prop_assert!(close(x.value(), y.value()));
+    }
+
+    #[test]
+    fn addition_associates(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        let x = (Watts::new(a) + Watts::new(b)) + Watts::new(c);
+        let y = Watts::new(a) + (Watts::new(b) + Watts::new(c));
+        prop_assert!(close(x.value(), y.value()));
+    }
+
+    #[test]
+    fn power_division_inverts_multiplication(v in 0.1f64..100.0, i in 1e-9f64..1.0) {
+        let p = Volts::new(v) * Amps::new(i);
+        prop_assert!(close((p / Volts::new(v)).value(), i));
+        prop_assert!(close((p / Amps::new(i)).value(), v));
+    }
+
+    #[test]
+    fn energy_division_inverts_multiplication(p in 1e-9f64..10.0, t in 1e-6f64..1e7) {
+        let e = Watts::new(p) * Seconds::new(t);
+        prop_assert!(close((e / Watts::new(p)).value(), t));
+        prop_assert!(close((e / Seconds::new(t)).value(), p));
+    }
+
+    #[test]
+    fn si_prefix_round_trips(x in -1e9f64..1e9) {
+        prop_assert!(close(Amps::from_micro(x).micro(), x));
+        prop_assert!(close(Volts::from_milli(x).milli(), x));
+        prop_assert!(close(Joules::from_nano(x).nano(), x));
+        prop_assert!(close(Hertz::from_mega(x).mega(), x));
+        prop_assert!(close(Watts::from_kilo(x).kilo(), x));
+    }
+
+    #[test]
+    fn dbm_round_trip(dbm in -120.0f64..30.0) {
+        let back = Dbm::from_watts(Dbm::new(dbm).to_watts());
+        prop_assert!(close(back.value(), dbm));
+    }
+
+    #[test]
+    fn db_offsets_compose(dbm in -100.0f64..10.0, g1 in -40.0f64..40.0, g2 in -40.0f64..40.0) {
+        let a = (Dbm::new(dbm) + Db::new(g1)) + Db::new(g2);
+        let b = Dbm::new(dbm) + (Db::new(g1) + Db::new(g2));
+        prop_assert!(close(a.value(), b.value()));
+        // And in the linear domain: adding dB multiplies watts.
+        let lin = Dbm::new(dbm).to_watts().value() * Db::new(g1).to_ratio();
+        prop_assert!(close((Dbm::new(dbm) + Db::new(g1)).to_watts().value(), lin));
+    }
+
+    #[test]
+    fn neg_is_additive_inverse(x in -1e6f64..1e6) {
+        let q = Ohms::new(x);
+        prop_assert!(close((q + (-q)).value(), 0.0));
+    }
+
+    #[test]
+    fn scaling_distributes(x in -1e3f64..1e3, y in -1e3f64..1e3, k in -100.0f64..100.0) {
+        let lhs = (Farads::new(x) + Farads::new(y)) * k;
+        let rhs = Farads::new(x) * k + Farads::new(y) * k;
+        prop_assert!(close(lhs.value(), rhs.value()));
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_values(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        prop_assert_eq!(Seconds::new(a) < Seconds::new(b), a < b);
+        prop_assert_eq!(Celsius::new(a) >= Celsius::new(b), a >= b);
+    }
+
+    #[test]
+    fn temperature_round_trips(t in -273.0f64..1000.0) {
+        prop_assert!(close(Celsius::from_kelvin(Celsius::new(t).kelvin()).value(), t));
+        prop_assert!(close(Celsius::from_fahrenheit(Celsius::new(t).fahrenheit()).value(), t));
+    }
+
+    #[test]
+    fn capacitor_energy_is_quadratic(c in 1e-12f64..1e-3, v in 0.0f64..10.0) {
+        let e1 = Farads::new(c).energy_at(Volts::new(v));
+        let e2 = Farads::new(c).energy_at(Volts::new(2.0 * v));
+        prop_assert!(close(e2.value(), 4.0 * e1.value()));
+    }
+
+    #[test]
+    fn mah_round_trip(mah in 0.1f64..1000.0, v in 0.5f64..5.0) {
+        let e = Joules::from_milliamp_hours(mah, Volts::new(v));
+        prop_assert!(close(e.as_milliamp_hours(Volts::new(v)), mah));
+    }
+}

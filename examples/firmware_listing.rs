@@ -1,0 +1,54 @@
+//! Developer tool: disassemble the stock firmware images and annotate the
+//! pieces of the sample/format/transmit cycle. Useful when modifying the
+//! firmware or studying how the ~14 ms Fig. 6 burst is spent.
+//!
+//! ```text
+//! cargo run --example firmware_listing [tpms|motion|alarm|beacon]
+//! ```
+
+use picocube::mcu::{asm::AsmError, disasm, firmware, FlatMemory};
+
+fn listing_for(name: &str) -> Result<picocube::mcu::Image, AsmError> {
+    match name {
+        "motion" => firmware::motion_app(0x42),
+        "alarm" => firmware::tpms_alarm_app(0x42, 1638), // 180 kPa code
+        "beacon" => firmware::beacon_app(0x42, 6),
+        _ => firmware::tpms_app(0x42),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "tpms".to_string());
+    let image = listing_for(&which)?;
+    let code = image
+        .segments()
+        .iter()
+        .find(|(org, _)| *org == 0xF000)
+        .expect("firmware code segment");
+    let mut mem = FlatMemory::new();
+    mem.load(&image);
+
+    println!("; {} firmware — {} bytes of code at 0xF000", which, code.1.len());
+    println!("; vectors: reset=0x{:04X}", mem.read16(picocube::mcu::vectors::RESET));
+    println!();
+
+    let (listing, err) = disasm::disassemble_range(&mem, 0xF000, code.1.len() as u16);
+    for d in &listing {
+        // Raw words for the curious.
+        let mut words = String::new();
+        for i in 0..(d.size / 2) {
+            words.push_str(&format!("{:04X} ", mem.read16(d.address + 2 * i)));
+        }
+        println!("{:04X}:  {:<16} {}", d.address, words, d.text);
+    }
+    if let Some(e) = err {
+        println!("; stopped: {e}");
+    }
+
+    println!(
+        "\n; {} instructions; the assembler/disassembler round-trip of this",
+        listing.len()
+    );
+    println!("; listing is bit-exact (see mcu::disasm tests).");
+    Ok(())
+}

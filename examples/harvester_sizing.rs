@@ -1,0 +1,74 @@
+//! Harvester sizing: which energy source covers which duty cycle?
+//!
+//! Sweeps the paper's harvester options (§1, §4.4, §6) against the node's
+//! measured consumption at several sample rates and prints the
+//! feasibility map a deployment engineer would want.
+//!
+//! ```text
+//! cargo run --release --example harvester_sizing
+//! ```
+
+use picocube::harvest::{
+    DriveCycle, ElectromagneticShaker, Harvester, Irradiance, SolarCladding, VibrationBeam,
+    WheelHarvester,
+};
+use picocube::power::rectifier::{DiodeBridge, Rectifier, SynchronousRectifier};
+use picocube::units::{Seconds, Volts, Watts};
+
+/// Consumption model from the node's measured behaviour: the ~3 µW sleep
+/// floor plus ~21 µJ of active energy per sample cycle.
+fn node_demand(sample_period: Seconds) -> Watts {
+    Watts::from_micro(3.0) + picocube::units::Joules::from_micro(21.0) / sample_period
+}
+
+fn main() {
+    let day = Seconds::DAY;
+    let sources: Vec<(&str, Box<dyn Harvester>)> = vec![
+        ("wheel @ highway", Box::new(WheelHarvester::automotive(DriveCycle::highway()))),
+        ("wheel @ urban", Box::new(WheelHarvester::automotive(DriveCycle::urban()))),
+        ("bicycle wheel", Box::new(WheelHarvester::bicycle(DriveCycle::bicycle()))),
+        ("bench shaker", Box::new(ElectromagneticShaker::bench_450uw())),
+        ("vibration beam 120 Hz", Box::new(VibrationBeam::roundy_120hz())),
+        ("solar, office light", Box::new(SolarCladding::five_faces(Irradiance::office()))),
+        ("solar, outdoors", Box::new(SolarCladding::five_faces(Irradiance::outdoor()))),
+    ];
+    let periods = [1.0f64, 6.0, 60.0, 600.0];
+    let bridge = DiodeBridge::schottky();
+    let sync = SynchronousRectifier::paper();
+    let vbat = Volts::new(1.2);
+
+    println!("available power after rectification (µW), and feasible sample periods\n");
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} | supports sampling every…",
+        "source", "raw", "schottky", "sync-rect"
+    );
+    for (name, source) in &sources {
+        let raw = source.average_power(Seconds::ZERO, day, 10_000);
+        let after_bridge = bridge.deliver(raw, vbat).expect("valid operating point");
+        let after_sync = sync.deliver(raw, vbat).expect("valid operating point");
+        let feasible: Vec<String> = periods
+            .iter()
+            .filter(|&&p| after_sync >= node_demand(Seconds::new(p)))
+            .map(|&p| if p < 60.0 { format!("{p:.0} s") } else { format!("{:.0} min", p / 60.0) })
+            .collect();
+        println!(
+            "{:<24} {:>9.1} {:>9.1} {:>9.1} | {}",
+            name,
+            raw.micro(),
+            after_bridge.micro(),
+            after_sync.micro(),
+            if feasible.is_empty() { "none — node drains".to_string() } else { feasible.join(", ") }
+        );
+    }
+
+    println!(
+        "\nnode demand: {:.1} µW at 6 s sampling (the paper's workload), \
+         {:.1} µW at 1 s",
+        node_demand(Seconds::new(6.0)).micro(),
+        node_demand(Seconds::new(1.0)).micro()
+    );
+    println!(
+        "the synchronous rectifier's advantage over the Schottky bridge is the\n\
+         §7.1 story: ~26 % more of every harvested joule reaches the battery."
+    );
+}

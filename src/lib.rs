@@ -1,0 +1,53 @@
+//! **picocube** — a full-system simulation of the PicoCube, the 1 cm³
+//! sensor node powered by harvested energy (Chee et al., DAC 2008).
+//!
+//! The PicoCube's contribution is a physical artifact — five stacked
+//! 1 cm² boards running a tire-pressure application at a 6 µW average
+//! from harvested energy. This workspace reproduces that system as a
+//! simulation faithful to every number the paper publishes: the MSP430
+//! runs real (emulated) firmware, the power train models carry the
+//! measured efficiencies, and the paper's figures regenerate from runs.
+//!
+//! This meta-crate re-exports the member crates under one roof:
+//!
+//! * [`units`] — typed physical quantities (volts, watts, dBm, …).
+//! * [`sim`] — the discrete-event kernel, power ledger and traces.
+//! * [`power`] — rectifiers, charge pump, regulators, SC converters,
+//!   references, switches, and the §7.1 power interface IC.
+//! * [`storage`] — NiMH cell, supercapacitors, bypass networks.
+//! * [`harvest`] — shaker, wheel, vibration-beam and solar harvesters.
+//! * [`mcu`] — the MSP430-subset emulator, assembler and stock firmware.
+//! * [`sensors`] — SP12 TPMS and SCA3000 models plus their environments.
+//! * [`radio`] — FBAR, OOK transmitter, antenna, channel, receivers.
+//! * [`node`] — the assembled PicoCube, packaging checks, baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use picocube::node::{NodeConfig, PicoCube};
+//! use picocube::sim::SimDuration;
+//!
+//! let mut node = PicoCube::tpms(NodeConfig::default())?;
+//! node.run_for(SimDuration::from_secs(60));
+//!
+//! let report = node.report();
+//! println!("average power: {:.2} µW", report.average_power.micro());
+//! assert!(report.packets.len() >= 9); // one sample every six seconds
+//! # Ok::<(), picocube::node::BuildError>(())
+//! ```
+//!
+//! See `examples/` for the runnable scenarios (quickstart, TPMS
+//! deployment, the §6 motion demo, harvester sizing) and the
+//! `picocube-bench` crate for the per-figure experiment binaries.
+
+#![warn(missing_docs)]
+
+pub use picocube_harvest as harvest;
+pub use picocube_mcu as mcu;
+pub use picocube_node as node;
+pub use picocube_power as power;
+pub use picocube_radio as radio;
+pub use picocube_sensors as sensors;
+pub use picocube_sim as sim;
+pub use picocube_storage as storage;
+pub use picocube_units as units;
