@@ -1,0 +1,94 @@
+//! Scaling benchmark for the two-phase fleet engine: serial vs threaded
+//! phase-1 execution at increasing fleet sizes, with a bit-identity check
+//! between the two paths at every size.
+//!
+//! Emits `BENCH_fleet.json` in the working directory. Run with
+//! `cargo bench -p picocube-bench --bench fleet_scaling`.
+
+use picocube_bench::timing::time_once;
+use picocube_node::{run_fleet, FleetConfig, Parallelism};
+use picocube_sim::SimDuration;
+use picocube_units::json::{Json, ToJson};
+
+const DURATION_S: u64 = 30;
+const SEED: u64 = 42;
+
+struct Row {
+    nodes: usize,
+    threads: usize,
+    serial_s: f64,
+    threaded_s: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nodes".into(), self.nodes.to_json()),
+            ("threads".into(), self.threads.to_json()),
+            ("serial_s".into(), self.serial_s.to_json()),
+            ("threaded_s".into(), self.threaded_s.to_json()),
+            ("speedup".into(), self.speedup.to_json()),
+            ("identical".into(), self.identical.to_json()),
+        ])
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("fleet scaling: {DURATION_S} s simulated, seed {SEED}, {threads} hardware threads");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>10}",
+        "nodes", "serial", "threaded", "speedup", "identical"
+    );
+
+    let mut rows = Vec::new();
+    for nodes in [16usize, 64, 256] {
+        let config = |parallelism| FleetConfig {
+            nodes,
+            duration: SimDuration::from_secs(DURATION_S),
+            seed: SEED,
+            parallelism,
+            ..FleetConfig::default()
+        };
+        let (serial_s, serial_out) = time_once(|| run_fleet(&config(Parallelism::Serial)));
+        let (threaded_s, threaded_out) =
+            time_once(|| run_fleet(&config(Parallelism::Threads(threads))));
+        let identical = serial_out == threaded_out;
+        let speedup = serial_s / threaded_s;
+        println!(
+            "{nodes:>6} {serial_s:>11.3}s {threaded_s:>11.3}s {speedup:>7.2}x {identical:>10}",
+        );
+        assert!(
+            identical,
+            "serial and threaded outcomes diverged at {nodes} nodes"
+        );
+        rows.push(Row {
+            nodes,
+            threads,
+            serial_s,
+            threaded_s,
+            speedup,
+            identical,
+        });
+    }
+
+    let report = Json::Obj(vec![
+        ("bench".into(), Json::Str("fleet_scaling".into())),
+        ("simulated_duration_s".into(), (DURATION_S as f64).to_json()),
+        ("seed".into(), SEED.to_json()),
+        ("hardware_threads".into(), threads.to_json()),
+        (
+            "results".into(),
+            Json::Arr(rows.iter().map(Row::to_json).collect()),
+        ),
+    ]);
+    // Cargo runs benches with the package as working directory; anchor the
+    // report at the workspace root instead.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(out, report.to_string() + "\n").expect("write BENCH_fleet.json");
+    println!("wrote {out}");
+}

@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the simulation substrate itself, so
-//! performance regressions in the kernel, MCU emulator, converter solver
-//! and channel are visible.
+//! Micro-benchmarks for the simulation substrate itself, so performance
+//! regressions in the kernel, MCU emulator, converter solver and channel
+//! are visible. Run with `cargo bench -p picocube-bench --bench simulation`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use picocube_bench::timing::bench;
 use picocube_mcu::{asm, Mcu, StepResult};
 use picocube_node::{NodeConfig, PicoCube};
 use picocube_power::sc::ScConverter;
@@ -10,26 +10,18 @@ use picocube_radio::{Channel, Link, PatchAntenna};
 use picocube_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use picocube_units::{Amps, Db, Dbm, Hertz, Volts};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel");
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u32>::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.push(SimTime::from_nanos(i * 37 % 50_000), i as u32);
-                }
-                while q.pop().is_some() {}
-                q
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_event_queue() {
+    bench("kernel/event_queue_push_pop_10k", 50, || {
+        let mut q = EventQueue::<u32>::new();
+        for i in 0..10_000u64 {
+            q.push(SimTime::from_nanos(i * 37 % 50_000), i as u32);
+        }
+        while q.pop().is_some() {}
+        q.len()
     });
-    group.finish();
 }
 
-fn bench_mcu(c: &mut Criterion) {
+fn bench_mcu() {
     let image = asm::assemble(
         r#"
         .org 0xF000
@@ -43,46 +35,41 @@ inner:  dec r4
     )
     .expect("bench program assembles");
 
-    let mut group = c.benchmark_group("mcu");
-    group.throughput(Throughput::Elements(100_000));
-    group.bench_function("emulator_100k_instructions", |b| {
-        let mut mcu = Mcu::new();
-        mcu.load(&image);
-        b.iter(|| {
-            mcu.reset();
-            for _ in 0..100_000 {
-                match mcu.step() {
-                    StepResult::Ran { .. } => {}
-                    other => panic!("unexpected {other:?}"),
-                }
+    let mut mcu = Mcu::new();
+    mcu.load(&image);
+    bench("mcu/emulator_100k_instructions", 10, || {
+        mcu.reset();
+        for _ in 0..100_000 {
+            match mcu.step() {
+                StepResult::Ran { .. } => {}
+                other => panic!("unexpected {other:?}"),
             }
-            mcu.cycles()
-        });
+        }
+        mcu.cycles()
     });
-    group.finish();
 }
 
-fn bench_sc_solver(c: &mut Criterion) {
+fn bench_sc_solver() {
     let conv = ScConverter::paper_1to2();
-    let mut group = c.benchmark_group("power");
-    group.bench_function("sc_convert_fixed_frequency", |b| {
-        b.iter(|| {
-            conv.convert(Volts::new(1.2), Amps::from_micro(200.0), Hertz::from_kilo(800.0))
-                .unwrap()
-        });
+    bench("power/sc_convert_fixed_frequency", 10_000, || {
+        conv.convert(
+            Volts::new(1.2),
+            Amps::from_micro(200.0),
+            Hertz::from_kilo(800.0),
+        )
+        .unwrap()
     });
-    group.bench_function("sc_optimal_frequency_search", |b| {
-        b.iter(|| conv.convert_optimal(Volts::new(1.2), Amps::from_micro(200.0)).unwrap());
+    bench("power/sc_optimal_frequency_search", 1_000, || {
+        conv.convert_optimal(Volts::new(1.2), Amps::from_micro(200.0))
+            .unwrap()
     });
-    group.bench_function("sc_regulate_bisection", |b| {
-        b.iter(|| {
-            conv.regulate(Volts::new(1.2), Volts::new(2.1), Amps::from_micro(200.0)).unwrap()
-        });
+    bench("power/sc_regulate_bisection", 1_000, || {
+        conv.regulate(Volts::new(1.2), Volts::new(2.1), Amps::from_micro(200.0))
+            .unwrap()
     });
-    group.finish();
 }
 
-fn bench_channel(c: &mut Criterion) {
+fn bench_channel() {
     let link = Link {
         tx_power: Dbm::new(0.8),
         tx_gain: PatchAntenna::as_built().gain_dbi(Hertz::new(1.863e9)),
@@ -90,36 +77,24 @@ fn bench_channel(c: &mut Criterion) {
         orientation_loss: Db::new(2.0),
         channel: Channel::demo_room(),
     };
-    let mut group = c.benchmark_group("radio");
-    group.bench_function("link_packet_trial_104_bits", |b| {
-        let mut rng = SimRng::seed_from(1);
-        b.iter(|| link.try_packet(4.0, 104, &mut rng));
+    let mut rng = SimRng::seed_from(1);
+    bench("radio/link_packet_trial_104_bits", 5_000, || {
+        link.try_packet(4.0, 104, &mut rng)
     });
-    group.finish();
 }
 
-fn bench_full_node(c: &mut Criterion) {
-    let mut group = c.benchmark_group("node");
-    group.sample_size(10);
-    group.bench_function("tpms_node_60_simulated_seconds", |b| {
-        b.iter_batched(
-            || PicoCube::tpms(NodeConfig::default()).unwrap(),
-            |mut node| {
-                node.run_for(SimDuration::from_secs(60));
-                node.report().wakes
-            },
-            BatchSize::SmallInput,
-        );
+fn bench_full_node() {
+    bench("node/tpms_node_60_simulated_seconds", 3, || {
+        let mut node = PicoCube::tpms(NodeConfig::default()).unwrap();
+        node.run_for(SimDuration::from_secs(60));
+        node.report().wakes
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_mcu,
-    bench_sc_solver,
-    bench_channel,
-    bench_full_node
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_mcu();
+    bench_sc_solver();
+    bench_channel();
+    bench_full_node();
+}

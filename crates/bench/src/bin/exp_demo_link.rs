@@ -31,16 +31,24 @@ fn main() {
     let rx = SuperRegenReceiver::bwrc_issc05();
     let frame = encode(0x42, &[0, 0, 0, 0, 0, 0], Checksum::Xor);
     let bits = frame.len() * 8;
-    println!("\nreceiver: {} µW superregen, sensitivity {:.0} dBm (reference [12])",
-        rx.rx_power().micro(), rx.sensitivity().value());
+    println!(
+        "\nreceiver: {} µW superregen, sensitivity {:.0} dBm (reference [12])",
+        rx.rx_power().micro(),
+        rx.sensitivity().value()
+    );
     println!("\npacket success vs range (500 trials/point, demo room):\n");
-    println!("{:>8} {:>12} {:>12}", "range", "best orient.", "worst orient.");
+    println!(
+        "{:>8} {:>12} {:>12}",
+        "range", "best orient.", "worst orient."
+    );
     let mut rng = SimRng::seed_from(4);
     for d in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
         let mut rates = Vec::new();
         for orient in [2.0, 22.0] {
             let link = demo_link(orient);
-            let ok = (0..500).filter(|_| link.try_packet(d, bits, &mut rng)).count();
+            let ok = (0..500)
+                .filter(|_| link.try_packet(d, bits, &mut rng))
+                .count();
             rates.push(ok as f64 / 500.0);
         }
         println!(
@@ -53,16 +61,22 @@ fn main() {
     }
     let best = demo_link(2.0);
     let worst = demo_link(22.0);
-    println!("\n50 %-success range: best orientation {:.1} m, worst {:.1} m",
-        best.half_success_range(bits), worst.half_success_range(bits));
+    println!(
+        "\n50 %-success range: best orientation {:.1} m, worst {:.1} m",
+        best.half_success_range(bits),
+        worst.half_success_range(bits)
+    );
     println!("paper: \"about 1 meter depending on orientation\" — the worst-case");
     println!("orientation (patch null toward the receiver) sets the quoted range.");
 
     // The actual demo: run the node + station end to end.
     println!("\nend-to-end session (90 s on the demo table at 1 m):");
-    let config = NodeConfig { harvester: HarvesterKind::Bicycle, ..NodeConfig::default() };
-    let mut node = PicoCube::motion(config, MotionScenario::retreat_table(2007))
-        .expect("node builds");
+    let config = NodeConfig {
+        harvester: HarvesterKind::Bicycle,
+        ..NodeConfig::default()
+    };
+    let mut node =
+        PicoCube::motion(config, MotionScenario::retreat_table(2007)).expect("node builds");
     node.run_for(SimDuration::from_secs(90));
     let mut station = DemoStation::demo_table(2007);
     let packets = node.packets();

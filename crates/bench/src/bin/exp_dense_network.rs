@@ -1,28 +1,85 @@
 //! E13 (extension) — §1: "very dense collaborative networks". The Cube is
 //! transmit-only, so its MAC is pure unslotted ALOHA; this experiment maps
 //! packet delivery vs deployment density, with the capture effect.
+//!
+//! Usage: `exp_dense_network [--nodes N[,N...]] [--threads T]`
+//!
+//! `--nodes` overrides the default density sweep with specific fleet
+//! sizes; `--threads` runs phase 1 of the fleet engine on T worker
+//! threads (results are bit-identical to the serial path).
 
 use picocube_bench::{banner, bar};
-use picocube_node::{run_fleet, FleetConfig};
+use picocube_node::{run_fleet, FleetConfig, Parallelism};
 use picocube_sim::SimDuration;
 
+struct Args {
+    nodes: Vec<usize>,
+    parallelism: Parallelism,
+}
+
+fn parse_args() -> Args {
+    let mut nodes = vec![1, 4, 16, 64, 128, 256];
+    let mut parallelism = Parallelism::Serial;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                let list = argv
+                    .next()
+                    .expect("--nodes needs a value, e.g. --nodes 64 or 16,64");
+                nodes = list
+                    .split(',')
+                    .map(|n| {
+                        n.trim()
+                            .parse()
+                            .expect("--nodes values must be positive integers")
+                    })
+                    .collect();
+                assert!(
+                    !nodes.is_empty() && nodes.iter().all(|&n| n > 0),
+                    "--nodes needs >= 1"
+                );
+            }
+            "--threads" => {
+                let t: usize = argv
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads: int");
+                parallelism = if t <= 1 {
+                    Parallelism::Serial
+                } else {
+                    Parallelism::Threads(t)
+                };
+            }
+            other => panic!("unknown argument {other:?}; supported: --nodes N[,N...] --threads T"),
+        }
+    }
+    Args { nodes, parallelism }
+}
+
 fn main() {
+    let args = parse_args();
     banner(
         "E13 / §1 (extension)",
         "dense deployments: ALOHA delivery vs fleet size",
         "nodes \"in very dense collaborative networks\" must share one channel blind",
     );
+    if let Parallelism::Threads(t) = args.parallelism {
+        println!("\nfleet phase 1 on {t} worker threads (bit-identical to serial)");
+    }
 
     println!("\n2-minute deployments, 6 s sample period, ~1 ms airtime per packet:\n");
     println!(
         "{:>7} {:>9} {:>10} {:>10} {:>10} {:>9}",
         "nodes", "offered", "collided", "chan-lost", "delivered", "ratio"
     );
-    for nodes in [1, 4, 16, 64, 128, 256] {
+    for &nodes in &args.nodes {
         let out = run_fleet(&FleetConfig {
             nodes,
             duration: SimDuration::from_secs(120),
             seed: 42,
+            parallelism: args.parallelism,
             ..FleetConfig::default()
         });
         println!(
@@ -48,6 +105,7 @@ fn main() {
         duration: SimDuration::from_secs(120),
         distance_range: (1.0, 1.05),
         seed: 43,
+        parallelism: args.parallelism,
         ..FleetConfig::default()
     });
     println!(

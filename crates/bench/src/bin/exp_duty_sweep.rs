@@ -47,9 +47,16 @@ fn main() {
     let (t2, p2, _) = rows[rows.len() - 1];
     let e_cycle = (p1.value() - p2.value()) / (1.0 / t1 - 1.0 / t2);
     let floor = p2.value() - e_cycle / t2;
-    println!("\nfitted law (COTS): P(T) ≈ {:.2} µW + {:.1} µJ / T", floor * 1e6, e_cycle * 1e6);
-    println!("  at the paper's 6 s: {:.2} µW (measured {:.2} µW)",
-        (floor + e_cycle / 6.0) * 1e6, rows[2].1.micro());
+    println!(
+        "\nfitted law (COTS): P(T) ≈ {:.2} µW + {:.1} µJ / T",
+        floor * 1e6,
+        e_cycle * 1e6
+    );
+    println!(
+        "  at the paper's 6 s: {:.2} µW (measured {:.2} µW)",
+        (floor + e_cycle / 6.0) * 1e6,
+        rows[2].1.micro()
+    );
 
     println!("\nreadings:");
     println!("  * at short periods the active energy dominates and the IC's");

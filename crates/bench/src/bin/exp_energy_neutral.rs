@@ -41,18 +41,51 @@ fn main() {
     );
 
     println!("\n30-minute battery trajectories (TPMS node, 15 mAh NiMH, from 50 %):\n");
-    soc_run("highway driving", HarvesterKind::Automotive, DriveCycle::highway(), 30, 0.5);
-    soc_run("urban stop-and-go", HarvesterKind::Automotive, DriveCycle::urban(), 30, 0.5);
-    soc_run("parked (no harvest)", HarvesterKind::None, DriveCycle::parked(), 30, 0.5);
-    soc_run("office solar cladding", HarvesterKind::Solar(picocube_harvest::Irradiance::office()), DriveCycle::parked(), 30, 0.5);
-    soc_run("bench shaker", HarvesterKind::Shaker, DriveCycle::parked(), 30, 0.5);
+    soc_run(
+        "highway driving",
+        HarvesterKind::Automotive,
+        DriveCycle::highway(),
+        30,
+        0.5,
+    );
+    soc_run(
+        "urban stop-and-go",
+        HarvesterKind::Automotive,
+        DriveCycle::urban(),
+        30,
+        0.5,
+    );
+    soc_run(
+        "parked (no harvest)",
+        HarvesterKind::None,
+        DriveCycle::parked(),
+        30,
+        0.5,
+    );
+    soc_run(
+        "office solar cladding",
+        HarvesterKind::Solar(picocube_harvest::Irradiance::office()),
+        DriveCycle::parked(),
+        30,
+        0.5,
+    );
+    soc_run(
+        "bench shaker",
+        HarvesterKind::Shaker,
+        DriveCycle::parked(),
+        30,
+        0.5,
+    );
 
     // Ride-through: how long does the buffer last with zero harvest?
     println!("\nride-through on stored energy alone (no harvest):\n");
     let sleep_floor = Watts::from_micro(3.0);
     let duty_6s = Watts::from_micro(6.5);
     for (name, capacity) in [
-        ("15 mAh NiMH (as built)", Joules::from_milliamp_hours(15.0, picocube_units::Volts::new(1.2))),
+        (
+            "15 mAh NiMH (as built)",
+            Joules::from_milliamp_hours(15.0, picocube_units::Volts::new(1.2)),
+        ),
         ("0.1 F supercap @ 2.5 V", Joules::new(0.3125)),
         ("printed film, 1 cm², 100 µm (§7.2)", Joules::new(2.0)),
     ] {
@@ -69,11 +102,19 @@ fn main() {
 
     // §7.2 sizing: dispenser-printed films, 30–100 µm, designed to fit.
     println!("\n§7.2 printed-storage sizing (zinc-based chemistry, ~2 J per cm²·100 µm):\n");
-    println!("{:>12} {:>14} {:>18}", "film [µm]", "J per cm²", "days of sampling");
+    println!(
+        "{:>12} {:>14} {:>18}",
+        "film [µm]", "J per cm²", "days of sampling"
+    );
     for film_um in [30.0, 50.0, 100.0] {
         let j_per_cm2 = 2.0 * film_um / 100.0;
         let days = Joules::new(j_per_cm2) / duty_6s;
-        println!("{:>12.0} {:>14.2} {:>18.1}", film_um, j_per_cm2, days.days());
+        println!(
+            "{:>12.0} {:>14.2} {:>18.1}",
+            film_um,
+            j_per_cm2,
+            days.days()
+        );
     }
     println!("\nconclusion (matches §1): the buffer only needs to cover harvester");
     println!("*outages* — days, not decades — so even printed thick-film storage");

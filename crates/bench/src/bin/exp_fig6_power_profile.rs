@@ -49,14 +49,26 @@ fn main() {
         .map(|&(t, _)| t)
         .collect();
     let width_ms = if burst.len() >= 2 {
-        burst.last().unwrap().duration_since(burst[0]).as_seconds().value() * 1e3
+        burst
+            .last()
+            .unwrap()
+            .duration_since(burst[0])
+            .as_seconds()
+            .value()
+            * 1e3
     } else {
         0.0
     };
 
     println!("\nmeasured:");
-    println!("  average power        : {}   (paper: 6 µW)", fmt_power(report.average_power));
-    println!("  sleep floor          : {}", fmt_power(trace.power_at(SimTime::from_secs(3)).unwrap()));
+    println!(
+        "  average power        : {}   (paper: 6 µW)",
+        fmt_power(report.average_power)
+    );
+    println!(
+        "  sleep floor          : {}",
+        fmt_power(trace.power_at(SimTime::from_secs(3)).unwrap())
+    );
     println!("  burst width          : {width_ms:.1} ms   (paper: ~14 ms)");
     println!("  burst peak           : {}", fmt_power(report.peak_power));
     println!("  cycles in 60 s       : {}", report.wakes);

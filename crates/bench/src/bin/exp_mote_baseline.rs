@@ -44,8 +44,14 @@ fn main() {
     let cube = rows.last().unwrap();
     let mote = &rows[1];
     println!("\nmeasured ratios (mote / PicoCube):");
-    println!("  power  : {:.0}×", mote.average_power.value() / cube.average_power.value());
-    println!("  volume : {:.0}×", mote.volume.value() / cube.volume.value());
+    println!(
+        "  power  : {:.0}×",
+        mote.average_power.value() / cube.average_power.value()
+    );
+    println!(
+        "  volume : {:.0}×",
+        mote.volume.value() / cube.volume.value()
+    );
     println!(
         "\nthe deployment argument: the mote's battery dies in {:.1} years; the\n\
          PicoCube's buffer rides through outages and the harvester does the rest —\n\

@@ -18,11 +18,29 @@ fn main() {
         Ok(report) => {
             println!("\nas-built design: PASS\n");
             println!("  stack height     : {:.2}", report.stack_height);
-            println!("  outer envelope   : {:.1} × {:.1} × {:.2} mm", report.outer_edge.value(), report.outer_edge.value(), report.outer_height.value());
-            println!("  volume           : {:.0} mm³ ({:.2} cm³ incl. case)", report.volume.value(), report.volume.value() / 1000.0);
-            println!("  placement area   : {:.2} mm² per board (paper: 7.2 × 7.2 = 51.84)", report.placement_area.value());
-            println!("  bus signals      : {} ({} pads/side × 4)", report.bus_signals, design.bus.pads_per_side);
-            println!("  wires per pad    : {} (redundant contact, §4.1)", report.wires_per_pad);
+            println!(
+                "  outer envelope   : {:.1} × {:.1} × {:.2} mm",
+                report.outer_edge.value(),
+                report.outer_edge.value(),
+                report.outer_height.value()
+            );
+            println!(
+                "  volume           : {:.0} mm³ ({:.2} cm³ incl. case)",
+                report.volume.value(),
+                report.volume.value() / 1000.0
+            );
+            println!(
+                "  placement area   : {:.2} mm² per board (paper: 7.2 × 7.2 = 51.84)",
+                report.placement_area.value()
+            );
+            println!(
+                "  bus signals      : {} ({} pads/side × 4)",
+                report.bus_signals, design.bus.pads_per_side
+            );
+            println!(
+                "  wires per pad    : {} (redundant contact, §4.1)",
+                report.wires_per_pad
+            );
             println!("  node mass        : {:.1} — the \"mechanical mass\" problem is the harvester's, not the node's (§1)", report.mass);
         }
         Err(e) => println!("\nas-built design FAILS: {e}"),
@@ -30,7 +48,10 @@ fn main() {
 
     // §5: growing the bus. How many signals fit as pads shrink?
     println!("\nbus-growth headroom (pad width swept at 0.08 mm gaps):\n");
-    println!("{:>12} {:>10} {:>9} {:>12}", "pads/side", "pad width", "signals", "feasible?");
+    println!(
+        "{:>12} {:>10} {:>9} {:>12}",
+        "pads/side", "pad width", "signals", "feasible?"
+    );
     for (pads, width) in [
         (18u32, 0.45),
         (22, 0.36),
@@ -51,7 +72,13 @@ fn main() {
             }
             Err(e) => format!("no: {e}"),
         };
-        println!("{:>12} {:>8.2}mm {:>9} {:>16}", pads, width, pads * 4, verdict);
+        println!(
+            "{:>12} {:>8.2}mm {:>9} {:>16}",
+            pads,
+            width,
+            pads * 4,
+            verdict
+        );
     }
     println!("\nthe §5 prediction quantified: beyond ~32 pads/side the 0.1 mm wire");
     println!("pitch stops giving redundant contact — \"smaller pads with tighter");
@@ -61,8 +88,14 @@ fn main() {
     println!("\nnegative checks:");
     let mut tall = StackDesign::picocube();
     tall.boards[2].component_height = Millimeters::new(3.0);
-    println!("  3.0 mm part on the sensor board: {:?}", tall.check().unwrap_err());
+    println!(
+        "  3.0 mm part on the sensor board: {:?}",
+        tall.check().unwrap_err()
+    );
     let mut six = StackDesign::picocube();
-    six.boards.push(picocube_node::BoardSpec::standard("extra", Millimeters::new(1.0)));
+    six.boards.push(picocube_node::BoardSpec::standard(
+        "extra",
+        Millimeters::new(1.0),
+    ));
     println!("  six-board stack: {:?}", six.check().unwrap_err());
 }

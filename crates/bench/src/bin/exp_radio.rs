@@ -16,17 +16,42 @@ fn main() {
 
     let fbar = Fbar::picocube();
     println!("\nFBAR resonator:");
-    println!("  series resonance : {:.3} GHz   (paper: 1.863 GHz channel)", fbar.series_resonance().value() / 1e9);
-    println!("  Q                : {:.0}        (paper: Q > 1000)", fbar.q_factor());
-    println!("  oscillator start : {:.2} µs — what makes per-bit carrier gating possible", fbar.startup_time().value() * 1e6);
-    println!("  max OOK rate     : {:.0} kbps  (paper: up to 330 kbps)", fbar.max_ook_rate().kilo());
+    println!(
+        "  series resonance : {:.3} GHz   (paper: 1.863 GHz channel)",
+        fbar.series_resonance().value() / 1e9
+    );
+    println!(
+        "  Q                : {:.0}        (paper: Q > 1000)",
+        fbar.q_factor()
+    );
+    println!(
+        "  oscillator start : {:.2} µs — what makes per-bit carrier gating possible",
+        fbar.startup_time().value() * 1e6
+    );
+    println!(
+        "  max OOK rate     : {:.0} kbps  (paper: up to 330 kbps)",
+        fbar.max_ook_rate().kilo()
+    );
 
     let tx = OokTransmitter::picocube();
     println!("\ntransmitter:");
-    println!("  output           : {:.2}  ({:.2} mW)", tx.output_dbm(), tx.output_power().milli());
-    println!("  overall η        : {:.1} %   (paper: 46 %)", tx.overall_efficiency() * 100.0);
-    println!("  DC @ 50 % OOK    : {}   (paper: 1.35 mW)", fmt_power(tx.dc_power(0.5)));
-    println!("  RF-rail current  : {:.2} mA while keyed on (0.65 V supply)", tx.supply_current_on().milli());
+    println!(
+        "  output           : {:.2}  ({:.2} mW)",
+        tx.output_dbm(),
+        tx.output_power().milli()
+    );
+    println!(
+        "  overall η        : {:.1} %   (paper: 46 %)",
+        tx.overall_efficiency() * 100.0
+    );
+    println!(
+        "  DC @ 50 % OOK    : {}   (paper: 1.35 mW)",
+        fmt_power(tx.dc_power(0.5))
+    );
+    println!(
+        "  RF-rail current  : {:.2} mA while keyed on (0.65 V supply)",
+        tx.supply_current_on().milli()
+    );
 
     println!("\nenergy per bit vs data rate (50 % OOK):\n");
     println!("{:>10} {:>12} {:>14}", "rate", "E/bit", "104-bit packet");
@@ -55,6 +80,9 @@ fn main() {
         let b = link.budget(d);
         println!("  {:>5.1} m: {:>7.1} dBm", d, b.received.value());
     }
-    println!("\nmeasured at 1 m: {:.1} dBm   (paper: about −60 dBm)", link.budget(1.0).received.value());
+    println!(
+        "\nmeasured at 1 m: {:.1} dBm   (paper: about −60 dBm)",
+        link.budget(1.0).received.value()
+    );
     let _ = Dbm::new(0.0);
 }

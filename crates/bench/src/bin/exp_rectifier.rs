@@ -19,8 +19,13 @@ fn main() {
     let silicon = DiodeBridge::silicon();
 
     println!("\nefficiency vs harvester input power (into a 1.2 V cell):\n");
-    println!("{:>10} {:>8} {:>10} {:>9} {:>7}", "P_in", "sync", "schottky", "silicon", "ideal");
-    for uw in [20.0, 50.0, 100.0, 200.0, 300.0, 450.0, 700.0, 1_000.0, 2_000.0, 5_000.0] {
+    println!(
+        "{:>10} {:>8} {:>10} {:>9} {:>7}",
+        "P_in", "sync", "schottky", "silicon", "ideal"
+    );
+    for uw in [
+        20.0, 50.0, 100.0, 200.0, 300.0, 450.0, 700.0, 1_000.0, 2_000.0, 5_000.0,
+    ] {
         let pin = Watts::from_micro(uw);
         let e = |r: &dyn Rectifier| r.efficiency(pin, vbat).unwrap() * 100.0;
         let es = e(&sync);
@@ -40,7 +45,10 @@ fn main() {
         .unwrap();
     let peak_in = sync.peak_efficiency_input(vbat);
     println!("\nmeasured:");
-    println!("  at 450 µW: {:.1} % of ideal   (paper: 96 %)", at_450 * 100.0);
+    println!(
+        "  at 450 µW: {:.1} % of ideal   (paper: 96 %)",
+        at_450 * 100.0
+    );
     println!("  peak-efficiency input: {:.0} µW", peak_in.micro());
     println!(
         "  Schottky bridge ceiling: {:.1} % (the 2·Vf tax against 1.2 V)",

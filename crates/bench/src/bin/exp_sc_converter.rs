@@ -48,7 +48,10 @@ fn main() {
         // Efficiency vs frequency at the nominal load: the SSL/FSL trade.
         let nominal = Amps::from_micro(*loads_ua.last().unwrap() / 4.0);
         let f_opt = conv.best_frequency(vbat, nominal).unwrap();
-        println!("\n  efficiency vs f_sw at {:.0} µA (SSL left, gate/parasitic right):", nominal.micro());
+        println!(
+            "\n  efficiency vs f_sw at {:.0} µA (SSL left, gate/parasitic right):",
+            nominal.micro()
+        );
         for mult in [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 10.0, 20.0] {
             let f = Hertz::new(f_opt.value() * mult);
             match conv.convert(vbat, nominal, f) {
@@ -68,7 +71,14 @@ fn main() {
     let conv = ScConverter::paper_1to2();
     println!("{:>10} {:>10} {:>8}", "load", "vout", "η");
     for ua in [50.0, 100.0, 200.0, 400.0, 800.0] {
-        let op = conv.regulate(vbat, Volts::new(2.1), Amps::from_micro(ua)).expect("regulates");
-        println!("{:>8.0}µA {:>9.3}V {:>7.1}%", ua, op.vout.value(), op.efficiency() * 100.0);
+        let op = conv
+            .regulate(vbat, Volts::new(2.1), Amps::from_micro(ua))
+            .expect("regulates");
+        println!(
+            "{:>8.0}µA {:>9.3}V {:>7.1}%",
+            ua,
+            op.vout.value(),
+            op.efficiency() * 100.0
+        );
     }
 }

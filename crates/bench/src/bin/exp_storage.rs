@@ -45,7 +45,10 @@ fn main() {
             picocube_bench::bar(v.value(), 1.45, 40)
         );
     }
-    println!("  plateau fraction (within ±5 % of 1.2 V): {:.0} %", cell.plateau_fraction() * 100.0);
+    println!(
+        "  plateau fraction (within ±5 % of 1.2 V): {:.0} %",
+        cell.plateau_fraction() * 100.0
+    );
 
     // Trickle tolerance.
     let mut cell = NimhCell::picocube();
@@ -54,10 +57,16 @@ fn main() {
         cell.step(cell.trickle_limit(), Seconds::HOUR);
     }
     println!("\nthree months of continuous C/10 trickle on a full cell:");
-    println!("  damaged: {}   (paper: \"indefinite period … without damage\")", cell.is_damaged());
+    println!(
+        "  damaged: {}   (paper: \"indefinite period … without damage\")",
+        cell.is_damaged()
+    );
 
     let mut abused = NimhCell::picocube();
     abused.set_state_of_charge(1.0);
     abused.step(Amps::from_milli(15.0), Seconds::MINUTE); // 1C overcharge
-    println!("  1C into a full cell: damaged = {} (the failure C/10 avoids)", abused.is_damaged());
+    println!(
+        "  1C into a full cell: damaged = {} (the failure C/10 avoids)",
+        abused.is_damaged()
+    );
 }

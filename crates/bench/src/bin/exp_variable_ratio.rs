@@ -43,7 +43,10 @@ fn main() {
 
     // Variable-ratio rectification across a swing.
     println!("\ncharging the 1.25 V cell from a swinging scavenger voltage, 1 mA:\n");
-    println!("{:>8} {:>22} {:>14} {:>14}", "v_in", "bank gear", "bank η", "fixed 1:2 η");
+    println!(
+        "{:>8} {:>22} {:>14} {:>14}",
+        "v_in", "bank gear", "bank η", "fixed 1:2 η"
+    );
     let bank = VariableRatioConverter::scavenger_bank().unwrap();
     let fixed = ScConverter::new(
         series_parallel_step_up(2, Farads::from_nano(4.0), Ohms::new(3.0)).unwrap(),
@@ -60,11 +63,16 @@ fn main() {
         let (gear_name, bank_eff) = match bank.best_gear(vin, target) {
             Some(g) => (
                 g.topology().name().to_string(),
-                bank.convert(vin, target, load).map(|c| c.efficiency()).unwrap_or(0.0),
+                bank.convert(vin, target, load)
+                    .map(|c| c.efficiency())
+                    .unwrap_or(0.0),
             ),
             None => ("(none)".to_string(), 0.0),
         };
-        let fixed_eff = fixed.regulate(vin, target, load).map(|c| c.efficiency()).unwrap_or(0.0);
+        let fixed_eff = fixed
+            .regulate(vin, target, load)
+            .map(|c| c.efficiency())
+            .unwrap_or(0.0);
         bank_sum += bank_eff;
         fixed_sum += fixed_eff;
         count += 1.0;
@@ -87,9 +95,13 @@ fn main() {
 
     // Topology choice, in reference [13]'s figures of merit.
     println!("\nSeeman–Sanders figures of merit (lower is better) per 1:n ratio:\n");
-    println!("{:>6} {:>14} {:>14} {:>14} {:>14}", "ratio", "SP SSL", "Dickson SSL", "SP FSL", "Dickson FSL");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "ratio", "SP SSL", "Dickson SSL", "SP FSL", "Dickson FSL"
+    );
     for n in [2u32, 3, 4, 5] {
-        let sp = series_parallel_step_up_stressed(n, Farads::from_nano(4.0), Ohms::new(3.0)).unwrap();
+        let sp =
+            series_parallel_step_up_stressed(n, Farads::from_nano(4.0), Ohms::new(3.0)).unwrap();
         let d = dickson_step_up(n, Farads::from_nano(4.0), Ohms::new(3.0)).unwrap();
         println!(
             "{:>5}x {:>14.1} {:>14.1} {:>14.1} {:>14.1}",

@@ -18,7 +18,10 @@ fn main() {
     let poll_on = Seconds::new(5e-3); // one superregen poll window
 
     println!("\naverage receive-path power vs required worst-case latency:\n");
-    println!("{:>12} {:>16} {:>16} {:>8}", "latency", "duty-cycled RX", "wakeup radio", "winner");
+    println!(
+        "{:>12} {:>16} {:>16} {:>8}",
+        "latency", "duty-cycled RX", "wakeup radio", "winner"
+    );
     for latency_s in [0.001, 0.005, 0.01, 0.04, 0.1, 0.5, 1.0, 5.0, 30.0] {
         let duty = WakeupReceiver::duty_cycled_equivalent(
             Seconds::new(latency_s),
@@ -36,7 +39,10 @@ fn main() {
         );
     }
     let crossover = wakeup.crossover_latency(main_rx.rx_power(), poll_on);
-    println!("\ncrossover latency: {:.0} ms — tighter requirements favor the wakeup radio", crossover.value() * 1e3);
+    println!(
+        "\ncrossover latency: {:.0} ms — tighter requirements favor the wakeup radio",
+        crossover.value() * 1e3
+    );
 
     println!("\naverage power vs event rate (wakeup radio, real wakes included):\n");
     for per_hour in [0.1, 1.0, 10.0, 60.0, 600.0] {
@@ -45,7 +51,20 @@ fn main() {
     }
 
     println!("\ncontext against the node: the Cube transmits blind (no receiver at");
-    println!("all) for 6 µW. Adding downlink the polling way costs ≥ {} even at", fmt_power(WakeupReceiver::duty_cycled_equivalent(Seconds::new(1.0), main_rx.rx_power(), poll_on)));
-    println!("1 s latency; the wakeup radio holds the addition to ~{} — still", fmt_power(wakeup.listen_power()));
-    println!("{}× the whole node, which is why §7.3 calls it ongoing work.", (wakeup.listen_power().value() / Watts::from_micro(6.0).value()).round());
+    println!(
+        "all) for 6 µW. Adding downlink the polling way costs ≥ {} even at",
+        fmt_power(WakeupReceiver::duty_cycled_equivalent(
+            Seconds::new(1.0),
+            main_rx.rx_power(),
+            poll_on
+        ))
+    );
+    println!(
+        "1 s latency; the wakeup radio holds the addition to ~{} — still",
+        fmt_power(wakeup.listen_power())
+    );
+    println!(
+        "{}× the whole node, which is why §7.3 calls it ongoing work.",
+        (wakeup.listen_power().value() / Watts::from_micro(6.0).value()).round()
+    );
 }

@@ -23,6 +23,8 @@
 //! comparisons (recorded in `EXPERIMENTS.md`) are regenerable with
 //! `cargo run --release -p picocube-bench --bin exp_…`.
 
+pub mod timing;
+
 /// Prints the standard experiment header.
 pub fn banner(id: &str, title: &str, paper_claim: &str) {
     println!("================================================================");
@@ -50,7 +52,11 @@ pub fn fmt_power(w: picocube_units::Watts) -> String {
 
 /// A fixed-width bar for terminal "plots".
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    let n = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
     "█".repeat(n.min(width))
 }
 
@@ -68,6 +74,9 @@ mod tests {
     #[test]
     fn power_formatting() {
         assert_eq!(fmt_power(picocube_units::Watts::from_micro(6.0)), "6.00 µW");
-        assert_eq!(fmt_power(picocube_units::Watts::from_milli(1.35)), "1.350 mW");
+        assert_eq!(
+            fmt_power(picocube_units::Watts::from_milli(1.35)),
+            "1.350 mW"
+        );
     }
 }

@@ -10,7 +10,7 @@
 use picocube_units::{Amps, CubicMillimeters, Joules, Seconds, Volts, Watts};
 
 /// A duty-cycled COTS node (Mica-class mote or similar).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MoteClassNode {
     /// Node name for tables.
     pub name: &'static str,
@@ -87,7 +87,7 @@ impl MoteClassNode {
 }
 
 /// One row of the node-class comparison.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeClassRow {
     /// Node name.
     pub name: String,
@@ -183,7 +183,10 @@ mod tests {
         let mote = MoteClassNode::mica_class();
         let life = mote.lifetime(PERIOD);
         assert!(life > Seconds::from_days(100.0));
-        assert!(life < Seconds::from_days(3_650.0), "a mote does not last a decade");
+        assert!(
+            life < Seconds::from_days(3_650.0),
+            "a mote does not last a decade"
+        );
     }
 
     #[test]

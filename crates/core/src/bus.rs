@@ -10,7 +10,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// A packet the node put on the air, with its RF accounting.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransmittedPacket {
     /// When the PA window closed (end of transmission).
     pub time: SimTime,
@@ -18,6 +18,30 @@ pub struct TransmittedPacket {
     pub bytes: Vec<u8>,
     /// RF energy/duration accounting from the transmitter model.
     pub transmission: Transmission,
+}
+
+impl picocube_units::json::ToJson for TransmittedPacket {
+    fn to_json(&self) -> picocube_units::json::Json {
+        use picocube_units::json::Json;
+        Json::Obj(vec![
+            ("time".into(), self.time.to_json()),
+            ("bytes".into(), self.bytes.to_json()),
+            ("transmission".into(), self.transmission.to_json()),
+        ])
+    }
+}
+
+impl picocube_units::json::FromJson for TransmittedPacket {
+    fn from_json(
+        value: &picocube_units::json::Json,
+    ) -> Result<Self, picocube_units::json::JsonError> {
+        use picocube_units::json::{field, FromJson};
+        Ok(Self {
+            time: FromJson::from_json(field(value, "time")?)?,
+            bytes: FromJson::from_json(field(value, "bytes")?)?,
+            transmission: FromJson::from_json(field(value, "transmission")?)?,
+        })
+    }
 }
 
 /// The radio board's baseband side: buffers bytes the firmware clocks in
@@ -33,7 +57,11 @@ pub struct RadioFrontend {
 impl RadioFrontend {
     /// Creates a front-end around a transmitter model.
     pub fn new(tx: OokTransmitter) -> Self {
-        Self { tx, buffer: Vec::new(), packets: Vec::new() }
+        Self {
+            tx,
+            buffer: Vec::new(),
+            packets: Vec::new(),
+        }
     }
 
     /// The transmitter model.
@@ -58,7 +86,11 @@ impl RadioFrontend {
         }
         let bytes = std::mem::take(&mut self.buffer);
         let transmission = self.tx.transmit(&bytes);
-        self.packets.push(TransmittedPacket { time: at, bytes, transmission });
+        self.packets.push(TransmittedPacket {
+            time: at,
+            bytes,
+            transmission,
+        });
     }
 
     /// All packets transmitted so far.
@@ -90,7 +122,12 @@ pub struct BusMux {
 
 impl core::fmt::Debug for BusMux {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "BusMux(p1={:#04x}, p2={:#04x})", self.p1.get(), self.p2.get())
+        write!(
+            f,
+            "BusMux(p1={:#04x}, p2={:#04x})",
+            self.p1.get(),
+            self.p2.get()
+        )
     }
 }
 
@@ -121,7 +158,12 @@ mod tests {
     use super::*;
     use picocube_sensors::TireSample;
 
-    type MuxParts = (BusMux, Rc<Cell<u8>>, Rc<Cell<u8>>, Rc<RefCell<RadioFrontend>>);
+    type MuxParts = (
+        BusMux,
+        Rc<Cell<u8>>,
+        Rc<Cell<u8>>,
+        Rc<RefCell<RadioFrontend>>,
+    );
 
     fn mux_with_sp12() -> MuxParts {
         let p1 = Rc::new(Cell::new(0u8));

@@ -11,7 +11,7 @@ use picocube_sim::{SimRng, SimTime};
 use picocube_units::Gs;
 
 /// One decoded X/Y/Z sample as the laptop display would plot it (Fig. 8).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReceivedSample {
     /// Reception time.
     pub time: SimTime,
@@ -154,13 +154,19 @@ mod tests {
             .collect();
         let bytes = packet::encode(0x42, &payload, Checksum::Xor);
         let transmission: Transmission = OokTransmitter::picocube().transmit(&bytes);
-        TransmittedPacket { time: SimTime::from_secs(1), bytes, transmission }
+        TransmittedPacket {
+            time: SimTime::from_secs(1),
+            bytes,
+            transmission,
+        }
     }
 
     #[test]
     fn decodes_xyz_at_the_table() {
         let mut station = DemoStation::demo_table(1);
-        let sample = station.offer(&motion_packet(0.5, -1.0, 1.2)).expect("decodes at 1 m");
+        let sample = station
+            .offer(&motion_packet(0.5, -1.0, 1.2))
+            .expect("decodes at 1 m");
         assert!((sample.x.value() - 0.5).abs() < 0.01);
         assert!((sample.y.value() + 1.0).abs() < 0.01);
         assert!((sample.z.value() - 1.2).abs() < 0.01);
@@ -171,7 +177,11 @@ mod tests {
     fn range_matters() {
         let mut station = DemoStation::demo_table(2);
         station.set_distance(500.0);
-        let got = station.offer_all(&(0..50).map(|_| motion_packet(0.0, 0.0, 1.0)).collect::<Vec<_>>());
+        let got = station.offer_all(
+            &(0..50)
+                .map(|_| motion_packet(0.0, 0.0, 1.0))
+                .collect::<Vec<_>>(),
+        );
         assert!(got < 5, "decoded {got}/50 at 500 m");
         assert!(station.lost() > 45);
     }
@@ -180,10 +190,18 @@ mod tests {
     fn tpms_payloads_are_not_plotted_as_motion() {
         let bytes = packet::encode(7, &[0; 8], Checksum::Xor);
         let transmission = OokTransmitter::picocube().transmit(&bytes);
-        let p = TransmittedPacket { time: SimTime::ZERO, bytes, transmission };
+        let p = TransmittedPacket {
+            time: SimTime::ZERO,
+            bytes,
+            transmission,
+        };
         let mut station = DemoStation::demo_table(3);
         assert!(station.offer(&p).is_none());
-        assert_eq!(station.lost(), 0, "an 8-byte frame is received, just not motion");
+        assert_eq!(
+            station.lost(),
+            0,
+            "an 8-byte frame is received, just not motion"
+        );
         let codes = DemoStation::decode_tpms(&p).unwrap();
         assert_eq!(codes, [0, 0, 0, 0]);
     }

@@ -38,7 +38,10 @@ mod packaging;
 pub use baseline::{node_class_table, MoteClassNode, NodeClassRow};
 pub use bus::{RadioFrontend, TransmittedPacket};
 pub use demo::{DemoStation, ReceivedSample};
-pub use fleet::{run_fleet, FleetConfig, FleetOutcome, PacketFate};
+pub use fleet::{
+    merge_fleet, run_fleet, simulate_node, FleetConfig, FleetOutcome, NodeOnAir, PacketFate,
+    Parallelism,
+};
 pub use node::{
     BuildError, HarvesterKind, NodeConfig, NodeReport, PicoCube, PowerChainKind, SensorKind,
 };

@@ -13,12 +13,13 @@ use picocube_radio::OokTransmitter;
 use picocube_sensors::{MotionScenario, Sca3000, Sp12, TireEnvironment};
 use picocube_sim::{LoadId, PowerLedger, PowerTrace, RailId, ScalarTrace, SimDuration, SimTime};
 use picocube_storage::{NimhCell, StorageElement};
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Amps, Celsius, Hertz, Joules, Seconds, Volts, Watts};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Which power train feeds the node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PowerChainKind {
     /// The as-built COTS chain: TPS60313 pump + gated LT3020 + shunt.
     Cots,
@@ -27,7 +28,7 @@ pub enum PowerChainKind {
 }
 
 /// Which sensor board is stacked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SensorKind {
     /// SP12 TPMS board (pressure/temperature/acceleration/voltage).
     Tpms,
@@ -36,7 +37,7 @@ pub enum SensorKind {
 }
 
 /// Which harvester feeds the storage board.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum HarvesterKind {
     /// Rim-mounted generator driven by the node's drive cycle.
     Automotive,
@@ -51,7 +52,7 @@ pub enum HarvesterKind {
 }
 
 /// Node configuration.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeConfig {
     /// Power train selection.
     pub power_chain: PowerChainKind,
@@ -158,7 +159,7 @@ enum SensorState {
 }
 
 /// Summary of a simulation run.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NodeReport {
     /// Simulated time covered.
     pub elapsed: Seconds,
@@ -179,6 +180,155 @@ pub struct NodeReport {
     pub wakes: u64,
     /// Battery state of charge at the end.
     pub final_soc: f64,
+}
+
+impl ToJson for PowerChainKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Self::Cots => "Cots",
+                Self::IntegratedIc => "IntegratedIc",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for PowerChainKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Cots") => Ok(Self::Cots),
+            Some("IntegratedIc") => Ok(Self::IntegratedIc),
+            _ => Err(JsonError::new("unknown PowerChainKind")),
+        }
+    }
+}
+
+impl ToJson for SensorKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Self::Tpms => "Tpms",
+                Self::Motion => "Motion",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for SensorKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Tpms") => Ok(Self::Tpms),
+            Some("Motion") => Ok(Self::Motion),
+            _ => Err(JsonError::new("unknown SensorKind")),
+        }
+    }
+}
+
+impl ToJson for HarvesterKind {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Automotive => Json::Str("Automotive".into()),
+            Self::Bicycle => Json::Str("Bicycle".into()),
+            Self::Shaker => Json::Str("Shaker".into()),
+            Self::None => Json::Str("None".into()),
+            Self::Solar(irr) => Json::Obj(vec![("Solar".into(), irr.to_json())]),
+        }
+    }
+}
+
+impl FromJson for HarvesterKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Some(irr) = value.get("Solar") {
+            return Ok(Self::Solar(FromJson::from_json(irr)?));
+        }
+        match value.as_str() {
+            Some("Automotive") => Ok(Self::Automotive),
+            Some("Bicycle") => Ok(Self::Bicycle),
+            Some("Shaker") => Ok(Self::Shaker),
+            Some("None") => Ok(Self::None),
+            _ => Err(JsonError::new("unknown HarvesterKind")),
+        }
+    }
+}
+
+impl ToJson for NodeConfig {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("power_chain".into(), self.power_chain.to_json()),
+            ("harvester".into(), self.harvester.to_json()),
+            ("drive_cycle".into(), self.drive_cycle.to_json()),
+            ("node_id".into(), self.node_id.to_json()),
+            ("seed".into(), self.seed.to_json()),
+            ("initial_soc".into(), self.initial_soc.to_json()),
+            ("leak_kpa_per_hour".into(), self.leak_kpa_per_hour.to_json()),
+            ("wakeup_receiver".into(), self.wakeup_receiver.to_json()),
+            (
+                "first_wake_offset_ms".into(),
+                self.first_wake_offset_ms.to_json(),
+            ),
+            ("wake_interval_ppm".into(), self.wake_interval_ppm.to_json()),
+            (
+                "alarm_threshold_kpa".into(),
+                self.alarm_threshold_kpa.to_json(),
+            ),
+            ("ungated_rf_ldo".into(), self.ungated_rf_ldo.to_json()),
+            ("sample_period_s".into(), self.sample_period_s.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NodeConfig {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            power_chain: FromJson::from_json(field(value, "power_chain")?)?,
+            harvester: FromJson::from_json(field(value, "harvester")?)?,
+            drive_cycle: FromJson::from_json(field(value, "drive_cycle")?)?,
+            node_id: FromJson::from_json(field(value, "node_id")?)?,
+            seed: FromJson::from_json(field(value, "seed")?)?,
+            initial_soc: FromJson::from_json(field(value, "initial_soc")?)?,
+            leak_kpa_per_hour: FromJson::from_json(field(value, "leak_kpa_per_hour")?)?,
+            wakeup_receiver: FromJson::from_json(field(value, "wakeup_receiver")?)?,
+            first_wake_offset_ms: FromJson::from_json(field(value, "first_wake_offset_ms")?)?,
+            wake_interval_ppm: FromJson::from_json(field(value, "wake_interval_ppm")?)?,
+            alarm_threshold_kpa: FromJson::from_json(field(value, "alarm_threshold_kpa")?)?,
+            ungated_rf_ldo: FromJson::from_json(field(value, "ungated_rf_ldo")?)?,
+            sample_period_s: FromJson::from_json(field(value, "sample_period_s")?)?,
+        })
+    }
+}
+
+impl ToJson for NodeReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("elapsed".into(), self.elapsed.to_json()),
+            ("average_power".into(), self.average_power.to_json()),
+            ("peak_power".into(), self.peak_power.to_json()),
+            ("consumed".into(), self.consumed.to_json()),
+            ("harvested".into(), self.harvested.to_json()),
+            ("power".into(), self.power.to_json()),
+            ("packets".into(), self.packets.to_json()),
+            ("wakes".into(), self.wakes.to_json()),
+            ("final_soc".into(), self.final_soc.to_json()),
+        ])
+    }
+}
+
+impl FromJson for NodeReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            elapsed: FromJson::from_json(field(value, "elapsed")?)?,
+            average_power: FromJson::from_json(field(value, "average_power")?)?,
+            peak_power: FromJson::from_json(field(value, "peak_power")?)?,
+            consumed: FromJson::from_json(field(value, "consumed")?)?,
+            harvested: FromJson::from_json(field(value, "harvested")?)?,
+            power: FromJson::from_json(field(value, "power")?)?,
+            packets: FromJson::from_json(field(value, "packets")?)?,
+            wakes: FromJson::from_json(field(value, "wakes")?)?,
+            final_soc: FromJson::from_json(field(value, "final_soc")?)?,
+        })
+    }
 }
 
 /// The simulated node.
@@ -294,7 +444,9 @@ impl PicoCube {
         period_s: u16,
     ) -> Result<Self, BuildError> {
         if period_s == 0 {
-            return Err(BuildError::InvalidConfig("beacon period must be at least 1 s"));
+            return Err(BuildError::InvalidConfig(
+                "beacon period must be at least 1 s",
+            ));
         }
         let image = firmware::beacon_app(config.node_id, period_s)?;
         let device = Rc::new(RefCell::new(Sca3000::new()));
@@ -341,12 +493,12 @@ impl PicoCube {
         };
 
         let harvester: Option<Box<dyn Harvester>> = match &config.harvester {
-            HarvesterKind::Automotive => {
-                Some(Box::new(WheelHarvester::automotive(config.drive_cycle.clone())))
-            }
-            HarvesterKind::Bicycle => {
-                Some(Box::new(WheelHarvester::bicycle(config.drive_cycle.clone())))
-            }
+            HarvesterKind::Automotive => Some(Box::new(WheelHarvester::automotive(
+                config.drive_cycle.clone(),
+            ))),
+            HarvesterKind::Bicycle => Some(Box::new(WheelHarvester::bicycle(
+                config.drive_cycle.clone(),
+            ))),
             HarvesterKind::Solar(light) => Some(Box::new(SolarCladding::five_faces(*light))),
             HarvesterKind::Shaker => Some(Box::new(ElectromagneticShaker::bench_450uw())),
             HarvesterKind::None => None,
@@ -392,7 +544,8 @@ impl PicoCube {
             brownout_count: 0,
             ungated_rf_ldo: config.ungated_rf_ldo,
         };
-        node.soc_trace.record(SimTime::ZERO, node.battery.state_of_charge());
+        node.soc_trace
+            .record(SimTime::ZERO, node.battery.state_of_charge());
         node.update_currents(true);
         Ok(node)
     }
@@ -557,7 +710,8 @@ impl PicoCube {
         self.ledger.set_load_current(self.load_vdd, vdd_reflected);
         self.ledger.set_load_current(self.load_digital, digital);
         self.ledger.set_load_current(self.load_rf, rf);
-        self.trace.record(self.ledger.now(), self.ledger.total_power());
+        self.trace
+            .record(self.ledger.now(), self.ledger.total_power());
     }
 
     /// Settles harvest/consumption into the battery over the elapsed span.
@@ -617,7 +771,8 @@ impl PicoCube {
                     ] {
                         self.ledger.set_load_current(load, Amps::ZERO);
                     }
-                    self.trace.record(self.ledger.now(), self.ledger.total_power());
+                    self.trace
+                        .record(self.ledger.now(), self.ledger.total_power());
                 }
             }
             Some(_) => {
@@ -627,7 +782,9 @@ impl PicoCube {
                     // Sensor schedules restart relative to the reboot.
                     let now = self.now();
                     match &mut self.sensor {
-                        SensorState::Tpms { device, next_wake, .. } => {
+                        SensorState::Tpms {
+                            device, next_wake, ..
+                        } => {
                             *next_wake =
                                 now + SimDuration::from_seconds(device.borrow().wake_interval());
                         }
@@ -653,7 +810,12 @@ impl PicoCube {
     /// Fires the event scheduled for `at` (must equal `next_event()`).
     fn fire_event(&mut self) {
         match &mut self.sensor {
-            SensorState::Tpms { env, device, next_wake, interval_scale } => {
+            SensorState::Tpms {
+                env,
+                device,
+                next_wake,
+                interval_scale,
+            } => {
                 let interval = device.borrow().wake_interval();
                 let mut sample = env.step(interval);
                 sample.supply = self.vdd;
@@ -667,7 +829,11 @@ impl PicoCube {
                 self.mcu.drive_p1(0, false);
                 self.mcu.drive_p1(0, true);
             }
-            SensorState::Motion { scenario, device, next_check } => {
+            SensorState::Motion {
+                scenario,
+                device,
+                next_check,
+            } => {
                 let t = next_check.as_seconds();
                 let sample = scenario.sample_at(t);
                 let triggered = device.borrow_mut().update(sample);
@@ -692,7 +858,9 @@ impl PicoCube {
                 // the harvester recharge the cell toward the restart
                 // threshold.
                 let next = (self.now() + SimDuration::from_secs(60)).min(end);
-                let gap = next.checked_duration_since(self.now()).unwrap_or(SimDuration::ZERO);
+                let gap = next
+                    .checked_duration_since(self.now())
+                    .unwrap_or(SimDuration::ZERO);
                 if gap.is_zero() {
                     break;
                 }
@@ -701,11 +869,13 @@ impl PicoCube {
                 self.settle_battery();
                 continue;
             }
-            let asleep = matches!(self.mcu.step_peek(), PeekState::Sleeping)
-                && !self.mcu.has_pending_irq();
+            let asleep =
+                matches!(self.mcu.step_peek(), PeekState::Sleeping) && !self.mcu.has_pending_irq();
             if asleep {
                 let next = self.next_event().min(end);
-                let gap = next.checked_duration_since(self.now()).unwrap_or(SimDuration::ZERO);
+                let gap = next
+                    .checked_duration_since(self.now())
+                    .unwrap_or(SimDuration::ZERO);
                 if !gap.is_zero() {
                     let cycles = gap.as_nanos() / 1_000; // 1 µs per cycle
                     self.mcu.sleep(cycles.max(1));
@@ -838,8 +1008,15 @@ mod tests {
         let (node, report) = run_tpms_for(13, NodeConfig::default());
         // Peak (burst) power is orders of magnitude above the sleep floor.
         let sleep_floor = node.power_trace().power_at(SimTime::from_secs(3)).unwrap();
-        assert!(report.peak_power > Watts::from_milli(1.0), "peak {:?}", report.peak_power);
-        assert!(sleep_floor < Watts::from_micro(5.0), "floor {sleep_floor:?}");
+        assert!(
+            report.peak_power > Watts::from_milli(1.0),
+            "peak {:?}",
+            report.peak_power
+        );
+        assert!(
+            sleep_floor < Watts::from_micro(5.0),
+            "floor {sleep_floor:?}"
+        );
         assert!(report.peak_power.value() / sleep_floor.value() > 100.0);
     }
 
@@ -852,7 +1029,10 @@ mod tests {
 
     #[test]
     fn no_harvester_drains_the_battery() {
-        let config = NodeConfig { harvester: HarvesterKind::None, ..NodeConfig::default() };
+        let config = NodeConfig {
+            harvester: HarvesterKind::None,
+            ..NodeConfig::default()
+        };
         let (node, report) = run_tpms_for(120, config);
         assert_eq!(report.harvested, Joules::ZERO);
         assert!(node.battery_soc() < 0.8);
@@ -860,8 +1040,10 @@ mod tests {
 
     #[test]
     fn integrated_ic_node_runs() {
-        let config =
-            NodeConfig { power_chain: PowerChainKind::IntegratedIc, ..NodeConfig::default() };
+        let config = NodeConfig {
+            power_chain: PowerChainKind::IntegratedIc,
+            ..NodeConfig::default()
+        };
         let (_, report) = run_tpms_for(31, config);
         assert_eq!(report.wakes, 5);
         assert_eq!(report.packets.len(), 5);
@@ -872,7 +1054,10 @@ mod tests {
 
     #[test]
     fn motion_node_sleeps_until_handled() {
-        let config = NodeConfig { harvester: HarvesterKind::None, ..NodeConfig::default() };
+        let config = NodeConfig {
+            harvester: HarvesterKind::None,
+            ..NodeConfig::default()
+        };
         let mut node =
             PicoCube::motion(config, MotionScenario::retreat_table(9)).expect("node builds");
         // First 20 s are at-rest: no packets.
@@ -893,8 +1078,11 @@ mod tests {
     #[test]
     fn report_breakdown_names_the_rails() {
         let (_, report) = run_tpms_for(12, NodeConfig::default());
-        let names: Vec<&str> =
-            report.power.rails[0].loads.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = report.power.rails[0]
+            .loads
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert!(names.contains(&"power chain overhead"));
         assert!(names.contains(&"radio RF rail"));
         // The standing terms (chain quiescent + always-on MCU/sensor rail)
@@ -918,10 +1106,16 @@ mod tests {
         };
         let mut node = PicoCube::tpms(config).expect("node builds");
         node.run_for(SimDuration::from_secs(3 * 3_600));
-        assert!(node.brownout_count() >= 1, "expected at least one brown-out");
+        assert!(
+            node.brownout_count() >= 1,
+            "expected at least one brown-out"
+        );
         // The 450 µW shaker recharges 1.05→1.15 V territory within the
         // hour, so the node must be running again and sampling.
-        assert!(node.browned_out_at().is_none(), "node should have recovered");
+        assert!(
+            node.browned_out_at().is_none(),
+            "node should have recovered"
+        );
         let report = node.report();
         assert!(report.wakes > 0);
         assert!(!report.packets.is_empty());
@@ -940,7 +1134,11 @@ mod tests {
         let report = node.report();
         // Held in reset: at most the first cycle escaped before the
         // supervisor tripped, and the floor is zero afterwards.
-        assert!(report.packets.len() <= 1, "packets {}", report.packets.len());
+        assert!(
+            report.packets.len() <= 1,
+            "packets {}",
+            report.packets.len()
+        );
         let late_power = node
             .power_trace()
             .power_at(picocube_sim::SimTime::from_secs(1_000))
@@ -969,10 +1167,17 @@ mod tests {
         );
         // Early packets single, late packets doubled: compare inter-packet
         // spacing at the start and end.
-        let healthy_first = report.packets[1].time.duration_since(report.packets[0].time);
+        let healthy_first = report.packets[1]
+            .time
+            .duration_since(report.packets[0].time);
         let last = report.packets.len() - 1;
-        let alarm_gap = report.packets[last].time.duration_since(report.packets[last - 1].time);
-        assert!(alarm_gap < healthy_first, "alarm repetition should be back-to-back");
+        let alarm_gap = report.packets[last]
+            .time
+            .duration_since(report.packets[last - 1].time);
+        assert!(
+            alarm_gap < healthy_first,
+            "alarm repetition should be back-to-back"
+        );
     }
 
     #[test]
@@ -980,8 +1185,13 @@ mod tests {
         // §4.3's motivation measured at node level: leaving the LT3020
         // enabled between transmissions multiplies the average by ~25×.
         let (_, gated) = run_tpms_for(60, NodeConfig::default());
-        let (_, ungated) =
-            run_tpms_for(60, NodeConfig { ungated_rf_ldo: true, ..NodeConfig::default() });
+        let (_, ungated) = run_tpms_for(
+            60,
+            NodeConfig {
+                ungated_rf_ldo: true,
+                ..NodeConfig::default()
+            },
+        );
         assert!(
             ungated.average_power.value() / gated.average_power.value() > 15.0,
             "ungated {:.1} µW vs gated {:.1} µW",
@@ -993,14 +1203,22 @@ mod tests {
 
     #[test]
     fn alarm_threshold_validated() {
-        let bad = NodeConfig { alarm_threshold_kpa: Some(900.0), ..NodeConfig::default() };
-        assert!(matches!(PicoCube::tpms(bad), Err(BuildError::InvalidConfig(_))));
+        let bad = NodeConfig {
+            alarm_threshold_kpa: Some(900.0),
+            ..NodeConfig::default()
+        };
+        assert!(matches!(
+            PicoCube::tpms(bad),
+            Err(BuildError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn healthy_tire_never_alarms() {
-        let config =
-            NodeConfig { alarm_threshold_kpa: Some(180.0), ..NodeConfig::default() };
+        let config = NodeConfig {
+            alarm_threshold_kpa: Some(180.0),
+            ..NodeConfig::default()
+        };
         let mut node = PicoCube::tpms(config).expect("node builds");
         node.run_for(SimDuration::from_secs(61));
         let report = node.report();
@@ -1012,9 +1230,12 @@ mod tests {
     fn beacon_node_transmits_on_the_timer() {
         // No sensor interrupt at all: Timer A paces sampling. 31 s at a
         // 5 s period → 6 beacons regardless of motion.
-        let config = NodeConfig { harvester: HarvesterKind::None, ..NodeConfig::default() };
-        let mut node = PicoCube::beacon(config, MotionScenario::retreat_table(5), 5)
-            .expect("node builds");
+        let config = NodeConfig {
+            harvester: HarvesterKind::None,
+            ..NodeConfig::default()
+        };
+        let mut node =
+            PicoCube::beacon(config, MotionScenario::retreat_table(5), 5).expect("node builds");
         node.run_for(SimDuration::from_secs(31));
         let report = node.report();
         assert_eq!(report.packets.len(), 6, "timer beacons");
@@ -1042,7 +1263,10 @@ mod tests {
     #[test]
     fn wakeup_receiver_option_costs_50_uw() {
         let base = NodeConfig::default();
-        let with_wakeup = NodeConfig { wakeup_receiver: true, ..NodeConfig::default() };
+        let with_wakeup = NodeConfig {
+            wakeup_receiver: true,
+            ..NodeConfig::default()
+        };
         let (_, plain) = run_tpms_for(60, base);
         let (_, listening) = run_tpms_for(60, with_wakeup);
         let delta = listening.average_power - plain.average_power;
@@ -1052,15 +1276,24 @@ mod tests {
             "wakeup delta {:.1} µW",
             delta.micro()
         );
-        let names: Vec<&str> =
-            listening.power.rails[0].loads.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = listening.power.rails[0]
+            .loads
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
         assert!(names.contains(&"wakeup receiver"));
     }
 
     #[test]
     fn invalid_config_rejected() {
-        let bad = NodeConfig { initial_soc: 1.5, ..NodeConfig::default() };
-        assert!(matches!(PicoCube::tpms(bad), Err(BuildError::InvalidConfig(_))));
+        let bad = NodeConfig {
+            initial_soc: 1.5,
+            ..NodeConfig::default()
+        };
+        assert!(matches!(
+            PicoCube::tpms(bad),
+            Err(BuildError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use picocube_units::{CubicMillimeters, Grams, Millimeters, SquareMillimeters};
 
 /// An elastomeric connector strip (Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ElastomerSpec {
     /// Conductor wire diameter.
     pub wire_diameter: Millimeters,
@@ -41,7 +41,7 @@ impl ElastomerSpec {
 }
 
 /// One PCB in the stack.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoardSpec {
     /// Board name (storage, controller, sensor, switch, radio).
     pub name: String,
@@ -90,7 +90,7 @@ impl BoardSpec {
 }
 
 /// The bus allocation on the pad ring (Fig. 4).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BusAllocation {
     /// Signals per board side.
     pub pads_per_side: u32,
@@ -131,7 +131,7 @@ impl BusAllocation {
 }
 
 /// A packaging design-rule violation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum PackagingError {
     /// The pad row overruns the available board edge.
@@ -168,11 +168,17 @@ pub enum PackagingError {
 impl core::fmt::Display for PackagingError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            Self::PadRowTooLong { required, available } => {
+            Self::PadRowTooLong {
+                required,
+                available,
+            } => {
                 write!(f, "pad row needs {required:.2} of a {available:.2} edge")
             }
             Self::TooFewWiresPerPad { wires } => {
-                write!(f, "only {wires} elastomer wires contact each pad (need ≥ 2)")
+                write!(
+                    f,
+                    "only {wires} elastomer wires contact each pad (need ≥ 2)"
+                )
             }
             Self::StackTooTall { height, available } => {
                 write!(f, "stack {height:.2} exceeds case interior {available:.2}")
@@ -190,7 +196,7 @@ impl core::fmt::Display for PackagingError {
 impl std::error::Error for PackagingError {}
 
 /// The full stack design: boards, rings, elastomers, case.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackDesign {
     /// Boards bottom to top.
     pub boards: Vec<BoardSpec>,
@@ -211,7 +217,7 @@ pub struct StackDesign {
 }
 
 /// Derived figures for a checked design.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StackReport {
     /// Total interior stack height.
     pub stack_height: Millimeters,
@@ -249,7 +255,10 @@ impl StackDesign {
     /// Component placement area inside the keep-out (7.2 × 7.2 mm on the
     /// as-built Cube).
     pub fn placement_area(&self) -> SquareMillimeters {
-        let edge = self.boards.first().map_or(Millimeters::new(10.0), |b| b.edge);
+        let edge = self
+            .boards
+            .first()
+            .map_or(Millimeters::new(10.0), |b| b.edge);
         let usable = edge - self.edge_keepout * 2.0;
         usable * usable
     }
@@ -294,8 +303,8 @@ impl StackDesign {
             (od * od - id * id) * self.ring_height.value() / 1_000.0
         };
         let case_vol_cm3 = {
-            let outer = self.boards.first().map_or(10.0, |b| b.edge.value())
-                + 2.0 * self.case_wall.value();
+            let outer =
+                self.boards.first().map_or(10.0, |b| b.edge.value()) + 2.0 * self.case_wall.value();
             let h = self.stack_height().value() + 2.0 * self.case_wall.value();
             // Four walls + floor + lid, as shell volume.
             let shell = outer * outer * h
@@ -313,12 +322,18 @@ impl StackDesign {
     ///
     /// Returns the first [`PackagingError`] encountered.
     pub fn check(&self) -> Result<StackReport, PackagingError> {
-        let edge = self.boards.first().map_or(Millimeters::new(10.0), |b| b.edge);
+        let edge = self
+            .boards
+            .first()
+            .map_or(Millimeters::new(10.0), |b| b.edge);
         // Pads must fit the edge minus corner clearance.
         let available = edge - Millimeters::new(0.4);
         let required = self.bus.row_length();
         if required > available {
-            return Err(PackagingError::PadRowTooLong { required, available });
+            return Err(PackagingError::PadRowTooLong {
+                required,
+                available,
+            });
         }
         // Contact redundancy: at least two wires per pad.
         let wires = self.elastomer.wires_per_pad(self.bus.pad_width);
@@ -329,7 +344,9 @@ impl StackDesign {
         // periphery; parts taller than the ring foul the next board).
         for pair in self.boards.windows(2) {
             if pair[0].component_height > self.ring_height {
-                return Err(PackagingError::RingInterference { board: pair[0].name.clone() });
+                return Err(PackagingError::RingInterference {
+                    board: pair[0].name.clone(),
+                });
             }
         }
         let stack_height = self.stack_height();
@@ -338,7 +355,10 @@ impl StackDesign {
         // what closes the as-built geometry.
         let interior = Millimeters::new(11.0);
         if stack_height > interior {
-            return Err(PackagingError::StackTooTall { height: stack_height, available: interior });
+            return Err(PackagingError::StackTooTall {
+                height: stack_height,
+                available: interior,
+            });
         }
         let outer_edge = edge + self.case_wall * 2.0;
         let outer_height = stack_height + self.case_wall * 2.0;
@@ -368,7 +388,9 @@ mod tests {
 
     #[test]
     fn as_built_design_passes_all_checks() {
-        let report = StackDesign::picocube().check().expect("the built Cube is feasible");
+        let report = StackDesign::picocube()
+            .check()
+            .expect("the built Cube is feasible");
         assert_eq!(report.bus_signals, 72);
         assert!(report.wires_per_pad >= 2);
     }
@@ -423,7 +445,10 @@ mod tests {
         // edge — the reason the built pads are smaller.
         let mut design = StackDesign::picocube();
         design.bus.pad_width = Millimeters::new(1.2);
-        assert!(matches!(design.check(), Err(PackagingError::PadRowTooLong { .. })));
+        assert!(matches!(
+            design.check(),
+            Err(PackagingError::PadRowTooLong { .. })
+        ));
     }
 
     #[test]
@@ -439,16 +464,24 @@ mod tests {
     fn tall_component_interferes_with_ring() {
         let mut design = StackDesign::picocube();
         design.boards[1].component_height = Millimeters::new(3.0);
-        assert!(matches!(design.check(), Err(PackagingError::RingInterference { .. })));
+        assert!(matches!(
+            design.check(),
+            Err(PackagingError::RingInterference { .. })
+        ));
     }
 
     #[test]
     fn six_board_stack_busts_the_height_budget() {
         let mut design = StackDesign::picocube();
-        design.boards.push(BoardSpec::standard("extra", Millimeters::new(1.0)));
+        design
+            .boards
+            .push(BoardSpec::standard("extra", Millimeters::new(1.0)));
         let r = design.check();
         assert!(
-            matches!(r, Err(PackagingError::StackTooTall { .. }) | Err(PackagingError::OverVolume { .. })),
+            matches!(
+                r,
+                Err(PackagingError::StackTooTall { .. }) | Err(PackagingError::OverVolume { .. })
+            ),
             "got {r:?}"
         );
     }
@@ -459,7 +492,10 @@ mod tests {
         // leading to smaller pads with tighter tolerances."
         let mut design = StackDesign::picocube();
         design.bus.pads_per_side = 24;
-        assert!(matches!(design.check(), Err(PackagingError::PadRowTooLong { .. })));
+        assert!(matches!(
+            design.check(),
+            Err(PackagingError::PadRowTooLong { .. })
+        ));
         design.bus.pad_width = Millimeters::new(0.3);
         let report = design.check().expect("smaller pads fit");
         assert_eq!(report.bus_signals, 96);
@@ -472,6 +508,9 @@ mod tests {
         design.bus.pads_per_side = 40;
         design.bus.pad_width = Millimeters::new(0.12);
         design.bus.pad_gap = Millimeters::new(0.05);
-        assert!(matches!(design.check(), Err(PackagingError::TooFewWiresPerPad { .. })));
+        assert!(matches!(
+            design.check(),
+            Err(PackagingError::TooFewWiresPerPad { .. })
+        ));
     }
 }

@@ -1,9 +1,10 @@
 //! Synthetic speed profiles that excite the motion-driven harvesters.
 
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{MetersPerSecond, Seconds};
 
 /// One linear-ramp segment of a drive cycle.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DrivePhase {
     /// Segment duration.
     pub duration: Seconds,
@@ -16,12 +17,20 @@ pub struct DrivePhase {
 impl DrivePhase {
     /// A constant-speed segment.
     pub fn cruise(duration: Seconds, speed: MetersPerSecond) -> Self {
-        Self { duration, start_speed: speed, end_speed: speed }
+        Self {
+            duration,
+            start_speed: speed,
+            end_speed: speed,
+        }
     }
 
     /// A linear ramp between two speeds.
     pub fn ramp(duration: Seconds, from: MetersPerSecond, to: MetersPerSecond) -> Self {
-        Self { duration, start_speed: from, end_speed: to }
+        Self {
+            duration,
+            start_speed: from,
+            end_speed: to,
+        }
     }
 }
 
@@ -37,7 +46,7 @@ impl DrivePhase {
 /// let v = cycle.speed_at(Seconds::new(120.0));
 /// assert!(v.kmh() >= 0.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriveCycle {
     phases: Vec<DrivePhase>,
     period: Seconds,
@@ -98,7 +107,10 @@ impl DriveCycle {
 
     /// Parked: permanently stationary (the harvester-outage worst case).
     pub fn parked() -> Self {
-        Self::new(vec![DrivePhase::cruise(Seconds::HOUR, MetersPerSecond::ZERO)])
+        Self::new(vec![DrivePhase::cruise(
+            Seconds::HOUR,
+            MetersPerSecond::ZERO,
+        )])
     }
 
     /// The repeat period of the cycle.
@@ -141,6 +153,44 @@ impl DriveCycle {
             })
             .count();
         moving as f64 / n as f64
+    }
+}
+
+impl ToJson for DrivePhase {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("duration".into(), self.duration.to_json()),
+            ("start_speed".into(), self.start_speed.to_json()),
+            ("end_speed".into(), self.end_speed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DrivePhase {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            duration: FromJson::from_json(field(value, "duration")?)?,
+            start_speed: FromJson::from_json(field(value, "start_speed")?)?,
+            end_speed: FromJson::from_json(field(value, "end_speed")?)?,
+        })
+    }
+}
+
+impl ToJson for DriveCycle {
+    fn to_json(&self) -> Json {
+        // Only the phases carry information; the period is derived.
+        Json::Obj(vec![("phases".into(), self.phases.to_json())])
+    }
+}
+
+impl FromJson for DriveCycle {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let phases: Vec<DrivePhase> = FromJson::from_json(field(value, "phases")?)?;
+        let bad = |p: &DrivePhase| p.duration.value() <= 0.0 || p.duration.value().is_nan();
+        if phases.is_empty() || phases.iter().any(bad) {
+            return Err(JsonError::new("invalid drive cycle phases"));
+        }
+        Ok(Self::new(phases))
     }
 }
 

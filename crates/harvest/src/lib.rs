@@ -67,7 +67,9 @@ pub trait Harvester {
         for i in 0..n {
             let frac = i as f64 / (n - 1) as f64;
             let w = if i == 0 || i == n - 1 { 0.5 } else { 1.0 };
-            acc += w * self.power_at(Seconds::new(t0.value() + frac * span)).value();
+            acc += w * self
+                .power_at(Seconds::new(t0.value() + frac * span))
+                .value();
         }
         Watts::new(acc / (n - 1) as f64)
     }

@@ -24,9 +24,19 @@ impl ElectromagneticShaker {
     /// Panics if any parameter is non-positive or the duty exceeds 1.
     pub fn new(excitation: Hertz, energy_per_pulse: Joules, pulse_duty: f64) -> Self {
         assert!(excitation.value() > 0.0, "excitation rate must be positive");
-        assert!(energy_per_pulse.value() > 0.0, "pulse energy must be positive");
-        assert!((0.0..=1.0).contains(&pulse_duty) && pulse_duty > 0.0, "duty must be in (0, 1]");
-        Self { excitation, energy_per_pulse, pulse_duty }
+        assert!(
+            energy_per_pulse.value() > 0.0,
+            "pulse energy must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&pulse_duty) && pulse_duty > 0.0,
+            "duty must be in (0, 1]"
+        );
+        Self {
+            excitation,
+            energy_per_pulse,
+            pulse_duty,
+        }
     }
 
     /// The bench characterization source: 50 Hz excitation, 9 µJ pulses in
@@ -111,8 +121,9 @@ mod tests {
         // Integrate the waveform directly over many whole periods.
         let n = 100_000;
         let span = 1.0; // 50 periods
-        let sum: f64 =
-            (0..n).map(|i| s.power_at(Seconds::new(span * i as f64 / n as f64)).value()).sum();
+        let sum: f64 = (0..n)
+            .map(|i| s.power_at(Seconds::new(span * i as f64 / n as f64)).value())
+            .sum();
         let sampled = sum / n as f64;
         assert!((sampled / s.average().value() - 1.0).abs() < 0.01);
     }

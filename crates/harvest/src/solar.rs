@@ -3,10 +3,11 @@
 //! cells would provide sufficient energy."
 
 use crate::Harvester;
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Seconds, SquareMillimeters, Watts};
 
 /// The lighting environment driving a [`SolarCladding`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Irradiance {
     /// Constant irradiance in W/m² (indoor office ≈ 5–10, overcast window
     /// ≈ 100, full sun ≈ 1000).
@@ -29,7 +30,10 @@ impl Irradiance {
 
     /// Outdoor temperate-latitude cycle: 800 W/m² peak, 12 h of daylight.
     pub fn outdoor() -> Self {
-        Self::Diurnal { peak: 800.0, daylight_hours: 12.0 }
+        Self::Diurnal {
+            peak: 800.0,
+            daylight_hours: 12.0,
+        }
     }
 
     /// Irradiance at time `t` from scenario start (taken as midnight for
@@ -37,7 +41,10 @@ impl Irradiance {
     pub fn at(&self, t: Seconds) -> f64 {
         match *self {
             Self::Constant(w) => w.max(0.0),
-            Self::Diurnal { peak, daylight_hours } => {
+            Self::Diurnal {
+                peak,
+                daylight_hours,
+            } => {
                 let hour = (t.value() / 3600.0).rem_euclid(24.0);
                 let dawn = 12.0 - daylight_hours / 2.0;
                 let dusk = 12.0 + daylight_hours / 2.0;
@@ -49,6 +56,40 @@ impl Irradiance {
                 }
             }
         }
+    }
+}
+
+impl ToJson for Irradiance {
+    fn to_json(&self) -> Json {
+        // Externally tagged, mirroring the variant names.
+        match *self {
+            Self::Constant(w) => Json::Obj(vec![("Constant".into(), w.to_json())]),
+            Self::Diurnal {
+                peak,
+                daylight_hours,
+            } => Json::Obj(vec![(
+                "Diurnal".into(),
+                Json::Obj(vec![
+                    ("peak".into(), peak.to_json()),
+                    ("daylight_hours".into(), daylight_hours.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Irradiance {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        if let Some(w) = value.get("Constant") {
+            return Ok(Self::Constant(FromJson::from_json(w)?));
+        }
+        if let Some(d) = value.get("Diurnal") {
+            return Ok(Self::Diurnal {
+                peak: FromJson::from_json(field(d, "peak")?)?,
+                daylight_hours: FromJson::from_json(field(d, "daylight_hours")?)?,
+            });
+        }
+        Err(JsonError::new("unknown Irradiance variant"))
     }
 }
 
@@ -77,12 +118,20 @@ impl SolarCladding {
         light: Irradiance,
     ) -> Self {
         assert!(active_area.value() > 0.0, "area must be positive");
-        assert!((0.0..=1.0).contains(&efficiency) && efficiency > 0.0, "bad efficiency");
+        assert!(
+            (0.0..=1.0).contains(&efficiency) && efficiency > 0.0,
+            "bad efficiency"
+        );
         assert!(
             (0.0..=1.0).contains(&orientation_factor) && orientation_factor > 0.0,
             "bad orientation factor"
         );
-        Self { active_area, efficiency, orientation_factor, light }
+        Self {
+            active_area,
+            efficiency,
+            orientation_factor,
+            light,
+        }
     }
 
     /// Cladding of five faces of the 1 cm cube (the sixth mounts), 15 %
@@ -145,7 +194,10 @@ mod tests {
         let avg = s.average_power(Seconds::ZERO, Seconds::DAY, 2_000);
         // Half-sine over 12 of 24 h: mean = peak·(2/π)·0.5 ≈ 255 W/m²
         // → ≈ 7.6 mW across the cladding.
-        assert!(avg > Watts::from_milli(5.0) && avg < Watts::from_milli(10.0), "avg {avg:?}");
+        assert!(
+            avg > Watts::from_milli(5.0) && avg < Watts::from_milli(10.0),
+            "avg {avg:?}"
+        );
     }
 
     #[test]
@@ -156,6 +208,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad efficiency")]
     fn zero_efficiency_rejected() {
-        SolarCladding::new(SquareMillimeters::new(100.0), 0.0, 0.5, Irradiance::office());
+        SolarCladding::new(
+            SquareMillimeters::new(100.0),
+            0.0,
+            0.5,
+            Irradiance::office(),
+        );
     }
 }

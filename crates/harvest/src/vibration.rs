@@ -37,10 +37,22 @@ impl VibrationBeam {
         drive_freq: Hertz,
     ) -> Self {
         assert!(proof_mass.value() > 0.0, "proof mass must be positive");
-        assert!(natural.value() > 0.0 && drive_freq.value() > 0.0, "frequencies must be positive");
+        assert!(
+            natural.value() > 0.0 && drive_freq.value() > 0.0,
+            "frequencies must be positive"
+        );
         assert!(q_factor > 0.0, "Q must be positive");
-        assert!(drive_accel.value() >= 0.0, "drive acceleration must be non-negative");
-        Self { proof_mass, natural, q_factor, drive_accel, drive_freq }
+        assert!(
+            drive_accel.value() >= 0.0,
+            "drive acceleration must be non-negative"
+        );
+        Self {
+            proof_mass,
+            natural,
+            q_factor,
+            drive_accel,
+            drive_freq,
+        }
     }
 
     /// The Roundy benchmark: 1 g proof mass tuned to the 120 Hz line of
@@ -108,7 +120,10 @@ mod tests {
         // m·Q·A²/(4ω) = 1e-3 · 30 · 6.25 / (4·754) ≈ 62 µW — the right
         // order for a 1 cm³-class scavenger (ref [4] reports up to ~200
         // µW/cm³ with optimized transduction).
-        assert!(p > Watts::from_micro(30.0) && p < Watts::from_micro(120.0), "p {p:?}");
+        assert!(
+            p > Watts::from_micro(30.0) && p < Watts::from_micro(120.0),
+            "p {p:?}"
+        );
     }
 
     #[test]

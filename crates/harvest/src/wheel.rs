@@ -37,7 +37,13 @@ impl WheelHarvester {
     ) -> Self {
         assert!(wheel_radius_m > 0.0, "wheel radius must be positive");
         assert!(k_w_per_rad2 > 0.0, "power coefficient must be positive");
-        Self { cycle, wheel_radius_m, k_w_per_rad2, p_max, cut_in }
+        Self {
+            cycle,
+            wheel_radius_m,
+            k_w_per_rad2,
+            p_max,
+            cut_in,
+        }
     }
 
     /// The automotive TPMS harvester: 0.3 m wheel, calibrated to produce
@@ -124,7 +130,10 @@ mod tests {
     #[test]
     fn parked_produces_nothing() {
         let h = WheelHarvester::automotive(DriveCycle::parked());
-        assert_eq!(h.average_power(Seconds::ZERO, Seconds::HOUR, 100), Watts::ZERO);
+        assert_eq!(
+            h.average_power(Seconds::ZERO, Seconds::HOUR, 100),
+            Watts::ZERO
+        );
     }
 
     #[test]
@@ -142,7 +151,11 @@ mod tests {
         // energy-neutrality premise.
         let h = WheelHarvester::automotive(DriveCycle::urban());
         let avg = h.average_power(Seconds::ZERO, Seconds::new(240.0), 2000);
-        assert!(avg > Watts::from_micro(60.0), "urban avg {:.1} µW", avg.micro());
+        assert!(
+            avg > Watts::from_micro(60.0),
+            "urban avg {:.1} µW",
+            avg.micro()
+        );
     }
 
     #[test]

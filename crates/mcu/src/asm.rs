@@ -43,7 +43,10 @@ impl std::error::Error for AsmError {}
 type Result<T> = core::result::Result<T, AsmError>;
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 /// Assembles source text into a loadable [`Image`].
@@ -69,7 +72,11 @@ enum Item {
     Word(String),
     Byte(String),
     Vector(String, String),
-    Insn { mnemonic: String, byte_mode: bool, operands: Vec<String> },
+    Insn {
+        mnemonic: String,
+        byte_mode: bool,
+        operands: Vec<String>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -101,9 +108,10 @@ fn parse_lines(source: &str) -> Result<Vec<Line>> {
                 "word" => Item::Word(args.to_string()),
                 "byte" => Item::Byte(args.to_string()),
                 "equ" => {
-                    let (n, v) = args
-                        .split_once(',')
-                        .ok_or_else(|| AsmError { line: number, message: ".equ needs NAME, VALUE".into() })?;
+                    let (n, v) = args.split_once(',').ok_or_else(|| AsmError {
+                        line: number,
+                        message: ".equ needs NAME, VALUE".into(),
+                    })?;
                     Item::Equ(n.trim().to_string(), v.trim().to_string())
                 }
                 "vector" => {
@@ -122,11 +130,21 @@ fn parse_lines(source: &str) -> Result<Vec<Line>> {
                 Some(stem) => (stem.to_string(), true),
                 None => (mn.strip_suffix(".w").unwrap_or(&mn).to_string(), false),
             };
-            let operands: Vec<String> =
-                split_operands(args).into_iter().map(|s| s.trim().to_string()).collect();
-            Some(Item::Insn { mnemonic, byte_mode, operands })
+            let operands: Vec<String> = split_operands(args)
+                .into_iter()
+                .map(|s| s.trim().to_string())
+                .collect();
+            Some(Item::Insn {
+                mnemonic,
+                byte_mode,
+                operands,
+            })
         };
-        out.push(Line { number, label, item });
+        out.push(Line {
+            number,
+            label,
+            item,
+        });
     }
     Ok(out)
 }
@@ -157,7 +175,9 @@ fn split_operands(args: &str) -> Vec<&str> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -218,7 +238,10 @@ fn operand_mode(op: &str, symbols: &HashMap<String, u16>) -> Option<Mode> {
         return Some(Mode::Imm);
     }
     if op.strip_prefix('&').is_some() {
-        return Some(Mode::Indexed { reg: 2, absolute: true });
+        return Some(Mode::Indexed {
+            reg: 2,
+            absolute: true,
+        });
     }
     if let Some(rest) = op.strip_prefix('@') {
         if let Some(stem) = rest.strip_suffix('+') {
@@ -229,11 +252,17 @@ fn operand_mode(op: &str, symbols: &HashMap<String, u16>) -> Option<Mode> {
     if let Some(open) = op.find('(') {
         let close = op.rfind(')')?;
         let reg = register(&op[open + 1..close])?;
-        return Some(Mode::Indexed { reg, absolute: false });
+        return Some(Mode::Indexed {
+            reg,
+            absolute: false,
+        });
     }
     // Bare symbol: treat as absolute address (assembler convenience; the
     // real toolchain would use symbolic mode).
-    is_ident(op).then_some(Mode::Indexed { reg: 2, absolute: true })
+    is_ident(op).then_some(Mode::Indexed {
+        reg: 2,
+        absolute: true,
+    })
 }
 
 /// Evaluates a constant expression: decimal, hex, char, unary minus,
@@ -259,7 +288,10 @@ fn eval(expr: &str, symbols: &HashMap<String, u16>) -> core::result::Result<u16,
     if let Ok(v) = expr.parse::<u16>() {
         return Ok(v);
     }
-    symbols.get(expr).copied().ok_or_else(|| format!("unknown symbol `{expr}`"))
+    symbols
+        .get(expr)
+        .copied()
+        .ok_or_else(|| format!("unknown symbol `{expr}`"))
 }
 
 fn split_top(expr: &str, sep: char) -> Option<(&str, &str)> {
@@ -331,7 +363,14 @@ fn desugar(mnemonic: &str, operands: &[String]) -> (String, Vec<String>) {
         ("rla", 1) => ("add".into(), vec![operands[0].clone(), operands[0].clone()]),
         ("eint", 0) => ("bis".into(), vec!["#8".into(), "sr".into()]),
         ("dint", 0) => ("bic".into(), vec!["#8".into(), "sr".into()]),
-        ("setc", 0) => ("bis".into(), one("#1")[..].to_vec().into_iter().chain(one("sr")).collect()),
+        ("setc", 0) => (
+            "bis".into(),
+            one("#1")[..]
+                .to_vec()
+                .into_iter()
+                .chain(one("sr"))
+                .collect(),
+        ),
         ("clrc", 0) => ("bic".into(), vec!["#1".into(), "sr".into()]),
         ("setz", 0) => ("bis".into(), vec!["#2".into(), "sr".into()]),
         ("clrz", 0) => ("bic".into(), vec!["#2".into(), "sr".into()]),
@@ -357,17 +396,24 @@ fn insn_size(
         let m = ops
             .first()
             .and_then(|o| operand_mode(o, symbols))
-            .ok_or_else(|| AsmError { line, message: format!("bad operand for {mn}") })?;
+            .ok_or_else(|| AsmError {
+                line,
+                message: format!("bad operand for {mn}"),
+            })?;
         return Ok(2 + 2 * m.extension_words());
     }
     if FORMAT1.iter().any(|&(m, _)| m == mn) {
         if ops.len() != 2 {
             return err(line, format!("{mn} needs two operands"));
         }
-        let s = operand_mode(&ops[0], symbols)
-            .ok_or_else(|| AsmError { line, message: format!("bad source `{}`", ops[0]) })?;
-        let d = operand_mode(&ops[1], symbols)
-            .ok_or_else(|| AsmError { line, message: format!("bad destination `{}`", ops[1]) })?;
+        let s = operand_mode(&ops[0], symbols).ok_or_else(|| AsmError {
+            line,
+            message: format!("bad source `{}`", ops[0]),
+        })?;
+        let d = operand_mode(&ops[1], symbols).ok_or_else(|| AsmError {
+            line,
+            message: format!("bad destination `{}`", ops[1]),
+        })?;
         return Ok(2 + 2 * s.extension_words() + 2 * d.extension_words());
     }
     err(line, format!("unknown mnemonic `{mnemonic}`"))
@@ -375,7 +421,10 @@ fn insn_size(
 
 type Segments = Vec<(u16, u16)>; // (org, size) per .org region in order
 
-fn layout(lines: &[Line], known: &HashMap<String, u16>) -> Result<(HashMap<String, u16>, Segments)> {
+fn layout(
+    lines: &[Line],
+    known: &HashMap<String, u16>,
+) -> Result<(HashMap<String, u16>, Segments)> {
     let mut symbols = known.clone();
     let mut pc: u16 = 0;
     let mut segments: Segments = Vec::new();
@@ -395,8 +444,10 @@ fn layout(lines: &[Line], known: &HashMap<String, u16>) -> Result<(HashMap<Strin
             None => {}
             Some(Item::Org(expr)) => {
                 flush(&mut segments, &mut seg_start, &mut seg_len);
-                pc = eval(expr, &symbols)
-                    .map_err(|m| AsmError { line: line.number, message: m })?;
+                pc = eval(expr, &symbols).map_err(|m| AsmError {
+                    line: line.number,
+                    message: m,
+                })?;
                 seg_start = Some(pc);
             }
             Some(Item::Equ(name, expr)) => {
@@ -418,7 +469,11 @@ fn layout(lines: &[Line], known: &HashMap<String, u16>) -> Result<(HashMap<Strin
                 pc = pc.wrapping_add(1);
                 seg_len += 1;
             }
-            Some(Item::Insn { mnemonic, byte_mode: _, operands }) => {
+            Some(Item::Insn {
+                mnemonic,
+                byte_mode: _,
+                operands,
+            }) => {
                 if seg_start.is_none() {
                     seg_start = Some(pc);
                 }
@@ -450,13 +505,18 @@ struct Encoder<'a> {
 
 impl Encoder<'_> {
     fn ev(&self, expr: &str) -> Result<u16> {
-        eval(expr, self.symbols).map_err(|m| AsmError { line: self.line, message: m })
+        eval(expr, self.symbols).map_err(|m| AsmError {
+            line: self.line,
+            message: m,
+        })
     }
 
     /// Encodes an operand as (register, as-bits, extension word).
     fn source(&self, op: &str) -> Result<(u16, u16, Option<u16>)> {
-        let mode = operand_mode(op, self.symbols)
-            .ok_or_else(|| AsmError { line: self.line, message: format!("bad operand `{op}`") })?;
+        let mode = operand_mode(op, self.symbols).ok_or_else(|| AsmError {
+            line: self.line,
+            message: format!("bad operand `{op}`"),
+        })?;
         Ok(match mode {
             Mode::Reg(r) => (r as u16, 0b00, None),
             Mode::Indirect(r) => (r as u16, 0b10, None),
@@ -489,8 +549,10 @@ impl Encoder<'_> {
 
     /// Encodes a destination operand as (register, ad-bit, extension word).
     fn destination(&self, op: &str) -> Result<(u16, u16, Option<u16>)> {
-        let mode = operand_mode(op, self.symbols)
-            .ok_or_else(|| AsmError { line: self.line, message: format!("bad operand `{op}`") })?;
+        let mode = operand_mode(op, self.symbols).ok_or_else(|| AsmError {
+            line: self.line,
+            message: format!("bad operand `{op}`"),
+        })?;
         Ok(match mode {
             Mode::Reg(r) => (r as u16, 0, None),
             Mode::Indexed { reg, absolute } => {
@@ -529,7 +591,10 @@ fn emit(lines: &[Line], symbols: &HashMap<String, u16>, _segments: Segments) -> 
     };
 
     for line in lines {
-        let enc = Encoder { symbols, line: line.number };
+        let enc = Encoder {
+            symbols,
+            line: line.number,
+        };
         match &line.item {
             None | Some(Item::Equ(..)) => {}
             Some(Item::Org(expr)) => {
@@ -561,7 +626,11 @@ fn emit(lines: &[Line], symbols: &HashMap<String, u16>, _segments: Segments) -> 
                 current.push(v as u8);
                 pc = pc.wrapping_add(1);
             }
-            Some(Item::Insn { mnemonic, byte_mode, operands }) => {
+            Some(Item::Insn {
+                mnemonic,
+                byte_mode,
+                operands,
+            }) => {
                 if !started {
                     current_org = pc;
                     started = true;
@@ -648,10 +717,7 @@ mod tests {
 
     #[test]
     fn labels_and_jumps() {
-        let img = assemble(
-            ".org 0xF000\nstart: dec r4\njnz start\n",
-        )
-        .unwrap();
+        let img = assemble(".org 0xF000\nstart: dec r4\njnz start\n").unwrap();
         let bytes = &img.segments()[0].1;
         // dec = sub #1, r4 (constant generator): 0x8314 | dst 4 => 0x8314.
         assert_eq!(u16::from_le_bytes([bytes[0], bytes[1]]), 0x8314);
@@ -663,21 +729,22 @@ mod tests {
 
     #[test]
     fn vectors_are_emitted() {
-        let img = assemble(
-            ".org 0xF000\nstart: jmp start\n.vector reset, start\n.vector port1, start\n",
-        )
-        .unwrap();
+        let img =
+            assemble(".org 0xF000\nstart: jmp start\n.vector reset, start\n.vector port1, start\n")
+                .unwrap();
         let segs = img.segments();
-        assert!(segs.iter().any(|(org, b)| *org == 0xFFFE && b == &vec![0x00, 0xF0]));
-        assert!(segs.iter().any(|(org, b)| *org == 0xFFE8 && b == &vec![0x00, 0xF0]));
+        assert!(segs
+            .iter()
+            .any(|(org, b)| *org == 0xFFFE && b == &vec![0x00, 0xF0]));
+        assert!(segs
+            .iter()
+            .any(|(org, b)| *org == 0xFFE8 && b == &vec![0x00, 0xF0]));
     }
 
     #[test]
     fn equ_and_or_expressions() {
-        let img = assemble(
-            ".equ LPM3, 0x00D0\n.equ GIE, 8\n.org 0xF000\nbis #LPM3|GIE, sr\n",
-        )
-        .unwrap();
+        let img =
+            assemble(".equ LPM3, 0x00D0\n.equ GIE, 8\n.org 0xF000\nbis #LPM3|GIE, sr\n").unwrap();
         let bytes = &img.segments()[0].1;
         assert_eq!(u16::from_le_bytes([bytes[2], bytes[3]]), 0x00D8);
     }
@@ -691,10 +758,8 @@ mod tests {
 
     #[test]
     fn forward_references_resolve() {
-        let img = assemble(
-            ".org 0xF000\nmov #later, r4\njmp skip\nlater: .word 7\nskip: nop\n",
-        )
-        .unwrap();
+        let img =
+            assemble(".org 0xF000\nmov #later, r4\njmp skip\nlater: .word 7\nskip: nop\n").unwrap();
         let bytes = &img.segments()[0].1;
         // mov #later: later = 0xF000 + 6.
         assert_eq!(u16::from_le_bytes([bytes[2], bytes[3]]), 0xF006);
@@ -722,10 +787,8 @@ mod tests {
 
     #[test]
     fn emulated_mnemonics() {
-        let img = assemble(
-            ".org 0xF000\nnop\nret\nclr r4\ninc r4\ntst r4\neint\ndint\nclrc\n",
-        )
-        .unwrap();
+        let img =
+            assemble(".org 0xF000\nnop\nret\nclr r4\ninc r4\ntst r4\neint\ndint\nclrc\n").unwrap();
         // All emulated forms use constant generators: single words.
         assert_eq!(img.segments()[0].1.len(), 16);
     }
@@ -738,13 +801,14 @@ mod tests {
 
     #[test]
     fn bare_label_is_absolute_reference() {
-        let img = assemble(
-            ".org 0x0200\nvalue: .word 0\n.org 0xF000\nmov #7, value\n",
-        )
-        .unwrap();
+        let img = assemble(".org 0x0200\nvalue: .word 0\n.org 0xF000\nmov #7, value\n").unwrap();
         // Source extension (#7) comes first, then the destination's
         // absolute address extension.
-        let code = img.segments().iter().find(|(org, _)| *org == 0xF000).unwrap();
+        let code = img
+            .segments()
+            .iter()
+            .find(|(org, _)| *org == 0xF000)
+            .unwrap();
         assert_eq!(u16::from_le_bytes([code.1[2], code.1[3]]), 7);
         assert_eq!(u16::from_le_bytes([code.1[4], code.1[5]]), 0x0200);
     }

@@ -228,7 +228,10 @@ impl Mcu {
     /// Executes one instruction, services one interrupt, or reports sleep.
     pub fn step(&mut self) -> StepResult {
         if self.halted_on_fault {
-            return StepResult::IllegalInstruction { word: 0, at: self.regs[PC] };
+            return StepResult::IllegalInstruction {
+                word: 0,
+                at: self.regs[PC],
+            };
         }
         // Interrupt dispatch: GIE must be set (an interrupt also wakes any
         // LPM, clearing the low-power bits for the ISR's duration).
@@ -433,7 +436,11 @@ impl Mcu {
             (if byte { v & 0xFF } else { v }, DstLoc::Reg(reg), 0)
         } else {
             let x = self.fetch16();
-            let addr = if reg == SR { x } else { self.regs[reg].wrapping_add(x) };
+            let addr = if reg == SR {
+                x
+            } else {
+                self.regs[reg].wrapping_add(x)
+            };
             (self.mem_read(addr, byte), DstLoc::Mem(addr), 3)
         }
     }
@@ -662,7 +669,11 @@ impl Mcu {
                 Some(1 + src_cycles)
             }
             Format2Op::Sxt => {
-                let r = if value & 0x80 != 0 { value | 0xFF00 } else { value & 0x00FF };
+                let r = if value & 0x80 != 0 {
+                    value | 0xFF00
+                } else {
+                    value & 0x00FF
+                };
                 self.set_flags_logic(r, false, false);
                 write(self, r);
                 Some(1 + src_cycles)
@@ -911,7 +922,7 @@ halt:   jmp halt
         );
         run_steps(&mut mcu, 8);
         assert_eq!(mcu.register(4), 0xC002); // arithmetic shift keeps sign
-        // RRC shifted the old C (0) in; C now holds the shifted-out 1.
+                                             // RRC shifted the old C (0) in; C now holds the shifted-out 1.
         assert_eq!(mcu.register(5), 0x0000);
         assert_ne!(mcu.register(2) & FLAG_C, 0);
         assert_eq!(mcu.register(6), 0x3412);
@@ -1018,7 +1029,10 @@ isr:    mov #7, r5
         );
         run_steps(&mut mcu, 3);
         assert_eq!(mcu.mode(), OperatingMode::Lpm3);
-        assert!(matches!(mcu.step(), StepResult::Sleeping(OperatingMode::Lpm3)));
+        assert!(matches!(
+            mcu.step(),
+            StepResult::Sleeping(OperatingMode::Lpm3)
+        ));
         // Time passes; nothing happens.
         assert_eq!(mcu.sleep(1_000_000), 1_000_000);
         // External wake (the SP12's 6-second interrupt line).
@@ -1097,8 +1111,12 @@ halt:   jmp halt
         .vector reset, start
         "#,
         );
-        let StepResult::Ran { cycles: c1 } = mcu.step() else { panic!("step 1") };
-        let StepResult::Ran { cycles: c2 } = mcu.step() else { panic!("step 2") };
+        let StepResult::Ran { cycles: c1 } = mcu.step() else {
+            panic!("step 1")
+        };
+        let StepResult::Ran { cycles: c2 } = mcu.step() else {
+            panic!("step 2")
+        };
         assert_eq!(c1, 1);
         assert_eq!(c2, 2);
     }

@@ -134,10 +134,14 @@ pub fn decode_one(mem: &FlatMemory, addr: u16) -> Result<Decoded, UndecodableWor
 
     // Format II.
     if top == 0x1 {
-        let op = Format2Op::from_bits((word >> 7) & 0x7)
-            .ok_or(UndecodableWord { word, at: addr })?;
+        let op =
+            Format2Op::from_bits((word >> 7) & 0x7).ok_or(UndecodableWord { word, at: addr })?;
         if op == Format2Op::Reti {
-            return Ok(Decoded { address: addr, size: 2, text: "reti".into() });
+            return Ok(Decoded {
+                address: addr,
+                size: 2,
+                text: "reti".into(),
+            });
         }
         let byte = (word >> 6) & 1 != 0;
         let as_mode = (word >> 4) & 0x3;
@@ -166,7 +170,10 @@ pub fn decode_one(mem: &FlatMemory, addr: u16) -> Result<Decoded, UndecodableWor
     } else if dst_reg == 2 {
         (format!("&{:#06x}", mem.read16(dst_ext_addr)), 1)
     } else {
-        (format!("{:#06x}({})", mem.read16(dst_ext_addr), reg_name(dst_reg)), 1)
+        (
+            format!("{:#06x}({})", mem.read16(dst_ext_addr), reg_name(dst_reg)),
+            1,
+        )
     };
     let suffix = if byte { ".b" } else { "" };
     Ok(Decoded {
@@ -258,14 +265,27 @@ mod tests {
         let mem = memory_with(".org 0xF000\nmov #0, r4\nmov #1, r4\nmov #2, r4\nmov #4, r4\nmov #8, r4\nmov #-1, r4\n");
         let (listing, _) = disassemble_range(&mem, 0xF000, 12);
         let texts: Vec<&str> = listing.iter().map(|d| d.text.as_str()).collect();
-        assert_eq!(texts, vec!["mov #0, r4", "mov #1, r4", "mov #2, r4", "mov #4, r4", "mov #8, r4", "mov #-1, r4"]);
+        assert_eq!(
+            texts,
+            vec![
+                "mov #0, r4",
+                "mov #1, r4",
+                "mov #2, r4",
+                "mov #4, r4",
+                "mov #8, r4",
+                "mov #-1, r4"
+            ]
+        );
     }
 
     #[test]
     fn firmware_round_trips_bit_exact() {
         // The canonical oracle: disassemble the stock firmware's code
         // segment, reassemble the listing, compare bytes.
-        for image in [crate::firmware::tpms_app(0x42).unwrap(), crate::firmware::motion_app(7).unwrap()] {
+        for image in [
+            crate::firmware::tpms_app(0x42).unwrap(),
+            crate::firmware::motion_app(7).unwrap(),
+        ] {
             let code = image
                 .segments()
                 .iter()

@@ -475,7 +475,10 @@ mod tests {
         mcu.load(&image);
         mcu.reset();
         let log = Rc::new(RefCell::new(Vec::new()));
-        mcu.attach_spi(Box::new(FakeBus { log: log.clone(), ..FakeBus::default() }));
+        mcu.attach_spi(Box::new(FakeBus {
+            log: log.clone(),
+            ..FakeBus::default()
+        }));
 
         // Boot until asleep.
         let mut guard = 0;
@@ -512,7 +515,10 @@ mod tests {
         assert_eq!(&bytes[..3], &[PREAMBLE, PREAMBLE, SYNC]);
         assert_eq!(bytes[3], 0x42);
         // Payload: channel ch gives 0x0ch3 split hi/lo.
-        assert_eq!(&bytes[4..12], &[0x00, 0x23, 0x01, 0x23, 0x02, 0x23, 0x03, 0x23]);
+        assert_eq!(
+            &bytes[4..12],
+            &[0x00, 0x23, 0x01, 0x23, 0x02, 0x23, 0x03, 0x23]
+        );
         let checksum = bytes[4..12].iter().fold(0u8, |a, b| a ^ b);
         assert_eq!(bytes[12], checksum);
     }
@@ -550,7 +556,10 @@ mod tests {
         mcu.load(&image);
         mcu.reset();
         let log = Rc::new(RefCell::new(Vec::new()));
-        mcu.attach_spi(Box::new(FakeBus { log: log.clone(), ..FakeBus::default() }));
+        mcu.attach_spi(Box::new(FakeBus {
+            log: log.clone(),
+            ..FakeBus::default()
+        }));
         while !matches!(mcu.step(), StepResult::Sleeping(_)) {}
         for _ in 0..5 {
             mcu.drive_p1(0, false);
@@ -645,7 +654,10 @@ mod tests {
                 }
             }
         }
-        mcu.attach_spi(Box::new(Accel { log: log.clone(), value: 0 }));
+        mcu.attach_spi(Box::new(Accel {
+            log: log.clone(),
+            value: 0,
+        }));
         while !matches!(mcu.step(), StepResult::Sleeping(_)) {}
         assert_eq!(mcu.mode(), OperatingMode::Lpm4);
         mcu.drive_p1(0, true);

@@ -111,7 +111,9 @@ impl core::fmt::Debug for FlatMemory {
 impl FlatMemory {
     /// Zero-filled memory.
     pub fn new() -> Self {
-        Self { bytes: vec![0u8; 0x1_0000].into_boxed_slice().try_into().unwrap() }
+        Self {
+            bytes: vec![0u8; 0x1_0000].into_boxed_slice().try_into().unwrap(),
+        }
     }
 
     /// Reads one byte.

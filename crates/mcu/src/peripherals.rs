@@ -214,7 +214,11 @@ impl Peripherals {
             return None;
         }
         let delta = self.timer_ccr0.wrapping_sub(self.timer_count);
-        let ticks = if delta == 0 { 0x1_0000u64 } else { u64::from(delta) };
+        let ticks = if delta == 0 {
+            0x1_0000u64
+        } else {
+            u64::from(delta)
+        };
         let need = ticks * self.aclk_ratio_num;
         Some((need - self.aclk_accum).div_ceil(32_768))
     }
@@ -352,7 +356,7 @@ mod tests {
         let mut p = Peripherals::new();
         p.write(io::TACCR0, 2); // fire every 2 ACLK ticks
         p.write(io::TACTL, 0b011); // run + interrupt enable
-        // 2 ticks at 32768 Hz need ≈ 61 MCLK cycles.
+                                   // 2 ticks at 32768 Hz need ≈ 61 MCLK cycles.
         let mut fired = false;
         for _ in 0..70 {
             if p.tick(1, true) == Some(Irq::TimerA) {

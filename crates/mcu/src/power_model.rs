@@ -3,7 +3,7 @@
 use picocube_units::{Amps, Hertz, Volts};
 
 /// The core's operating mode, derived from the `SR` low-power bits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OperatingMode {
     /// CPU executing instructions.
     Active,
@@ -19,7 +19,7 @@ pub enum OperatingMode {
 }
 
 /// Datasheet-class supply currents for the F1222 at 2.2 V.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McuPowerModel {
     /// Active current per MHz of MCLK.
     pub active_per_mhz: Amps,

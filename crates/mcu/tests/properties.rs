@@ -16,7 +16,8 @@ fn instruction() -> impl Strategy<Value = String> {
         (0x0200u16..0x0400).prop_map(|a| format!("&{a:#06x}")),
         // Immediates outside the constant-generator set keep one canonical
         // encoding (the CG values also round-trip, tested separately).
-        (0x0010u16..0xFFF0).prop_filter("non-cg", |v| ![0, 1, 2, 4, 8, 0xFFFF].contains(v))
+        (0x0010u16..0xFFF0)
+            .prop_filter("non-cg", |v| ![0, 1, 2, 4, 8, 0xFFFF].contains(v))
             .prop_map(|v| format!("#{v:#06x}")),
         ((2u16..200), (4u8..=15)).prop_map(|(x, r)| format!("{:#06x}(r{})", x * 2, r)),
     ];
@@ -26,8 +27,17 @@ fn instruction() -> impl Strategy<Value = String> {
         ((2u16..200), (4u8..=15)).prop_map(|(x, r)| format!("{:#06x}(r{})", x * 2, r)),
     ];
     let two_op = prop_oneof![
-        Just("mov"), Just("add"), Just("addc"), Just("sub"), Just("subc"),
-        Just("cmp"), Just("bit"), Just("bic"), Just("bis"), Just("xor"), Just("and"),
+        Just("mov"),
+        Just("add"),
+        Just("addc"),
+        Just("sub"),
+        Just("subc"),
+        Just("cmp"),
+        Just("bit"),
+        Just("bic"),
+        Just("bis"),
+        Just("xor"),
+        Just("and"),
     ];
     let one_op = prop_oneof![Just("rrc"), Just("rra"), Just("swpb"), Just("push")];
     prop_oneof![
@@ -63,7 +73,7 @@ proptest! {
     }
 
     #[test]
-    fn alu_add_matches_oracle(a: u16, b: u16) {
+    fn alu_add_matches_oracle(a in any::<u16>(), b in any::<u16>()) {
         let src = format!(
             ".org 0xF000\nstart: mov #{a:#06x}, r4\nadd #{b:#06x}, r4\nhalt: jmp halt\n.vector reset, start\n"
         );
@@ -84,7 +94,7 @@ proptest! {
     }
 
     #[test]
-    fn alu_sub_and_cmp_agree(a: u16, b: u16) {
+    fn alu_sub_and_cmp_agree(a in any::<u16>(), b in any::<u16>()) {
         // CMP must set the same flags SUB does, without writing the result.
         let src_sub = format!(
             ".org 0xF000\nstart: mov #{a:#06x}, r4\nsub #{b:#06x}, r4\nhalt: jmp halt\n.vector reset, start\n"
@@ -110,7 +120,7 @@ proptest! {
     }
 
     #[test]
-    fn logic_ops_match_oracle(a: u16, b: u16) {
+    fn logic_ops_match_oracle(a in any::<u16>(), b in any::<u16>()) {
         for (mn, expect) in [("bis", a | b), ("bic", a & !b), ("xor", a ^ b), ("and", a & b)] {
             let src = format!(
                 ".org 0xF000\nstart: mov #{a:#06x}, r4\n{mn} #{b:#06x}, r4\nhalt: jmp halt\n.vector reset, start\n"
@@ -128,7 +138,7 @@ proptest! {
     }
 
     #[test]
-    fn swpb_sxt_push_pop_oracle(v: u16) {
+    fn swpb_sxt_push_pop_oracle(v in any::<u16>()) {
         let src = format!(
             ".org 0xF000\nstart: mov #0x0A00, sp\nmov #{v:#06x}, r4\npush r4\nswpb r4\npop r5\nhalt: jmp halt\n.vector reset, start\n"
         );
@@ -145,7 +155,7 @@ proptest! {
     }
 
     #[test]
-    fn memory_word_round_trip_through_cpu(addr in (0x0200u16..0x03FE), v: u16) {
+    fn memory_word_round_trip_through_cpu(addr in (0x0200u16..0x03FE), v in any::<u16>()) {
         let addr = addr & !1;
         let src = format!(
             ".org 0xF000\nstart: mov #{v:#06x}, &{addr:#06x}\nmov &{addr:#06x}, r5\nhalt: jmp halt\n.vector reset, start\n"

@@ -11,7 +11,7 @@ use crate::{Conversion, PowerError, Result};
 use picocube_units::{Amps, Ohms, Volts, Watts};
 
 /// Operating mode of the charge pump.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PumpMode {
     /// Full-performance mode: fast switching, high quiescent current.
     Active,
@@ -50,18 +50,34 @@ impl ChargePump {
         snooze_current_limit: Amps,
     ) -> Result<Self> {
         if gain <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "gain must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "gain must be positive",
+            });
         }
         if vin_min.value() <= 0.0 || vin_max < vin_min {
-            return Err(PowerError::InvalidParameter { what: "invalid input voltage range" });
+            return Err(PowerError::InvalidParameter {
+                what: "invalid input voltage range",
+            });
         }
         if rout.value() < 0.0 || iq_active.value() < 0.0 || iq_snooze.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "negative impedance or quiescent" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative impedance or quiescent",
+            });
         }
         if snooze_current_limit.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "snooze limit must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "snooze limit must be positive",
+            });
         }
-        Ok(Self { gain, vin_min, vin_max, rout, iq_active, iq_snooze, snooze_current_limit })
+        Ok(Self {
+            gain,
+            vin_min,
+            vin_max,
+            rout,
+            iq_active,
+            iq_snooze,
+            snooze_current_limit,
+        })
     }
 
     /// The TPS60313-class part on the PicoCube sensor board: a voltage
@@ -117,7 +133,9 @@ impl ChargePump {
             });
         }
         if iout.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "load current must be non-negative" });
+            return Err(PowerError::InvalidParameter {
+                what: "load current must be non-negative",
+            });
         }
         let vout = Volts::new(self.gain * vin.value()) - self.rout * iout;
         if vout.value() <= 0.0 {
@@ -153,7 +171,9 @@ mod tests {
     #[test]
     fn doubles_the_battery_bus() {
         let pump = ChargePump::tps60313();
-        let op = pump.convert(Volts::new(1.2), Amps::from_micro(100.0)).unwrap();
+        let op = pump
+            .convert(Volts::new(1.2), Amps::from_micro(100.0))
+            .unwrap();
         // 2.4 V minus a small IR drop, comfortably above the 2.1 V floor.
         assert!(op.vout > Volts::new(2.1) && op.vout < Volts::new(2.4));
     }
@@ -161,14 +181,18 @@ mod tests {
     #[test]
     fn input_current_is_gain_times_load_plus_quiescent() {
         let pump = ChargePump::tps60313();
-        let op = pump.convert(Volts::new(1.2), Amps::from_micro(100.0)).unwrap();
+        let op = pump
+            .convert(Volts::new(1.2), Amps::from_micro(100.0))
+            .unwrap();
         assert!((op.iin.micro() - (200.0 + 0.5)).abs() < 1e-9);
     }
 
     #[test]
     fn efficiency_near_vout_over_gain_vin_under_load() {
         let pump = ChargePump::tps60313();
-        let op = pump.convert(Volts::new(1.2), Amps::from_milli(1.0)).unwrap();
+        let op = pump
+            .convert(Volts::new(1.2), Amps::from_milli(1.0))
+            .unwrap();
         // Linear-extrinsic SC efficiency bound: vout / (gain · vin).
         let bound = op.vout.value() / (2.0 * 1.2);
         assert!((op.efficiency() - bound).abs() < 0.05);
@@ -195,8 +219,14 @@ mod tests {
         // At 10 µA load, the snooze pump wastes only 0.5 µA of quiescent;
         // a pump stuck in active mode would burn 45 µA and crater.
         let pump = ChargePump::tps60313();
-        let op = pump.convert(Volts::new(1.2), Amps::from_micro(10.0)).unwrap();
-        assert!(op.efficiency() > 0.9, "snooze efficiency {:.3}", op.efficiency());
+        let op = pump
+            .convert(Volts::new(1.2), Amps::from_micro(10.0))
+            .unwrap();
+        assert!(
+            op.efficiency() > 0.9,
+            "snooze efficiency {:.3}",
+            op.efficiency()
+        );
         let active_iin = 2.0 * 10.0 + 45.0; // µA
         let active_eff = (op.vout.value() * 10.0) / (1.2 * active_iin);
         assert!(active_eff < 0.35);

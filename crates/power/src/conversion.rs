@@ -9,7 +9,7 @@ use picocube_units::{Amps, Volts, Watts};
 /// for the delivered output voltage, the input current drawn, and the loss
 /// breakdown. Chaining converters is then just feeding one stage's `iin`
 /// into the previous stage's load.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Conversion {
     /// Delivered output voltage.
     pub vout: Volts,
@@ -52,7 +52,13 @@ impl Conversion {
     /// `Pin − Pout` (clamped at zero against rounding).
     pub fn from_terminals(vin: Volts, iin: Amps, vout: Volts, iout: Amps) -> Self {
         let loss = Watts::new((vin * iin - vout * iout).value().max(0.0));
-        Self { vin, iin, vout, iout, loss }
+        Self {
+            vin,
+            iin,
+            vout,
+            iout,
+            loss,
+        }
     }
 }
 
@@ -90,7 +96,8 @@ mod tests {
 
     #[test]
     fn zero_input_is_zero_efficiency() {
-        let c = Conversion::from_terminals(Volts::new(1.2), Amps::ZERO, Volts::new(1.0), Amps::ZERO);
+        let c =
+            Conversion::from_terminals(Volts::new(1.2), Amps::ZERO, Volts::new(1.0), Amps::ZERO);
         assert_eq!(c.efficiency(), 0.0);
     }
 

@@ -28,7 +28,7 @@ pub struct PowerInterfaceIc {
 
 /// Power drawn from the battery bus by one radio-rail operating point,
 /// decomposed by stage.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioRailOperatingPoint {
     /// 3:2 converter stage operating point (battery → ~0.8 V).
     pub sc_stage: Conversion,
@@ -116,7 +116,10 @@ impl PowerInterfaceIc {
             .regulate(vbat, self.post_regulator.min_input(), ldo_iin)
             .or_else(|_| self.radio_converter.convert_optimal(vbat, ldo_iin))?;
         let ldo_stage = self.post_regulator.convert(sc_stage.vout, iout)?;
-        Ok(RadioRailOperatingPoint { sc_stage, ldo_stage })
+        Ok(RadioRailOperatingPoint {
+            sc_stage,
+            ldo_stage,
+        })
     }
 
     /// Standing battery current with all loads asleep: pad-ring leakage

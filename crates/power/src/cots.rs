@@ -27,7 +27,7 @@ pub struct CotsPowerChain {
 }
 
 /// Sleep-state battery draw decomposed by contributor.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SleepBudget {
     /// Charge-pump snooze quiescent, at the battery.
     pub pump_quiescent: Amps,
@@ -202,7 +202,9 @@ mod tests {
     #[test]
     fn digital_rail_from_gpio() {
         let chain = CotsPowerChain::paper();
-        let op = chain.supply_radio_digital(Volts::new(2.4), Amps::from_micro(300.0)).unwrap();
+        let op = chain
+            .supply_radio_digital(Volts::new(2.4), Amps::from_micro(300.0))
+            .unwrap();
         assert!((op.vout.value() - 1.0).abs() < 0.01);
     }
 

@@ -3,7 +3,7 @@
 use picocube_units::{Amps, Volts};
 
 /// An invalid or unreachable converter operating point.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum PowerError {
     /// The input voltage is outside the block's rated range.
@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_and_informative() {
-        let e = PowerError::DropoutViolation { vin: Volts::new(0.7), required: Volts::new(0.8) };
+        let e = PowerError::DropoutViolation {
+            vin: Volts::new(0.7),
+            required: Volts::new(0.8),
+        };
         let msg = format!("{e}");
         assert!(msg.starts_with("input"));
         assert!(msg.contains("0.700"));

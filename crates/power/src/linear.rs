@@ -38,15 +38,28 @@ impl LinearRegulator {
         i_limit: Amps,
     ) -> Result<Self> {
         if vout_set.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "setpoint must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "setpoint must be positive",
+            });
         }
         if dropout.value() < 0.0 || iq_on.value() < 0.0 || iq_shutdown.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "negative dropout or quiescent" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative dropout or quiescent",
+            });
         }
         if i_limit.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "current limit must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "current limit must be positive",
+            });
         }
-        Ok(Self { vout_set, dropout, iq_on, iq_shutdown, i_limit, enabled: true })
+        Ok(Self {
+            vout_set,
+            dropout,
+            iq_on,
+            iq_shutdown,
+            i_limit,
+            enabled: true,
+        })
     }
 
     /// The LT3020-class part on the switch board, set to 0.65 V: 100 mV
@@ -118,11 +131,16 @@ impl LinearRegulator {
     ///   or any load is demanded while disabled.
     pub fn convert(&self, vin: Volts, iout: Amps) -> Result<Conversion> {
         if iout.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "load current must be non-negative" });
+            return Err(PowerError::InvalidParameter {
+                what: "load current must be non-negative",
+            });
         }
         if !self.enabled {
             if iout.value() > 0.0 {
-                return Err(PowerError::OverCurrent { demanded: iout, limit: Amps::ZERO });
+                return Err(PowerError::OverCurrent {
+                    demanded: iout,
+                    limit: Amps::ZERO,
+                });
             }
             return Ok(Conversion {
                 vin,
@@ -133,10 +151,16 @@ impl LinearRegulator {
             });
         }
         if vin < self.min_input() {
-            return Err(PowerError::DropoutViolation { vin, required: self.min_input() });
+            return Err(PowerError::DropoutViolation {
+                vin,
+                required: self.min_input(),
+            });
         }
         if iout > self.i_limit {
-            return Err(PowerError::OverCurrent { demanded: iout, limit: self.i_limit });
+            return Err(PowerError::OverCurrent {
+                demanded: iout,
+                limit: self.i_limit,
+            });
         }
         // Series-pass element: the full load current flows from input to
         // output; the (vin − vout) headroom plus the ground current burn.
@@ -161,7 +185,9 @@ mod tests {
     fn efficiency_is_vout_over_vin_for_heavy_load() {
         // Linear regulator ceiling: η → vout/vin as load ≫ Iq.
         let ldo = LinearRegulator::lt3020_rf_rail();
-        let op = ldo.convert(Volts::new(1.2), Amps::from_milli(50.0)).unwrap();
+        let op = ldo
+            .convert(Volts::new(1.2), Amps::from_milli(50.0))
+            .unwrap();
         assert!((op.efficiency() - 0.65 / 1.2).abs() < 0.01);
     }
 
@@ -171,7 +197,9 @@ mod tests {
         let r = ldo.convert(Volts::from_milli(700.0), Amps::from_milli(1.0));
         assert!(matches!(r, Err(PowerError::DropoutViolation { .. })));
         // 0.75 V exactly meets vout + dropout.
-        assert!(ldo.convert(Volts::from_milli(750.0), Amps::from_milli(1.0)).is_ok());
+        assert!(ldo
+            .convert(Volts::from_milli(750.0), Amps::from_milli(1.0))
+            .is_ok());
     }
 
     #[test]
@@ -216,7 +244,9 @@ mod tests {
     #[test]
     fn post_regulator_trims_sc_output() {
         let post = LinearRegulator::ic_post_regulator();
-        let op = post.convert(Volts::from_milli(800.0), Amps::from_milli(2.0)).unwrap();
+        let op = post
+            .convert(Volts::from_milli(800.0), Amps::from_milli(2.0))
+            .unwrap();
         assert_eq!(op.vout, Volts::from_milli(650.0));
         // 0.65/0.8 ≈ 81 % — the price of ripple smoothing after the 3:2.
         assert!((op.efficiency() - 0.8122).abs() < 0.01);

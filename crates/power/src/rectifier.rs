@@ -58,10 +58,14 @@ pub trait Rectifier {
 
 fn validate(pin: Watts, vbat: Volts) -> Result<()> {
     if pin.value() < 0.0 || !pin.is_finite() {
-        return Err(PowerError::InvalidParameter { what: "input power must be non-negative" });
+        return Err(PowerError::InvalidParameter {
+            what: "input power must be non-negative",
+        });
     }
     if vbat.value() <= 0.0 || !vbat.is_finite() {
-        return Err(PowerError::InvalidParameter { what: "storage voltage must be positive" });
+        return Err(PowerError::InvalidParameter {
+            what: "storage voltage must be positive",
+        });
     }
     Ok(())
 }
@@ -101,20 +105,26 @@ impl DiodeBridge {
     /// Returns [`PowerError::InvalidParameter`] if the drop is negative.
     pub fn new(forward_drop: Volts) -> Result<Self> {
         if forward_drop.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "diode drop must be non-negative" });
+            return Err(PowerError::InvalidParameter {
+                what: "diode drop must be non-negative",
+            });
         }
         Ok(Self { forward_drop })
     }
 
     /// Schottky bridge with 0.25 V per-diode drop (the storage-board part).
     pub fn schottky() -> Self {
-        Self { forward_drop: Volts::from_milli(250.0) }
+        Self {
+            forward_drop: Volts::from_milli(250.0),
+        }
     }
 
     /// Silicon junction bridge with 0.6 V per-diode drop (worst case the
     /// synchronous rectifier is motivated against).
     pub fn silicon() -> Self {
-        Self { forward_drop: Volts::from_milli(600.0) }
+        Self {
+            forward_drop: Volts::from_milli(600.0),
+        }
     }
 
     /// Per-diode forward drop.
@@ -169,15 +179,25 @@ impl SynchronousRectifier {
     /// `(0, 1]`.
     pub fn new(rds_on: Ohms, control_power: Watts, conduction_duty: f64) -> Result<Self> {
         if rds_on.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "rds_on must be non-negative" });
+            return Err(PowerError::InvalidParameter {
+                what: "rds_on must be non-negative",
+            });
         }
         if control_power.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "control power must be non-negative" });
+            return Err(PowerError::InvalidParameter {
+                what: "control power must be non-negative",
+            });
         }
         if !(0.0..=1.0).contains(&conduction_duty) || conduction_duty == 0.0 {
-            return Err(PowerError::InvalidParameter { what: "conduction duty must be in (0, 1]" });
+            return Err(PowerError::InvalidParameter {
+                what: "conduction duty must be in (0, 1]",
+            });
         }
-        Ok(Self { rds_on, control_power, conduction_duty })
+        Ok(Self {
+            rds_on,
+            control_power,
+            conduction_duty,
+        })
     }
 
     /// The paper-calibrated instance: 10 Ω switches, 6 µW of comparator and
@@ -201,9 +221,8 @@ impl SynchronousRectifier {
     pub fn peak_efficiency_input(&self, vbat: Volts) -> Watts {
         let v2 = vbat.value() * vbat.value();
         Watts::new(
-            (self.control_power.value() * v2 * self.conduction_duty
-                / (2.0 * self.rds_on.value()))
-            .sqrt(),
+            (self.control_power.value() * v2 * self.conduction_duty / (2.0 * self.rds_on.value()))
+                .sqrt(),
         )
     }
 }
@@ -245,7 +264,10 @@ mod tests {
         let v = Volts::new(1.2);
         let e_sync = sync.efficiency(pin, v).unwrap();
         let e_bridge = bridge.efficiency(pin, v).unwrap();
-        assert!(e_sync > e_bridge, "sync {e_sync:.3} vs bridge {e_bridge:.3}");
+        assert!(
+            e_sync > e_bridge,
+            "sync {e_sync:.3} vs bridge {e_bridge:.3}"
+        );
         // The Schottky bridge loses vbat/(vbat+0.5) -> ~70.6 %.
         assert!((e_bridge - 1.2 / 1.7).abs() < 1e-9);
     }
@@ -253,7 +275,9 @@ mod tests {
     #[test]
     fn silicon_bridge_loses_half() {
         let bridge = DiodeBridge::silicon();
-        let eff = bridge.efficiency(Watts::from_micro(450.0), Volts::new(1.2)).unwrap();
+        let eff = bridge
+            .efficiency(Watts::from_micro(450.0), Volts::new(1.2))
+            .unwrap();
         assert!((eff - 0.5).abs() < 1e-9);
     }
 
@@ -276,7 +300,9 @@ mod tests {
     fn control_power_dominates_at_low_input() {
         let sync = SynchronousRectifier::paper();
         // Below the control overhead nothing is delivered.
-        let out = sync.deliver(Watts::from_micro(5.0), Volts::new(1.2)).unwrap();
+        let out = sync
+            .deliver(Watts::from_micro(5.0), Volts::new(1.2))
+            .unwrap();
         assert_eq!(out, Watts::ZERO);
     }
 
@@ -284,13 +310,19 @@ mod tests {
     fn ideal_rectifier_is_lossless() {
         let pin = Watts::from_micro(123.0);
         assert_eq!(IdealRectifier.deliver(pin, Volts::new(1.2)).unwrap(), pin);
-        assert_eq!(IdealRectifier.efficiency(pin, Volts::new(1.2)).unwrap(), 1.0);
+        assert_eq!(
+            IdealRectifier.efficiency(pin, Volts::new(1.2)).unwrap(),
+            1.0
+        );
     }
 
     #[test]
     fn zero_input_zero_everything() {
         let sync = SynchronousRectifier::paper();
-        assert_eq!(sync.deliver(Watts::ZERO, Volts::new(1.2)).unwrap(), Watts::ZERO);
+        assert_eq!(
+            sync.deliver(Watts::ZERO, Volts::new(1.2)).unwrap(),
+            Watts::ZERO
+        );
         assert_eq!(sync.efficiency(Watts::ZERO, Volts::new(1.2)).unwrap(), 0.0);
     }
 

@@ -38,12 +38,22 @@ impl CurrentReference {
         mirror_branches: u32,
     ) -> Result<Self> {
         if nominal.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "nominal current must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "nominal current must be positive",
+            });
         }
         if mirror_branches == 0 {
-            return Err(PowerError::InvalidParameter { what: "at least one mirror branch" });
+            return Err(PowerError::InvalidParameter {
+                what: "at least one mirror branch",
+            });
         }
-        Ok(Self { nominal, temp_coefficient, supply_sensitivity, nominal_vdd, mirror_branches })
+        Ok(Self {
+            nominal,
+            temp_coefficient,
+            supply_sensitivity,
+            nominal_vdd,
+            mirror_branches,
+        })
     }
 
     /// The paper's instance: 18 nA, mild temperature dependence
@@ -107,15 +117,26 @@ impl SampledBandgap {
         droop_rate: f64,
     ) -> Result<Self> {
         if vref.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "vref must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "vref must be positive",
+            });
         }
         if energy_per_sample.value() <= 0.0 || refresh_interval.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "sample energy/interval must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "sample energy/interval must be positive",
+            });
         }
         if droop_rate < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "negative droop rate" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative droop rate",
+            });
         }
-        Ok(Self { vref, energy_per_sample, refresh_interval, droop_rate })
+        Ok(Self {
+            vref,
+            energy_per_sample,
+            refresh_interval,
+            droop_rate,
+        })
     }
 
     /// The paper-class instance: 0.6 V reference, 10 nJ per refresh every
@@ -215,8 +236,19 @@ mod tests {
     #[test]
     fn constructor_validation() {
         assert!(CurrentReference::new(Amps::ZERO, 0.0, 0.0, Volts::new(1.2), 1).is_err());
-        assert!(CurrentReference::new(Amps::from_nano(18.0), 0.0, 0.0, Volts::new(1.2), 0).is_err());
-        assert!(SampledBandgap::new(Volts::ZERO, Joules::from_nano(1.0), Seconds::new(0.1), 0.0).is_err());
-        assert!(SampledBandgap::new(Volts::new(0.6), Joules::from_nano(1.0), Seconds::new(0.1), -1.0).is_err());
+        assert!(
+            CurrentReference::new(Amps::from_nano(18.0), 0.0, 0.0, Volts::new(1.2), 0).is_err()
+        );
+        assert!(
+            SampledBandgap::new(Volts::ZERO, Joules::from_nano(1.0), Seconds::new(0.1), 0.0)
+                .is_err()
+        );
+        assert!(SampledBandgap::new(
+            Volts::new(0.6),
+            Joules::from_nano(1.0),
+            Seconds::new(0.1),
+            -1.0
+        )
+        .is_err());
     }
 }

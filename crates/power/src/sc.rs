@@ -68,20 +68,30 @@ impl ScTopology {
         bottom_plate_swing: f64,
     ) -> Result<Self> {
         if ratio <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "ratio must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "ratio must be positive",
+            });
         }
         if caps.is_empty() {
-            return Err(PowerError::InvalidParameter { what: "topology needs flying capacitors" });
+            return Err(PowerError::InvalidParameter {
+                what: "topology needs flying capacitors",
+            });
         }
         if caps.iter().any(|&(_, c)| c.value() <= 0.0) {
-            return Err(PowerError::InvalidParameter { what: "capacitances must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "capacitances must be positive",
+            });
         }
         if switches.iter().any(|&(_, r)| r.value() < 0.0) {
-            return Err(PowerError::InvalidParameter { what: "negative switch resistance" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative switch resistance",
+            });
         }
         if !(0.0..=1.0).contains(&bottom_plate_alpha) || !(0.0..=1.0).contains(&bottom_plate_swing)
         {
-            return Err(PowerError::InvalidParameter { what: "parasitic fractions out of range" });
+            return Err(PowerError::InvalidParameter {
+                what: "parasitic fractions out of range",
+            });
         }
         let cap_stress = vec![1.0; caps.len()];
         let switch_stress = vec![1.0; switches.len()];
@@ -108,10 +118,14 @@ impl ScTopology {
     /// the capacitor/switch counts or contain non-positive entries.
     pub fn with_stress(mut self, cap_stress: Vec<f64>, switch_stress: Vec<f64>) -> Result<Self> {
         if cap_stress.len() != self.caps.len() || switch_stress.len() != self.switches.len() {
-            return Err(PowerError::InvalidParameter { what: "stress vector length mismatch" });
+            return Err(PowerError::InvalidParameter {
+                what: "stress vector length mismatch",
+            });
         }
         if cap_stress.iter().chain(&switch_stress).any(|&s| s <= 0.0) {
-            return Err(PowerError::InvalidParameter { what: "stress must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "stress must be positive",
+            });
         }
         self.cap_stress = cap_stress;
         self.switch_stress = switch_stress;
@@ -177,8 +191,11 @@ impl ScTopology {
 
     /// Gate-drive loss at `f_sw`: `f · Σ C_g · V_g²`.
     pub fn gate_loss(&self, f_sw: Hertz) -> Watts {
-        let per_cycle: f64 =
-            self.gates.iter().map(|&(c, v)| c.value() * v.value() * v.value()).sum();
+        let per_cycle: f64 = self
+            .gates
+            .iter()
+            .map(|&(c, v)| c.value() * v.value() * v.value())
+            .sum();
         Watts::new(per_cycle * f_sw.value())
     }
 
@@ -233,7 +250,10 @@ impl ScTopology {
         Self {
             name: "3:2 step-down (fig 10b)".into(),
             ratio: 2.0 / 3.0,
-            caps: vec![(third, Farads::from_nano(3.0)), (third, Farads::from_nano(3.0))],
+            caps: vec![
+                (third, Farads::from_nano(3.0)),
+                (third, Farads::from_nano(3.0)),
+            ],
             switches: vec![(third, Ohms::new(3.0)); 7],
             gates: vec![(Farads::new(0.5e-12), Volts::new(1.2)); 7],
             bottom_plate_alpha: 0.01,
@@ -260,19 +280,30 @@ impl ScConverter {
     /// Returns [`PowerError::InvalidParameter`] if `iq_control` is negative.
     pub fn new(topology: ScTopology, iq_control: Amps) -> Result<Self> {
         if iq_control.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "negative control current" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative control current",
+            });
         }
-        Ok(Self { topology, iq_control })
+        Ok(Self {
+            topology,
+            iq_control,
+        })
     }
 
     /// The Fig. 10(a) doubler with its 2 µA controller.
     pub fn paper_1to2() -> Self {
-        Self { topology: ScTopology::paper_1to2(), iq_control: Amps::from_micro(2.0) }
+        Self {
+            topology: ScTopology::paper_1to2(),
+            iq_control: Amps::from_micro(2.0),
+        }
     }
 
     /// The Fig. 10(b) 3:2 step-down with its 2 µA controller.
     pub fn paper_3to2_down() -> Self {
-        Self { topology: ScTopology::paper_3to2_down(), iq_control: Amps::from_micro(2.0) }
+        Self {
+            topology: ScTopology::paper_3to2_down(),
+            iq_control: Amps::from_micro(2.0),
+        }
     }
 
     /// The underlying topology.
@@ -290,13 +321,19 @@ impl ScConverter {
     ///   output voltage.
     pub fn convert(&self, vin: Volts, iout: Amps, f_sw: Hertz) -> Result<Conversion> {
         if vin.value() <= 0.0 || !vin.is_finite() {
-            return Err(PowerError::InvalidParameter { what: "input voltage must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "input voltage must be positive",
+            });
         }
         if f_sw.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "switching frequency must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "switching frequency must be positive",
+            });
         }
         if iout.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "load current must be non-negative" });
+            return Err(PowerError::InvalidParameter {
+                what: "load current must be non-negative",
+            });
         }
         let t = &self.topology;
         let r_out = t.r_out(f_sw);
@@ -311,7 +348,13 @@ impl ScConverter {
         let loss = conduction + gate + bottom + control;
         let pout = vout * iout;
         let iin = (pout + loss) / vin;
-        Ok(Conversion { vin, iin, vout, iout, loss })
+        Ok(Conversion {
+            vin,
+            iin,
+            vout,
+            iout,
+            loss,
+        })
     }
 
     /// Finds the switching frequency that maximizes efficiency for a load,
@@ -383,7 +426,10 @@ impl ScConverter {
             } else {
                 Amps::ZERO
             };
-            return Err(PowerError::OverCurrent { demanded: iout, limit });
+            return Err(PowerError::OverCurrent {
+                demanded: iout,
+                limit,
+            });
         }
         // vout(f) is monotonically increasing in f; bisect in log space.
         let fx = t.crossover_frequency().value().max(1.0);
@@ -446,7 +492,9 @@ mod tests {
     fn paper_efficiency_exceeds_84_percent() {
         // §7.1: "the converters exceed 84 % efficiency".
         let doubler = ScConverter::paper_1to2();
-        let op = doubler.convert_optimal(VBAT, Amps::from_micro(200.0)).unwrap();
+        let op = doubler
+            .convert_optimal(VBAT, Amps::from_micro(200.0))
+            .unwrap();
         assert!(op.efficiency() > 0.84, "1:2 η = {:.3}", op.efficiency());
 
         let down = ScConverter::paper_3to2_down();
@@ -475,7 +523,9 @@ mod tests {
     #[test]
     fn regulation_hits_target_from_above() {
         let conv = ScConverter::paper_1to2();
-        let op = conv.regulate(VBAT, Volts::new(2.1), Amps::from_micro(500.0)).unwrap();
+        let op = conv
+            .regulate(VBAT, Volts::new(2.1), Amps::from_micro(500.0))
+            .unwrap();
         assert!((op.vout.value() - 2.1).abs() < 1e-3, "vout {}", op.vout);
     }
 
@@ -508,19 +558,41 @@ mod tests {
     #[test]
     fn energy_balance_is_exact() {
         let conv = ScConverter::paper_3to2_down();
-        let op = conv.convert(VBAT, Amps::from_milli(1.0), Hertz::from_mega(1.0)).unwrap();
+        let op = conv
+            .convert(VBAT, Amps::from_milli(1.0), Hertz::from_mega(1.0))
+            .unwrap();
         let balance = op.input_power().value() - op.output_power().value() - op.loss.value();
         assert!(balance.abs() < 1e-12);
     }
 
     #[test]
     fn invalid_parameters_rejected() {
-        assert!(ScTopology::new("x", 0.0, vec![(1.0, Farads::from_nano(1.0))], vec![], vec![], 0.0, 0.0).is_err());
+        assert!(ScTopology::new(
+            "x",
+            0.0,
+            vec![(1.0, Farads::from_nano(1.0))],
+            vec![],
+            vec![],
+            0.0,
+            0.0
+        )
+        .is_err());
         assert!(ScTopology::new("x", 1.0, vec![], vec![], vec![], 0.0, 0.0).is_err());
-        assert!(ScTopology::new("x", 1.0, vec![(1.0, Farads::ZERO)], vec![], vec![], 0.0, 0.0).is_err());
+        assert!(ScTopology::new(
+            "x",
+            1.0,
+            vec![(1.0, Farads::ZERO)],
+            vec![],
+            vec![],
+            0.0,
+            0.0
+        )
+        .is_err());
         assert!(ScConverter::new(ScTopology::paper_1to2(), Amps::new(-1.0)).is_err());
         let conv = ScConverter::paper_1to2();
-        assert!(conv.convert(Volts::ZERO, Amps::ZERO, Hertz::from_kilo(1.0)).is_err());
+        assert!(conv
+            .convert(Volts::ZERO, Amps::ZERO, Hertz::from_kilo(1.0))
+            .is_err());
         assert!(conv.convert(VBAT, Amps::ZERO, Hertz::ZERO).is_err());
     }
 }

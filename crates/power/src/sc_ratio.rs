@@ -32,10 +32,14 @@ pub fn series_parallel_step_up(
     switch_resistance: Ohms,
 ) -> Result<ScTopology> {
     if n < 2 {
-        return Err(PowerError::InvalidParameter { what: "step-up ratio needs n >= 2" });
+        return Err(PowerError::InvalidParameter {
+            what: "step-up ratio needs n >= 2",
+        });
     }
     if total_capacitance.value() <= 0.0 || switch_resistance.value() <= 0.0 {
-        return Err(PowerError::InvalidParameter { what: "capacitance/resistance must be positive" });
+        return Err(PowerError::InvalidParameter {
+            what: "capacitance/resistance must be positive",
+        });
     }
     let stages = (n - 1) as usize;
     let per_cap = total_capacitance / stages as f64;
@@ -64,10 +68,14 @@ pub fn series_parallel_step_down(
     switch_resistance: Ohms,
 ) -> Result<ScTopology> {
     if n < 2 {
-        return Err(PowerError::InvalidParameter { what: "step-down ratio needs n >= 2" });
+        return Err(PowerError::InvalidParameter {
+            what: "step-down ratio needs n >= 2",
+        });
     }
     if total_capacitance.value() <= 0.0 || switch_resistance.value() <= 0.0 {
-        return Err(PowerError::InvalidParameter { what: "capacitance/resistance must be positive" });
+        return Err(PowerError::InvalidParameter {
+            what: "capacitance/resistance must be positive",
+        });
     }
     let stages = (n - 1) as usize;
     let per_cap = total_capacitance / stages as f64;
@@ -103,10 +111,14 @@ pub fn dickson_step_up(
     switch_resistance: Ohms,
 ) -> Result<ScTopology> {
     if n < 2 {
-        return Err(PowerError::InvalidParameter { what: "step-up ratio needs n >= 2" });
+        return Err(PowerError::InvalidParameter {
+            what: "step-up ratio needs n >= 2",
+        });
     }
     if total_capacitance.value() <= 0.0 || switch_resistance.value() <= 0.0 {
-        return Err(PowerError::InvalidParameter { what: "capacitance/resistance must be positive" });
+        return Err(PowerError::InvalidParameter {
+            what: "capacitance/resistance must be positive",
+        });
     }
     let stages = (n - 1) as usize;
     let per_cap = total_capacitance / stages as f64;
@@ -147,7 +159,13 @@ pub fn series_parallel_step_up_stressed(
     // One third of the switches sit on the series (output) side and block
     // the stacked voltage; the rest see ~1·vin.
     let switch_stress: Vec<f64> = (0..switches)
-        .map(|i| if i % 3 == 2 { f64::from(n - 1).max(1.0) } else { 1.0 })
+        .map(|i| {
+            if i % 3 == 2 {
+                f64::from(n - 1).max(1.0)
+            } else {
+                1.0
+            }
+        })
         .collect();
     topo.with_stress(cap_stress, switch_stress)
 }
@@ -166,7 +184,9 @@ impl VariableRatioConverter {
     /// Returns [`PowerError::InvalidParameter`] if the bank is empty.
     pub fn new(gears: Vec<ScConverter>) -> Result<Self> {
         if gears.is_empty() {
-            return Err(PowerError::InvalidParameter { what: "need at least one gear" });
+            return Err(PowerError::InvalidParameter {
+                what: "need at least one gear",
+            });
         }
         Ok(Self { gears })
     }
@@ -229,17 +249,22 @@ impl VariableRatioConverter {
     ///   target from this input.
     /// * Propagates the gear's regulation errors.
     pub fn convert(&self, vin: Volts, vout_target: Volts, iout: Amps) -> Result<Conversion> {
-        let gear = self.best_gear(vin, vout_target).ok_or(PowerError::InputOutOfRange {
-            vin,
-            min: Volts::new(vout_target.value() / self.max_ratio()),
-            max: Volts::new(f64::INFINITY),
-        })?;
+        let gear = self
+            .best_gear(vin, vout_target)
+            .ok_or(PowerError::InputOutOfRange {
+                vin,
+                min: Volts::new(vout_target.value() / self.max_ratio()),
+                max: Volts::new(f64::INFINITY),
+            })?;
         gear.regulate(vin, vout_target, iout)
     }
 
     /// The largest ideal ratio in the bank.
     pub fn max_ratio(&self) -> f64 {
-        self.gears.iter().map(|g| g.topology().ratio()).fold(0.0, f64::max)
+        self.gears
+            .iter()
+            .map(|g| g.topology().ratio())
+            .fold(0.0, f64::max)
     }
 }
 
@@ -259,7 +284,9 @@ fn unity_gear(c: Farads, r: Ohms) -> Result<ScTopology> {
 /// A `1/n` step-down built as the mirror of the 1:n step-up.
 fn inverse_ratio(n: u32, c: Farads, r: Ohms) -> Result<ScTopology> {
     if n < 2 {
-        return Err(PowerError::InvalidParameter { what: "inverse ratio needs n >= 2" });
+        return Err(PowerError::InvalidParameter {
+            what: "inverse ratio needs n >= 2",
+        });
     }
     let stages = (n - 1) as usize;
     // Mirrored step-up: output charge multipliers scale with the ratio.
@@ -295,9 +322,7 @@ mod tests {
         // The paper's 1:2 is series_parallel_step_up(2); its 3:2 is
         // series_parallel_step_down(3). Ratios must agree.
         assert_eq!(series_parallel_step_up(2, C, R).unwrap().ratio(), 2.0);
-        assert!(
-            (series_parallel_step_down(3, C, R).unwrap().ratio() - 2.0 / 3.0).abs() < 1e-12
-        );
+        assert!((series_parallel_step_down(3, C, R).unwrap().ratio() - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -305,13 +330,25 @@ mod tests {
         // §7.1: "large-ratio conversions are possible" — a 1:4 gear can
         // make 4.4 V from the 1.2 V cell, at lower efficiency than the 1:2
         // (more charge-multiplier squared per output charge).
-        let double = ScConverter::new(series_parallel_step_up(2, C, R).unwrap(), Amps::from_micro(1.0)).unwrap();
-        let quad = ScConverter::new(series_parallel_step_up(4, C, R).unwrap(), Amps::from_micro(1.0)).unwrap();
+        let double = ScConverter::new(
+            series_parallel_step_up(2, C, R).unwrap(),
+            Amps::from_micro(1.0),
+        )
+        .unwrap();
+        let quad = ScConverter::new(
+            series_parallel_step_up(4, C, R).unwrap(),
+            Amps::from_micro(1.0),
+        )
+        .unwrap();
         let load = Amps::from_micro(200.0);
         let e2 = double.convert_optimal(Volts::new(1.2), load).unwrap();
         let e4 = quad.convert_optimal(Volts::new(1.2), load).unwrap();
         assert!(e4.vout > Volts::new(4.0), "1:4 vout {}", e4.vout);
-        assert!(e4.efficiency() > 0.6, "large ratio still works: {:.2}", e4.efficiency());
+        assert!(
+            e4.efficiency() > 0.6,
+            "large ratio still works: {:.2}",
+            e4.efficiency()
+        );
         assert!(e2.efficiency() > e4.efficiency());
     }
 
@@ -330,7 +367,9 @@ mod tests {
             (4.0, 1.0 / 3.0),
         ];
         for (vin, want_ratio) in expect {
-            let gear = bank.best_gear(Volts::new(vin), target).expect("gear exists");
+            let gear = bank
+                .best_gear(Volts::new(vin), target)
+                .expect("gear exists");
             assert!(
                 (gear.topology().ratio() - want_ratio).abs() < 1e-9,
                 "vin {vin}: picked {} (ratio {}), wanted {want_ratio}",
@@ -346,15 +385,28 @@ mod tests {
         // scavenger's voltage swing, switching gears preserves efficiency
         // where a fixed doubler must burn the mismatch.
         let bank = VariableRatioConverter::scavenger_bank().unwrap();
-        let fixed = ScConverter::new(series_parallel_step_up(2, C, R).unwrap(), Amps::from_micro(1.0)).unwrap();
+        let fixed = ScConverter::new(
+            series_parallel_step_up(2, C, R).unwrap(),
+            Amps::from_micro(1.0),
+        )
+        .unwrap();
         let target = Volts::new(1.25);
         let load = Amps::from_milli(1.0);
         let mut bank_eff = Vec::new();
         let mut fixed_eff = Vec::new();
         for vin_v in [0.7, 0.9, 1.1, 1.5, 2.0, 3.0] {
             let vin = Volts::new(vin_v);
-            bank_eff.push(bank.convert(vin, target, load).map(|c| c.efficiency()).unwrap_or(0.0));
-            fixed_eff.push(fixed.regulate(vin, target, load).map(|c| c.efficiency()).unwrap_or(0.0));
+            bank_eff.push(
+                bank.convert(vin, target, load)
+                    .map(|c| c.efficiency())
+                    .unwrap_or(0.0),
+            );
+            fixed_eff.push(
+                fixed
+                    .regulate(vin, target, load)
+                    .map(|c| c.efficiency())
+                    .unwrap_or(0.0),
+            );
         }
         let bank_avg: f64 = bank_eff.iter().sum::<f64>() / bank_eff.len() as f64;
         let fixed_avg: f64 = fixed_eff.iter().sum::<f64>() / fixed_eff.len() as f64;
@@ -417,9 +469,11 @@ mod tests {
 
     #[test]
     fn dickson_converts_like_its_ratio() {
-        let conv = ScConverter::new(dickson_step_up(3, C, R).unwrap(), Amps::from_micro(1.0))
+        let conv =
+            ScConverter::new(dickson_step_up(3, C, R).unwrap(), Amps::from_micro(1.0)).unwrap();
+        let op = conv
+            .convert_optimal(Volts::new(1.2), Amps::from_micro(100.0))
             .unwrap();
-        let op = conv.convert_optimal(Volts::new(1.2), Amps::from_micro(100.0)).unwrap();
         assert!(op.vout > Volts::new(3.3) && op.vout < Volts::new(3.6));
         assert!(op.efficiency() > 0.7);
     }
@@ -429,14 +483,19 @@ mod tests {
         // A 1:2 series-parallel has one flying cap and 3·1+1 = 4 switches.
         let topo = series_parallel_step_up(2, C, R).unwrap();
         assert!(topo.clone().with_stress(vec![1.0], vec![1.0; 4]).is_ok());
-        assert!(topo.clone().with_stress(vec![1.0, 1.0], vec![1.0; 4]).is_err());
+        assert!(topo
+            .clone()
+            .with_stress(vec![1.0, 1.0], vec![1.0; 4])
+            .is_err());
         assert!(topo.with_stress(vec![-1.0], vec![1.0; 4]).is_err());
     }
 
     #[test]
     fn regulation_through_the_bank_hits_target() {
         let bank = VariableRatioConverter::scavenger_bank().unwrap();
-        let op = bank.convert(Volts::new(2.0), Volts::new(1.25), Amps::from_micro(500.0)).unwrap();
+        let op = bank
+            .convert(Volts::new(2.0), Volts::new(1.25), Amps::from_micro(500.0))
+            .unwrap();
         assert!((op.vout.value() - 1.25).abs() < 2e-3, "vout {}", op.vout);
         assert!(op.efficiency() > 0.6);
     }

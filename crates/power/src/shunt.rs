@@ -29,15 +29,25 @@ impl ShuntRegulator {
     /// series resistance, or negative bias.
     pub fn new(vout_set: Volts, series: Ohms, shunt_min_bias: Amps) -> Result<Self> {
         if vout_set.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "clamp voltage must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "clamp voltage must be positive",
+            });
         }
         if series.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "series resistance must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "series resistance must be positive",
+            });
         }
         if shunt_min_bias.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "negative shunt bias" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative shunt bias",
+            });
         }
-        Ok(Self { vout_set, series, shunt_min_bias })
+        Ok(Self {
+            vout_set,
+            series,
+            shunt_min_bias,
+        })
     }
 
     /// The switch-board part: 1.0 V clamp, 2.2 kΩ series resistor, 20 µA
@@ -76,14 +86,19 @@ impl ShuntRegulator {
     ///   bias floor.
     pub fn convert(&self, vin: Volts, iout: Amps) -> Result<Conversion> {
         if iout.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "load current must be non-negative" });
+            return Err(PowerError::InvalidParameter {
+                what: "load current must be non-negative",
+            });
         }
         let required = self.vout_set + self.series * (iout + self.shunt_min_bias);
         if vin < required {
             if iout.value() == 0.0 || vin < self.vout_set {
                 return Err(PowerError::DropoutViolation { vin, required });
             }
-            return Err(PowerError::OverCurrent { demanded: iout, limit: self.max_load(vin) });
+            return Err(PowerError::OverCurrent {
+                demanded: iout,
+                limit: self.max_load(vin),
+            });
         }
         let iin = Amps::new(((vin - self.vout_set) / self.series).value());
         Ok(Conversion::from_terminals(vin, iin, self.vout_set, iout))
@@ -97,17 +112,23 @@ mod tests {
     #[test]
     fn clamps_at_one_volt() {
         let shunt = ShuntRegulator::radio_digital_rail();
-        let op = shunt.convert(Volts::new(2.4), Amps::from_micro(300.0)).unwrap();
+        let op = shunt
+            .convert(Volts::new(2.4), Amps::from_micro(300.0))
+            .unwrap();
         assert_eq!(op.vout, Volts::new(1.0));
     }
 
     #[test]
     fn gpio_current_is_fixed_by_series_resistor() {
         let shunt = ShuntRegulator::radio_digital_rail();
-        let op = shunt.convert(Volts::new(2.4), Amps::from_micro(300.0)).unwrap();
+        let op = shunt
+            .convert(Volts::new(2.4), Amps::from_micro(300.0))
+            .unwrap();
         // (2.4 − 1.0) / 2.2 kΩ ≈ 636 µA regardless of the load split.
         assert!((op.iin.micro() - 636.36).abs() < 0.1);
-        let op2 = shunt.convert(Volts::new(2.4), Amps::from_micro(100.0)).unwrap();
+        let op2 = shunt
+            .convert(Volts::new(2.4), Amps::from_micro(100.0))
+            .unwrap();
         assert_eq!(op.iin, op2.iin);
     }
 
@@ -117,7 +138,9 @@ mod tests {
         // because the rail is on for ~1 ms per 6 s cycle (§4.3: "efficiency
         // is less important than size").
         let shunt = ShuntRegulator::radio_digital_rail();
-        let op = shunt.convert(Volts::new(2.4), Amps::from_micro(300.0)).unwrap();
+        let op = shunt
+            .convert(Volts::new(2.4), Amps::from_micro(300.0))
+            .unwrap();
         assert!(op.efficiency() < 0.25, "η = {:.3}", op.efficiency());
     }
 

@@ -26,14 +26,24 @@ impl PowerSwitch {
     /// Returns [`PowerError::InvalidParameter`] for negative parameters.
     pub fn new(rds_on: Ohms, leakage_off: Amps) -> Result<Self> {
         if rds_on.value() < 0.0 || leakage_off.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "negative switch parameter" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative switch parameter",
+            });
         }
-        Ok(Self { rds_on, leakage_off, closed: false })
+        Ok(Self {
+            rds_on,
+            leakage_off,
+            closed: false,
+        })
     }
 
     /// The switch-board load switch: 0.5 Ω on, 10 nA off-leakage.
     pub fn load_switch() -> Self {
-        Self { rds_on: Ohms::new(0.5), leakage_off: Amps::from_nano(10.0), closed: false }
+        Self {
+            rds_on: Ohms::new(0.5),
+            leakage_off: Amps::from_nano(10.0),
+            closed: false,
+        }
     }
 
     /// Whether the switch is conducting.
@@ -74,7 +84,7 @@ impl PowerSwitch {
 /// Timing of the PA-rail double gating (§4.5): input switch first (to build
 /// the supply behind the regulator), output switch a fixed delay later (for
 /// a clean, overshoot-free rising edge at the PA).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GateSequence {
     /// Delay between input-switch close and output-switch close.
     pub input_to_output_delay: picocube_units::Seconds,
@@ -83,7 +93,9 @@ pub struct GateSequence {
 impl GateSequence {
     /// The paper's sequencing: 100 µs between input and output enables.
     pub fn paper() -> Self {
-        Self { input_to_output_delay: picocube_units::Seconds::new(100e-6) }
+        Self {
+            input_to_output_delay: picocube_units::Seconds::new(100e-6),
+        }
     }
 }
 
@@ -108,12 +120,20 @@ impl LevelShifter {
     /// non-positive output domain.
     pub fn new(c_eff: Farads, static_leakage: Amps, vout_domain: Volts) -> Result<Self> {
         if c_eff.value() < 0.0 || static_leakage.value() < 0.0 {
-            return Err(PowerError::InvalidParameter { what: "negative level-shifter parameter" });
+            return Err(PowerError::InvalidParameter {
+                what: "negative level-shifter parameter",
+            });
         }
         if vout_domain.value() <= 0.0 {
-            return Err(PowerError::InvalidParameter { what: "output domain must be positive" });
+            return Err(PowerError::InvalidParameter {
+                what: "output domain must be positive",
+            });
         }
-        Ok(Self { c_eff, static_leakage, vout_domain })
+        Ok(Self {
+            c_eff,
+            static_leakage,
+            vout_domain,
+        })
     }
 
     /// The radio-board CSP part: 5 pF effective, 50 nA static, 1.0 V out.

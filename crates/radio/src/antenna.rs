@@ -32,8 +32,16 @@ impl PatchAntenna {
     /// Panics if permittivity is below 1 or dimensions are non-positive.
     pub fn new(epsilon_r: f64, thickness: Millimeters, edge: Millimeters) -> Self {
         assert!(epsilon_r >= 1.0, "relative permittivity must be >= 1");
-        assert!(thickness.value() > 0.0 && edge.value() > 0.0, "dimensions must be positive");
-        Self { epsilon_r, thickness, edge, directivity: 2.0 }
+        assert!(
+            thickness.value() > 0.0 && edge.value() > 0.0,
+            "dimensions must be positive"
+        );
+        Self {
+            epsilon_r,
+            thickness,
+            edge,
+            directivity: 2.0,
+        }
     }
 
     /// The as-built radio-board antenna: single 50 mil Rogers 3010 layer

@@ -35,9 +35,18 @@ impl Channel {
         noise_figure: Db,
         bandwidth: Hertz,
     ) -> Self {
-        assert!(carrier.value() > 0.0 && bandwidth.value() > 0.0, "carrier/bandwidth positive");
+        assert!(
+            carrier.value() > 0.0 && bandwidth.value() > 0.0,
+            "carrier/bandwidth positive"
+        );
         assert!(exponent >= 1.0, "path-loss exponent must be >= 1");
-        Self { carrier, exponent, shadowing_sigma, noise_figure, bandwidth }
+        Self {
+            carrier,
+            exponent,
+            shadowing_sigma,
+            noise_figure,
+            bandwidth,
+        }
     }
 
     /// The §6 demo floor: 1.863 GHz indoors, exponent 2.4, 3 dB shadowing,
@@ -54,7 +63,13 @@ impl Channel {
 
     /// Free-space variant (outdoor line of sight).
     pub fn free_space() -> Self {
-        Self::new(Hertz::new(1.863e9), 2.0, Db::new(0.0), Db::new(10.0), Hertz::from_kilo(500.0))
+        Self::new(
+            Hertz::new(1.863e9),
+            2.0,
+            Db::new(0.0),
+            Db::new(10.0),
+            Hertz::from_kilo(500.0),
+        )
     }
 
     /// Carrier frequency.
@@ -83,7 +98,7 @@ impl Channel {
 }
 
 /// The computed budget for one link geometry.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkBudget {
     /// Power at the receiver input.
     pub received: Dbm,
@@ -125,7 +140,12 @@ impl Link {
             - shadowing;
         let noise_floor = self.channel.noise_floor();
         let snr = received - noise_floor;
-        LinkBudget { received, noise_floor, snr, ber: ook_ber(snr) }
+        LinkBudget {
+            received,
+            noise_floor,
+            snr,
+            ber: ook_ber(snr),
+        }
     }
 
     /// Probability that an `n_bits` packet decodes error-free at range,
@@ -251,7 +271,10 @@ mod tests {
     fn packet_success_has_a_cliff() {
         // OOK links fall off a cliff: find the 50 % range and check ±50 %
         // around it swings success from near-1 to near-0.
-        let link = Link { channel: Channel::demo_room(), ..paper_link() };
+        let link = Link {
+            channel: Channel::demo_room(),
+            ..paper_link()
+        };
         let r50 = link.half_success_range(104);
         assert!(r50 > 1.0, "r50 {r50:.2} m");
         assert!(link.packet_success(r50 / 2.0, 104) > 0.97);
@@ -261,25 +284,38 @@ mod tests {
     #[test]
     fn orientation_loss_shrinks_range() {
         let good = paper_link();
-        let bad = Link { orientation_loss: Db::new(20.0), ..good };
+        let bad = Link {
+            orientation_loss: Db::new(20.0),
+            ..good
+        };
         assert!(bad.half_success_range(104) < good.half_success_range(104));
     }
 
     #[test]
     fn try_packet_statistics_match_budget() {
-        let link = Link { channel: Channel::free_space(), ..paper_link() };
+        let link = Link {
+            channel: Channel::free_space(),
+            ..paper_link()
+        };
         let mut rng = SimRng::seed_from(5);
         // At a range with effectively zero BER every attempt succeeds.
-        let ok = (0..200).filter(|_| link.try_packet(1.0, 104, &mut rng)).count();
+        let ok = (0..200)
+            .filter(|_| link.try_packet(1.0, 104, &mut rng))
+            .count();
         assert_eq!(ok, 200);
     }
 
     #[test]
     fn shadowing_randomizes_outcomes_at_the_edge() {
-        let link = Link { channel: Channel::demo_room(), ..paper_link() };
+        let link = Link {
+            channel: Channel::demo_room(),
+            ..paper_link()
+        };
         let r50 = link.half_success_range(104);
         let mut rng = SimRng::seed_from(6);
-        let ok = (0..400).filter(|_| link.try_packet(r50, 104, &mut rng)).count();
+        let ok = (0..400)
+            .filter(|_| link.try_packet(r50, 104, &mut rng))
+            .count();
         assert!(ok > 40 && ok < 360, "edge-of-range successes {ok}/400");
     }
 

@@ -26,7 +26,10 @@ impl EnvelopeWaveform {
     /// Panics if `samples_per_bit` is zero.
     pub fn new(samples: Vec<f64>, samples_per_bit: usize) -> Self {
         assert!(samples_per_bit > 0, "need at least one sample per bit");
-        Self { samples, samples_per_bit }
+        Self {
+            samples,
+            samples_per_bit,
+        }
     }
 
     /// The raw samples.
@@ -54,7 +57,10 @@ pub fn modulate(
     rng: &mut SimRng,
 ) -> EnvelopeWaveform {
     assert!(samples_per_bit > 0, "need at least one sample per bit");
-    assert!(signal >= 0.0 && noise_sigma >= 0.0, "nonnegative amplitudes");
+    assert!(
+        signal >= 0.0 && noise_sigma >= 0.0,
+        "nonnegative amplitudes"
+    );
     let bits = packet::to_bits(bytes);
     let mut samples = Vec::with_capacity(lead_in + bits.len() * samples_per_bit);
     let noisy = |level: f64, rng: &mut SimRng| (level + rng.normal(0.0, noise_sigma)).max(0.0);
@@ -67,7 +73,10 @@ pub fn modulate(
             samples.push(noisy(level, rng));
         }
     }
-    EnvelopeWaveform { samples, samples_per_bit }
+    EnvelopeWaveform {
+        samples,
+        samples_per_bit,
+    }
 }
 
 /// The baseband receive chain.
@@ -206,7 +215,9 @@ mod tests {
     fn clean_waveform_decodes_exactly() {
         let mut rng = SimRng::seed_from(1);
         let wf = modulate(&frame_bytes(), 8, 1.0, 0.0, 0, &mut rng);
-        let frame = Demodulator::new(8).receive_frame(&wf, Checksum::Crc8).unwrap();
+        let frame = Demodulator::new(8)
+            .receive_frame(&wf, Checksum::Crc8)
+            .unwrap();
         assert_eq!(frame.node_id, 0x42);
         assert_eq!(frame.payload, vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
@@ -230,7 +241,10 @@ mod tests {
         for _ in 0..50 {
             // SNR per sample = (1/0.2)² = 25 → per-bit (8 samples avg) huge.
             let wf = modulate(&frame_bytes(), 8, 1.0, 0.2, 13, &mut rng);
-            if Demodulator::new(8).receive_frame(&wf, Checksum::Crc8).is_ok() {
+            if Demodulator::new(8)
+                .receive_frame(&wf, Checksum::Crc8)
+                .is_ok()
+            {
                 ok += 1;
             }
         }
@@ -243,7 +257,10 @@ mod tests {
         let mut ok = 0;
         for _ in 0..30 {
             let wf = modulate(&frame_bytes(), 4, 1.0, 1.5, 9, &mut rng);
-            if Demodulator::new(4).receive_frame(&wf, Checksum::Crc8).is_ok() {
+            if Demodulator::new(4)
+                .receive_frame(&wf, Checksum::Crc8)
+                .is_ok()
+            {
                 ok += 1;
             }
         }
@@ -283,7 +300,9 @@ mod tests {
         for payload in [[0xFFu8; 8], [0x00u8; 8]] {
             let bytes = packet::encode(7, &payload, Checksum::Xor);
             let wf = modulate(&bytes, 8, 1.0, 0.1, 5, &mut rng);
-            let frame = Demodulator::new(8).receive_frame(&wf, Checksum::Xor).unwrap();
+            let frame = Demodulator::new(8)
+                .receive_frame(&wf, Checksum::Xor)
+                .unwrap();
             assert_eq!(frame.payload, payload.to_vec());
         }
     }

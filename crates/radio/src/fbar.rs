@@ -29,8 +29,14 @@ impl Fbar {
     ///
     /// Panics if any parameter is not strictly positive.
     pub fn new(rm: Ohms, lm_h: f64, cm: Farads, c0: Farads) -> Self {
-        assert!(rm.value() > 0.0 && lm_h > 0.0, "motional branch must be positive");
-        assert!(cm.value() > 0.0 && c0.value() > 0.0, "capacitances must be positive");
+        assert!(
+            rm.value() > 0.0 && lm_h > 0.0,
+            "motional branch must be positive"
+        );
+        assert!(
+            cm.value() > 0.0 && c0.value() > 0.0,
+            "capacitances must be positive"
+        );
         Self { rm, lm_h, cm, c0 }
     }
 
@@ -75,7 +81,7 @@ impl Fbar {
         // Parallel combination of Zm = rm + j·xm and Zc = j·xc0.
         let (a, b) = (rm, xm); // Zm
         let (c, d) = (0.0, xc0); // Zc
-        // Zp = Zm·Zc / (Zm + Zc)
+                                 // Zp = Zm·Zc / (Zm + Zc)
         let num_re = a * c - b * d;
         let num_im = a * d + b * c;
         let den_re = a + c;

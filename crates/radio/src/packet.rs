@@ -13,7 +13,7 @@ pub const PREAMBLE_LEN: usize = 2;
 pub const SYNC: u8 = 0xD3;
 
 /// Checksum algorithm used by a frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Checksum {
     /// Single-byte XOR over the payload (what the stock firmware computes —
     /// cheap on an MSP430).
@@ -32,7 +32,11 @@ impl Checksum {
                 for &byte in payload {
                     crc ^= byte;
                     for _ in 0..8 {
-                        crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+                        crc = if crc & 0x80 != 0 {
+                            (crc << 1) ^ 0x07
+                        } else {
+                            crc << 1
+                        };
                     }
                 }
                 crc
@@ -42,7 +46,7 @@ impl Checksum {
 }
 
 /// A decoded application frame.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Transmitting node's id byte.
     pub node_id: u8,
@@ -73,7 +77,10 @@ impl core::fmt::Display for DecodeError {
             Self::Truncated => write!(f, "frame shorter than header + checksum"),
             Self::NoSync => write!(f, "sync byte not found"),
             Self::BadChecksum { got, expected } => {
-                write!(f, "checksum mismatch: got {got:#04x}, expected {expected:#04x}")
+                write!(
+                    f,
+                    "checksum mismatch: got {got:#04x}, expected {expected:#04x}"
+                )
             }
         }
     }
@@ -104,7 +111,10 @@ pub fn encode(node_id: u8, payload: &[u8], checksum: Checksum) -> Vec<u8> {
 /// mismatch.
 pub fn decode(bytes: &[u8], checksum: Checksum) -> Result<Frame, DecodeError> {
     // Hunt for the sync byte; tolerate noise/partial preamble before it.
-    let sync_pos = bytes.iter().position(|&b| b == SYNC).ok_or(DecodeError::NoSync)?;
+    let sync_pos = bytes
+        .iter()
+        .position(|&b| b == SYNC)
+        .ok_or(DecodeError::NoSync)?;
     let rest = &bytes[sync_pos + 1..];
     if rest.len() < 2 {
         return Err(DecodeError::Truncated);
@@ -167,7 +177,10 @@ mod tests {
     fn corruption_is_detected() {
         let mut frame = encode(1, &[10, 20, 30], Checksum::Xor);
         frame[5] ^= 0x01; // flip a payload bit
-        assert!(matches!(decode(&frame, Checksum::Xor), Err(DecodeError::BadChecksum { .. })));
+        assert!(matches!(
+            decode(&frame, Checksum::Xor),
+            Err(DecodeError::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -183,12 +196,18 @@ mod tests {
 
     #[test]
     fn missing_sync_reported() {
-        assert_eq!(decode(&[0xAA, 0xAA, 0x00], Checksum::Xor), Err(DecodeError::NoSync));
+        assert_eq!(
+            decode(&[0xAA, 0xAA, 0x00], Checksum::Xor),
+            Err(DecodeError::NoSync)
+        );
     }
 
     #[test]
     fn truncated_reported() {
-        assert_eq!(decode(&[0xD3, 0x42], Checksum::Xor), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode(&[0xD3, 0x42], Checksum::Xor),
+            Err(DecodeError::Truncated)
+        );
     }
 
     #[test]

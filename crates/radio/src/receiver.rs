@@ -27,13 +27,21 @@ impl SuperRegenReceiver {
     pub fn new(rx_power: Watts, quench_rate: Hertz, sensitivity: Dbm) -> Self {
         assert!(rx_power.value() > 0.0, "rx power must be positive");
         assert!(quench_rate.value() > 0.0, "quench rate must be positive");
-        Self { rx_power, quench_rate, sensitivity }
+        Self {
+            rx_power,
+            quench_rate,
+            sensitivity,
+        }
     }
 
     /// The reference-\[12\] part: 400 µW receiving, 1 MHz quench,
     /// −90 dBm sensitivity at 1e-3 BER.
     pub fn bwrc_issc05() -> Self {
-        Self::new(Watts::from_micro(400.0), Hertz::from_mega(1.0), Dbm::new(-90.0))
+        Self::new(
+            Watts::from_micro(400.0),
+            Hertz::from_mega(1.0),
+            Dbm::new(-90.0),
+        )
     }
 
     /// Receive-mode power.
@@ -115,8 +123,13 @@ impl SuperRegenReceiver {
         checksum: Checksum,
         rng: &mut picocube_sim::SimRng,
     ) -> Result<Frame, crate::demod::DemodError> {
-        assert!(data_rate <= self.max_data_rate(), "data rate exceeds the quench limit");
-        let spb = (self.quench_rate.value() / data_rate.value()).floor().max(2.0) as usize;
+        assert!(
+            data_rate <= self.max_data_rate(),
+            "data rate exceeds the quench limit"
+        );
+        let spb = (self.quench_rate.value() / data_rate.value())
+            .floor()
+            .max(2.0) as usize;
         let shadow = link.channel.shadowing(rng);
         let budget = link.budget_with_shadowing(distance_m, shadow);
         // Normalize the on-bit envelope to 1.0 and derive the per-quench
@@ -169,7 +182,10 @@ mod tests {
         let frame = packet::encode(0x42, &[1, 2, 3, 4, 5, 6], Checksum::Xor);
         let mut rng = SimRng::seed_from(11);
         let ok = (0..100)
-            .filter(|_| rx.receive(&demo_link(), 1.0, &frame, Checksum::Xor, &mut rng).is_ok())
+            .filter(|_| {
+                rx.receive(&demo_link(), 1.0, &frame, Checksum::Xor, &mut rng)
+                    .is_ok()
+            })
             .count();
         assert!(ok > 95, "1 m reception {ok}/100");
     }
@@ -180,7 +196,10 @@ mod tests {
         let frame = packet::encode(0x42, &[1, 2, 3, 4, 5, 6], Checksum::Xor);
         let mut rng = SimRng::seed_from(12);
         let ok = (0..100)
-            .filter(|_| rx.receive(&demo_link(), 300.0, &frame, Checksum::Xor, &mut rng).is_ok())
+            .filter(|_| {
+                rx.receive(&demo_link(), 300.0, &frame, Checksum::Xor, &mut rng)
+                    .is_ok()
+            })
             .count();
         assert!(ok < 5, "300 m reception {ok}/100");
     }
@@ -224,7 +243,8 @@ mod tests {
             let trials = 30;
             let analytic = (0..trials)
                 .filter(|_| {
-                    rx.receive(&demo_link(), distance, &frame, Checksum::Crc8, &mut rng).is_ok()
+                    rx.receive(&demo_link(), distance, &frame, Checksum::Crc8, &mut rng)
+                        .is_ok()
                 })
                 .count();
             let waveform = (0..trials)
@@ -241,9 +261,15 @@ mod tests {
                 })
                 .count();
             if expect_good {
-                assert!(analytic >= 28 && waveform >= 28, "at {distance} m: {analytic}/{waveform}");
+                assert!(
+                    analytic >= 28 && waveform >= 28,
+                    "at {distance} m: {analytic}/{waveform}"
+                );
             } else {
-                assert!(analytic <= 2 && waveform <= 2, "at {distance} m: {analytic}/{waveform}");
+                assert!(
+                    analytic <= 2 && waveform <= 2,
+                    "at {distance} m: {analytic}/{waveform}"
+                );
             }
         }
     }

@@ -7,10 +7,11 @@
 //! supply, 1.35 mW consumption at 50 % OOK, rates up to 330 kbps.
 
 use crate::fbar::Fbar;
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Amps, Dbm, Hertz, Joules, Seconds, Volts, Watts};
 
 /// A completed transmission's accounting.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transmission {
     /// Bits sent (including preamble/sync overhead if framed).
     pub bits: usize,
@@ -39,6 +40,28 @@ impl Transmission {
         } else {
             self.energy / self.bits as f64
         }
+    }
+}
+
+impl ToJson for Transmission {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bits".into(), self.bits.to_json()),
+            ("ones_fraction".into(), self.ones_fraction.to_json()),
+            ("duration".into(), self.duration.to_json()),
+            ("energy".into(), self.energy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Transmission {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bits: FromJson::from_json(field(value, "bits")?)?,
+            ones_fraction: FromJson::from_json(field(value, "ones_fraction")?)?,
+            duration: FromJson::from_json(field(value, "duration")?)?,
+            energy: FromJson::from_json(field(value, "energy")?)?,
+        })
     }
 }
 
@@ -72,7 +95,10 @@ impl OokTransmitter {
         data_rate: Hertz,
     ) -> Self {
         assert!(rated_output.value() > 0.0, "output power must be positive");
-        assert!(rated_efficiency > 0.0 && rated_efficiency <= 1.0, "efficiency in (0, 1]");
+        assert!(
+            rated_efficiency > 0.0 && rated_efficiency <= 1.0,
+            "efficiency in (0, 1]"
+        );
         assert!(supply.value() > 0.0, "supply must be positive");
         assert!(overhead_on.value() >= 0.0, "negative overhead");
         assert!(data_rate.value() > 0.0, "data rate must be positive");
@@ -80,7 +106,14 @@ impl OokTransmitter {
             data_rate <= fbar.max_ook_rate(),
             "data rate exceeds the oscillator-gating limit"
         );
-        Self { fbar, rated_output, rated_efficiency, supply, overhead_on, data_rate }
+        Self {
+            fbar,
+            rated_output,
+            rated_efficiency,
+            supply,
+            overhead_on,
+            data_rate,
+        }
     }
 
     /// The paper's transmitter: 0.8 dBm at 46 % from 0.65 V, 100 µW of
@@ -128,7 +161,10 @@ impl OokTransmitter {
     ///
     /// Panics if the rate is non-positive or exceeds the gating limit.
     pub fn set_data_rate(&mut self, rate: Hertz) {
-        assert!(rate.value() > 0.0 && rate <= self.fbar.max_ook_rate(), "bad data rate");
+        assert!(
+            rate.value() > 0.0 && rate <= self.fbar.max_ook_rate(),
+            "bad data rate"
+        );
         self.data_rate = rate;
     }
 
@@ -164,10 +200,19 @@ impl OokTransmitter {
     pub fn transmit(&self, bytes: &[u8]) -> Transmission {
         let bits = bytes.len() * 8;
         let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
-        let ones_fraction = if bits == 0 { 0.0 } else { f64::from(ones) / bits as f64 };
+        let ones_fraction = if bits == 0 {
+            0.0
+        } else {
+            f64::from(ones) / bits as f64
+        };
         let duration = Seconds::new(bits as f64 / self.data_rate.value());
         let energy = self.dc_power(ones_fraction) * duration;
-        Transmission { bits, ones_fraction, duration, energy }
+        Transmission {
+            bits,
+            ones_fraction,
+            duration,
+            energy,
+        }
     }
 }
 
@@ -243,7 +288,10 @@ mod tests {
         let tx = OokTransmitter::picocube();
         // ~2.7 mW / 0.65 V ≈ 4.2 mA while the carrier is on.
         let i = tx.supply_current_on();
-        assert!(i > Amps::from_milli(3.5) && i < Amps::from_milli(4.5), "i {i:?}");
+        assert!(
+            i > Amps::from_milli(3.5) && i < Amps::from_milli(4.5),
+            "i {i:?}"
+        );
     }
 
     #[test]

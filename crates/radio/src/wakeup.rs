@@ -30,11 +30,21 @@ impl WakeupReceiver {
     ///
     /// Panics if power or latency is non-positive, or the false rate is
     /// negative.
-    pub fn new(listen_power: Watts, sensitivity: Dbm, latency: Seconds, false_rate_hz: f64) -> Self {
+    pub fn new(
+        listen_power: Watts,
+        sensitivity: Dbm,
+        latency: Seconds,
+        false_rate_hz: f64,
+    ) -> Self {
         assert!(listen_power.value() > 0.0, "listen power must be positive");
         assert!(latency.value() > 0.0, "latency must be positive");
         assert!(false_rate_hz >= 0.0, "false rate must be non-negative");
-        Self { listen_power, sensitivity, latency, false_rate_hz }
+        Self {
+            listen_power,
+            sensitivity,
+            latency,
+            false_rate_hz,
+        }
     }
 
     /// The reference-\[16\] class detector: 50 µW always-on, −50 dBm

@@ -21,7 +21,12 @@ impl AdcChannel {
         assert!(bits > 0 && bits <= 16, "bits must be in 1..=16");
         assert!(min < max, "range must be non-empty");
         assert!(noise_lsb >= 0.0, "noise must be non-negative");
-        Self { bits, min, max, noise_lsb }
+        Self {
+            bits,
+            min,
+            max,
+            noise_lsb,
+        }
     }
 
     /// Resolution in codes.

@@ -6,7 +6,7 @@ use picocube_sim::SimRng;
 use picocube_units::{Gs, Seconds};
 
 /// What the cube is doing at a given moment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MotionPhase {
     /// Flat on the table: 1 g on Z, no interrupts, deep sleep.
     AtRest,
@@ -34,9 +34,17 @@ impl MotionScenario {
     ///
     /// Panics if either span is non-positive or the vigor is negative.
     pub fn new(rest: Seconds, handled: Seconds, vigor: Gs, seed: u64) -> Self {
-        assert!(rest.value() > 0.0 && handled.value() > 0.0, "spans must be positive");
+        assert!(
+            rest.value() > 0.0 && handled.value() > 0.0,
+            "spans must be positive"
+        );
         assert!(vigor.value() >= 0.0, "vigor must be non-negative");
-        Self { rest, handled, vigor, rng: SimRng::seed_from(seed) }
+        Self {
+            rest,
+            handled,
+            vigor,
+            rng: SimRng::seed_from(seed),
+        }
     }
 
     /// The retreat-table default: 20 s of rest, 8 s of handling at 1.2 g

@@ -7,7 +7,7 @@
 use picocube_units::{Amps, Gs};
 
 /// Operating mode of the part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sca3000Mode {
     /// Continuous measurement (~120 µA): full-rate XYZ output.
     Measurement,
@@ -17,7 +17,7 @@ pub enum Sca3000Mode {
 }
 
 /// One three-axis sample in g.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AxisSample {
     /// X-axis acceleration.
     pub x: Gs,
@@ -30,7 +30,11 @@ pub struct AxisSample {
 impl AxisSample {
     /// At rest, flat on the table: 1 g on Z.
     pub fn at_rest() -> Self {
-        Self { x: Gs::ZERO, y: Gs::ZERO, z: Gs::new(1.0) }
+        Self {
+            x: Gs::ZERO,
+            y: Gs::ZERO,
+            z: Gs::new(1.0),
+        }
     }
 }
 
@@ -117,7 +121,9 @@ impl Sca3000 {
 
     /// Encodes an acceleration as the part's signed 13-bit code.
     pub fn encode(value: Gs) -> u16 {
-        let counts = (value.value() * COUNTS_PER_G).round().clamp(-4096.0, 4095.0) as i16;
+        let counts = (value.value() * COUNTS_PER_G)
+            .round()
+            .clamp(-4096.0, 4095.0) as i16;
         (counts as u16) & 0x1FFF
     }
 
@@ -178,7 +184,11 @@ mod tests {
     #[test]
     fn pickup_triggers_once_until_cleared() {
         let mut acc = Sca3000::new();
-        let moving = AxisSample { x: Gs::new(0.8), y: Gs::new(1.1), z: Gs::new(1.6) };
+        let moving = AxisSample {
+            x: Gs::new(0.8),
+            y: Gs::new(1.1),
+            z: Gs::new(1.6),
+        };
         assert!(acc.update(moving));
         // Still moving: level-triggered latch does not re-edge.
         assert!(!acc.update(moving));
@@ -189,7 +199,11 @@ mod tests {
     #[test]
     fn negative_excursions_count() {
         let mut acc = Sca3000::new();
-        assert!(acc.update(AxisSample { x: Gs::new(-2.0), y: Gs::ZERO, z: Gs::new(1.0) }));
+        assert!(acc.update(AxisSample {
+            x: Gs::new(-2.0),
+            y: Gs::ZERO,
+            z: Gs::new(1.0)
+        }));
     }
 
     #[test]
@@ -204,7 +218,11 @@ mod tests {
     #[test]
     fn spi_reads_latched_axis() {
         let mut acc = Sca3000::new();
-        acc.update(AxisSample { x: Gs::new(1.5), y: Gs::ZERO, z: Gs::new(1.0) });
+        acc.update(AxisSample {
+            x: Gs::new(1.5),
+            y: Gs::ZERO,
+            z: Gs::new(1.0),
+        });
         acc.spi(0x10); // select X
         let hi = acc.spi(0xF1);
         let lo = acc.spi(0xF2);

@@ -9,7 +9,7 @@ use crate::adc::AdcChannel;
 use picocube_units::{Amps, Celsius, Gs, Kilopascals, Seconds, Volts};
 
 /// The four measurement channels, in the firmware's channel order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Sp12Channel {
     /// Tire gauge pressure, 0–450 kPa on 12 bits.
     Pressure,
@@ -46,7 +46,7 @@ impl Sp12Channel {
 }
 
 /// One snapshot of the quantities the SP12 digitizes.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TireSample {
     /// Gauge pressure inside the tire.
     pub pressure: Kilopascals,
@@ -105,10 +105,10 @@ impl Sp12 {
         Self {
             sample: TireSample::parked(),
             channels: [
-                AdcChannel::new(12, 0.0, 450.0, 0.5),  // kPa
+                AdcChannel::new(12, 0.0, 450.0, 0.5),   // kPa
                 AdcChannel::new(12, -40.0, 125.0, 0.5), // °C
-                AdcChannel::new(12, 0.0, 500.0, 0.5),  // g
-                AdcChannel::new(12, 0.0, 3.6, 0.5),    // V
+                AdcChannel::new(12, 0.0, 500.0, 0.5),   // g
+                AdcChannel::new(12, 0.0, 3.6, 0.5),     // V
             ],
             polls_until_ready: 6,
             polls_seen: 0,
@@ -164,8 +164,11 @@ impl Sp12 {
             Sp12Channel::Voltage => self.sample.supply.value(),
         };
         let ch = &self.channels[channel.index() as usize];
-        let code =
-            if self.noisy { ch.quantize(value, &mut self.rng) } else { ch.quantize_noiseless(value) };
+        let code = if self.noisy {
+            ch.quantize(value, &mut self.rng)
+        } else {
+            ch.quantize_noiseless(value)
+        };
         (code, value)
     }
 
@@ -311,8 +314,9 @@ mod tests {
     fn noisy_part_dithers_within_spec() {
         let mut sp12 = Sp12::new().with_noise(7);
         sp12.set_sample(TireSample::parked());
-        let codes: Vec<u16> =
-            (0..100).map(|_| sp12.convert(Sp12Channel::Pressure).0).collect();
+        let codes: Vec<u16> = (0..100)
+            .map(|_| sp12.convert(Sp12Channel::Pressure).0)
+            .collect();
         let min = *codes.iter().min().unwrap();
         let max = *codes.iter().max().unwrap();
         assert!(max > min);

@@ -162,19 +162,23 @@ mod tests {
 
     #[test]
     fn leak_deflates_over_hours() {
-        let mut tire = TireEnvironment::passenger_car(DriveCycle::parked())
-            .with_leak(Kilopascals::new(10.0));
+        let mut tire =
+            TireEnvironment::passenger_car(DriveCycle::parked()).with_leak(Kilopascals::new(10.0));
         let mut last = TireSample::parked();
         for _ in 0..5 {
             last = tire.step(Seconds::HOUR);
         }
-        assert!((last.pressure.value() - 170.0).abs() < 1.0, "pressure {:?}", last.pressure);
+        assert!(
+            (last.pressure.value() - 170.0).abs() < 1.0,
+            "pressure {:?}",
+            last.pressure
+        );
     }
 
     #[test]
     fn pressure_never_goes_negative() {
-        let mut tire = TireEnvironment::passenger_car(DriveCycle::parked())
-            .with_leak(Kilopascals::new(100.0));
+        let mut tire =
+            TireEnvironment::passenger_car(DriveCycle::parked()).with_leak(Kilopascals::new(100.0));
         for _ in 0..10 {
             tire.step(Seconds::HOUR);
         }

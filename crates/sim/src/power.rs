@@ -9,14 +9,15 @@
 //! measure on the bench.
 
 use crate::{SimDuration, SimTime};
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Amps, Joules, Seconds, Volts, Watts};
 
 /// Identifies a supply rail registered with a [`PowerLedger`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RailId(usize);
 
 /// Identifies a load registered on a rail.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct LoadId {
     rail: usize,
     load: usize,
@@ -68,12 +69,19 @@ pub struct PowerLedger {
 impl PowerLedger {
     /// Creates an empty ledger at time zero.
     pub fn new() -> Self {
-        Self { rails: Vec::new(), now: SimTime::ZERO }
+        Self {
+            rails: Vec::new(),
+            now: SimTime::ZERO,
+        }
     }
 
     /// Registers a supply rail at the given nominal voltage.
     pub fn add_rail(&mut self, name: impl Into<String>, voltage: Volts) -> RailId {
-        self.rails.push(Rail { name: name.into(), voltage, loads: Vec::new() });
+        self.rails.push(Rail {
+            name: name.into(),
+            voltage,
+            loads: Vec::new(),
+        });
         RailId(self.rails.len() - 1)
     }
 
@@ -84,8 +92,15 @@ impl PowerLedger {
     /// Panics if `rail` was not issued by this ledger.
     pub fn register_load(&mut self, rail: RailId, name: impl Into<String>) -> LoadId {
         let r = &mut self.rails[rail.0];
-        r.loads.push(Load { name: name.into(), current: Amps::ZERO, energy: Joules::ZERO });
-        LoadId { rail: rail.0, load: r.loads.len() - 1 }
+        r.loads.push(Load {
+            name: name.into(),
+            current: Amps::ZERO,
+            energy: Joules::ZERO,
+        });
+        LoadId {
+            rail: rail.0,
+            load: r.loads.len() - 1,
+        }
     }
 
     /// Current simulation time of the ledger.
@@ -127,7 +142,9 @@ impl PowerLedger {
 
     /// Instantaneous total power across all rails.
     pub fn total_power(&self) -> Watts {
-        (0..self.rails.len()).map(|i| self.rail_power(RailId(i))).sum()
+        (0..self.rails.len())
+            .map(|i| self.rail_power(RailId(i)))
+            .sum()
     }
 
     /// Integrates all loads forward to `t`.
@@ -164,7 +181,9 @@ impl PowerLedger {
 
     /// Total energy consumed across all rails so far.
     pub fn total_energy(&self) -> Joules {
-        (0..self.rails.len()).map(|i| self.rail_energy(RailId(i))).sum()
+        (0..self.rails.len())
+            .map(|i| self.rail_energy(RailId(i)))
+            .sum()
     }
 
     /// Average power since simulation start (total energy / elapsed time).
@@ -205,7 +224,7 @@ impl Default for PowerLedger {
 }
 
 /// Per-rail slice of a [`PowerReport`].
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RailReport {
     /// Rail name as registered.
     pub name: String,
@@ -218,7 +237,7 @@ pub struct RailReport {
 }
 
 /// Snapshot of a [`PowerLedger`]'s accumulated energy accounting.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PowerReport {
     /// Simulated time covered by the report.
     pub elapsed: Seconds,
@@ -238,12 +257,60 @@ impl core::fmt::Display for PowerReport {
             self.total_energy, self.elapsed, self.average_power
         )?;
         for rail in &self.rails {
-            writeln!(f, "  rail {:<18} {:>7.3}: {:.6}", rail.name, rail.voltage, rail.energy)?;
+            writeln!(
+                f,
+                "  rail {:<18} {:>7.3}: {:.6}",
+                rail.name, rail.voltage, rail.energy
+            )?;
             for (name, energy) in &rail.loads {
                 writeln!(f, "    {:<20} {:.9}", name, energy)?;
             }
         }
         Ok(())
+    }
+}
+
+impl ToJson for RailReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("voltage".into(), self.voltage.to_json()),
+            ("energy".into(), self.energy.to_json()),
+            ("loads".into(), self.loads.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RailReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: FromJson::from_json(field(value, "name")?)?,
+            voltage: FromJson::from_json(field(value, "voltage")?)?,
+            energy: FromJson::from_json(field(value, "energy")?)?,
+            loads: FromJson::from_json(field(value, "loads")?)?,
+        })
+    }
+}
+
+impl ToJson for PowerReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("elapsed".into(), self.elapsed.to_json()),
+            ("total_energy".into(), self.total_energy.to_json()),
+            ("average_power".into(), self.average_power.to_json()),
+            ("rails".into(), self.rails.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PowerReport {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            elapsed: FromJson::from_json(field(value, "elapsed")?)?,
+            total_energy: FromJson::from_json(field(value, "total_energy")?)?,
+            average_power: FromJson::from_json(field(value, "average_power")?)?,
+            rails: FromJson::from_json(field(value, "rails")?)?,
+        })
     }
 }
 

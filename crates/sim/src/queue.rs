@@ -54,12 +54,18 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Creates an empty queue with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(capacity), seq: 0 }
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at `time`.
@@ -155,7 +161,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::from_secs(10), "later");
         assert_eq!(q.pop_due(SimTime::from_secs(9)), None);
-        assert_eq!(q.pop_due(SimTime::from_secs(10)), Some((SimTime::from_secs(10), "later")));
+        assert_eq!(
+            q.pop_due(SimTime::from_secs(10)),
+            Some((SimTime::from_secs(10), "later"))
+        );
         assert!(q.is_empty());
     }
 

@@ -1,12 +1,15 @@
 //! Deterministic random numbers for stochastic device models.
+//!
+//! Self-contained (no external crates): a xoshiro256++ core seeded through
+//! splitmix64, the standard construction for turning a 64-bit seed into a
+//! full 256-bit state without correlated lanes.
 
-use rand::{Rng, RngCore, SeedableRng};
-
-/// A seedable RNG wrapper used by every stochastic model in the workspace.
+/// A seedable RNG used by every stochastic model in the workspace.
 ///
 /// All PicoCube models take a `SimRng` (or derive one via
-/// [`fork`](Self::fork)) so experiments are reproducible bit-for-bit from a
-/// single seed. Backed by [`rand::rngs::StdRng`].
+/// [`fork`](Self::fork) / [`stream`](Self::stream)) so experiments are
+/// reproducible bit-for-bit from a single seed. Backed by a xoshiro256++
+/// generator seeded via splitmix64.
 ///
 /// # Examples
 ///
@@ -19,20 +22,60 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: rand::rngs::StdRng,
+    state: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        Self { inner: rand::rngs::StdRng::seed_from_u64(seed) }
+        let mut s = seed;
+        Self {
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
+        }
+    }
+
+    /// Derives the seed of an independent numbered stream from a master
+    /// seed.
+    ///
+    /// This is the workspace's **stream-derivation rule** (documented in
+    /// `DESIGN.md`): `stream_seed(master, i) = splitmix64(master ⊕ φ·(i+1))`
+    /// with φ the 64-bit golden-ratio constant. Consecutive stream indices
+    /// land in unrelated splitmix64 trajectories, so per-node substreams in
+    /// fleet simulations are statistically independent and — crucially —
+    /// each node's stream depends only on `(master, i)`, never on how many
+    /// draws any *other* node consumed. That independence is what lets the
+    /// fleet engine simulate nodes on worker threads and still match the
+    /// serial schedule bit-for-bit.
+    pub fn stream_seed(master: u64, stream: u64) -> u64 {
+        let mut s = master ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1));
+        splitmix64(&mut s)
+    }
+
+    /// Creates the RNG for an independent numbered stream of a master seed
+    /// (see [`stream_seed`](Self::stream_seed)).
+    pub fn stream(master: u64, stream: u64) -> Self {
+        Self::seed_from(Self::stream_seed(master, stream))
     }
 
     /// Derives an independent child RNG. Forking lets subsystems consume
     /// randomness without perturbing each other's streams, so adding a model
     /// does not change the draws seen by existing ones.
     pub fn fork(&mut self) -> Self {
-        Self::seed_from(self.inner.next_u64())
+        Self::seed_from(self.next_u64())
     }
 
     /// A uniform sample in `[lo, hi)`.
@@ -41,15 +84,24 @@ impl SimRng {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "invalid uniform range");
-        self.inner.gen_range(lo..hi)
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "invalid uniform range"
+        );
+        let x = lo + self.unit_f64() * (hi - lo);
+        // Rounding at the top of the span could land exactly on `hi`.
+        if x >= hi {
+            lo
+        } else {
+            x
+        }
     }
 
     /// A standard normal sample via the Box–Muller transform.
     pub fn standard_normal(&mut self) -> f64 {
         // Box–Muller: u1 in (0,1], u2 in [0,1).
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen();
+        let u1: f64 = 1.0 - self.unit_f64();
+        let u2: f64 = self.unit_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
     }
 
@@ -66,7 +118,7 @@ impl SimRng {
     /// A Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        self.inner.gen::<f64>() < p
+        self.unit_f64() < p
     }
 
     /// A uniform integer in `[0, n)`.
@@ -76,7 +128,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.inner.gen_range(0..n)
+        // Multiply-shift bounded generation (Lemire): uniform enough for
+        // simulation sampling and free of modulo bias hot spots.
+        ((u128::from(self.next_u64()) * (n as u128)) >> 64) as usize
     }
 
     /// An exponential sample with the given rate (events per unit time).
@@ -86,13 +140,30 @@ impl SimRng {
     /// Panics if `rate` is not strictly positive.
     pub fn exponential(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "rate must be positive");
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.unit_f64();
         -u.ln() / rate
     }
 
     /// A raw `u64`, for callers that need bits rather than floats.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256++ (Blackman & Vigna, 2019).
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -123,6 +194,26 @@ mod tests {
         }
         let c2: Vec<u64> = (0..8).map(|_| child2.next_u64()).collect();
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn numbered_streams_are_distinct_and_reproducible() {
+        let a: Vec<u64> = {
+            let mut r = SimRng::stream(42, 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let a_again: Vec<u64> = {
+            let mut r = SimRng::stream(42, 0);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::stream(42, 1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, a_again);
+        assert_ne!(a, b);
+        // Distinct masters give distinct streams at the same index.
+        assert_ne!(SimRng::stream_seed(1, 0), SimRng::stream_seed(2, 0));
     }
 
     #[test]
@@ -168,6 +259,25 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         for _ in 0..100 {
             assert!(rng.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn bits_are_well_mixed() {
+        // Cheap avalanche check: over many draws every bit position flips
+        // roughly half the time.
+        let mut rng = SimRng::seed_from(6);
+        let n = 4096;
+        let mut ones = [0u32; 64];
+        for _ in 0..n {
+            let x = rng.next_u64();
+            for (bit, count) in ones.iter_mut().enumerate() {
+                *count += ((x >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &count) in ones.iter().enumerate() {
+            let frac = f64::from(count) / f64::from(n);
+            assert!((frac - 0.5).abs() < 0.05, "bit {bit} frac {frac}");
         }
     }
 

@@ -8,17 +8,11 @@ use picocube_units::Seconds;
 /// `SimTime` is a `u64`, giving a range of about 584 simulated years —
 /// comfortably beyond the "decades in a building" deployment horizon the
 /// paper motivates.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span between two [`SimTime`] instants, in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -248,6 +242,39 @@ impl core::fmt::Debug for SimDuration {
     }
 }
 
+impl picocube_units::json::ToJson for SimTime {
+    fn to_json(&self) -> picocube_units::json::Json {
+        // Raw nanoseconds: u64 round-trips exactly, unlike f64 seconds.
+        picocube_units::json::Json::UInt(self.0)
+    }
+}
+
+impl picocube_units::json::FromJson for SimTime {
+    fn from_json(
+        value: &picocube_units::json::Json,
+    ) -> Result<Self, picocube_units::json::JsonError> {
+        Ok(Self(<u64 as picocube_units::json::FromJson>::from_json(
+            value,
+        )?))
+    }
+}
+
+impl picocube_units::json::ToJson for SimDuration {
+    fn to_json(&self) -> picocube_units::json::Json {
+        picocube_units::json::Json::UInt(self.0)
+    }
+}
+
+impl picocube_units::json::FromJson for SimDuration {
+    fn from_json(
+        value: &picocube_units::json::Json,
+    ) -> Result<Self, picocube_units::json::JsonError> {
+        Ok(Self(<u64 as picocube_units::json::FromJson>::from_json(
+            value,
+        )?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,7 +296,10 @@ mod tests {
     #[test]
     fn negative_seconds_clamp_to_zero() {
         assert_eq!(SimTime::from_seconds(Seconds::new(-1.0)), SimTime::ZERO);
-        assert_eq!(SimDuration::from_seconds(Seconds::new(-1.0)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_seconds(Seconds::new(-1.0)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use picocube_units::{Joules, Seconds, Watts};
 /// Samples are interpreted as a zero-order hold: the recorded value holds
 /// from its timestamp until the next sample. That matches how the power
 /// ledger's piecewise-constant draws evolve.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ScalarTrace {
     label: String,
     samples: Vec<(SimTime, f64)>,
@@ -17,7 +17,10 @@ pub struct ScalarTrace {
 impl ScalarTrace {
     /// Creates an empty trace with a label used in CSV headers.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), samples: Vec::new() }
+        Self {
+            label: label.into(),
+            samples: Vec::new(),
+        }
     }
 
     /// The trace label.
@@ -34,14 +37,16 @@ impl ScalarTrace {
         if let Some(&(last, _)) = self.samples.last() {
             assert!(t >= last, "trace samples must be recorded in time order");
         }
-        // Collapse repeated equal values at distinct times only when the
-        // previous two samples already hold the same value; keeps traces
-        // compact without losing edges.
-        if self.samples.len() >= 2 {
-            let n = self.samples.len();
-            if self.samples[n - 1].1 == value && self.samples[n - 2].1 == value {
-                self.samples[n - 1].0 = t;
-                return;
+        // Zero-order-hold run-length compression: when the previous two
+        // samples already hold `value`, the middle one carries no
+        // information — the run is fully described by its first point and
+        // this new endpoint. Drop the redundant endpoint and append,
+        // rather than rewriting its timestamp in place: every retained
+        // `(t, v)` pair is then one that was actually recorded, and a
+        // run's leading edge (its first sample) is never touched.
+        if let [.., (_, a), (_, b)] = self.samples[..] {
+            if a == value && b == value {
+                self.samples.pop();
             }
         }
         self.samples.push((t, value));
@@ -99,7 +104,12 @@ impl ScalarTrace {
         max = max.max(v_last);
         let span = t_end.duration_since(t0).as_seconds().value();
         let mean = if span > 0.0 { weighted / span } else { v_last };
-        Some(TraceStats { min, max, mean, span: Seconds::new(span) })
+        Some(TraceStats {
+            min,
+            max,
+            mean,
+            span: Seconds::new(span),
+        })
     }
 
     /// Serializes the trace as two-column CSV (`time_s,<label>`).
@@ -121,7 +131,11 @@ impl ScalarTrace {
         let t1 = self.samples[self.samples.len() - 1].0.as_nanos();
         (0..n)
             .map(|i| {
-                let frac = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+                let frac = if n == 1 {
+                    0.0
+                } else {
+                    i as f64 / (n - 1) as f64
+                };
                 let t = SimTime::from_nanos(t0 + ((t1 - t0) as f64 * frac) as u64);
                 (t.as_seconds(), self.value_at(t).unwrap_or(0.0))
             })
@@ -130,7 +144,7 @@ impl ScalarTrace {
 }
 
 /// Summary statistics of a [`ScalarTrace`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceStats {
     /// Smallest recorded value.
     pub min: f64,
@@ -144,7 +158,7 @@ pub struct TraceStats {
 
 /// A power-vs-time trace: a [`ScalarTrace`] with watt semantics plus energy
 /// integration, the digital twin of the oscilloscope capture in Fig. 6.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PowerTrace {
     inner: ScalarTrace,
 }
@@ -152,7 +166,9 @@ pub struct PowerTrace {
 impl PowerTrace {
     /// Creates an empty power trace.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { inner: ScalarTrace::new(label) }
+        Self {
+            inner: ScalarTrace::new(label),
+        }
     }
 
     /// Records the instantaneous total power at `t`.
@@ -272,6 +288,115 @@ mod tests {
         tr.record(SimTime::from_secs(4), 7.0); // edge must survive
         assert_eq!(tr.value_at(SimTime::from_millis(3_500)), Some(5.0));
         assert_eq!(tr.value_at(SimTime::from_secs(4)), Some(7.0));
+    }
+
+    #[test]
+    fn three_equal_samples_then_step_preserve_hold() {
+        // Regression: compaction across a run must not disturb the
+        // zero-order hold on either side of the step that ends it.
+        let mut tr = ScalarTrace::new("x");
+        tr.record(SimTime::from_secs(0), 5.0);
+        tr.record(SimTime::from_secs(1), 5.0);
+        tr.record(SimTime::from_secs(2), 5.0);
+        tr.record(SimTime::from_secs(3), 8.0);
+        // The run keeps its leading edge and latest endpoint only.
+        assert_eq!(
+            tr.samples(),
+            &[
+                (SimTime::from_secs(0), 5.0),
+                (SimTime::from_secs(2), 5.0),
+                (SimTime::from_secs(3), 8.0),
+            ]
+        );
+        for ms in [0u64, 500, 1_000, 1_500, 2_000, 2_500, 2_999] {
+            assert_eq!(
+                tr.value_at(SimTime::from_millis(ms)),
+                Some(5.0),
+                "at {ms} ms"
+            );
+        }
+        assert_eq!(tr.value_at(SimTime::from_secs(3)), Some(8.0));
+        let s = tr.stats().unwrap();
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 8.0);
+        assert!(
+            (s.mean - 5.0).abs() < 1e-12,
+            "5.0 held for the whole span, mean {}",
+            s.mean
+        );
+        assert_eq!(s.span, Seconds::new(3.0));
+    }
+
+    #[test]
+    fn compaction_is_observationally_equivalent_to_uncompacted() {
+        // Differential property: against an uncompacted reference trace,
+        // value_at and stats must agree for random sequences including
+        // equal-value runs and same-instant steps.
+        let mut rng = crate::SimRng::seed_from(0xC0FFEE);
+        for case in 0..2_000 {
+            let mut tr = ScalarTrace::new("x");
+            let mut raw_samples: Vec<(SimTime, f64)> = Vec::new();
+            let mut t = 0u64;
+            for _ in 0..rng.index(12) + 1 {
+                t += rng.index(3) as u64; // 0 keeps the same instant: a step
+                let v = rng.index(3) as f64;
+                tr.record(SimTime::from_nanos(t), v);
+                raw_samples.push((SimTime::from_nanos(t), v));
+            }
+            for probe in 0..=(2 * t + 2) {
+                let probe = SimTime::from_nanos(probe);
+                assert_eq!(
+                    tr.value_at(probe),
+                    reference_value_at(&raw_samples, probe),
+                    "case {case} at {probe}"
+                );
+            }
+            let s = tr.stats().unwrap();
+            let r = reference_stats(&raw_samples);
+            assert_eq!(s.min, r.0, "case {case}");
+            assert_eq!(s.max, r.1, "case {case}");
+            assert!(
+                (s.mean - r.2).abs() < 1e-9,
+                "case {case}: {} vs {}",
+                s.mean,
+                r.2
+            );
+        }
+    }
+
+    // The reference implementations deliberately repeat the ZOH definition
+    // over the *uncompacted* sample list.
+    fn reference_value_at(samples: &[(SimTime, f64)], t: SimTime) -> Option<f64> {
+        samples
+            .iter()
+            .rev()
+            .find(|&&(st, _)| st <= t)
+            .map(|&(_, v)| v)
+    }
+
+    fn reference_stats(samples: &[(SimTime, f64)]) -> (f64, f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut weighted = 0.0;
+        for w in samples.windows(2) {
+            let (ta, va) = w[0];
+            let (tb, _) = w[1];
+            min = min.min(va);
+            max = max.max(va);
+            weighted += va * tb.duration_since(ta).as_seconds().value();
+        }
+        let (_, v_last) = *samples.last().unwrap();
+        min = min.min(v_last);
+        max = max.max(v_last);
+        let span = samples
+            .last()
+            .unwrap()
+            .0
+            .duration_since(samples[0].0)
+            .as_seconds()
+            .value();
+        let mean = if span > 0.0 { weighted / span } else { v_last };
+        (min, max, mean)
     }
 
     #[test]

@@ -24,9 +24,15 @@ impl BypassNetwork {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn new(total_capacitance: Farads, effective_esr: Ohms) -> Self {
-        assert!(total_capacitance.value() > 0.0, "capacitance must be positive");
+        assert!(
+            total_capacitance.value() > 0.0,
+            "capacitance must be positive"
+        );
         assert!(effective_esr.value() > 0.0, "esr must be positive");
-        Self { total_capacitance, effective_esr }
+        Self {
+            total_capacitance,
+            effective_esr,
+        }
     }
 
     /// The radio-board 0.65 V rail bypass: 4 × 2.2 µF ceramics.
@@ -96,10 +102,18 @@ mod tests {
     fn required_capacitance_inverse_in_budget() {
         let net = BypassNetwork::radio_rail();
         let c1 = net
-            .required_capacitance(Amps::from_milli(2.0), Seconds::new(50e-6), Volts::from_milli(20.0))
+            .required_capacitance(
+                Amps::from_milli(2.0),
+                Seconds::new(50e-6),
+                Volts::from_milli(20.0),
+            )
             .unwrap();
         let c2 = net
-            .required_capacitance(Amps::from_milli(2.0), Seconds::new(50e-6), Volts::from_milli(10.0))
+            .required_capacitance(
+                Amps::from_milli(2.0),
+                Seconds::new(50e-6),
+                Volts::from_milli(10.0),
+            )
             .unwrap();
         assert!(c2 > c1);
         // Supporting the burst implies the fitted capacitance suffices.

@@ -11,7 +11,7 @@ use crate::{CAPACITOR_ENERGY_DENSITY, SUPERCAP_ENERGY_DENSITY};
 use picocube_units::{Amps, Farads, Joules, JoulesPerGram, Ohms, Seconds, Volts};
 
 /// Which capacitor technology a [`CapacitorBank`] models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CapacitorTechnology {
     /// Electric double-layer supercapacitor: ~10 J/g, higher ESR, some
     /// leakage.
@@ -58,8 +58,18 @@ impl CapacitorBank {
     ) -> Self {
         assert!(capacitance.value() > 0.0, "capacitance must be positive");
         assert!(v_rated.value() > 0.0, "rated voltage must be positive");
-        assert!(esr.value() > 0.0 && leakage.value() > 0.0, "esr/leakage must be positive");
-        Self { technology, capacitance, v_rated, v_now: Volts::ZERO, esr, leakage }
+        assert!(
+            esr.value() > 0.0 && leakage.value() > 0.0,
+            "esr/leakage must be positive"
+        );
+        Self {
+            technology,
+            capacitance,
+            v_rated,
+            v_now: Volts::ZERO,
+            esr,
+            leakage,
+        }
     }
 
     /// A 0.1 F / 2.5 V supercapacitor sized to hold roughly the same energy
@@ -173,14 +183,23 @@ impl StorageElement for CapacitorBank {
         }
         let accepted = if depleted {
             let removed_q = self.v_now.value() * self.capacitance.value();
-            Amps::new(if dt.value() > 0.0 { -removed_q / dt.value() } else { 0.0 })
+            Amps::new(if dt.value() > 0.0 {
+                -removed_q / dt.value()
+            } else {
+                0.0
+            })
         } else {
             current
         };
         // ESR conduction heat.
-        dissipated += Joules::new(current.value() * current.value() * self.esr.value() * dt.value());
+        dissipated +=
+            Joules::new(current.value() * current.value() * self.esr.value() * dt.value());
         self.v_now = Volts::new(clamped);
-        StepOutcome { accepted, dissipated, depleted }
+        StepOutcome {
+            accepted,
+            dissipated,
+            depleted,
+        }
     }
 }
 

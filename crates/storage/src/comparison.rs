@@ -4,7 +4,7 @@ use crate::{CapacitorBank, NimhCell, StorageElement};
 use picocube_units::{Amps, Grams, Joules, JoulesPerGram, Volts};
 
 /// One row of the storage-technology comparison table (experiment E5).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechnologyRow {
     /// Technology name.
     pub technology: String,
@@ -49,9 +49,13 @@ pub fn technology_table(budget: Joules) -> Vec<TechnologyRow> {
     });
 
     // Capacitors sized so that E = ½CV² at rated voltage equals the budget.
-    for proto in [CapacitorBank::supercap_100mf(), CapacitorBank::ceramic_100uf()] {
+    for proto in [
+        CapacitorBank::supercap_100mf(),
+        CapacitorBank::ceramic_100uf(),
+    ] {
         let v_rated = proto.rated_voltage();
-        let c = picocube_units::Farads::new(2.0 * budget.value() / (v_rated.value() * v_rated.value()));
+        let c =
+            picocube_units::Farads::new(2.0 * budget.value() / (v_rated.value() * v_rated.value()));
         let mut bank = CapacitorBank::new(
             match proto.name() {
                 "supercapacitor" => crate::CapacitorTechnology::Supercapacitor,
@@ -59,7 +63,11 @@ pub fn technology_table(budget: Joules) -> Vec<TechnologyRow> {
             },
             c,
             v_rated,
-            picocube_units::Ohms::new(if proto.name() == "supercapacitor" { 5.0 } else { 0.02 }),
+            picocube_units::Ohms::new(if proto.name() == "supercapacitor" {
+                5.0
+            } else {
+                0.02
+            }),
             picocube_units::Ohms::new(1e7),
         );
         bank.set_voltage(v_rated);
@@ -94,8 +102,12 @@ mod tests {
             assert!(nimh.mass_for_budget < other.mass_for_budget);
         }
         // Density ratios straight from §4.4: 220 / 10 / 2.
-        assert!((rows[1].mass_for_budget.value() / nimh.mass_for_budget.value() - 22.0).abs() < 0.1);
-        assert!((rows[2].mass_for_budget.value() / nimh.mass_for_budget.value() - 110.0).abs() < 0.5);
+        assert!(
+            (rows[1].mass_for_budget.value() / nimh.mass_for_budget.value() - 22.0).abs() < 0.1
+        );
+        assert!(
+            (rows[2].mass_for_budget.value() / nimh.mass_for_budget.value() - 110.0).abs() < 0.5
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ use picocube_units::{Amps, Grams, Joules, JoulesPerGram, Seconds, Volts};
 /// discharging an empty one moves less charge than requested. The outcome
 /// reports the accepted current so harvest-side accounting can attribute the
 /// difference (overcharge dissipation, brown-out) correctly.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepOutcome {
     /// The current actually integrated (signed; positive = charging).
     pub accepted: Amps,
@@ -100,20 +100,30 @@ mod tests {
         fn step(&mut self, current: Amps, dt: Seconds) -> StepOutcome {
             let delta = Volts::new(1.0) * current * dt;
             self.stored = Joules::new((self.stored + delta).value().clamp(0.0, self.cap.value()));
-            StepOutcome { accepted: current, dissipated: Joules::ZERO, depleted: false }
+            StepOutcome {
+                accepted: current,
+                dissipated: Joules::ZERO,
+                depleted: false,
+            }
         }
     }
 
     #[test]
     fn default_soc_and_mass() {
-        let e = Linear { stored: Joules::new(5.0), cap: Joules::new(20.0) };
+        let e = Linear {
+            stored: Joules::new(5.0),
+            cap: Joules::new(20.0),
+        };
         assert!((e.state_of_charge() - 0.25).abs() < 1e-12);
         assert!((e.mass().value() - 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn soc_of_zero_capacity_is_zero() {
-        let e = Linear { stored: Joules::ZERO, cap: Joules::ZERO };
+        let e = Linear {
+            stored: Joules::ZERO,
+            cap: Joules::ZERO,
+        };
         assert_eq!(e.state_of_charge(), 0.0);
     }
 }

@@ -126,7 +126,10 @@ impl NimhCell {
     ///
     /// Panics if `soc` is outside `[0, 1]`.
     pub fn set_state_of_charge(&mut self, soc: f64) {
-        assert!((0.0..=1.0).contains(&soc), "state of charge must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&soc),
+            "state of charge must be in [0, 1]"
+        );
         self.charge = self.capacity * soc;
     }
 
@@ -202,7 +205,10 @@ impl StorageElement for NimhCell {
 
         // Self-discharge first (independent of the external current).
         let leak = Coulombs::new(
-            self.charge.value() * self.self_discharge_rate * self.self_discharge_factor() * dt.value(),
+            self.charge.value()
+                * self.self_discharge_rate
+                * self.self_discharge_factor()
+                * dt.value(),
         );
         self.charge = Coulombs::new((self.charge - leak).value().max(0.0));
         dissipated += Joules::new(leak.value() * self.nominal.value());
@@ -214,9 +220,8 @@ impl StorageElement for NimhCell {
             // paper's no-damage guarantee only holds at ≤ C/10.
             let q_in = current * dt;
             let headroom = self.capacity - self.charge;
-            let storable = Coulombs::new(
-                (q_in.value() * self.coulombic_efficiency).min(headroom.value()),
-            );
+            let storable =
+                Coulombs::new((q_in.value() * self.coulombic_efficiency).min(headroom.value()));
             self.charge += storable;
             let wasted = q_in.value() - storable.value();
             dissipated += Joules::new(wasted * self.nominal.value());
@@ -241,7 +246,11 @@ impl StorageElement for NimhCell {
                 Amps::ZERO
             };
         }
-        StepOutcome { accepted, dissipated, depleted }
+        StepOutcome {
+            accepted,
+            dissipated,
+            depleted,
+        }
     }
 }
 
@@ -253,7 +262,11 @@ mod tests {
     fn plateau_is_most_of_the_discharge_range() {
         let cell = NimhCell::picocube();
         // §4.4: stable "until just prior to full discharge".
-        assert!(cell.plateau_fraction() > 0.8, "plateau {:.2}", cell.plateau_fraction());
+        assert!(
+            cell.plateau_fraction() > 0.8,
+            "plateau {:.2}",
+            cell.plateau_fraction()
+        );
     }
 
     #[test]
@@ -370,7 +383,10 @@ mod tests {
         let gained = cell.stored_energy() - before;
         // 1.5 mAh × 1.2 V × 0.9 ≈ 5.8 J stored of 6.5 J applied (minus a
         // whisker of self-discharge).
-        assert!(gained.value() > 5.5 && gained.value() < 6.0, "gained {gained:?}");
+        assert!(
+            gained.value() > 5.5 && gained.value() < 6.0,
+            "gained {gained:?}"
+        );
     }
 
     #[test]
@@ -392,7 +408,11 @@ mod tests {
         let out = cell.step(Amps::from_milli(-30.0), Seconds::from_hours(2.0));
         assert!(out.depleted);
         let frozen = cell.frozen_fraction();
-        assert!((cell.state_of_charge() - frozen).abs() < 0.01, "soc {}", cell.state_of_charge());
+        assert!(
+            (cell.state_of_charge() - frozen).abs() < 0.01,
+            "soc {}",
+            cell.state_of_charge()
+        );
         // Warming the cell back up releases it.
         cell.set_temperature(Celsius::new(25.0));
         let out = cell.step(Amps::from_milli(-15.0), Seconds::HOUR);

@@ -71,7 +71,10 @@ impl PrintedFilmCell {
     /// the printable window.
     pub fn area_for(budget: Joules, thickness_um: f64) -> SquareMillimeters {
         assert!(budget.value() > 0.0, "budget must be positive");
-        assert!((30.0..=100.0).contains(&thickness_um), "printable films are 30-100 µm");
+        assert!(
+            (30.0..=100.0).contains(&thickness_um),
+            "printable films are 30-100 µm"
+        );
         let cm2 = budget.value() / (PRINTED_J_PER_CM2_100UM * thickness_um / 100.0);
         SquareMillimeters::new(cm2 * 100.0)
     }
@@ -92,7 +95,10 @@ impl PrintedFilmCell {
     ///
     /// Panics if `soc` is outside `[0, 1]`.
     pub fn set_state_of_charge(&mut self, soc: f64) {
-        assert!((0.0..=1.0).contains(&soc), "state of charge must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&soc),
+            "state of charge must be in [0, 1]"
+        );
         self.stored = self.capacity * soc;
     }
 }
@@ -157,7 +163,11 @@ impl StorageElement for PrintedFilmCell {
             current.value() * current.value() * self.internal_resistance.value() * dt.value(),
         );
         let accepted = if depleted { Amps::ZERO } else { current };
-        StepOutcome { accepted, dissipated, depleted }
+        StepOutcome {
+            accepted,
+            dissipated,
+            depleted,
+        }
     }
 }
 

@@ -140,7 +140,11 @@ mod tests {
 
     #[test]
     fn quantity_sum() {
-        let rails = [Amps::from_micro(1.0), Amps::from_micro(2.0), Amps::from_micro(3.0)];
+        let rails = [
+            Amps::from_micro(1.0),
+            Amps::from_micro(2.0),
+            Amps::from_micro(3.0),
+        ];
         let total: Amps = rails.iter().sum();
         assert!((total.micro() - 6.0).abs() < 1e-9);
     }

@@ -18,7 +18,7 @@ quantity!(
     "mm³"
 );
 
-relate!(Millimeters ^2 = SquareMillimeters);
+relate!(Millimeters ^ 2 = SquareMillimeters);
 relate!(SquareMillimeters * Millimeters = CubicMillimeters);
 
 /// Millimeters per mil (thousandth of an inch) — PCB dielectric thicknesses

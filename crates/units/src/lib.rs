@@ -33,6 +33,8 @@
 #[macro_use]
 mod quantity;
 
+pub mod json;
+
 mod electrical;
 mod energy;
 mod geometry;
@@ -43,7 +45,7 @@ mod thermo;
 pub use electrical::{Amps, Coulombs, Farads, Hertz, Ohms, Volts};
 pub use energy::{Joules, JoulesPerGram, Seconds, Watts};
 pub use geometry::{CubicMillimeters, Millimeters, SquareMillimeters};
-pub use mechanics::{Gs, Grams, Kilopascals, MetersPerSecond, MetersPerSecond2, Rpm};
+pub use mechanics::{Grams, Gs, Kilopascals, MetersPerSecond, MetersPerSecond2, Rpm};
 pub use rf::{Db, Dbm};
 pub use thermo::Celsius;
 

@@ -13,13 +13,26 @@
 ///   `Mul<f64>`, `Div<f64>` (scaling), `f64 * Q`,
 ///   `Div<Q> for Q -> f64` (ratio of like quantities)
 /// * `Sum`, `Default`, `Display` (with the unit suffix), `Debug`,
-///   `Clone`, `Copy`, `PartialEq`, `PartialOrd`, serde
+///   `Clone`, `Copy`, `PartialEq`, `PartialOrd`, transparent JSON
 macro_rules! quantity {
     ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
         $(#[$meta])*
-        #[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-        #[serde(transparent)]
+        #[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(f64);
+
+        impl $crate::json::ToJson for $name {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Num(self.0)
+            }
+        }
+
+        impl $crate::json::FromJson for $name {
+            fn from_json(
+                value: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                Ok(Self(<f64 as $crate::json::FromJson>::from_json(value)?))
+            }
+        }
 
         impl $name {
             /// The zero quantity.

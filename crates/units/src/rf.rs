@@ -5,17 +5,40 @@
 //! gains and losses are applied as [`Db`] offsets, and conversion to/from
 //! linear [`Watts`](crate::Watts) is explicit.
 
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::Watts;
 
 /// Absolute RF power referenced to 1 mW, in decibels (dBm).
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Dbm(f64);
 
 /// A relative power ratio in decibels: antenna gain, path loss, fade margin.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Db(f64);
+
+impl ToJson for Dbm {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0)
+    }
+}
+
+impl FromJson for Dbm {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        f64::from_json(value).map(Self)
+    }
+}
+
+impl ToJson for Db {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0)
+    }
+}
+
+impl FromJson for Db {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        f64::from_json(value).map(Self)
+    }
+}
 
 impl Dbm {
     /// Creates an absolute power level in dBm.

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let neutral = report.harvested > report.consumed;
     println!(
         "  energy-neutral: {}",
-        if neutral { "yes — the node outlives the building" } else { "NO" }
+        if neutral {
+            "yes — the node outlives the building"
+        } else {
+            "NO"
+        }
     );
     assert!(neutral, "office light must cover the node");
 
@@ -60,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  packets offered  : {}", out.offered);
     println!("  collisions       : {}", out.collided);
     println!("  channel losses   : {}", out.channel_losses);
-    println!("  delivered        : {} ({:.1} %)", out.delivered, out.delivery_ratio() * 100.0);
+    println!(
+        "  delivered        : {} ({:.1} %)",
+        out.delivered,
+        out.delivery_ratio() * 100.0
+    );
     println!("  offered load G   : {:.4}", out.offered_load);
 
     let starved: Vec<usize> = out

@@ -18,7 +18,9 @@ fn listing_for(name: &str) -> Result<picocube::mcu::Image, AsmError> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "tpms".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tpms".to_string());
     let image = listing_for(&which)?;
     let code = image
         .segments()
@@ -28,8 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = FlatMemory::new();
     mem.load(&image);
 
-    println!("; {} firmware — {} bytes of code at 0xF000", which, code.1.len());
-    println!("; vectors: reset=0x{:04X}", mem.read16(picocube::mcu::vectors::RESET));
+    println!(
+        "; {} firmware — {} bytes of code at 0xF000",
+        which,
+        code.1.len()
+    );
+    println!(
+        "; vectors: reset=0x{:04X}",
+        mem.read16(picocube::mcu::vectors::RESET)
+    );
     println!();
 
     let (listing, err) = disasm::disassemble_range(&mem, 0xF000, code.1.len() as u16);

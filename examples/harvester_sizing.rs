@@ -24,13 +24,34 @@ fn node_demand(sample_period: Seconds) -> Watts {
 fn main() {
     let day = Seconds::DAY;
     let sources: Vec<(&str, Box<dyn Harvester>)> = vec![
-        ("wheel @ highway", Box::new(WheelHarvester::automotive(DriveCycle::highway()))),
-        ("wheel @ urban", Box::new(WheelHarvester::automotive(DriveCycle::urban()))),
-        ("bicycle wheel", Box::new(WheelHarvester::bicycle(DriveCycle::bicycle()))),
-        ("bench shaker", Box::new(ElectromagneticShaker::bench_450uw())),
-        ("vibration beam 120 Hz", Box::new(VibrationBeam::roundy_120hz())),
-        ("solar, office light", Box::new(SolarCladding::five_faces(Irradiance::office()))),
-        ("solar, outdoors", Box::new(SolarCladding::five_faces(Irradiance::outdoor()))),
+        (
+            "wheel @ highway",
+            Box::new(WheelHarvester::automotive(DriveCycle::highway())),
+        ),
+        (
+            "wheel @ urban",
+            Box::new(WheelHarvester::automotive(DriveCycle::urban())),
+        ),
+        (
+            "bicycle wheel",
+            Box::new(WheelHarvester::bicycle(DriveCycle::bicycle())),
+        ),
+        (
+            "bench shaker",
+            Box::new(ElectromagneticShaker::bench_450uw()),
+        ),
+        (
+            "vibration beam 120 Hz",
+            Box::new(VibrationBeam::roundy_120hz()),
+        ),
+        (
+            "solar, office light",
+            Box::new(SolarCladding::five_faces(Irradiance::office())),
+        ),
+        (
+            "solar, outdoors",
+            Box::new(SolarCladding::five_faces(Irradiance::outdoor())),
+        ),
     ];
     let periods = [1.0f64, 6.0, 60.0, 600.0];
     let bridge = DiodeBridge::schottky();
@@ -49,7 +70,13 @@ fn main() {
         let feasible: Vec<String> = periods
             .iter()
             .filter(|&&p| after_sync >= node_demand(Seconds::new(p)))
-            .map(|&p| if p < 60.0 { format!("{p:.0} s") } else { format!("{:.0} min", p / 60.0) })
+            .map(|&p| {
+                if p < 60.0 {
+                    format!("{p:.0} s")
+                } else {
+                    format!("{:.0} min", p / 60.0)
+                }
+            })
             .collect();
         println!(
             "{:<24} {:>9.1} {:>9.1} {:>9.1} | {}",
@@ -57,7 +84,11 @@ fn main() {
             raw.micro(),
             after_bridge.micro(),
             after_sync.micro(),
-            if feasible.is_empty() { "none — node drains".to_string() } else { feasible.join(", ") }
+            if feasible.is_empty() {
+                "none — node drains".to_string()
+            } else {
+                feasible.join(", ")
+            }
         );
     }
 

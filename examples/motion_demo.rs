@@ -21,7 +21,10 @@ fn bar(g: f64) -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The demo node runs from its battery (the bicycle-wheel scavenger
     // recharges it between sessions).
-    let config = NodeConfig { harvester: HarvesterKind::None, ..NodeConfig::default() };
+    let config = NodeConfig {
+        harvester: HarvesterKind::None,
+        ..NodeConfig::default()
+    };
     let scenario = MotionScenario::retreat_table(2007);
     let mut node = PicoCube::motion(config, scenario)?;
     let mut station = DemoStation::demo_table(2007);

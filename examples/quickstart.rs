@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report = node.report();
     println!("elapsed          : {:.1} s", report.elapsed.value());
-    println!("average power    : {:.2} µW   (paper: ~6 µW)", report.average_power.micro());
+    println!(
+        "average power    : {:.2} µW   (paper: ~6 µW)",
+        report.average_power.micro()
+    );
     println!("peak burst power : {:.2} mW", report.peak_power.milli());
     println!("energy consumed  : {:.1} µJ", report.consumed.micro());
     println!("energy harvested : {:.1} µJ", report.harvested.micro());

@@ -27,7 +27,8 @@ fn run_phase(name: &str, cycle: DriveCycle, leak: f64, minutes: u64) {
     let decoder = Sp12::new();
     let last = report.packets.last().expect("at least one packet");
     let frame = decode(&last.bytes, Checksum::Xor).expect("well-formed packet");
-    let code = |i: usize| u16::from(frame.payload[2 * i]) << 8 | u16::from(frame.payload[2 * i + 1]);
+    let code =
+        |i: usize| u16::from(frame.payload[2 * i]) << 8 | u16::from(frame.payload[2 * i + 1]);
     let kpa = decoder.decode(Sp12Channel::Pressure, code(0));
     let temp = decoder.decode(Sp12Channel::Temperature, code(1));
     let accel = decoder.decode(Sp12Channel::Acceleration, code(2));

@@ -27,7 +27,11 @@ fn fig6_profile_shape() {
 
     // Sleep floor: a few µW.
     let floor = trace.power_at(SimTime::from_secs(3)).unwrap();
-    assert!(floor < Watts::from_micro(5.0), "sleep floor {:.2} µW", floor.micro());
+    assert!(
+        floor < Watts::from_micro(5.0),
+        "sleep floor {:.2} µW",
+        floor.micro()
+    );
 
     // Burst at the 6 s wake: milliwatts, ~10–20 ms wide.
     let burst_samples: Vec<_> = trace
@@ -35,9 +39,7 @@ fn fig6_profile_shape() {
         .samples()
         .iter()
         .filter(|(t, p)| {
-            *t >= SimTime::from_secs(6)
-                && *t <= SimTime::from_millis(6_030)
-                && *p > 100e-6
+            *t >= SimTime::from_secs(6) && *t <= SimTime::from_millis(6_030) && *p > 100e-6
         })
         .collect();
     assert!(!burst_samples.is_empty(), "no burst found at the 6 s wake");
@@ -53,7 +55,10 @@ fn fig6_profile_shape() {
 
 #[test]
 fn tpms_packets_decode_to_tire_physics_at_the_receiver() {
-    let config = NodeConfig { drive_cycle: picocube::harvest::DriveCycle::highway(), ..NodeConfig::default() };
+    let config = NodeConfig {
+        drive_cycle: picocube::harvest::DriveCycle::highway(),
+        ..NodeConfig::default()
+    };
     let mut node = PicoCube::tpms(config).unwrap();
     node.run_for(SimDuration::from_secs(601));
     let packets = node.packets();
@@ -61,7 +66,8 @@ fn tpms_packets_decode_to_tire_physics_at_the_receiver() {
 
     let decoder = Sp12::new();
     let frame = decode(&packets.last().unwrap().bytes, Checksum::Xor).unwrap();
-    let code = |i: usize| u16::from(frame.payload[2 * i]) << 8 | u16::from(frame.payload[2 * i + 1]);
+    let code =
+        |i: usize| u16::from(frame.payload[2 * i]) << 8 | u16::from(frame.payload[2 * i + 1]);
 
     // After 10 minutes at ~110 km/h the tire is warm, pressurized, and
     // spinning at hundreds of g.
@@ -73,12 +79,18 @@ fn tpms_packets_decode_to_tire_physics_at_the_receiver() {
     assert!(temp > 35.0, "tire temp {temp:.1} °C");
     assert!(accel > 200.0, "rim acceleration {accel:.0} g");
     // VDD is the doubled battery OCV (≈1.24 V at 80 % SoC) minus IR.
-    assert!((2.1..=2.6).contains(&supply), "supply channel {supply:.2} V");
+    assert!(
+        (2.1..=2.6).contains(&supply),
+        "supply channel {supply:.2} V"
+    );
 }
 
 #[test]
 fn demo_end_to_end_over_the_simulated_channel() {
-    let config = NodeConfig { harvester: HarvesterKind::None, ..NodeConfig::default() };
+    let config = NodeConfig {
+        harvester: HarvesterKind::None,
+        ..NodeConfig::default()
+    };
     let mut node = PicoCube::motion(config, MotionScenario::retreat_table(77)).unwrap();
     let mut station = DemoStation::demo_table(77);
     node.run_for(SimDuration::from_secs(60));
@@ -111,13 +123,21 @@ fn cots_vs_integrated_ic_tradeoff() {
     // §7.1: the IC integrates everything into 4 mm² but its measured
     // leakage (≈6.5 µA, "partially attributable to the pad ring") puts its
     // sleep floor above the COTS chain's.
-    assert!(p_ic > p_cots, "IC {:.2} µW vs COTS {:.2} µW", p_ic.micro(), p_cots.micro());
+    assert!(
+        p_ic > p_cots,
+        "IC {:.2} µW vs COTS {:.2} µW",
+        p_ic.micro(),
+        p_cots.micro()
+    );
     assert!(p_ic < Watts::from_micro(20.0));
 }
 
 #[test]
 fn energy_ledger_is_consistent_with_battery_drain() {
-    let config = NodeConfig { harvester: HarvesterKind::None, ..NodeConfig::default() };
+    let config = NodeConfig {
+        harvester: HarvesterKind::None,
+        ..NodeConfig::default()
+    };
     let mut node = PicoCube::tpms(config).unwrap();
     let soc0 = node.battery_soc();
     node.run_for(SimDuration::from_secs(120));

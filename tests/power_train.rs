@@ -72,9 +72,17 @@ fn ic_supplies_both_rails_from_a_sagging_battery() {
         cell.set_state_of_charge(soc);
         let vbat = cell.open_circuit_voltage();
         let mcu = ic.supply_mcu(vbat, Amps::from_micro(300.0)).unwrap();
-        assert!(mcu.vout >= Volts::new(2.1), "VDD {:.3} V at SoC {soc}", mcu.vout.value());
+        assert!(
+            mcu.vout >= Volts::new(2.1),
+            "VDD {:.3} V at SoC {soc}",
+            mcu.vout.value()
+        );
         let radio = ic.supply_radio(vbat, Amps::from_milli(2.0)).unwrap();
-        assert_eq!(radio.vout(), Volts::from_milli(650.0), "RF rail at SoC {soc}");
+        assert_eq!(
+            radio.vout(),
+            Volts::from_milli(650.0),
+            "RF rail at SoC {soc}"
+        );
     }
 }
 
@@ -114,7 +122,11 @@ fn depleted_battery_cannot_hold_the_rails() {
     let mut cell = NimhCell::picocube();
     cell.set_state_of_charge(0.005);
     let vbat = cell.open_circuit_voltage(); // ~1.03 V on the knee
-    // 1:2 gives ~2.05 V unloaded: below the 2.1 V MCU floor under load.
+                                            // 1:2 gives ~2.05 V unloaded: below the 2.1 V MCU floor under load.
     let op = ic.supply_mcu(vbat, Amps::from_micro(300.0)).unwrap();
-    assert!(op.vout < Volts::new(2.1), "brown-out must be visible: {:.2} V", op.vout.value());
+    assert!(
+        op.vout < Volts::new(2.1),
+        "brown-out must be visible: {:.2} V",
+        op.vout.value()
+    );
 }

@@ -3,15 +3,16 @@
 
 use picocube::node::{NodeConfig, PicoCube};
 use picocube::sim::SimDuration;
+use picocube::units::json::{FromJson, Json, ToJson};
 
 #[test]
 fn node_report_round_trips_through_json() {
     let mut node = PicoCube::tpms(NodeConfig::default()).unwrap();
     node.run_for(SimDuration::from_secs(13));
     let report = node.report();
-    let json = serde_json::to_string(&report).expect("report serializes");
-    let back: picocube::node::NodeReport =
-        serde_json::from_str(&json).expect("report deserializes");
+    let json = report.to_json().to_string();
+    let back = picocube::node::NodeReport::from_json(&Json::parse(&json).expect("parses"))
+        .expect("report deserializes");
     assert_eq!(back.wakes, report.wakes);
     assert_eq!(back.packets, report.packets);
     assert_eq!(back.average_power, report.average_power);
@@ -26,8 +27,9 @@ fn node_config_round_trips_through_json() {
         wake_interval_ppm: -125.0,
         ..NodeConfig::default()
     };
-    let json = serde_json::to_string(&config).expect("config serializes");
-    let back: NodeConfig = serde_json::from_str(&json).expect("config deserializes");
+    let json = config.to_json().to_string();
+    let back =
+        NodeConfig::from_json(&Json::parse(&json).expect("parses")).expect("config deserializes");
     assert_eq!(back, config);
 }
 
