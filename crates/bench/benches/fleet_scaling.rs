@@ -3,11 +3,15 @@
 //! between the two paths at every size.
 //!
 //! Emits `BENCH_fleet.json` in the working directory. Run with
-//! `cargo bench -p picocube-bench --bench fleet_scaling`.
+//! `cargo bench -p picocube-bench --bench fleet_scaling`, optionally with
+//! `-- --telemetry PATH` to stream the threaded runs' event logs to PATH
+//! as JSON lines and print the merged metric registry; the identity check
+//! then also covers the serial-vs-threaded metric totals.
 
 use picocube_bench::timing::time_once;
-use picocube_node::{run_fleet, FleetConfig, Parallelism};
+use picocube_node::{run_fleet, run_fleet_with, FleetConfig, Parallelism};
 use picocube_sim::SimDuration;
+use picocube_telemetry::{summary_table, JsonlRecorder, Metrics, NullRecorder, Recorder};
 use picocube_units::json::{Json, ToJson};
 
 const DURATION_S: u64 = 30;
@@ -35,7 +39,18 @@ impl Row {
     }
 }
 
+fn parse_telemetry_arg() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--telemetry" {
+            return Some(argv.next().expect("--telemetry needs a file path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let telemetry_path = parse_telemetry_arg();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -45,19 +60,38 @@ fn main() {
         "nodes", "serial", "threaded", "speedup", "identical"
     );
 
+    let mut jsonl = telemetry_path.as_deref().map(|path| {
+        JsonlRecorder::create(path).unwrap_or_else(|e| panic!("--telemetry {path}: {e}"))
+    });
+    let mut merged = Metrics::new();
     let mut rows = Vec::new();
     for nodes in [16usize, 64, 256] {
-        let config = |parallelism| FleetConfig {
-            nodes,
-            duration: SimDuration::from_secs(DURATION_S),
-            seed: SEED,
-            parallelism,
-            ..FleetConfig::default()
+        let config = |parallelism| {
+            FleetConfig::builder()
+                .nodes(nodes)
+                .duration(SimDuration::from_secs(DURATION_S))
+                .seed(SEED)
+                .parallelism(parallelism)
+                .build()
+                .expect("valid bench configuration")
         };
-        let (serial_s, serial_out) = time_once(|| run_fleet(&config(Parallelism::Serial)));
-        let (threaded_s, threaded_out) =
-            time_once(|| run_fleet(&config(Parallelism::Threads(threads))));
-        let identical = serial_out == threaded_out;
+        let (serial_s, threaded_s, identical) = if let Some(recorder) = jsonl.as_mut() {
+            // Instrumented path: telemetry identity checked alongside the
+            // outcome (counters must match bit-for-bit).
+            let (serial_s, (serial_out, serial_metrics)) =
+                time_once(|| run_fleet_with(&config(Parallelism::Serial), &mut NullRecorder));
+            let (threaded_s, (threaded_out, threaded_metrics)) =
+                time_once(|| run_fleet_with(&config(Parallelism::Threads(threads)), recorder));
+            let identical = serial_out == threaded_out
+                && serial_metrics.to_json().to_string() == threaded_metrics.to_json().to_string();
+            merged.merge_from(&threaded_metrics);
+            (serial_s, threaded_s, identical)
+        } else {
+            let (serial_s, serial_out) = time_once(|| run_fleet(&config(Parallelism::Serial)));
+            let (threaded_s, threaded_out) =
+                time_once(|| run_fleet(&config(Parallelism::Threads(threads))));
+            (serial_s, threaded_s, serial_out == threaded_out)
+        };
         let speedup = serial_s / threaded_s;
         println!(
             "{nodes:>6} {serial_s:>11.3}s {threaded_s:>11.3}s {speedup:>7.2}x {identical:>10}",
@@ -91,4 +125,15 @@ fn main() {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
     std::fs::write(out, report.to_string() + "\n").expect("write BENCH_fleet.json");
     println!("wrote {out}");
+
+    if let Some(mut recorder) = jsonl {
+        recorder.flush().expect("flush telemetry log");
+        println!(
+            "wrote {} telemetry events to {}",
+            recorder.lines(),
+            telemetry_path.as_deref().unwrap_or("?")
+        );
+        println!("\nmerged metrics across the threaded runs:");
+        print!("{}", summary_table(&merged));
+    }
 }

@@ -2,24 +2,30 @@
 //! transmit-only, so its MAC is pure unslotted ALOHA; this experiment maps
 //! packet delivery vs deployment density, with the capture effect.
 //!
-//! Usage: `exp_dense_network [--nodes N[,N...]] [--threads T]`
+//! Usage: `exp_dense_network [--nodes N[,N...]] [--threads T] [--telemetry PATH]`
 //!
 //! `--nodes` overrides the default density sweep with specific fleet
 //! sizes; `--threads` runs phase 1 of the fleet engine on T worker
-//! threads (results are bit-identical to the serial path).
+//! threads (results are bit-identical to the serial path); `--telemetry`
+//! streams every fleet run's structured event log to PATH as JSON lines
+//! and prints the merged metric registry. Telemetry is deterministic: the
+//! same seed produces byte-identical logs serial or threaded.
 
 use picocube_bench::{banner, bar};
-use picocube_node::{run_fleet, FleetConfig, Parallelism};
+use picocube_node::{run_fleet_with, FleetConfig, Parallelism};
 use picocube_sim::SimDuration;
+use picocube_telemetry::{summary_table, JsonlRecorder, Metrics, NullRecorder, Recorder};
 
 struct Args {
     nodes: Vec<usize>,
     parallelism: Parallelism,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut nodes = vec![1, 4, 16, 64, 128, 256];
     let mut parallelism = Parallelism::Serial;
+    let mut telemetry = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -52,10 +58,19 @@ fn parse_args() -> Args {
                     Parallelism::Threads(t)
                 };
             }
-            other => panic!("unknown argument {other:?}; supported: --nodes N[,N...] --threads T"),
+            "--telemetry" => {
+                telemetry = Some(argv.next().expect("--telemetry needs a file path"));
+            }
+            other => panic!(
+                "unknown argument {other:?}; supported: --nodes N[,N...] --threads T --telemetry PATH"
+            ),
         }
     }
-    Args { nodes, parallelism }
+    Args {
+        nodes,
+        parallelism,
+        telemetry,
+    }
 }
 
 fn main() {
@@ -69,19 +84,33 @@ fn main() {
         println!("\nfleet phase 1 on {t} worker threads (bit-identical to serial)");
     }
 
+    let mut jsonl = args.telemetry.as_deref().map(|path| {
+        JsonlRecorder::create(path).unwrap_or_else(|e| panic!("--telemetry {path}: {e}"))
+    });
+    let mut merged = Metrics::new();
+    let mut run = |config: &FleetConfig| {
+        let (out, metrics) = match jsonl.as_mut() {
+            Some(recorder) => run_fleet_with(config, recorder),
+            None => run_fleet_with(config, &mut NullRecorder),
+        };
+        merged.merge_from(&metrics);
+        out
+    };
+
     println!("\n2-minute deployments, 6 s sample period, ~1 ms airtime per packet:\n");
     println!(
         "{:>7} {:>9} {:>10} {:>10} {:>10} {:>9}",
         "nodes", "offered", "collided", "chan-lost", "delivered", "ratio"
     );
     for &nodes in &args.nodes {
-        let out = run_fleet(&FleetConfig {
-            nodes,
-            duration: SimDuration::from_secs(120),
-            seed: 42,
-            parallelism: args.parallelism,
-            ..FleetConfig::default()
-        });
+        let config = FleetConfig::builder()
+            .nodes(nodes)
+            .duration(SimDuration::from_secs(120))
+            .seed(42)
+            .parallelism(args.parallelism)
+            .build()
+            .expect("valid sweep configuration");
+        let out = run(&config);
         println!(
             "{:>7} {:>9} {:>10} {:>10} {:>10} {:>8.1}% {}",
             nodes,
@@ -100,18 +129,32 @@ fn main() {
     println!("far at this duty cycle, which is why the Cube can skip a receiver.");
 
     // Worst case: clock-locked nodes.
-    let locked = run_fleet(&FleetConfig {
-        nodes: 32,
-        duration: SimDuration::from_secs(120),
-        distance_range: (1.0, 1.05),
-        seed: 43,
-        parallelism: args.parallelism,
-        ..FleetConfig::default()
-    });
+    let locked_config = FleetConfig::builder()
+        .nodes(32)
+        .duration(SimDuration::from_secs(120))
+        .distance_range(1.0, 1.05)
+        .seed(43)
+        .parallelism(args.parallelism)
+        .build()
+        .expect("valid locked configuration");
+    let locked = run(&locked_config);
     println!(
         "\nequal-power fleet at one table (no capture possible): {:.1} % delivery",
         locked.delivery_ratio() * 100.0
     );
     println!("the ±500 ppm timer tolerance is what keeps phase-locked nodes from");
     println!("colliding forever: drift walks simultaneous transmitters apart.");
+
+    if let Some(mut recorder) = jsonl {
+        recorder.flush().expect("flush telemetry log");
+        println!(
+            "\nwrote {} telemetry events to {}",
+            recorder.lines(),
+            args.telemetry.as_deref().unwrap_or("?")
+        );
+    }
+    if args.telemetry.is_some() {
+        println!("\nmerged metrics across the sweep:");
+        print!("{}", summary_table(&merged));
+    }
 }

@@ -1,12 +1,35 @@
 //! E1 — Fig. 6: power profile during one "on" cycle, and the §6 headline:
 //! "Average Cube power consumption using the TPMS sensor is 6 µW,
 //! dominated by quiescent losses from the power management circuitry."
+//!
+//! Usage: `exp_fig6_power_profile [--telemetry PATH]`
+//!
+//! `--telemetry` writes the node's structured event log (wakes, radio
+//! bursts, any brownouts) to PATH as JSON lines and prints the metric
+//! registry, including the per-rail energy export the breakdown below is
+//! read from.
 
 use picocube_bench::{banner, bar, fmt_power};
 use picocube_node::{NodeConfig, PicoCube};
 use picocube_sim::{SimDuration, SimTime};
+use picocube_telemetry::{summary_table, JsonlRecorder, Recorder};
+
+fn parse_telemetry_arg() -> Option<String> {
+    let mut telemetry = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--telemetry" => {
+                telemetry = Some(argv.next().expect("--telemetry needs a file path"));
+            }
+            other => panic!("unknown argument {other:?}; supported: --telemetry PATH"),
+        }
+    }
+    telemetry
+}
 
 fn main() {
+    let telemetry_path = parse_telemetry_arg();
     banner(
         "E1 / Fig. 6",
         "power profile during an \"on\" cycle",
@@ -14,6 +37,7 @@ fn main() {
     );
 
     let mut node = PicoCube::tpms(NodeConfig::default()).expect("node builds");
+    node.set_event_recording(telemetry_path.is_some());
     node.run_for(SimDuration::from_secs(60));
     let report = node.report();
     let trace = node.power_trace();
@@ -88,5 +112,16 @@ fn main() {
         if std::fs::write(&soc, node.soc_trace().to_csv()).is_ok() {
             println!("wrote {}", soc.display());
         }
+    }
+
+    if let Some(path) = telemetry_path {
+        let mut telemetry = node.drain_telemetry();
+        let mut recorder =
+            JsonlRecorder::create(&path).unwrap_or_else(|e| panic!("--telemetry {path}: {e}"));
+        telemetry.drain_events_into(&mut recorder);
+        recorder.flush().expect("flush telemetry log");
+        println!("\nwrote {} telemetry events to {path}", recorder.lines());
+        println!("\nmetric registry:");
+        print!("{}", summary_table(&telemetry.metrics));
     }
 }

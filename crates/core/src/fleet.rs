@@ -36,6 +36,7 @@ use crate::node::{NodeConfig, PicoCube};
 use picocube_radio::packet::Checksum;
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
 use picocube_sim::{SimDuration, SimRng, SimTime};
+use picocube_telemetry::{EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
 use picocube_units::{Db, Dbm, Hertz};
 
 /// How fleet phase 1 (per-node simulation) is executed.
@@ -104,6 +105,140 @@ impl Default for FleetConfig {
     }
 }
 
+/// Why a fleet configuration was rejected by [`FleetConfig::validate`] (and
+/// therefore by [`FleetConfigBuilder::build`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// The fleet had zero nodes.
+    ZeroNodes,
+    /// The simulated duration was zero.
+    NonPositiveDuration,
+    /// `Parallelism::Threads(0)` was requested.
+    ZeroThreads,
+    /// The distance range was non-positive or reversed.
+    InvalidDistanceRange,
+}
+
+impl core::fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::ZeroNodes => "fleet needs at least one node",
+            Self::NonPositiveDuration => "fleet duration must be positive",
+            Self::ZeroThreads => "Parallelism::Threads needs at least one thread",
+            Self::InvalidDistanceRange => {
+                "invalid distance range: distances must be positive and ascending"
+            }
+        })
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+impl FleetConfig {
+    /// Starts a validating builder seeded with [`FleetConfig::default`].
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// Checks the invariants the fleet engine relies on, returning the
+    /// first violation. [`run_fleet`] still asserts (for back-compat with
+    /// struct-literal construction); the builder routes through this.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.nodes == 0 {
+            return Err(FleetConfigError::ZeroNodes);
+        }
+        if self.duration.is_zero() {
+            return Err(FleetConfigError::NonPositiveDuration);
+        }
+        if self.parallelism == Parallelism::Threads(0) {
+            return Err(FleetConfigError::ZeroThreads);
+        }
+        if !(self.distance_range.0 > 0.0 && self.distance_range.1 >= self.distance_range.0) {
+            return Err(FleetConfigError::InvalidDistanceRange);
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FleetConfig`] that validates on
+/// [`build`](FleetConfigBuilder::build): degenerate scenarios (zero nodes, zero
+/// duration, zero worker threads, bad distance ranges) come back as a
+/// [`FleetConfigError`] instead of a panic deep inside the engine.
+///
+/// # Examples
+///
+/// ```
+/// use picocube_node::{FleetConfig, Parallelism};
+/// use picocube_sim::SimDuration;
+///
+/// let config = FleetConfig::builder()
+///     .nodes(64)
+///     .duration(SimDuration::from_secs(60))
+///     .seed(7)
+///     .parallelism(Parallelism::Threads(4))
+///     .build()
+///     .expect("valid fleet scenario");
+/// assert_eq!(config.nodes, 64);
+/// assert!(FleetConfig::builder().nodes(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the number of nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// Sets the base per-node configuration (id/seed/phase are overridden
+    /// per node).
+    pub fn base(mut self, base: NodeConfig) -> Self {
+        self.config.base = base;
+        self
+    }
+
+    /// Sets the simulated duration.
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.config.duration = duration;
+        self
+    }
+
+    /// Sets the node-to-receiver distance range in meters.
+    pub fn distance_range(mut self, min_m: f64, max_m: f64) -> Self {
+        self.config.distance_range = (min_m, max_m);
+        self
+    }
+
+    /// Sets the capture threshold.
+    pub fn capture_margin(mut self, margin: Db) -> Self {
+        self.config.capture_margin = margin;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the phase-1 execution mode.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<FleetConfig, FleetConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// What happened to one transmitted packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketFate {
@@ -162,6 +297,9 @@ pub struct NodeOnAir {
     /// `(start, end, receive level)` per packet, in transmission order,
     /// with the frame bytes and RF accounting.
     packets: Vec<OnAir>,
+    /// The node's drained telemetry: metric totals plus (when the fleet
+    /// run's recorder wants them) its attributed event stream.
+    telemetry: TelemetryBuffer,
 }
 
 // The parallel engine moves these across thread boundaries; keep the
@@ -209,6 +347,22 @@ fn link_for_fleet() -> Link {
 ///
 /// Panics if the node fails to build.
 pub fn simulate_node(config: &FleetConfig, index: usize) -> NodeOnAir {
+    simulate_node_instrumented(config, index, false)
+}
+
+/// [`simulate_node`], with structured event recording switched on when
+/// `record_events` is set. The node's telemetry is drained, attributed to
+/// its fleet index and carried in the returned [`NodeOnAir`]; metrics are
+/// collected either way.
+///
+/// # Panics
+///
+/// Panics if the node fails to build.
+pub fn simulate_node_instrumented(
+    config: &FleetConfig,
+    index: usize,
+    record_events: bool,
+) -> NodeOnAir {
     let mut setup = node_setup_rng(config.seed, index);
     let period_ms = 6_000u64;
     let node_config = NodeConfig {
@@ -219,7 +373,10 @@ pub fn simulate_node(config: &FleetConfig, index: usize) -> NodeOnAir {
         ..config.base.clone()
     };
     let mut node = PicoCube::tpms(node_config).expect("fleet node builds");
+    node.set_event_recording(record_events);
     node.run_for(config.duration);
+    let mut telemetry = node.drain_telemetry();
+    telemetry.attribute_to(index as u32);
     let distance = setup.uniform(config.distance_range.0, config.distance_range.1);
     let link = link_for_fleet();
     let rx_dbm = link.budget(distance).received;
@@ -240,16 +397,17 @@ pub fn simulate_node(config: &FleetConfig, index: usize) -> NodeOnAir {
     NodeOnAir {
         node: index,
         packets,
+        telemetry,
     }
 }
 
 /// Runs phase 1 for every node, honoring `config.parallelism`. Results are
 /// returned indexed by node regardless of completion order.
-fn simulate_all_nodes(config: &FleetConfig) -> Vec<NodeOnAir> {
+fn simulate_all_nodes(config: &FleetConfig, record_events: bool) -> Vec<NodeOnAir> {
     let workers = config.parallelism.workers().min(config.nodes).max(1);
     if workers == 1 {
         return (0..config.nodes)
-            .map(|i| simulate_node(config, i))
+            .map(|i| simulate_node_instrumented(config, i, record_events))
             .collect();
     }
     // Contiguous shards: thread t simulates nodes [bounds[t], bounds[t+1]).
@@ -269,7 +427,7 @@ fn simulate_all_nodes(config: &FleetConfig) -> Vec<NodeOnAir> {
                 let (lo, hi) = (bounds[t], bounds[t + 1]);
                 scope.spawn(move || {
                     (lo..hi)
-                        .map(|i| simulate_node(config, i))
+                        .map(|i| simulate_node_instrumented(config, i, record_events))
                         .collect::<Vec<_>>()
                 })
             })
@@ -287,6 +445,24 @@ fn simulate_all_nodes(config: &FleetConfig) -> Vec<NodeOnAir> {
 /// deterministic: inputs are canonically ordered by `(start, node)` and all
 /// randomness comes from the reserved merge stream.
 pub fn merge_fleet(config: &FleetConfig, nodes: Vec<NodeOnAir>) -> FleetOutcome {
+    merge_fleet_impl(config, nodes, &mut TelemetryBuffer::new())
+}
+
+/// Receive-level histogram bounds for `fleet.rx_dbm`: 10 dB decades across
+/// the plausible indoor range. The default decade bounds are built for
+/// positive magnitudes and cannot bucket dBm.
+const RX_DBM_BOUNDS: [f64; 8] = [-100.0, -90.0, -80.0, -70.0, -60.0, -50.0, -40.0, -30.0];
+
+/// [`merge_fleet`], instrumenting `telemetry` with the fleet-level metrics
+/// (`fleet.offered` / `fleet.collided` / `fleet.channel_losses` /
+/// `fleet.delivered` counters, the `fleet.offered_load` gauge, the
+/// `fleet.rx_dbm` histogram) and one [`EventKind::PacketFate`] event per
+/// packet, attributed and in canonical `(start, node)` order.
+fn merge_fleet_impl(
+    config: &FleetConfig,
+    nodes: Vec<NodeOnAir>,
+    telemetry: &mut TelemetryBuffer,
+) -> FleetOutcome {
     let mut per_node_offered = vec![0usize; config.nodes];
     let mut on_air: Vec<OnAir> = Vec::new();
     for node in nodes {
@@ -361,6 +537,41 @@ pub fn merge_fleet(config: &FleetConfig, nodes: Vec<NodeOnAir>) -> FleetOutcome 
         .iter()
         .map(|p| p.end.duration_since(p.start).as_seconds().value())
         .sum();
+
+    // Fleet-level instrumentation. The sweep above already visits packets
+    // in canonical (start, node) order, so the fate stream and histogram
+    // fills are deterministic regardless of how phase 1 was scheduled.
+    telemetry
+        .metrics
+        .register_histogram("fleet.rx_dbm", &RX_DBM_BOUNDS);
+    for (entry, fate) in on_air.iter().zip(&fates) {
+        telemetry
+            .metrics
+            .observe("fleet.rx_dbm", entry.rx_dbm.value());
+        let fate = match fate {
+            PacketFate::Delivered => "delivered",
+            PacketFate::Collided => "collided",
+            PacketFate::ChannelLoss => "channel_loss",
+        };
+        telemetry.record_for(
+            entry.node as u32,
+            entry.end.as_nanos(),
+            EventKind::PacketFate { fate },
+        );
+    }
+    telemetry.metrics.inc("fleet.offered", on_air.len() as u64);
+    telemetry.metrics.inc("fleet.collided", collided as u64);
+    telemetry
+        .metrics
+        .inc("fleet.channel_losses", channel_losses as u64);
+    telemetry.metrics.inc("fleet.delivered", delivered as u64);
+    let offered_load = if elapsed > 0.0 {
+        airtime / elapsed
+    } else {
+        0.0
+    };
+    telemetry.metrics.add("fleet.offered_load", offered_load);
+
     FleetOutcome {
         offered: on_air.len(),
         collided,
@@ -372,11 +583,7 @@ pub fn merge_fleet(config: &FleetConfig, nodes: Vec<NodeOnAir>) -> FleetOutcome 
             .map(|(&o, &d)| if o == 0 { 0.0 } else { d as f64 / o as f64 })
             .collect(),
         // Zero-duration (or packet-free) runs report 0, never NaN.
-        offered_load: if elapsed > 0.0 {
-            airtime / elapsed
-        } else {
-            0.0
-        },
+        offered_load,
     }
 }
 
@@ -387,26 +594,211 @@ pub fn merge_fleet(config: &FleetConfig, nodes: Vec<NodeOnAir>) -> FleetOutcome 
 /// Panics if the configuration is degenerate (zero nodes, reversed
 /// distance range, zero worker threads) or a node fails to build.
 pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
+    run_fleet_with(config, &mut NullRecorder).0
+}
+
+/// Runs the fleet scenario, streaming telemetry into `recorder` and
+/// returning the merged metric registry alongside the outcome.
+///
+/// Events are recorded only when `recorder.wants_events()` (so
+/// [`NullRecorder`] costs one branch per potential event); metric counters
+/// are always collected. The emitted stream is framed by phase markers —
+/// `phase_start`/`phase_end` for `"simulate"`, then for `"merge"` — with
+/// per-node events canonically interleaved by `(t_ns, node)` inside the
+/// simulate frame and per-packet [`EventKind::PacketFate`] events in
+/// `(start, node)` order inside the merge frame. Both the stream and the
+/// metric totals are bit-identical between [`Parallelism::Serial`] and
+/// [`Parallelism::Threads`] runs of the same configuration: shards record
+/// into their own [`TelemetryBuffer`]s and merge in node order.
+///
+/// # Panics
+///
+/// Panics as [`run_fleet`] does on degenerate configurations.
+pub fn run_fleet_with(
+    config: &FleetConfig,
+    recorder: &mut dyn Recorder,
+) -> (FleetOutcome, Metrics) {
     assert!(config.nodes > 0, "fleet needs at least one node");
     assert!(
         config.distance_range.0 > 0.0 && config.distance_range.1 >= config.distance_range.0,
         "invalid distance range"
     );
-    let nodes = simulate_all_nodes(config);
-    merge_fleet(config, nodes)
+    let record_events = recorder.wants_events();
+    let duration_ns = config.duration.as_nanos();
+
+    let mut engine = TelemetryBuffer::with_events(record_events);
+    engine.record(
+        0,
+        EventKind::PhaseStart {
+            phase: "simulate".into(),
+        },
+    );
+    let mut nodes = simulate_all_nodes(config, record_events);
+
+    // Deterministic shard merge: absorb per-node buffers in node order,
+    // then canonicalize the interleaving. Thread scheduling cannot reorder
+    // anything because `simulate_all_nodes` returns results indexed by
+    // node regardless of completion order.
+    let mut shards = TelemetryBuffer::with_events(record_events);
+    for node in &mut nodes {
+        shards.absorb(std::mem::take(&mut node.telemetry));
+    }
+    shards.sort_events();
+    engine.absorb(shards);
+    engine.record(
+        duration_ns,
+        EventKind::PhaseEnd {
+            phase: "simulate".into(),
+        },
+    );
+
+    engine.record(
+        duration_ns,
+        EventKind::PhaseStart {
+            phase: "merge".into(),
+        },
+    );
+    let outcome = merge_fleet_impl(config, nodes, &mut engine);
+    engine.record(
+        duration_ns,
+        EventKind::PhaseEnd {
+            phase: "merge".into(),
+        },
+    );
+
+    engine.drain_events_into(recorder);
+    (outcome, engine.metrics)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use picocube_telemetry::Event;
 
     fn quick(nodes: usize, seed: u64) -> FleetOutcome {
-        run_fleet(&FleetConfig {
-            nodes,
-            duration: SimDuration::from_secs(60),
-            seed,
-            ..FleetConfig::default()
-        })
+        run_fleet(
+            &FleetConfig::builder()
+                .nodes(nodes)
+                .duration(SimDuration::from_secs(60))
+                .seed(seed)
+                .build()
+                .expect("valid test scenario"),
+        )
+    }
+
+    #[test]
+    fn builder_accepts_a_full_scenario() {
+        let config = FleetConfig::builder()
+            .nodes(5)
+            .duration(SimDuration::from_secs(45))
+            .distance_range(1.0, 2.0)
+            .capture_margin(Db::new(6.0))
+            .seed(99)
+            .parallelism(Parallelism::Threads(2))
+            .build()
+            .expect("valid scenario");
+        assert_eq!(config.nodes, 5);
+        assert_eq!(config.duration, SimDuration::from_secs(45));
+        assert_eq!(config.distance_range, (1.0, 2.0));
+        assert_eq!(config.capture_margin, Db::new(6.0));
+        assert_eq!(config.seed, 99);
+        assert_eq!(config.parallelism, Parallelism::Threads(2));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_scenarios() {
+        let err = |b: FleetConfigBuilder| b.build().unwrap_err();
+        assert_eq!(
+            err(FleetConfig::builder().nodes(0)),
+            FleetConfigError::ZeroNodes
+        );
+        assert_eq!(
+            err(FleetConfig::builder().duration(SimDuration::ZERO)),
+            FleetConfigError::NonPositiveDuration
+        );
+        assert_eq!(
+            err(FleetConfig::builder().parallelism(Parallelism::Threads(0))),
+            FleetConfigError::ZeroThreads
+        );
+        assert_eq!(
+            err(FleetConfig::builder().distance_range(2.0, 1.0)),
+            FleetConfigError::InvalidDistanceRange
+        );
+        assert_eq!(
+            err(FleetConfig::builder().distance_range(0.0, 1.0)),
+            FleetConfigError::InvalidDistanceRange
+        );
+        // The messages are what `run_fleet`'s asserts say, so builder users
+        // and struct-literal users read the same diagnostics.
+        assert!(FleetConfigError::ZeroNodes
+            .to_string()
+            .contains("at least one node"));
+        assert!(FleetConfigError::ZeroThreads
+            .to_string()
+            .contains("at least one thread"));
+    }
+
+    #[test]
+    fn instrumented_run_streams_framed_events_and_totals() {
+        let config = FleetConfig::builder()
+            .nodes(3)
+            .duration(SimDuration::from_secs(30))
+            .seed(9)
+            .build()
+            .expect("valid scenario");
+        let mut events: Vec<Event> = Vec::new();
+        let (out, metrics) = run_fleet_with(&config, &mut events);
+
+        assert_eq!(metrics.counter("fleet.offered"), out.offered as u64);
+        assert_eq!(metrics.counter("fleet.collided"), out.collided as u64);
+        assert_eq!(
+            metrics.counter("fleet.channel_losses"),
+            out.channel_losses as u64
+        );
+        assert_eq!(metrics.counter("fleet.delivered"), out.delivered as u64);
+        assert_eq!(
+            metrics.gauge("fleet.offered_load").to_bits(),
+            out.offered_load.to_bits()
+        );
+        assert!(metrics.counter("node.wakes") >= out.offered as u64);
+        assert!(metrics.gauge("power.total.uj") > 0.0);
+        let rx = metrics.histogram("fleet.rx_dbm").expect("registered");
+        assert_eq!(rx.count(), out.offered as u64);
+
+        // Framing: phase markers open and close the stream, one fate event
+        // per offered packet, at least one wake per node.
+        assert!(
+            matches!(events.first().unwrap().kind, EventKind::PhaseStart { ref phase } if phase == "simulate")
+        );
+        assert!(
+            matches!(events.last().unwrap().kind, EventKind::PhaseEnd { ref phase } if phase == "merge")
+        );
+        let fates = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PacketFate { .. }))
+            .count();
+        assert_eq!(fates, out.offered);
+        for node in 0..config.nodes as u32 {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.node == node && matches!(e.kind, EventKind::Wake { .. })),
+                "node {node} recorded no wake"
+            );
+        }
+    }
+
+    #[test]
+    fn null_recorder_keeps_metrics_without_events() {
+        let config = FleetConfig::builder()
+            .nodes(2)
+            .duration(SimDuration::from_secs(30))
+            .seed(9)
+            .build()
+            .expect("valid scenario");
+        let (out, metrics) = run_fleet_with(&config, &mut NullRecorder);
+        assert_eq!(metrics.counter("fleet.offered"), out.offered as u64);
+        assert!(metrics.counter("mcu.lpm_ns") > 0);
     }
 
     #[test]
@@ -448,13 +840,15 @@ mod tests {
         // Direct check of the overlap predicate through a dense burst:
         // nodes within one packet time of each other must collide, and
         // equal-power nodes cannot capture.
-        let dense = run_fleet(&FleetConfig {
-            nodes: 64,
-            duration: SimDuration::from_secs(30),
-            distance_range: (1.0, 1.01),
-            seed: 7,
-            ..FleetConfig::default()
-        });
+        let dense = run_fleet(
+            &FleetConfig::builder()
+                .nodes(64)
+                .duration(SimDuration::from_secs(30))
+                .distance_range(1.0, 1.01)
+                .seed(7)
+                .build()
+                .expect("valid test scenario"),
+        );
         // 64 nodes × 5 packets in 30 s at random phases: expect a few
         // overlaps in expectation (birthday-style).
         assert!(dense.offered >= 64 * 4);

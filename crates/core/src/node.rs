@@ -13,6 +13,7 @@ use picocube_radio::OokTransmitter;
 use picocube_sensors::{MotionScenario, Sca3000, Sp12, TireEnvironment};
 use picocube_sim::{LoadId, PowerLedger, PowerTrace, RailId, ScalarTrace, SimDuration, SimTime};
 use picocube_storage::{NimhCell, StorageElement};
+use picocube_telemetry::{EventKind, TelemetryBuffer};
 use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Amps, Celsius, Hertz, Joules, Seconds, Volts, Watts};
 use std::cell::{Cell, RefCell};
@@ -351,6 +352,8 @@ pub struct PicoCube {
     wakeup: Option<picocube_radio::WakeupReceiver>,
     trace: PowerTrace,
     soc_trace: ScalarTrace,
+    telemetry: TelemetryBuffer,
+    slept: SimDuration,
     last_battery_update: SimTime,
     last_consumed: Joules,
     harvested: Joules,
@@ -534,6 +537,8 @@ impl PicoCube {
             wakeup,
             trace: PowerTrace::new("node_power_w"),
             soc_trace: ScalarTrace::new("battery_soc"),
+            telemetry: TelemetryBuffer::new(),
+            slept: SimDuration::ZERO,
             last_battery_update: SimTime::ZERO,
             last_consumed: Joules::ZERO,
             harvested: Joules::ZERO,
@@ -559,6 +564,42 @@ impl PicoCube {
     /// The battery-side power trace (the Fig. 6 instrument).
     pub fn power_trace(&self) -> &PowerTrace {
         &self.trace
+    }
+
+    /// Turns structured event recording on or off (metrics counters are
+    /// always maintained). Off by default: the hot path then pays one
+    /// branch per potential event.
+    pub fn set_event_recording(&mut self, enabled: bool) {
+        self.telemetry.set_events_enabled(enabled);
+    }
+
+    /// Live view of the node's telemetry (counters accumulated so far and
+    /// any buffered events).
+    pub fn telemetry(&self) -> &TelemetryBuffer {
+        &self.telemetry
+    }
+
+    /// Finalizes and takes the node's telemetry: the buffered events plus
+    /// the metric registry, extended with the run's sleep/active residency
+    /// (`mcu.lpm_ns` / `mcu.active_ns`) and the ledger's per-rail,
+    /// per-load energy export.
+    ///
+    /// Intended to be called once at the end of a run; the node keeps
+    /// recording into a fresh buffer afterwards, but residency and energy
+    /// totals restart from zero only for events — the power ledger keeps
+    /// integrating, so a second drain would re-export its lifetime totals.
+    pub fn drain_telemetry(&mut self) -> TelemetryBuffer {
+        let enabled = self.telemetry.events_enabled();
+        let mut buf = std::mem::take(&mut self.telemetry);
+        self.telemetry.set_events_enabled(enabled);
+        let lpm_ns = self.slept.as_nanos();
+        buf.metrics.inc("mcu.lpm_ns", lpm_ns);
+        buf.metrics.inc(
+            "mcu.active_ns",
+            self.now().as_nanos().saturating_sub(lpm_ns),
+        );
+        self.ledger.export_metrics(&mut buf.metrics);
+        buf
     }
 
     /// Battery state-of-charge trace over the run.
@@ -760,6 +801,9 @@ impl PicoCube {
                 if ocv < Volts::new(1.05) {
                     self.browned_out = Some(self.now());
                     self.brownout_count += 1;
+                    self.telemetry.metrics.inc("node.brownouts", 1);
+                    self.telemetry
+                        .record(self.now().as_nanos(), EventKind::BrownOut);
                     self.mcu.set_register(2, 0); // hold in reset: GIE off
                     self.mcu.clear_pending_irqs();
                     for load in [
@@ -778,6 +822,8 @@ impl PicoCube {
             Some(_) => {
                 if ocv >= Volts::new(1.15) {
                     self.browned_out = None;
+                    self.telemetry
+                        .record(self.now().as_nanos(), EventKind::Recovered);
                     self.mcu.warm_reset();
                     // Sensor schedules restart relative to the reboot.
                     let now = self.now();
@@ -809,6 +855,7 @@ impl PicoCube {
 
     /// Fires the event scheduled for `at` (must equal `next_event()`).
     fn fire_event(&mut self) {
+        let t_ns = self.now().as_nanos();
         match &mut self.sensor {
             SensorState::Tpms {
                 env,
@@ -825,6 +872,9 @@ impl PicoCube {
                 self.battery.set_temperature(sample.temperature);
                 *next_wake += SimDuration::from_seconds(interval * *interval_scale);
                 self.wakes += 1;
+                self.telemetry.metrics.inc("node.wakes", 1);
+                self.telemetry
+                    .record(t_ns, EventKind::Wake { index: self.wakes });
                 // The SP12 digital die raises its interrupt line.
                 self.mcu.drive_p1(0, false);
                 self.mcu.drive_p1(0, true);
@@ -840,6 +890,9 @@ impl PicoCube {
                 *next_check += SimDuration::from_millis(100);
                 if triggered {
                     self.wakes += 1;
+                    self.telemetry.metrics.inc("node.wakes", 1);
+                    self.telemetry
+                        .record(t_ns, EventKind::Wake { index: self.wakes });
                     self.mcu.drive_p1(0, false);
                     self.mcu.drive_p1(0, true);
                 }
@@ -865,6 +918,7 @@ impl PicoCube {
                     break;
                 }
                 self.mcu.sleep(gap.as_nanos() / 1_000);
+                self.slept += gap;
                 self.ledger.advance_to(self.now());
                 self.settle_battery();
                 continue;
@@ -879,6 +933,7 @@ impl PicoCube {
                 if !gap.is_zero() {
                     let cycles = gap.as_nanos() / 1_000; // 1 µs per cycle
                     self.mcu.sleep(cycles.max(1));
+                    self.slept += gap;
                     self.ledger.advance_to(self.now());
                 }
                 self.settle_battery();
@@ -904,7 +959,25 @@ impl PicoCube {
                 self.p1.set(p1_now);
                 self.p2.set(self.mcu.p2_output());
                 if pa_enabled(p1_before) && !pa_enabled(p1_now) {
-                    self.radio.borrow_mut().close_window(self.now());
+                    let now = self.now();
+                    let mut radio = self.radio.borrow_mut();
+                    let before = radio.packets().len();
+                    radio.close_window(now);
+                    if let Some(packet) = radio.packets().get(before..).and_then(<[_]>::first) {
+                        packet
+                            .transmission
+                            .export_metrics(&mut self.telemetry.metrics);
+                        if self.telemetry.events_enabled() {
+                            self.telemetry.record(
+                                now.as_nanos(),
+                                EventKind::Tx {
+                                    bytes: packet.bytes.len() as u32,
+                                    airtime_us: packet.transmission.duration.value() * 1e6,
+                                    energy_uj: packet.transmission.energy.micro(),
+                                },
+                            );
+                        }
+                    }
                 }
                 self.update_currents(false);
                 fault_guard += 1;
@@ -985,6 +1058,65 @@ mod tests {
         let (_, report) = run_tpms_for(61, NodeConfig::default());
         assert_eq!(report.wakes, 10);
         assert_eq!(report.packets.len(), 10);
+    }
+
+    #[test]
+    fn telemetry_counts_wakes_packets_and_residency() {
+        let (mut node, report) = run_tpms_for(61, NodeConfig::default());
+        let telemetry = node.drain_telemetry();
+        assert_eq!(telemetry.metrics.counter("node.wakes"), report.wakes);
+        assert_eq!(
+            telemetry.metrics.counter("radio.tx.packets"),
+            report.packets.len() as u64
+        );
+        // Per-rail energy export totals the run's consumption (in µJ).
+        let total_uj = telemetry.metrics.gauge("power.total.uj");
+        assert!((total_uj - report.consumed.micro()).abs() < 1e-6);
+        // A TPMS node sleeps nearly the whole minute.
+        let lpm = telemetry.metrics.counter("mcu.lpm_ns");
+        let active = telemetry.metrics.counter("mcu.active_ns");
+        assert!(lpm > 60 * (active + 1), "lpm {lpm} active {active}");
+        // Events are off by default: the buffer stays empty.
+        assert!(telemetry.events().is_empty());
+    }
+
+    #[test]
+    fn event_recording_captures_wake_and_tx_events() {
+        let mut node = PicoCube::tpms(NodeConfig::default()).expect("node builds");
+        node.set_event_recording(true);
+        node.run_for(SimDuration::from_secs(20));
+        let telemetry = node.drain_telemetry();
+        use picocube_telemetry::EventKind;
+        let wakes = telemetry
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Wake { .. }))
+            .count();
+        let txs: Vec<_> = telemetry
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Tx { .. }))
+            .collect();
+        assert_eq!(wakes as u64, telemetry.metrics.counter("node.wakes"));
+        assert_eq!(
+            txs.len() as u64,
+            telemetry.metrics.counter("radio.tx.packets")
+        );
+        for tx in txs {
+            if let EventKind::Tx {
+                bytes,
+                airtime_us,
+                energy_uj,
+            } = tx.kind
+            {
+                assert!(bytes > 0);
+                assert!(airtime_us > 0.0);
+                assert!(energy_uj > 0.0);
+            }
+        }
+        // Timestamps are monotone (the node records as it simulates).
+        let times: Vec<u64> = telemetry.events().iter().map(|e| e.t_ns).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Synthetic speed profiles that excite the motion-driven harvesters.
 
+use picocube_power::PowerError;
 use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{MetersPerSecond, Seconds};
 
@@ -56,17 +57,23 @@ impl DriveCycle {
     /// Builds a cycle from segments. The profile repeats with the summed
     /// period.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `phases` is empty or any duration is non-positive.
-    pub fn new(phases: Vec<DrivePhase>) -> Self {
-        assert!(!phases.is_empty(), "drive cycle needs at least one phase");
-        assert!(
-            phases.iter().all(|p| p.duration.value() > 0.0),
-            "phase durations must be positive"
-        );
+    /// Returns [`PowerError::InvalidParameter`] if `phases` is empty or any
+    /// duration is non-positive.
+    pub fn new(phases: Vec<DrivePhase>) -> Result<Self, PowerError> {
+        if phases.is_empty() {
+            return Err(PowerError::InvalidParameter {
+                what: "drive cycle needs at least one phase",
+            });
+        }
+        if !phases.iter().all(|p| p.duration.value() > 0.0) {
+            return Err(PowerError::InvalidParameter {
+                what: "phase durations must be positive",
+            });
+        }
         let period = Seconds::new(phases.iter().map(|p| p.duration.value()).sum());
-        Self { phases, period }
+        Ok(Self { phases, period })
     }
 
     /// Urban stop-and-go: accelerate to 50 km/h, cruise, brake, idle at a
@@ -79,6 +86,7 @@ impl DriveCycle {
             DrivePhase::ramp(Seconds::new(8.0), kmh(50.0), kmh(0.0)),
             DrivePhase::cruise(Seconds::new(42.0), kmh(0.0)),
         ])
+        .expect("valid preset parameters")
     }
 
     /// Highway: long 110 km/h cruise with a brief slowdown; 10-minute
@@ -91,6 +99,7 @@ impl DriveCycle {
             DrivePhase::cruise(Seconds::new(60.0), kmh(80.0)),
             DrivePhase::ramp(Seconds::new(20.0), kmh(80.0), kmh(110.0)),
         ])
+        .expect("valid preset parameters")
     }
 
     /// The §6 retreat demo: a bicycle wheel spun to ~20 km/h, coasting
@@ -103,6 +112,7 @@ impl DriveCycle {
             DrivePhase::ramp(Seconds::new(10.0), kmh(5.0), kmh(0.0)),
             DrivePhase::cruise(Seconds::new(15.0), kmh(0.0)),
         ])
+        .expect("valid preset parameters")
     }
 
     /// Parked: permanently stationary (the harvester-outage worst case).
@@ -111,6 +121,7 @@ impl DriveCycle {
             Seconds::HOUR,
             MetersPerSecond::ZERO,
         )])
+        .expect("valid preset parameters")
     }
 
     /// The repeat period of the cycle.
@@ -190,7 +201,7 @@ impl FromJson for DriveCycle {
         if phases.is_empty() || phases.iter().any(bad) {
             return Err(JsonError::new("invalid drive cycle phases"));
         }
-        Ok(Self::new(phases))
+        Self::new(phases).map_err(|_| JsonError::new("invalid drive cycle phases"))
     }
 }
 
@@ -224,7 +235,8 @@ mod tests {
         let cycle = DriveCycle::new(vec![
             DrivePhase::cruise(Seconds::new(10.0), MetersPerSecond::new(10.0)),
             DrivePhase::cruise(Seconds::new(30.0), MetersPerSecond::new(2.0)),
-        ]);
+        ])
+        .expect("valid cycle");
         assert!((cycle.average_speed().value() - 4.0).abs() < 1e-9);
     }
 
@@ -243,8 +255,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one phase")]
     fn empty_cycle_rejected() {
-        DriveCycle::new(vec![]);
+        let err = DriveCycle::new(vec![]).unwrap_err();
+        assert!(matches!(err, PowerError::InvalidParameter { what } if what.contains("phase")));
     }
 }

@@ -34,7 +34,25 @@ pub use solar::{Irradiance, SolarCladding};
 pub use vibration::VibrationBeam;
 pub use wheel::WheelHarvester;
 
+/// The workspace power-model error type. Harvester constructors return
+/// `Result<Self, PowerError>` (rejecting unphysical parameters as
+/// [`PowerError::InvalidParameter`]) so the harvest and power crates share
+/// one error path; the named presets (`bench_450uw`, `five_faces`,
+/// `automotive`, …) are infallible.
+pub use picocube_power::PowerError;
+
 use picocube_units::{Seconds, Watts};
+
+/// NaN-rejecting "strictly positive" check for constructor validation:
+/// unlike `x <= 0.0`, a NaN parameter fails this and is rejected.
+pub(crate) fn positive(x: f64) -> bool {
+    x > 0.0
+}
+
+/// NaN-rejecting "zero or positive" check for constructor validation.
+pub(crate) fn non_negative(x: f64) -> bool {
+    x >= 0.0
+}
 
 /// A source of harvested AC power.
 ///

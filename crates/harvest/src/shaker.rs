@@ -4,6 +4,7 @@
 //! waveform").
 
 use crate::Harvester;
+use picocube_power::PowerError;
 use picocube_units::{Hertz, Joules, Seconds, Watts};
 
 /// A proof-mass/coil generator producing energy pulses at an excitation
@@ -19,31 +20,42 @@ pub struct ElectromagneticShaker {
 impl ElectromagneticShaker {
     /// Creates a shaker.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any parameter is non-positive or the duty exceeds 1.
-    pub fn new(excitation: Hertz, energy_per_pulse: Joules, pulse_duty: f64) -> Self {
-        assert!(excitation.value() > 0.0, "excitation rate must be positive");
-        assert!(
-            energy_per_pulse.value() > 0.0,
-            "pulse energy must be positive"
-        );
-        assert!(
-            (0.0..=1.0).contains(&pulse_duty) && pulse_duty > 0.0,
-            "duty must be in (0, 1]"
-        );
-        Self {
+    /// Returns [`PowerError::InvalidParameter`] if any parameter is
+    /// non-positive or the duty exceeds 1.
+    pub fn new(
+        excitation: Hertz,
+        energy_per_pulse: Joules,
+        pulse_duty: f64,
+    ) -> Result<Self, PowerError> {
+        if !crate::positive(excitation.value()) {
+            return Err(PowerError::InvalidParameter {
+                what: "excitation rate must be positive",
+            });
+        }
+        if !crate::positive(energy_per_pulse.value()) {
+            return Err(PowerError::InvalidParameter {
+                what: "pulse energy must be positive",
+            });
+        }
+        if !(crate::positive(pulse_duty) && pulse_duty <= 1.0) {
+            return Err(PowerError::InvalidParameter {
+                what: "duty must be in (0, 1]",
+            });
+        }
+        Ok(Self {
             excitation,
             energy_per_pulse,
             pulse_duty,
-        }
+        })
     }
 
     /// The bench characterization source: 50 Hz excitation, 9 µJ pulses in
     /// a quarter-period window — 450 µW average, matching the rectifier's
     /// published operating point.
     pub fn bench_450uw() -> Self {
-        Self::new(Hertz::new(50.0), Joules::from_micro(9.0), 0.25)
+        Self::new(Hertz::new(50.0), Joules::from_micro(9.0), 0.25).expect("valid preset parameters")
     }
 
     /// Excitation rate.
@@ -129,8 +141,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duty must be in")]
     fn zero_duty_rejected() {
-        ElectromagneticShaker::new(Hertz::new(50.0), Joules::from_micro(1.0), 0.0);
+        let err =
+            ElectromagneticShaker::new(Hertz::new(50.0), Joules::from_micro(1.0), 0.0).unwrap_err();
+        assert!(matches!(err, PowerError::InvalidParameter { what } if what.contains("duty")));
     }
 }

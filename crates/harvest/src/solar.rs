@@ -3,6 +3,7 @@
 //! cells would provide sufficient energy."
 
 use crate::Harvester;
+use picocube_power::PowerError;
 use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Seconds, SquareMillimeters, Watts};
 
@@ -107,37 +108,44 @@ pub struct SolarCladding {
 impl SolarCladding {
     /// Creates a cladding model.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the area is non-positive or either factor is outside
-    /// `(0, 1]`.
+    /// Returns [`PowerError::InvalidParameter`] if the area is non-positive
+    /// or either factor is outside `(0, 1]`.
     pub fn new(
         active_area: SquareMillimeters,
         efficiency: f64,
         orientation_factor: f64,
         light: Irradiance,
-    ) -> Self {
-        assert!(active_area.value() > 0.0, "area must be positive");
-        assert!(
-            (0.0..=1.0).contains(&efficiency) && efficiency > 0.0,
-            "bad efficiency"
-        );
-        assert!(
-            (0.0..=1.0).contains(&orientation_factor) && orientation_factor > 0.0,
-            "bad orientation factor"
-        );
-        Self {
+    ) -> Result<Self, PowerError> {
+        if !crate::positive(active_area.value()) {
+            return Err(PowerError::InvalidParameter {
+                what: "area must be positive",
+            });
+        }
+        if !(crate::positive(efficiency) && efficiency <= 1.0) {
+            return Err(PowerError::InvalidParameter {
+                what: "bad efficiency: must be in (0, 1]",
+            });
+        }
+        if !(crate::positive(orientation_factor) && orientation_factor <= 1.0) {
+            return Err(PowerError::InvalidParameter {
+                what: "bad orientation factor: must be in (0, 1]",
+            });
+        }
+        Ok(Self {
             active_area,
             efficiency,
             orientation_factor,
             light,
-        }
+        })
     }
 
     /// Cladding of five faces of the 1 cm cube (the sixth mounts), 15 %
     /// cells, 0.4 average orientation factor.
     pub fn five_faces(light: Irradiance) -> Self {
         Self::new(SquareMillimeters::new(5.0 * 100.0), 0.15, 0.4, light)
+            .expect("valid preset parameters")
     }
 
     /// Total active cell area.
@@ -206,13 +214,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bad efficiency")]
     fn zero_efficiency_rejected() {
-        SolarCladding::new(
+        let err = SolarCladding::new(
             SquareMillimeters::new(100.0),
             0.0,
             0.5,
             Irradiance::office(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PowerError::InvalidParameter { what } if what.contains("efficiency"))
         );
     }
 }

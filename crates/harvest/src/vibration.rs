@@ -9,6 +9,7 @@
 //! spectra rarely sit exactly on `f_n`.
 
 use crate::Harvester;
+use picocube_power::PowerError;
 use picocube_units::{Grams, Hertz, MetersPerSecond2, Seconds, Watts};
 
 /// A resonant cantilever vibration harvester.
@@ -25,34 +26,44 @@ pub struct VibrationBeam {
 impl VibrationBeam {
     /// Creates a beam harvester under a given ambient excitation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if mass, frequencies or Q are not strictly positive, or the
-    /// drive acceleration is negative.
+    /// Returns [`PowerError::InvalidParameter`] if mass, frequencies or Q
+    /// are not strictly positive, or the drive acceleration is negative.
     pub fn new(
         proof_mass: Grams,
         natural: Hertz,
         q_factor: f64,
         drive_accel: MetersPerSecond2,
         drive_freq: Hertz,
-    ) -> Self {
-        assert!(proof_mass.value() > 0.0, "proof mass must be positive");
-        assert!(
-            natural.value() > 0.0 && drive_freq.value() > 0.0,
-            "frequencies must be positive"
-        );
-        assert!(q_factor > 0.0, "Q must be positive");
-        assert!(
-            drive_accel.value() >= 0.0,
-            "drive acceleration must be non-negative"
-        );
-        Self {
+    ) -> Result<Self, PowerError> {
+        if !crate::positive(proof_mass.value()) {
+            return Err(PowerError::InvalidParameter {
+                what: "proof mass must be positive",
+            });
+        }
+        if !(crate::positive(natural.value()) && crate::positive(drive_freq.value())) {
+            return Err(PowerError::InvalidParameter {
+                what: "frequencies must be positive",
+            });
+        }
+        if !crate::positive(q_factor) {
+            return Err(PowerError::InvalidParameter {
+                what: "Q must be positive",
+            });
+        }
+        if !crate::non_negative(drive_accel.value()) {
+            return Err(PowerError::InvalidParameter {
+                what: "drive acceleration must be non-negative",
+            });
+        }
+        Ok(Self {
             proof_mass,
             natural,
             q_factor,
             drive_accel,
             drive_freq,
-        }
+        })
     }
 
     /// The Roundy benchmark: 1 g proof mass tuned to the 120 Hz line of
@@ -66,6 +77,7 @@ impl VibrationBeam {
             MetersPerSecond2::new(2.5),
             Hertz::new(120.0),
         )
+        .expect("valid preset parameters")
     }
 
     /// Natural (resonant) frequency.
@@ -157,6 +169,21 @@ mod tests {
         let mut hi = VibrationBeam::roundy_120hz();
         hi.set_drive(MetersPerSecond2::new(2.5), Hertz::new(240.0));
         assert!((lo.output_power().value() - hi.output_power().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unphysical_beam_rejected() {
+        let err = VibrationBeam::new(
+            Grams::new(0.0),
+            Hertz::new(120.0),
+            30.0,
+            MetersPerSecond2::new(2.5),
+            Hertz::new(120.0),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, PowerError::InvalidParameter { what } if what.contains("proof mass"))
+        );
     }
 
     #[test]

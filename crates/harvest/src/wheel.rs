@@ -7,6 +7,7 @@
 //! with the square of wheel speed until magnetic saturation.
 
 use crate::{DriveCycle, Harvester};
+use picocube_power::PowerError;
 use picocube_units::{Rpm, Seconds, Watts};
 
 /// A wheel-speed-driven electromagnetic generator.
@@ -25,25 +26,34 @@ pub struct WheelHarvester {
 impl WheelHarvester {
     /// Creates a wheel harvester.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the radius or power coefficient is not strictly positive.
+    /// Returns [`PowerError::InvalidParameter`] if the radius or power
+    /// coefficient is not strictly positive.
     pub fn new(
         cycle: DriveCycle,
         wheel_radius_m: f64,
         k_w_per_rad2: f64,
         p_max: Watts,
         cut_in: Rpm,
-    ) -> Self {
-        assert!(wheel_radius_m > 0.0, "wheel radius must be positive");
-        assert!(k_w_per_rad2 > 0.0, "power coefficient must be positive");
-        Self {
+    ) -> Result<Self, PowerError> {
+        if !crate::positive(wheel_radius_m) {
+            return Err(PowerError::InvalidParameter {
+                what: "wheel radius must be positive",
+            });
+        }
+        if !crate::positive(k_w_per_rad2) {
+            return Err(PowerError::InvalidParameter {
+                what: "power coefficient must be positive",
+            });
+        }
+        Ok(Self {
             cycle,
             wheel_radius_m,
             k_w_per_rad2,
             p_max,
             cut_in,
-        }
+        })
     }
 
     /// The automotive TPMS harvester: 0.3 m wheel, calibrated to produce
@@ -52,12 +62,14 @@ impl WheelHarvester {
     pub fn automotive(cycle: DriveCycle) -> Self {
         // 90 km/h on a 0.3 m wheel is ω = 83.3 rad/s; 450 µW / ω² ≈ 6.5e-8.
         Self::new(cycle, 0.3, 6.48e-8, Watts::from_milli(2.0), Rpm::new(30.0))
+            .expect("valid preset parameters")
     }
 
     /// The §6 demo harvester on a bicycle wheel (0.34 m radius), smaller
     /// magnetics.
     pub fn bicycle(cycle: DriveCycle) -> Self {
         Self::new(cycle, 0.34, 2.0e-7, Watts::from_milli(1.0), Rpm::new(15.0))
+            .expect("valid preset parameters")
     }
 
     /// Wheel rotation rate at time `t`.
@@ -95,24 +107,23 @@ mod tests {
     use super::*;
     use picocube_units::MetersPerSecond;
 
+    fn cruise(kmh: f64) -> DriveCycle {
+        DriveCycle::new(vec![crate::DrivePhase::cruise(
+            Seconds::HOUR,
+            MetersPerSecond::from_kmh(kmh),
+        )])
+        .expect("valid cycle")
+    }
+
     #[test]
     fn calibration_point_450_uw_at_90_kmh() {
-        let h = WheelHarvester::automotive(DriveCycle::new(vec![crate::DrivePhase::cruise(
-            Seconds::HOUR,
-            MetersPerSecond::from_kmh(90.0),
-        )]));
+        let h = WheelHarvester::automotive(cruise(90.0));
         let p = h.power_at(Seconds::new(10.0));
         assert!((p.micro() - 450.0).abs() < 5.0, "p = {:.1} µW", p.micro());
     }
 
     #[test]
     fn power_quadratic_in_speed_below_saturation() {
-        let cruise = |kmh: f64| {
-            DriveCycle::new(vec![crate::DrivePhase::cruise(
-                Seconds::HOUR,
-                MetersPerSecond::from_kmh(kmh),
-            )])
-        };
         let p30 = WheelHarvester::automotive(cruise(30.0)).power_at(Seconds::ZERO);
         let p60 = WheelHarvester::automotive(cruise(60.0)).power_at(Seconds::ZERO);
         assert!((p60.value() / p30.value() - 4.0).abs() < 0.01);
@@ -120,10 +131,7 @@ mod tests {
 
     #[test]
     fn saturates_at_p_max() {
-        let h = WheelHarvester::automotive(DriveCycle::new(vec![crate::DrivePhase::cruise(
-            Seconds::HOUR,
-            MetersPerSecond::from_kmh(300.0),
-        )]));
+        let h = WheelHarvester::automotive(cruise(300.0));
         assert_eq!(h.power_at(Seconds::ZERO), Watts::from_milli(2.0));
     }
 
@@ -138,10 +146,7 @@ mod tests {
 
     #[test]
     fn cut_in_suppresses_creep() {
-        let h = WheelHarvester::automotive(DriveCycle::new(vec![crate::DrivePhase::cruise(
-            Seconds::HOUR,
-            MetersPerSecond::from_kmh(1.0),
-        )]));
+        let h = WheelHarvester::automotive(cruise(1.0));
         assert_eq!(h.power_at(Seconds::ZERO), Watts::ZERO);
     }
 
@@ -156,6 +161,19 @@ mod tests {
             "urban avg {:.1} µW",
             avg.micro()
         );
+    }
+
+    #[test]
+    fn flat_wheel_rejected() {
+        let err = WheelHarvester::new(
+            DriveCycle::urban(),
+            0.0,
+            6.48e-8,
+            Watts::from_milli(2.0),
+            Rpm::new(30.0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PowerError::InvalidParameter { what } if what.contains("radius")));
     }
 
     #[test]

@@ -41,6 +41,16 @@ impl Transmission {
             self.energy / self.bits as f64
         }
     }
+
+    /// Accounts this transmission in a metric registry: counters
+    /// `radio.tx.packets` / `radio.tx.bits`, the accumulating gauge
+    /// `radio.tx.energy_uj`, and the `radio.tx.airtime_us` histogram.
+    pub fn export_metrics(&self, metrics: &mut picocube_telemetry::Metrics) {
+        metrics.inc("radio.tx.packets", 1);
+        metrics.inc("radio.tx.bits", self.bits as u64);
+        metrics.add("radio.tx.energy_uj", self.energy.micro());
+        metrics.observe("radio.tx.airtime_us", self.duration.value() * 1e6);
+    }
 }
 
 impl ToJson for Transmission {
@@ -219,6 +229,21 @@ impl OokTransmitter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transmissions_export_tx_metrics() {
+        let tx = OokTransmitter::picocube();
+        let mut metrics = picocube_telemetry::Metrics::new();
+        let t = tx.transmit(&[0xAA, 0xD3, 0x42]);
+        t.export_metrics(&mut metrics);
+        t.export_metrics(&mut metrics);
+        assert_eq!(metrics.counter("radio.tx.packets"), 2);
+        assert_eq!(metrics.counter("radio.tx.bits"), 2 * t.bits as u64);
+        assert!(metrics.gauge("radio.tx.energy_uj") > 0.0);
+        let airtime = metrics.histogram("radio.tx.airtime_us").expect("histogram");
+        assert_eq!(airtime.count(), 2);
+        assert!(airtime.mean().unwrap() > 0.0);
+    }
 
     #[test]
     fn rated_point_matches_the_paper() {

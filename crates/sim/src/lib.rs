@@ -45,7 +45,7 @@ mod time;
 mod trace;
 
 pub use power::{LoadId, PowerLedger, PowerReport, RailId, RailReport};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{PowerTrace, ScalarTrace, TraceStats};

@@ -197,6 +197,28 @@ impl PowerLedger {
         }
     }
 
+    /// Exports the ledger's accumulated energy accounting into a metric
+    /// registry: one accumulating gauge per rail
+    /// (`power.rail.<rail>.uj`), one per load
+    /// (`power.load.<rail>.<load>.uj`) and the grand total
+    /// (`power.total.uj`), all in microjoules. Gauges merge by addition,
+    /// so fleet-merged registries carry per-rail totals across nodes.
+    pub fn export_metrics(&self, metrics: &mut picocube_telemetry::Metrics) {
+        for rail in &self.rails {
+            metrics.add(
+                &format!("power.rail.{}.uj", rail.name),
+                rail.loads.iter().map(|l| l.energy.micro()).sum(),
+            );
+            for load in &rail.loads {
+                metrics.add(
+                    &format!("power.load.{}.{}.uj", rail.name, load.name),
+                    load.energy.micro(),
+                );
+            }
+        }
+        metrics.add("power.total.uj", self.total_energy().micro());
+    }
+
     /// Produces a structured per-rail, per-load energy report.
     pub fn report(&self) -> PowerReport {
         PowerReport {
@@ -393,6 +415,24 @@ mod tests {
         let mut ledger = PowerLedger::new();
         ledger.advance_to(SimTime::from_secs(2));
         ledger.advance_to(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn export_metrics_breaks_energy_out_per_rail_and_load() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VBAT", Volts::new(1.0));
+        let a = ledger.register_load(rail, "mcu");
+        let b = ledger.register_load(rail, "radio");
+        ledger.set_load_current(a, Amps::from_micro(1.0));
+        ledger.set_load_current(b, Amps::from_micro(3.0));
+        ledger.advance_to(SimTime::from_secs(2));
+
+        let mut metrics = picocube_telemetry::Metrics::new();
+        ledger.export_metrics(&mut metrics);
+        assert!((metrics.gauge("power.load.VBAT.mcu.uj") - 2.0).abs() < 1e-9);
+        assert!((metrics.gauge("power.load.VBAT.radio.uj") - 6.0).abs() < 1e-9);
+        assert!((metrics.gauge("power.rail.VBAT.uj") - 8.0).abs() < 1e-9);
+        assert!((metrics.gauge("power.total.uj") - 8.0).abs() < 1e-9);
     }
 
     #[test]

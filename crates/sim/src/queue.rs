@@ -25,6 +25,20 @@ use std::collections::BinaryHeap;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
+    popped: u64,
+    max_len: usize,
+}
+
+/// Lifetime statistics of an [`EventQueue`] — the scheduler-pressure
+/// numbers the telemetry layer exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub pushed: u64,
+    /// Events ever delivered (popped).
+    pub popped: u64,
+    /// High-water mark of pending events.
+    pub max_len: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -57,6 +71,8 @@ impl<E> EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             seq: 0,
+            popped: 0,
+            max_len: 0,
         }
     }
 
@@ -65,6 +81,8 @@ impl<E> EventQueue<E> {
         Self {
             heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
+            popped: 0,
+            max_len: 0,
         }
     }
 
@@ -73,11 +91,35 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { time, seq, event }));
+        self.max_len = self.max_len.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+        let popped = self.heap.pop().map(|Reverse(e)| (e.time, e.event));
+        self.popped += u64::from(popped.is_some());
+        popped
+    }
+
+    /// Lifetime scheduling statistics (pushes, pops, high-water mark).
+    /// `clear` and `retain` count dropped events as neither pushed back
+    /// nor popped; `pushed - popped` can therefore exceed `len` after a
+    /// cancellation.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            pushed: self.seq,
+            popped: self.popped,
+            max_len: self.max_len,
+        }
+    }
+
+    /// Exports the queue statistics as counters under `prefix`
+    /// (`<prefix>.pushed`, `<prefix>.popped`, `<prefix>.max_depth`).
+    pub fn export_metrics(&self, metrics: &mut picocube_telemetry::Metrics, prefix: &str) {
+        let stats = self.stats();
+        metrics.inc(&format!("{prefix}.pushed"), stats.pushed);
+        metrics.inc(&format!("{prefix}.popped"), stats.popped);
+        metrics.inc(&format!("{prefix}.max_depth"), stats.max_len as u64);
     }
 
     /// The timestamp of the earliest pending event, if any.
@@ -131,6 +173,25 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_track_pushes_pops_and_depth() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.push(SimTime::from_secs(i), i);
+        }
+        q.pop();
+        q.pop();
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 5);
+        assert_eq!(stats.popped, 2);
+        assert_eq!(stats.max_len, 5);
+        let mut metrics = picocube_telemetry::Metrics::new();
+        q.export_metrics(&mut metrics, "sim.queue");
+        assert_eq!(metrics.counter("sim.queue.pushed"), 5);
+        assert_eq!(metrics.counter("sim.queue.popped"), 2);
+        assert_eq!(metrics.counter("sim.queue.max_depth"), 5);
+    }
 
     #[test]
     fn pops_in_time_order() {

@@ -1,0 +1,225 @@
+//! Structured telemetry events: the JSON-lines vocabulary of the workspace.
+
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
+
+/// Sentinel meaning "not attributed to any one node" (fleet-level events).
+pub const NO_NODE: u32 = u32::MAX;
+
+/// What happened. Every variant is a fact a simulation hot path can state
+/// in O(1); interpretation (rates, ratios, figures) happens offline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A sensor wake (one sample cycle) fired.
+    Wake {
+        /// Running wake count on this node, 1-based.
+        index: u64,
+    },
+    /// A packet left the antenna.
+    Tx {
+        /// Frame length in bytes.
+        bytes: u32,
+        /// On-air time in microseconds.
+        airtime_us: f64,
+        /// RF-rail energy in microjoules.
+        energy_uj: f64,
+    },
+    /// The supply supervisor pulled the rails (battery too depleted).
+    BrownOut,
+    /// The cell recovered past the restart threshold; firmware cold-booted.
+    Recovered,
+    /// Verdict for one offered packet after collision/capture/channel.
+    PacketFate {
+        /// `"delivered"`, `"collided"` or `"channel_loss"`.
+        fate: &'static str,
+    },
+    /// An engine phase (e.g. `"simulate"`, `"merge"`) began.
+    PhaseStart {
+        /// Phase name.
+        phase: String,
+    },
+    /// An engine phase completed.
+    PhaseEnd {
+        /// Phase name.
+        phase: String,
+    },
+}
+
+impl EventKind {
+    /// The kind's wire tag (the `"kind"` field of the JSON line).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Wake { .. } => "wake",
+            Self::Tx { .. } => "tx",
+            Self::BrownOut => "brown_out",
+            Self::Recovered => "recovered",
+            Self::PacketFate { .. } => "packet_fate",
+            Self::PhaseStart { .. } => "phase_start",
+            Self::PhaseEnd { .. } => "phase_end",
+        }
+    }
+}
+
+/// One telemetry event: a timestamped, node-attributed [`EventKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated time in integer nanoseconds.
+    pub t_ns: u64,
+    /// Fleet index of the emitting node, or [`NO_NODE`] for engine-level
+    /// events.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Creates an engine-level (nodeless) event.
+    pub fn engine(t_ns: u64, kind: EventKind) -> Self {
+        Self {
+            t_ns,
+            node: NO_NODE,
+            kind,
+        }
+    }
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("t_ns".into(), self.t_ns.to_json()),
+            ("kind".into(), Json::Str(self.kind.tag().into())),
+        ];
+        if self.node != NO_NODE {
+            obj.insert(1, ("node".into(), self.node.to_json()));
+        }
+        match &self.kind {
+            EventKind::Wake { index } => obj.push(("index".into(), index.to_json())),
+            EventKind::Tx {
+                bytes,
+                airtime_us,
+                energy_uj,
+            } => {
+                obj.push(("bytes".into(), bytes.to_json()));
+                obj.push(("airtime_us".into(), airtime_us.to_json()));
+                obj.push(("energy_uj".into(), energy_uj.to_json()));
+            }
+            EventKind::BrownOut | EventKind::Recovered => {}
+            EventKind::PacketFate { fate } => {
+                obj.push(("fate".into(), Json::Str((*fate).into())));
+            }
+            EventKind::PhaseStart { phase } | EventKind::PhaseEnd { phase } => {
+                obj.push(("phase".into(), phase.to_json()));
+            }
+        }
+        Json::Obj(obj)
+    }
+}
+
+impl FromJson for Event {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let t_ns = u64::from_json(field(value, "t_ns")?)?;
+        let node = match value.get("node") {
+            Some(n) => u32::from_json(n)?,
+            None => NO_NODE,
+        };
+        let tag = value
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| JsonError::new("event missing kind"))?;
+        let kind = match tag {
+            "wake" => EventKind::Wake {
+                index: u64::from_json(field(value, "index")?)?,
+            },
+            "tx" => EventKind::Tx {
+                bytes: u32::from_json(field(value, "bytes")?)?,
+                airtime_us: f64::from_json(field(value, "airtime_us")?)?,
+                energy_uj: f64::from_json(field(value, "energy_uj")?)?,
+            },
+            "brown_out" => EventKind::BrownOut,
+            "recovered" => EventKind::Recovered,
+            "packet_fate" => {
+                let fate = match field(value, "fate")?.as_str() {
+                    Some("delivered") => "delivered",
+                    Some("collided") => "collided",
+                    Some("channel_loss") => "channel_loss",
+                    _ => return Err(JsonError::new("unknown packet fate")),
+                };
+                EventKind::PacketFate { fate }
+            }
+            "phase_start" => EventKind::PhaseStart {
+                phase: String::from_json(field(value, "phase")?)?,
+            },
+            "phase_end" => EventKind::PhaseEnd {
+                phase: String::from_json(field(value, "phase")?)?,
+            },
+            other => return Err(JsonError::new(format!("unknown event kind {other:?}"))),
+        };
+        Ok(Self { t_ns, node, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let events = vec![
+            Event {
+                t_ns: 6_000_000_000,
+                node: 3,
+                kind: EventKind::Wake { index: 1 },
+            },
+            Event {
+                t_ns: 6_014_000_000,
+                node: 3,
+                kind: EventKind::Tx {
+                    bytes: 11,
+                    airtime_us: 1040.0,
+                    energy_uj: 1.5,
+                },
+            },
+            Event::engine(
+                0,
+                EventKind::PhaseStart {
+                    phase: "simulate".into(),
+                },
+            ),
+            Event {
+                t_ns: 7,
+                node: 0,
+                kind: EventKind::PacketFate { fate: "collided" },
+            },
+            Event {
+                t_ns: 8,
+                node: 1,
+                kind: EventKind::BrownOut,
+            },
+        ];
+        for event in events {
+            let json = event.to_json();
+            let back = Event::from_json(&json).expect("round trip");
+            assert_eq!(back, event);
+            // And through text, the JSONL path.
+            let reparsed = Json::parse(&json.to_string()).expect("parses");
+            assert_eq!(Event::from_json(&reparsed).expect("round trip"), event);
+        }
+    }
+
+    #[test]
+    fn engine_events_omit_the_node_field() {
+        let e = Event::engine(
+            0,
+            EventKind::PhaseEnd {
+                phase: "merge".into(),
+            },
+        );
+        let text = e.to_json().to_string();
+        assert!(!text.contains("\"node\""), "{text}");
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let json = Json::parse(r#"{"t_ns": 0, "kind": "warp"}"#).unwrap();
+        assert!(Event::from_json(&json).is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! The metrics registry: named counters, gauges and histograms with a
+//! deterministic merge.
+//!
+//! Metric values are plain data. A fleet shard accumulates into its own
+//! [`Metrics`] and shards are merged **in node order** with
+//! [`Metrics::merge_from`]; because merging is a fixed-order fold, the
+//! merged floating-point sums are bit-identical no matter how phase 1 was
+//! scheduled across threads.
+
+use picocube_units::json::{Json, ToJson};
+
+/// Bucket upper bounds used when a histogram is observed before being
+/// registered: half-decade steps spanning sub-µs to minutes when values are
+/// in µs, or nW to watts when values are in µW.
+pub const DEFAULT_BOUNDS: [f64; 12] = [
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+];
+
+/// A fixed-bucket histogram with exact counts and guarded aggregates.
+///
+/// * `NaN` observations are counted separately ([`Histogram::nan_count`])
+///   and never touch the buckets, sum, min or max.
+/// * Non-finite observations (`±inf`) land in the terminal buckets but are
+///   excluded from the running sum/min/max, so aggregates stay finite.
+/// * `0` and negative values fall into the first bucket whose upper bound
+///   contains them (bounds are inclusive upper limits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket at the end.
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+    finite_count: u64,
+    nan_count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over ascending inclusive upper `bounds`. An
+    /// implicit overflow bucket catches values above the last bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-ascending, or contains a non-finite
+    /// bound.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must ascend"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+            finite_count: 0,
+            nan_count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation (see the type docs for the NaN/∞ rules).
+    pub fn observe(&mut self, value: f64) {
+        if value.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
+        let bucket = self.bounds.partition_point(|&b| b < value);
+        self.counts[bucket] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.finite_count += 1;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// The inclusive upper bounds (the overflow bucket is implicit).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations recorded (excluding NaNs).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// NaN observations rejected by the guard.
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest finite observation, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.min)
+    }
+
+    /// Largest finite observation, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.min <= self.max).then_some(self.max)
+    }
+
+    /// Mean of the finite observations, or `None` before the first.
+    pub fn mean(&self) -> Option<f64> {
+        // Non-finite observations inflate `count` but not `sum`; mean is
+        // over the finite population.
+        (self.finite_count > 0).then(|| self.sum / self.finite_count as f64)
+    }
+
+    /// Adds another histogram's observations into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms of different
+    /// shapes silently would corrupt every percentile read from them.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.finite_count += other.finite_count;
+        self.nan_count += other.nan_count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bounds".into(), self.bounds.to_json()),
+            ("counts".into(), self.counts.to_json()),
+            ("count".into(), self.count.to_json()),
+            ("nan_count".into(), self.nan_count.to_json()),
+            ("sum".into(), self.sum.to_json()),
+            ("min".into(), self.min().to_json()),
+            ("max".into(), self.max().to_json()),
+        ])
+    }
+}
+
+/// One registered metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic integer count (packets, wakes, events).
+    Counter(u64),
+    /// Accumulating float (per-rail µJ, seconds of residency). Gauges merge
+    /// by **addition**, so a fleet-merged gauge is the sum over nodes.
+    Gauge(f64),
+    /// Distribution of observations.
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Self::Counter(_) => "counter",
+            Self::Gauge(_) => "gauge",
+            Self::Histogram(_) => "histogram",
+        }
+    }
+}
+
+impl ToJson for Metric {
+    fn to_json(&self) -> Json {
+        match self {
+            Self::Counter(v) => v.to_json(),
+            Self::Gauge(v) => v.to_json(),
+            Self::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// Insertion-ordered registry of named metrics.
+///
+/// Names are dotted paths (`"radio.tx.packets"`, `"power.rail.VBAT.uj"`).
+/// Lookup is linear — registries hold tens of entries and the hot-path
+/// operations are integer adds, so a hash map would cost more than it
+/// saves.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    entries: Vec<(String, Metric)>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments the counter `name` by `by`, registering it at zero first
+    /// if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.entry(name, || Metric::Counter(0)) {
+            Metric::Counter(v) => *v += by,
+            other => panic!("{name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Adds `by` to the gauge `name`, registering it at zero first if
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn add(&mut self, name: &str, by: f64) {
+        match self.entry(name, || Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v += by,
+            other => panic!("{name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records `value` into the histogram `name`, registering it over
+    /// [`DEFAULT_BOUNDS`] first if needed. Use
+    /// [`register_histogram`](Self::register_histogram) for custom buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self.entry(name, || Metric::Histogram(Histogram::new(&DEFAULT_BOUNDS))) {
+            Metric::Histogram(h) => h.observe(value),
+            other => panic!("{name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Registers (or re-shapes, if empty) a histogram with explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already holds a non-histogram metric, or bounds are
+    /// invalid (see [`Histogram::new`]).
+    pub fn register_histogram(&mut self, name: &str, bounds: &[f64]) {
+        match self.entry(name, || Metric::Histogram(Histogram::new(bounds))) {
+            Metric::Histogram(_) => {}
+            other => panic!("{name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// The counter's current value (zero if unregistered).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge's current value (zero if unregistered).
+    pub fn gauge(&self, name: &str) -> f64 {
+        match self.get(name) {
+            Some(Metric::Gauge(v)) => *v,
+            _ => 0.0,
+        }
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&Metric> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// Iterates `(name, metric)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Folds another registry into this one: counters and gauges add,
+    /// histograms merge bucket-wise, and names unknown to `self` are
+    /// appended in `other`'s order.
+    ///
+    /// Merging shard registries **in node order** yields bit-identical
+    /// results regardless of which thread produced each shard — the
+    /// parallel engine's determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is registered with different kinds (or histogram
+    /// bounds) on the two sides.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for (name, theirs) in &other.entries {
+            match self.entries.iter_mut().find(|(n, _)| n == name) {
+                None => self.entries.push((name.clone(), theirs.clone())),
+                Some((_, mine)) => match (mine, theirs) {
+                    (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+                    (Metric::Gauge(a), Metric::Gauge(b)) => *a += b,
+                    (Metric::Histogram(a), Metric::Histogram(b)) => a.merge_from(b),
+                    (mine, theirs) => panic!(
+                        "metric {name} is a {} on one side and a {} on the other",
+                        mine.kind(),
+                        theirs.kind()
+                    ),
+                },
+            }
+        }
+    }
+
+    fn entry(&mut self, name: &str, default: impl FnOnce() -> Metric) -> &mut Metric {
+        if let Some(i) = self.entries.iter().position(|(n, _)| n == name) {
+            return &mut self.entries[i].1;
+        }
+        self.entries.push((name.to_string(), default()));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries
+                .iter()
+                .map(|(n, m)| (n.clone(), m.to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("a", 1);
+        m.inc("a", 2);
+        m.inc("b", 5);
+        assert_eq!(m.counter("a"), 3);
+        assert_eq!(m.counter("b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_accumulate_floats() {
+        let mut m = Metrics::new();
+        m.add("e", 1.5);
+        m.add("e", 2.25);
+        assert_eq!(m.gauge("e"), 3.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_confusion_panics() {
+        let mut m = Metrics::new();
+        m.inc("x", 1);
+        m.add("x", 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_by_inclusive_upper_bound() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.1, 10.0, 99.0, 101.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 2, 1, 1]); // 1.0 and 10.0 land inclusive
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(101.0));
+    }
+
+    #[test]
+    fn histogram_zero_goes_in_first_bucket() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.0);
+        h.observe(-3.0); // negative values also clamp into the first bucket
+        assert_eq!(h.counts(), &[2, 0, 0]);
+        assert_eq!(h.min(), Some(-3.0));
+    }
+
+    #[test]
+    fn histogram_nan_guard() {
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(0.5);
+        h.observe(f64::NAN);
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0.5);
+        assert!(h.mean().unwrap().is_finite());
+    }
+
+    #[test]
+    fn histogram_max_and_infinities_stay_finite() {
+        let mut h = Histogram::new(&[1.0, 1e300]);
+        h.observe(f64::MAX); // above the last bound: overflow bucket
+        h.observe(f64::INFINITY); // counted, excluded from aggregates
+        h.observe(f64::NEG_INFINITY); // first bucket, excluded likewise
+        h.observe(2.0);
+        assert_eq!(h.counts(), &[1, 1, 2]);
+        assert_eq!(h.count(), 4);
+        assert!(h.sum().is_finite());
+        assert_eq!(h.min(), Some(2.0)); // f64::MAX is finite and tracked
+        assert_eq!(h.max(), Some(f64::MAX));
+        assert!(h.mean().unwrap().is_finite());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_aggregates() {
+        let h = Histogram::new(&[1.0]);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must ascend")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn merging_mismatched_histograms_panics() {
+        let mut a = Histogram::new(&[1.0]);
+        let b = Histogram::new(&[2.0]);
+        a.merge_from(&b);
+    }
+
+    #[test]
+    fn merge_is_a_fixed_order_fold() {
+        let shard = |seed: u64| {
+            let mut m = Metrics::new();
+            m.inc("packets", seed);
+            m.add("energy_uj", seed as f64 * 0.1);
+            m.observe("airtime", seed as f64);
+            m
+        };
+        let mut left = Metrics::new();
+        for s in [1, 2, 3] {
+            left.merge_from(&shard(s));
+        }
+        let mut right = Metrics::new();
+        for s in [1, 2, 3] {
+            right.merge_from(&shard(s));
+        }
+        assert_eq!(left, right);
+        assert_eq!(left.counter("packets"), 6);
+        assert_eq!(
+            left.gauge("energy_uj").to_bits(),
+            right.gauge("energy_uj").to_bits()
+        );
+        assert_eq!(left.histogram("airtime").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn merge_appends_unknown_names_in_order() {
+        let mut a = Metrics::new();
+        a.inc("x", 1);
+        let mut b = Metrics::new();
+        b.inc("y", 2);
+        b.inc("z", 3);
+        a.merge_from(&b);
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["x", "y", "z"]);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json_object() {
+        let mut m = Metrics::new();
+        m.inc("fleet.offered", 7);
+        m.add("power.total.uj", 12.5);
+        m.observe("airtime_us", 1040.0);
+        let json = m.to_json();
+        assert_eq!(json.get("fleet.offered").and_then(Json::as_u64), Some(7));
+        assert!(json
+            .get("airtime_us")
+            .and_then(|h| h.get("counts"))
+            .is_some());
+        // The document parses back as JSON text (the JSONL contract).
+        assert!(Json::parse(&json.to_string()).is_ok());
+    }
+}

@@ -1,0 +1,203 @@
+//! Event sinks: where the telemetry stream goes.
+
+use crate::event::Event;
+use picocube_units::json::ToJson;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A consumer of telemetry [`Event`]s.
+///
+/// Hot paths check [`wants_events`](Recorder::wants_events) before paying
+/// for event construction; a disabled recorder (the [`NullRecorder`]
+/// default) therefore costs one branch per potential event and nothing
+/// else. Metric counters are maintained unconditionally — they are integer
+/// adds and every engine report is built from them.
+pub trait Recorder {
+    /// Whether this sink wants events at all. Instrumented code may skip
+    /// building events when this returns `false`.
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes any buffered output (a no-op for in-memory sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying sink.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The zero-overhead default: discards everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn wants_events(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// In-memory sink: a plain `Vec<Event>` collects the stream. The
+/// determinism tests diff two of these.
+impl Recorder for Vec<Event> {
+    fn record(&mut self, event: &Event) {
+        self.push(event.clone());
+    }
+}
+
+/// Structured JSON-lines sink: one event per line, written through the
+/// workspace's own `units::json` serializer (no external crates).
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlRecorder<BufWriter<File>> {
+    /// Creates (truncating) a JSONL log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from [`File::create`].
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        Self {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The first write error encountered, if any. `record` cannot return
+    /// errors through the trait, so failures are latched here and surfaced
+    /// by [`flush`](Recorder::flush).
+    pub fn last_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched write error or any flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        Recorder::flush(&mut self)?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json().to_string();
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        } else {
+            self.lines += 1;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use picocube_units::json::{FromJson, Json};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                t_ns: 1,
+                node: 0,
+                kind: EventKind::Wake { index: 1 },
+            },
+            Event::engine(
+                2,
+                EventKind::PhaseStart {
+                    phase: "merge".into(),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn null_recorder_wants_nothing() {
+        let mut r = NullRecorder;
+        assert!(!r.wants_events());
+        r.record(&sample_events()[0]); // and drops what it is given
+        assert!(r.flush().is_ok());
+    }
+
+    #[test]
+    fn vec_recorder_collects() {
+        let mut sink: Vec<Event> = Vec::new();
+        for e in &sample_events() {
+            sink.record(e);
+        }
+        assert_eq!(sink, sample_events());
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back_to_events() {
+        let mut rec = JsonlRecorder::new(Vec::<u8>::new());
+        for e in &sample_events() {
+            rec.record(e);
+        }
+        assert_eq!(rec.lines(), 2);
+        let bytes = rec.finish().expect("no io errors");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let parsed: Vec<Event> = text
+            .lines()
+            .map(|l| Event::from_json(&Json::parse(l).expect("line parses")).expect("event"))
+            .collect();
+        assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn write_errors_latch_and_surface_on_flush() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = JsonlRecorder::new(Broken);
+        rec.record(&sample_events()[0]);
+        assert!(rec.last_error().is_some());
+        rec.record(&sample_events()[1]); // no panic, still latched
+        assert_eq!(rec.lines(), 0);
+        assert!(Recorder::flush(&mut rec).is_err());
+    }
+}

@@ -13,9 +13,7 @@
 //! ```
 
 use picocube::harvest::{DriveCycle, Irradiance};
-use picocube::node::{run_fleet, FleetConfig, HarvesterKind, NodeConfig, PicoCube};
-use picocube::sim::SimDuration;
-use picocube::units::Watts;
+use picocube::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One representative node first: energy neutrality under office light.

@@ -13,7 +13,7 @@ use picocube::harvest::{
     WheelHarvester,
 };
 use picocube::power::rectifier::{DiodeBridge, Rectifier, SynchronousRectifier};
-use picocube::units::{Seconds, Volts, Watts};
+use picocube::prelude::*;
 
 /// Consumption model from the node's measured behaviour: the ~3 µW sleep
 /// floor plus ~21 µJ of active energy per sample cycle.

@@ -6,9 +6,9 @@
 //! cargo run --example motion_demo
 //! ```
 
-use picocube::node::{DemoStation, HarvesterKind, NodeConfig, PicoCube};
+use picocube::node::DemoStation;
+use picocube::prelude::*;
 use picocube::sensors::MotionScenario;
-use picocube::sim::SimDuration;
 
 fn bar(g: f64) -> String {
     // Map ±3 g onto a 21-character strip.

@@ -4,8 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use picocube::node::{NodeConfig, PicoCube};
-use picocube::sim::SimDuration;
+use picocube::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The default configuration is the paper's TPMS deployment: SP12

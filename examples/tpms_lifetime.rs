@@ -7,10 +7,9 @@
 //! ```
 
 use picocube::harvest::DriveCycle;
-use picocube::node::{HarvesterKind, NodeConfig, PicoCube};
+use picocube::prelude::*;
 use picocube::radio::packet::{decode, Checksum};
 use picocube::sensors::{Sp12, Sp12Channel};
-use picocube::sim::SimDuration;
 
 fn run_phase(name: &str, cycle: DriveCycle, leak: f64, minutes: u64) {
     let config = NodeConfig {

@@ -20,6 +20,10 @@
 //! * [`sensors`] — SP12 TPMS and SCA3000 models plus their environments.
 //! * [`radio`] — FBAR, OOK transmitter, antenna, channel, receivers.
 //! * [`node`] — the assembled PicoCube, packaging checks, baselines.
+//! * [`telemetry`] — counters, event logs, per-rail energy export.
+//!
+//! For scripts and examples, `use picocube::prelude::*;` pulls in the
+//! handful of types nearly every program needs.
 //!
 //! # Quickstart
 //!
@@ -50,4 +54,35 @@ pub use picocube_radio as radio;
 pub use picocube_sensors as sensors;
 pub use picocube_sim as sim;
 pub use picocube_storage as storage;
+pub use picocube_telemetry as telemetry;
 pub use picocube_units as units;
+
+/// The types nearly every PicoCube program touches, in one import.
+///
+/// Covers building and running a node ([`PicoCube`](prelude::PicoCube),
+/// [`NodeConfig`](prelude::NodeConfig)), fleet scenarios
+/// ([`FleetConfig`](prelude::FleetConfig) and friends), the simulation
+/// clock, telemetry sinks, and the most common physical quantities.
+///
+/// # Examples
+///
+/// ```
+/// use picocube::prelude::*;
+///
+/// let mut node = PicoCube::tpms(NodeConfig::default())?;
+/// node.run_for(SimDuration::from_secs(30));
+/// assert!(node.report().average_power < Watts::from_micro(20.0));
+/// # Ok::<(), BuildError>(())
+/// ```
+pub mod prelude {
+    pub use picocube_node::{
+        run_fleet, run_fleet_with, BuildError, FleetConfig, FleetConfigBuilder, FleetConfigError,
+        FleetOutcome, HarvesterKind, NodeConfig, NodeReport, Parallelism, PicoCube,
+    };
+    pub use picocube_sim::{SimDuration, SimRng, SimTime};
+    pub use picocube_telemetry::{
+        summary_table, Event, EventKind, JsonlRecorder, Metrics, NullRecorder, Recorder,
+        TelemetryBuffer,
+    };
+    pub use picocube_units::{Dbm, Hertz, Joules, Seconds, Volts, Watts};
+}
