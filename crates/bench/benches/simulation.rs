@@ -79,7 +79,7 @@ fn bench_channel() {
     };
     let mut rng = SimRng::seed_from(1);
     bench("radio/link_packet_trial_104_bits", 5_000, || {
-        link.try_packet(4.0, 104, &mut rng)
+        link.try_packet(picocube_units::Meters::new(4.0), 104, &mut rng)
     });
 }
 

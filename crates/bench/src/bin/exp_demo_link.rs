@@ -7,7 +7,7 @@ use picocube_radio::packet::{encode, Checksum};
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
 use picocube_sensors::MotionScenario;
 use picocube_sim::{SimDuration, SimRng};
-use picocube_units::{Db, Dbm, Hertz};
+use picocube_units::{Db, Dbm, Hertz, Meters};
 
 fn demo_link(orientation_db: f64) -> Link {
     Link {
@@ -47,7 +47,7 @@ fn main() {
         for orient in [2.0, 22.0] {
             let link = demo_link(orient);
             let ok = (0..500)
-                .filter(|_| link.try_packet(d, bits, &mut rng))
+                .filter(|_| link.try_packet(Meters::new(d), bits, &mut rng))
                 .count();
             rates.push(ok as f64 / 500.0);
         }
@@ -62,7 +62,7 @@ fn main() {
     let best = demo_link(2.0);
     let worst = demo_link(22.0);
     println!(
-        "\n50 %-success range: best orientation {:.1} m, worst {:.1} m",
+        "\n50 %-success range: best orientation {:.1}, worst {:.1}",
         best.half_success_range(bits),
         worst.half_success_range(bits)
     );
@@ -85,7 +85,7 @@ fn main() {
     println!("  decoded    : {decoded} ({} lost)", station.lost());
     println!(
         "  received at 1 m: {:.1} dBm  (paper: about −60 dBm)",
-        demo_link(2.0).budget(1.0).received.value()
+        demo_link(2.0).budget(Meters::new(1.0)).received.value()
     );
     if let Some(s) = station.samples().first() {
         println!(
@@ -103,7 +103,7 @@ fn main() {
         .filter(|_| {
             rx.receive_waveform(
                 &demo_link(2.0),
-                1.0,
+                Meters::new(1.0),
                 &frame,
                 picocube_units::Hertz::from_kilo(100.0),
                 Checksum::Xor,

@@ -5,7 +5,7 @@
 use picocube_bench::{banner, fmt_power};
 use picocube_radio::packet::{encode, Checksum};
 use picocube_radio::{Channel, Fbar, Link, OokTransmitter, PatchAntenna};
-use picocube_units::{Db, Dbm, Hertz};
+use picocube_units::{Db, Dbm, Hertz, Meters};
 
 fn main() {
     banner(
@@ -77,12 +77,12 @@ fn main() {
     };
     println!("\nreceived power vs range (free space, average orientation):\n");
     for d in [0.5, 1.0, 2.0, 4.0] {
-        let b = link.budget(d);
+        let b = link.budget(Meters::new(d));
         println!("  {:>5.1} m: {:>7.1} dBm", d, b.received.value());
     }
     println!(
         "\nmeasured at 1 m: {:.1} dBm   (paper: about −60 dBm)",
-        link.budget(1.0).received.value()
+        link.budget(Meters::new(1.0)).received.value()
     );
     let _ = Dbm::new(0.0);
 }

@@ -4,7 +4,7 @@
 
 use picocube_bench::{banner, fmt_power};
 use picocube_radio::{SuperRegenReceiver, WakeupReceiver};
-use picocube_units::{Seconds, Watts};
+use picocube_units::{Hertz, Seconds, Watts};
 
 fn main() {
     banner(
@@ -29,7 +29,7 @@ fn main() {
             poll_on,
         );
         // Event traffic is negligible here; the standing costs compare.
-        let wk = wakeup.average_power(0.001, main_rx.rx_power(), poll_on);
+        let wk = wakeup.average_power(Hertz::new(0.001), main_rx.rx_power(), poll_on);
         println!(
             "{:>11.3}s {:>16} {:>16} {:>8}",
             latency_s,
@@ -46,7 +46,7 @@ fn main() {
 
     println!("\naverage power vs event rate (wakeup radio, real wakes included):\n");
     for per_hour in [0.1, 1.0, 10.0, 60.0, 600.0] {
-        let p = wakeup.average_power(per_hour / 3600.0, main_rx.rx_power(), poll_on);
+        let p = wakeup.average_power(Hertz::new(per_hour / 3600.0), main_rx.rx_power(), poll_on);
         println!("  {:>6.1} events/h: {}", per_hour, fmt_power(p));
     }
 

@@ -8,7 +8,7 @@ use picocube_radio::packet::{self, Checksum};
 use picocube_radio::{Link, SuperRegenReceiver};
 use picocube_sensors::Sca3000;
 use picocube_sim::{SimRng, SimTime};
-use picocube_units::Gs;
+use picocube_units::{Gs, Meters};
 
 /// One decoded X/Y/Z sample as the laptop display would plot it (Fig. 8).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +30,7 @@ pub struct ReceivedSample {
 pub struct DemoStation {
     receiver: SuperRegenReceiver,
     link: Link,
-    distance_m: f64,
+    distance: Meters,
     rng: SimRng,
     received: Vec<ReceivedSample>,
     lost: usize,
@@ -42,12 +42,12 @@ impl DemoStation {
     /// # Panics
     ///
     /// Panics if the distance is non-positive.
-    pub fn new(receiver: SuperRegenReceiver, link: Link, distance_m: f64, seed: u64) -> Self {
-        assert!(distance_m > 0.0, "distance must be positive");
+    pub fn new(receiver: SuperRegenReceiver, link: Link, distance: Meters, seed: u64) -> Self {
+        assert!(distance.value() > 0.0, "distance must be positive");
         Self {
             receiver,
             link,
-            distance_m,
+            distance,
             rng: SimRng::seed_from(seed),
             received: Vec::new(),
             lost: 0,
@@ -65,7 +65,12 @@ impl DemoStation {
             orientation_loss: picocube_units::Db::new(2.0),
             channel: picocube_radio::Channel::demo_room(),
         };
-        Self::new(SuperRegenReceiver::bwrc_issc05(), link, 1.0, seed)
+        Self::new(
+            SuperRegenReceiver::bwrc_issc05(),
+            link,
+            Meters::new(1.0),
+            seed,
+        )
     }
 
     /// Moves the station.
@@ -73,9 +78,9 @@ impl DemoStation {
     /// # Panics
     ///
     /// Panics if the distance is non-positive.
-    pub fn set_distance(&mut self, distance_m: f64) {
-        assert!(distance_m > 0.0, "distance must be positive");
-        self.distance_m = distance_m;
+    pub fn set_distance(&mut self, distance: Meters) {
+        assert!(distance.value() > 0.0, "distance must be positive");
+        self.distance = distance;
     }
 
     /// Offers one on-air packet to the station; decodes motion payloads.
@@ -83,7 +88,7 @@ impl DemoStation {
     pub fn offer(&mut self, packet: &TransmittedPacket) -> Option<ReceivedSample> {
         match self.receiver.receive(
             &self.link,
-            self.distance_m,
+            self.distance,
             &packet.bytes,
             Checksum::Xor,
             &mut self.rng,
@@ -176,7 +181,7 @@ mod tests {
     #[test]
     fn range_matters() {
         let mut station = DemoStation::demo_table(2);
-        station.set_distance(500.0);
+        station.set_distance(Meters::new(500.0));
         let got = station.offer_all(
             &(0..50)
                 .map(|_| motion_packet(0.0, 0.0, 1.0))

@@ -37,7 +37,7 @@ use picocube_radio::packet::Checksum;
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
 use picocube_sim::{SimDuration, SimRng, SimTime};
 use picocube_telemetry::{EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
-use picocube_units::{Db, Dbm, Hertz};
+use picocube_units::{Db, Dbm, Hertz, Meters};
 
 /// How fleet phase 1 (per-node simulation) is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -326,6 +326,19 @@ fn node_setup_rng(master: u64, node: usize) -> SimRng {
     SimRng::stream(master, 2 * node as u64 + 1)
 }
 
+/// The concrete [`NodeConfig`] for fleet node `index`: the shared base plus
+/// per-node identity, seed stream and deployment jitter drawn from `setup`.
+fn fleet_node_config(config: &FleetConfig, index: usize, setup: &mut SimRng) -> NodeConfig {
+    let period_ms = 6_000u64;
+    NodeConfig {
+        node_id: (index & 0xFF) as u8,
+        seed: node_sim_seed(config.seed, index),
+        first_wake_offset_ms: setup.next_u64() % period_ms,
+        wake_interval_ppm: setup.uniform(-500.0, 500.0),
+        ..config.base.clone()
+    }
+}
+
 /// Reserved stream index for the merge phase's channel trials. Odd, and
 /// unreachable from `2 * i + 1` for any realistic fleet size.
 const MERGE_STREAM: u64 = u64::MAX;
@@ -364,22 +377,18 @@ pub fn simulate_node_instrumented(
     record_events: bool,
 ) -> NodeOnAir {
     let mut setup = node_setup_rng(config.seed, index);
-    let period_ms = 6_000u64;
-    let node_config = NodeConfig {
-        node_id: (index & 0xFF) as u8,
-        seed: node_sim_seed(config.seed, index),
-        first_wake_offset_ms: setup.next_u64() % period_ms,
-        wake_interval_ppm: setup.uniform(-500.0, 500.0),
-        ..config.base.clone()
-    };
-    let mut node = PicoCube::tpms(node_config).expect("fleet node builds");
+    // Per-node fields (id, seed, offsets) cannot invalidate a base config
+    // that builds, and `run_fleet_with` probe-builds the base up front.
+    let mut node = PicoCube::tpms(fleet_node_config(config, index, &mut setup))
+        // picocube-lint: allow(L2) documented `# Panics`; base pre-validated by the fleet probe
+        .expect("fleet node builds");
     node.set_event_recording(record_events);
     node.run_for(config.duration);
     let mut telemetry = node.drain_telemetry();
     telemetry.attribute_to(index as u32);
     let distance = setup.uniform(config.distance_range.0, config.distance_range.1);
     let link = link_for_fleet();
-    let rx_dbm = link.budget(distance).received;
+    let rx_dbm = link.budget(Meters::new(distance)).received;
     let packets = node
         .packets()
         .into_iter()
@@ -416,15 +425,17 @@ fn simulate_all_nodes(config: &FleetConfig, record_events: bool) -> Vec<NodeOnAi
     // never sees scheduling effects.
     let per = config.nodes / workers;
     let extra = config.nodes % workers;
-    let mut bounds = Vec::with_capacity(workers + 1);
-    bounds.push(0usize);
+    let mut shards = Vec::with_capacity(workers);
+    let mut lo = 0usize;
     for t in 0..workers {
-        bounds.push(bounds[t] + per + usize::from(t < extra));
+        let hi = lo + per + usize::from(t < extra);
+        shards.push((lo, hi));
+        lo = hi;
     }
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|t| {
-                let (lo, hi) = (bounds[t], bounds[t + 1]);
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|(lo, hi)| {
                 scope.spawn(move || {
                     (lo..hi)
                         .map(|i| simulate_node_instrumented(config, i, record_events))
@@ -434,7 +445,12 @@ fn simulate_all_nodes(config: &FleetConfig, record_events: bool) -> Vec<NodeOnAi
             .collect();
         let mut all = Vec::with_capacity(config.nodes);
         for handle in handles {
-            all.extend(handle.join().expect("fleet worker panicked"));
+            match handle.join() {
+                Ok(shard) => all.extend(shard),
+                // Re-raise the worker's own panic payload instead of
+                // replacing it with a second, less informative one.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
         all
     })
@@ -466,7 +482,10 @@ fn merge_fleet_impl(
     let mut per_node_offered = vec![0usize; config.nodes];
     let mut on_air: Vec<OnAir> = Vec::new();
     for node in nodes {
-        per_node_offered[node.node] = node.packets.len();
+        debug_assert!(node.node < per_node_offered.len(), "node index in range");
+        if let Some(offered) = per_node_offered.get_mut(node.node) {
+            *offered = node.packets.len();
+        }
         on_air.extend(node.packets);
     }
     // Canonical order. Two packets from the same node cannot share a start
@@ -524,7 +543,10 @@ fn merge_fleet_impl(
             && picocube_radio::packet::decode(&entry.packet.bytes, Checksum::Xor).is_ok();
         if survived {
             delivered += 1;
-            per_node_delivered[entry.node] += 1;
+            debug_assert!(entry.node < per_node_delivered.len(), "node index in range");
+            if let Some(count) = per_node_delivered.get_mut(entry.node) {
+                *count += 1;
+            }
         } else {
             channel_losses += 1;
             *fate = PacketFate::ChannelLoss;
@@ -623,6 +645,20 @@ pub fn run_fleet_with(
         config.distance_range.0 > 0.0 && config.distance_range.1 >= config.distance_range.0,
         "invalid distance range"
     );
+    // Probe-build node 0 before any worker threads exist, so an invalid
+    // base config fails here with its typed build error rather than as a
+    // panic inside a shard thread.
+    let probe = PicoCube::tpms(fleet_node_config(
+        config,
+        0,
+        &mut node_setup_rng(config.seed, 0),
+    ));
+    assert!(
+        probe.is_ok(),
+        "fleet base config does not build: {:?}",
+        probe.as_ref().err()
+    );
+    drop(probe);
     let record_events = recorder.wants_events();
     let duration_ns = config.duration.as_nanos();
 

@@ -8,13 +8,13 @@
 
 use crate::{DriveCycle, Harvester};
 use picocube_power::PowerError;
-use picocube_units::{Rpm, Seconds, Watts};
+use picocube_units::{Meters, Rpm, Seconds, Watts};
 
 /// A wheel-speed-driven electromagnetic generator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WheelHarvester {
     cycle: DriveCycle,
-    wheel_radius_m: f64,
+    wheel_radius: Meters,
     /// Output power per (rad/s)² below saturation.
     k_w_per_rad2: f64,
     /// Saturation ceiling of the magnetics.
@@ -32,12 +32,12 @@ impl WheelHarvester {
     /// coefficient is not strictly positive.
     pub fn new(
         cycle: DriveCycle,
-        wheel_radius_m: f64,
+        wheel_radius: Meters,
         k_w_per_rad2: f64,
         p_max: Watts,
         cut_in: Rpm,
     ) -> Result<Self, PowerError> {
-        if !crate::positive(wheel_radius_m) {
+        if !crate::positive(wheel_radius.value()) {
             return Err(PowerError::InvalidParameter {
                 what: "wheel radius must be positive",
             });
@@ -49,7 +49,7 @@ impl WheelHarvester {
         }
         Ok(Self {
             cycle,
-            wheel_radius_m,
+            wheel_radius,
             k_w_per_rad2,
             p_max,
             cut_in,
@@ -61,20 +61,32 @@ impl WheelHarvester {
     /// point) and saturating at 2 mW.
     pub fn automotive(cycle: DriveCycle) -> Self {
         // 90 km/h on a 0.3 m wheel is ω = 83.3 rad/s; 450 µW / ω² ≈ 6.5e-8.
-        Self::new(cycle, 0.3, 6.48e-8, Watts::from_milli(2.0), Rpm::new(30.0))
-            .expect("valid preset parameters")
+        Self::new(
+            cycle,
+            Meters::new(0.3),
+            6.48e-8,
+            Watts::from_milli(2.0),
+            Rpm::new(30.0),
+        )
+        .expect("valid preset parameters")
     }
 
     /// The §6 demo harvester on a bicycle wheel (0.34 m radius), smaller
     /// magnetics.
     pub fn bicycle(cycle: DriveCycle) -> Self {
-        Self::new(cycle, 0.34, 2.0e-7, Watts::from_milli(1.0), Rpm::new(15.0))
-            .expect("valid preset parameters")
+        Self::new(
+            cycle,
+            Meters::new(0.34),
+            2.0e-7,
+            Watts::from_milli(1.0),
+            Rpm::new(15.0),
+        )
+        .expect("valid preset parameters")
     }
 
     /// Wheel rotation rate at time `t`.
     pub fn rpm_at(&self, t: Seconds) -> Rpm {
-        self.cycle.speed_at(t).wheel_rpm(self.wheel_radius_m)
+        self.cycle.speed_at(t).wheel_rpm(self.wheel_radius)
     }
 
     /// The drive cycle powering this harvester.
@@ -167,7 +179,7 @@ mod tests {
     fn flat_wheel_rejected() {
         let err = WheelHarvester::new(
             DriveCycle::urban(),
-            0.0,
+            Meters::ZERO,
             6.48e-8,
             Watts::from_milli(2.0),
             Rpm::new(30.0),

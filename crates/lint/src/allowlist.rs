@@ -1,0 +1,259 @@
+//! The L2 allowlist: a budget file that may only shrink.
+//!
+//! `lint-allowlist.txt` at the workspace root records, per file and panic
+//! kind, how many L2 sites are accepted and why. The budgets are **exact**:
+//! more actual sites than budgeted is a regression (new panic paths), and
+//! fewer is a stale entry (a site was fixed, so the budget must be
+//! tightened in the same change). Both directions fail the lint, which is
+//! what makes the allowlist shrink-only in practice.
+
+use crate::report::{Finding, Lint};
+use crate::source::SiteKind;
+use std::collections::BTreeMap;
+
+/// One `path kind count -- justification` entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Which panic kind the budget covers.
+    pub kind: SiteKind,
+    /// Number of accepted sites.
+    pub count: usize,
+    /// Why the sites are acceptable.
+    pub justification: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Allowlist {
+    /// Parses the allowlist file format. Blank lines and `#` comments are
+    /// skipped; malformed lines are returned as errors with line numbers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, justification) = line
+                .split_once("--")
+                .ok_or_else(|| format!("line {}: missing `-- justification`", idx + 1))?;
+            let mut parts = head.split_whitespace();
+            let path = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing path", idx + 1))?;
+            let kind = parts
+                .next()
+                .and_then(SiteKind::parse)
+                .ok_or_else(|| format!("line {}: missing or unknown kind", idx + 1))?;
+            let count: usize = parts
+                .next()
+                .and_then(|c| c.parse().ok())
+                .ok_or_else(|| format!("line {}: missing count", idx + 1))?;
+            if parts.next().is_some() {
+                return Err(format!("line {}: trailing tokens before `--`", idx + 1));
+            }
+            let justification = justification.trim();
+            if justification.is_empty() {
+                return Err(format!("line {}: empty justification", idx + 1));
+            }
+            entries.push(Entry {
+                path: path.to_string(),
+                kind,
+                count,
+                justification: justification.to_string(),
+            });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Budget for a `(path, kind)` pair; 0 when absent.
+    pub fn budget(&self, path: &str, kind: SiteKind) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.path == path && e.kind == kind)
+            .map(|e| e.count)
+            .sum()
+    }
+
+    /// Applies the budgets to the raw L2 findings.
+    ///
+    /// Per `(file, kind)` group: if the actual count exceeds the budget the
+    /// excess findings are kept (reported at their real locations); if it
+    /// matches, all are suppressed; if it falls short — or an entry's file
+    /// has no findings at all — a `stale-allowlist` finding is emitted so
+    /// the budget gets tightened. Returns the surviving findings and the
+    /// number suppressed.
+    pub fn apply(&self, raw: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        for f in raw {
+            groups
+                .entry((f.file.clone(), f.kind.clone()))
+                .or_default()
+                .push(f);
+        }
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for ((file, kind), group) in &mut groups {
+            let budget = SiteKind::parse(kind)
+                .map(|k| self.budget(file, k))
+                .unwrap_or(0);
+            let actual = group.len();
+            if actual > budget {
+                suppressed += budget;
+                kept.extend(group.drain(budget..).map(|mut f| {
+                    f.message = format!(
+                        "{} (allowlist budget {budget}, found {actual} — new panic site)",
+                        f.message
+                    );
+                    f
+                }));
+            } else if actual < budget {
+                suppressed += actual;
+                kept.push(Finding {
+                    lint: Lint::L2,
+                    file: file.clone(),
+                    line: 0,
+                    kind: "stale-allowlist".into(),
+                    message: format!(
+                        "allowlist budgets {budget} `{kind}` site(s) but only {actual} \
+                         remain — shrink the entry in lint-allowlist.txt"
+                    ),
+                });
+            } else {
+                suppressed += actual;
+            }
+        }
+        // Entries whose file/kind produced no findings at all are stale too.
+        for e in &self.entries {
+            let key = (e.path.clone(), e.kind.name().to_string());
+            if !groups.contains_key(&key) && e.count > 0 {
+                kept.push(Finding {
+                    lint: Lint::L2,
+                    file: e.path.clone(),
+                    line: 0,
+                    kind: "stale-allowlist".into(),
+                    message: format!(
+                        "allowlist budgets {} `{}` site(s) but none remain — delete the entry",
+                        e.count,
+                        e.kind.name()
+                    ),
+                });
+            }
+        }
+        (kept, suppressed)
+    }
+
+    /// Renders entries back into the file format (used by
+    /// `--update-allowlist` to tighten budgets mechanically).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# picocube-lint L2 allowlist — shrink-only.\n\
+             # Format: <path> <kind> <count> -- <justification>\n\
+             # Budgets are exact: the lint fails when a file gains OR loses sites\n\
+             # relative to its budget, so fixes must tighten the entry here.\n\n",
+        );
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{} {} {} -- {}\n",
+                e.path,
+                e.kind.name(),
+                e.count,
+                e.justification
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, kind: &str, line: u32) -> Finding {
+        Finding {
+            lint: Lint::L2,
+            file: file.into(),
+            line,
+            kind: kind.into(),
+            message: "site".into(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let a = Allowlist::parse(
+            "# header\n\ncrates/sim/src/power.rs index 2 -- rail ids are validated at build\n",
+        )
+        .unwrap();
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.budget("crates/sim/src/power.rs", SiteKind::Index), 2);
+        assert_eq!(a.budget("crates/sim/src/power.rs", SiteKind::Unwrap), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("no-kind-or-count\n").is_err());
+        assert!(Allowlist::parse("p unwrap x -- why\n").is_err());
+        assert!(Allowlist::parse("p unwrap 1 --   \n").is_err());
+        assert!(Allowlist::parse("p wibble 1 -- why\n").is_err());
+    }
+
+    #[test]
+    fn exact_budget_suppresses_all() {
+        let a = Allowlist::parse("f.rs unwrap 2 -- fine\n").unwrap();
+        let (kept, suppressed) = a.apply(vec![
+            finding("f.rs", "unwrap", 1),
+            finding("f.rs", "unwrap", 2),
+        ]);
+        assert!(kept.is_empty());
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn growth_keeps_excess_findings() {
+        let a = Allowlist::parse("f.rs unwrap 1 -- fine\n").unwrap();
+        let (kept, _) = a.apply(vec![
+            finding("f.rs", "unwrap", 1),
+            finding("f.rs", "unwrap", 9),
+        ]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 9, "excess reported at the newest site");
+        assert!(kept[0].message.contains("new panic site"));
+    }
+
+    #[test]
+    fn shrink_flags_stale_budget() {
+        let a = Allowlist::parse("f.rs unwrap 3 -- fine\n").unwrap();
+        let (kept, _) = a.apply(vec![finding("f.rs", "unwrap", 1)]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].kind, "stale-allowlist");
+    }
+
+    #[test]
+    fn entry_with_no_findings_is_stale() {
+        let a = Allowlist::parse("gone.rs expect 1 -- was here once\n").unwrap();
+        let (kept, _) = a.apply(Vec::new());
+        assert_eq!(kept.len(), 1);
+        assert!(kept[0].message.contains("delete the entry"));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let text = "a.rs unwrap 1 -- one\nb.rs index 2 -- two\n";
+        let a = Allowlist::parse(text).unwrap();
+        let again = Allowlist::parse(&a.render()).unwrap();
+        assert_eq!(again.entries.len(), 2);
+        assert_eq!(again.budget("b.rs", SiteKind::Index), 2);
+    }
+}

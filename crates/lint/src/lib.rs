@@ -1,0 +1,197 @@
+//! Workspace invariant linter for the PicoCube simulation.
+//!
+//! `cargo xtask lint` runs four AST/token-level lints over every library
+//! source in the workspace:
+//!
+//! - **L1 unit hygiene** — public functions in the physical crates must not
+//!   take or return bare `f64` where a `picocube-units` quantity exists.
+//! - **L2 panic freedom** — no `unwrap`/`expect`/`panic!`/slice indexing in
+//!   library code of the simulation hot path; residual sites live in a
+//!   shrink-only allowlist (`lint-allowlist.txt`).
+//! - **L3 determinism** — no `HashMap`/`HashSet`, wall clocks or ambient
+//!   RNG in the simulation core, fleet engine and telemetry merge paths.
+//! - **L4 provenance** — named physical constants in power/radio/storage
+//!   must cite their paper section (`§x.y`) in a doc comment.
+//!
+//! The workspace builds fully offline, so there is no `syn`: the crate
+//! carries its own minimal lexer ([`lexer`]) and structural scanner
+//! ([`source`]). Individual sites opt out with an inline
+//! `picocube-lint: allow(L1)`-style marker, which applies to its own line
+//! and the next.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod scope;
+pub mod source;
+
+use allowlist::Allowlist;
+use report::{Finding, Lint, Report};
+use scope::scope_for;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The allowlist's location, relative to the workspace root.
+pub const ALLOWLIST_PATH: &str = "lint-allowlist.txt";
+
+/// Lints one file's contents under the scope its path implies. L2 findings
+/// are returned raw (not netted against any allowlist). Files outside
+/// every scope yield no findings.
+pub fn lint_file_contents(rel_path: &str, src: &str) -> Vec<Finding> {
+    let Some(scope) = scope_for(rel_path) else {
+        return Vec::new();
+    };
+    let scanned = source::scan(src);
+    let mut out = Vec::new();
+    if scope.l1 {
+        out.extend(lints::check_units(&scanned, rel_path));
+    }
+    if scope.l2 {
+        out.extend(lints::check_panics(&scanned, rel_path, scope.l2_index));
+    }
+    if scope.l3 {
+        out.extend(lints::check_determinism(&scanned, rel_path));
+    }
+    if scope.l4 {
+        out.extend(lints::check_provenance(&scanned, rel_path));
+    }
+    out
+}
+
+/// A completed workspace run.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The final report (L2 already netted against the allowlist).
+    pub report: Report,
+    /// Raw L2 findings before the allowlist, for `--update-allowlist`.
+    pub raw_l2: Vec<Finding>,
+}
+
+/// Recursively collects `.rs` files under `dir`, as workspace-relative
+/// paths with `/` separators, in sorted order.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Enumerates the scannable library sources of the workspace rooted at
+/// `root` (every `crates/*/src` tree plus the root package's `src`).
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs_files(root, &src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs_files(root, &root_src, &mut files)?;
+    }
+    files.retain(|f| scope_for(f).is_some());
+    Ok(files)
+}
+
+/// Runs the full lint over the workspace at `root`.
+///
+/// # Errors
+///
+/// Returns I/O errors from walking or reading sources, and surfaces a
+/// malformed allowlist as a finding rather than an error so it shows up in
+/// the report like any other violation.
+pub fn run_workspace(root: &Path) -> io::Result<RunOutput> {
+    let files = workspace_files(root)?;
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut raw_l2 = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        for f in lint_file_contents(rel, &src) {
+            if f.lint == Lint::L2 {
+                raw_l2.push(f);
+            } else {
+                report.findings.push(f);
+            }
+        }
+    }
+
+    let allow_path = root.join(ALLOWLIST_PATH);
+    let allow = if allow_path.is_file() {
+        match Allowlist::parse(&std::fs::read_to_string(&allow_path)?) {
+            Ok(a) => a,
+            Err(msg) => {
+                report.findings.push(Finding {
+                    lint: Lint::L2,
+                    file: ALLOWLIST_PATH.into(),
+                    line: 0,
+                    kind: "allowlist-parse".into(),
+                    message: msg,
+                });
+                Allowlist::default()
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+    raw_l2.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let (kept, suppressed) = allow.apply(raw_l2.clone());
+    report.findings.extend(kept);
+    report.allowlisted = suppressed;
+    report.sort();
+    Ok(RunOutput { report, raw_l2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_scope_files_yield_nothing() {
+        let findings = lint_file_contents("crates/lint/src/lib.rs", "fn f() { x.unwrap(); }");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn scoped_file_is_linted() {
+        let findings = lint_file_contents("crates/sim/src/fake.rs", "fn f() { x.unwrap(); }");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, Lint::L2);
+    }
+
+    #[test]
+    fn l1_only_fires_in_physical_crates() {
+        let src = "pub fn set(&mut self, rail_voltage: f64) {}";
+        assert_eq!(lint_file_contents("crates/power/src/fake.rs", src).len(), 1);
+        assert!(lint_file_contents("crates/sim/src/fake.rs", src).is_empty());
+    }
+}

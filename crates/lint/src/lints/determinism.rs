@@ -1,0 +1,88 @@
+//! L3 — determinism.
+//!
+//! The fleet engine's contract is bit-identical results for a given seed,
+//! serial or threaded. Iteration order and wall-clock reads are the two
+//! classic ways to break that, so in the simulation core, the telemetry
+//! merge path and the fleet engine this lint forbids: `HashMap`/`HashSet`
+//! (randomized iteration order — use `BTreeMap`/`BTreeSet`),
+//! `Instant`/`SystemTime` (wall-clock reads — simulation time comes from
+//! the event queue), and ambient RNG (`thread_rng`, the `rand` crate —
+//! randomness must flow from `SimRng` seed streams).
+
+use crate::report::{Finding, Lint};
+use crate::source::ScannedFile;
+
+/// Forbidden identifiers and what to use instead.
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is randomized; use BTreeMap"),
+    ("HashSet", "iteration order is randomized; use BTreeSet"),
+    (
+        "Instant",
+        "wall-clock read; simulation time comes from the event queue",
+    ),
+    (
+        "SystemTime",
+        "wall-clock read; simulation time comes from the event queue",
+    ),
+    ("thread_rng", "ambient RNG; draw from a SimRng seed stream"),
+    ("rand", "external RNG; draw from a SimRng seed stream"),
+];
+
+/// Runs L3 over a scanned file (the caller restricts this to the
+/// determinism-scoped paths).
+pub fn check_determinism(file: &ScannedFile, path: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for u in &file.idents {
+        if u.in_test {
+            continue;
+        }
+        let Some((_, why)) = FORBIDDEN.iter().find(|(name, _)| *name == u.ident) else {
+            continue;
+        };
+        if file.allows(Lint::L3.code(), u.line) {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L3,
+            file: path.to_string(),
+            line: u.line,
+            kind: u.ident.clone(),
+            message: format!("`{}` in a determinism-scoped path: {why}", u.ident),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    #[test]
+    fn hashmap_is_flagged_with_alternative() {
+        let s = scan("use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n");
+        let f = check_determinism(&s, "x.rs");
+        assert_eq!(f.len(), 3, "use + type + constructor");
+        assert!(f[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn wall_clock_is_flagged() {
+        let s = scan("fn f() { let t = Instant::now(); }\n");
+        assert_eq!(check_determinism(&s, "x.rs").len(), 1);
+    }
+
+    #[test]
+    fn test_code_and_btree_are_fine() {
+        let s = scan(
+            "use std::collections::BTreeMap;\n#[cfg(test)]\nmod t { fn g() { Instant::now(); } }\n",
+        );
+        assert!(check_determinism(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let s = scan("// picocube-lint: allow(L3) scratch map, drained in sorted order\nfn f() { let m = HashMap::new(); }\n");
+        assert!(check_determinism(&s, "x.rs").is_empty());
+    }
+}

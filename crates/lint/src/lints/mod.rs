@@ -1,0 +1,16 @@
+//! The four lint passes.
+//!
+//! Each pass is a pure function from a [`crate::source::ScannedFile`] (plus
+//! the file's workspace-relative path, which decides scope) to findings.
+//! Scope rules live in [`crate::scope`] so the passes themselves stay
+//! path-agnostic and fixture-testable.
+
+pub mod determinism;
+pub mod panics;
+pub mod provenance;
+pub mod units;
+
+pub use determinism::check_determinism;
+pub use panics::check_panics;
+pub use provenance::check_provenance;
+pub use units::check_units;

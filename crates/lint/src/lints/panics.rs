@@ -1,0 +1,90 @@
+//! L2 — panic freedom.
+//!
+//! Library code on the simulation hot path must not contain panic-capable
+//! constructs: `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`,
+//! `todo!`/`unimplemented!`, and (in the tightest-scoped crates) slice
+//! indexing. Test code is exempt. Raw findings from this pass are netted
+//! against the shrink-only allowlist by the caller; a
+//! `picocube-lint: allow(L2)` marker suppresses an individual site with an
+//! inline justification.
+
+use crate::report::{Finding, Lint};
+use crate::source::{ScannedFile, SiteKind};
+
+/// Runs L2 over a scanned file. `index_scoped` enables the slice-indexing
+/// kind (only the event-queue/fleet crates opt in — indexing is pervasive
+/// and legitimate in table-driven physics code elsewhere).
+pub fn check_panics(file: &ScannedFile, path: &str, index_scoped: bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for site in &file.sites {
+        if site.in_test {
+            continue;
+        }
+        if site.kind == SiteKind::Index && !index_scoped {
+            continue;
+        }
+        if file.allows(Lint::L2.code(), site.line) {
+            continue;
+        }
+        let what = match site.kind {
+            SiteKind::Unwrap => "`.unwrap()`",
+            SiteKind::Expect => "`.expect(…)`",
+            SiteKind::Panic => "`panic!`",
+            SiteKind::Unreachable => "`unreachable!`",
+            SiteKind::Todo => "`todo!`/`unimplemented!`",
+            SiteKind::Index => "slice indexing",
+        };
+        out.push(Finding {
+            lint: Lint::L2,
+            file: path.to_string(),
+            line: site.line,
+            kind: site.kind.name().into(),
+            message: format!("{what} in library code"),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged() {
+        let s = scan("fn f() { x.unwrap(); y.expect(\"msg\"); }\n");
+        let f = check_panics(&s, "x.rs", false);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].kind, "unwrap");
+        assert_eq!(f[1].kind, "expect");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let s = scan("#[cfg(test)]\nmod t { fn g() { x.unwrap(); panic!(); } }\n");
+        assert!(check_panics(&s, "x.rs", true).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_when_scoped() {
+        let s = scan("fn f(xs: &[u32]) -> u32 { xs[0] }\n");
+        assert!(check_panics(&s, "x.rs", false).is_empty());
+        assert_eq!(check_panics(&s, "x.rs", true).len(), 1);
+    }
+
+    #[test]
+    fn allow_marker_suppresses_single_site() {
+        let src = "fn f() {\n    // picocube-lint: allow(L2) checked above\n    x.unwrap();\n    y.unwrap();\n}\n";
+        let s = scan(src);
+        let f = check_panics(&s, "x.rs", false);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn macros_are_flagged() {
+        let s = scan("fn f() { todo!(); }\nfn g() { unreachable!(\"no\"); }\n");
+        let f = check_panics(&s, "x.rs", false);
+        assert_eq!(f.len(), 2);
+    }
+}

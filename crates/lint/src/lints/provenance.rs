@@ -1,0 +1,112 @@
+//! L4 — provenance.
+//!
+//! Every named physical constant in the power, radio and storage crates is
+//! a number taken from the PicoCube paper or a component datasheet, and the
+//! doc comment must say which: a `§x.y` citation (or an explicit datasheet
+//! reference via the allow marker) keeps the model auditable against its
+//! source. The lint fires on module- and impl-level `const` items whose
+//! type is `f64` or a unit quantity and whose doc comment lacks a `§`.
+
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Lint};
+use crate::source::{ConstItem, ScannedFile};
+
+/// picocube-units quantity type names (kept in sync with the units crate's
+/// public exports; unknown types are simply not linted).
+const UNIT_TYPES: &[&str] = &[
+    "Volts",
+    "Amps",
+    "Ohms",
+    "Farads",
+    "Coulombs",
+    "Hertz",
+    "Joules",
+    "JoulesPerGram",
+    "Seconds",
+    "Watts",
+    "Db",
+    "Dbm",
+    "Celsius",
+    "Grams",
+    "Gs",
+    "Kilopascals",
+    "Meters",
+    "MetersPerSecond",
+    "MetersPerSecond2",
+    "Millimeters",
+    "Rpm",
+    "SquareMillimeters",
+    "CubicMillimeters",
+];
+
+fn is_physical(c: &ConstItem) -> bool {
+    c.ty.iter().any(|t| {
+        t.kind == TokenKind::Ident && (t.text == "f64" || UNIT_TYPES.contains(&t.text.as_str()))
+    })
+}
+
+/// Runs L4 over a scanned file (the caller restricts this to the
+/// provenance-scoped crates).
+pub fn check_provenance(file: &ScannedFile, path: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for c in &file.consts {
+        if c.in_test || !is_physical(c) {
+            continue;
+        }
+        if file.allows(Lint::L4.code(), c.line) {
+            continue;
+        }
+        if c.doc.contains('§') {
+            continue;
+        }
+        out.push(Finding {
+            lint: Lint::L4,
+            file: path.to_string(),
+            line: c.line,
+            kind: "const".into(),
+            message: format!(
+                "physical constant `{}` has no `§x.y` paper citation in its doc comment",
+                c.name
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    #[test]
+    fn uncited_f64_const_is_flagged() {
+        let s = scan("/// Speed of light in m/s.\npub const C: f64 = 299_792_458.0;\n");
+        let f = check_provenance(&s, "x.rs");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains('C'));
+    }
+
+    #[test]
+    fn cited_const_passes() {
+        let s = scan("/// Sensitivity floor from the §5.2 receiver budget.\npub const FLOOR: Dbm = Dbm::new(-94.0);\n");
+        assert!(check_provenance(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn non_physical_consts_are_ignored() {
+        let s = scan("const NAME: &str = \"picocube\";\nconst N: usize = 4;\n");
+        assert!(check_provenance(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let s = scan("/// Newton iteration convergence epsilon (numerical, not physical).\n// picocube-lint: allow(L4)\nconst EPS: f64 = 1e-12;\n");
+        assert!(check_provenance(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn unit_typed_const_needs_citation() {
+        let s = scan("/// The 15 mAh cell.\npub const CAPACITY: Coulombs = Coulombs::new(54.0);\n");
+        assert_eq!(check_provenance(&s, "x.rs").len(), 1);
+    }
+}

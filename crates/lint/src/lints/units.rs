@@ -1,0 +1,206 @@
+//! L1 — unit hygiene.
+//!
+//! Public functions in the physical crates must not take or return bare
+//! `f64` for values that carry a unit: the `picocube-units` newtypes exist
+//! precisely so millivolts cannot be fed where volts are expected. The
+//! lint fires when an `f64` parameter's name (or, for returns, the
+//! function's name) carries a unit suffix (`_mah`, `_um`, `_dbm`, …) or a
+//! dimensional keyword (`voltage`, `distance`, …). Genuinely dimensionless
+//! values — efficiencies, ratios, duty cycles — pass untouched, and a
+//! `picocube-lint: allow(L1)` marker documents deliberate boundary
+//! crossings (FFI, datasheet-shaped constructors).
+
+use crate::lexer::{Token, TokenKind};
+use crate::report::{Finding, Lint};
+use crate::source::{FnSig, ScannedFile};
+
+/// Name suffixes that imply a unit (after the final `_`).
+const UNIT_SUFFIXES: &[&str] = &[
+    "m", "mm", "um", "cm", "km", "v", "mv", "uv", "a", "ma", "ua", "na", "w", "mw", "uw", "nw",
+    "j", "mj", "uj", "nj", "s", "ms", "us", "ns", "h", "hz", "khz", "mhz", "ghz", "db", "dbm",
+    "mah", "ohm", "ohms", "f", "uf", "nf", "pf", "c", "g", "kpa",
+];
+
+/// Name components that imply a dimensional quantity.
+const UNIT_WORDS: &[&str] = &[
+    "voltage",
+    "current",
+    "charge",
+    "capacitance",
+    "resistance",
+    "impedance",
+    "frequency",
+    "distance",
+    "range",
+    "thickness",
+    "wavelength",
+    "energy",
+    "power",
+    "temperature",
+    "mass",
+    "volume",
+    "area",
+    "duration",
+    "latency",
+    "timeout",
+];
+
+/// Whether an identifier names a unit-bearing quantity.
+fn has_unit_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    if let Some((_, suffix)) = lower.rsplit_once('_') {
+        if UNIT_SUFFIXES.contains(&suffix) {
+            return true;
+        }
+    }
+    UNIT_WORDS.iter().any(|w| {
+        lower
+            .split('_')
+            .any(|part| part == *w || (w.len() > 5 && part.starts_with(w)))
+    })
+}
+
+/// Splits a parameter list at top-level commas into `(name, type tokens)`.
+fn split_params(params: &[Token]) -> Vec<(String, Vec<Token>)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut current: Vec<Token> = Vec::new();
+    let mut flush = |current: &mut Vec<Token>| {
+        // `name : type…` — skip `self`, `&self`, `mut name`.
+        let colon = current.iter().position(|t| t.is_punct(':'));
+        if let Some(c) = colon {
+            let name = current[..c]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokenKind::Ident && t.text != "mut")
+                .map(|t| t.text.clone());
+            if let Some(name) = name {
+                out.push((name, current[c + 1..].to_vec()));
+            }
+        }
+        current.clear();
+    };
+    for t in params {
+        match t.text.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            "," if depth == 0 => {
+                flush(&mut current);
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t.clone());
+    }
+    flush(&mut current);
+    out
+}
+
+/// Whether a type token sequence is bare `f64` (possibly `&f64` or
+/// `Option<f64>`/`impl Into<f64>` are deliberately NOT flagged — only the
+/// direct scalar type is).
+fn is_bare_f64(ty: &[Token]) -> bool {
+    let idents: Vec<&str> = ty
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    idents == ["f64"]
+}
+
+fn check_fn(file: &ScannedFile, path: &str, f: &FnSig, out: &mut Vec<Finding>) {
+    if !f.is_pub || f.in_test || file.allows(Lint::L1.code(), f.line) {
+        return;
+    }
+    for (name, ty) in split_params(&f.params) {
+        if is_bare_f64(&ty) && has_unit_name(&name) {
+            out.push(Finding {
+                lint: Lint::L1,
+                file: path.to_string(),
+                line: f.line,
+                kind: "param".into(),
+                message: format!(
+                    "`{}` takes `{name}: f64` — use the picocube-units quantity for this \
+                     dimension (or mark `picocube-lint: allow(L1)` with a reason)",
+                    f.name
+                ),
+            });
+        }
+    }
+    if is_bare_f64(&f.ret) && has_unit_name(&f.name) {
+        out.push(Finding {
+            lint: Lint::L1,
+            file: path.to_string(),
+            line: f.line,
+            kind: "return".into(),
+            message: format!(
+                "`{}` returns bare `f64` — its name implies a unit; return the \
+                 picocube-units quantity instead",
+                f.name
+            ),
+        });
+    }
+}
+
+/// Runs L1 over a scanned file.
+pub fn check_units(file: &ScannedFile, path: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &file.fns {
+        check_fn(file, path, f, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    #[test]
+    fn unit_suffixed_f64_param_is_flagged() {
+        let s = scan("pub fn path_loss(&self, distance_m: f64) -> Db { Db::ZERO }\n");
+        let f = check_units(&s, "x.rs");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, "param");
+    }
+
+    #[test]
+    fn dimensionless_f64_is_fine() {
+        let s = scan(
+            "pub fn set_duty(&mut self, duty: f64) {}\npub fn efficiency(&self) -> f64 { 0.9 }\n",
+        );
+        assert!(check_units(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn unit_named_return_is_flagged() {
+        let s = scan("pub fn thickness_um(&self) -> f64 { 0.0 }\n");
+        let f = check_units(&s, "x.rs");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, "return");
+    }
+
+    #[test]
+    fn private_and_test_fns_are_skipped() {
+        let s = scan("fn helper(distance_m: f64) {}\n#[cfg(test)]\nmod t { pub fn capacity_mah() -> f64 { 1.0 } }\n");
+        assert!(check_units(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses() {
+        let s = scan("// picocube-lint: allow(L1) datasheet-shaped constructor\npub fn from_mah(capacity_mah: f64) {}\n");
+        assert!(check_units(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn typed_quantities_pass() {
+        let s = scan("pub fn budget(&self, distance: Meters) -> LinkBudget { todo() }\n");
+        assert!(check_units(&s, "x.rs").is_empty());
+    }
+
+    #[test]
+    fn unit_word_components_are_flagged() {
+        let s = scan("pub fn set_supply(&mut self, rail_voltage: f64) {}\n");
+        assert_eq!(check_units(&s, "x.rs").len(), 1);
+    }
+}

@@ -1,0 +1,543 @@
+//! Structural scan of one source file: items, blocks, and panic sites.
+//!
+//! Builds on the token stream from [`crate::lexer`]: a single forward walk
+//! tracks the block-nesting context (function bodies, `#[cfg(test)]`
+//! modules, test functions), collects function signatures and module-level
+//! constants with their attached doc comments, and records every
+//! panic-capable site. The lint passes in [`crate::lints`] then run over
+//! this model without re-reading the source.
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// A scanned function signature.
+#[derive(Debug, Clone)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function is `pub` (unrestricted).
+    pub is_pub: bool,
+    /// Whether the function sits in test code (`#[test]` fn or
+    /// `#[cfg(test)]` module) or is itself nested inside another body.
+    pub in_test: bool,
+    /// Tokens of the parameter list, parentheses excluded.
+    pub params: Vec<Token>,
+    /// Tokens of the return type (empty when the function returns `()`).
+    pub ret: Vec<Token>,
+}
+
+/// A scanned module- or impl-level `const` item.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    /// Constant name.
+    pub name: String,
+    /// 1-based line of the `const` keyword.
+    pub line: u32,
+    /// Whether the constant sits in test code.
+    pub in_test: bool,
+    /// Tokens of the declared type.
+    pub ty: Vec<Token>,
+    /// Concatenated doc-comment text attached to the item.
+    pub doc: String,
+}
+
+/// The kind of a panic-capable site (lint L2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SiteKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// `panic!(…)`.
+    Panic,
+    /// `unreachable!(…)`.
+    Unreachable,
+    /// `todo!(…)` or `unimplemented!(…)`.
+    Todo,
+    /// Bracket indexing of an expression (`xs[i]`).
+    Index,
+}
+
+impl SiteKind {
+    /// Stable lowercase name, used in reports and the allowlist file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Unwrap => "unwrap",
+            Self::Expect => "expect",
+            Self::Panic => "panic",
+            Self::Unreachable => "unreachable",
+            Self::Todo => "todo",
+            Self::Index => "index",
+        }
+    }
+
+    /// Parses a [`SiteKind::name`] back; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "unwrap" => Self::Unwrap,
+            "expect" => Self::Expect,
+            "panic" => Self::Panic,
+            "unreachable" => Self::Unreachable,
+            "todo" => Self::Todo,
+            "index" => Self::Index,
+            _ => None?,
+        })
+    }
+}
+
+/// One panic-capable site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What kind of site.
+    pub kind: SiteKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether the site is in test code.
+    pub in_test: bool,
+}
+
+/// One identifier occurrence outside test code (for lint L3).
+#[derive(Debug, Clone)]
+pub struct IdentUse {
+    /// The identifier text.
+    pub ident: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether the use is in test code.
+    pub in_test: bool,
+}
+
+/// The scanned model of one source file.
+#[derive(Debug, Default)]
+pub struct ScannedFile {
+    /// Function signatures in source order.
+    pub fns: Vec<FnSig>,
+    /// Module- and impl-level constants in source order.
+    pub consts: Vec<ConstItem>,
+    /// Panic-capable sites in source order.
+    pub sites: Vec<PanicSite>,
+    /// Every identifier occurrence (outside attributes) with test context.
+    pub idents: Vec<IdentUse>,
+    /// Comment side tables from the lexer.
+    pub lexed: Lexed,
+}
+
+impl ScannedFile {
+    /// Whether a `picocube-lint: allow(name)` marker covers `line` (the
+    /// marker may sit on the line itself or on the line directly above).
+    pub fn allows(&self, name: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.lexed
+                .allow_markers
+                .get(l)
+                .is_some_and(|names| names.iter().any(|n| n == name))
+        })
+    }
+
+    /// Doc text attached to an item starting at `line`: the contiguous run
+    /// of doc-comment lines ending directly above it (attribute lines in
+    /// between are tolerated by scanning a few lines further up).
+    pub fn doc_above(&self, line: u32) -> String {
+        let mut doc = String::new();
+        let mut l = line.saturating_sub(1);
+        let mut gap = 0u32;
+        while l > 0 && gap <= 3 {
+            if let Some(text) = self.lexed.doc_lines.get(&l) {
+                doc.insert_str(0, text);
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+            l -= 1;
+        }
+        doc
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    /// A function body (tests or not).
+    FnBody,
+    /// A `#[cfg(test)]` module.
+    TestMod,
+    /// Anything else: plain module, impl, trait, match arm, etc.
+    Other,
+}
+
+/// Scans `src` into a [`ScannedFile`].
+pub fn scan(src: &str) -> ScannedFile {
+    let lexed = lex(src);
+    let mut out = ScannedFile::default();
+    let toks = std::mem::take(&mut {
+        // Tokens are moved out for the walk; the side tables stay.
+        let mut l = lexed;
+        let t = std::mem::take(&mut l.tokens);
+        out.lexed = l;
+        t
+    });
+
+    let mut stack: Vec<BlockKind> = Vec::new();
+    // Block kind to assign to specific upcoming `{` token indices.
+    let mut planned: std::collections::BTreeMap<usize, BlockKind> =
+        std::collections::BTreeMap::new();
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut pending_pub = false;
+
+    let in_fn = |stack: &[BlockKind]| stack.contains(&BlockKind::FnBody);
+    let in_test = |stack: &[BlockKind]| stack.contains(&BlockKind::TestMod);
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Punct if t.is_punct('#') => {
+                // Attribute: `#[…]` or `#![…]`. Collect its text and skip
+                // its tokens entirely so nothing inside is linted.
+                let mut j = i + 1;
+                if j < toks.len() && toks[j].is_punct('!') {
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is_punct('[') {
+                    let mut depth = 0i32;
+                    let mut text = String::new();
+                    while j < toks.len() {
+                        if toks[j].is_punct('[') {
+                            depth += 1;
+                            if depth == 1 {
+                                j += 1;
+                                continue;
+                            }
+                        } else if toks[j].is_punct(']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        text.push_str(&toks[j].text);
+                        j += 1;
+                    }
+                    pending_attrs.push(text);
+                    i = j;
+                    continue;
+                }
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct('{') => {
+                let kind = planned.remove(&i).unwrap_or(BlockKind::Other);
+                stack.push(kind);
+                pending_attrs.clear();
+                pending_pub = false;
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct('}') => {
+                stack.pop();
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "pub" => {
+                // `pub(crate)`/`pub(super)` are not public API.
+                pending_pub = !toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "mod" => {
+                let test_attr = pending_attrs.iter().any(|a| a.contains("cfg(test"));
+                if let (Some(_name), Some(brace)) = (
+                    toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident),
+                    toks.get(i + 2),
+                ) {
+                    if brace.is_punct('{') {
+                        planned.insert(
+                            i + 2,
+                            if test_attr {
+                                BlockKind::TestMod
+                            } else {
+                                BlockKind::Other
+                            },
+                        );
+                    }
+                }
+                pending_attrs.clear();
+                pending_pub = false;
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "fn" => {
+                // An item `fn` is followed by its name; `fn(…)` pointer
+                // types are not.
+                let Some(name_tok) = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let is_test_fn = pending_attrs
+                    .iter()
+                    .any(|a| a == "test" || a.contains("::test") || a.starts_with("should_panic"));
+                let sig_test = in_test(&stack) || is_test_fn || in_fn(&stack);
+                let (params, ret, body_open) = parse_signature(&toks, i + 2);
+                if let Some(open) = body_open {
+                    planned.insert(open, BlockKind::FnBody);
+                }
+                out.fns.push(FnSig {
+                    name: name_tok.text.clone(),
+                    line: t.line,
+                    is_pub: pending_pub,
+                    in_test: sig_test,
+                    params,
+                    ret,
+                });
+                pending_attrs.clear();
+                pending_pub = false;
+                // Continue the walk from the token after `fn` so the body
+                // (and any nested items) are scanned normally.
+                i += 1;
+            }
+            TokenKind::Ident if t.text == "const" && !in_fn(&stack) => {
+                // Module- or impl-level constant; skip `const fn`, the
+                // `*const` pointer sigil and `const _` anchors.
+                let prev_is_star = i > 0 && toks[i - 1].is_punct('*');
+                let name = toks.get(i + 1).filter(|n| n.kind == TokenKind::Ident);
+                match name {
+                    Some(n) if !prev_is_star && n.text != "fn" && n.text != "_" => {
+                        let mut ty = Vec::new();
+                        let mut j = i + 2;
+                        if toks.get(j).is_some_and(|c| c.is_punct(':')) {
+                            j += 1;
+                            let mut depth = 0i32;
+                            while let Some(tok) = toks.get(j) {
+                                if tok.is_punct('=') && depth == 0 {
+                                    break;
+                                }
+                                match tok.text.as_str() {
+                                    "<" | "(" | "[" => depth += 1,
+                                    ">" | ")" | "]" => depth -= 1,
+                                    _ => {}
+                                }
+                                ty.push(tok.clone());
+                                j += 1;
+                            }
+                        }
+                        out.consts.push(ConstItem {
+                            name: n.text.clone(),
+                            line: t.line,
+                            in_test: in_test(&stack),
+                            ty,
+                            doc: String::new(), // filled below from doc_lines
+                        });
+                    }
+                    _ => {}
+                }
+                pending_attrs.clear();
+                pending_pub = false;
+                i += 1;
+            }
+            TokenKind::Ident => {
+                let test_ctx = in_test(&stack);
+                out.idents.push(IdentUse {
+                    ident: t.text.clone(),
+                    line: t.line,
+                    in_test: test_ctx,
+                });
+                // Panic-capable method calls and macros.
+                let prev = i.checked_sub(1).map(|p| &toks[p]);
+                let next = toks.get(i + 1);
+                let dotted = prev.is_some_and(|p| p.is_punct('.'));
+                let called = next.is_some_and(|n| n.is_punct('('));
+                let banged = next.is_some_and(|n| n.is_punct('!'));
+                let kind = match t.text.as_str() {
+                    "unwrap" if dotted && called => Some(SiteKind::Unwrap),
+                    "expect" if dotted && called => Some(SiteKind::Expect),
+                    "panic" if banged => Some(SiteKind::Panic),
+                    "unreachable" if banged => Some(SiteKind::Unreachable),
+                    "todo" | "unimplemented" if banged => Some(SiteKind::Todo),
+                    _ => None,
+                };
+                if let Some(kind) = kind {
+                    out.sites.push(PanicSite {
+                        kind,
+                        line: t.line,
+                        in_test: test_ctx,
+                    });
+                }
+                i += 1;
+            }
+            TokenKind::Punct if t.is_punct('[') => {
+                // Expression indexing: `xs[i]`, `f()[i]`, `xs[i][j]` — the
+                // opening bracket directly follows an identifier, a closing
+                // parenthesis or a closing bracket. Type syntax (`[u8; 4]`),
+                // array literals (`= [...]`) and macro brackets (`vec![`)
+                // all follow other tokens. Only flagged inside fn bodies.
+                if in_fn(&stack) {
+                    if let Some(prev) = i.checked_sub(1).map(|p| &toks[p]) {
+                        let indexes = prev.kind == TokenKind::Ident
+                            && !matches!(
+                                prev.text.as_str(),
+                                "return" | "in" | "else" | "match" | "break" | "as"
+                            )
+                            || prev.is_punct(')')
+                            || prev.is_punct(']');
+                        if indexes {
+                            out.sites.push(PanicSite {
+                                kind: SiteKind::Index,
+                                line: t.line,
+                                in_test: in_test(&stack),
+                            });
+                        }
+                    }
+                }
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+
+    // Attach doc comments to constants now that all lines are known.
+    let docs: Vec<String> = out.consts.iter().map(|c| out.doc_above(c.line)).collect();
+    for (c, d) in out.consts.iter_mut().zip(docs) {
+        c.doc = d;
+    }
+    out
+}
+
+/// Parses a function signature starting at the token after the name.
+/// Returns `(param tokens, return tokens, body-open token index)`.
+fn parse_signature(toks: &[Token], mut i: usize) -> (Vec<Token>, Vec<Token>, Option<usize>) {
+    // Skip generics.
+    if toks.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            if t.is_punct('<') {
+                depth += 1;
+            } else if t.is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Parameter list.
+    let mut params = Vec::new();
+    if toks.get(i).is_some_and(|t| t.is_punct('(')) {
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            if t.is_punct('(') {
+                depth += 1;
+                if depth == 1 {
+                    i += 1;
+                    continue;
+                }
+            } else if t.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            params.push(t.clone());
+            i += 1;
+        }
+    }
+    // Return type, up to the body, a `;`, or a `where` clause.
+    let mut ret = Vec::new();
+    if toks.get(i).is_some_and(|t| t.is_punct('-'))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('>'))
+    {
+        i += 2;
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            if depth == 0 && (t.is_punct('{') || t.is_punct(';') || t.is_ident("where")) {
+                break;
+            }
+            match t.text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                _ => {}
+            }
+            ret.push(t.clone());
+            i += 1;
+        }
+    }
+    // Find the body brace (skipping a where clause).
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(i) {
+        if t.is_punct(';') && depth == 0 {
+            return (params, ret, None);
+        }
+        if t.is_punct('{') && depth >= 0 {
+            return (params, ret, Some(i));
+        }
+        match t.text.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    (params, ret, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_pub_fn_signature() {
+        let s = scan("pub fn path_loss(&self, distance_m: f64) -> Db { Db::ZERO }\n");
+        assert_eq!(s.fns.len(), 1);
+        let f = &s.fns[0];
+        assert!(f.is_pub && !f.in_test);
+        assert_eq!(f.name, "path_loss");
+        assert!(f.params.iter().any(|t| t.is_ident("f64")));
+        assert!(f.ret.iter().any(|t| t.is_ident("Db")));
+    }
+
+    #[test]
+    fn test_module_code_is_marked() {
+        let src =
+            "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let s = scan(src);
+        let flags: Vec<bool> = s.sites.iter().map(|site| site.in_test).collect();
+        assert_eq!(flags, vec![false, true]);
+    }
+
+    #[test]
+    fn indexing_detected_only_for_expressions() {
+        let src = "fn f(xs: &[u32], i: usize) -> u32 {\n    let a: [u8; 2] = [0, 1];\n    let v = vec![1];\n    xs[i] + u32::from(a[0]) + v[0]\n}\n";
+        let s = scan(src);
+        let idx = s
+            .sites
+            .iter()
+            .filter(|site| site.kind == SiteKind::Index)
+            .count();
+        assert_eq!(idx, 3, "xs[i], a[0], v[0]");
+    }
+
+    #[test]
+    fn consts_capture_type_and_docs() {
+        let src =
+            "/// Speed of light (§5).\nconst C: f64 = 3e8;\nfn f() { const INNER: f64 = 1.0; }\n";
+        let s = scan(src);
+        assert_eq!(s.consts.len(), 1, "fn-local consts are not items");
+        assert_eq!(s.consts[0].name, "C");
+        assert!(s.consts[0].doc.contains('§'));
+        assert!(s.consts[0].ty.iter().any(|t| t.is_ident("f64")));
+    }
+
+    #[test]
+    fn attributes_are_not_linted() {
+        let src = "#[should_panic(expected = \"x\")]\nfn t() {}\n";
+        let s = scan(src);
+        assert!(s.sites.is_empty());
+        assert!(s.fns[0].in_test, "should_panic marks a test fn");
+    }
+
+    #[test]
+    fn macro_sites_are_found() {
+        let s = scan("fn f() { panic!(\"boom\"); unreachable!(); }\n");
+        let kinds: Vec<SiteKind> = s.sites.iter().map(|x| x.kind).collect();
+        assert_eq!(kinds, vec![SiteKind::Panic, SiteKind::Unreachable]);
+    }
+}

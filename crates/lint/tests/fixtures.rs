@@ -1,0 +1,178 @@
+//! Fixture-driven end-to-end tests: every lint has a passing and a failing
+//! fixture under `tests/fixtures/`, analyzed as text under a virtual
+//! workspace path (the fixtures are never compiled). The JSON snapshot
+//! pins the report schema; regenerate it with
+//! `UPDATE_SNAPSHOT=1 cargo test -p picocube-lint --test fixtures`.
+
+use picocube_lint::lint_file_contents;
+use picocube_lint::report::{Finding, Lint, Report};
+
+/// Lints a fixture under a virtual path, keeping only one lint's findings
+/// (the path's scope may enable several).
+fn lint_fixture(lint: Lint, virtual_path: &str, src: &str) -> Vec<Finding> {
+    lint_file_contents(virtual_path, src)
+        .into_iter()
+        .filter(|f| f.lint == lint)
+        .collect()
+}
+
+#[test]
+fn l1_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        Lint::L1,
+        "crates/power/src/fixture.rs",
+        include_str!("fixtures/l1_pass.rs"),
+    );
+    assert!(f.is_empty(), "unexpected L1 findings: {f:?}");
+}
+
+#[test]
+fn l1_violation_fixture_is_caught() {
+    let f = lint_fixture(
+        Lint::L1,
+        "crates/power/src/fixture.rs",
+        include_str!("fixtures/l1_violation.rs"),
+    );
+    let kinds: Vec<&str> = f.iter().map(|f| f.kind.as_str()).collect();
+    assert_eq!(kinds, ["param", "param", "return"], "{f:?}");
+}
+
+#[test]
+fn l2_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        Lint::L2,
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/l2_pass.rs"),
+    );
+    assert!(f.is_empty(), "unexpected L2 findings: {f:?}");
+}
+
+#[test]
+fn l2_violation_fixture_catches_every_site_kind() {
+    let f = lint_fixture(
+        Lint::L2,
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/l2_violation.rs"),
+    );
+    let mut kinds: Vec<&str> = f.iter().map(|f| f.kind.as_str()).collect();
+    kinds.sort_unstable();
+    assert_eq!(
+        kinds,
+        ["expect", "index", "panic", "todo", "unreachable", "unwrap"],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn l2_indexing_is_not_flagged_outside_the_hot_path() {
+    // The same violation fixture under a physical crate: indexing is out of
+    // scope there, the other five kinds still fire.
+    let f = lint_fixture(
+        Lint::L2,
+        "crates/power/src/fixture.rs",
+        include_str!("fixtures/l2_violation.rs"),
+    );
+    assert_eq!(f.len(), 5, "{f:?}");
+    assert!(f.iter().all(|f| f.kind != "index"));
+}
+
+#[test]
+fn l3_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        Lint::L3,
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/l3_pass.rs"),
+    );
+    assert!(f.is_empty(), "unexpected L3 findings: {f:?}");
+}
+
+#[test]
+fn l3_violation_fixture_is_caught() {
+    let f = lint_fixture(
+        Lint::L3,
+        "crates/sim/src/fixture.rs",
+        include_str!("fixtures/l3_violation.rs"),
+    );
+    let names: Vec<bool> = f.iter().map(|f| f.message.contains("HashMap")).collect();
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(names.contains(&true), "HashMap not reported: {f:?}");
+}
+
+#[test]
+fn l3_is_out_of_scope_outside_the_deterministic_core() {
+    let f = lint_fixture(
+        Lint::L3,
+        "crates/power/src/fixture.rs",
+        include_str!("fixtures/l3_violation.rs"),
+    );
+    assert!(f.is_empty(), "L3 fired outside its scope: {f:?}");
+}
+
+#[test]
+fn l4_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        Lint::L4,
+        "crates/storage/src/fixture.rs",
+        include_str!("fixtures/l4_pass.rs"),
+    );
+    assert!(f.is_empty(), "unexpected L4 findings: {f:?}");
+}
+
+#[test]
+fn l4_violation_fixture_is_caught() {
+    let f = lint_fixture(
+        Lint::L4,
+        "crates/storage/src/fixture.rs",
+        include_str!("fixtures/l4_violation.rs"),
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].kind, "const");
+    assert!(f[0].message.contains("CELL_NOMINAL_V"));
+}
+
+/// All violation fixtures rolled into one report, serialized and compared
+/// against the checked-in snapshot — any schema or message drift shows up
+/// as a diff here.
+#[test]
+fn violation_report_json_snapshot() {
+    let mut report = Report::default();
+    for (path, src) in [
+        (
+            "crates/power/src/l1_violation.rs",
+            include_str!("fixtures/l1_violation.rs"),
+        ),
+        (
+            "crates/sim/src/l2_violation.rs",
+            include_str!("fixtures/l2_violation.rs"),
+        ),
+        (
+            "crates/sim/src/l3_violation.rs",
+            include_str!("fixtures/l3_violation.rs"),
+        ),
+        (
+            "crates/storage/src/l4_violation.rs",
+            include_str!("fixtures/l4_violation.rs"),
+        ),
+    ] {
+        report.findings.extend(lint_file_contents(path, src));
+    }
+    report.files_scanned = 4;
+    report.sort();
+    let actual = report.to_json().to_string();
+
+    let snapshot_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/report.snapshot.json"
+    );
+    if std::env::var_os("UPDATE_SNAPSHOT").is_some() {
+        std::fs::write(snapshot_path, format!("{actual}\n")).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(snapshot_path)
+        .expect("missing report.snapshot.json — run with UPDATE_SNAPSHOT=1 to create it");
+    assert_eq!(
+        actual,
+        expected.trim_end(),
+        "snapshot drift — rerun with UPDATE_SNAPSHOT=1 and review the diff"
+    );
+}

@@ -1,0 +1,21 @@
+//! L1 fixture (pass): a unit-hygienic public API in a physical crate.
+//! Analyzed as text only — never compiled.
+
+use picocube_units::{Amps, Volts, Watts};
+
+/// Output power at a converter operating point: quantities in, quantity
+/// out.
+pub fn output_power(rail_voltage: Volts, load_current: Amps) -> Watts {
+    rail_voltage * load_current
+}
+
+/// Conversion efficiency is dimensionless, so a bare float is correct.
+pub fn efficiency(loss_fraction: f64) -> f64 {
+    1.0 - loss_fraction
+}
+
+/// A deliberate boundary crossing, documented with the allow marker.
+// picocube-lint: allow(L1) datasheet-shaped constructor takes raw millivolts
+pub fn from_datasheet(ripple_mv: f64) -> Volts {
+    Volts::new(ripple_mv * 1e-3)
+}

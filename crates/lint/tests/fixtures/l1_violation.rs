@@ -1,0 +1,17 @@
+//! L1 fixture (violation): bare `f64` where quantities exist.
+//! Analyzed as text only — never compiled.
+
+/// Takes a voltage as a naked float — must be `Volts`.
+pub fn set_supply(rail_voltage: f64) {
+    let _ = rail_voltage;
+}
+
+/// Suffix form: `_mah` marks a battery capacity.
+pub fn configure(capacity_mah: f64) {
+    let _ = capacity_mah;
+}
+
+/// Returns a thickness as a naked float — must be `Millimeters`.
+pub fn film_thickness_um() -> f64 {
+    100.0
+}

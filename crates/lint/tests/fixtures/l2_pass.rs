@@ -1,0 +1,21 @@
+//! L2 fixture (pass): panic-free library code — typed errors and checked
+//! access. Analyzed as text only — never compiled.
+
+/// The head element, if any: checked access instead of `values[0]`.
+pub fn head(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+/// Reports degenerate input through the type system instead of panicking.
+pub fn mean(sum: f64, count: u64) -> Result<f64, &'static str> {
+    if count == 0 {
+        return Err("empty sample");
+    }
+    Ok(sum / count as f64)
+}
+
+/// A documented residual site, suppressed by the inline marker.
+pub fn initial(name: &str) -> char {
+    // picocube-lint: allow(L2) caller guarantees non-empty names
+    name.chars().next().expect("non-empty name")
+}

@@ -1,0 +1,24 @@
+//! L2 fixture (violation): one of every panic-site kind the lint knows.
+//! Analyzed as text only — never compiled.
+
+pub fn first(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}
+
+pub fn second(values: &[u64]) -> u64 {
+    values.get(1).copied().expect("at least two values")
+}
+
+pub fn third(values: &[u64]) -> u64 {
+    values[2]
+}
+
+pub fn classify(code: u8) -> &'static str {
+    match code {
+        0 => "idle",
+        1 => "active",
+        2 => panic!("reserved state"),
+        3 => unreachable!("masked off by the caller"),
+        _ => todo!("remaining states"),
+    }
+}

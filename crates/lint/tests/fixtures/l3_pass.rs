@@ -1,0 +1,13 @@
+//! L3 fixture (pass): deterministic collections and simulated time only.
+//! Analyzed as text only — never compiled.
+
+use std::collections::BTreeMap;
+
+/// Counts names with a deterministically ordered map.
+pub fn tally(names: &[&str]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for name in names {
+        *counts.entry(name.to_string()).or_insert(0) += 1;
+    }
+    counts
+}

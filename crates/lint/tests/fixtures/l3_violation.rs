@@ -1,0 +1,10 @@
+//! L3 fixture (violation): iteration-order and wall-clock nondeterminism.
+//! Analyzed as text only — never compiled.
+
+pub fn stamp(names: &[&str]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for name in names {
+        seen.insert(*name, std::time::Instant::now());
+    }
+    seen.len()
+}

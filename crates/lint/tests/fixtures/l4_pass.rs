@@ -1,0 +1,8 @@
+//! L4 fixture (pass): physical constants cite their paper section.
+//! Analyzed as text only — never compiled.
+
+/// Nominal NiMH cell voltage from the §4.4 battery discussion.
+pub const NIMH_NOMINAL_V: f64 = 1.2;
+
+/// Number of stacked boards; a count, not a physical quantity.
+pub const BOARD_COUNT: usize = 4;

@@ -1,0 +1,5 @@
+//! L4 fixture (violation): an uncited physical constant.
+//! Analyzed as text only — never compiled.
+
+/// Nominal cell voltage.
+pub const CELL_NOMINAL_V: f64 = 1.2;

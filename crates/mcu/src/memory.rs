@@ -112,7 +112,7 @@ impl FlatMemory {
     /// Zero-filled memory.
     pub fn new() -> Self {
         Self {
-            bytes: vec![0u8; 0x1_0000].into_boxed_slice().try_into().unwrap(),
+            bytes: Box::new([0u8; 0x1_0000]),
         }
     }
 

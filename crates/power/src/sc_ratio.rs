@@ -236,7 +236,7 @@ impl VariableRatioConverter {
             .min_by(|a, b| {
                 let ka = a.topology().ratio() * vin.value() - vout_target.value();
                 let kb = b.topology().ratio() * vin.value() - vout_target.value();
-                ka.partial_cmp(&kb).expect("finite ratios")
+                ka.total_cmp(&kb)
             })
     }
 

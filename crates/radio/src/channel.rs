@@ -2,9 +2,10 @@
 //! noncoherent-OOK error model that turns a link budget into packet
 //! success probabilities.
 
-use picocube_units::{Db, Dbm, Hertz, Watts};
+use picocube_units::{Db, Dbm, Hertz, Meters, Watts};
 
-/// Speed of light, m/s.
+/// Speed of light, m/s (CODATA exact value), used by the §6 link budget's
+/// Friis reference loss at 1 m.
 const C: f64 = 299_792_458.0;
 
 /// A propagation channel at a fixed carrier frequency.
@@ -77,12 +78,12 @@ impl Channel {
         self.carrier
     }
 
-    /// Median path loss at `distance_m` meters: Friis at 1 m, then the
-    /// exponent beyond.
-    pub fn path_loss(&self, distance_m: f64) -> Db {
-        assert!(distance_m > 0.0, "distance must be positive");
+    /// Median path loss at `distance`: Friis at 1 m, then the exponent
+    /// beyond.
+    pub fn path_loss(&self, distance: Meters) -> Db {
+        assert!(distance.value() > 0.0, "distance must be positive");
         let pl_1m = 20.0 * (4.0 * core::f64::consts::PI * self.carrier.value() / C).log10();
-        Db::new(pl_1m + 10.0 * self.exponent * distance_m.log10())
+        Db::new(pl_1m + 10.0 * self.exponent * distance.value().log10())
     }
 
     /// Thermal noise floor (kTB + NF).
@@ -128,14 +129,14 @@ pub struct Link {
 
 impl Link {
     /// Budget at a given range with median shadowing.
-    pub fn budget(&self, distance_m: f64) -> LinkBudget {
-        self.budget_with_shadowing(distance_m, Db::new(0.0))
+    pub fn budget(&self, distance: Meters) -> LinkBudget {
+        self.budget_with_shadowing(distance, Db::new(0.0))
     }
 
     /// Budget at a given range with an explicit shadowing realization.
-    pub fn budget_with_shadowing(&self, distance_m: f64, shadowing: Db) -> LinkBudget {
+    pub fn budget_with_shadowing(&self, distance: Meters, shadowing: Db) -> LinkBudget {
         let received = self.tx_power + self.tx_gain + self.rx_gain
-            - self.channel.path_loss(distance_m)
+            - self.channel.path_loss(distance)
             - self.orientation_loss
             - shadowing;
         let noise_floor = self.channel.noise_floor();
@@ -150,8 +151,8 @@ impl Link {
 
     /// Probability that an `n_bits` packet decodes error-free at range,
     /// with median shadowing.
-    pub fn packet_success(&self, distance_m: f64, n_bits: usize) -> f64 {
-        let b = self.budget(distance_m);
+    pub fn packet_success(&self, distance: Meters, n_bits: usize) -> f64 {
+        let b = self.budget(distance);
         (1.0 - b.ber).powi(n_bits as i32)
     }
 
@@ -159,12 +160,12 @@ impl Link {
     /// from `rng`. Returns `true` when all bits survive.
     pub fn try_packet(
         &self,
-        distance_m: f64,
+        distance: Meters,
         n_bits: usize,
         rng: &mut picocube_sim::SimRng,
     ) -> bool {
         let shadow = self.channel.shadowing(rng);
-        let b = self.budget_with_shadowing(distance_m, shadow);
+        let b = self.budget_with_shadowing(distance, shadow);
         if b.ber >= 0.5 {
             return false;
         }
@@ -173,23 +174,23 @@ impl Link {
 
     /// The range at which packet success (median shadowing) crosses 50 %,
     /// by bisection over `[0.01 m, 100 m]`.
-    pub fn half_success_range(&self, n_bits: usize) -> f64 {
+    pub fn half_success_range(&self, n_bits: usize) -> Meters {
         let (mut lo, mut hi) = (0.01f64, 100.0f64);
-        if self.packet_success(hi, n_bits) > 0.5 {
-            return hi;
+        if self.packet_success(Meters::new(hi), n_bits) > 0.5 {
+            return Meters::new(hi);
         }
-        if self.packet_success(lo, n_bits) < 0.5 {
-            return lo;
+        if self.packet_success(Meters::new(lo), n_bits) < 0.5 {
+            return Meters::new(lo);
         }
         for _ in 0..60 {
             let mid = (lo * hi).sqrt();
-            if self.packet_success(mid, n_bits) > 0.5 {
+            if self.packet_success(Meters::new(mid), n_bits) > 0.5 {
                 lo = mid;
             } else {
                 hi = mid;
             }
         }
-        (lo * hi).sqrt()
+        Meters::new((lo * hi).sqrt())
     }
 }
 
@@ -231,13 +232,13 @@ mod tests {
     #[test]
     fn free_space_loss_at_1m_is_37_8_db() {
         let ch = Channel::free_space();
-        assert!((ch.path_loss(1.0).value() - 37.85).abs() < 0.1);
+        assert!((ch.path_loss(Meters::new(1.0)).value() - 37.85).abs() < 0.1);
     }
 
     #[test]
     fn received_power_at_1m_is_about_minus_60_dbm() {
         // §4.6: "Transmitted signal strength is about −60 dBm at 1 meter."
-        let b = paper_link().budget(1.0);
+        let b = paper_link().budget(Meters::new(1.0));
         assert!(
             (b.received.value() + 60.0).abs() < 2.0,
             "received {:.1} dBm (paper ≈ −60)",
@@ -253,7 +254,7 @@ mod tests {
 
     #[test]
     fn one_meter_link_has_huge_margin() {
-        let b = paper_link().budget(1.0);
+        let b = paper_link().budget(Meters::new(1.0));
         assert!(b.snr.value() > 40.0);
         assert!(b.ber < 1e-12);
     }
@@ -261,9 +262,9 @@ mod tests {
     #[test]
     fn ber_rises_with_range() {
         let link = paper_link();
-        let near = link.budget(1.0).ber;
-        let mid = link.budget(30.0).ber;
-        let far = link.budget(80.0).ber;
+        let near = link.budget(Meters::new(1.0)).ber;
+        let mid = link.budget(Meters::new(30.0)).ber;
+        let far = link.budget(Meters::new(80.0)).ber;
         assert!(near < mid && mid < far);
     }
 
@@ -276,7 +277,7 @@ mod tests {
             ..paper_link()
         };
         let r50 = link.half_success_range(104);
-        assert!(r50 > 1.0, "r50 {r50:.2} m");
+        assert!(r50 > Meters::new(1.0), "r50 {r50:.2}");
         assert!(link.packet_success(r50 / 2.0, 104) > 0.97);
         assert!(link.packet_success(r50 * 2.0, 104) < 0.05);
     }
@@ -300,7 +301,7 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         // At a range with effectively zero BER every attempt succeeds.
         let ok = (0..200)
-            .filter(|_| link.try_packet(1.0, 104, &mut rng))
+            .filter(|_| link.try_packet(Meters::new(1.0), 104, &mut rng))
             .count();
         assert_eq!(ok, 200);
     }
@@ -328,6 +329,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "distance")]
     fn zero_distance_rejected() {
-        Channel::free_space().path_loss(0.0);
+        Channel::free_space().path_loss(Meters::ZERO);
     }
 }

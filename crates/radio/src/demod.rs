@@ -162,7 +162,7 @@ impl Demodulator {
         // around the median and threshold at their midpoint.
         let train = averages.len().min(24);
         let mut sorted: Vec<f64> = averages[..train].to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite envelopes"));
+        sorted.sort_by(f64::total_cmp);
         let lower = sorted[..train / 2].iter().sum::<f64>() / (train / 2).max(1) as f64;
         let upper = sorted[train.div_ceil(2)..].iter().sum::<f64>()
             / (train - train.div_ceil(2)).max(1) as f64;

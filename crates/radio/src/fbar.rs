@@ -28,6 +28,7 @@ impl Fbar {
     /// # Panics
     ///
     /// Panics if any parameter is not strictly positive.
+    // picocube-lint: allow(L1) motional inductance in henries; no Henries quantity in picocube-units yet
     pub fn new(rm: Ohms, lm_h: f64, cm: Farads, c0: Farads) -> Self {
         assert!(
             rm.value() > 0.0 && lm_h > 0.0,

@@ -4,7 +4,7 @@
 
 use crate::channel::{ook_ber, Link};
 use crate::packet::{self, Checksum, Frame};
-use picocube_units::{Dbm, Hertz, Watts};
+use picocube_units::{Dbm, Hertz, Meters, Watts};
 
 /// A superregenerative OOK receiver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,13 +83,13 @@ impl SuperRegenReceiver {
     pub fn receive(
         &self,
         link: &Link,
-        distance_m: f64,
+        distance: Meters,
         frame_bytes: &[u8],
         checksum: Checksum,
         rng: &mut picocube_sim::SimRng,
     ) -> Result<Frame, packet::DecodeError> {
         let shadow = link.channel.shadowing(rng);
-        let budget = link.budget_with_shadowing(distance_m, shadow);
+        let budget = link.budget_with_shadowing(distance, shadow);
         let ber = self.ber(budget.received).max(budget.ber);
         let mut bits = packet::to_bits(frame_bytes);
         for bit in &mut bits {
@@ -117,7 +117,7 @@ impl SuperRegenReceiver {
     pub fn receive_waveform(
         &self,
         link: &Link,
-        distance_m: f64,
+        distance: Meters,
         frame_bytes: &[u8],
         data_rate: Hertz,
         checksum: Checksum,
@@ -131,7 +131,7 @@ impl SuperRegenReceiver {
             .floor()
             .max(2.0) as usize;
         let shadow = link.channel.shadowing(rng);
-        let budget = link.budget_with_shadowing(distance_m, shadow);
+        let budget = link.budget_with_shadowing(distance, shadow);
         // Normalize the on-bit envelope to 1.0 and derive the per-quench
         // noise deviation from the effective bit SNR (the same reference
         // the closed-form BER model uses), undoing the spb-sample
@@ -183,8 +183,14 @@ mod tests {
         let mut rng = SimRng::seed_from(11);
         let ok = (0..100)
             .filter(|_| {
-                rx.receive(&demo_link(), 1.0, &frame, Checksum::Xor, &mut rng)
-                    .is_ok()
+                rx.receive(
+                    &demo_link(),
+                    Meters::new(1.0),
+                    &frame,
+                    Checksum::Xor,
+                    &mut rng,
+                )
+                .is_ok()
             })
             .count();
         assert!(ok > 95, "1 m reception {ok}/100");
@@ -197,8 +203,14 @@ mod tests {
         let mut rng = SimRng::seed_from(12);
         let ok = (0..100)
             .filter(|_| {
-                rx.receive(&demo_link(), 300.0, &frame, Checksum::Xor, &mut rng)
-                    .is_ok()
+                rx.receive(
+                    &demo_link(),
+                    Meters::new(300.0),
+                    &frame,
+                    Checksum::Xor,
+                    &mut rng,
+                )
+                .is_ok()
             })
             .count();
         assert!(ok < 5, "300 m reception {ok}/100");
@@ -219,7 +231,7 @@ mod tests {
             .filter(|_| {
                 rx.receive_waveform(
                     &demo_link(),
-                    1.0,
+                    Meters::new(1.0),
                     &frame,
                     Hertz::from_kilo(100.0),
                     Checksum::Crc8,
@@ -239,7 +251,11 @@ mod tests {
         let rx = SuperRegenReceiver::bwrc_issc05();
         let frame = packet::encode(0x42, &[1, 2, 3, 4, 5, 6], Checksum::Crc8);
         let mut rng = SimRng::seed_from(22);
-        for (distance, expect_good) in [(0.5, true), (1.0, true), (400.0, false)] {
+        for (distance, expect_good) in [
+            (Meters::new(0.5), true),
+            (Meters::new(1.0), true),
+            (Meters::new(400.0), false),
+        ] {
             let trials = 30;
             let analytic = (0..trials)
                 .filter(|_| {
@@ -263,12 +279,12 @@ mod tests {
             if expect_good {
                 assert!(
                     analytic >= 28 && waveform >= 28,
-                    "at {distance} m: {analytic}/{waveform}"
+                    "at {distance}: {analytic}/{waveform}"
                 );
             } else {
                 assert!(
                     analytic <= 2 && waveform <= 2,
-                    "at {distance} m: {analytic}/{waveform}"
+                    "at {distance}: {analytic}/{waveform}"
                 );
             }
         }
@@ -283,7 +299,13 @@ mod tests {
         let mut rng = SimRng::seed_from(13);
         let mut bad_payloads = 0;
         for _ in 0..300 {
-            if let Ok(f) = rx.receive(&demo_link(), 60.0, &frame, Checksum::Crc8, &mut rng) {
+            if let Ok(f) = rx.receive(
+                &demo_link(),
+                Meters::new(60.0),
+                &frame,
+                Checksum::Crc8,
+                &mut rng,
+            ) {
                 if f.payload != vec![10, 20, 30, 40, 50, 60] || f.node_id != 0x42 {
                     bad_payloads += 1;
                 }

@@ -8,7 +8,7 @@
 //! to the polling duty) or accept polling latency. This module models the
 //! detector itself and provides the comparison maths for experiment E11.
 
-use picocube_units::{Dbm, Seconds, Watts};
+use picocube_units::{Dbm, Hertz, Seconds, Watts};
 
 /// An always-on wake-up signal detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,7 +20,7 @@ pub struct WakeupReceiver {
     /// Time from signal start to wake assertion.
     latency: Seconds,
     /// False-wake rate (noise-triggered wakes per second).
-    false_rate_hz: f64,
+    false_rate: Hertz,
 }
 
 impl WakeupReceiver {
@@ -30,20 +30,15 @@ impl WakeupReceiver {
     ///
     /// Panics if power or latency is non-positive, or the false rate is
     /// negative.
-    pub fn new(
-        listen_power: Watts,
-        sensitivity: Dbm,
-        latency: Seconds,
-        false_rate_hz: f64,
-    ) -> Self {
+    pub fn new(listen_power: Watts, sensitivity: Dbm, latency: Seconds, false_rate: Hertz) -> Self {
         assert!(listen_power.value() > 0.0, "listen power must be positive");
         assert!(latency.value() > 0.0, "latency must be positive");
-        assert!(false_rate_hz >= 0.0, "false rate must be non-negative");
+        assert!(false_rate.value() >= 0.0, "false rate must be non-negative");
         Self {
             listen_power,
             sensitivity,
             latency,
-            false_rate_hz,
+            false_rate,
         }
     }
 
@@ -55,7 +50,7 @@ impl WakeupReceiver {
             Watts::from_micro(50.0),
             Dbm::new(-50.0),
             Seconds::new(100e-6),
-            1.0 / 3600.0,
+            Hertz::new(1.0 / 3600.0),
         )
     }
 
@@ -83,12 +78,12 @@ impl WakeupReceiver {
     /// energy for real events and false wakes.
     pub fn average_power(
         &self,
-        event_rate_hz: f64,
+        event_rate: Hertz,
         main_rx_power: Watts,
         main_rx_on_time: Seconds,
     ) -> Watts {
         let wake_energy = main_rx_power * main_rx_on_time;
-        let wakes_per_sec = event_rate_hz + self.false_rate_hz;
+        let wakes_per_sec = (event_rate + self.false_rate).value();
         self.listen_power + wake_energy * wakes_per_sec / Seconds::new(1.0)
     }
 
@@ -151,11 +146,11 @@ mod tests {
         let w = WakeupReceiver::bwrc();
         let rx = Watts::from_micro(400.0);
         let on = Seconds::new(5e-3);
-        let idle = w.average_power(0.0, rx, on);
+        let idle = w.average_power(Hertz::ZERO, rx, on);
         // 50 µW + (400 µW × 5 ms)/3600 s ≈ 50.0006 µW.
         assert!(idle > w.listen_power());
         assert!((idle - w.listen_power()).nano() < 1.0);
-        let busy = w.average_power(1.0, rx, on);
+        let busy = w.average_power(Hertz::new(1.0), rx, on);
         assert!((busy.micro() - 52.0).abs() < 0.1);
     }
 

@@ -2,7 +2,7 @@
 
 use crate::sp12::TireSample;
 use picocube_harvest::DriveCycle;
-use picocube_units::{Celsius, Kilopascals, Seconds, Volts};
+use picocube_units::{Celsius, Kilopascals, Meters, Seconds, Volts};
 
 /// Atmospheric pressure used for gauge/absolute conversions.
 const ATMOSPHERE_KPA: f64 = 101.325;
@@ -19,7 +19,7 @@ const ATMOSPHERE_KPA: f64 = 101.325;
 #[derive(Debug, Clone)]
 pub struct TireEnvironment {
     cycle: DriveCycle,
-    wheel_radius_m: f64,
+    wheel_radius: Meters,
     ambient: Celsius,
     /// Steady-state warm-up per (m/s) of speed.
     warmup_per_mps: f64,
@@ -43,7 +43,7 @@ impl TireEnvironment {
     pub fn passenger_car(cycle: DriveCycle) -> Self {
         Self {
             cycle,
-            wheel_radius_m: 0.3,
+            wheel_radius: Meters::new(0.3),
             ambient: Celsius::new(20.0),
             warmup_per_mps: 0.9,
             thermal_tau: Seconds::new(300.0),
@@ -107,7 +107,7 @@ impl TireEnvironment {
         TireSample {
             pressure: Kilopascals::new(gauge),
             temperature: self.temperature,
-            acceleration: v.centripetal_at_radius(self.wheel_radius_m).to_gs(),
+            acceleration: v.centripetal_at_radius(self.wheel_radius).to_gs(),
             supply: self.supply,
         }
     }

@@ -64,6 +64,9 @@ struct Rail {
 pub struct PowerLedger {
     rails: Vec<Rail>,
     now: SimTime,
+    /// Grand total accumulated alongside the per-load integrals; the
+    /// debug-build sanitizer cross-checks it against their sum.
+    integrated_total: Joules,
 }
 
 impl PowerLedger {
@@ -72,6 +75,7 @@ impl PowerLedger {
         Self {
             rails: Vec::new(),
             now: SimTime::ZERO,
+            integrated_total: Joules::ZERO,
         }
     }
 
@@ -157,11 +161,52 @@ impl PowerLedger {
         if dt.value() > 0.0 {
             for rail in &mut self.rails {
                 for load in &mut rail.loads {
-                    load.energy += rail.voltage * load.current * dt;
+                    let delta = rail.voltage * load.current * dt;
+                    load.energy += delta;
+                    self.integrated_total += delta;
                 }
             }
         }
         self.now = t;
+        self.debug_check_balance();
+    }
+
+    /// Debug-build sanitizer: the per-rail energy integrals must sum to the
+    /// independently accumulated grand total. A mismatch means some path
+    /// mutated a load's energy without going through
+    /// [`advance_to`](Self::advance_to) — a bookkeeping bug in the ledger,
+    /// never a legitimate model outcome. Compiled out in release builds.
+    fn debug_check_balance(&self) {
+        if cfg!(debug_assertions) {
+            let per_load: f64 = self
+                .rails
+                .iter()
+                .flat_map(|r| r.loads.iter())
+                .map(|l| l.energy.value())
+                .sum();
+            let total = self.integrated_total.value();
+            // Summation order differs between the two accumulators, so allow
+            // a relative float tolerance.
+            let tolerance = 1e-9 * per_load.abs().max(total.abs()).max(1e-12);
+            debug_assert!(
+                (per_load - total).abs() <= tolerance,
+                "power ledger unbalanced: per-load sum {per_load} J != integrated total {total} J"
+            );
+        }
+    }
+
+    /// Test-only fault injection: bumps one load's integral without touching
+    /// the grand total, unbalancing the ledger for sanitizer regression
+    /// tests.
+    #[cfg(test)]
+    fn unbalance_load_energy(&mut self, load: LoadId, delta: Joules) {
+        if let Some(l) = self
+            .rails
+            .get_mut(load.rail)
+            .and_then(|r| r.loads.get_mut(load.load))
+        {
+            l.energy += delta;
+        }
     }
 
     /// Integrates all loads forward by `dt`.
@@ -433,6 +478,36 @@ mod tests {
         assert!((metrics.gauge("power.load.VBAT.radio.uj") - 6.0).abs() < 1e-9);
         assert!((metrics.gauge("power.rail.VBAT.uj") - 8.0).abs() < 1e-9);
         assert!((metrics.gauge("power.total.uj") - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "sanitizer compiles away in release")]
+    #[should_panic(expected = "power ledger unbalanced")]
+    fn unbalanced_ledger_trips_the_sanitizer() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VBAT", Volts::new(1.2));
+        let load = ledger.register_load(rail, "radio");
+        ledger.set_load_current(load, Amps::from_milli(1.0));
+        ledger.advance_to(SimTime::from_secs(1));
+        // Corrupt one integral behind the ledger's back; the next advance
+        // must catch the imbalance.
+        ledger.unbalance_load_energy(load, Joules::new(1.0));
+        ledger.advance_to(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn sanitizer_accepts_a_balanced_ledger() {
+        let mut ledger = PowerLedger::new();
+        let rail = ledger.add_rail("VDD", Volts::new(3.0));
+        let a = ledger.register_load(rail, "mcu");
+        let b = ledger.register_load(rail, "sensor");
+        for step in 1..=1_000u64 {
+            ledger.set_load_current(a, Amps::from_micro(step as f64));
+            ledger.set_load_current(b, Amps::from_micro(1_000.0 - step as f64));
+            ledger.advance_to(SimTime::from_millis(step));
+        }
+        // 1 mA aggregate at 3 V for 1 s = 3 mJ; the two accumulators agree.
+        assert!((ledger.total_energy().value() - 3e-3).abs() < 1e-9);
     }
 
     #[test]

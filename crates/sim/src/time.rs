@@ -72,6 +72,7 @@ impl SimTime {
     #[inline]
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         self.checked_duration_since(earlier)
+            // picocube-lint: allow(L2) documented `# Panics` API mirroring std::time::Instant; checked_duration_since is the total variant
             .expect("duration_since: earlier instant is after self")
     }
 

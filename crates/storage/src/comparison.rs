@@ -33,7 +33,7 @@ pub fn technology_table(budget: Joules) -> Vec<TechnologyRow> {
 
     // NiMH sized to the budget.
     let mah = budget.as_milliamp_hours(Volts::new(1.2));
-    let mut nimh = NimhCell::new(mah.max(1e-3));
+    let mut nimh = NimhCell::new(picocube_units::Coulombs::from_milliamp_hours(mah.max(1e-3)));
     nimh.set_state_of_charge(1.0);
     let v_full = nimh.open_circuit_voltage();
     nimh.set_state_of_charge(0.5);

@@ -11,7 +11,8 @@ use crate::NIMH_ENERGY_DENSITY;
 use picocube_units::{Amps, Celsius, Coulombs, Joules, JoulesPerGram, Ohms, Seconds, Volts};
 
 /// Open-circuit voltage vs state-of-charge, piecewise-linear. The long flat
-/// plateau is the property the paper selects for.
+/// plateau is the property the §4.4 battery discussion selects NiMH for
+/// (nominal 1.2 V cell voltage; curve shape from NiMH datasheet practice).
 const OCV_TABLE: [(f64, f64); 10] = [
     (0.00, 1.00),
     (0.02, 1.10),
@@ -47,14 +48,14 @@ pub struct NimhCell {
 }
 
 impl NimhCell {
-    /// Creates a cell of the given capacity (milliamp-hours).
+    /// Creates a cell of the given charge capacity
+    /// ([`Coulombs::from_milliamp_hours`] converts from the datasheet unit).
     ///
     /// # Panics
     ///
-    /// Panics if `capacity_mah` is not strictly positive.
-    pub fn new(capacity_mah: f64) -> Self {
-        assert!(capacity_mah > 0.0, "capacity must be positive");
-        let capacity = Coulombs::new(capacity_mah * 1e-3 * 3600.0);
+    /// Panics if `capacity` is not strictly positive.
+    pub fn new(capacity: Coulombs) -> Self {
+        assert!(capacity.value() > 0.0, "capacity must be positive");
         Self {
             capacity,
             charge: capacity * 0.8, // delivered partially charged
@@ -102,7 +103,7 @@ impl NimhCell {
 
     /// The PicoCube's 15 mAh cell.
     pub fn picocube() -> Self {
-        Self::new(15.0)
+        Self::new(Coulombs::from_milliamp_hours(15.0))
     }
 
     /// Rated capacity as a current: `1C` in amps.
@@ -449,7 +450,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
-        NimhCell::new(0.0);
+        NimhCell::new(Coulombs::ZERO);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! for example, a specific voltage range."
 
 use crate::element::{StepOutcome, StorageElement};
-use picocube_units::{Amps, Joules, JoulesPerGram, Ohms, Seconds, SquareMillimeters, Volts};
+use picocube_units::{
+    Amps, Joules, JoulesPerGram, Millimeters, Ohms, Seconds, SquareMillimeters, Volts,
+};
 
-/// Areal energy capacity of the printed zinc-chemistry films, per cm² at
-/// 100 µm thickness (scales linearly with thickness in the printable
+/// Areal energy capacity of the §4.4 printed zinc-chemistry films, per cm²
+/// at 100 µm thickness (scales linearly with thickness in the printable
 /// 30–100 µm window).
 pub const PRINTED_J_PER_CM2_100UM: f64 = 2.0;
 
@@ -22,7 +24,7 @@ pub const PRINTED_J_PER_CM2_100UM: f64 = 2.0;
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrintedFilmCell {
     area: SquareMillimeters,
-    thickness_um: f64,
+    thickness: Millimeters,
     /// Open-circuit voltage at full charge.
     v_full: Volts,
     /// Open-circuit voltage at empty (printed chemistries slope).
@@ -36,23 +38,25 @@ pub struct PrintedFilmCell {
 }
 
 impl PrintedFilmCell {
-    /// Prints a cell of the given footprint and film thickness.
+    /// Prints a cell of the given footprint and film thickness
+    /// ([`Millimeters::from_micrometers`] converts from the paper's µm).
     ///
     /// # Panics
     ///
     /// Panics if the area is non-positive or the thickness is outside the
     /// printable 30–100 µm window the paper reports.
-    pub fn new(area: SquareMillimeters, thickness_um: f64) -> Self {
+    pub fn new(area: SquareMillimeters, thickness: Millimeters) -> Self {
         assert!(area.value() > 0.0, "area must be positive");
         assert!(
-            (30.0..=100.0).contains(&thickness_um),
+            (30.0..=100.0).contains(&thickness.micrometers()),
             "printable films are 30-100 µm"
         );
         let area_cm2 = area.value() / 100.0;
-        let capacity = Joules::new(PRINTED_J_PER_CM2_100UM * area_cm2 * thickness_um / 100.0);
+        let capacity =
+            Joules::new(PRINTED_J_PER_CM2_100UM * area_cm2 * thickness.micrometers() / 100.0);
         Self {
             area,
-            thickness_um,
+            thickness,
             v_full: Volts::new(1.5),
             v_empty: Volts::new(0.9),
             capacity,
@@ -69,13 +73,13 @@ impl PrintedFilmCell {
     ///
     /// Panics if the budget is non-positive or the thickness is outside
     /// the printable window.
-    pub fn area_for(budget: Joules, thickness_um: f64) -> SquareMillimeters {
+    pub fn area_for(budget: Joules, thickness: Millimeters) -> SquareMillimeters {
         assert!(budget.value() > 0.0, "budget must be positive");
         assert!(
-            (30.0..=100.0).contains(&thickness_um),
+            (30.0..=100.0).contains(&thickness.micrometers()),
             "printable films are 30-100 µm"
         );
-        let cm2 = budget.value() / (PRINTED_J_PER_CM2_100UM * thickness_um / 100.0);
+        let cm2 = budget.value() / (PRINTED_J_PER_CM2_100UM * thickness.micrometers() / 100.0);
         SquareMillimeters::new(cm2 * 100.0)
     }
 
@@ -84,9 +88,9 @@ impl PrintedFilmCell {
         self.area
     }
 
-    /// Film thickness in micrometers.
-    pub fn thickness_um(&self) -> f64 {
-        self.thickness_um
+    /// Film thickness.
+    pub fn thickness(&self) -> Millimeters {
+        self.thickness
     }
 
     /// Sets the state of charge (scenario setup).
@@ -178,19 +182,29 @@ mod tests {
     #[test]
     fn capacity_scales_with_area_and_thickness() {
         // 1 cm² at 100 µm = 2 J; half the thickness halves it.
-        let full = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        let full = PrintedFilmCell::new(
+            SquareMillimeters::new(100.0),
+            Millimeters::from_micrometers(100.0),
+        );
         assert!((full.capacity().value() - 2.0).abs() < 1e-12);
-        let thin = PrintedFilmCell::new(SquareMillimeters::new(100.0), 50.0);
+        let thin = PrintedFilmCell::new(
+            SquareMillimeters::new(100.0),
+            Millimeters::from_micrometers(50.0),
+        );
         assert!((thin.capacity().value() - 1.0).abs() < 1e-12);
-        let wide = PrintedFilmCell::new(SquareMillimeters::new(200.0), 100.0);
+        let wide = PrintedFilmCell::new(
+            SquareMillimeters::new(200.0),
+            Millimeters::from_micrometers(100.0),
+        );
         assert!((wide.capacity().value() - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn design_to_fit_round_trips() {
-        let area = PrintedFilmCell::area_for(Joules::new(2.0), 100.0);
+        let area =
+            PrintedFilmCell::area_for(Joules::new(2.0), Millimeters::from_micrometers(100.0));
         assert!((area.value() - 100.0).abs() < 1e-9);
-        let cell = PrintedFilmCell::new(area, 100.0);
+        let cell = PrintedFilmCell::new(area, Millimeters::from_micrometers(100.0));
         assert!((cell.capacity().value() - 2.0).abs() < 1e-12);
     }
 
@@ -199,14 +213,20 @@ mod tests {
         // The 7.2 × 7.2 mm placement area at 100 µm: ~1 J → ~4 days at the
         // node's 3 µW sleep floor. Outage cover, exactly the role §7.2
         // proposes.
-        let cell = PrintedFilmCell::new(SquareMillimeters::new(51.84), 100.0);
+        let cell = PrintedFilmCell::new(
+            SquareMillimeters::new(51.84),
+            Millimeters::from_micrometers(100.0),
+        );
         let days = cell.capacity().value() / 3e-6 / 86_400.0;
         assert!(days > 3.0 && days < 5.0, "{days:.1} days");
     }
 
     #[test]
     fn voltage_slopes_with_charge() {
-        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        let mut cell = PrintedFilmCell::new(
+            SquareMillimeters::new(100.0),
+            Millimeters::from_micrometers(100.0),
+        );
         cell.set_state_of_charge(1.0);
         assert_eq!(cell.open_circuit_voltage(), Volts::new(1.5));
         cell.set_state_of_charge(0.0);
@@ -217,7 +237,10 @@ mod tests {
 
     #[test]
     fn resistive_collectors_limit_bursts() {
-        let cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        let cell = PrintedFilmCell::new(
+            SquareMillimeters::new(100.0),
+            Millimeters::from_micrometers(100.0),
+        );
         // The 2 mA radio burst would sag a printed cell by 240 mV — the
         // bypass network becomes mandatory, unlike with NiMH.
         let sag = Amps::from_milli(2.0) * Ohms::new(120.0);
@@ -227,7 +250,10 @@ mod tests {
 
     #[test]
     fn charge_discharge_round_trip() {
-        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        let mut cell = PrintedFilmCell::new(
+            SquareMillimeters::new(100.0),
+            Millimeters::from_micrometers(100.0),
+        );
         cell.set_state_of_charge(0.5);
         let before = cell.stored_energy();
         cell.step(Amps::from_micro(100.0), Seconds::HOUR);
@@ -239,7 +265,10 @@ mod tests {
 
     #[test]
     fn overcharge_clamps_and_dissipates() {
-        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(100.0), 100.0);
+        let mut cell = PrintedFilmCell::new(
+            SquareMillimeters::new(100.0),
+            Millimeters::from_micrometers(100.0),
+        );
         cell.set_state_of_charge(0.99);
         let out = cell.step(Amps::from_milli(1.0), Seconds::HOUR);
         assert_eq!(cell.state_of_charge(), 1.0);
@@ -249,6 +278,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "printable films")]
     fn unprintable_thickness_rejected() {
-        PrintedFilmCell::new(SquareMillimeters::new(100.0), 200.0);
+        PrintedFilmCell::new(
+            SquareMillimeters::new(100.0),
+            Millimeters::from_micrometers(200.0),
+        );
     }
 }

@@ -72,7 +72,10 @@ proptest! {
 
     #[test]
     fn printed_film_bounds(steps in schedule(), area in 10.0f64..500.0, film in 30.0f64..100.0) {
-        let mut cell = PrintedFilmCell::new(SquareMillimeters::new(area), film);
+        let mut cell = PrintedFilmCell::new(
+            SquareMillimeters::new(area),
+            picocube_units::Millimeters::from_micrometers(film),
+        );
         for &(ma, secs) in &steps {
             let out = cell.step(Amps::from_milli(ma), Seconds::new(secs));
             prop_assert!(out.dissipated.value() >= 0.0);
@@ -84,8 +87,11 @@ proptest! {
 
     #[test]
     fn printed_sizing_round_trips(budget in 0.1f64..20.0, film in 30.0f64..100.0) {
-        let area = PrintedFilmCell::area_for(picocube_units::Joules::new(budget), film);
-        let cell = PrintedFilmCell::new(area, film);
+        let area = PrintedFilmCell::area_for(
+            picocube_units::Joules::new(budget),
+            picocube_units::Millimeters::from_micrometers(film),
+        );
+        let cell = PrintedFilmCell::new(area, picocube_units::Millimeters::from_micrometers(film));
         prop_assert!((cell.capacity().value() - budget).abs() < 1e-9 * budget.max(1.0));
     }
 

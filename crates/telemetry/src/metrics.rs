@@ -340,11 +340,14 @@ impl Metrics {
     }
 
     fn entry(&mut self, name: &str, default: impl FnOnce() -> Metric) -> &mut Metric {
-        if let Some(i) = self.entries.iter().position(|(n, _)| n == name) {
-            return &mut self.entries[i].1;
-        }
-        self.entries.push((name.to_string(), default()));
-        &mut self.entries.last_mut().expect("just pushed").1
+        let i = match self.entries.iter().position(|(n, _)| n == name) {
+            Some(i) => i,
+            None => {
+                self.entries.push((name.to_string(), default()));
+                self.entries.len() - 1
+            }
+        };
+        &mut self.entries[i].1
     }
 }
 

@@ -76,6 +76,24 @@ impl Farads {
     }
 }
 
+impl Coulombs {
+    /// Coulombs per milliamp-hour (1 mAh = 3.6 C).
+    pub const PER_MILLIAMP_HOUR: f64 = 3.6;
+
+    /// Creates a charge from milliamp-hours, the battery-datasheet unit
+    /// (the §4.4 storage cell is quoted as 15 mAh).
+    #[inline]
+    pub fn from_milliamp_hours(mah: f64) -> Self {
+        Self::new(mah * Self::PER_MILLIAMP_HOUR)
+    }
+
+    /// Returns the charge in milliamp-hours.
+    #[inline]
+    pub fn milliamp_hours(self) -> f64 {
+        self.value() / Self::PER_MILLIAMP_HOUR
+    }
+}
+
 impl Hertz {
     /// The period of one cycle, `1/f`.
     ///

@@ -3,6 +3,12 @@
 //! areas, connector pitches and stack heights in millimeters and mils.
 
 quantity!(
+    /// Length in meters, the natural unit for link ranges and deployment
+    /// geometry (the §6 demo-room distances are quoted in meters).
+    Meters,
+    "m"
+);
+quantity!(
     /// Length in millimeters, the natural unit for PCB geometry.
     Millimeters,
     "mm"
@@ -37,6 +43,41 @@ impl Millimeters {
     pub fn mils(self) -> f64 {
         self.value() / MM_PER_MIL
     }
+
+    /// Creates a length from micrometers (the §7.2 printed-film thickness
+    /// unit).
+    #[inline]
+    pub fn from_micrometers(um: f64) -> Self {
+        Self::new(um * 1e-3)
+    }
+
+    /// Returns the length in micrometers.
+    #[inline]
+    pub fn micrometers(self) -> f64 {
+        self.value() * 1e3
+    }
+}
+
+impl Meters {
+    /// Converts to millimeters.
+    #[inline]
+    pub fn to_millimeters(self) -> Millimeters {
+        Millimeters::new(self.value() * 1e3)
+    }
+}
+
+impl From<Millimeters> for Meters {
+    #[inline]
+    fn from(mm: Millimeters) -> Self {
+        Self::new(mm.value() * 1e-3)
+    }
+}
+
+impl From<Meters> for Millimeters {
+    #[inline]
+    fn from(m: Meters) -> Self {
+        m.to_millimeters()
+    }
 }
 
 impl CubicMillimeters {
@@ -47,6 +88,16 @@ impl CubicMillimeters {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn meter_millimeter_conversions() {
+        let m = Meters::new(1.5);
+        assert!((m.to_millimeters().value() - 1500.0).abs() < 1e-9);
+        assert!((Meters::from(Millimeters::new(250.0)).value() - 0.25).abs() < 1e-12);
+        let um = Millimeters::from_micrometers(100.0);
+        assert!((um.value() - 0.1).abs() < 1e-12);
+        assert!((um.micrometers() - 100.0).abs() < 1e-9);
+    }
 
     #[test]
     fn mil_conversions() {

@@ -342,13 +342,17 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is &str, so it is valid).
+                // Consume one UTF-8 scalar (input is &str, so it is valid;
+                // degrade to the replacement character rather than panic).
                 let start = *pos;
                 *pos += 1;
                 while *pos < bytes.len() && (bytes[*pos] & 0xC0) == 0x80 {
                     *pos += 1;
                 }
-                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid utf-8"));
+                match std::str::from_utf8(&bytes[start..*pos]) {
+                    Ok(s) => out.push_str(s),
+                    Err(_) => out.push('\u{fffd}'),
+                }
             }
         }
     }
@@ -370,7 +374,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap_or("");
     if text.is_empty() || text == "-" {
         return Err(JsonError::new(format!("expected value at byte {start}")));
     }

@@ -44,7 +44,7 @@ mod thermo;
 
 pub use electrical::{Amps, Coulombs, Farads, Hertz, Ohms, Volts};
 pub use energy::{Joules, JoulesPerGram, Seconds, Watts};
-pub use geometry::{CubicMillimeters, Millimeters, SquareMillimeters};
+pub use geometry::{CubicMillimeters, Meters, Millimeters, SquareMillimeters};
 pub use mechanics::{Grams, Gs, Kilopascals, MetersPerSecond, MetersPerSecond2, Rpm};
 pub use rf::{Db, Dbm};
 pub use thermo::Celsius;

@@ -1,6 +1,8 @@
 //! Mechanical and environmental quantities used by the sensor and harvester
 //! models: mass, pressure, acceleration, speed and rotation rate.
 
+use crate::geometry::Meters;
+
 quantity!(
     /// Mass in grams. Gram (not kilogram) is the natural scale for the
     /// "mechanical mass" budgets of a 1 cm³ node.
@@ -66,11 +68,10 @@ impl MetersPerSecond {
         self.value() * 3.6
     }
 
-    /// Rotation rate of a wheel of the given radius (meters) rolling at this
-    /// speed.
+    /// Rotation rate of a wheel of the given radius rolling at this speed.
     #[inline]
-    pub fn wheel_rpm(self, wheel_radius_m: f64) -> Rpm {
-        let omega = self.value() / wheel_radius_m; // rad/s
+    pub fn wheel_rpm(self, wheel_radius: Meters) -> Rpm {
+        let omega = self.value() / wheel_radius.value(); // rad/s
         Rpm::new(omega * 60.0 / (2.0 * core::f64::consts::PI))
     }
 
@@ -78,8 +79,8 @@ impl MetersPerSecond {
     /// (meters) rolling at this speed: `a = v² / r`. This is the large
     /// quasi-DC acceleration a rim-mounted TPMS node experiences.
     #[inline]
-    pub fn centripetal_at_radius(self, wheel_radius_m: f64) -> MetersPerSecond2 {
-        MetersPerSecond2::new(self.value() * self.value() / wheel_radius_m)
+    pub fn centripetal_at_radius(self, wheel_radius: Meters) -> MetersPerSecond2 {
+        MetersPerSecond2::new(self.value() * self.value() / wheel_radius.value())
     }
 }
 
@@ -130,7 +131,7 @@ mod tests {
     #[test]
     fn wheel_rpm_at_highway_speed() {
         // 0.3 m radius wheel at 90 km/h -> ~796 rpm.
-        let rpm = MetersPerSecond::from_kmh(90.0).wheel_rpm(0.3);
+        let rpm = MetersPerSecond::from_kmh(90.0).wheel_rpm(Meters::new(0.3));
         assert!((rpm.value() - 795.77).abs() < 0.5);
     }
 
@@ -138,7 +139,7 @@ mod tests {
     fn rim_centripetal_acceleration_is_huge() {
         // At 90 km/h on a 0.3 m wheel the rim sees v²/r ≈ 2083 m/s² ≈ 212 g.
         // This is why TPMS accelerometer channels have enormous ranges.
-        let a = MetersPerSecond::from_kmh(90.0).centripetal_at_radius(0.3);
+        let a = MetersPerSecond::from_kmh(90.0).centripetal_at_radius(Meters::new(0.3));
         assert!((a.value() - 2083.3).abs() < 1.0);
         assert!(a.to_gs().value() > 200.0);
     }

@@ -1,0 +1,130 @@
+//! Workspace task runner.
+//!
+//! ```text
+//! cargo xtask lint [--json PATH] [--update-allowlist]
+//! ```
+//!
+//! Runs the picocube-lint invariant checks over the workspace, prints the
+//! human diagnostic table, optionally writes the machine-readable JSON
+//! report, and exits non-zero when any finding survives the allowlist.
+//! `--update-allowlist` mechanically tightens `lint-allowlist.txt` to the
+//! current L2 counts (existing justifications are preserved; new groups get
+//! a TODO placeholder that must be justified before commit).
+
+use picocube_lint::allowlist::{Allowlist, Entry};
+use picocube_lint::source::SiteKind;
+use picocube_lint::{run_workspace, ALLOWLIST_PATH};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask, so the root is the manifest's parent.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().unwrap_or(manifest).to_path_buf()
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cargo xtask lint [--json PATH] [--update-allowlist]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    if command != "lint" {
+        return usage();
+    }
+    let mut json_path: Option<PathBuf> = None;
+    let mut update_allowlist = false;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--update-allowlist" => update_allowlist = true,
+            _ => return usage(),
+        }
+    }
+
+    let root = workspace_root();
+    let run = match run_workspace(&root) {
+        Ok(run) => run,
+        Err(err) => {
+            eprintln!("xtask lint: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update_allowlist {
+        return match write_allowlist(&root, &run) {
+            Ok(n) => {
+                println!("xtask lint: wrote {ALLOWLIST_PATH} with {n} entries");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("xtask lint: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    print!("{}", run.report.render_table());
+    if let Some(path) = json_path {
+        let doc = run.report.to_json().to_string();
+        if let Err(err) = std::fs::write(&path, doc + "\n") {
+            eprintln!("xtask lint: writing {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("json report: {}", path.display());
+    }
+    if run.report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Rewrites the allowlist to match the current raw L2 counts, preserving
+/// existing justifications. Returns the number of entries written.
+fn write_allowlist(root: &Path, run: &picocube_lint::RunOutput) -> Result<usize, String> {
+    let path = root.join(ALLOWLIST_PATH);
+    let existing = if path.is_file() {
+        let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+        Allowlist::parse(&text)?
+    } else {
+        Allowlist::default()
+    };
+
+    let mut groups: BTreeMap<(String, SiteKind), usize> = BTreeMap::new();
+    for f in &run.raw_l2 {
+        if let Some(kind) = SiteKind::parse(&f.kind) {
+            *groups.entry((f.file.clone(), kind)).or_insert(0) += 1;
+        }
+    }
+    let entries: Vec<Entry> = groups
+        .into_iter()
+        .map(|((file, kind), count)| {
+            let justification = existing
+                .entries
+                .iter()
+                .find(|e| e.path == file && e.kind == kind)
+                .map(|e| e.justification.clone())
+                .unwrap_or_else(|| "TODO: justify or fix before commit".to_string());
+            Entry {
+                path: file,
+                kind,
+                count,
+                justification,
+            }
+        })
+        .collect();
+    let n = entries.len();
+    let rendered = Allowlist { entries }.render();
+    std::fs::write(&path, rendered).map_err(|e| e.to_string())?;
+    Ok(n)
+}
