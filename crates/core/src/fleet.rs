@@ -33,6 +33,7 @@
 
 use crate::bus::TransmittedPacket;
 use crate::node::{NodeConfig, PicoCube};
+use crate::stack::NodeFault;
 use picocube_radio::packet::Checksum;
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
 use picocube_sim::{SimDuration, SimRng, SimTime};
@@ -261,6 +262,9 @@ pub struct FleetOutcome {
     pub channel_losses: usize,
     /// Packets decoded.
     pub delivered: usize,
+    /// Nodes whose simulation latched a [`NodeFault`] before the run ended
+    /// (their packets up to the fault still count toward `offered`).
+    pub faulted: usize,
     /// Per-node delivery fractions (indexed by node).
     pub per_node_delivery: Vec<f64>,
     /// Normalized offered load `G` (fleet airtime / elapsed time).
@@ -300,6 +304,16 @@ pub struct NodeOnAir {
     /// The node's drained telemetry: metric totals plus (when the fleet
     /// run's recorder wants them) its attributed event stream.
     telemetry: TelemetryBuffer,
+    /// The fault that ended the node's simulation early, if any.
+    fault: Option<NodeFault>,
+}
+
+impl NodeOnAir {
+    /// The fault that ended this node's simulation early, if any. A faulted
+    /// node's packets up to the fault instant are still on the air.
+    pub fn fault(&self) -> Option<NodeFault> {
+        self.fault
+    }
 }
 
 // The parallel engine moves these across thread boundaries; keep the
@@ -383,7 +397,7 @@ pub fn simulate_node_instrumented(
         // picocube-lint: allow(L2) documented `# Panics`; base pre-validated by the fleet probe
         .expect("fleet node builds");
     node.set_event_recording(record_events);
-    node.run_for(config.duration);
+    let outcome = node.run_for(config.duration);
     let mut telemetry = node.drain_telemetry();
     telemetry.attribute_to(index as u32);
     let distance = setup.uniform(config.distance_range.0, config.distance_range.1);
@@ -407,6 +421,7 @@ pub fn simulate_node_instrumented(
         node: index,
         packets,
         telemetry,
+        fault: outcome.fault(),
     }
 }
 
@@ -471,7 +486,7 @@ const RX_DBM_BOUNDS: [f64; 8] = [-100.0, -90.0, -80.0, -70.0, -60.0, -50.0, -40.
 
 /// [`merge_fleet`], instrumenting `telemetry` with the fleet-level metrics
 /// (`fleet.offered` / `fleet.collided` / `fleet.channel_losses` /
-/// `fleet.delivered` counters, the `fleet.offered_load` gauge, the
+/// `fleet.delivered` / `fleet.faulted_nodes` counters, the `fleet.offered_load` gauge, the
 /// `fleet.rx_dbm` histogram) and one [`EventKind::PacketFate`] event per
 /// packet, attributed and in canonical `(start, node)` order.
 fn merge_fleet_impl(
@@ -480,6 +495,7 @@ fn merge_fleet_impl(
     telemetry: &mut TelemetryBuffer,
 ) -> FleetOutcome {
     let mut per_node_offered = vec![0usize; config.nodes];
+    let faulted_nodes = nodes.iter().filter(|n| n.fault.is_some()).count();
     let mut on_air: Vec<OnAir> = Vec::new();
     for node in nodes {
         debug_assert!(node.node < per_node_offered.len(), "node index in range");
@@ -587,6 +603,9 @@ fn merge_fleet_impl(
         .metrics
         .inc("fleet.channel_losses", channel_losses as u64);
     telemetry.metrics.inc("fleet.delivered", delivered as u64);
+    telemetry
+        .metrics
+        .inc("fleet.faulted_nodes", faulted_nodes as u64);
     let offered_load = if elapsed > 0.0 {
         airtime / elapsed
     } else {
@@ -599,6 +618,7 @@ fn merge_fleet_impl(
         collided,
         channel_losses,
         delivered,
+        faulted: faulted_nodes,
         per_node_delivery: per_node_offered
             .iter()
             .zip(&per_node_delivered)
@@ -792,6 +812,9 @@ mod tests {
             out.channel_losses as u64
         );
         assert_eq!(metrics.counter("fleet.delivered"), out.delivered as u64);
+        // Healthy firmware on healthy rails: nobody faults.
+        assert_eq!(metrics.counter("fleet.faulted_nodes"), 0);
+        assert_eq!(out.faulted, 0);
         assert_eq!(
             metrics.gauge("fleet.offered_load").to_bits(),
             out.offered_load.to_bits()

@@ -34,6 +34,7 @@ mod demo;
 mod fleet;
 mod node;
 mod packaging;
+pub mod stack;
 
 pub use baseline::{node_class_table, MoteClassNode, NodeClassRow};
 pub use bus::{RadioFrontend, TransmittedPacket};
@@ -47,4 +48,8 @@ pub use node::{
 };
 pub use packaging::{
     BoardSpec, BusAllocation, ElastomerSpec, PackagingError, StackDesign, StackReport,
+};
+pub use stack::{
+    Board, BoardDraw, NodeFault, RadioBoard, RailSolve, RunOutcome, SensorBoard, Stack,
+    StackBuilder, StackCtx, StorageBoard, SupervisorVerdict, SwitchBoard,
 };

@@ -1,23 +1,18 @@
-//! The assembled node and its event loop.
+//! Node configuration, build errors, the run report — and the
+//! compatibility constructors for the board-stack engine.
+//!
+//! The simulation engine itself lives in [`crate::stack`]: [`PicoCube`]
+//! is an alias for [`Stack`], assembled from the five paper boards by a
+//! [`StackBuilder`]. The `tpms`/`motion`/`beacon` constructors here are
+//! thin wrappers kept for source compatibility; they produce bit-identical
+//! results (pinned by `tests/stack_compat.rs`).
 
-use crate::bus::{pa_enabled, BusMux, BusSensor, RadioFrontend, TransmittedPacket};
-use picocube_harvest::{
-    DriveCycle, ElectromagneticShaker, Harvester, Irradiance, SolarCladding, WheelHarvester,
-};
-use picocube_mcu::firmware::{self, PIN_RADIO_SPI};
-use picocube_mcu::{Mcu, StepResult};
-use picocube_power::converter_ic::PowerInterfaceIc;
-use picocube_power::cots::CotsPowerChain;
-use picocube_power::switches::LevelShifter;
-use picocube_radio::OokTransmitter;
-use picocube_sensors::{MotionScenario, Sca3000, Sp12, TireEnvironment};
-use picocube_sim::{LoadId, PowerLedger, PowerTrace, RailId, ScalarTrace, SimDuration, SimTime};
-use picocube_storage::{NimhCell, StorageElement};
-use picocube_telemetry::{EventKind, TelemetryBuffer};
+use crate::bus::TransmittedPacket;
+use crate::stack::{NodeFault, Stack, StackBuilder};
+use picocube_harvest::{DriveCycle, Irradiance};
+use picocube_sensors::MotionScenario;
 use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
-use picocube_units::{Amps, Celsius, Hertz, Joules, Seconds, Volts, Watts};
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use picocube_units::{Joules, Seconds, Watts};
 
 /// Which power train feeds the node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +116,8 @@ pub enum BuildError {
     Firmware(picocube_mcu::asm::AsmError),
     /// A configuration value is out of range.
     InvalidConfig(&'static str),
+    /// The power chain could not solve the initial operating point.
+    PowerChain(NodeFault),
 }
 
 impl core::fmt::Display for BuildError {
@@ -128,6 +125,7 @@ impl core::fmt::Display for BuildError {
         match self {
             Self::Firmware(e) => write!(f, "firmware assembly failed: {e}"),
             Self::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
+            Self::PowerChain(fault) => write!(f, "power chain failed at build: {fault}"),
         }
     }
 }
@@ -138,25 +136,6 @@ impl From<picocube_mcu::asm::AsmError> for BuildError {
     fn from(e: picocube_mcu::asm::AsmError) -> Self {
         Self::Firmware(e)
     }
-}
-
-enum Chain {
-    Cots(Box<CotsPowerChain>),
-    Ic(Box<PowerInterfaceIc>),
-}
-
-enum SensorState {
-    Tpms {
-        env: Box<TireEnvironment>,
-        device: Rc<RefCell<Sp12>>,
-        next_wake: SimTime,
-        interval_scale: f64,
-    },
-    Motion {
-        scenario: Box<MotionScenario>,
-        device: Rc<RefCell<Sca3000>>,
-        next_check: SimTime,
-    },
 }
 
 /// Summary of a simulation run.
@@ -181,6 +160,13 @@ pub struct NodeReport {
     pub wakes: u64,
     /// Battery state of charge at the end.
     pub final_soc: f64,
+    /// Brown-out events over the node's lifetime.
+    pub brownout_count: u32,
+    /// Whether the run ended with the supervisor holding the node in
+    /// reset (browned out, awaiting recharge).
+    pub browned_out: bool,
+    /// The latched fault that ended the run early, if any.
+    pub fault: Option<NodeFault>,
 }
 
 impl ToJson for PowerChainKind {
@@ -300,6 +286,50 @@ impl FromJson for NodeConfig {
     }
 }
 
+impl ToJson for NodeFault {
+    fn to_json(&self) -> Json {
+        let mut obj = vec![("kind".into(), Json::Str(self.tag().into()))];
+        match self {
+            NodeFault::IllegalInstruction { word, at } => {
+                obj.push(("word".into(), u64::from(*word).to_json()));
+                obj.push(("at".into(), u64::from(*at).to_json()));
+            }
+            NodeFault::Stuck { steps } => obj.push(("steps".into(), steps.to_json())),
+            NodeFault::PowerChain { rail } => {
+                obj.push(("rail".into(), Json::Str((*rail).into())));
+            }
+        }
+        Json::Obj(obj)
+    }
+}
+
+impl FromJson for NodeFault {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.get("kind").and_then(Json::as_str) {
+            Some("illegal_instruction") => Ok(Self::IllegalInstruction {
+                word: u64::from_json(field(value, "word")?)? as u16,
+                at: u64::from_json(field(value, "at")?)? as u16,
+            }),
+            Some("stuck") => Ok(Self::Stuck {
+                steps: u64::from_json(field(value, "steps")?)?,
+            }),
+            Some("power_chain") => {
+                // The rail names form a closed set (one per converter).
+                let rail = match field(value, "rail")?.as_str() {
+                    Some("pump operating point") => "pump operating point",
+                    Some("shunt operating point") => "shunt operating point",
+                    Some("rf rail operating point") => "rf rail operating point",
+                    Some("1:2 converter operating point") => "1:2 converter operating point",
+                    Some("3:2 converter operating point") => "3:2 converter operating point",
+                    _ => return Err(JsonError::new("unknown power-chain rail")),
+                };
+                Ok(Self::PowerChain { rail })
+            }
+            _ => Err(JsonError::new("unknown NodeFault kind")),
+        }
+    }
+}
+
 impl ToJson for NodeReport {
     fn to_json(&self) -> Json {
         Json::Obj(vec![
@@ -312,6 +342,9 @@ impl ToJson for NodeReport {
             ("packets".into(), self.packets.to_json()),
             ("wakes".into(), self.wakes.to_json()),
             ("final_soc".into(), self.final_soc.to_json()),
+            ("brownout_count".into(), self.brownout_count.to_json()),
+            ("browned_out".into(), self.browned_out.to_json()),
+            ("fault".into(), self.fault.to_json()),
         ])
     }
 }
@@ -328,115 +361,58 @@ impl FromJson for NodeReport {
             packets: FromJson::from_json(field(value, "packets")?)?,
             wakes: FromJson::from_json(field(value, "wakes")?)?,
             final_soc: FromJson::from_json(field(value, "final_soc")?)?,
+            // Reports written before the board-stack engine lack the
+            // brownout/fault fields; default them.
+            brownout_count: match value.get("brownout_count") {
+                Some(v) => FromJson::from_json(v)?,
+                None => 0,
+            },
+            browned_out: match value.get("browned_out") {
+                Some(v) => FromJson::from_json(v)?,
+                None => false,
+            },
+            fault: match value.get("fault") {
+                Some(v) => FromJson::from_json(v)?,
+                None => None,
+            },
         })
     }
 }
 
-/// The simulated node.
-pub struct PicoCube {
-    mcu: Mcu,
-    p1: Rc<Cell<u8>>,
-    p2: Rc<Cell<u8>>,
-    sensor: SensorState,
-    radio: Rc<RefCell<RadioFrontend>>,
-    chain: Chain,
-    battery: NimhCell,
-    harvester: Option<Box<dyn Harvester>>,
-    ledger: PowerLedger,
-    rail: RailId,
-    load_overhead: LoadId,
-    load_vdd: LoadId,
-    load_digital: LoadId,
-    load_rf: LoadId,
-    load_wakeup: LoadId,
-    wakeup: Option<picocube_radio::WakeupReceiver>,
-    trace: PowerTrace,
-    soc_trace: ScalarTrace,
-    telemetry: TelemetryBuffer,
-    slept: SimDuration,
-    last_battery_update: SimTime,
-    last_consumed: Joules,
-    harvested: Joules,
-    wakes: u64,
-    vdd: Volts,
-    last_inputs: (Amps, Amps, bool, bool),
-    browned_out: Option<SimTime>,
-    brownout_count: u32,
-    ungated_rf_ldo: bool,
-}
+/// The simulated node — an alias for the board-stack [`Stack`].
+pub type PicoCube = Stack;
 
-impl core::fmt::Debug for PicoCube {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("PicoCube")
-            .field("now", &self.now())
-            .field("wakes", &self.wakes)
-            .field("soc", &self.battery.state_of_charge())
-            .finish_non_exhaustive()
-    }
-}
-
-impl PicoCube {
+impl Stack {
     /// Builds the tire-pressure node (SP12 board, TPMS firmware).
+    ///
+    /// Compatibility wrapper over [`StackBuilder`], equivalent to
+    /// `StackBuilder::new(config).tpms().build()`.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] for invalid configuration.
     pub fn tpms(config: NodeConfig) -> Result<Self, BuildError> {
-        let image = match config.alarm_threshold_kpa {
-            Some(kpa) => {
-                if !(0.0..=450.0).contains(&kpa) {
-                    return Err(BuildError::InvalidConfig(
-                        "alarm threshold outside the SP12's 0-450 kPa range",
-                    ));
-                }
-                let code = Sp12::new().encode(picocube_sensors::Sp12Channel::Pressure, kpa);
-                firmware::tpms_alarm_app(config.node_id, code)?
-            }
-            None => firmware::tpms_app(config.node_id)?,
-        };
-        let mut env = TireEnvironment::passenger_car(config.drive_cycle.clone());
-        if config.leak_kpa_per_hour > 0.0 {
-            env = env.with_leak(picocube_units::Kilopascals::new(config.leak_kpa_per_hour));
-        }
-        let mut sp12 = Sp12::new().with_noise(config.seed);
-        if let Some(period) = config.sample_period_s {
-            if period <= 0.0 {
-                return Err(BuildError::InvalidConfig("sample period must be positive"));
-            }
-            sp12 = sp12.with_wake_interval(Seconds::new(period));
-        }
-        let device = Rc::new(RefCell::new(sp12));
-        let wake = SimTime::from_seconds(device.borrow().wake_interval())
-            + SimDuration::from_millis(config.first_wake_offset_ms);
-        let interval_scale = 1.0 + config.wake_interval_ppm * 1e-6;
-        let sensor = SensorState::Tpms {
-            env: Box::new(env),
-            device: device.clone(),
-            next_wake: wake,
-            interval_scale,
-        };
-        Self::build(config, image, sensor, BusSensor::Sp12(device))
+        StackBuilder::new(config).tpms().build()
     }
 
     /// Builds the §6 motion-demo node (SCA3000 board, motion firmware).
+    ///
+    /// Compatibility wrapper over [`StackBuilder`], equivalent to
+    /// `StackBuilder::new(config).motion(scenario).build()`.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] for invalid configuration.
     pub fn motion(config: NodeConfig, scenario: MotionScenario) -> Result<Self, BuildError> {
-        let image = firmware::motion_app(config.node_id)?;
-        let device = Rc::new(RefCell::new(Sca3000::new()));
-        let sensor = SensorState::Motion {
-            scenario: Box::new(scenario),
-            device: device.clone(),
-            next_check: SimTime::from_millis(100),
-        };
-        Self::build(config, image, sensor, BusSensor::Sca3000(device))
+        StackBuilder::new(config).motion(scenario).build()
     }
 
     /// Builds the timer-paced beacon node (SCA3000 board, beacon firmware):
     /// no sensor interrupt line — the MSP430's Timer A paces sampling every
     /// `period_s` seconds, the building-monitor configuration.
+    ///
+    /// Compatibility wrapper over [`StackBuilder`], equivalent to
+    /// `StackBuilder::new(config).beacon(scenario, period_s).build()`.
     ///
     /// # Errors
     ///
@@ -446,591 +422,15 @@ impl PicoCube {
         scenario: MotionScenario,
         period_s: u16,
     ) -> Result<Self, BuildError> {
-        if period_s == 0 {
-            return Err(BuildError::InvalidConfig(
-                "beacon period must be at least 1 s",
-            ));
-        }
-        let image = firmware::beacon_app(config.node_id, period_s)?;
-        let device = Rc::new(RefCell::new(Sca3000::new()));
-        let sensor = SensorState::Motion {
-            scenario: Box::new(scenario),
-            device: device.clone(),
-            next_check: SimTime::from_millis(100),
-        };
-        Self::build(config, image, sensor, BusSensor::Sca3000(device))
-    }
-
-    fn build(
-        config: NodeConfig,
-        image: picocube_mcu::Image,
-        sensor: SensorState,
-        bus_sensor: BusSensor,
-    ) -> Result<Self, BuildError> {
-        if !(0.0..=1.0).contains(&config.initial_soc) {
-            return Err(BuildError::InvalidConfig("initial_soc must be in [0, 1]"));
-        }
-        if config.leak_kpa_per_hour < 0.0 {
-            return Err(BuildError::InvalidConfig("leak rate must be non-negative"));
-        }
-        let mut mcu = Mcu::new();
-        mcu.load(&image);
-        mcu.reset();
-
-        let p1 = Rc::new(Cell::new(0u8));
-        let p2 = Rc::new(Cell::new(0u8));
-        let radio = Rc::new(RefCell::new(RadioFrontend::new(OokTransmitter::picocube())));
-        mcu.attach_spi(Box::new(BusMux {
-            p1: p1.clone(),
-            p2: p2.clone(),
-            sensor: bus_sensor,
-            radio: radio.clone(),
-        }));
-
-        let mut battery = NimhCell::picocube();
-        battery.set_state_of_charge(config.initial_soc);
-
-        let chain = match config.power_chain {
-            PowerChainKind::Cots => Chain::Cots(Box::new(CotsPowerChain::paper())),
-            PowerChainKind::IntegratedIc => Chain::Ic(Box::new(PowerInterfaceIc::paper())),
-        };
-
-        let harvester: Option<Box<dyn Harvester>> = match &config.harvester {
-            HarvesterKind::Automotive => Some(Box::new(WheelHarvester::automotive(
-                config.drive_cycle.clone(),
-            ))),
-            HarvesterKind::Bicycle => Some(Box::new(WheelHarvester::bicycle(
-                config.drive_cycle.clone(),
-            ))),
-            HarvesterKind::Solar(light) => Some(Box::new(SolarCladding::five_faces(*light))),
-            HarvesterKind::Shaker => Some(Box::new(ElectromagneticShaker::bench_450uw())),
-            HarvesterKind::None => None,
-        };
-
-        let mut ledger = PowerLedger::new();
-        let rail = ledger.add_rail("VBAT", battery.terminal_voltage(Amps::ZERO));
-        let load_overhead = ledger.register_load(rail, "power chain overhead");
-        let load_vdd = ledger.register_load(rail, "mcu+sensor (via pump)");
-        let load_digital = ledger.register_load(rail, "radio digital (via pump)");
-        let load_rf = ledger.register_load(rail, "radio RF rail");
-        let load_wakeup = ledger.register_load(rail, "wakeup receiver");
-        let wakeup = config
-            .wakeup_receiver
-            .then(picocube_radio::WakeupReceiver::bwrc);
-
-        let mut node = Self {
-            mcu,
-            p1,
-            p2,
-            sensor,
-            radio,
-            chain,
-            battery,
-            harvester,
-            ledger,
-            rail,
-            load_overhead,
-            load_vdd,
-            load_digital,
-            load_rf,
-            load_wakeup,
-            wakeup,
-            trace: PowerTrace::new("node_power_w"),
-            soc_trace: ScalarTrace::new("battery_soc"),
-            telemetry: TelemetryBuffer::new(),
-            slept: SimDuration::ZERO,
-            last_battery_update: SimTime::ZERO,
-            last_consumed: Joules::ZERO,
-            harvested: Joules::ZERO,
-            wakes: 0,
-            vdd: Volts::new(2.4),
-            last_inputs: (Amps::new(-1.0), Amps::new(-1.0), false, false),
-            browned_out: None,
-            brownout_count: 0,
-            ungated_rf_ldo: config.ungated_rf_ldo,
-        };
-        node.soc_trace
-            .record(SimTime::ZERO, node.battery.state_of_charge());
-        node.update_currents(true);
-        Ok(node)
-    }
-
-    /// Current simulation time (derived from the MCU's cycle counter at
-    /// 1 µs per MCLK cycle).
-    pub fn now(&self) -> SimTime {
-        SimTime::from_micros(self.mcu.cycles())
-    }
-
-    /// The battery-side power trace (the Fig. 6 instrument).
-    pub fn power_trace(&self) -> &PowerTrace {
-        &self.trace
-    }
-
-    /// Turns structured event recording on or off (metrics counters are
-    /// always maintained). Off by default: the hot path then pays one
-    /// branch per potential event.
-    pub fn set_event_recording(&mut self, enabled: bool) {
-        self.telemetry.set_events_enabled(enabled);
-    }
-
-    /// Live view of the node's telemetry (counters accumulated so far and
-    /// any buffered events).
-    pub fn telemetry(&self) -> &TelemetryBuffer {
-        &self.telemetry
-    }
-
-    /// Finalizes and takes the node's telemetry: the buffered events plus
-    /// the metric registry, extended with the run's sleep/active residency
-    /// (`mcu.lpm_ns` / `mcu.active_ns`) and the ledger's per-rail,
-    /// per-load energy export.
-    ///
-    /// Intended to be called once at the end of a run; the node keeps
-    /// recording into a fresh buffer afterwards, but residency and energy
-    /// totals restart from zero only for events — the power ledger keeps
-    /// integrating, so a second drain would re-export its lifetime totals.
-    pub fn drain_telemetry(&mut self) -> TelemetryBuffer {
-        let enabled = self.telemetry.events_enabled();
-        let mut buf = std::mem::take(&mut self.telemetry);
-        self.telemetry.set_events_enabled(enabled);
-        let lpm_ns = self.slept.as_nanos();
-        buf.metrics.inc("mcu.lpm_ns", lpm_ns);
-        buf.metrics.inc(
-            "mcu.active_ns",
-            self.now().as_nanos().saturating_sub(lpm_ns),
-        );
-        self.ledger.export_metrics(&mut buf.metrics);
-        buf
-    }
-
-    /// Battery state-of-charge trace over the run.
-    pub fn soc_trace(&self) -> &ScalarTrace {
-        &self.soc_trace
-    }
-
-    /// Packets transmitted so far.
-    pub fn packets(&self) -> Vec<TransmittedPacket> {
-        self.radio.borrow().packets().to_vec()
-    }
-
-    /// Present battery state of charge.
-    pub fn battery_soc(&self) -> f64 {
-        self.battery.state_of_charge()
-    }
-
-    /// When the node browned out (battery too depleted to hold the rails),
-    /// if it has.
-    ///
-    /// A browned-out node stops waking and transmitting; harvested energy
-    /// keeps trickling into the cell, and the node restarts once the cell
-    /// recovers above the restart threshold (a 10 % hysteresis band, like
-    /// a supply supervisor).
-    pub fn browned_out_at(&self) -> Option<SimTime> {
-        self.browned_out
-    }
-
-    /// How many brown-out events have occurred over the node's lifetime.
-    pub fn brownout_count(&self) -> u32 {
-        self.brownout_count
-    }
-
-    /// The always-on supply voltage currently delivered to MCU and sensor.
-    pub fn vdd(&self) -> Volts {
-        self.vdd
-    }
-
-    /// Sensor current draw right now.
-    fn sensor_current(&self) -> Amps {
-        match &self.sensor {
-            SensorState::Tpms { device, .. } => device.borrow().current_draw(),
-            SensorState::Motion { device, .. } => device.borrow().current_draw(),
-        }
-    }
-
-    /// Recomputes rail currents from the node state. `force` records even
-    /// if nothing changed.
-    fn update_currents(&mut self, force: bool) {
-        if self.browned_out.is_some() {
-            return; // supervisor holds everything unpowered
-        }
-        let i_mcu = self.mcu.current_draw();
-        let i_sensor = self.sensor_current();
-        let p1 = self.p1.get();
-        let spi_on = p1 & PIN_RADIO_SPI != 0;
-        let pa_on = pa_enabled(p1);
-        let inputs = (i_mcu, i_sensor, spi_on, pa_on);
-        if !force && inputs == self.last_inputs {
-            return;
-        }
-        self.last_inputs = inputs;
-
-        let vbat = self.ledger.rail_voltage(self.rail);
-        let mut i_vdd = i_mcu + i_sensor;
-        if spi_on {
-            // CSP level shifters between the VDD and radio logic domains.
-            let shifters = LevelShifter::radio_board();
-            let p = shifters.power(self.vdd, Hertz::from_kilo(100.0));
-            i_vdd += p / self.vdd;
-        }
-        // Radio RF rail draw: 50 % OOK average while the PA window is open.
-        let i_rf = if pa_on {
-            self.radio.borrow().transmitter().supply_current_on() * 0.5
-        } else {
-            Amps::ZERO
-        };
-
-        let (overhead, vdd_reflected, digital, rf, vdd_out) = match &self.chain {
-            Chain::Cots(chain) => {
-                let base = chain
-                    .supply_mcu(vbat, i_vdd)
-                    .expect("pump operating point must solve");
-                let vdd_out = base.vout;
-                let quiescent = base.iin - Amps::new(chain.pump().gain() * i_vdd.value());
-                // Radio digital rail: GPIO at VDD through the shunt, which
-                // reflects through the pump.
-                let digital = if spi_on {
-                    let shunt_op = chain
-                        .supply_radio_digital(vdd_out, Amps::from_micro(300.0))
-                        .expect("shunt operating point must solve");
-                    Amps::new(chain.pump().gain() * shunt_op.iin.value())
-                } else {
-                    Amps::ZERO
-                };
-                let rf = if pa_on {
-                    chain
-                        .supply_radio_rf(vbat, i_rf)
-                        .expect("rf rail operating point must solve")
-                        .iin
-                } else if self.ungated_rf_ldo {
-                    // Ablation: the LT3020's ground current burns even with
-                    // the radio idle — the loss the switch board exists to
-                    // eliminate.
-                    Amps::from_micro(120.0)
-                } else {
-                    Amps::ZERO
-                };
-                let leakage = Amps::from_nano(30.0); // three open load switches
-                (
-                    quiescent + leakage,
-                    Amps::new(chain.pump().gain() * i_vdd.value()),
-                    digital,
-                    rf,
-                    vdd_out,
-                )
-            }
-            Chain::Ic(ic) => {
-                let standby = ic.standby_current(Celsius::new(25.0), vbat);
-                let op = ic
-                    .supply_mcu(vbat, i_vdd)
-                    .expect("1:2 converter operating point must solve");
-                let vdd_out = op.vout;
-                let digital = if spi_on {
-                    // The shunt still hangs off a GPIO; its draw reflects
-                    // through the 1:2 converter at roughly 2×.
-                    let gpio = (vdd_out - Volts::new(1.0)) / picocube_units::Ohms::new(2_200.0);
-                    Amps::new(2.0 * gpio.value())
-                } else {
-                    Amps::ZERO
-                };
-                let rf = if pa_on {
-                    ic.supply_radio(vbat, i_rf)
-                        .expect("3:2 converter operating point must solve")
-                        .battery_current()
-                } else {
-                    Amps::ZERO
-                };
-                (standby, op.iin, digital, rf, vdd_out)
-            }
-        };
-
-        self.vdd = vdd_out;
-        if let Some(w) = &self.wakeup {
-            self.ledger
-                .set_load_current(self.load_wakeup, w.listen_power() / vbat);
-        }
-        self.ledger.set_load_current(self.load_overhead, overhead);
-        self.ledger.set_load_current(self.load_vdd, vdd_reflected);
-        self.ledger.set_load_current(self.load_digital, digital);
-        self.ledger.set_load_current(self.load_rf, rf);
-        self.trace
-            .record(self.ledger.now(), self.ledger.total_power());
-    }
-
-    /// Settles harvest/consumption into the battery over the elapsed span.
-    fn settle_battery(&mut self) {
-        let now = self.now();
-        let dt = now
-            .checked_duration_since(self.last_battery_update)
-            .unwrap_or(SimDuration::ZERO)
-            .as_seconds();
-        if dt.value() <= 0.0 {
-            return;
-        }
-        let vbat = self.ledger.rail_voltage(self.rail);
-        // Harvest: average source power over the interval, through the
-        // chain's rectifier.
-        let mut charge_current = Amps::ZERO;
-        if let Some(h) = &self.harvester {
-            let raw = h.average_power(self.last_battery_update.as_seconds(), now.as_seconds(), 16);
-            let delivered = match &self.chain {
-                Chain::Cots(c) => c.harvest(raw, vbat).unwrap_or(Watts::ZERO),
-                Chain::Ic(ic) => ic.harvest(raw, vbat).unwrap_or(Watts::ZERO),
-            };
-            self.harvested += delivered * dt;
-            charge_current = delivered / vbat;
-        }
-        let consumed_now = self.ledger.total_energy();
-        let drawn = consumed_now - self.last_consumed;
-        self.last_consumed = consumed_now;
-        let discharge_current = drawn / dt / vbat;
-        self.battery.step(charge_current - discharge_current, dt);
-        self.last_battery_update = now;
-        self.soc_trace.record(now, self.battery.state_of_charge());
-        // Battery sag/recovery feeds back into the rail voltage.
-        self.ledger
-            .set_rail_voltage(self.rail, self.battery.terminal_voltage(Amps::ZERO));
-        self.check_brownout();
-    }
-
-    /// Supply supervision: below 1.05 V the pump can no longer hold the
-    /// rails; the node is held in reset until the cell recovers to 1.15 V
-    /// (hysteresis), at which point the firmware cold-boots.
-    fn check_brownout(&mut self) {
-        let ocv = self.battery.open_circuit_voltage();
-        match self.browned_out {
-            None => {
-                if ocv < Volts::new(1.05) {
-                    self.browned_out = Some(self.now());
-                    self.brownout_count += 1;
-                    self.telemetry.metrics.inc("node.brownouts", 1);
-                    self.telemetry
-                        .record(self.now().as_nanos(), EventKind::BrownOut);
-                    self.mcu.set_register(2, 0); // hold in reset: GIE off
-                    self.mcu.clear_pending_irqs();
-                    for load in [
-                        self.load_overhead,
-                        self.load_vdd,
-                        self.load_digital,
-                        self.load_rf,
-                        self.load_wakeup,
-                    ] {
-                        self.ledger.set_load_current(load, Amps::ZERO);
-                    }
-                    self.trace
-                        .record(self.ledger.now(), self.ledger.total_power());
-                }
-            }
-            Some(_) => {
-                if ocv >= Volts::new(1.15) {
-                    self.browned_out = None;
-                    self.telemetry
-                        .record(self.now().as_nanos(), EventKind::Recovered);
-                    self.mcu.warm_reset();
-                    // Sensor schedules restart relative to the reboot.
-                    let now = self.now();
-                    match &mut self.sensor {
-                        SensorState::Tpms {
-                            device, next_wake, ..
-                        } => {
-                            *next_wake =
-                                now + SimDuration::from_seconds(device.borrow().wake_interval());
-                        }
-                        SensorState::Motion { next_check, .. } => {
-                            *next_check = now + SimDuration::from_millis(100);
-                        }
-                    }
-                    self.last_inputs = (Amps::new(-1.0), Amps::new(-1.0), false, false);
-                    self.update_currents(true);
-                }
-            }
-        }
-    }
-
-    /// The next scheduled environment/sensor event, if any.
-    fn next_event(&self) -> SimTime {
-        match &self.sensor {
-            SensorState::Tpms { next_wake, .. } => *next_wake,
-            SensorState::Motion { next_check, .. } => *next_check,
-        }
-    }
-
-    /// Fires the event scheduled for `at` (must equal `next_event()`).
-    fn fire_event(&mut self) {
-        let t_ns = self.now().as_nanos();
-        match &mut self.sensor {
-            SensorState::Tpms {
-                env,
-                device,
-                next_wake,
-                interval_scale,
-            } => {
-                let interval = device.borrow().wake_interval();
-                let mut sample = env.step(interval);
-                sample.supply = self.vdd;
-                device.borrow_mut().set_sample(sample);
-                // The cell rides on the rim at tire temperature: cold
-                // stiffens it, heat leaks it (automotive reality).
-                self.battery.set_temperature(sample.temperature);
-                *next_wake += SimDuration::from_seconds(interval * *interval_scale);
-                self.wakes += 1;
-                self.telemetry.metrics.inc("node.wakes", 1);
-                self.telemetry
-                    .record(t_ns, EventKind::Wake { index: self.wakes });
-                // The SP12 digital die raises its interrupt line.
-                self.mcu.drive_p1(0, false);
-                self.mcu.drive_p1(0, true);
-            }
-            SensorState::Motion {
-                scenario,
-                device,
-                next_check,
-            } => {
-                let t = next_check.as_seconds();
-                let sample = scenario.sample_at(t);
-                let triggered = device.borrow_mut().update(sample);
-                *next_check += SimDuration::from_millis(100);
-                if triggered {
-                    self.wakes += 1;
-                    self.telemetry.metrics.inc("node.wakes", 1);
-                    self.telemetry
-                        .record(t_ns, EventKind::Wake { index: self.wakes });
-                    self.mcu.drive_p1(0, false);
-                    self.mcu.drive_p1(0, true);
-                }
-            }
-        }
-    }
-
-    /// Runs the node for a span of simulated time.
-    pub fn run_for(&mut self, duration: SimDuration) {
-        let end = self.now() + duration;
-        // Guard against a stuck simulation (firmware fault).
-        let mut fault_guard: u64 = 0;
-        while self.now() < end {
-            if self.browned_out.is_some() {
-                // Held in reset: advance in supervisor-poll chunks, letting
-                // the harvester recharge the cell toward the restart
-                // threshold.
-                let next = (self.now() + SimDuration::from_secs(60)).min(end);
-                let gap = next
-                    .checked_duration_since(self.now())
-                    .unwrap_or(SimDuration::ZERO);
-                if gap.is_zero() {
-                    break;
-                }
-                self.mcu.sleep(gap.as_nanos() / 1_000);
-                self.slept += gap;
-                self.ledger.advance_to(self.now());
-                self.settle_battery();
-                continue;
-            }
-            let asleep =
-                matches!(self.mcu.step_peek(), PeekState::Sleeping) && !self.mcu.has_pending_irq();
-            if asleep {
-                let next = self.next_event().min(end);
-                let gap = next
-                    .checked_duration_since(self.now())
-                    .unwrap_or(SimDuration::ZERO);
-                if !gap.is_zero() {
-                    let cycles = gap.as_nanos() / 1_000; // 1 µs per cycle
-                    self.mcu.sleep(cycles.max(1));
-                    self.slept += gap;
-                    self.ledger.advance_to(self.now());
-                }
-                self.settle_battery();
-                if self.now() >= end {
-                    break;
-                }
-                if self.browned_out.is_none() && self.now() >= self.next_event() {
-                    self.fire_event();
-                    self.update_currents(false);
-                }
-            } else {
-                let p1_before = self.p1.get();
-                match self.mcu.step() {
-                    StepResult::Ran { .. } => {}
-                    StepResult::Sleeping(_) => { /* loop re-evaluates */ }
-                    StepResult::IllegalInstruction { word, at } => {
-                        panic!("firmware fault: opcode {word:#06x} at {at:#06x}")
-                    }
-                }
-                self.ledger.advance_to(self.now());
-                // Mirror pins for the bus mux and catch PA window closure.
-                let p1_now = self.mcu.p1_output();
-                self.p1.set(p1_now);
-                self.p2.set(self.mcu.p2_output());
-                if pa_enabled(p1_before) && !pa_enabled(p1_now) {
-                    let now = self.now();
-                    let mut radio = self.radio.borrow_mut();
-                    let before = radio.packets().len();
-                    radio.close_window(now);
-                    if let Some(packet) = radio.packets().get(before..).and_then(<[_]>::first) {
-                        packet
-                            .transmission
-                            .export_metrics(&mut self.telemetry.metrics);
-                        if self.telemetry.events_enabled() {
-                            self.telemetry.record(
-                                now.as_nanos(),
-                                EventKind::Tx {
-                                    bytes: packet.bytes.len() as u32,
-                                    airtime_us: packet.transmission.duration.value() * 1e6,
-                                    energy_uj: packet.transmission.energy.micro(),
-                                },
-                            );
-                        }
-                    }
-                }
-                self.update_currents(false);
-                fault_guard += 1;
-                if fault_guard > 200_000_000 {
-                    panic!("node simulation stuck in active state");
-                }
-            }
-        }
-        self.ledger.advance_to(end.max(self.ledger.now()));
-        self.settle_battery();
-        self.update_currents(true);
-    }
-
-    /// Produces the run summary.
-    pub fn report(&self) -> NodeReport {
-        NodeReport {
-            elapsed: self.now().as_seconds(),
-            average_power: self.ledger.average_power(),
-            peak_power: self.trace.peak(),
-            consumed: self.ledger.total_energy(),
-            harvested: self.harvested,
-            power: self.ledger.report(),
-            packets: self.packets(),
-            wakes: self.wakes,
-            final_soc: self.battery.state_of_charge(),
-        }
-    }
-}
-
-/// Internal peek at whether the MCU would sleep (without consuming a step).
-enum PeekState {
-    Sleeping,
-    Runnable,
-}
-
-trait McuPeek {
-    fn step_peek(&self) -> PeekState;
-}
-
-impl McuPeek for Mcu {
-    fn step_peek(&self) -> PeekState {
-        use picocube_mcu::OperatingMode;
-        if self.mode() == OperatingMode::Active {
-            PeekState::Runnable
-        } else {
-            PeekState::Sleeping
-        }
+        StackBuilder::new(config).beacon(scenario, period_s).build()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use picocube_sensors::Sp12;
+    use picocube_sim::{SimDuration, SimTime};
 
     fn run_tpms_for(secs: u64, config: NodeConfig) -> (PicoCube, NodeReport) {
         let mut node = PicoCube::tpms(config).expect("node builds");
@@ -1251,6 +651,10 @@ mod tests {
         let report = node.report();
         assert!(report.wakes > 0);
         assert!(!report.packets.is_empty());
+        // The report now carries the supervisor state directly.
+        assert!(report.brownout_count >= 1);
+        assert!(!report.browned_out);
+        assert_eq!(report.fault, None);
     }
 
     #[test]
@@ -1264,6 +668,7 @@ mod tests {
         node.run_for(SimDuration::from_secs(1_200));
         assert!(node.browned_out_at().is_some());
         let report = node.report();
+        assert!(report.browned_out);
         // Held in reset: at most the first cycle escaped before the
         // supervisor tripped, and the floor is zero afterwards.
         assert!(
@@ -1434,5 +839,55 @@ mod tests {
         let (_, b) = run_tpms_for(30, NodeConfig::default());
         assert_eq!(a.packets, b.packets);
         assert_eq!(a.consumed, b.consumed);
+    }
+
+    #[test]
+    fn builder_requires_an_application_board() {
+        assert!(matches!(
+            StackBuilder::new(NodeConfig::default()).build(),
+            Err(BuildError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn node_report_json_round_trips_with_fault_state() {
+        let (_, report) = run_tpms_for(13, NodeConfig::default());
+        let json = Json::parse(&report.to_json().to_string()).expect("parses");
+        let back = NodeReport::from_json(&json).expect("round trips");
+        assert_eq!(back.wakes, report.wakes);
+        assert_eq!(back.brownout_count, report.brownout_count);
+        assert_eq!(back.browned_out, report.browned_out);
+        assert_eq!(back.fault, report.fault);
+        // Pre-stack reports (no brownout/fault keys) still parse.
+        let legacy = Json::parse(
+            r#"{"elapsed": 1.0, "average_power": 6e-6, "peak_power": 1e-3,
+                "consumed": 6e-6, "harvested": 0.0,
+                "power": {"elapsed": 1.0, "total_energy": 6e-6,
+                          "average_power": 6e-6, "rails": []},
+                "packets": [], "wakes": 0, "final_soc": 0.8}"#,
+        )
+        .expect("legacy parses");
+        let legacy = NodeReport::from_json(&legacy).expect("legacy report accepted");
+        assert_eq!(legacy.brownout_count, 0);
+        assert!(!legacy.browned_out);
+        assert_eq!(legacy.fault, None);
+    }
+
+    #[test]
+    fn node_fault_json_round_trips() {
+        let faults = [
+            NodeFault::IllegalInstruction {
+                word: 0x4303,
+                at: 0xF010,
+            },
+            NodeFault::Stuck { steps: 200_000_001 },
+            NodeFault::PowerChain {
+                rail: "pump operating point",
+            },
+        ];
+        for fault in faults {
+            let json = Json::parse(&fault.to_json().to_string()).expect("parses");
+            assert_eq!(NodeFault::from_json(&json).expect("round trips"), fault);
+        }
     }
 }

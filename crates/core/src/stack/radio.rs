@@ -1,0 +1,116 @@
+//! The radio board: FBAR-based OOK transmitter (§4.2), its level
+//! shifters, and the optional §7.3 wakeup receiver.
+
+use super::{Board, BoardDraw, StackCtx};
+use crate::bus::{pa_enabled, RadioFrontend, TransmittedPacket};
+use picocube_mcu::firmware::PIN_RADIO_SPI;
+use picocube_power::switches::LevelShifter;
+use picocube_radio::WakeupReceiver;
+use picocube_telemetry::{EventKind, Metrics};
+use picocube_units::{Amps, Hertz, Volts};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// The radio board: watches the firmware's SPI/PA lines for transmit
+/// windows, accounts its rail draws, and carries the optional always-on
+/// wakeup receiver.
+pub struct RadioBoard {
+    frontend: Rc<RefCell<RadioFrontend>>,
+    wakeup: Option<WakeupReceiver>,
+    p1: Rc<Cell<u8>>,
+}
+
+impl core::fmt::Debug for RadioBoard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RadioBoard")
+            .field("packets", &self.frontend.borrow().packets().len())
+            .field("wakeup", &self.wakeup.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RadioBoard {
+    pub(super) fn new(
+        frontend: Rc<RefCell<RadioFrontend>>,
+        wakeup: Option<WakeupReceiver>,
+        p1: Rc<Cell<u8>>,
+    ) -> Self {
+        Self {
+            frontend,
+            wakeup,
+            p1,
+        }
+    }
+
+    /// Packets transmitted so far.
+    pub fn packets(&self) -> Vec<TransmittedPacket> {
+        self.frontend.borrow().packets().to_vec()
+    }
+}
+
+impl Board for RadioBoard {
+    fn name(&self) -> &'static str {
+        "radio"
+    }
+
+    fn currents(&self, vdd: Volts) -> BoardDraw {
+        let p1 = self.p1.get();
+        let spi_on = p1 & PIN_RADIO_SPI != 0;
+        let pa_on = pa_enabled(p1);
+        let vdd_draw = if spi_on {
+            // CSP level shifters between the VDD and radio logic domains.
+            let shifters = LevelShifter::radio_board();
+            let p = shifters.power(vdd, Hertz::from_kilo(100.0));
+            p / vdd
+        } else {
+            Amps::ZERO
+        };
+        // Radio RF rail draw: 50 % OOK average while the PA window is open.
+        let rf = if pa_on {
+            self.frontend.borrow().transmitter().supply_current_on() * 0.5
+        } else {
+            Amps::ZERO
+        };
+        BoardDraw {
+            vdd: vdd_draw,
+            rf,
+            battery: self.wakeup.as_ref().map(WakeupReceiver::listen_power),
+        }
+    }
+
+    fn on_bus(&mut self, p1_before: u8, p1_now: u8, ctx: &mut StackCtx<'_>) {
+        // A falling PA line closes the transmit window: flush the frame the
+        // firmware shifted out and account its airtime/energy.
+        if pa_enabled(p1_before) && !pa_enabled(p1_now) {
+            let now = ctx.now;
+            let mut radio = self.frontend.borrow_mut();
+            let before = radio.packets().len();
+            radio.close_window(now);
+            if let Some(packet) = radio.packets().get(before..).and_then(<[_]>::first) {
+                packet
+                    .transmission
+                    .export_metrics(&mut ctx.telemetry.metrics);
+                if ctx.telemetry.events_enabled() {
+                    ctx.telemetry.record(
+                        now.as_nanos(),
+                        EventKind::Tx {
+                            bytes: packet.bytes.len() as u32,
+                            airtime_us: packet.transmission.duration.value() * 1e6,
+                            energy_uj: packet.transmission.energy.micro(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn export_metrics(&self, metrics: &mut Metrics) {
+        let frontend = self.frontend.borrow();
+        let packets = frontend.packets();
+        metrics.inc("board.radio.packets", packets.len() as u64);
+        metrics.inc(
+            "board.radio.bytes",
+            packets.iter().map(|p| p.bytes.len() as u64).sum(),
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! The storage board: NiMH button cell, harvester, and the supply
+//! supervisor (§3, §5).
+
+use super::switch::SwitchBoard;
+use super::Board;
+use crate::node::{HarvesterKind, NodeConfig};
+use picocube_harvest::{ElectromagneticShaker, Harvester, SolarCladding, WheelHarvester};
+use picocube_sim::{SimDuration, SimTime};
+use picocube_storage::{NimhCell, StorageElement};
+use picocube_telemetry::Metrics;
+use picocube_units::{Amps, Celsius, Joules, Volts};
+
+/// Builds the configured harvester, if any.
+pub(super) fn harvester_for(config: &NodeConfig) -> Option<Box<dyn Harvester>> {
+    match &config.harvester {
+        HarvesterKind::Automotive => Some(Box::new(WheelHarvester::automotive(
+            config.drive_cycle.clone(),
+        ))),
+        HarvesterKind::Bicycle => Some(Box::new(WheelHarvester::bicycle(
+            config.drive_cycle.clone(),
+        ))),
+        HarvesterKind::Solar(light) => Some(Box::new(SolarCladding::five_faces(*light))),
+        HarvesterKind::Shaker => Some(Box::new(ElectromagneticShaker::bench_450uw())),
+        HarvesterKind::None => None,
+    }
+}
+
+/// What the supply supervisor decided after a battery settle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorVerdict {
+    /// No threshold was crossed; the stack carries on.
+    Unchanged,
+    /// The cell fell below the hold threshold: the stack must be held in
+    /// reset with every rail unloaded.
+    BrownedOut,
+    /// The cell recovered past the restart threshold: the stack must
+    /// cold-boot and reschedule its boards.
+    Recovered,
+}
+
+/// The storage board: the NiMH cell, the harvester charging it, and the
+/// supply supervisor that holds the stack in reset on deep discharge.
+pub struct StorageBoard {
+    battery: NimhCell,
+    harvester: Option<Box<dyn Harvester>>,
+    harvested: Joules,
+    last_update: SimTime,
+    last_consumed: Joules,
+    browned_out: Option<SimTime>,
+    brownout_count: u32,
+}
+
+impl core::fmt::Debug for StorageBoard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StorageBoard")
+            .field("soc", &self.soc())
+            .field("harvester", &self.harvester.is_some())
+            .field("harvested", &self.harvested)
+            .field("browned_out", &self.browned_out)
+            .field("brownout_count", &self.brownout_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StorageBoard {
+    pub(super) fn new(battery: NimhCell, harvester: Option<Box<dyn Harvester>>) -> Self {
+        Self {
+            battery,
+            harvester,
+            harvested: Joules::ZERO,
+            last_update: SimTime::ZERO,
+            last_consumed: Joules::ZERO,
+            browned_out: None,
+            brownout_count: 0,
+        }
+    }
+
+    /// Present battery state of charge.
+    pub fn soc(&self) -> f64 {
+        self.battery.state_of_charge()
+    }
+
+    /// Total energy delivered into the cell by the harvester (after the
+    /// rectifier).
+    pub fn harvested(&self) -> Joules {
+        self.harvested
+    }
+
+    /// When the node browned out, if it is currently held in reset.
+    pub fn browned_out_at(&self) -> Option<SimTime> {
+        self.browned_out
+    }
+
+    /// Brown-out events over the node's lifetime.
+    pub fn brownout_count(&self) -> u32 {
+        self.brownout_count
+    }
+
+    /// Whether the supervisor is currently holding the stack in reset.
+    pub fn held(&self) -> bool {
+        self.browned_out.is_some()
+    }
+
+    /// The cell's unloaded terminal voltage (the VBAT rail level).
+    pub(super) fn terminal_voltage(&self) -> Volts {
+        self.battery.terminal_voltage(Amps::ZERO)
+    }
+
+    /// The cell rides on the rim at tire temperature: cold stiffens it,
+    /// heat leaks it (automotive reality).
+    pub(super) fn set_temperature(&mut self, t: Celsius) {
+        self.battery.set_temperature(t);
+    }
+
+    /// Settles harvest and consumption into the cell over the span since
+    /// the last settle. Returns `false` (and does nothing) when no time
+    /// has elapsed; the harvest path routes through the switch board's
+    /// rectifier.
+    pub(super) fn settle(
+        &mut self,
+        now: SimTime,
+        vbat: Volts,
+        consumed_total: Joules,
+        switch: &SwitchBoard,
+    ) -> bool {
+        let dt = now
+            .checked_duration_since(self.last_update)
+            .unwrap_or(SimDuration::ZERO)
+            .as_seconds();
+        if dt.value() <= 0.0 {
+            return false;
+        }
+        // Harvest: average source power over the interval, through the
+        // chain's rectifier.
+        let mut charge_current = Amps::ZERO;
+        if let Some(h) = &self.harvester {
+            let raw = h.average_power(self.last_update.as_seconds(), now.as_seconds(), 16);
+            let delivered = switch.harvest(raw, vbat);
+            self.harvested += delivered * dt;
+            charge_current = delivered / vbat;
+        }
+        let drawn = consumed_total - self.last_consumed;
+        self.last_consumed = consumed_total;
+        let discharge_current = drawn / dt / vbat;
+        self.battery.step(charge_current - discharge_current, dt);
+        self.last_update = now;
+        true
+    }
+
+    /// Supply supervision: below 1.05 V the pump can no longer hold the
+    /// rails; the node is held in reset until the cell recovers to 1.15 V
+    /// (hysteresis), at which point the firmware cold-boots.
+    pub(super) fn supervise(&mut self, now: SimTime) -> SupervisorVerdict {
+        let ocv = self.battery.open_circuit_voltage();
+        match self.browned_out {
+            None => {
+                if ocv < Volts::new(1.05) {
+                    self.browned_out = Some(now);
+                    self.brownout_count += 1;
+                    SupervisorVerdict::BrownedOut
+                } else {
+                    SupervisorVerdict::Unchanged
+                }
+            }
+            Some(_) => {
+                if ocv >= Volts::new(1.15) {
+                    self.browned_out = None;
+                    SupervisorVerdict::Recovered
+                } else {
+                    SupervisorVerdict::Unchanged
+                }
+            }
+        }
+    }
+}
+
+impl Board for StorageBoard {
+    fn name(&self) -> &'static str {
+        "storage"
+    }
+
+    fn export_metrics(&self, metrics: &mut Metrics) {
+        metrics.inc("board.storage.brownouts", u64::from(self.brownout_count));
+        metrics.add("board.storage.soc", self.soc());
+        metrics.add("board.storage.harvested_uj", self.harvested.micro());
+    }
+}

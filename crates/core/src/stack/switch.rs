@@ -1,0 +1,176 @@
+//! The power-switch board: the power train (COTS chain or §7.1 IC) plus
+//! the load switches that gate every rail (§4.3).
+
+use super::{Board, NodeFault};
+use crate::node::PowerChainKind;
+use picocube_power::converter_ic::PowerInterfaceIc;
+use picocube_power::cots::CotsPowerChain;
+use picocube_units::{Amps, Celsius, Volts, Watts};
+
+enum Chain {
+    Cots(Box<CotsPowerChain>),
+    Ic(Box<PowerInterfaceIc>),
+}
+
+/// Battery-side currents solved for one load point: what each registered
+/// ledger load should carry, plus the VDD the chain delivers there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RailSolve {
+    /// Chain quiescent/standby current, including open-switch leakage.
+    pub overhead: Amps,
+    /// The always-on VDD rail demand reflected to the battery side.
+    pub vdd_reflected: Amps,
+    /// The radio digital rail demand reflected to the battery side.
+    pub digital: Amps,
+    /// The RF rail demand at the battery.
+    pub rf: Amps,
+    /// The VDD delivered at this operating point.
+    pub vdd_out: Volts,
+}
+
+/// The switch board: routes battery power to the other boards through the
+/// selected power train, and models the gating the board exists for.
+pub struct SwitchBoard {
+    chain: Chain,
+    ungated_rf_ldo: bool,
+}
+
+impl core::fmt::Debug for SwitchBoard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SwitchBoard")
+            .field(
+                "chain",
+                &match self.chain {
+                    Chain::Cots(_) => "Cots",
+                    Chain::Ic(_) => "Ic",
+                },
+            )
+            .field("ungated_rf_ldo", &self.ungated_rf_ldo)
+            .finish()
+    }
+}
+
+impl SwitchBoard {
+    pub(super) fn new(kind: PowerChainKind, ungated_rf_ldo: bool) -> Self {
+        let chain = match kind {
+            PowerChainKind::Cots => Chain::Cots(Box::new(CotsPowerChain::paper())),
+            PowerChainKind::IntegratedIc => Chain::Ic(Box::new(PowerInterfaceIc::paper())),
+        };
+        Self {
+            chain,
+            ungated_rf_ldo,
+        }
+    }
+
+    /// Routes harvested power through the chain's rectifier; an interval
+    /// whose operating point does not solve delivers nothing.
+    pub(super) fn harvest(&self, raw: Watts, vbat: Volts) -> Watts {
+        match &self.chain {
+            Chain::Cots(c) => c.harvest(raw, vbat).unwrap_or(Watts::ZERO),
+            Chain::Ic(ic) => ic.harvest(raw, vbat).unwrap_or(Watts::ZERO),
+        }
+    }
+
+    /// Solves the battery-side currents for the present load point: `i_vdd`
+    /// on the always-on rail, `i_rf` demanded by the PA, with the SPI and
+    /// PA switch states selecting which converters are live.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeFault::PowerChain`] when a converter's operating point
+    /// fails to solve — the electrical model was driven outside its domain.
+    pub(super) fn rails(
+        &self,
+        vbat: Volts,
+        i_vdd: Amps,
+        spi_on: bool,
+        pa_on: bool,
+        i_rf: Amps,
+    ) -> Result<RailSolve, NodeFault> {
+        match &self.chain {
+            Chain::Cots(chain) => {
+                let base = chain
+                    .supply_mcu(vbat, i_vdd)
+                    .map_err(|_| NodeFault::PowerChain {
+                        rail: "pump operating point",
+                    })?;
+                let vdd_out = base.vout;
+                let quiescent = base.iin - Amps::new(chain.pump().gain() * i_vdd.value());
+                // Radio digital rail: GPIO at VDD through the shunt, which
+                // reflects through the pump.
+                let digital = if spi_on {
+                    let shunt_op = chain
+                        .supply_radio_digital(vdd_out, Amps::from_micro(300.0))
+                        .map_err(|_| NodeFault::PowerChain {
+                            rail: "shunt operating point",
+                        })?;
+                    Amps::new(chain.pump().gain() * shunt_op.iin.value())
+                } else {
+                    Amps::ZERO
+                };
+                let rf = if pa_on {
+                    chain
+                        .supply_radio_rf(vbat, i_rf)
+                        .map_err(|_| NodeFault::PowerChain {
+                            rail: "rf rail operating point",
+                        })?
+                        .iin
+                } else if self.ungated_rf_ldo {
+                    // Ablation: the LT3020's ground current burns even with
+                    // the radio idle — the loss the switch board exists to
+                    // eliminate.
+                    Amps::from_micro(120.0)
+                } else {
+                    Amps::ZERO
+                };
+                let leakage = Amps::from_nano(30.0); // three open load switches
+                Ok(RailSolve {
+                    overhead: quiescent + leakage,
+                    vdd_reflected: Amps::new(chain.pump().gain() * i_vdd.value()),
+                    digital,
+                    rf,
+                    vdd_out,
+                })
+            }
+            Chain::Ic(ic) => {
+                let standby = ic.standby_current(Celsius::new(25.0), vbat);
+                let op = ic
+                    .supply_mcu(vbat, i_vdd)
+                    .map_err(|_| NodeFault::PowerChain {
+                        rail: "1:2 converter operating point",
+                    })?;
+                let vdd_out = op.vout;
+                let digital = if spi_on {
+                    // The shunt still hangs off a GPIO; its draw reflects
+                    // through the 1:2 converter at roughly 2×.
+                    let gpio = (vdd_out - Volts::new(1.0)) / picocube_units::Ohms::new(2_200.0);
+                    Amps::new(2.0 * gpio.value())
+                } else {
+                    Amps::ZERO
+                };
+                let rf = if pa_on {
+                    ic.supply_radio(vbat, i_rf)
+                        .map_err(|_| NodeFault::PowerChain {
+                            rail: "3:2 converter operating point",
+                        })?
+                        .battery_current()
+                } else {
+                    Amps::ZERO
+                };
+                Ok(RailSolve {
+                    overhead: standby,
+                    vdd_reflected: op.iin,
+                    digital,
+                    rf,
+                    vdd_out,
+                })
+            }
+        }
+    }
+}
+
+impl Board for SwitchBoard {
+    fn name(&self) -> &'static str {
+        "switch"
+    }
+}

@@ -32,6 +32,11 @@ pub enum EventKind {
         /// `"delivered"`, `"collided"` or `"channel_loss"`.
         fate: &'static str,
     },
+    /// The node latched a fault and stopped simulating.
+    Fault {
+        /// `"illegal_instruction"`, `"stuck"` or `"power_chain"`.
+        what: &'static str,
+    },
     /// An engine phase (e.g. `"simulate"`, `"merge"`) began.
     PhaseStart {
         /// Phase name.
@@ -53,6 +58,7 @@ impl EventKind {
             Self::BrownOut => "brown_out",
             Self::Recovered => "recovered",
             Self::PacketFate { .. } => "packet_fate",
+            Self::Fault { .. } => "fault",
             Self::PhaseStart { .. } => "phase_start",
             Self::PhaseEnd { .. } => "phase_end",
         }
@@ -106,6 +112,9 @@ impl ToJson for Event {
             EventKind::PacketFate { fate } => {
                 obj.push(("fate".into(), Json::Str((*fate).into())));
             }
+            EventKind::Fault { what } => {
+                obj.push(("what".into(), Json::Str((*what).into())));
+            }
             EventKind::PhaseStart { phase } | EventKind::PhaseEnd { phase } => {
                 obj.push(("phase".into(), phase.to_json()));
             }
@@ -144,6 +153,15 @@ impl FromJson for Event {
                     _ => return Err(JsonError::new("unknown packet fate")),
                 };
                 EventKind::PacketFate { fate }
+            }
+            "fault" => {
+                let what = match field(value, "what")?.as_str() {
+                    Some("illegal_instruction") => "illegal_instruction",
+                    Some("stuck") => "stuck",
+                    Some("power_chain") => "power_chain",
+                    _ => return Err(JsonError::new("unknown fault kind")),
+                };
+                EventKind::Fault { what }
             }
             "phase_start" => EventKind::PhaseStart {
                 phase: String::from_json(field(value, "phase")?)?,
@@ -193,6 +211,13 @@ mod tests {
                 t_ns: 8,
                 node: 1,
                 kind: EventKind::BrownOut,
+            },
+            Event {
+                t_ns: 9,
+                node: 2,
+                kind: EventKind::Fault {
+                    what: "illegal_instruction",
+                },
             },
         ];
         for event in events {

@@ -1,7 +1,7 @@
 //! Workspace task runner.
 //!
 //! ```text
-//! cargo xtask lint [--json PATH] [--update-allowlist]
+//! cargo xtask lint [--json PATH] [--update-allowlist] [--max-allowlisted N]
 //! ```
 //!
 //! Runs the picocube-lint invariant checks over the workspace, prints the
@@ -10,6 +10,9 @@
 //! `--update-allowlist` mechanically tightens `lint-allowlist.txt` to the
 //! current L2 counts (existing justifications are preserved; new groups get
 //! a TODO placeholder that must be justified before commit).
+//! `--max-allowlisted N` additionally fails the run when the allowlist
+//! budgets more than `N` total L2 sites — CI pins `N` to the current total
+//! so the panic-freedom burndown can only shrink.
 
 use picocube_lint::allowlist::{Allowlist, Entry};
 use picocube_lint::source::SiteKind;
@@ -25,7 +28,7 @@ fn workspace_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--json PATH] [--update-allowlist]");
+    eprintln!("usage: cargo xtask lint [--json PATH] [--update-allowlist] [--max-allowlisted N]");
     ExitCode::from(2)
 }
 
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
     }
     let mut json_path: Option<PathBuf> = None;
     let mut update_allowlist = false;
+    let mut max_allowlisted: Option<usize> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -47,6 +51,10 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--update-allowlist" => update_allowlist = true,
+            "--max-allowlisted" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => max_allowlisted = Some(n),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -82,11 +90,41 @@ fn main() -> ExitCode {
         }
         println!("json report: {}", path.display());
     }
+    if let Some(cap) = max_allowlisted {
+        match allowlist_total(&root) {
+            Ok(total) if total > cap => {
+                eprintln!(
+                    "xtask lint: allowlist budgets {total} L2 sites but the cap is {cap} — \
+                     the burndown only shrinks; fix the new sites instead of budgeting them"
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(total) => println!("allowlisted L2 budget: {total} (cap {cap})"),
+            Err(err) => {
+                eprintln!("xtask lint: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if run.report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Total L2 sites budgeted by `lint-allowlist.txt` (0 when absent).
+fn allowlist_total(root: &Path) -> Result<usize, String> {
+    let path = root.join(ALLOWLIST_PATH);
+    if !path.is_file() {
+        return Ok(0);
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+    Ok(Allowlist::parse(&text)?
+        .entries
+        .iter()
+        .map(|e| e.count)
+        .sum())
 }
 
 /// Rewrites the allowlist to match the current raw L2 counts, preserving
