@@ -83,6 +83,26 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
     (start.elapsed().as_secs_f64(), out)
 }
 
+/// Times `reps` executions of `f`, returning the minimum elapsed seconds
+/// (the sample least disturbed by scheduler noise) and the result of the
+/// final execution.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero.
+pub fn time_best<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(reps > 0, "time_best needs at least one repetition");
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let (secs, value) = time_once(&mut f);
+        best = best.min(secs);
+        out = Some(value);
+    }
+    // picocube-lint: allow(L2) loop above ran at least once, so `out` is always Some
+    (best, out.expect("reps > 0"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,12 +59,13 @@ impl Parallelism {
         }
     }
 
-    /// The number of worker threads this mode uses.
+    /// The number of worker threads this mode uses. `Threads(0)` is
+    /// rejected by [`FleetConfig::validate`] before the engine ever asks.
     fn workers(self) -> usize {
         match self {
             Self::Serial => 1,
             Self::Threads(n) => {
-                assert!(n > 0, "Parallelism::Threads needs at least one thread");
+                debug_assert!(n > 0, "Threads(0) escaped FleetConfig::validate");
                 n
             }
         }
@@ -425,19 +426,156 @@ pub fn simulate_node_instrumented(
     }
 }
 
+/// Nodes per work-stealing chunk claim. Small enough that a worker stuck
+/// on an expensive node (a long brown-out hold, a fault spiral) leaves the
+/// rest of the range claimable by its idle peers; large enough that the
+/// atomic claim is noise against a node simulation.
+const STEAL_CHUNK: usize = 4;
+
+/// How phase 1's work was divided across workers — the scheduler's shape,
+/// as observed on the wall clock.
+///
+/// Which worker claimed which chunk depends on OS scheduling, so these
+/// numbers (unlike everything in [`FleetOutcome`] and the merged
+/// [`Metrics`]) are **not** deterministic across runs. They ride back on
+/// this side channel precisely so the merged telemetry registry can stay
+/// bit-identical between serial and threaded runs; benches and diagnostics
+/// fold them into their own registries via
+/// [`FleetSchedStats::export_metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSchedStats {
+    /// Worker threads phase 1 ran on (1 = serial on the caller).
+    pub workers: usize,
+    /// Nodes per claimed chunk (`STEAL_CHUNK`, or the whole range when
+    /// serial).
+    pub chunk_size: usize,
+    /// Chunks the node range was divided into.
+    pub chunks: usize,
+    /// Chunks claimed by each worker, indexed by spawn order.
+    pub claims: Vec<u64>,
+}
+
+impl FleetSchedStats {
+    fn serial(nodes: usize) -> Self {
+        Self {
+            workers: 1,
+            chunk_size: nodes,
+            chunks: usize::from(nodes > 0),
+            claims: vec![u64::from(nodes > 0)],
+        }
+    }
+
+    /// Chunks claimed beyond each worker's even share — work that a static
+    /// contiguous sharding would have left stranded on a slow worker.
+    pub fn steals(&self) -> u64 {
+        let fair = (self.chunks as u64).div_ceil(self.workers.max(1) as u64);
+        self.claims.iter().map(|&c| c.saturating_sub(fair)).sum()
+    }
+
+    /// Publishes the scheduler shape under `fleet.sched.*`. Callers fold
+    /// this into their *own* registry (a bench report, a diagnostics dump)
+    /// — never into the merged fleet registry, whose serial/threaded
+    /// bit-identity these wall-clock-dependent numbers would break.
+    pub fn export_metrics(&self, metrics: &mut Metrics) {
+        metrics.inc("fleet.sched.workers", self.workers as u64);
+        metrics.inc("fleet.sched.chunks", self.chunks as u64);
+        metrics.inc("fleet.sched.chunk_size", self.chunk_size as u64);
+        metrics.inc("fleet.sched.steals", self.steals());
+    }
+}
+
 /// Runs phase 1 for every node, honoring `config.parallelism`. Results are
 /// returned indexed by node regardless of completion order.
-fn simulate_all_nodes(config: &FleetConfig, record_events: bool) -> Vec<NodeOnAir> {
+fn simulate_all_nodes(
+    config: &FleetConfig,
+    record_events: bool,
+) -> (Vec<NodeOnAir>, FleetSchedStats) {
     let workers = config.parallelism.workers().min(config.nodes).max(1);
     if workers == 1 {
-        return (0..config.nodes)
+        let nodes = (0..config.nodes)
             .map(|i| simulate_node_instrumented(config, i, record_events))
             .collect();
+        return (nodes, FleetSchedStats::serial(config.nodes));
     }
-    // Contiguous shards: thread t simulates nodes [bounds[t], bounds[t+1]).
-    // Each shard returns its slice in node order, and shards are joined in
-    // thread order, so the concatenation is in node order — the merge phase
-    // never sees scheduling effects.
+    // Work stealing over an atomic chunk-claim queue: the node range is cut
+    // into fixed chunks and every worker loops claiming the next unclaimed
+    // chunk. Which worker simulates which node is scheduling-dependent, but
+    // each node's draws derive only from `(master seed, node index)` and
+    // results are scattered into per-node slots below, so the merge phase
+    // sees exactly the serial engine's input — even when faulted or
+    // browned-out nodes make per-node cost wildly uneven.
+    let chunks = config.nodes.div_ceil(STEAL_CHUNK);
+    let next_chunk = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<(u64, Vec<NodeOnAir>)> = std::thread::scope(|scope| {
+        let next_chunk = &next_chunk;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut claimed = 0u64;
+                    let mut out = Vec::new();
+                    loop {
+                        let chunk = next_chunk.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if chunk >= chunks {
+                            break;
+                        }
+                        claimed += 1;
+                        let lo = chunk * STEAL_CHUNK;
+                        let hi = (lo + STEAL_CHUNK).min(config.nodes);
+                        out.extend(
+                            (lo..hi).map(|i| simulate_node_instrumented(config, i, record_events)),
+                        );
+                    }
+                    (claimed, out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(result) => result,
+                // Re-raise the worker's own panic payload instead of
+                // replacing it with a second, less informative one.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut claims = Vec::with_capacity(workers);
+    let mut slots: Vec<Option<NodeOnAir>> = (0..config.nodes).map(|_| None).collect();
+    for (claimed, results) in per_worker {
+        claims.push(claimed);
+        for result in results {
+            if let Some(slot) = slots.get_mut(result.node) {
+                *slot = Some(result);
+            }
+        }
+    }
+    let all: Vec<NodeOnAir> = slots.into_iter().flatten().collect();
+    assert_eq!(
+        all.len(),
+        config.nodes,
+        "chunk claim queue must cover every node exactly once"
+    );
+    (
+        all,
+        FleetSchedStats {
+            workers,
+            chunk_size: STEAL_CHUNK,
+            chunks,
+            claims,
+        },
+    )
+}
+
+/// The pre-work-stealing phase-1 scheduler: contiguous static shards,
+/// thread `t` simulating nodes `[bounds[t], bounds[t+1])`. Kept as the
+/// differential reference for the scheduler bit-identity tests.
+#[cfg(test)]
+fn simulate_static_shards(
+    config: &FleetConfig,
+    workers: usize,
+    record_events: bool,
+) -> Vec<NodeOnAir> {
+    let workers = workers.min(config.nodes).max(1);
     let per = config.nodes / workers;
     let extra = config.nodes % workers;
     let mut shards = Vec::with_capacity(workers);
@@ -462,8 +600,6 @@ fn simulate_all_nodes(config: &FleetConfig, record_events: bool) -> Vec<NodeOnAi
         for handle in handles {
             match handle.join() {
                 Ok(shard) => all.extend(shard),
-                // Re-raise the worker's own panic payload instead of
-                // replacing it with a second, less informative one.
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -513,24 +649,35 @@ fn merge_fleet_impl(
     // pair is visited exactly once and marked in both directions. A packet
     // survives overlap only if it clears the strongest interferer by the
     // capture margin.
+    let raise = |slot: &mut Option<Dbm>, level: Dbm| {
+        *slot = Some(match *slot {
+            Some(s) if s >= level => s,
+            _ => level,
+        });
+    };
     let mut strongest: Vec<Option<Dbm>> = vec![None; on_air.len()];
-    for i in 0..on_air.len() {
-        for j in i + 1..on_air.len() {
-            if on_air[j].start >= on_air[i].end {
+    // Walk the sorted list by successively splitting off the head: each
+    // pass pairs packet i against the tail until the first non-overlap.
+    // Suffix splitting instead of index arithmetic keeps the sweep free of
+    // slice-index panic sites.
+    let mut air_rest = on_air.as_slice();
+    let mut strong_rest = strongest.as_mut_slice();
+    while let Some((entry_i, air_tail)) = air_rest.split_first() {
+        let Some((slot_i, strong_tail)) = std::mem::take(&mut strong_rest).split_first_mut() else {
+            break;
+        };
+        for (entry_j, slot_j) in air_tail.iter().zip(strong_tail.iter_mut()) {
+            if entry_j.start >= entry_i.end {
                 break;
             }
-            if on_air[i].node == on_air[j].node {
+            if entry_i.node == entry_j.node {
                 continue;
             }
-            let raise = |slot: &mut Option<Dbm>, level: Dbm| {
-                *slot = Some(match *slot {
-                    Some(s) if s >= level => s,
-                    _ => level,
-                });
-            };
-            raise(&mut strongest[i], on_air[j].rx_dbm);
-            raise(&mut strongest[j], on_air[i].rx_dbm);
+            raise(slot_i, entry_j.rx_dbm);
+            raise(slot_j, entry_i.rx_dbm);
         }
+        air_rest = air_tail;
+        strong_rest = strong_tail;
     }
     let mut fates = vec![PacketFate::Delivered; on_air.len()];
     for (fate, (entry, interferer)) in fates.iter_mut().zip(on_air.iter().zip(&strongest)) {
@@ -660,11 +807,29 @@ pub fn run_fleet_with(
     config: &FleetConfig,
     recorder: &mut dyn Recorder,
 ) -> (FleetOutcome, Metrics) {
-    assert!(config.nodes > 0, "fleet needs at least one node");
-    assert!(
-        config.distance_range.0 > 0.0 && config.distance_range.1 >= config.distance_range.0,
-        "invalid distance range"
-    );
+    let (outcome, metrics, _stats) = run_fleet_with_stats(config, recorder);
+    (outcome, metrics)
+}
+
+/// [`run_fleet_with`], additionally returning the phase-1 scheduler shape.
+///
+/// The [`FleetSchedStats`] are wall-clock-dependent (which worker claimed
+/// which chunk) and deliberately *not* part of the returned [`Metrics`],
+/// which stay bit-identical across [`Parallelism`] modes; see
+/// [`FleetSchedStats::export_metrics`] for folding them into a separate
+/// registry.
+///
+/// # Panics
+///
+/// Panics as [`run_fleet`] does on degenerate configurations.
+pub fn run_fleet_with_stats(
+    config: &FleetConfig,
+    recorder: &mut dyn Recorder,
+) -> (FleetOutcome, Metrics, FleetSchedStats) {
+    if let Err(error) = config.validate() {
+        // picocube-lint: allow(L2) documented `# Panics`; struct-literal configs bypass the builder's typed rejection
+        panic!("degenerate fleet config: {error}");
+    }
     // Probe-build node 0 before any worker threads exist, so an invalid
     // base config fails here with its typed build error rather than as a
     // panic inside a shard thread.
@@ -689,7 +854,7 @@ pub fn run_fleet_with(
             phase: "simulate".into(),
         },
     );
-    let mut nodes = simulate_all_nodes(config, record_events);
+    let (mut nodes, sched_stats) = simulate_all_nodes(config, record_events);
 
     // Deterministic shard merge: absorb per-node buffers in node order,
     // then canonicalize the interleaving. Thread scheduling cannot reorder
@@ -723,13 +888,14 @@ pub fn run_fleet_with(
     );
 
     engine.drain_events_into(recorder);
-    (outcome, engine.metrics)
+    (outcome, engine.metrics, sched_stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use picocube_telemetry::Event;
+    use picocube_units::json::ToJson;
 
     fn quick(nodes: usize, seed: u64) -> FleetOutcome {
         run_fleet(
@@ -1009,6 +1175,69 @@ mod tests {
                 "{workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn brownout_imbalanced_fleet_identical_across_schedulers() {
+        use crate::node::HarvesterKind;
+
+        // Every node starts below the supervisor threshold with a shaker
+        // harvester attached: it browns out at the first check, sits held
+        // in reset (simulated in cheap 60 s strides) until the cell
+        // recharges past the restart threshold (~2 h), then runs actively
+        // for the remainder. Brown-out holds make per-node cost wildly
+        // uneven in time — the load shape the work-stealing scheduler
+        // exists for — and the three phase-1 schedulers must still be
+        // bit-identical in outcome AND telemetry.
+        let config = |parallelism| FleetConfig {
+            nodes: 6,
+            base: NodeConfig {
+                harvester: HarvesterKind::Shaker,
+                initial_soc: 0.009,
+                ..NodeConfig::default()
+            },
+            duration: SimDuration::from_secs(3 * 3_600),
+            seed: 23,
+            parallelism,
+            ..FleetConfig::default()
+        };
+
+        let (serial_out, serial_metrics) =
+            run_fleet_with(&config(Parallelism::Serial), &mut NullRecorder);
+        let serial_json = serial_metrics.to_json().to_string();
+        assert!(
+            serial_metrics.counter("node.brownouts") >= 6,
+            "every node must brown out early (got {})",
+            serial_metrics.counter("node.brownouts")
+        );
+
+        // Work stealing at two widths, including more workers than chunks.
+        for workers in [2usize, 7] {
+            let (out, metrics) =
+                run_fleet_with(&config(Parallelism::Threads(workers)), &mut NullRecorder);
+            assert_eq!(out, serial_out, "{workers} workers: outcome diverged");
+            assert_eq!(
+                metrics.to_json().to_string(),
+                serial_json,
+                "{workers} workers: metric registries diverged"
+            );
+        }
+
+        // The pre-work-stealing static-shard scheduler, replayed through
+        // the same merge path, is the third reference.
+        let cfg = config(Parallelism::Serial);
+        let mut nodes = simulate_static_shards(&cfg, 3, false);
+        let mut telemetry = TelemetryBuffer::new();
+        for node in &mut nodes {
+            telemetry.absorb(std::mem::take(&mut node.telemetry));
+        }
+        let static_out = merge_fleet_impl(&cfg, nodes, &mut telemetry);
+        assert_eq!(static_out, serial_out, "static shards: outcome diverged");
+        assert_eq!(
+            telemetry.metrics.to_json().to_string(),
+            serial_json,
+            "static shards: metric registries diverged"
+        );
     }
 
     #[test]

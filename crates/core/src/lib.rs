@@ -40,8 +40,9 @@ pub use baseline::{node_class_table, MoteClassNode, NodeClassRow};
 pub use bus::{RadioFrontend, TransmittedPacket};
 pub use demo::{DemoStation, ReceivedSample};
 pub use fleet::{
-    merge_fleet, run_fleet, run_fleet_with, simulate_node, simulate_node_instrumented, FleetConfig,
-    FleetConfigBuilder, FleetConfigError, FleetOutcome, NodeOnAir, PacketFate, Parallelism,
+    merge_fleet, run_fleet, run_fleet_with, run_fleet_with_stats, simulate_node,
+    simulate_node_instrumented, FleetConfig, FleetConfigBuilder, FleetConfigError, FleetOutcome,
+    FleetSchedStats, NodeOnAir, PacketFate, Parallelism,
 };
 pub use node::{
     BuildError, HarvesterKind, NodeConfig, NodeReport, PicoCube, PowerChainKind, SensorKind,

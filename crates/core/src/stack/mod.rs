@@ -418,6 +418,20 @@ pub struct Stack {
     wakes: u64,
     vdd: Volts,
     last_inputs: (Amps, Amps, bool, bool),
+    /// Cached earliest pending board deadline (the event horizon).
+    /// `horizon_valid == false` means it must be recomputed from the
+    /// boards; boards only reschedule inside `fire_event`/`on_restart`,
+    /// so those are the sole invalidation points.
+    horizon: Option<SimTime>,
+    horizon_valid: bool,
+    /// Draw signature of the last active step: `(mode, P1, P2, SPI busy)`.
+    /// Every input to the `last_inputs` guard in [`Stack::update_currents`]
+    /// is a function of these (plus sensor device state, which only changes
+    /// on an SPI completion — a `SPI busy` edge — or in `fire_event`, which
+    /// poisons this to `None`). While the signature is unchanged the old
+    /// per-step `update_currents` call would have early-returned, so
+    /// skipping it is bit-invisible.
+    draw_sig: Option<(OperatingMode, u8, u8, bool)>,
     fault: Option<NodeFault>,
 }
 
@@ -501,6 +515,9 @@ impl Stack {
             wakes: 0,
             vdd: Volts::new(2.4),
             last_inputs: (Amps::new(-1.0), Amps::new(-1.0), false, false),
+            horizon: None,
+            horizon_valid: false,
+            draw_sig: None,
             fault: None,
         };
         node.soc_trace.record(SimTime::ZERO, node.storage.soc());
@@ -617,6 +634,22 @@ impl Stack {
         self.boards().filter_map(Board::next_event).min()
     }
 
+    /// [`Stack::next_board_event`] through the cached event horizon: the
+    /// vtable-min scan runs only after an invalidation (a board fired or
+    /// the supervisor restarted the stack), not on every scheduler pass.
+    fn board_horizon(&mut self) -> Option<SimTime> {
+        if !self.horizon_valid {
+            self.horizon = self.next_board_event();
+            self.horizon_valid = true;
+        }
+        debug_assert_eq!(
+            self.horizon,
+            self.next_board_event(),
+            "event horizon went stale: a board rescheduled outside fire_event/on_restart"
+        );
+        self.horizon
+    }
+
     /// Fires every board whose event is due, applies staged cross-board
     /// effects, and recomputes rail currents if anything fired.
     fn fire_due_events(&mut self) -> Result<(), NodeFault> {
@@ -656,6 +689,11 @@ impl Stack {
             self.mcu.drive_p1(0, true);
         }
         if fired {
+            // The fired boards rescheduled themselves, and their device
+            // state (hence their draws) may have changed outside the draw
+            // signature's view: invalidate both caches.
+            self.horizon_valid = false;
+            self.draw_sig = None;
             self.update_currents(false)?;
         }
         Ok(())
@@ -678,6 +716,9 @@ impl Stack {
             return Ok(());
         }
         self.last_inputs = inputs;
+        // A solve changes VDD: make the next active step re-derive the draw
+        // signature rather than trust one computed against the old rail.
+        self.draw_sig = None;
 
         let vbat = self.ledger.rail_voltage(self.rail);
         // VDD rail demand in stack order: controller, then sensor, then
@@ -727,6 +768,7 @@ impl Stack {
         match self.storage.supervise(now) {
             SupervisorVerdict::Unchanged => Ok(()),
             SupervisorVerdict::BrownedOut => {
+                self.draw_sig = None;
                 self.telemetry.metrics.inc("node.brownouts", 1);
                 self.telemetry
                     .record(self.now().as_nanos(), EventKind::BrownOut);
@@ -760,6 +802,8 @@ impl Stack {
                 for board in boards {
                     board.on_restart(now);
                 }
+                self.horizon_valid = false;
+                self.draw_sig = None;
                 self.last_inputs = (Amps::new(-1.0), Amps::new(-1.0), false, false);
                 self.update_currents(true)
             }
@@ -824,7 +868,7 @@ impl Stack {
             }
             let asleep = self.mcu.mode() != OperatingMode::Active && !self.mcu.has_pending_irq();
             if asleep {
-                let next = self.next_board_event().unwrap_or(end).min(end);
+                let next = self.board_horizon().unwrap_or(end).min(end);
                 let gap = next
                     .checked_duration_since(self.now())
                     .unwrap_or(SimDuration::ZERO);
@@ -853,18 +897,32 @@ impl Stack {
                 self.ledger.advance_to(self.now());
                 // Mirror pins for the bus mux; boards watch the edges.
                 let p1_now = self.mcu.p1_output();
+                let p2_now = self.mcu.p2_output();
                 self.p1.set(p1_now);
-                self.p2.set(self.mcu.p2_output());
-                let mut ctx = StackCtx {
-                    now: self.now(),
-                    vdd: self.vdd,
-                    telemetry: &mut self.telemetry,
-                    wakes: &mut self.wakes,
-                    battery_temperature: None,
-                    irq_pulse: false,
-                };
-                self.radio.on_bus(p1_before, p1_now, &mut ctx);
-                self.update_currents(false)?;
+                self.p2.set(p2_now);
+                // `on_bus` is a pure P1 edge detector (the radio watches for
+                // its PA window closing), so a step that left P1 unchanged
+                // cannot have anything to deliver.
+                if p1_now != p1_before {
+                    let mut ctx = StackCtx {
+                        now: self.now(),
+                        vdd: self.vdd,
+                        telemetry: &mut self.telemetry,
+                        wakes: &mut self.wakes,
+                        battery_temperature: None,
+                        irq_pulse: false,
+                    };
+                    self.radio.on_bus(p1_before, p1_now, &mut ctx);
+                }
+                // Draw gate: every input to `update_currents`'s change guard
+                // is a function of this signature (see the `draw_sig` field
+                // docs), so an unchanged signature means the call would have
+                // early-returned — skip it.
+                let sig = (self.mcu.mode(), p1_now, p2_now, self.mcu.spi_busy());
+                if self.draw_sig != Some(sig) {
+                    self.draw_sig = Some(sig);
+                    self.update_currents(false)?;
+                }
                 fault_guard += 1;
                 if fault_guard > 200_000_000 {
                     return Err(NodeFault::Stuck { steps: fault_guard });

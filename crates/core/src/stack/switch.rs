@@ -5,6 +5,7 @@ use super::{Board, NodeFault};
 use crate::node::PowerChainKind;
 use picocube_power::converter_ic::PowerInterfaceIc;
 use picocube_power::cots::CotsPowerChain;
+use picocube_telemetry::Metrics;
 use picocube_units::{Amps, Celsius, Volts, Watts};
 
 enum Chain {
@@ -28,11 +29,37 @@ pub struct RailSolve {
     pub vdd_out: Volts,
 }
 
+/// Exact-bit key identifying one rail operating point: the raw IEEE bits
+/// of the electrical inputs plus the switch states. Two calls with equal
+/// keys present byte-identical inputs to the (pure) solvers, so replaying
+/// a cached [`RailSolve`] is bit-invisible. The "vbat bucket" is the
+/// identity bucket — no quantization, no tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OpKey {
+    vbat: u64,
+    i_vdd: u64,
+    i_rf: u64,
+    spi_on: bool,
+    pa_on: bool,
+}
+
+/// Memo-cache capacity. A node cycles through a handful of operating
+/// points per wake (sleep, active, SPI burst, PA window), all at one
+/// settled VBAT; 32 covers several wakes of drift with room to spare.
+const OP_CACHE_CAP: usize = 32;
+
 /// The switch board: routes battery power to the other boards through the
 /// selected power train, and models the gating the board exists for.
 pub struct SwitchBoard {
     chain: Chain,
     ungated_rf_ldo: bool,
+    /// Solved operating points, most-recently-used first. A plain `Vec`
+    /// scanned linearly: the hit is almost always at the front, eviction
+    /// order is fixed (truncate the tail), and lint L3 keeps `HashMap`
+    /// out of the deterministic core anyway.
+    op_cache: Vec<(OpKey, RailSolve)>,
+    op_cache_hits: u64,
+    op_cache_misses: u64,
 }
 
 impl core::fmt::Debug for SwitchBoard {
@@ -46,7 +73,7 @@ impl core::fmt::Debug for SwitchBoard {
                 },
             )
             .field("ungated_rf_ldo", &self.ungated_rf_ldo)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
@@ -59,6 +86,9 @@ impl SwitchBoard {
         Self {
             chain,
             ungated_rf_ldo,
+            op_cache: Vec::with_capacity(OP_CACHE_CAP),
+            op_cache_hits: 0,
+            op_cache_misses: 0,
         }
     }
 
@@ -75,11 +105,49 @@ impl SwitchBoard {
     /// on the always-on rail, `i_rf` demanded by the PA, with the SPI and
     /// PA switch states selecting which converters are live.
     ///
+    /// Memoized: a previously solved operating point (exact-bit [`OpKey`])
+    /// replays its [`RailSolve`] without re-running the converter models —
+    /// the IC chain's log-space bisection runs once per *distinct* point
+    /// instead of once per transition. Failed solves are not cached, so a
+    /// fault reproduces on every attempt.
+    ///
     /// # Errors
     ///
     /// Returns [`NodeFault::PowerChain`] when a converter's operating point
     /// fails to solve — the electrical model was driven outside its domain.
     pub(super) fn rails(
+        &mut self,
+        vbat: Volts,
+        i_vdd: Amps,
+        spi_on: bool,
+        pa_on: bool,
+        i_rf: Amps,
+    ) -> Result<RailSolve, NodeFault> {
+        let key = OpKey {
+            vbat: vbat.value().to_bits(),
+            i_vdd: i_vdd.value().to_bits(),
+            i_rf: i_rf.value().to_bits(),
+            spi_on,
+            pa_on,
+        };
+        if let Some(pos) = self.op_cache.iter().position(|(k, _)| *k == key) {
+            self.op_cache_hits += 1;
+            // Move-to-front keeps the scan short and the eviction order a
+            // pure function of the node's own (deterministic) call history.
+            let hit = self.op_cache.remove(pos);
+            let solve = hit.1;
+            self.op_cache.insert(0, hit);
+            return Ok(solve);
+        }
+        let solve = self.solve_rails(vbat, i_vdd, spi_on, pa_on, i_rf)?;
+        self.op_cache_misses += 1;
+        self.op_cache.insert(0, (key, solve));
+        self.op_cache.truncate(OP_CACHE_CAP);
+        Ok(solve)
+    }
+
+    /// The uncached solver behind [`SwitchBoard::rails`].
+    fn solve_rails(
         &self,
         vbat: Volts,
         i_vdd: Amps,
@@ -172,5 +240,105 @@ impl SwitchBoard {
 impl Board for SwitchBoard {
     fn name(&self) -> &'static str {
         "switch"
+    }
+
+    fn export_metrics(&self, metrics: &mut Metrics) {
+        metrics.inc("board.switch.op_cache_hits", self.op_cache_hits);
+        metrics.inc("board.switch.op_cache_misses", self.op_cache_misses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The discrete load tuples a node cycles through: sleep, active, the
+    /// SPI burst, the PA window, and a PA tail with the bus released.
+    /// Drawing from a small pool guarantees the randomized sequences
+    /// revisit keys, exercising cache hits (including the post-brownout
+    /// `force` path, which re-solves an already-seen operating point).
+    fn op_point(idx: usize) -> (Amps, bool, bool, Amps) {
+        match idx % 5 {
+            0 => (Amps::from_micro(0.6), false, false, Amps::ZERO),
+            1 => (Amps::from_micro(300.0), false, false, Amps::ZERO),
+            2 => (Amps::from_micro(350.0), true, false, Amps::ZERO),
+            3 => (Amps::from_micro(350.0), true, true, Amps::from_micro(420.0)),
+            _ => (
+                Amps::from_micro(300.0),
+                false,
+                true,
+                Amps::from_micro(420.0),
+            ),
+        }
+    }
+
+    fn assert_bit_identical(expected: &RailSolve, actual: &RailSolve) {
+        for (e, a, rail) in [
+            (
+                expected.overhead.value(),
+                actual.overhead.value(),
+                "overhead",
+            ),
+            (
+                expected.vdd_reflected.value(),
+                actual.vdd_reflected.value(),
+                "vdd_reflected",
+            ),
+            (expected.digital.value(), actual.digital.value(), "digital"),
+            (expected.rf.value(), actual.rf.value(), "rf"),
+            (expected.vdd_out.value(), actual.vdd_out.value(), "vdd_out"),
+        ] {
+            assert_eq!(
+                e.to_bits(),
+                a.to_bits(),
+                "{rail}: cached {a} != uncached {e}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn cached_and_uncached_rails_agree_bitwise(
+            use_ic in prop::bool::ANY,
+            ungated in prop::bool::ANY,
+            seq in prop::collection::vec((0usize..5, 0usize..3), 1..120),
+        ) {
+            let kind = if use_ic {
+                PowerChainKind::IntegratedIc
+            } else {
+                PowerChainKind::Cots
+            };
+            let mut board = SwitchBoard::new(kind, ungated);
+            // Three settled VBAT levels: within one wake the battery does
+            // not move, so real call streams repeat exact vbat bits too.
+            let vbats = [Volts::new(1.18), Volts::new(1.25), Volts::new(1.32)];
+            for &(op_idx, vbat_idx) in &seq {
+                let (i_vdd, spi_on, pa_on, i_rf) = op_point(op_idx);
+                let vbat = vbats[vbat_idx];
+                let expected = board.solve_rails(vbat, i_vdd, spi_on, pa_on, i_rf);
+                let actual = board.rails(vbat, i_vdd, spi_on, pa_on, i_rf);
+                match (expected, actual) {
+                    (Ok(e), Ok(a)) => assert_bit_identical(&e, &a),
+                    (e, a) => prop_assert_eq!(
+                        e.is_err(),
+                        a.is_err(),
+                        "cached and uncached paths disagree on solvability"
+                    ),
+                }
+            }
+            // Every call is accounted a hit or a miss, and the cache stays
+            // within its fixed bound (deterministic eviction).
+            prop_assert_eq!(
+                board.op_cache_hits + board.op_cache_misses,
+                seq.len() as u64
+            );
+            prop_assert!(board.op_cache.len() <= OP_CACHE_CAP);
+            // Distinct keys are bounded by 5 load tuples x 3 vbats, so any
+            // longer sequence must have produced hits.
+            if seq.len() > 15 {
+                prop_assert!(board.op_cache_hits > 0, "no cache hits in {} calls", seq.len());
+            }
+        }
     }
 }

@@ -134,6 +134,11 @@ fn parse_lines(source: &str) -> Result<Vec<Line>> {
                 .into_iter()
                 .map(|s| s.trim().to_string())
                 .collect();
+            // Desugar emulated mnemonics once here, not in every pass:
+            // layout runs twice and emit once, so rewriting at parse time
+            // keeps the per-instruction work out of the hot reassembly path
+            // (every fleet node assembles its own image).
+            let (mnemonic, operands) = desugar(&mnemonic, &operands);
             Some(Item::Insn {
                 mnemonic,
                 byte_mode,
@@ -183,16 +188,17 @@ fn is_ident(s: &str) -> bool {
 
 /// Register name to index.
 fn register(name: &str) -> Option<usize> {
-    let lower = name.to_ascii_lowercase();
-    match lower.as_str() {
-        "pc" => Some(0),
-        "sp" => Some(1),
-        "sr" => Some(2),
-        _ => {
-            let n: usize = lower.strip_prefix('r')?.parse().ok()?;
-            (n < 16).then_some(n)
-        }
+    if name.eq_ignore_ascii_case("pc") {
+        return Some(0);
     }
+    if name.eq_ignore_ascii_case("sp") {
+        return Some(1);
+    }
+    if name.eq_ignore_ascii_case("sr") {
+        return Some(2);
+    }
+    let n: usize = name.strip_prefix(['r', 'R'])?.parse().ok()?;
+    (n < 16).then_some(n)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -344,8 +350,10 @@ const JUMPS: &[(&str, u16)] = &[
     ("jmp", 7),
 ];
 
-/// Rewrites emulated mnemonics into core ones. Returns the core mnemonic
-/// and operand list.
+/// Rewrites emulated mnemonics into core ones (applied once at parse
+/// time). Returns the core mnemonic and operand list; unknown mnemonics
+/// pass through unchanged so later passes still report them by their
+/// original spelling.
 fn desugar(mnemonic: &str, operands: &[String]) -> (String, Vec<String>) {
     let one = |s: &str| vec![s.to_string()];
     match (mnemonic, operands.len()) {
@@ -385,7 +393,7 @@ fn insn_size(
     operands: &[String],
     symbols: &HashMap<String, u16>,
 ) -> Result<u16> {
-    let (mn, ops) = desugar(mnemonic, operands);
+    let (mn, ops) = (mnemonic, operands);
     if JUMPS.iter().any(|&(m, _)| m == mn) {
         return Ok(2);
     }
@@ -635,7 +643,7 @@ fn emit(lines: &[Line], symbols: &HashMap<String, u16>, _segments: Segments) -> 
                     current_org = pc;
                     started = true;
                 }
-                let (mn, ops) = desugar(mnemonic, operands);
+                let (mn, ops) = (mnemonic, operands);
                 let bw = u16::from(*byte_mode);
                 let mut words: Vec<u16> = Vec::new();
 

@@ -302,8 +302,12 @@ impl Mcu {
         slept
     }
 
+    #[inline]
     fn tick_peripherals(&mut self, cycles: u32) {
         self.cycles += u64::from(cycles);
+        if !self.periph.needs_tick() {
+            return; // SPI idle and timer stopped: nothing can change
+        }
         let aclk_alive = self.mode() != OperatingMode::Lpm4;
         if let Some(irq) = self.periph.tick(cycles, aclk_alive) {
             self.raise(irq);

@@ -167,6 +167,16 @@ impl Peripherals {
         }
     }
 
+    /// Whether a `tick` can change any state right now: the SPI engine is
+    /// mid-transfer or the timer is running. When false the CPU may skip
+    /// the call entirely and just advance its cycle counter — the common
+    /// case for active TPMS firmware, which runs with the timer stopped
+    /// and the bus idle between transfers.
+    #[inline]
+    pub fn needs_tick(&self) -> bool {
+        self.spi_busy_cycles > 0 || self.timer_ctl & 0b001 != 0
+    }
+
     /// Advances peripheral state by `cycles` of MCLK. `aclk_alive` is false
     /// in LPM4 (OSCOFF), which freezes the timer. Returns any interrupt
     /// that became pending.
@@ -190,9 +200,11 @@ impl Peripherals {
         // Timer on ACLK (runs through LPM3, not LPM4).
         if aclk_alive && self.timer_ctl & 0b001 != 0 {
             self.aclk_accum += u64::from(cycles) * 32_768;
-            let ticks = self.aclk_accum / self.aclk_ratio_num;
-            self.aclk_accum %= self.aclk_ratio_num;
-            for _ in 0..ticks {
+            // Subtraction instead of div/mod: per-instruction calls carry at
+            // most a handful of cycles, so the accumulator crosses the ratio
+            // zero or one times and the 64-bit divide is pure overhead.
+            while self.aclk_accum >= self.aclk_ratio_num {
+                self.aclk_accum -= self.aclk_ratio_num;
                 self.timer_count = self.timer_count.wrapping_add(1);
                 if self.timer_count == self.timer_ccr0 {
                     self.timer_count = 0;

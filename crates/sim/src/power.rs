@@ -67,6 +67,14 @@ pub struct PowerLedger {
     /// Grand total accumulated alongside the per-load integrals; the
     /// debug-build sanitizer cross-checks it against their sum.
     integrated_total: Joules,
+    /// Registration-ordered `(rail, load)` indices of loads currently
+    /// drawing nonzero current, rebuilt lazily after any current change.
+    /// Purely an iteration shortcut for [`advance_to`](Self::advance_to):
+    /// the visit order matches a full scan and zero-current loads
+    /// contribute exactly `+0.0`, so the float accumulation sequence is
+    /// bit-identical to walking every load.
+    hot: Vec<(usize, usize)>,
+    hot_dirty: bool,
 }
 
 impl PowerLedger {
@@ -76,6 +84,8 @@ impl PowerLedger {
             rails: Vec::new(),
             now: SimTime::ZERO,
             integrated_total: Joules::ZERO,
+            hot: Vec::new(),
+            hot_dirty: true,
         }
     }
 
@@ -101,6 +111,7 @@ impl PowerLedger {
             current: Amps::ZERO,
             energy: Joules::ZERO,
         });
+        self.hot_dirty = true;
         LoadId {
             rail: rail.0,
             load: r.loads.len() - 1,
@@ -119,6 +130,7 @@ impl PowerLedger {
     /// currents at an event boundary.
     pub fn set_load_current(&mut self, load: LoadId, current: Amps) {
         self.rails[load.rail].loads[load.load].current = current;
+        self.hot_dirty = true;
     }
 
     /// Reads back the instantaneous current drawn by `load`.
@@ -159,12 +171,36 @@ impl PowerLedger {
     pub fn advance_to(&mut self, t: SimTime) {
         let dt: Seconds = t.duration_since(self.now).as_seconds();
         if dt.value() > 0.0 {
-            for rail in &mut self.rails {
-                for load in &mut rail.loads {
-                    let delta = rail.voltage * load.current * dt;
-                    load.energy += delta;
-                    self.integrated_total += delta;
+            // Skipping zero-current loads is bit-invisible: each would
+            // contribute exactly +0.0, and `x + 0.0 == x` bit-for-bit
+            // (energies only ever accumulate non-negative deltas, so no
+            // -0.0 exists to be normalized). Most of a node's loads are
+            // gated off at any instant, so the hot list is short.
+            if self.hot_dirty {
+                self.hot.clear();
+                for (ri, rail) in self.rails.iter().enumerate() {
+                    for (li, load) in rail.loads.iter().enumerate() {
+                        if load.current.value() != 0.0 {
+                            self.hot.push((ri, li));
+                        }
+                    }
                 }
+                self.hot_dirty = false;
+            }
+            for &(ri, li) in &self.hot {
+                // The indices were rebuilt above from the live rails, so
+                // the lookups cannot miss; `continue` keeps this panic-free
+                // for the lint without costing the hot path anything.
+                let Some(rail) = self.rails.get_mut(ri) else {
+                    continue;
+                };
+                let voltage = rail.voltage;
+                let Some(load) = rail.loads.get_mut(li) else {
+                    continue;
+                };
+                let delta = voltage * load.current * dt;
+                load.energy += delta;
+                self.integrated_total += delta;
             }
         }
         self.now = t;

@@ -44,6 +44,47 @@ fn event_streams_and_metrics_bit_identical_across_parallelism() {
 }
 
 #[test]
+fn brownout_fleet_telemetry_identical_across_parallelism() {
+    // Nodes that start below the supervisor threshold brown out at the
+    // first check and sit held in reset for ~2 h of recharge before
+    // running actively — per-node simulation cost is wildly uneven, so a
+    // work-stealing worker that lands on a held node races far ahead of
+    // its peers. The event stream and every metric (including
+    // `node.brownouts`) must still be bit-identical to the serial run.
+    let run = |parallelism| {
+        let config = FleetConfig::builder()
+            .nodes(4)
+            .base(NodeConfig {
+                harvester: HarvesterKind::Shaker,
+                initial_soc: 0.009,
+                ..NodeConfig::default()
+            })
+            .duration(SimDuration::from_secs(9_000))
+            .seed(31)
+            .parallelism(parallelism)
+            .build()
+            .expect("valid scenario");
+        let mut events: Vec<Event> = Vec::new();
+        let (outcome, metrics) = run_fleet_with(&config, &mut events);
+        (outcome, metrics, events)
+    };
+    let (serial_out, serial_metrics, serial_events) = run(Parallelism::Serial);
+    assert!(
+        serial_metrics.counter("node.brownouts") >= 4,
+        "every node must brown out (got {})",
+        serial_metrics.counter("node.brownouts")
+    );
+    let (threaded_out, threaded_metrics, threaded_events) = run(Parallelism::Threads(3));
+    assert_eq!(serial_out, threaded_out, "outcome diverged");
+    assert_eq!(serial_events, threaded_events, "event streams diverged");
+    assert_eq!(
+        serial_metrics.to_json().to_string(),
+        threaded_metrics.to_json().to_string(),
+        "metric registries diverged"
+    );
+}
+
+#[test]
 fn fleet_counters_reconcile_with_the_outcome() {
     let (out, metrics, events) = instrumented_run(11, Parallelism::Threads(2));
     assert_eq!(metrics.counter("fleet.offered"), out.offered as u64);
