@@ -114,21 +114,27 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let hardware_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // `None` when the OS cannot say (cgroup restrictions, exotic
+    // platforms) — that is *not* evidence of a single-threaded machine,
+    // so only a known count of 1 suppresses the speedup column.
+    let hardware_threads: Option<usize> =
+        std::thread::available_parallelism().ok().map(|n| n.get());
     let (sizes, duration_s, reps, sweep): (&[usize], u64, u32, &[usize]) = if args.short {
         (&[16, 64], 5, 2, &[2, 4])
     } else {
         (&[16, 64, 256], 30, 3, &[1, 2, 4, 8])
     };
 
+    let threads_shown = hardware_threads.map_or("unknown".to_string(), |n| n.to_string());
     println!(
         "fleet scaling: {duration_s} s simulated, seed {SEED}, \
-         {hardware_threads} hardware threads, serial = best of {reps}"
+         {threads_shown} hardware threads, serial = best of {reps}"
     );
-    if hardware_threads == 1 {
-        println!("single hardware thread: speedups reported as n/a");
+    if hardware_threads == Some(1) {
+        eprintln!(
+            "WARNING: single hardware thread — every worker serializes, \
+             speedups reported as n/a and scaling numbers are meaningless"
+        );
     }
     println!(
         "{:>6} {:>8} {:>12} {:>12} {:>8} {:>8} {:>10}",
@@ -176,7 +182,7 @@ fn main() {
                 merged.merge_from(&metrics);
             }
             stats.export_metrics(&mut sched_registry);
-            let speedup = (hardware_threads > 1).then_some(serial_s / threaded_s);
+            let speedup = (hardware_threads != Some(1)).then_some(serial_s / threaded_s);
             let shown = speedup.map_or("n/a".to_string(), |s| format!("{s:.2}x"));
             println!(
                 "{nodes:>6} {threads:>8} {serial_s:>11.3}s {threaded_s:>11.3}s {shown:>8} \
@@ -221,7 +227,10 @@ fn main() {
         ("bench".into(), Json::Str("fleet_scaling".into())),
         ("simulated_duration_s".into(), (duration_s as f64).to_json()),
         ("seed".into(), SEED.to_json()),
-        ("hardware_threads".into(), hardware_threads.to_json()),
+        (
+            "hardware_threads".into(),
+            hardware_threads.map_or(Json::Null, |n| n.to_json()),
+        ),
         ("serial_reps".into(), reps.to_json()),
         ("baseline".into(), baseline),
         (

@@ -3,31 +3,41 @@
 
 use picocube_mcu::firmware::{PIN_RADIO_PA, PIN_RADIO_SPI, PIN_SENSOR_CS};
 use picocube_mcu::SpiDevice;
+use picocube_radio::packet::{self, Checksum};
 use picocube_radio::{OokTransmitter, Transmission};
 use picocube_sensors::{Sca3000, Sp12};
-use picocube_sim::SimTime;
+use picocube_sim::{SimDuration, SimTime};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// A packet the node put on the air, with its RF accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransmittedPacket {
-    /// When the PA window closed (end of transmission).
+    /// When the transmission ended (the PA window closed, or — for a
+    /// multi-frame window — the next frame started).
     pub time: SimTime,
     /// The frame bytes as clocked to the radio.
     pub bytes: Vec<u8>,
     /// RF energy/duration accounting from the transmitter model.
     pub transmission: Transmission,
+    /// Whether this packet was a mesh rebroadcast (synthesized by the
+    /// relay path rather than clocked out by the firmware).
+    pub relayed: bool,
 }
 
 impl picocube_units::json::ToJson for TransmittedPacket {
     fn to_json(&self) -> picocube_units::json::Json {
         use picocube_units::json::Json;
-        Json::Obj(vec![
+        let mut obj = vec![
             ("time".into(), self.time.to_json()),
             ("bytes".into(), self.bytes.to_json()),
             ("transmission".into(), self.transmission.to_json()),
-        ])
+        ];
+        // Omitted when false, keeping pre-mesh serializations byte-stable.
+        if self.relayed {
+            obj.push(("relayed".into(), self.relayed.to_json()));
+        }
+        Json::Obj(obj)
     }
 }
 
@@ -40,8 +50,55 @@ impl picocube_units::json::FromJson for TransmittedPacket {
             time: FromJson::from_json(field(value, "time")?)?,
             bytes: FromJson::from_json(field(value, "bytes")?)?,
             transmission: FromJson::from_json(field(value, "transmission")?)?,
+            relayed: match value.get("relayed") {
+                Some(flag) => FromJson::from_json(flag)?,
+                None => false,
+            },
         })
     }
+}
+
+/// The on-air frame header every application firmware emits: two
+/// preamble bytes and the start symbol (see `picocube_radio::packet`).
+const FRAME_HEADER: [u8; 3] = [0xAA, 0xAA, 0xD3];
+
+/// Splits a PA-window buffer into consecutive well-formed frames.
+///
+/// The firmware frame format carries no length field, so the split is
+/// structural: a boundary is accepted only where the preceding segment
+/// decodes cleanly (XOR checksum) *and* the next segment starts with the
+/// frame header — and the whole buffer must be covered. Returns `None`
+/// unless that yields at least two frames, so single-frame (and
+/// unparseable) windows keep the historical one-packet accounting.
+fn split_frames(bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start < bytes.len() {
+        let rest = bytes.get(start..)?;
+        if !rest.starts_with(&FRAME_HEADER) {
+            return None;
+        }
+        // Shortest prefix that decodes and ends at the next header (or
+        // the end of the buffer).
+        let mut frame_len = None;
+        for (offset, window) in rest.windows(FRAME_HEADER.len()).enumerate().skip(1) {
+            let prefix_decodes = rest
+                .get(..offset)
+                .is_some_and(|prefix| packet::decode(prefix, Checksum::Xor).is_ok());
+            if window == FRAME_HEADER && prefix_decodes {
+                frame_len = Some(offset);
+                break;
+            }
+        }
+        let frame_len = match frame_len {
+            Some(len) => len,
+            None if packet::decode(rest, Checksum::Xor).is_ok() => rest.len(),
+            None => return None,
+        };
+        frames.push(rest.get(..frame_len)?.to_vec());
+        start += frame_len;
+    }
+    (frames.len() >= 2).then_some(frames)
 }
 
 /// The radio board's baseband side: buffers bytes the firmware clocks in
@@ -79,18 +136,52 @@ impl RadioFrontend {
         !self.buffer.is_empty()
     }
 
-    /// Closes the PA window: accounts the buffered bytes as one packet.
+    /// Closes the PA window: accounts the buffered bytes as on-air packets.
+    ///
+    /// A window holding several back-to-back frames (the alarm firmware
+    /// double-transmits inside one PA pulse) is split structurally and
+    /// accounted frame by frame: the last frame ends when the PA closes at
+    /// `at`, each earlier one when its successor starts. Buffers that do
+    /// not parse as at least two well-formed frames remain one packet.
     pub fn close_window(&mut self, at: SimTime) {
         if self.buffer.is_empty() {
             return;
         }
         let bytes = std::mem::take(&mut self.buffer);
+        let frames = split_frames(&bytes).unwrap_or_else(|| vec![bytes]);
+        let mut window: Vec<TransmittedPacket> = Vec::with_capacity(frames.len());
+        let mut end = at;
+        for frame in frames.into_iter().rev() {
+            let transmission = self.tx.transmit(&frame);
+            let start = end
+                .checked_sub(SimDuration::from_seconds(transmission.duration))
+                .unwrap_or(SimTime::ZERO);
+            window.push(TransmittedPacket {
+                time: end,
+                bytes: frame,
+                transmission,
+                relayed: false,
+            });
+            end = start;
+        }
+        window.reverse();
+        self.packets.extend(window);
+    }
+
+    /// Synthesizes a transmission that bypasses the firmware SPI path: the
+    /// mesh relay hands a received frame straight to the transmitter at
+    /// `start`. The packet is recorded with its end time and the `relayed`
+    /// marker; the RF accounting is returned for the caller's energy and
+    /// telemetry bookkeeping.
+    pub fn transmit_relay(&mut self, start: SimTime, bytes: Vec<u8>) -> Transmission {
         let transmission = self.tx.transmit(&bytes);
         self.packets.push(TransmittedPacket {
-            time: at,
+            time: start + SimDuration::from_seconds(transmission.duration),
             bytes,
             transmission,
+            relayed: true,
         });
+        transmission
     }
 
     /// All packets transmitted so far.
@@ -211,6 +302,72 @@ mod tests {
         p2.set(PIN_SENSOR_CS);
         mux.transfer(0xF0);
         assert!(!radio.borrow().window_open());
+    }
+
+    #[test]
+    fn two_frames_in_one_window_become_two_packets() {
+        let mut fe = RadioFrontend::new(OokTransmitter::picocube());
+        let frame = packet::encode(0x42, &[1, 2, 3, 4, 5, 6], Checksum::Xor);
+        for b in frame.iter().chain(&frame) {
+            fe.feed(*b);
+        }
+        fe.close_window(SimTime::from_millis(40));
+        assert_eq!(fe.packets().len(), 2, "double-tx window splits");
+        let (first, second) = (&fe.packets()[0], &fe.packets()[1]);
+        assert_eq!(first.bytes, frame);
+        assert_eq!(second.bytes, frame);
+        // The second frame ends at the PA close; the first ends where the
+        // second started.
+        assert_eq!(second.time, SimTime::from_millis(40));
+        assert_eq!(
+            first.time,
+            second
+                .time
+                .checked_sub(SimDuration::from_seconds(second.transmission.duration))
+                .expect("window start after t=0")
+        );
+        assert!(!first.relayed && !second.relayed);
+    }
+
+    #[test]
+    fn corrupt_window_stays_one_packet() {
+        // A buffer that fails structural parsing keeps the historical
+        // one-packet accounting (here: the second "frame" checksum is bad).
+        let mut fe = RadioFrontend::new(OokTransmitter::picocube());
+        let frame = packet::encode(0x42, &[1, 2, 3, 4, 5, 6], Checksum::Xor);
+        let mut bad = frame.clone();
+        if let Some(last) = bad.last_mut() {
+            *last ^= 0xFF;
+        }
+        for b in frame.iter().chain(&bad) {
+            fe.feed(*b);
+        }
+        fe.close_window(SimTime::from_millis(40));
+        assert_eq!(fe.packets().len(), 1);
+        assert_eq!(fe.packets()[0].bytes.len(), 2 * frame.len());
+    }
+
+    #[test]
+    fn relay_transmission_is_marked_and_timed() {
+        let mut fe = RadioFrontend::new(OokTransmitter::picocube());
+        let frame = packet::encode(0x07, &[1, 2, 3, 4, 5, 6], Checksum::Xor);
+        let start = SimTime::from_millis(25);
+        let transmission = fe.transmit_relay(start, frame.clone());
+        assert_eq!(fe.packets().len(), 1);
+        let p = &fe.packets()[0];
+        assert!(p.relayed);
+        assert_eq!(p.bytes, frame);
+        assert_eq!(
+            p.time,
+            start + SimDuration::from_seconds(transmission.duration)
+        );
+        // The relayed flag survives (and its absence defaults) in JSON.
+        use picocube_units::json::{FromJson, Json, ToJson};
+        let text = p.to_json().to_string();
+        assert!(text.contains("\"relayed\""));
+        let back = TransmittedPacket::from_json(&Json::parse(&text).expect("parses"))
+            .expect("round trips");
+        assert_eq!(&back, p);
     }
 
     #[test]

@@ -95,12 +95,15 @@ impl DemoStation {
         ) {
             Ok(frame) if frame.payload.len() == 6 => {
                 let axis = |hi: u8, lo: u8| Sca3000::decode(u16::from(hi) << 8 | u16::from(lo));
+                let [xh, xl, yh, yl, zh, zl] = *frame.payload.as_slice() else {
+                    return None; // unreachable: length checked by the guard
+                };
                 let sample = ReceivedSample {
                     time: packet.time,
                     node_id: frame.node_id,
-                    x: axis(frame.payload[0], frame.payload[1]),
-                    y: axis(frame.payload[2], frame.payload[3]),
-                    z: axis(frame.payload[4], frame.payload[5]),
+                    x: axis(xh, xl),
+                    y: axis(yh, yl),
+                    z: axis(zh, zl),
                 };
                 self.received.push(sample);
                 Some(sample)
@@ -139,8 +142,10 @@ impl DemoStation {
             return None;
         }
         let mut codes = [0u16; 4];
-        for (i, pair) in frame.payload.chunks_exact(2).enumerate() {
-            codes[i] = u16::from(pair[0]) << 8 | u16::from(pair[1]);
+        for (slot, pair) in codes.iter_mut().zip(frame.payload.chunks_exact(2)) {
+            if let [hi, lo] = *pair {
+                *slot = u16::from(hi) << 8 | u16::from(lo);
+            }
         }
         Some(codes)
     }
@@ -163,6 +168,7 @@ mod tests {
             time: SimTime::from_secs(1),
             bytes,
             transmission,
+            relayed: false,
         }
     }
 
@@ -199,6 +205,7 @@ mod tests {
             time: SimTime::ZERO,
             bytes,
             transmission,
+            relayed: false,
         };
         let mut station = DemoStation::demo_table(3);
         assert!(station.offer(&p).is_none());

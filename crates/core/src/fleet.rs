@@ -61,7 +61,7 @@ impl Parallelism {
 
     /// The number of worker threads this mode uses. `Threads(0)` is
     /// rejected by [`FleetConfig::validate`] before the engine ever asks.
-    fn workers(self) -> usize {
+    pub(crate) fn workers(self) -> usize {
         match self {
             Self::Serial => 1,
             Self::Threads(n) => {
@@ -333,11 +333,11 @@ const _: () = {
 /// uses the reserved stream [`MERGE_STREAM`]. Each stream depends only on
 /// `(master, index)`, so no node's draws shift when another node's
 /// consumption changes — the invariant the parallel engine relies on.
-fn node_sim_seed(master: u64, node: usize) -> u64 {
+pub(crate) fn node_sim_seed(master: u64, node: usize) -> u64 {
     SimRng::stream_seed(master, 2 * node as u64)
 }
 
-fn node_setup_rng(master: u64, node: usize) -> SimRng {
+pub(crate) fn node_setup_rng(master: u64, node: usize) -> SimRng {
     SimRng::stream(master, 2 * node as u64 + 1)
 }
 
@@ -358,7 +358,7 @@ fn fleet_node_config(config: &FleetConfig, index: usize, setup: &mut SimRng) -> 
 /// unreachable from `2 * i + 1` for any realistic fleet size.
 const MERGE_STREAM: u64 = u64::MAX;
 
-fn link_for_fleet() -> Link {
+pub(crate) fn link_for_fleet() -> Link {
     Link {
         tx_power: Dbm::new(0.8),
         tx_gain: PatchAntenna::as_built().gain_dbi(Hertz::new(1.863e9)),
@@ -408,7 +408,15 @@ pub fn simulate_node_instrumented(
         .packets()
         .into_iter()
         .map(|packet| {
-            let start = packet.time - SimDuration::from_seconds(packet.transmission.duration);
+            // `time` is the transmission's end; a packet whose modeled
+            // duration exceeds its completion timestamp (a transmission
+            // already in flight at t=0, or a corrupted report replayed
+            // into the merge) clamps to the simulation origin instead of
+            // panicking the whole fleet on u64 underflow.
+            let start = packet
+                .time
+                .checked_sub(SimDuration::from_seconds(packet.transmission.duration))
+                .unwrap_or(SimTime::ZERO);
             OnAir {
                 node: index,
                 start,
@@ -615,10 +623,83 @@ pub fn merge_fleet(config: &FleetConfig, nodes: Vec<NodeOnAir>) -> FleetOutcome 
     merge_fleet_impl(config, nodes, &mut TelemetryBuffer::new())
 }
 
+/// One transmission interval as heard at a common receiver — the input
+/// row of [`capture_sweep`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AirSlot {
+    /// Transmitting node's fleet index.
+    pub node: usize,
+    /// Transmission start.
+    pub start: SimTime,
+    /// Transmission end.
+    pub end: SimTime,
+    /// Receive level at the receiver under consideration.
+    pub rx_dbm: Dbm,
+}
+
+/// Collision + capture over `(start, node)`-sorted transmission intervals
+/// at one receiver, as a single forward sweep: slot `j > i` overlaps `i`
+/// iff it starts before `i` ends, so each pair is visited exactly once
+/// and the strongest interferer is marked in both directions.
+///
+/// Returns one flag per slot, `true` when the slot overlapped another
+/// node's transmission and failed to clear the strongest such interferer
+/// by `capture_margin` (an exact tie at the margin still captures).
+/// Overlaps between slots of the *same* node never collide — a
+/// transmitter does not jam itself, and a node's own back-to-back frames
+/// are adjacent by construction.
+pub fn capture_sweep(slots: &[AirSlot], capture_margin: Db) -> Vec<bool> {
+    debug_assert!(
+        slots.windows(2).all(|pair| match pair {
+            [a, b] => (a.start, a.node) <= (b.start, b.node),
+            _ => true,
+        }),
+        "capture_sweep input must be (start, node)-sorted"
+    );
+    let raise = |slot: &mut Option<Dbm>, level: Dbm| {
+        *slot = Some(match *slot {
+            Some(s) if s >= level => s,
+            _ => level,
+        });
+    };
+    let mut strongest: Vec<Option<Dbm>> = vec![None; slots.len()];
+    // Walk the sorted list by successively splitting off the head: each
+    // pass pairs slot i against the tail until the first non-overlap.
+    // Suffix splitting instead of index arithmetic keeps the sweep free of
+    // slice-index panic sites.
+    let mut air_rest = slots;
+    let mut strong_rest = strongest.as_mut_slice();
+    while let Some((entry_i, air_tail)) = air_rest.split_first() {
+        let Some((slot_i, strong_tail)) = std::mem::take(&mut strong_rest).split_first_mut() else {
+            break;
+        };
+        for (entry_j, slot_j) in air_tail.iter().zip(strong_tail.iter_mut()) {
+            if entry_j.start >= entry_i.end {
+                break;
+            }
+            if entry_i.node == entry_j.node {
+                continue;
+            }
+            raise(slot_i, entry_j.rx_dbm);
+            raise(slot_j, entry_i.rx_dbm);
+        }
+        air_rest = air_tail;
+        strong_rest = strong_tail;
+    }
+    slots
+        .iter()
+        .zip(&strongest)
+        .map(|(entry, interferer)| {
+            interferer.is_some_and(|level| entry.rx_dbm.margin_over(level) < capture_margin)
+        })
+        .collect()
+}
+
 /// Receive-level histogram bounds for `fleet.rx_dbm`: 10 dB decades across
 /// the plausible indoor range. The default decade bounds are built for
 /// positive magnitudes and cannot bucket dBm.
-const RX_DBM_BOUNDS: [f64; 8] = [-100.0, -90.0, -80.0, -70.0, -60.0, -50.0, -40.0, -30.0];
+pub(crate) const RX_DBM_BOUNDS: [f64; 8] =
+    [-100.0, -90.0, -80.0, -70.0, -60.0, -50.0, -40.0, -30.0];
 
 /// [`merge_fleet`], instrumenting `telemetry` with the fleet-level metrics
 /// (`fleet.offered` / `fleet.collided` / `fleet.channel_losses` /
@@ -644,47 +725,22 @@ fn merge_fleet_impl(
     // time, so (start, node) is a total order independent of arrival order.
     on_air.sort_by_key(|p| (p.start, p.node));
 
-    // Collision + capture, as a single forward sweep over the start-sorted
-    // list: packet j > i overlaps i iff it starts before i ends, so each
-    // pair is visited exactly once and marked in both directions. A packet
-    // survives overlap only if it clears the strongest interferer by the
-    // capture margin.
-    let raise = |slot: &mut Option<Dbm>, level: Dbm| {
-        *slot = Some(match *slot {
-            Some(s) if s >= level => s,
-            _ => level,
-        });
-    };
-    let mut strongest: Vec<Option<Dbm>> = vec![None; on_air.len()];
-    // Walk the sorted list by successively splitting off the head: each
-    // pass pairs packet i against the tail until the first non-overlap.
-    // Suffix splitting instead of index arithmetic keeps the sweep free of
-    // slice-index panic sites.
-    let mut air_rest = on_air.as_slice();
-    let mut strong_rest = strongest.as_mut_slice();
-    while let Some((entry_i, air_tail)) = air_rest.split_first() {
-        let Some((slot_i, strong_tail)) = std::mem::take(&mut strong_rest).split_first_mut() else {
-            break;
-        };
-        for (entry_j, slot_j) in air_tail.iter().zip(strong_tail.iter_mut()) {
-            if entry_j.start >= entry_i.end {
-                break;
-            }
-            if entry_i.node == entry_j.node {
-                continue;
-            }
-            raise(slot_i, entry_j.rx_dbm);
-            raise(slot_j, entry_i.rx_dbm);
-        }
-        air_rest = air_tail;
-        strong_rest = strong_tail;
-    }
+    let slots: Vec<AirSlot> = on_air
+        .iter()
+        .map(|p| AirSlot {
+            node: p.node,
+            start: p.start,
+            end: p.end,
+            rx_dbm: p.rx_dbm,
+        })
+        .collect();
     let mut fates = vec![PacketFate::Delivered; on_air.len()];
-    for (fate, (entry, interferer)) in fates.iter_mut().zip(on_air.iter().zip(&strongest)) {
-        if let Some(interferer) = interferer {
-            if entry.rx_dbm.margin_over(*interferer) < config.capture_margin {
-                *fate = PacketFate::Collided;
-            }
+    for (fate, collided) in fates
+        .iter_mut()
+        .zip(capture_sweep(&slots, config.capture_margin))
+    {
+        if collided {
+            *fate = PacketFate::Collided;
         }
     }
 

@@ -32,6 +32,7 @@ mod baseline;
 mod bus;
 mod demo;
 mod fleet;
+mod mesh;
 mod node;
 mod packaging;
 pub mod stack;
@@ -40,10 +41,11 @@ pub use baseline::{node_class_table, MoteClassNode, NodeClassRow};
 pub use bus::{RadioFrontend, TransmittedPacket};
 pub use demo::{DemoStation, ReceivedSample};
 pub use fleet::{
-    merge_fleet, run_fleet, run_fleet_with, run_fleet_with_stats, simulate_node,
-    simulate_node_instrumented, FleetConfig, FleetConfigBuilder, FleetConfigError, FleetOutcome,
-    FleetSchedStats, NodeOnAir, PacketFate, Parallelism,
+    capture_sweep, merge_fleet, run_fleet, run_fleet_with, run_fleet_with_stats, simulate_node,
+    simulate_node_instrumented, AirSlot, FleetConfig, FleetConfigBuilder, FleetConfigError,
+    FleetOutcome, FleetSchedStats, NodeOnAir, PacketFate, Parallelism,
 };
+pub use mesh::{run_mesh, run_mesh_with, MeshConfig, MeshConfigError, MeshOutcome};
 pub use node::{
     BuildError, HarvesterKind, NodeConfig, NodeReport, PicoCube, PowerChainKind, SensorKind,
 };

@@ -586,6 +586,65 @@ impl Stack {
         self.radio.packets()
     }
 
+    /// How many packets have been transmitted so far — a cursor for
+    /// [`packets_since`](Self::packets_since).
+    pub fn packet_count(&self) -> usize {
+        self.radio.packet_count()
+    }
+
+    /// Packets transmitted at or after cursor `from` (a prior
+    /// [`packet_count`](Self::packet_count) observation), so windowed
+    /// consumers like the mesh engine collect only the new tail.
+    pub fn packets_since(&self, from: usize) -> Vec<TransmittedPacket> {
+        self.radio.packets_since(from)
+    }
+
+    /// The fitted wakeup receiver, if any (the `wakeup_receiver` config
+    /// option or a [`fit_mesh_rx`](Self::fit_mesh_rx) detector).
+    pub fn wakeup_receiver(&self) -> Option<&picocube_radio::WakeupReceiver> {
+        self.radio.wakeup()
+    }
+
+    /// Fits the mesh receive path: installs `detector` as the always-on
+    /// wakeup receiver and arms the radio board's relay queue. Call
+    /// before running — the detector's standing listen draw starts
+    /// immediately, which is why this re-solves the rails.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if the added listen draw drives the power chain
+    /// outside its solvable domain.
+    pub fn fit_mesh_rx(
+        &mut self,
+        detector: picocube_radio::WakeupReceiver,
+    ) -> Result<(), NodeFault> {
+        self.radio.fit_rx(detector);
+        self.horizon_valid = false;
+        self.draw_sig = None;
+        self.last_inputs = (Amps::new(-1.0), Amps::new(-1.0), false, false);
+        self.update_currents(true)
+    }
+
+    /// Schedules a rebroadcast of `bytes` at `at` (clamped to the present
+    /// if already past) on the radio board's relay queue. The board wakes
+    /// the scheduler at the deadline, keys the PA for the frame's airtime
+    /// and accounts the RF energy like any firmware transmission.
+    ///
+    /// Returns `false` when the node cannot relay: no mesh receive path
+    /// fitted ([`fit_mesh_rx`](Self::fit_mesh_rx)) or a latched fault.
+    /// Pending relays are dropped if the supervisor cold-boots the node.
+    pub fn inject_relay(&mut self, at: SimTime, bytes: Vec<u8>) -> bool {
+        if self.fault.is_some() {
+            return false;
+        }
+        let accepted = self.radio.schedule_relay(at.max(self.now()), bytes);
+        if accepted {
+            // External injection: the cached event horizon is stale.
+            self.horizon_valid = false;
+        }
+        accepted
+    }
+
     /// Present battery state of charge.
     pub fn battery_soc(&self) -> f64 {
         self.storage.soc()
@@ -710,7 +769,9 @@ impl Stack {
         let radio_draw = self.radio.currents(self.vdd);
         let p1 = self.p1.get();
         let spi_on = p1 & PIN_RADIO_SPI != 0;
-        let pa_on = pa_enabled(p1);
+        // The RF LDO is keyed by the firmware's PA pin or by an in-flight
+        // mesh relay pulse (which transmits without waking the MCU).
+        let pa_on = pa_enabled(p1) || self.radio.relay_active();
         let inputs = (i_mcu, sensor_draw.vdd, spi_on, pa_on);
         if !force && inputs == self.last_inputs {
             return Ok(());

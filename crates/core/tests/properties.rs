@@ -1,0 +1,148 @@
+//! Property-based tests for the shared collision/capture sweep.
+//!
+//! [`capture_sweep`] is the one collision model every receiver in the
+//! workspace uses — the fleet sink, the mesh sink and every relay node —
+//! so its edge cases (exact ties at the capture margin, a node's own
+//! adjacent frames, overlap chains that are not cliques) are pinned here
+//! against a brute-force pairwise reference.
+
+use picocube_node::{capture_sweep, AirSlot};
+use picocube_sim::SimTime;
+use picocube_units::{Db, Dbm};
+use proptest::prelude::*;
+
+fn slot(node: usize, start_us: u64, end_us: u64, dbm: f64) -> AirSlot {
+    AirSlot {
+        node,
+        start: SimTime::from_micros(start_us),
+        end: SimTime::from_micros(end_us),
+        rx_dbm: Dbm::new(dbm),
+    }
+}
+
+/// O(n²) reference: a slot collides iff some *other* node's slot overlaps
+/// it (half-open intervals — touching endpoints do not overlap) and the
+/// strongest such interferer is not cleared by `margin`.
+fn brute_force(slots: &[AirSlot], margin: Db) -> Vec<bool> {
+    slots
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            slots
+                .iter()
+                .enumerate()
+                .filter(|&(j, b)| i != j && a.node != b.node && a.start < b.end && b.start < a.end)
+                .map(|(_, b)| b.rx_dbm)
+                .max_by(|x, y| x.partial_cmp(y).expect("levels are finite"))
+                .is_some_and(|strongest| a.rx_dbm.margin_over(strongest) < margin)
+        })
+        .collect()
+}
+
+/// Strategy: a sorted batch of transmission slots across a handful of
+/// nodes, dense enough in time that overlaps and chains are common.
+fn slots(max_len: usize) -> impl Strategy<Value = Vec<AirSlot>> {
+    prop::collection::vec((0usize..4, 0u64..400, 1u64..150, 30u64..90), 0..max_len).prop_map(
+        |raw| {
+            let mut slots: Vec<AirSlot> = raw
+                .into_iter()
+                .map(|(node, start, dur, atten)| slot(node, start, start + dur, -(atten as f64)))
+                .collect();
+            slots.sort_by_key(|s| (s.start, s.node));
+            slots
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The forward sweep agrees with the brute-force pairwise model on
+    /// arbitrary overlap structure — including three-way (and longer)
+    /// chains where a–b and b–c overlap but a–c does not, so collision
+    /// is *not* transitive and b can collide while a and c capture.
+    #[test]
+    fn sweep_matches_brute_force(slots in slots(24), margin_db in 0u64..20) {
+        let margin = Db::new(margin_db as f64);
+        prop_assert_eq!(capture_sweep(&slots, margin), brute_force(&slots, margin));
+    }
+
+    /// Equal-power overlapping transmissions from different nodes jam each
+    /// other whenever the capture margin is positive: a 0 dB advantage
+    /// never captures.
+    #[test]
+    fn equal_power_overlap_collides_both(
+        start in 0u64..100,
+        dur in 1u64..100,
+        offset in 0u64..99,
+        atten in 30u64..90,
+        margin_db in 1u64..20,
+    ) {
+        // Force a genuine overlap: the second slot starts inside the first.
+        let offset = offset % dur;
+        let mut pair = vec![
+            slot(0, start, start + dur, -(atten as f64)),
+            slot(1, start + offset, start + offset + dur, -(atten as f64)),
+        ];
+        pair.sort_by_key(|s| (s.start, s.node));
+        let flags = capture_sweep(&pair, Db::new(margin_db as f64));
+        prop_assert_eq!(flags, vec![true, true]);
+    }
+
+    /// A node's own transmissions never collide with each other, whatever
+    /// their overlap structure — back-to-back frames from one PA window
+    /// are adjacent by construction and a transmitter does not jam itself.
+    #[test]
+    fn same_node_slots_never_collide(raw in slots(16), margin_db in 0u64..20) {
+        let mut slots = raw;
+        for s in &mut slots {
+            s.node = 3;
+        }
+        let flags = capture_sweep(&slots, Db::new(margin_db as f64));
+        prop_assert!(flags.iter().all(|&collided| !collided));
+    }
+}
+
+/// An exact tie at the capture margin still captures: the collide
+/// condition is a *strict* `margin_over < capture_margin`, so a packet
+/// exactly `margin` dB above its strongest interferer survives, and one
+/// epsilon below does not. Exact dB values keep the f64 subtraction exact.
+#[test]
+fn exact_tie_at_the_capture_margin_captures() {
+    let margin = Db::new(10.0);
+    let overlap = |strong_dbm: f64| {
+        let mut pair = vec![slot(0, 0, 100, strong_dbm), slot(1, 50, 150, -70.0)];
+        pair.sort_by_key(|s| (s.start, s.node));
+        capture_sweep(&pair, margin)
+    };
+    // -60 dBm over -70 dBm is exactly the 10 dB margin: captures.
+    assert_eq!(overlap(-60.0), vec![false, true]);
+    // A hair under the margin: both lose.
+    assert_eq!(overlap(-60.5), vec![true, true]);
+}
+
+/// The canonical chain: a–b overlap, b–c overlap, a–c disjoint. With b
+/// weakest, b collides against both neighbours while a and c each clear
+/// their only interferer — collision does not propagate across the chain.
+#[test]
+fn three_way_chain_is_not_transitive() {
+    let chain = vec![
+        slot(0, 0, 100, -50.0),
+        slot(1, 80, 180, -75.0),
+        slot(2, 150, 250, -50.0),
+    ];
+    assert_eq!(
+        capture_sweep(&chain, Db::new(10.0)),
+        vec![false, true, false]
+    );
+    // Raise b to parity and the whole chain jams: a and c now face an
+    // equal-power interferer they cannot clear.
+    let mut parity = chain;
+    if let Some(b) = parity.get_mut(1) {
+        b.rx_dbm = Dbm::new(-50.0);
+    }
+    assert_eq!(
+        capture_sweep(&parity, Db::new(10.0)),
+        vec![true, true, true]
+    );
+}

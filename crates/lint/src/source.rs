@@ -370,7 +370,9 @@ pub fn scan(src: &str) -> ScannedFile {
                         let indexes = prev.kind == TokenKind::Ident
                             && !matches!(
                                 prev.text.as_str(),
-                                "return" | "in" | "else" | "match" | "break" | "as"
+                                // `let [a, b] = …` opens a slice pattern,
+                                // never an index expression.
+                                "return" | "in" | "else" | "match" | "break" | "as" | "let"
                             )
                             || prev.is_punct(')')
                             || prev.is_punct(']');
@@ -505,14 +507,17 @@ mod tests {
 
     #[test]
     fn indexing_detected_only_for_expressions() {
-        let src = "fn f(xs: &[u32], i: usize) -> u32 {\n    let a: [u8; 2] = [0, 1];\n    let v = vec![1];\n    xs[i] + u32::from(a[0]) + v[0]\n}\n";
+        let src = "fn f(xs: &[u32], i: usize) -> u32 {\n    let a: [u8; 2] = [0, 1];\n    let v = vec![1];\n    let [lo, hi] = [xs[i], 1];\n    if let [only] = *xs { return only; }\n    lo + hi + u32::from(a[0]) + v[0]\n}\n";
         let s = scan(src);
         let idx = s
             .sites
             .iter()
             .filter(|site| site.kind == SiteKind::Index)
             .count();
-        assert_eq!(idx, 3, "xs[i], a[0], v[0]");
+        assert_eq!(
+            idx, 3,
+            "xs[i], a[0], v[0] — slice patterns are not indexing"
+        );
     }
 
     #[test]

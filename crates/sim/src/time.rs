@@ -87,6 +87,15 @@ impl SimTime {
     pub fn saturating_add(self, d: SimDuration) -> Self {
         Self(self.0.saturating_add(d.0))
     }
+
+    /// The instant `d` before `self`, or `None` if that would precede the
+    /// start of the simulation. The total counterpart of the panicking
+    /// `self - d` operator, mirroring
+    /// [`checked_duration_since`](Self::checked_duration_since).
+    #[inline]
+    pub fn checked_sub(self, d: SimDuration) -> Option<Self> {
+        self.0.checked_sub(d.0).map(Self)
+    }
 }
 
 impl SimDuration {
@@ -317,6 +326,20 @@ mod tests {
         let b = SimTime::from_secs(2);
         assert_eq!(b.checked_duration_since(a), Some(SimDuration::from_secs(1)));
         assert_eq!(a.checked_duration_since(b), None);
+    }
+
+    #[test]
+    fn checked_sub_handles_underflow() {
+        let t = SimTime::from_secs(2);
+        assert_eq!(
+            t.checked_sub(SimDuration::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+        assert_eq!(
+            t.checked_sub(SimDuration::from_secs(2)),
+            Some(SimTime::ZERO)
+        );
+        assert_eq!(t.checked_sub(SimDuration::from_secs(3)), None);
     }
 
     #[test]

@@ -23,6 +23,26 @@ pub enum EventKind {
         /// RF-rail energy in microjoules.
         energy_uj: f64,
     },
+    /// A relay node's wakeup receiver detected and decoded a frame from a
+    /// neighbor (the mesh RX path).
+    Rx {
+        /// Fleet index of the transmitting node.
+        from: u32,
+        /// Hop count of the received copy (0 = heard the originator).
+        hops: u32,
+        /// Receive level at the detector in dBm.
+        level_dbm: f64,
+    },
+    /// A relay node scheduled a rebroadcast of a received frame.
+    Relay {
+        /// Fleet index of the packet's originating node.
+        origin: u32,
+        /// Hop count of the rebroadcast copy (1 = first relay).
+        hops: u32,
+    },
+    /// The wakeup receiver asserted a wake with no frame on the air
+    /// (noise-triggered, at the detector's `false_rate`).
+    FalseWake,
     /// The supply supervisor pulled the rails (battery too depleted).
     BrownOut,
     /// The cell recovered past the restart threshold; firmware cold-booted.
@@ -55,6 +75,9 @@ impl EventKind {
         match self {
             Self::Wake { .. } => "wake",
             Self::Tx { .. } => "tx",
+            Self::Rx { .. } => "rx",
+            Self::Relay { .. } => "relay",
+            Self::FalseWake => "false_wake",
             Self::BrownOut => "brown_out",
             Self::Recovered => "recovered",
             Self::PacketFate { .. } => "packet_fate",
@@ -108,7 +131,20 @@ impl ToJson for Event {
                 obj.push(("airtime_us".into(), airtime_us.to_json()));
                 obj.push(("energy_uj".into(), energy_uj.to_json()));
             }
-            EventKind::BrownOut | EventKind::Recovered => {}
+            EventKind::Rx {
+                from,
+                hops,
+                level_dbm,
+            } => {
+                obj.push(("from".into(), from.to_json()));
+                obj.push(("hops".into(), hops.to_json()));
+                obj.push(("level_dbm".into(), level_dbm.to_json()));
+            }
+            EventKind::Relay { origin, hops } => {
+                obj.push(("origin".into(), origin.to_json()));
+                obj.push(("hops".into(), hops.to_json()));
+            }
+            EventKind::FalseWake | EventKind::BrownOut | EventKind::Recovered => {}
             EventKind::PacketFate { fate } => {
                 obj.push(("fate".into(), Json::Str((*fate).into())));
             }
@@ -143,6 +179,16 @@ impl FromJson for Event {
                 airtime_us: f64::from_json(field(value, "airtime_us")?)?,
                 energy_uj: f64::from_json(field(value, "energy_uj")?)?,
             },
+            "rx" => EventKind::Rx {
+                from: u32::from_json(field(value, "from")?)?,
+                hops: u32::from_json(field(value, "hops")?)?,
+                level_dbm: f64::from_json(field(value, "level_dbm")?)?,
+            },
+            "relay" => EventKind::Relay {
+                origin: u32::from_json(field(value, "origin")?)?,
+                hops: u32::from_json(field(value, "hops")?)?,
+            },
+            "false_wake" => EventKind::FalseWake,
             "brown_out" => EventKind::BrownOut,
             "recovered" => EventKind::Recovered,
             "packet_fate" => {
@@ -211,6 +257,25 @@ mod tests {
                 t_ns: 8,
                 node: 1,
                 kind: EventKind::BrownOut,
+            },
+            Event {
+                t_ns: 10,
+                node: 4,
+                kind: EventKind::Rx {
+                    from: 3,
+                    hops: 1,
+                    level_dbm: -61.5,
+                },
+            },
+            Event {
+                t_ns: 11,
+                node: 4,
+                kind: EventKind::Relay { origin: 3, hops: 2 },
+            },
+            Event {
+                t_ns: 12,
+                node: 5,
+                kind: EventKind::FalseWake,
             },
             Event {
                 t_ns: 9,

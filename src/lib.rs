@@ -76,8 +76,9 @@ pub use picocube_units as units;
 /// ```
 pub mod prelude {
     pub use picocube_node::{
-        run_fleet, run_fleet_with, BuildError, FleetConfig, FleetConfigBuilder, FleetConfigError,
-        FleetOutcome, HarvesterKind, NodeConfig, NodeReport, Parallelism, PicoCube,
+        run_fleet, run_fleet_with, run_mesh, run_mesh_with, BuildError, FleetConfig,
+        FleetConfigBuilder, FleetConfigError, FleetOutcome, HarvesterKind, MeshConfig,
+        MeshConfigError, MeshOutcome, NodeConfig, NodeReport, Parallelism, PicoCube,
     };
     pub use picocube_sim::{SimDuration, SimRng, SimTime};
     pub use picocube_telemetry::{
