@@ -17,87 +17,34 @@
 //! Reports unique-packet delivery, the hop histogram and the relay energy
 //! bill instead of the transmit-only ALOHA table.
 
+use picocube_bench::cli::CommonArgs;
 use picocube_bench::{banner, bar};
 use picocube_node::{run_fleet_with, run_mesh_with, FleetConfig, MeshConfig, Parallelism};
 use picocube_sim::SimDuration;
 use picocube_telemetry::{summary_table, JsonlRecorder, Metrics, NullRecorder, Recorder};
 
-struct Args {
-    nodes: Vec<usize>,
-    parallelism: Parallelism,
-    telemetry: Option<String>,
-    mesh: bool,
-}
+const USAGE: &str =
+    "exp_dense_network [--nodes N[,N...]] [--threads T] [--telemetry PATH] [--mesh]";
 
-fn parse_args() -> Args {
-    let mut nodes = Vec::new();
-    let mut parallelism = Parallelism::Serial;
-    let mut telemetry = None;
-    let mut mesh = false;
-    let mut argv = std::env::args().skip(1);
-    while let Some(arg) = argv.next() {
-        match arg.as_str() {
-            "--nodes" => {
-                let list = argv
-                    .next()
-                    .expect("--nodes needs a value, e.g. --nodes 64 or 16,64");
-                nodes = list
-                    .split(',')
-                    .map(|n| {
-                        n.trim()
-                            .parse()
-                            .expect("--nodes values must be positive integers")
-                    })
-                    .collect();
-                assert!(
-                    !nodes.is_empty() && nodes.iter().all(|&n| n > 0),
-                    "--nodes needs >= 1"
-                );
-            }
-            "--threads" => {
-                let t: usize = argv
-                    .next()
-                    .expect("--threads needs a value")
-                    .parse()
-                    .expect("--threads: int");
-                parallelism = if t <= 1 {
-                    Parallelism::Serial
-                } else {
-                    Parallelism::Threads(t)
-                };
-            }
-            "--telemetry" => {
-                telemetry = Some(argv.next().expect("--telemetry needs a file path"));
-            }
-            "--mesh" => mesh = true,
-            other => panic!(
-                "unknown argument {other:?}; supported: --nodes N[,N...] --threads T \
-                 --telemetry PATH --mesh"
-            ),
-        }
-    }
-    if nodes.is_empty() {
+fn parse_args() -> CommonArgs {
+    let mut args = CommonArgs::parse_or_exit(USAGE);
+    if args.nodes.is_empty() {
         // The mesh engine couples every node through windowed sync, so its
         // default sweep stays smaller than the embarrassingly parallel
         // transmit-only one.
-        nodes = if mesh {
+        args.nodes = if args.mesh {
             vec![2, 4, 8, 12, 16]
         } else {
             vec![1, 4, 16, 64, 128, 256]
         };
     }
-    Args {
-        nodes,
-        parallelism,
-        telemetry,
-        mesh,
-    }
+    args
 }
 
 /// The `--mesh` experiment: a line of relaying nodes at 2.5 m spacing —
 /// far enough that the tail of the line is outside the sink's direct
 /// decode range and delivers only through the flooding fabric.
-fn run_mesh_sweep(args: &Args) {
+fn run_mesh_sweep(args: &CommonArgs) {
     banner(
         "E13 / §7.3 (extension)",
         "wakeup-RX relay mesh: multi-hop delivery vs fleet size",

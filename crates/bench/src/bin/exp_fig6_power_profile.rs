@@ -9,23 +9,22 @@
 //! registry, including the per-rail energy export the breakdown below is
 //! read from.
 
+use picocube_bench::cli::CommonArgs;
 use picocube_bench::{banner, bar, fmt_power};
 use picocube_node::{NodeConfig, PicoCube};
 use picocube_sim::{SimDuration, SimTime};
 use picocube_telemetry::{summary_table, JsonlRecorder, Recorder};
 
+const USAGE: &str = "exp_fig6_power_profile [--telemetry PATH]";
+
 fn parse_telemetry_arg() -> Option<String> {
-    let mut telemetry = None;
-    let mut argv = std::env::args().skip(1);
-    while let Some(arg) = argv.next() {
-        match arg.as_str() {
-            "--telemetry" => {
-                telemetry = Some(argv.next().expect("--telemetry needs a file path"));
-            }
-            other => panic!("unknown argument {other:?}; supported: --telemetry PATH"),
-        }
+    let args = CommonArgs::parse_or_exit(USAGE);
+    if !args.nodes.is_empty() || args.mesh {
+        eprintln!("error: this single-node experiment takes no --nodes/--mesh");
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
     }
-    telemetry
+    args.telemetry
 }
 
 fn main() {

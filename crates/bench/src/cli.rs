@@ -1,0 +1,187 @@
+//! Shared command-line parsing for the `exp_*` experiment binaries.
+//!
+//! Every fleet-flavoured experiment historically carried its own copy of
+//! the `--nodes/--threads/--telemetry/--mesh` parser; this module is the
+//! one shared implementation. Parsing is `Result`-based — binaries call
+//! [`CommonArgs::parse_or_exit`] which prints the error plus a usage line
+//! and exits with status 2, the conventional "bad invocation" code,
+//! instead of panicking with a backtrace at the user.
+//!
+//! ```
+//! use picocube_bench::cli::CommonArgs;
+//!
+//! let args = CommonArgs::parse(["--nodes", "4,16", "--threads", "3"].into_iter().map(String::from))
+//!     .unwrap();
+//! assert_eq!(args.nodes, vec![4, 16]);
+//! ```
+
+use picocube_node::Parallelism;
+use std::fmt;
+
+/// The flags shared by the fleet/mesh experiment binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Fleet sizes from `--nodes N[,N...]`; empty when the flag was
+    /// omitted (binaries substitute their own default sweep).
+    pub nodes: Vec<usize>,
+    /// Engine parallelism from `--threads T` (`T <= 1` means serial;
+    /// results are bit-identical either way).
+    pub parallelism: Parallelism,
+    /// JSONL event-log path from `--telemetry PATH`.
+    pub telemetry: Option<String>,
+    /// Whether `--mesh` selected the wakeup-RX relay-mesh engine.
+    pub mesh: bool,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        Self {
+            nodes: Vec::new(),
+            parallelism: Parallelism::Serial,
+            telemetry: None,
+            mesh: false,
+        }
+    }
+}
+
+/// A malformed command line, reported as `error: <Display>` next to the
+/// binary's usage string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// A flag that takes a value was last on the command line.
+    MissingValue(&'static str),
+    /// A flag's value failed to parse; carries the flag and the offending
+    /// token.
+    InvalidValue(&'static str, String),
+    /// A token no experiment binary understands.
+    UnknownArg(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            CliError::InvalidValue(flag, got) => write!(f, "{flag}: invalid value {got:?}"),
+            CliError::UnknownArg(arg) => write!(f, "unknown argument {arg:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CommonArgs {
+    /// Parses an argument iterator (without the program name).
+    ///
+    /// Accepts `--nodes N[,N...]` (positive integers), `--threads T`,
+    /// `--telemetry PATH` and `--mesh`, in any order; later occurrences
+    /// override earlier ones.
+    pub fn parse<I: Iterator<Item = String>>(mut argv: I) -> Result<Self, CliError> {
+        let mut args = CommonArgs::default();
+        while let Some(arg) = argv.next() {
+            match arg.as_str() {
+                "--nodes" => {
+                    let list = argv.next().ok_or(CliError::MissingValue("--nodes"))?;
+                    let nodes: Result<Vec<usize>, _> =
+                        list.split(',').map(|n| n.trim().parse::<usize>()).collect();
+                    args.nodes = match nodes {
+                        Ok(nodes) if !nodes.is_empty() && nodes.iter().all(|&n| n > 0) => nodes,
+                        _ => return Err(CliError::InvalidValue("--nodes", list)),
+                    };
+                }
+                "--threads" => {
+                    let value = argv.next().ok_or(CliError::MissingValue("--threads"))?;
+                    let t: usize = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| CliError::InvalidValue("--threads", value))?;
+                    args.parallelism = if t <= 1 {
+                        Parallelism::Serial
+                    } else {
+                        Parallelism::Threads(t)
+                    };
+                }
+                "--telemetry" => {
+                    args.telemetry =
+                        Some(argv.next().ok_or(CliError::MissingValue("--telemetry"))?);
+                }
+                "--mesh" => args.mesh = true,
+                other => return Err(CliError::UnknownArg(other.to_string())),
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses the process command line, printing the error and `usage`
+    /// to stderr and exiting with status 2 on a malformed invocation.
+    pub fn parse_or_exit(usage: &str) -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonArgs, CliError> {
+        CommonArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args, CommonArgs::default());
+        assert_eq!(args.parallelism, Parallelism::Serial);
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let args = parse(&[
+            "--nodes",
+            "4, 16,64",
+            "--threads",
+            "3",
+            "--telemetry",
+            "out.jsonl",
+            "--mesh",
+        ])
+        .unwrap();
+        assert_eq!(args.nodes, vec![4, 16, 64]);
+        assert_eq!(args.parallelism, Parallelism::Threads(3));
+        assert_eq!(args.telemetry.as_deref(), Some("out.jsonl"));
+        assert!(args.mesh);
+    }
+
+    #[test]
+    fn one_thread_stays_serial() {
+        let args = parse(&["--threads", "1"]).unwrap();
+        assert_eq!(args.parallelism, Parallelism::Serial);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(parse(&["--nodes"]), Err(CliError::MissingValue("--nodes")));
+        assert_eq!(
+            parse(&["--nodes", "0"]),
+            Err(CliError::InvalidValue("--nodes", "0".into()))
+        );
+        assert_eq!(
+            parse(&["--nodes", "4,x"]),
+            Err(CliError::InvalidValue("--nodes", "4,x".into()))
+        );
+        assert_eq!(
+            parse(&["--threads", "many"]),
+            Err(CliError::InvalidValue("--threads", "many".into()))
+        );
+        assert_eq!(
+            parse(&["--bogus"]),
+            Err(CliError::UnknownArg("--bogus".into()))
+        );
+    }
+}

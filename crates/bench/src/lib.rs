@@ -22,7 +22,13 @@
 //! `measured:` table produced by running the models, so paper-vs-measured
 //! comparisons (recorded in `EXPERIMENTS.md`) are regenerable with
 //! `cargo run --release -p picocube-bench --bin exp_…`.
+//!
+//! The `scenario_run` binary executes a declarative JSON scenario spec
+//! (DESIGN.md §13) instead of a hard-coded experiment, and the shared
+//! `--nodes/--threads/--telemetry/--mesh` flag parsing for all of the
+//! above lives in [`cli`].
 
+pub mod cli;
 pub mod timing;
 
 /// Prints the standard experiment header.

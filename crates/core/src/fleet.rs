@@ -32,13 +32,14 @@
 //! phase 1; both paths produce bit-identical [`FleetOutcome`]s.
 
 use crate::bus::TransmittedPacket;
-use crate::node::{NodeConfig, PicoCube};
-use crate::stack::NodeFault;
+use crate::node::{BuildError, NodeConfig, PicoCube};
+use crate::stack::{AppBoard, NodeFault, StackBuilder};
 use picocube_radio::packet::Checksum;
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
+use picocube_sensors::MotionScenario;
 use picocube_sim::{SimDuration, SimRng, SimTime};
 use picocube_telemetry::{EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
-use picocube_units::{Db, Dbm, Hertz, Meters};
+use picocube_units::{Db, Dbm, Gs, Hertz, Meters, Seconds};
 
 /// How fleet phase 1 (per-node simulation) is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,120 @@ impl Parallelism {
     }
 }
 
+/// Which application board every node in a fleet (or mesh) carries.
+///
+/// Plain data — `Copy`, `Send`, JSON-able — unlike the stack-level
+/// [`AppBoard`], which holds a built [`MotionScenario`]. The engine lowers
+/// this onto [`AppBoard`] per node, seeding each node's motion scenario
+/// from that node's own seed stream so fleets of motion nodes decorrelate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FleetApp {
+    /// Tire-pressure stack (SP12 board, TPMS firmware) — the default.
+    #[default]
+    Tpms,
+    /// §6 motion-demo stack (SCA3000 board, motion firmware).
+    Motion {
+        /// Mean rest span between handling bouts, seconds.
+        rest_s: f64,
+        /// Mean handled (shaken) span, seconds.
+        handled_s: f64,
+        /// Peak handling acceleration, g.
+        vigor_g: f64,
+    },
+    /// Timer-paced beacon stack (SCA3000 board, beacon firmware).
+    Beacon {
+        /// Mean rest span between handling bouts, seconds.
+        rest_s: f64,
+        /// Mean handled (shaken) span, seconds.
+        handled_s: f64,
+        /// Peak handling acceleration, g.
+        vigor_g: f64,
+        /// Beacon period programmed into Timer A, seconds.
+        period_s: u16,
+    },
+}
+
+impl FleetApp {
+    /// Checks the parameters [`MotionScenario::new`] would otherwise
+    /// assert on, so spec-driven configs fail typed instead of panicking.
+    pub(crate) fn validate(&self) -> Result<(), FleetConfigError> {
+        match *self {
+            Self::Tpms => Ok(()),
+            Self::Motion {
+                rest_s,
+                handled_s,
+                vigor_g,
+            }
+            | Self::Beacon {
+                rest_s,
+                handled_s,
+                vigor_g,
+                ..
+            } => {
+                if !(rest_s.is_finite() && rest_s > 0.0 && handled_s.is_finite() && handled_s > 0.0)
+                {
+                    return Err(FleetConfigError::InvalidApp(
+                        "motion rest/handled spans must be positive",
+                    ));
+                }
+                if !(vigor_g.is_finite() && vigor_g >= 0.0) {
+                    return Err(FleetConfigError::InvalidApp(
+                        "motion vigor must be non-negative",
+                    ));
+                }
+                if let Self::Beacon { period_s: 0, .. } = self {
+                    return Err(FleetConfigError::InvalidApp(
+                        "beacon period must be non-zero",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers onto the stack-level board, seeding the motion scenario from
+    /// the node's own seed. Parameters must have passed [`Self::validate`].
+    pub(crate) fn board(&self, node_seed: u64) -> AppBoard {
+        match *self {
+            Self::Tpms => AppBoard::Tpms,
+            Self::Motion {
+                rest_s,
+                handled_s,
+                vigor_g,
+            } => AppBoard::Motion {
+                scenario: MotionScenario::new(
+                    Seconds::new(rest_s),
+                    Seconds::new(handled_s),
+                    Gs::new(vigor_g),
+                    node_seed,
+                ),
+            },
+            Self::Beacon {
+                rest_s,
+                handled_s,
+                vigor_g,
+                period_s,
+            } => AppBoard::Beacon {
+                scenario: MotionScenario::new(
+                    Seconds::new(rest_s),
+                    Seconds::new(handled_s),
+                    Gs::new(vigor_g),
+                    node_seed,
+                ),
+                period_s,
+            },
+        }
+    }
+}
+
+/// Builds one fleet/mesh node's stack: the per-node config (already
+/// specialized with its identity and seed stream) under the configured
+/// application board.
+pub(crate) fn build_fleet_node(config: NodeConfig, app: FleetApp) -> Result<PicoCube, BuildError> {
+    let seed = config.seed;
+    StackBuilder::new(config).app(app.board(seed)).build()
+}
+
 /// Fleet scenario parameters.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -91,6 +206,13 @@ pub struct FleetConfig {
     /// Phase-1 execution mode. Serial and threaded runs of the same
     /// configuration produce bit-identical outcomes.
     pub parallelism: Parallelism,
+    /// Application board every node carries (motion scenarios are seeded
+    /// per node).
+    pub app: FleetApp,
+    /// Half-width of the per-node wake-timer tolerance draw, ppm. The
+    /// default 500 reproduces the historical `uniform(-500, 500)` draw
+    /// bit-identically; widening it models worse clock drift (chaos).
+    pub wake_ppm_range: f64,
 }
 
 impl Default for FleetConfig {
@@ -103,6 +225,8 @@ impl Default for FleetConfig {
             capture_margin: Db::new(10.0),
             seed: 1,
             parallelism: Parallelism::Serial,
+            app: FleetApp::Tpms,
+            wake_ppm_range: 500.0,
         }
     }
 }
@@ -119,6 +243,11 @@ pub enum FleetConfigError {
     ZeroThreads,
     /// The distance range was non-positive or reversed.
     InvalidDistanceRange,
+    /// The application-board parameters were unphysical (the inner string
+    /// names the violated invariant).
+    InvalidApp(&'static str),
+    /// The wake-timer tolerance half-width was negative or non-finite.
+    InvalidWakePpmRange,
 }
 
 impl core::fmt::Display for FleetConfigError {
@@ -129,6 +258,10 @@ impl core::fmt::Display for FleetConfigError {
             Self::ZeroThreads => "Parallelism::Threads needs at least one thread",
             Self::InvalidDistanceRange => {
                 "invalid distance range: distances must be positive and ascending"
+            }
+            Self::InvalidApp(what) => what,
+            Self::InvalidWakePpmRange => {
+                "wake timer tolerance half-width must be finite and non-negative"
             }
         })
     }
@@ -159,6 +292,10 @@ impl FleetConfig {
         }
         if !(self.distance_range.0 > 0.0 && self.distance_range.1 >= self.distance_range.0) {
             return Err(FleetConfigError::InvalidDistanceRange);
+        }
+        self.app.validate()?;
+        if !(self.wake_ppm_range.is_finite() && self.wake_ppm_range >= 0.0) {
+            return Err(FleetConfigError::InvalidWakePpmRange);
         }
         Ok(())
     }
@@ -231,6 +368,18 @@ impl FleetConfigBuilder {
     /// Sets the phase-1 execution mode.
     pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
         self.config.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the application board every node carries.
+    pub fn app(mut self, app: FleetApp) -> Self {
+        self.config.app = app;
+        self
+    }
+
+    /// Sets the half-width of the per-node wake-timer tolerance draw, ppm.
+    pub fn wake_ppm_range(mut self, half_width_ppm: f64) -> Self {
+        self.config.wake_ppm_range = half_width_ppm;
         self
     }
 
@@ -343,13 +492,20 @@ pub(crate) fn node_setup_rng(master: u64, node: usize) -> SimRng {
 
 /// The concrete [`NodeConfig`] for fleet node `index`: the shared base plus
 /// per-node identity, seed stream and deployment jitter drawn from `setup`.
-fn fleet_node_config(config: &FleetConfig, index: usize, setup: &mut SimRng) -> NodeConfig {
+pub(crate) fn fleet_node_config(
+    config: &FleetConfig,
+    index: usize,
+    setup: &mut SimRng,
+) -> NodeConfig {
     let period_ms = 6_000u64;
     NodeConfig {
         node_id: (index & 0xFF) as u8,
         seed: node_sim_seed(config.seed, index),
         first_wake_offset_ms: setup.next_u64() % period_ms,
-        wake_interval_ppm: setup.uniform(-500.0, 500.0),
+        // Scaled after the draw so the draw count/order is fixed; at the
+        // default 500 ppm the factor is exactly 1.0 and the product is
+        // bit-identical to the unscaled historical draw.
+        wake_interval_ppm: setup.uniform(-500.0, 500.0) * (config.wake_ppm_range / 500.0),
         ..config.base.clone()
     }
 }
@@ -394,7 +550,7 @@ pub fn simulate_node_instrumented(
     let mut setup = node_setup_rng(config.seed, index);
     // Per-node fields (id, seed, offsets) cannot invalidate a base config
     // that builds, and `run_fleet_with` probe-builds the base up front.
-    let mut node = PicoCube::tpms(fleet_node_config(config, index, &mut setup))
+    let mut node = build_fleet_node(fleet_node_config(config, index, &mut setup), config.app)
         // picocube-lint: allow(L2) documented `# Panics`; base pre-validated by the fleet probe
         .expect("fleet node builds");
     node.set_event_recording(record_events);
@@ -889,11 +1045,10 @@ pub fn run_fleet_with_stats(
     // Probe-build node 0 before any worker threads exist, so an invalid
     // base config fails here with its typed build error rather than as a
     // panic inside a shard thread.
-    let probe = PicoCube::tpms(fleet_node_config(
-        config,
-        0,
-        &mut node_setup_rng(config.seed, 0),
-    ));
+    let probe = build_fleet_node(
+        fleet_node_config(config, 0, &mut node_setup_rng(config.seed, 0)),
+        config.app,
+    );
     assert!(
         probe.is_ok(),
         "fleet base config does not build: {:?}",

@@ -35,6 +35,7 @@ mod fleet;
 mod mesh;
 mod node;
 mod packaging;
+pub mod scenario;
 pub mod stack;
 
 pub use baseline::{node_class_table, MoteClassNode, NodeClassRow};
@@ -42,17 +43,22 @@ pub use bus::{RadioFrontend, TransmittedPacket};
 pub use demo::{DemoStation, ReceivedSample};
 pub use fleet::{
     capture_sweep, merge_fleet, run_fleet, run_fleet_with, run_fleet_with_stats, simulate_node,
-    simulate_node_instrumented, AirSlot, FleetConfig, FleetConfigBuilder, FleetConfigError,
-    FleetOutcome, FleetSchedStats, NodeOnAir, PacketFate, Parallelism,
+    simulate_node_instrumented, AirSlot, FleetApp, FleetConfig, FleetConfigBuilder,
+    FleetConfigError, FleetOutcome, FleetSchedStats, NodeOnAir, PacketFate, Parallelism,
 };
 pub use mesh::{run_mesh, run_mesh_with, MeshConfig, MeshConfigError, MeshOutcome};
 pub use node::{
-    BuildError, HarvesterKind, NodeConfig, NodeReport, PicoCube, PowerChainKind, SensorKind,
+    BuildError, HarvestDropout, HarvesterKind, NodeConfig, NodeReport, PicoCube, PowerChainKind,
+    SensorKind, StorageKind,
 };
 pub use packaging::{
     BoardSpec, BusAllocation, ElastomerSpec, PackagingError, StackDesign, StackReport,
 };
+pub use scenario::{
+    run_scenario_with, Campaign, ChaosPlan, FleetSpec, MeshSpec, RunSummary, Scenario,
+    ScenarioError, ScenarioOutcome, SurvivalCurve, Sweep, SweepKnob,
+};
 pub use stack::{
-    Board, BoardDraw, NodeFault, RadioBoard, RailSolve, RunOutcome, SensorBoard, Stack,
+    AppBoard, Board, BoardDraw, NodeFault, RadioBoard, RailSolve, RunOutcome, SensorBoard, Stack,
     StackBuilder, StackCtx, StorageBoard, SupervisorVerdict, SwitchBoard,
 };

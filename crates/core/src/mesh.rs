@@ -33,10 +33,10 @@
 //! scheduling.
 
 use crate::fleet::{
-    capture_sweep, link_for_fleet, node_setup_rng, node_sim_seed, AirSlot, FleetOutcome,
-    Parallelism, RX_DBM_BOUNDS,
+    capture_sweep, link_for_fleet, node_setup_rng, node_sim_seed, AirSlot, FleetApp,
+    FleetConfigError, FleetOutcome, Parallelism, RX_DBM_BOUNDS,
 };
-use crate::node::{NodeConfig, PicoCube};
+use crate::node::NodeConfig;
 use crate::stack::Stack;
 use crate::TransmittedPacket;
 use picocube_radio::packet::{self, Checksum};
@@ -97,6 +97,12 @@ pub struct MeshConfig {
     /// Maximum hop count a copy may reach (1 = first relay; originals are
     /// hop 0). Rebroadcast stops at this count.
     pub max_hops: u32,
+    /// Application board every node carries (motion scenarios are seeded
+    /// per node).
+    pub app: FleetApp,
+    /// Half-width of the per-node wake-timer tolerance draw, ppm (500
+    /// reproduces the historical draw bit-identically).
+    pub wake_ppm_range: f64,
 }
 
 impl Default for MeshConfig {
@@ -113,6 +119,8 @@ impl Default for MeshConfig {
             detector: WakeupReceiver::mesh_correlator(),
             turnaround: SimDuration::from_millis(20),
             max_hops: 4,
+            app: FleetApp::Tpms,
+            wake_ppm_range: 500.0,
         }
     }
 }
@@ -133,6 +141,11 @@ pub enum MeshConfigError {
     InvalidTurnaround,
     /// Zero hops would never relay anything.
     ZeroMaxHops,
+    /// The application-board parameters were unphysical (the inner string
+    /// names the violated invariant).
+    InvalidApp(&'static str),
+    /// The wake-timer tolerance half-width was negative or non-finite.
+    InvalidWakePpmRange,
     /// The base node configuration failed its probe build.
     BaseConfig(String),
 }
@@ -150,6 +163,10 @@ impl core::fmt::Display for MeshConfigError {
                 f.write_str("turnaround must be positive and at least the detector latency")
             }
             Self::ZeroMaxHops => f.write_str("max_hops must be at least 1"),
+            Self::InvalidApp(what) => f.write_str(what),
+            Self::InvalidWakePpmRange => {
+                f.write_str("wake timer tolerance half-width must be finite and non-negative")
+            }
             Self::BaseConfig(why) => write!(f, "mesh base config does not build: {why}"),
         }
     }
@@ -183,6 +200,12 @@ impl MeshConfig {
         }
         if self.max_hops == 0 {
             return Err(MeshConfigError::ZeroMaxHops);
+        }
+        if let Err(FleetConfigError::InvalidApp(what)) = self.app.validate() {
+            return Err(MeshConfigError::InvalidApp(what));
+        }
+        if !(self.wake_ppm_range.is_finite() && self.wake_ppm_range >= 0.0) {
+            return Err(MeshConfigError::InvalidWakePpmRange);
         }
         Ok(())
     }
@@ -346,20 +369,22 @@ fn mesh_node_config(config: &MeshConfig, index: usize) -> NodeConfig {
         node_id: (index & 0xFF) as u8,
         seed: node_sim_seed(config.seed, index),
         first_wake_offset_ms: setup.next_u64() % period_ms,
-        wake_interval_ppm: setup.uniform(-500.0, 500.0),
+        // Scaled after the draw so the draw count/order is fixed; the
+        // default 500 ppm factor is exactly 1.0 (bit-identical).
+        wake_interval_ppm: setup.uniform(-500.0, 500.0) * (config.wake_ppm_range / 500.0),
         ..config.base.clone()
     }
 }
 
-/// Builds and arms one mesh node: the TPMS stack with the mesh receive
-/// path fitted and event recording set.
+/// Builds and arms one mesh node: the configured application stack with
+/// the mesh receive path fitted and event recording set.
 fn build_mesh_node(
     config: &MeshConfig,
     index: usize,
     record_events: bool,
 ) -> Result<Stack, String> {
-    let mut stack =
-        PicoCube::tpms(mesh_node_config(config, index)).map_err(|e| format!("{e:?}"))?;
+    let mut stack = crate::fleet::build_fleet_node(mesh_node_config(config, index), config.app)
+        .map_err(|e| format!("{e:?}"))?;
     stack.set_event_recording(record_events);
     stack
         .fit_mesh_rx(config.detector)

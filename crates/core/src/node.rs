@@ -8,8 +8,8 @@
 //! results (pinned by `tests/stack_compat.rs`).
 
 use crate::bus::TransmittedPacket;
-use crate::stack::{NodeFault, Stack, StackBuilder};
-use picocube_harvest::{DriveCycle, Irradiance};
+use crate::stack::{AppBoard, NodeFault, Stack, StackBuilder};
+use picocube_harvest::{DriveCycle, IndoorLightTrace, Irradiance, PiezoDrive};
 use picocube_sensors::MotionScenario;
 use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Joules, Seconds, Watts};
@@ -43,8 +43,37 @@ pub enum HarvesterKind {
     Solar(Irradiance),
     /// The bench electromagnetic shaker (450 µW average).
     Shaker,
+    /// Pible-style indoor PV panel under a scheduled office-light trace
+    /// (see `PAPERS.md`); pairs naturally with [`StorageKind::Supercap`].
+    IndoorLight(IndoorLightTrace),
+    /// Kassan-style piezoelectric beam on a duty-cycled machine
+    /// (see `PAPERS.md`).
+    Piezo(PiezoDrive),
     /// No harvester: run down the battery.
     None,
+}
+
+/// Which storage element sits on the storage board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// The as-built 15 mAh NiMH button cell (§3).
+    Nimh,
+    /// A supercapacitor bank in the cell's footprint — the Pible-style
+    /// storage for indoor-light harvesting (see `PAPERS.md`).
+    Supercap,
+}
+
+/// Deterministic square-wave harvest dropout — the chaos-plan knob that
+/// gates the harvester off for `off_s` out of every `period_s` seconds
+/// (a parked car, lights-out, a stopped machine). The phase within the
+/// period is derived from the node seed, so a fleet's dropouts are
+/// staggered but reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarvestDropout {
+    /// Square-wave period (seconds).
+    pub period_s: f64,
+    /// Portion of each period with the harvester gated off (seconds).
+    pub off_s: f64,
 }
 
 /// Node configuration.
@@ -86,6 +115,20 @@ pub struct NodeConfig {
     /// Override the SP12's 6 s wake interval (seconds), for duty-cycle
     /// design-space sweeps. `None` keeps the stock 6 s part.
     pub sample_period_s: Option<f64>,
+    /// Storage element selection (NiMH cell or supercapacitor bank).
+    pub storage: StorageKind,
+    /// Battery-aging chaos knob: remaining capacity as a fraction of the
+    /// nameplate 15 mAh, in `(0, 1]`. `1.0` is a fresh cell and is exact
+    /// (bit-identical to the un-aged path).
+    pub battery_capacity_fraction: f64,
+    /// Initial storage temperature (°C), `None` for the stock 25 °C.
+    /// Drives the NiMH temperature-dependent self-discharge
+    /// (`2^((T-25)/10)`) — the leakage chaos knob. The TPMS application
+    /// overwrites it with tire temperature on every wake; motion/beacon
+    /// nodes keep it for life.
+    pub ambient_celsius: Option<f64>,
+    /// Harvest-dropout chaos knob: square-wave gating of the harvester.
+    pub harvest_dropout: Option<HarvestDropout>,
 }
 
 impl Default for NodeConfig {
@@ -104,6 +147,10 @@ impl Default for NodeConfig {
             alarm_threshold_kpa: None,
             ungated_rf_ldo: false,
             sample_period_s: None,
+            storage: StorageKind::Nimh,
+            battery_capacity_fraction: 1.0,
+            ambient_celsius: None,
+            harvest_dropout: None,
         }
     }
 }
@@ -213,6 +260,46 @@ impl FromJson for SensorKind {
     }
 }
 
+impl ToJson for StorageKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Self::Nimh => "Nimh",
+                Self::Supercap => "Supercap",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for StorageKind {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value.as_str() {
+            Some("Nimh") => Ok(Self::Nimh),
+            Some("Supercap") => Ok(Self::Supercap),
+            _ => Err(JsonError::new("unknown StorageKind")),
+        }
+    }
+}
+
+impl ToJson for HarvestDropout {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("period_s".into(), self.period_s.to_json()),
+            ("off_s".into(), self.off_s.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HarvestDropout {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            period_s: FromJson::from_json(field(value, "period_s")?)?,
+            off_s: FromJson::from_json(field(value, "off_s")?)?,
+        })
+    }
+}
+
 impl ToJson for HarvesterKind {
     fn to_json(&self) -> Json {
         match self {
@@ -221,6 +308,8 @@ impl ToJson for HarvesterKind {
             Self::Shaker => Json::Str("Shaker".into()),
             Self::None => Json::Str("None".into()),
             Self::Solar(irr) => Json::Obj(vec![("Solar".into(), irr.to_json())]),
+            Self::IndoorLight(trace) => Json::Obj(vec![("IndoorLight".into(), trace.to_json())]),
+            Self::Piezo(drive) => Json::Obj(vec![("Piezo".into(), drive.to_json())]),
         }
     }
 }
@@ -229,6 +318,12 @@ impl FromJson for HarvesterKind {
     fn from_json(value: &Json) -> Result<Self, JsonError> {
         if let Some(irr) = value.get("Solar") {
             return Ok(Self::Solar(FromJson::from_json(irr)?));
+        }
+        if let Some(trace) = value.get("IndoorLight") {
+            return Ok(Self::IndoorLight(FromJson::from_json(trace)?));
+        }
+        if let Some(drive) = value.get("Piezo") {
+            return Ok(Self::Piezo(FromJson::from_json(drive)?));
         }
         match value.as_str() {
             Some("Automotive") => Ok(Self::Automotive),
@@ -262,6 +357,13 @@ impl ToJson for NodeConfig {
             ),
             ("ungated_rf_ldo".into(), self.ungated_rf_ldo.to_json()),
             ("sample_period_s".into(), self.sample_period_s.to_json()),
+            ("storage".into(), self.storage.to_json()),
+            (
+                "battery_capacity_fraction".into(),
+                self.battery_capacity_fraction.to_json(),
+            ),
+            ("ambient_celsius".into(), self.ambient_celsius.to_json()),
+            ("harvest_dropout".into(), self.harvest_dropout.to_json()),
         ])
     }
 }
@@ -282,6 +384,24 @@ impl FromJson for NodeConfig {
             alarm_threshold_kpa: FromJson::from_json(field(value, "alarm_threshold_kpa")?)?,
             ungated_rf_ldo: FromJson::from_json(field(value, "ungated_rf_ldo")?)?,
             sample_period_s: FromJson::from_json(field(value, "sample_period_s")?)?,
+            // Configs written before the scenario engine lack the storage
+            // and chaos knobs; default them to the exact stock behavior.
+            storage: match value.get("storage") {
+                Some(v) => FromJson::from_json(v)?,
+                None => StorageKind::Nimh,
+            },
+            battery_capacity_fraction: match value.get("battery_capacity_fraction") {
+                Some(v) => FromJson::from_json(v)?,
+                None => 1.0,
+            },
+            ambient_celsius: match value.get("ambient_celsius") {
+                Some(v) => FromJson::from_json(v)?,
+                None => None,
+            },
+            harvest_dropout: match value.get("harvest_dropout") {
+                Some(v) => FromJson::from_json(v)?,
+                None => None,
+            },
         })
     }
 }
@@ -386,25 +506,27 @@ impl Stack {
     /// Builds the tire-pressure node (SP12 board, TPMS firmware).
     ///
     /// Compatibility wrapper over [`StackBuilder`], equivalent to
-    /// `StackBuilder::new(config).tpms().build()`.
+    /// `StackBuilder::new(config).app(AppBoard::Tpms).build()`.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] for invalid configuration.
     pub fn tpms(config: NodeConfig) -> Result<Self, BuildError> {
-        StackBuilder::new(config).tpms().build()
+        StackBuilder::new(config).app(AppBoard::Tpms).build()
     }
 
     /// Builds the §6 motion-demo node (SCA3000 board, motion firmware).
     ///
     /// Compatibility wrapper over [`StackBuilder`], equivalent to
-    /// `StackBuilder::new(config).motion(scenario).build()`.
+    /// `StackBuilder::new(config).app(AppBoard::Motion { scenario }).build()`.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError`] for invalid configuration.
     pub fn motion(config: NodeConfig, scenario: MotionScenario) -> Result<Self, BuildError> {
-        StackBuilder::new(config).motion(scenario).build()
+        StackBuilder::new(config)
+            .app(AppBoard::Motion { scenario })
+            .build()
     }
 
     /// Builds the timer-paced beacon node (SCA3000 board, beacon firmware):
@@ -412,7 +534,7 @@ impl Stack {
     /// `period_s` seconds, the building-monitor configuration.
     ///
     /// Compatibility wrapper over [`StackBuilder`], equivalent to
-    /// `StackBuilder::new(config).beacon(scenario, period_s).build()`.
+    /// `StackBuilder::new(config).app(AppBoard::Beacon { scenario, period_s }).build()`.
     ///
     /// # Errors
     ///
@@ -422,7 +544,9 @@ impl Stack {
         scenario: MotionScenario,
         period_s: u16,
     ) -> Result<Self, BuildError> {
-        StackBuilder::new(config).beacon(scenario, period_s).build()
+        StackBuilder::new(config)
+            .app(AppBoard::Beacon { scenario, period_s })
+            .build()
     }
 }
 

@@ -1,0 +1,161 @@
+//! Monte Carlo campaign support: harvesting per-node first-brown-out
+//! times from the telemetry event stream and folding a seed fan of runs
+//! into a survival curve.
+//!
+//! The tracker is a [`Recorder`] shim, so survival data rides the same
+//! deterministic event stream the engines already guarantee to be
+//! bit-identical across [`Parallelism`](crate::fleet::Parallelism) modes —
+//! the campaign inherits that determinism for free.
+
+use picocube_telemetry::{Event, EventKind, Recorder};
+use picocube_units::json::{Json, ToJson};
+use std::io;
+
+/// A [`Recorder`] that watches the stream for each node's *first*
+/// [`EventKind::BrownOut`] while forwarding everything to the caller's
+/// recorder (when that recorder wants events).
+pub(super) struct SurvivalTracker<'a> {
+    inner: &'a mut dyn Recorder,
+    forward: bool,
+    first_down_ns: Vec<Option<u64>>,
+}
+
+impl<'a> SurvivalTracker<'a> {
+    pub(super) fn new(inner: &'a mut dyn Recorder, nodes: usize) -> Self {
+        let forward = inner.wants_events();
+        Self {
+            inner,
+            forward,
+            first_down_ns: vec![None; nodes],
+        }
+    }
+
+    /// Per-node first brown-out times, `None` for nodes that never went
+    /// down.
+    pub(super) fn into_first_down(self) -> Vec<Option<u64>> {
+        self.first_down_ns
+    }
+}
+
+impl Recorder for SurvivalTracker<'_> {
+    fn wants_events(&self) -> bool {
+        // The campaign needs the event stream even when the caller's
+        // recorder does not.
+        true
+    }
+
+    fn record(&mut self, event: &Event) {
+        if matches!(event.kind, EventKind::BrownOut) {
+            // Engine-level events carry NO_NODE (u32::MAX) and fall off
+            // the end of the slot table.
+            if let Some(slot) = self.first_down_ns.get_mut(event.node as usize) {
+                if slot.is_none() {
+                    *slot = Some(event.t_ns);
+                }
+            }
+        }
+        if self.forward {
+            self.inner.record(event);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.forward {
+            self.inner.flush()
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A survival curve: the fraction of nodes that have not yet browned out,
+/// sampled on a uniform time grid and averaged over a campaign's seed fan.
+///
+/// "Death" is the node's *first* brown-out — later recoveries do not
+/// resurrect it for survival purposes, matching the survival-analysis
+/// convention (time to first failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalCurve {
+    /// Simulated span the grid covers, seconds.
+    pub duration_s: f64,
+    /// Sample times, seconds (`bins` points, ending at `duration_s`).
+    pub times_s: Vec<f64>,
+    /// Mean alive fraction at each sample time, over all runs.
+    pub alive: Vec<f64>,
+}
+
+impl SurvivalCurve {
+    /// Folds the per-run first-down tables into the averaged curve.
+    /// `bins` must be positive (validated at the spec layer).
+    pub(super) fn from_runs(duration_s: f64, bins: usize, runs: &[Vec<Option<u64>>]) -> Self {
+        let times_s: Vec<f64> = (1..=bins)
+            .map(|j| duration_s * j as f64 / bins as f64)
+            .collect();
+        let total_nodes: usize = runs.iter().map(Vec::len).sum();
+        let alive = times_s
+            .iter()
+            .map(|&t| {
+                if total_nodes == 0 {
+                    return 1.0;
+                }
+                let t_ns = t * 1e9;
+                let alive_nodes: usize = runs
+                    .iter()
+                    .flat_map(|run| run.iter())
+                    .filter(|down| match down {
+                        Some(down_ns) => *down_ns as f64 > t_ns,
+                        None => true,
+                    })
+                    .count();
+                alive_nodes as f64 / total_nodes as f64
+            })
+            .collect();
+        Self {
+            duration_s,
+            times_s,
+            alive,
+        }
+    }
+
+    /// Alive fraction at the end of the run (the curve's last sample).
+    pub fn final_alive(&self) -> f64 {
+        self.alive.last().copied().unwrap_or(1.0)
+    }
+}
+
+impl ToJson for SurvivalCurve {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("duration_s".into(), self.duration_s.to_json()),
+            ("times_s".into(), self.times_s.to_json()),
+            ("alive".into(), self.alive.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_counts_first_downs_only() {
+        // Two runs of two nodes over 100 s: one node dies at 25 s, one at
+        // 75 s, two never die.
+        let runs = vec![
+            vec![Some(25_000_000_000), None],
+            vec![None, Some(75_000_000_000)],
+        ];
+        let curve = SurvivalCurve::from_runs(100.0, 4, &runs);
+        assert_eq!(curve.times_s, vec![25.0, 50.0, 75.0, 100.0]);
+        // At 25 s the first death has happened (down_ns > t_ns is false at
+        // exactly t); 3/4 alive until 75 s, then 2/4.
+        assert_eq!(curve.alive, vec![0.75, 0.75, 0.5, 0.5]);
+        assert_eq!(curve.final_alive(), 0.5);
+    }
+
+    #[test]
+    fn empty_campaign_stays_alive() {
+        let curve = SurvivalCurve::from_runs(60.0, 2, &[]);
+        assert_eq!(curve.alive, vec![1.0, 1.0]);
+    }
+}

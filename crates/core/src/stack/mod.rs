@@ -45,7 +45,6 @@ use picocube_mcu::{Mcu, OperatingMode, StepResult};
 use picocube_radio::OokTransmitter;
 use picocube_sensors::{MotionScenario, Sca3000, Sp12};
 use picocube_sim::{LoadId, PowerLedger, PowerTrace, RailId, ScalarTrace, SimDuration, SimTime};
-use picocube_storage::NimhCell;
 use picocube_telemetry::{EventKind, Metrics, TelemetryBuffer};
 use picocube_units::{Amps, Celsius, Seconds, Volts, Watts};
 use std::cell::{Cell, RefCell};
@@ -246,13 +245,25 @@ pub trait Board {
 }
 
 /// Which application firmware/sensor-board pairing the builder stacks.
-enum AppBoard {
+///
+/// This is the typed surface the declarative scenario layer lowers onto:
+/// one enum value selects the firmware image and the sensor board, and
+/// [`StackBuilder::app`] slots it. The former
+/// `tpms`/`motion`/`beacon` builder methods remain as deprecated shims.
+#[derive(Clone)]
+pub enum AppBoard {
+    /// SP12 TPMS board with the tire-pressure firmware.
     Tpms,
+    /// SCA3000 board with interrupt-driven motion firmware.
     Motion {
+        /// The scripted handling pattern driving the accelerometer.
         scenario: MotionScenario,
     },
+    /// SCA3000 board with timer-paced beacon firmware.
     Beacon {
+        /// The scripted handling pattern driving the accelerometer.
         scenario: MotionScenario,
+        /// Seconds between beacons (Timer A pacing, at least 1).
         period_s: u16,
     },
 }
@@ -276,9 +287,11 @@ impl core::fmt::Debug for AppBoard {
 /// # Examples
 ///
 /// ```
-/// use picocube_node::{NodeConfig, StackBuilder};
+/// use picocube_node::{AppBoard, NodeConfig, StackBuilder};
 ///
-/// let node = StackBuilder::new(NodeConfig::default()).tpms().build()?;
+/// let node = StackBuilder::new(NodeConfig::default())
+///     .app(AppBoard::Tpms)
+///     .build()?;
 /// assert_eq!(node.brownout_count(), 0);
 /// # Ok::<(), picocube_node::BuildError>(())
 /// ```
@@ -294,23 +307,46 @@ impl StackBuilder {
         Self { config, app: None }
     }
 
-    /// Slots the SP12 TPMS sensor board and its firmware.
-    pub fn tpms(mut self) -> Self {
-        self.app = Some(AppBoard::Tpms);
+    /// Slots the given application board (firmware + sensor pairing).
+    ///
+    /// This is the single entry point the three former per-application
+    /// builder methods collapsed into; the `Scenario` spec layer lowers
+    /// its `app` field here.
+    pub fn app(mut self, app: AppBoard) -> Self {
+        self.app = Some(app);
         self
     }
 
+    /// Slots the SP12 TPMS sensor board and its firmware.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `StackBuilder::app(AppBoard::Tpms)`; this shim will be removed \
+                once the scenario layer is the only spec surface"
+    )]
+    pub fn tpms(self) -> Self {
+        self.app(AppBoard::Tpms)
+    }
+
     /// Slots the SCA3000 motion board with interrupt-driven firmware.
-    pub fn motion(mut self, scenario: MotionScenario) -> Self {
-        self.app = Some(AppBoard::Motion { scenario });
-        self
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `StackBuilder::app(AppBoard::Motion { scenario })`; this shim \
+                will be removed once the scenario layer is the only spec surface"
+    )]
+    pub fn motion(self, scenario: MotionScenario) -> Self {
+        self.app(AppBoard::Motion { scenario })
     }
 
     /// Slots the SCA3000 board with timer-paced beacon firmware
     /// (`period_s` seconds per beacon).
-    pub fn beacon(mut self, scenario: MotionScenario, period_s: u16) -> Self {
-        self.app = Some(AppBoard::Beacon { scenario, period_s });
-        self
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `StackBuilder::app(AppBoard::Beacon { scenario, period_s })`; \
+                this shim will be removed once the scenario layer is the only spec \
+                surface"
+    )]
+    pub fn beacon(self, scenario: MotionScenario, period_s: u16) -> Self {
+        self.app(AppBoard::Beacon { scenario, period_s })
     }
 
     /// The SCA3000 accelerometer board shared by the motion and beacon
@@ -475,11 +511,10 @@ impl Stack {
             radio: frontend.clone(),
         }));
 
-        let mut battery = NimhCell::picocube();
-        battery.set_state_of_charge(config.initial_soc);
+        let cell = storage::StorageCell::for_config(&config)?;
 
         let switch = SwitchBoard::new(config.power_chain, config.ungated_rf_ldo);
-        let storage = StorageBoard::new(battery, storage::harvester_for(&config));
+        let storage = StorageBoard::new(cell, storage::harvester_for(&config)?);
         let wakeup = config
             .wakeup_receiver
             .then(picocube_radio::WakeupReceiver::bwrc);

@@ -1,18 +1,90 @@
-//! The storage board: NiMH button cell, harvester, and the supply
-//! supervisor (§3, §5).
+//! The storage board: NiMH button cell (or Pible-style supercapacitor),
+//! harvester, and the supply supervisor (§3, §5).
 
 use super::switch::SwitchBoard;
 use super::Board;
-use crate::node::{HarvesterKind, NodeConfig};
-use picocube_harvest::{ElectromagneticShaker, Harvester, SolarCladding, WheelHarvester};
+use crate::node::{BuildError, HarvestDropout, HarvesterKind, NodeConfig, StorageKind};
+use picocube_harvest::{
+    ElectromagneticShaker, Harvester, IndoorLightPanel, IndoorLightTrace, PiezoHarvester,
+    PowerError, SolarCladding, WheelHarvester,
+};
 use picocube_sim::{SimDuration, SimTime};
-use picocube_storage::{NimhCell, StorageElement};
+use picocube_storage::{CapacitorBank, NimhCell, StorageElement};
 use picocube_telemetry::Metrics;
-use picocube_units::{Amps, Celsius, Joules, Volts};
+use picocube_units::{Amps, Celsius, Coulombs, Joules, Seconds, Volts, Watts};
 
-/// Builds the configured harvester, if any.
-pub(super) fn harvester_for(config: &NodeConfig) -> Option<Box<dyn Harvester>> {
-    match &config.harvester {
+/// Maps a harvester-model parameter rejection onto the node build error.
+fn invalid_harvester(e: PowerError) -> BuildError {
+    match e {
+        PowerError::InvalidParameter { what } => BuildError::InvalidConfig(what),
+        _ => BuildError::InvalidConfig("harvester parameters out of range"),
+    }
+}
+
+/// Chaos wrapper: gates an inner harvester off for `off_s` out of every
+/// `period_s` seconds. The phase within the period is a deterministic
+/// hash of the node seed — staggering a fleet's dropouts without drawing
+/// from any simulation RNG stream (which would shift the seed-stream
+/// discipline and break bit-identity for unrelated configs).
+struct GatedHarvester {
+    inner: Box<dyn Harvester>,
+    period_s: f64,
+    on_s: f64,
+    phase_s: f64,
+}
+
+impl GatedHarvester {
+    fn new(inner: Box<dyn Harvester>, dropout: HarvestDropout, seed: u64) -> Self {
+        // splitmix64 finalizer: seed → uniform phase fraction in [0, 1).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        Self {
+            inner,
+            period_s: dropout.period_s,
+            on_s: dropout.period_s - dropout.off_s,
+            phase_s: frac * dropout.period_s,
+        }
+    }
+}
+
+impl Harvester for GatedHarvester {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn power_at(&self, t: Seconds) -> Watts {
+        if (t.value() + self.phase_s).rem_euclid(self.period_s) < self.on_s {
+            self.inner.power_at(t)
+        } else {
+            Watts::ZERO
+        }
+    }
+}
+
+/// Builds the configured harvester, if any, wrapped in the harvest-dropout
+/// chaos gate when one is configured.
+///
+/// # Errors
+///
+/// Returns [`BuildError::InvalidConfig`] for unphysical harvester or
+/// dropout parameters (specs arrive from JSON, not just from presets).
+pub(super) fn harvester_for(config: &NodeConfig) -> Result<Option<Box<dyn Harvester>>, BuildError> {
+    if let Some(d) = config.harvest_dropout {
+        if !(d.period_s.is_finite() && d.period_s > 0.0) {
+            return Err(BuildError::InvalidConfig(
+                "harvest dropout period must be positive",
+            ));
+        }
+        if !(d.off_s.is_finite() && (0.0..=d.period_s).contains(&d.off_s)) {
+            return Err(BuildError::InvalidConfig(
+                "harvest dropout off-span must be in [0, period]",
+            ));
+        }
+    }
+    let base: Option<Box<dyn Harvester>> = match &config.harvester {
         HarvesterKind::Automotive => Some(Box::new(WheelHarvester::automotive(
             config.drive_cycle.clone(),
         ))),
@@ -21,7 +93,119 @@ pub(super) fn harvester_for(config: &NodeConfig) -> Option<Box<dyn Harvester>> {
         ))),
         HarvesterKind::Solar(light) => Some(Box::new(SolarCladding::five_faces(*light))),
         HarvesterKind::Shaker => Some(Box::new(ElectromagneticShaker::bench_450uw())),
+        HarvesterKind::IndoorLight(trace) => {
+            // Re-validate: the trace may arrive from a JSON spec, and the
+            // plain-data struct carries no invariants of its own.
+            let trace =
+                IndoorLightTrace::new(trace.lit_wm2, trace.dark_wm2, trace.on_hour, trace.off_hour)
+                    .map_err(invalid_harvester)?;
+            Some(Box::new(IndoorLightPanel::pible(trace)))
+        }
+        HarvesterKind::Piezo(drive) => Some(Box::new(
+            PiezoHarvester::machine(*drive).map_err(invalid_harvester)?,
+        )),
         HarvesterKind::None => None,
+    };
+    Ok(match (base, config.harvest_dropout) {
+        (Some(inner), Some(dropout)) => {
+            Some(Box::new(GatedHarvester::new(inner, dropout, config.seed)))
+        }
+        (base, _) => base,
+    })
+}
+
+/// The storage element behind the board: the as-built NiMH cell or the
+/// Pible-style supercapacitor bank in its footprint.
+pub(super) enum StorageCell {
+    Nimh(NimhCell),
+    Supercap(CapacitorBank),
+}
+
+impl StorageCell {
+    /// Builds and charges the configured element, applying the
+    /// battery-aging and ambient-temperature chaos knobs.
+    pub(super) fn for_config(config: &NodeConfig) -> Result<Self, BuildError> {
+        let fraction = config.battery_capacity_fraction;
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(BuildError::InvalidConfig(
+                "battery capacity fraction must be in (0, 1]",
+            ));
+        }
+        if let Some(t) = config.ambient_celsius {
+            if !(t.is_finite() && (-40.0..=85.0).contains(&t)) {
+                return Err(BuildError::InvalidConfig(
+                    "ambient temperature must be in [-40, 85] degrees C",
+                ));
+            }
+        }
+        let mut cell = match config.storage {
+            StorageKind::Nimh => {
+                // Aging scales the nameplate 15 mAh; fraction 1.0 is exact
+                // (15.0 * 1.0 == 15.0 bitwise), so un-aged configs stay
+                // bit-identical to the pre-scenario engine.
+                let mut battery = NimhCell::new(Coulombs::from_milliamp_hours(15.0 * fraction));
+                battery.set_state_of_charge(config.initial_soc);
+                Self::Nimh(battery)
+            }
+            StorageKind::Supercap => {
+                if fraction != 1.0 {
+                    return Err(BuildError::InvalidConfig(
+                        "battery capacity fraction models NiMH aging; \
+                         not supported with supercap storage",
+                    ));
+                }
+                let mut bank = CapacitorBank::picocube_stack();
+                // E = C·V²/2, so SOC maps to voltage as sqrt(soc)·V_rated.
+                let v = bank.rated_voltage().value() * config.initial_soc.sqrt();
+                bank.set_voltage(Volts::new(v));
+                Self::Supercap(bank)
+            }
+        };
+        if let Some(t) = config.ambient_celsius {
+            cell.set_temperature(Celsius::new(t));
+        }
+        Ok(cell)
+    }
+
+    fn open_circuit_voltage(&self) -> Volts {
+        match self {
+            Self::Nimh(c) => c.open_circuit_voltage(),
+            Self::Supercap(c) => c.open_circuit_voltage(),
+        }
+    }
+
+    fn terminal_voltage(&self, current: Amps) -> Volts {
+        match self {
+            Self::Nimh(c) => c.terminal_voltage(current),
+            Self::Supercap(c) => c.terminal_voltage(current),
+        }
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        match self {
+            Self::Nimh(c) => c.state_of_charge(),
+            Self::Supercap(c) => c.state_of_charge(),
+        }
+    }
+
+    fn step(&mut self, current: Amps, dt: Seconds) {
+        match self {
+            Self::Nimh(c) => {
+                c.step(current, dt);
+            }
+            Self::Supercap(c) => {
+                c.step(current, dt);
+            }
+        }
+    }
+
+    /// Temperature coupling: the NiMH cell's resistance and self-discharge
+    /// track it; the capacitor model's leak is temperature-flat.
+    fn set_temperature(&mut self, t: Celsius) {
+        match self {
+            Self::Nimh(c) => c.set_temperature(t),
+            Self::Supercap(_) => {}
+        }
     }
 }
 
@@ -38,10 +222,10 @@ pub enum SupervisorVerdict {
     Recovered,
 }
 
-/// The storage board: the NiMH cell, the harvester charging it, and the
+/// The storage board: the storage cell, the harvester charging it, and the
 /// supply supervisor that holds the stack in reset on deep discharge.
 pub struct StorageBoard {
-    battery: NimhCell,
+    cell: StorageCell,
     harvester: Option<Box<dyn Harvester>>,
     harvested: Joules,
     last_update: SimTime,
@@ -63,9 +247,9 @@ impl core::fmt::Debug for StorageBoard {
 }
 
 impl StorageBoard {
-    pub(super) fn new(battery: NimhCell, harvester: Option<Box<dyn Harvester>>) -> Self {
+    pub(super) fn new(cell: StorageCell, harvester: Option<Box<dyn Harvester>>) -> Self {
         Self {
-            battery,
+            cell,
             harvester,
             harvested: Joules::ZERO,
             last_update: SimTime::ZERO,
@@ -77,7 +261,7 @@ impl StorageBoard {
 
     /// Present battery state of charge.
     pub fn soc(&self) -> f64 {
-        self.battery.state_of_charge()
+        self.cell.state_of_charge()
     }
 
     /// Total energy delivered into the cell by the harvester (after the
@@ -103,13 +287,13 @@ impl StorageBoard {
 
     /// The cell's unloaded terminal voltage (the VBAT rail level).
     pub(super) fn terminal_voltage(&self) -> Volts {
-        self.battery.terminal_voltage(Amps::ZERO)
+        self.cell.terminal_voltage(Amps::ZERO)
     }
 
     /// The cell rides on the rim at tire temperature: cold stiffens it,
     /// heat leaks it (automotive reality).
     pub(super) fn set_temperature(&mut self, t: Celsius) {
-        self.battery.set_temperature(t);
+        self.cell.set_temperature(t);
     }
 
     /// Settles harvest and consumption into the cell over the span since
@@ -142,7 +326,7 @@ impl StorageBoard {
         let drawn = consumed_total - self.last_consumed;
         self.last_consumed = consumed_total;
         let discharge_current = drawn / dt / vbat;
-        self.battery.step(charge_current - discharge_current, dt);
+        self.cell.step(charge_current - discharge_current, dt);
         self.last_update = now;
         true
     }
@@ -151,7 +335,7 @@ impl StorageBoard {
     /// rails; the node is held in reset until the cell recovers to 1.15 V
     /// (hysteresis), at which point the firmware cold-boots.
     pub(super) fn supervise(&mut self, now: SimTime) -> SupervisorVerdict {
-        let ocv = self.battery.open_circuit_voltage();
+        let ocv = self.cell.open_circuit_voltage();
         match self.browned_out {
             None => {
                 if ocv < Volts::new(1.05) {

@@ -1,0 +1,222 @@
+//! Indoor-light harvesting: a small PV panel under scheduled office
+//! lighting — the Pible workload (see `PAPERS.md`): a mote living on a
+//! few hundred lux of fluorescent light, banking the lit hours into a
+//! supercapacitor to ride through lights-out.
+
+use crate::Harvester;
+use picocube_power::PowerError;
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
+use picocube_units::{Seconds, SquareMillimeters, Watts};
+
+/// A daily square-wave lighting schedule: `lit_wm2` W/m² between
+/// `on_hour` and `off_hour`, `dark_wm2` otherwise, repeating every 24 h
+/// (scenario start is taken as midnight). An `off_hour` smaller than
+/// `on_hour` wraps past midnight (night-shift lighting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndoorLightTrace {
+    /// Irradiance while the lights are on, W/m² (a 500 lux fluorescent
+    /// office is ≈ 5).
+    pub lit_wm2: f64,
+    /// Residual irradiance after lights-out, W/m² (emergency lighting,
+    /// window glow).
+    pub dark_wm2: f64,
+    /// Hour of day the lights come on, in `[0, 24]`.
+    pub on_hour: f64,
+    /// Hour of day the lights go off, in `[0, 24]`.
+    pub off_hour: f64,
+}
+
+impl IndoorLightTrace {
+    /// Creates a schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if either irradiance is
+    /// negative or an hour falls outside `[0, 24]`.
+    pub fn new(
+        lit_wm2: f64,
+        dark_wm2: f64,
+        on_hour: f64,
+        off_hour: f64,
+    ) -> Result<Self, PowerError> {
+        if !(crate::non_negative(lit_wm2) && crate::non_negative(dark_wm2)) {
+            return Err(PowerError::InvalidParameter {
+                what: "irradiance levels must be non-negative",
+            });
+        }
+        if !((0.0..=24.0).contains(&on_hour) && (0.0..=24.0).contains(&off_hour)) {
+            return Err(PowerError::InvalidParameter {
+                what: "schedule hours must be in [0, 24]",
+            });
+        }
+        Ok(Self {
+            lit_wm2,
+            dark_wm2,
+            on_hour,
+            off_hour,
+        })
+    }
+
+    /// The Pible-style office: 5 W/m² (≈ 500 lux fluorescent) from 08:00
+    /// to 20:00, dark overnight.
+    pub fn office() -> Self {
+        // picocube-lint: allow(L2) infallible preset parameters
+        Self::new(5.0, 0.0, 8.0, 20.0).expect("valid preset parameters")
+    }
+
+    /// Irradiance at time `t` from scenario start (midnight), W/m².
+    pub fn at(&self, t: Seconds) -> f64 {
+        let hour = (t.value() / 3600.0).rem_euclid(24.0);
+        let lit = if self.on_hour <= self.off_hour {
+            hour >= self.on_hour && hour < self.off_hour
+        } else {
+            hour >= self.on_hour || hour < self.off_hour
+        };
+        if lit {
+            self.lit_wm2
+        } else {
+            self.dark_wm2
+        }
+    }
+}
+
+impl ToJson for IndoorLightTrace {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("lit_wm2".into(), self.lit_wm2.to_json()),
+            ("dark_wm2".into(), self.dark_wm2.to_json()),
+            ("on_hour".into(), self.on_hour.to_json()),
+            ("off_hour".into(), self.off_hour.to_json()),
+        ])
+    }
+}
+
+impl FromJson for IndoorLightTrace {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            lit_wm2: FromJson::from_json(field(value, "lit_wm2")?)?,
+            dark_wm2: FromJson::from_json(field(value, "dark_wm2")?)?,
+            on_hour: FromJson::from_json(field(value, "on_hour")?)?,
+            off_hour: FromJson::from_json(field(value, "off_hour")?)?,
+        })
+    }
+}
+
+/// A small amorphous-silicon panel on one face of the cube, harvesting a
+/// scheduled indoor-light trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndoorLightPanel {
+    active_area: SquareMillimeters,
+    /// Cell conversion efficiency under low-lux indoor spectra.
+    efficiency: f64,
+    trace: IndoorLightTrace,
+}
+
+impl IndoorLightPanel {
+    /// Creates a panel model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if the area is
+    /// non-positive or the efficiency is outside `(0, 1]`.
+    pub fn new(
+        active_area: SquareMillimeters,
+        efficiency: f64,
+        trace: IndoorLightTrace,
+    ) -> Result<Self, PowerError> {
+        if !crate::positive(active_area.value()) {
+            return Err(PowerError::InvalidParameter {
+                what: "area must be positive",
+            });
+        }
+        if !(crate::positive(efficiency) && efficiency <= 1.0) {
+            return Err(PowerError::InvalidParameter {
+                what: "bad efficiency: must be in (0, 1]",
+            });
+        }
+        Ok(Self {
+            active_area,
+            efficiency,
+            trace,
+        })
+    }
+
+    /// The Pible form factor: a 4 cm² amorphous-Si panel at 5 % indoor
+    /// efficiency under the given schedule (≈ 100 µW while lit in the
+    /// [`IndoorLightTrace::office`] trace).
+    pub fn pible(trace: IndoorLightTrace) -> Self {
+        // picocube-lint: allow(L2) infallible preset parameters
+        Self::new(SquareMillimeters::new(400.0), 0.05, trace).expect("valid preset parameters")
+    }
+
+    /// Total active cell area.
+    pub fn active_area(&self) -> SquareMillimeters {
+        self.active_area
+    }
+}
+
+impl Harvester for IndoorLightPanel {
+    fn name(&self) -> &'static str {
+        "indoor light panel"
+    }
+
+    fn power_at(&self, t: Seconds) -> Watts {
+        let area_m2 = self.active_area.value() * 1e-6;
+        Watts::new(self.trace.at(t) * area_m2 * self.efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn office_panel_makes_about_100_uw_while_lit() {
+        let panel = IndoorLightPanel::pible(IndoorLightTrace::office());
+        let lit = panel.power_at(Seconds::new(12.0 * 3600.0));
+        assert!((lit.micro() - 100.0).abs() < 1.0, "{lit:?}");
+        let dark = panel.power_at(Seconds::new(2.0 * 3600.0));
+        assert_eq!(dark, Watts::ZERO);
+    }
+
+    #[test]
+    fn schedule_wraps_past_midnight() {
+        let night = IndoorLightTrace::new(3.0, 0.5, 20.0, 6.0).expect("valid");
+        assert_eq!(night.at(Seconds::new(23.0 * 3600.0)), 3.0);
+        assert_eq!(night.at(Seconds::new(2.0 * 3600.0)), 3.0);
+        assert_eq!(night.at(Seconds::new(12.0 * 3600.0)), 0.5);
+    }
+
+    #[test]
+    fn schedule_repeats_daily() {
+        let t = IndoorLightTrace::office();
+        let day0 = t.at(Seconds::new(10.0 * 3600.0));
+        let day3 = t.at(Seconds::new((72.0 + 10.0) * 3600.0));
+        assert_eq!(day0, day3);
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        assert!(IndoorLightTrace::new(-1.0, 0.0, 8.0, 20.0).is_err());
+        assert!(IndoorLightTrace::new(5.0, 0.0, 25.0, 20.0).is_err());
+        assert!(IndoorLightPanel::new(
+            SquareMillimeters::new(0.0),
+            0.05,
+            IndoorLightTrace::office()
+        )
+        .is_err());
+        assert!(IndoorLightPanel::new(
+            SquareMillimeters::new(400.0),
+            1.5,
+            IndoorLightTrace::office()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = IndoorLightTrace::new(4.5, 0.25, 7.5, 19.0).expect("valid");
+        let back = IndoorLightTrace::from_json(&t.to_json()).expect("parses");
+        assert_eq!(t, back);
+    }
+}

@@ -17,18 +17,26 @@
 //! * [`VibrationBeam`] — resonant cantilever (Roundy model) for machine
 //!   vibration.
 //! * [`SolarCladding`] — photovoltaic skin on the cube faces.
+//! * [`IndoorLightPanel`] — scheduled office-light PV (the Pible workload,
+//!   see `PAPERS.md`).
+//! * [`PiezoHarvester`] — piezo beam on a duty-cycled machine (the
+//!   Kassan-style workload, see `PAPERS.md`).
 //! * [`DriveCycle`] — synthetic vehicle/bicycle speed profiles.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod drive_cycle;
+mod indoor;
+mod piezo;
 mod shaker;
 mod solar;
 mod vibration;
 mod wheel;
 
 pub use drive_cycle::{DriveCycle, DrivePhase};
+pub use indoor::{IndoorLightPanel, IndoorLightTrace};
+pub use piezo::{PiezoDrive, PiezoHarvester};
 pub use shaker::ElectromagneticShaker;
 pub use solar::{Irradiance, SolarCladding};
 pub use vibration::VibrationBeam;

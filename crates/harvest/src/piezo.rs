@@ -1,0 +1,209 @@
+//! Piezoelectric harvesting from duty-cycled machinery — the Kassan-style
+//! workload (see `PAPERS.md`): a resonant piezo beam bolted to a machine
+//! that runs in shifts, so harvest arrives in on/off bursts and the node's
+//! energy management has to bridge the idle spans.
+
+use crate::vibration::VibrationBeam;
+use crate::Harvester;
+use picocube_power::PowerError;
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
+use picocube_units::{Grams, Hertz, MetersPerSecond2, Seconds, Watts};
+
+/// The machine-side drive spec for a [`PiezoHarvester`]: how hard and at
+/// what line frequency the host machine shakes, and its on/off shift
+/// pattern. Plain data, so scenario specs can carry it as JSON.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiezoDrive {
+    /// Drive acceleration amplitude while the machine runs, m/s².
+    pub accel_ms2: f64,
+    /// Vibration line frequency, Hz.
+    pub freq_hz: f64,
+    /// Seconds per cycle with the machine running.
+    pub on_s: f64,
+    /// Seconds per cycle with the machine idle (no excitation).
+    pub off_s: f64,
+}
+
+impl PiezoDrive {
+    /// A machine-room shift: the 120 Hz line at 2.5 m/s², 40 minutes on,
+    /// 20 minutes off.
+    pub fn machine_room() -> Self {
+        Self {
+            accel_ms2: 2.5,
+            freq_hz: 120.0,
+            on_s: 2400.0,
+            off_s: 1200.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), PowerError> {
+        if !crate::non_negative(self.accel_ms2) {
+            return Err(PowerError::InvalidParameter {
+                what: "drive acceleration must be non-negative",
+            });
+        }
+        if !crate::positive(self.freq_hz) {
+            return Err(PowerError::InvalidParameter {
+                what: "drive frequency must be positive",
+            });
+        }
+        if !crate::positive(self.on_s) {
+            return Err(PowerError::InvalidParameter {
+                what: "machine on-span must be positive",
+            });
+        }
+        if !crate::non_negative(self.off_s) {
+            return Err(PowerError::InvalidParameter {
+                what: "machine off-span must be non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+impl ToJson for PiezoDrive {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("accel_ms2".into(), self.accel_ms2.to_json()),
+            ("freq_hz".into(), self.freq_hz.to_json()),
+            ("on_s".into(), self.on_s.to_json()),
+            ("off_s".into(), self.off_s.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PiezoDrive {
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            accel_ms2: FromJson::from_json(field(value, "accel_ms2")?)?,
+            freq_hz: FromJson::from_json(field(value, "freq_hz")?)?,
+            on_s: FromJson::from_json(field(value, "on_s")?)?,
+            off_s: FromJson::from_json(field(value, "off_s")?)?,
+        })
+    }
+}
+
+/// A resonant piezoelectric beam on a duty-cycled machine: the
+/// Roundy-geometry [`VibrationBeam`] (1 g proof mass, 120 Hz natural,
+/// Q = 30) excited per a [`PiezoDrive`], with the output gated by the
+/// machine's shift pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiezoHarvester {
+    beam: VibrationBeam,
+    on_s: f64,
+    off_s: f64,
+}
+
+impl PiezoHarvester {
+    /// Builds the harvester for the given machine drive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a negative
+    /// acceleration, non-positive frequency or on-span, or a negative
+    /// off-span.
+    pub fn machine(drive: PiezoDrive) -> Result<Self, PowerError> {
+        drive.validate()?;
+        let beam = VibrationBeam::new(
+            Grams::new(1.0),
+            Hertz::new(120.0),
+            30.0,
+            MetersPerSecond2::new(drive.accel_ms2),
+            Hertz::new(drive.freq_hz),
+        )?;
+        Ok(Self {
+            beam,
+            on_s: drive.on_s,
+            off_s: drive.off_s,
+        })
+    }
+
+    /// The machine-room preset: [`PiezoDrive::machine_room`] on the
+    /// Roundy beam (≈ 62 µW while the machine runs).
+    pub fn machine_room() -> Self {
+        // picocube-lint: allow(L2) infallible preset parameters
+        Self::machine(PiezoDrive::machine_room()).expect("valid preset parameters")
+    }
+
+    /// Output while the machine runs (the beam's Lorentzian response at
+    /// the drive frequency).
+    pub fn running_power(&self) -> Watts {
+        self.beam.output_power()
+    }
+}
+
+impl Harvester for PiezoHarvester {
+    fn name(&self) -> &'static str {
+        "piezo beam"
+    }
+
+    fn power_at(&self, t: Seconds) -> Watts {
+        let period = self.on_s + self.off_s;
+        let cycle = t.value().rem_euclid(period);
+        if cycle < self.on_s {
+            self.beam.output_power()
+        } else {
+            Watts::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_room_runs_at_tens_of_microwatts() {
+        let h = PiezoHarvester::machine_room();
+        let p = h.running_power().micro();
+        assert!((50.0..80.0).contains(&p), "{p} µW");
+    }
+
+    #[test]
+    fn output_gates_with_the_shift_pattern() {
+        let h = PiezoHarvester::machine_room();
+        assert!(h.power_at(Seconds::new(60.0)) > Watts::ZERO);
+        assert_eq!(h.power_at(Seconds::new(2500.0)), Watts::ZERO);
+        // Next cycle: running again.
+        assert!(h.power_at(Seconds::new(3660.0)) > Watts::ZERO);
+    }
+
+    #[test]
+    fn off_resonance_drive_rolls_off() {
+        let detuned = PiezoHarvester::machine(PiezoDrive {
+            freq_hz: 60.0,
+            ..PiezoDrive::machine_room()
+        })
+        .expect("valid");
+        assert!(
+            detuned.running_power().value()
+                < 0.1 * PiezoHarvester::machine_room().running_power().value()
+        );
+    }
+
+    #[test]
+    fn bad_drives_are_rejected() {
+        assert!(PiezoHarvester::machine(PiezoDrive {
+            accel_ms2: -1.0,
+            ..PiezoDrive::machine_room()
+        })
+        .is_err());
+        assert!(PiezoHarvester::machine(PiezoDrive {
+            on_s: 0.0,
+            ..PiezoDrive::machine_room()
+        })
+        .is_err());
+        assert!(PiezoHarvester::machine(PiezoDrive {
+            freq_hz: 0.0,
+            ..PiezoDrive::machine_room()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = PiezoDrive::machine_room();
+        let back = PiezoDrive::from_json(&d.to_json()).expect("parses");
+        assert_eq!(d, back);
+    }
+}

@@ -84,6 +84,22 @@ impl CapacitorBank {
         )
     }
 
+    /// A 1 F / 1.4 V supercapacitor sized into the NiMH button cell's
+    /// footprint and voltage window, so it drops into the PicoCube power
+    /// chain unchanged (the pump sees NiMH-like terminal voltages) — the
+    /// Pible-style storage for indoor-light harvesting (see `PAPERS.md`).
+    /// Fully charged it holds ≈ 1 J; its ≈ 300 kΩ self-leak is a standing
+    /// few-µW drain, the same order as the node itself.
+    pub fn picocube_stack() -> Self {
+        Self::new(
+            CapacitorTechnology::Supercapacitor,
+            Farads::new(1.0),
+            Volts::new(1.4),
+            Ohms::new(8.0),
+            Ohms::new(300_000.0),
+        )
+    }
+
     /// A 100 µF ceramic bypass-class capacitor.
     pub fn ceramic_100uf() -> Self {
         Self::new(

@@ -60,8 +60,11 @@ pub use picocube_units as units;
 /// The types nearly every PicoCube program touches, in one import.
 ///
 /// Covers building and running a node ([`PicoCube`](prelude::PicoCube),
-/// [`NodeConfig`](prelude::NodeConfig)), fleet scenarios
-/// ([`FleetConfig`](prelude::FleetConfig) and friends), the simulation
+/// [`NodeConfig`](prelude::NodeConfig), [`StackBuilder`](prelude::StackBuilder)
+/// with [`AppBoard`](prelude::AppBoard)), fleet scenarios
+/// ([`FleetConfig`](prelude::FleetConfig) and friends), declarative JSON
+/// scenarios ([`Scenario`](prelude::Scenario) and
+/// [`run_scenario_with`](prelude::run_scenario_with)), the simulation
 /// clock, telemetry sinks, and the most common physical quantities.
 ///
 /// # Examples
@@ -76,9 +79,10 @@ pub use picocube_units as units;
 /// ```
 pub mod prelude {
     pub use picocube_node::{
-        run_fleet, run_fleet_with, run_mesh, run_mesh_with, BuildError, FleetConfig,
-        FleetConfigBuilder, FleetConfigError, FleetOutcome, HarvesterKind, MeshConfig,
-        MeshConfigError, MeshOutcome, NodeConfig, NodeReport, Parallelism, PicoCube,
+        run_fleet, run_fleet_with, run_mesh, run_mesh_with, run_scenario_with, AppBoard,
+        BuildError, FleetApp, FleetConfig, FleetConfigBuilder, FleetConfigError, FleetOutcome,
+        HarvesterKind, MeshConfig, MeshConfigError, MeshOutcome, NodeConfig, NodeReport,
+        Parallelism, PicoCube, Scenario, ScenarioError, ScenarioOutcome, StackBuilder,
     };
     pub use picocube_sim::{SimDuration, SimRng, SimTime};
     pub use picocube_telemetry::{
