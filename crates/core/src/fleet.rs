@@ -38,7 +38,7 @@ use picocube_radio::packet::Checksum;
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
 use picocube_sensors::MotionScenario;
 use picocube_sim::{SimDuration, SimRng, SimTime};
-use picocube_telemetry::{EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
+use picocube_telemetry::{keys, EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
 use picocube_units::{Db, Dbm, Gs, Hertz, Meters, Seconds};
 
 /// How fleet phase 1 (per-node simulation) is executed.
@@ -641,10 +641,10 @@ impl FleetSchedStats {
     /// — never into the merged fleet registry, whose serial/threaded
     /// bit-identity these wall-clock-dependent numbers would break.
     pub fn export_metrics(&self, metrics: &mut Metrics) {
-        metrics.inc("fleet.sched.workers", self.workers as u64);
-        metrics.inc("fleet.sched.chunks", self.chunks as u64);
-        metrics.inc("fleet.sched.chunk_size", self.chunk_size as u64);
-        metrics.inc("fleet.sched.steals", self.steals());
+        metrics.inc(keys::FLEET_SCHED_WORKERS, self.workers as u64);
+        metrics.inc(keys::FLEET_SCHED_CHUNKS, self.chunks as u64);
+        metrics.inc(keys::FLEET_SCHED_CHUNK_SIZE, self.chunk_size as u64);
+        metrics.inc(keys::FLEET_SCHED_STEALS, self.steals());
     }
 }
 
@@ -940,11 +940,11 @@ fn merge_fleet_impl(
     // fills are deterministic regardless of how phase 1 was scheduled.
     telemetry
         .metrics
-        .register_histogram("fleet.rx_dbm", &RX_DBM_BOUNDS);
+        .register_histogram(keys::FLEET_RX_DBM, &RX_DBM_BOUNDS);
     for (entry, fate) in on_air.iter().zip(&fates) {
         telemetry
             .metrics
-            .observe("fleet.rx_dbm", entry.rx_dbm.value());
+            .observe(keys::FLEET_RX_DBM, entry.rx_dbm.value());
         let fate = match fate {
             PacketFate::Delivered => "delivered",
             PacketFate::Collided => "collided",
@@ -956,21 +956,27 @@ fn merge_fleet_impl(
             EventKind::PacketFate { fate },
         );
     }
-    telemetry.metrics.inc("fleet.offered", on_air.len() as u64);
-    telemetry.metrics.inc("fleet.collided", collided as u64);
     telemetry
         .metrics
-        .inc("fleet.channel_losses", channel_losses as u64);
-    telemetry.metrics.inc("fleet.delivered", delivered as u64);
+        .inc(keys::FLEET_OFFERED, on_air.len() as u64);
+    telemetry.metrics.inc(keys::FLEET_COLLIDED, collided as u64);
     telemetry
         .metrics
-        .inc("fleet.faulted_nodes", faulted_nodes as u64);
+        .inc(keys::FLEET_CHANNEL_LOSSES, channel_losses as u64);
+    telemetry
+        .metrics
+        .inc(keys::FLEET_DELIVERED, delivered as u64);
+    telemetry
+        .metrics
+        .inc(keys::FLEET_FAULTED_NODES, faulted_nodes as u64);
     let offered_load = if elapsed > 0.0 {
         airtime / elapsed
     } else {
         0.0
     };
-    telemetry.metrics.add("fleet.offered_load", offered_load);
+    telemetry
+        .metrics
+        .add(keys::FLEET_OFFERED_LOAD, offered_load);
 
     FleetOutcome {
         offered: on_air.len(),

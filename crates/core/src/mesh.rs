@@ -42,7 +42,7 @@ use crate::TransmittedPacket;
 use picocube_radio::packet::{self, Checksum};
 use picocube_radio::{SuperRegenReceiver, WakeupReceiver};
 use picocube_sim::{SimDuration, SimRng, SimTime};
-use picocube_telemetry::{EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
+use picocube_telemetry::{keys, EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
 use picocube_units::{Db, Dbm, Meters, Seconds};
 use std::sync::{Barrier, Mutex, MutexGuard};
 
@@ -552,16 +552,16 @@ fn match_window(
             }
             if *was_collided {
                 state.rx_collisions += 1;
-                state.telemetry.metrics.inc("mesh.rx.collided", 1);
+                state.telemetry.metrics.inc(keys::MESH_RX_COLLIDED, 1);
                 continue;
             }
             if own.iter().any(|&(s, e)| tx.start < e && s < tx.end) {
                 // Half-duplex: the receiver was transmitting itself.
-                state.telemetry.metrics.inc("mesh.rx.half_duplex", 1);
+                state.telemetry.metrics.inc(keys::MESH_RX_HALF_DUPLEX, 1);
                 continue;
             }
             state.receptions += 1;
-            state.telemetry.metrics.inc("mesh.rx.detected", 1);
+            state.telemetry.metrics.inc(keys::MESH_RX_DETECTED, 1);
             let detect_at = tx.end + latency;
             if state.telemetry.events_enabled() {
                 state.telemetry.record_for(
@@ -580,11 +580,11 @@ fn match_window(
             };
             if !fresh {
                 state.duplicates += 1;
-                state.telemetry.metrics.inc("mesh.rx.duplicates", 1);
+                state.telemetry.metrics.inc(keys::MESH_RX_DUPLICATES, 1);
                 continue;
             }
             if tx.hops + 1 > config.max_hops {
-                state.telemetry.metrics.inc("mesh.relay.hop_limited", 1);
+                state.telemetry.metrics.inc(keys::MESH_RELAY_HOP_LIMITED, 1);
                 continue;
             }
             let relay_at = tx.end + config.turnaround;
@@ -597,7 +597,7 @@ fn match_window(
                 });
             }
             state.relays_injected += 1;
-            state.telemetry.metrics.inc("mesh.relay.injected", 1);
+            state.telemetry.metrics.inc(keys::MESH_RELAY_INJECTED, 1);
             if state.telemetry.events_enabled() {
                 state.telemetry.record_for(
                     receiver as u32,
@@ -679,7 +679,7 @@ pub fn run_mesh_with(
     for index in 0..config.nodes {
         for at in false_wake_times(config, index) {
             false_wakes += 1;
-            state.telemetry.metrics.inc("mesh.false_wakes", 1);
+            state.telemetry.metrics.inc(keys::MESH_FALSE_WAKES, 1);
             if record_events {
                 state
                     .telemetry
@@ -916,10 +916,10 @@ fn sink_phase(
 
     engine
         .metrics
-        .register_histogram("mesh.sink.rx_dbm", &RX_DBM_BOUNDS);
+        .register_histogram(keys::MESH_SINK_RX_DBM, &RX_DBM_BOUNDS);
     engine
         .metrics
-        .register_histogram("mesh.delivered_hops", &HOP_BOUNDS);
+        .register_histogram(keys::MESH_DELIVERED_HOPS, &HOP_BOUNDS);
 
     for ((tx, slot), was_collided) in txs.iter().zip(&slots).zip(&collided_flags) {
         if let Some(count) = per_node_offered.get_mut(tx.node) {
@@ -927,7 +927,7 @@ fn sink_phase(
         }
         engine
             .metrics
-            .observe("mesh.sink.rx_dbm", slot.rx_dbm.value());
+            .observe(keys::MESH_SINK_RX_DBM, slot.rx_dbm.value());
         let fate = if *was_collided {
             collided += 1;
             "collided"
@@ -947,7 +947,7 @@ fn sink_phase(
                 }
                 engine
                     .metrics
-                    .observe("mesh.delivered_hops", f64::from(tx.hops));
+                    .observe(keys::MESH_DELIVERED_HOPS, f64::from(tx.hops));
                 let key = (tx.origin, tx.seq);
                 if let Err(pos) = delivered_keys.binary_search(&key) {
                     delivered_keys.insert(pos, key);
@@ -980,24 +980,24 @@ fn sink_phase(
 
     let unique_offered: usize = state.nodes.iter().map(|n| n.seq as usize).sum();
     let dropped: usize = state.nodes.iter().map(|n| n.pending.len()).sum();
-    engine.metrics.inc("mesh.offered", txs.len() as u64);
-    engine.metrics.inc("mesh.collided", collided as u64);
+    engine.metrics.inc(keys::MESH_OFFERED, txs.len() as u64);
+    engine.metrics.inc(keys::MESH_COLLIDED, collided as u64);
     engine
         .metrics
-        .inc("mesh.channel_losses", channel_losses as u64);
-    engine.metrics.inc("mesh.delivered", delivered as u64);
+        .inc(keys::MESH_CHANNEL_LOSSES, channel_losses as u64);
+    engine.metrics.inc(keys::MESH_DELIVERED, delivered as u64);
     engine
         .metrics
-        .inc("mesh.unique.offered", unique_offered as u64);
+        .inc(keys::MESH_UNIQUE_OFFERED, unique_offered as u64);
     engine
         .metrics
-        .inc("mesh.unique.delivered", delivered_keys.len() as u64);
+        .inc(keys::MESH_UNIQUE_DELIVERED, delivered_keys.len() as u64);
     engine
         .metrics
-        .inc("mesh.relay.on_air", state.relays_on_air as u64);
-    engine.metrics.inc("mesh.relay.dropped", dropped as u64);
-    engine.metrics.inc("mesh.faulted_nodes", faulted as u64);
-    engine.metrics.add("mesh.offered_load", offered_load);
+        .inc(keys::MESH_RELAY_ON_AIR, state.relays_on_air as u64);
+    engine.metrics.inc(keys::MESH_RELAY_DROPPED, dropped as u64);
+    engine.metrics.inc(keys::MESH_FAULTED_NODES, faulted as u64);
+    engine.metrics.add(keys::MESH_OFFERED_LOAD, offered_load);
 
     MeshOutcome {
         sink: FleetOutcome {

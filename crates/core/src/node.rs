@@ -185,6 +185,12 @@ impl From<picocube_mcu::asm::AsmError> for BuildError {
     }
 }
 
+impl From<picocube_sim::LedgerError> for BuildError {
+    fn from(e: picocube_sim::LedgerError) -> Self {
+        Self::PowerChain(e.into())
+    }
+}
+
 /// Summary of a simulation run.
 #[derive(Debug, Clone)]
 pub struct NodeReport {
@@ -418,6 +424,7 @@ impl ToJson for NodeFault {
             NodeFault::PowerChain { rail } => {
                 obj.push(("rail".into(), Json::Str((*rail).into())));
             }
+            NodeFault::Accounting => {}
         }
         Json::Obj(obj)
     }
@@ -445,6 +452,7 @@ impl FromJson for NodeFault {
                 };
                 Ok(Self::PowerChain { rail })
             }
+            Some("accounting") => Ok(Self::Accounting),
             _ => Err(JsonError::new("unknown NodeFault kind")),
         }
     }
@@ -1008,6 +1016,7 @@ mod tests {
             NodeFault::PowerChain {
                 rail: "pump operating point",
             },
+            NodeFault::Accounting,
         ];
         for fault in faults {
             let json = Json::parse(&fault.to_json().to_string()).expect("parses");

@@ -35,8 +35,8 @@ use crate::fleet::{
 use crate::mesh::{run_mesh_with, MeshConfig, MeshConfigError};
 use crate::node::{BuildError, NodeConfig};
 use campaign::SurvivalTracker;
-use picocube_sim::SimDuration;
-use picocube_telemetry::{Metrics, Recorder};
+use picocube_sim::{SimDuration, SimRng};
+use picocube_telemetry::{keys, Metrics, Recorder};
 use picocube_units::json::{Json, JsonError, ToJson};
 use picocube_units::{Db, Seconds};
 
@@ -264,7 +264,7 @@ impl RunSummary {
             channel_losses: outcome.channel_losses,
             delivery_ratio: outcome.delivery_ratio(),
             faulted: outcome.faulted,
-            brownouts: metrics.counter("board.storage.brownouts"),
+            brownouts: metrics.counter(keys::BOARD_STORAGE_BROWNOUTS),
         }
     }
 }
@@ -371,10 +371,10 @@ fn apply_knob(spec: &Scenario, knob: SweepKnob, value: f64) -> Result<Scenario, 
 }
 
 /// The campaign's seed fan: seed `k` of the fan (k = 0 is the spec's own
-/// seed). Weyl-sequence stepping by the 64-bit golden ratio keeps the
-/// fanned seeds decorrelated without any RNG state.
+/// seed). Delegates to [`SimRng::fan_seed`] — the one home for seed
+/// derivation — so the rule cannot drift from the engine's.
 fn fan_seed(master: u64, k: usize) -> u64 {
-    master.wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    SimRng::fan_seed(master, k as u64)
 }
 
 /// Runs a [`Scenario`] end to end: a single engine pass for a plain spec,
@@ -449,10 +449,13 @@ fn run_campaign(
         .flat_map(|run| run.iter())
         .filter(|down| down.is_some())
         .count();
-    merged.inc("campaign.seeds", campaign.seeds as u64);
-    merged.inc("campaign.nodes_total", (campaign.seeds * spec.nodes) as u64);
-    merged.inc("campaign.browned_out_nodes", browned_out as u64);
-    merged.add("campaign.final_alive_fraction", survival.final_alive());
+    merged.inc(keys::CAMPAIGN_SEEDS, campaign.seeds as u64);
+    merged.inc(
+        keys::CAMPAIGN_NODES_TOTAL,
+        (campaign.seeds * spec.nodes) as u64,
+    );
+    merged.inc(keys::CAMPAIGN_BROWNED_OUT_NODES, browned_out as u64);
+    merged.add(keys::CAMPAIGN_FINAL_ALIVE_FRACTION, survival.final_alive());
     Ok(ScenarioOutcome {
         name: spec.name.clone(),
         runs,

@@ -45,7 +45,7 @@ use picocube_mcu::{Mcu, OperatingMode, StepResult};
 use picocube_radio::OokTransmitter;
 use picocube_sensors::{MotionScenario, Sca3000, Sp12};
 use picocube_sim::{LoadId, PowerLedger, PowerTrace, RailId, ScalarTrace, SimDuration, SimTime};
-use picocube_telemetry::{EventKind, Metrics, TelemetryBuffer};
+use picocube_telemetry::{keys, EventKind, Metrics, TelemetryBuffer};
 use picocube_units::{Amps, Celsius, Seconds, Volts, Watts};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -77,6 +77,11 @@ pub enum NodeFault {
         /// Which rail conversion failed to solve.
         rail: &'static str,
     },
+    /// The power ledger rejected a rail or load handle — the node's
+    /// internal wiring is inconsistent (a stack bug, never a model
+    /// outcome). Latching it lets the offending node degrade instead of
+    /// panicking a whole fleet run.
+    Accounting,
 }
 
 impl NodeFault {
@@ -86,7 +91,14 @@ impl NodeFault {
             Self::IllegalInstruction { .. } => "illegal_instruction",
             Self::Stuck { .. } => "stuck",
             Self::PowerChain { .. } => "power_chain",
+            Self::Accounting => "accounting",
         }
+    }
+}
+
+impl From<picocube_sim::LedgerError> for NodeFault {
+    fn from(_: picocube_sim::LedgerError) -> Self {
+        Self::Accounting
     }
 }
 
@@ -104,6 +116,9 @@ impl core::fmt::Display for NodeFault {
             }
             Self::PowerChain { rail } => {
                 write!(f, "{rail} operating point failed to solve")
+            }
+            Self::Accounting => {
+                write!(f, "power ledger rejected a rail or load handle")
             }
         }
     }
@@ -522,11 +537,11 @@ impl Stack {
 
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VBAT", storage.terminal_voltage());
-        let load_overhead = ledger.register_load(rail, "power chain overhead");
-        let load_vdd = ledger.register_load(rail, "mcu+sensor (via pump)");
-        let load_digital = ledger.register_load(rail, "radio digital (via pump)");
-        let load_rf = ledger.register_load(rail, "radio RF rail");
-        let load_wakeup = ledger.register_load(rail, "wakeup receiver");
+        let load_overhead = ledger.register_load(rail, "power chain overhead")?;
+        let load_vdd = ledger.register_load(rail, "mcu+sensor (via pump)")?;
+        let load_digital = ledger.register_load(rail, "radio digital (via pump)")?;
+        let load_rf = ledger.register_load(rail, "radio RF rail")?;
+        let load_wakeup = ledger.register_load(rail, "wakeup receiver")?;
 
         let mut node = Self {
             mcu,
@@ -599,9 +614,9 @@ impl Stack {
         let mut buf = std::mem::take(&mut self.telemetry);
         self.telemetry.set_events_enabled(enabled);
         let lpm_ns = self.slept.as_nanos();
-        buf.metrics.inc("mcu.lpm_ns", lpm_ns);
+        buf.metrics.inc(keys::MCU_LPM_NS, lpm_ns);
         buf.metrics.inc(
-            "mcu.active_ns",
+            keys::MCU_ACTIVE_NS,
             self.now().as_nanos().saturating_sub(lpm_ns),
         );
         self.ledger.export_metrics(&mut buf.metrics);
@@ -816,7 +831,7 @@ impl Stack {
         // signature rather than trust one computed against the old rail.
         self.draw_sig = None;
 
-        let vbat = self.ledger.rail_voltage(self.rail);
+        let vbat = self.ledger.rail_voltage(self.rail)?;
         // VDD rail demand in stack order: controller, then sensor, then
         // the radio board's level shifters (zero while SPI is off).
         let i_vdd = i_mcu + sensor_draw.vdd + radio_draw.vdd;
@@ -827,15 +842,15 @@ impl Stack {
         self.vdd = solve.vdd_out;
         if let Some(listen) = radio_draw.battery {
             self.ledger
-                .set_load_current(self.load_wakeup, listen / vbat);
+                .set_load_current(self.load_wakeup, listen / vbat)?;
         }
         self.ledger
-            .set_load_current(self.load_overhead, solve.overhead);
+            .set_load_current(self.load_overhead, solve.overhead)?;
         self.ledger
-            .set_load_current(self.load_vdd, solve.vdd_reflected);
+            .set_load_current(self.load_vdd, solve.vdd_reflected)?;
         self.ledger
-            .set_load_current(self.load_digital, solve.digital);
-        self.ledger.set_load_current(self.load_rf, solve.rf);
+            .set_load_current(self.load_digital, solve.digital)?;
+        self.ledger.set_load_current(self.load_rf, solve.rf)?;
         self.trace
             .record(self.ledger.now(), self.ledger.total_power());
         Ok(())
@@ -845,7 +860,7 @@ impl Stack {
     /// and runs the supply supervisor.
     fn settle_battery(&mut self) -> Result<(), NodeFault> {
         let now = self.now();
-        let vbat = self.ledger.rail_voltage(self.rail);
+        let vbat = self.ledger.rail_voltage(self.rail)?;
         let consumed = self.ledger.total_energy();
         if !self.storage.settle(now, vbat, consumed, &self.switch) {
             return Ok(());
@@ -853,7 +868,7 @@ impl Stack {
         self.soc_trace.record(now, self.storage.soc());
         // Battery sag/recovery feeds back into the rail voltage.
         self.ledger
-            .set_rail_voltage(self.rail, self.storage.terminal_voltage());
+            .set_rail_voltage(self.rail, self.storage.terminal_voltage())?;
         self.supervise(now)
     }
 
@@ -865,7 +880,7 @@ impl Stack {
             SupervisorVerdict::Unchanged => Ok(()),
             SupervisorVerdict::BrownedOut => {
                 self.draw_sig = None;
-                self.telemetry.metrics.inc("node.brownouts", 1);
+                self.telemetry.metrics.inc(keys::NODE_BROWNOUTS, 1);
                 self.telemetry
                     .record(self.now().as_nanos(), EventKind::BrownOut);
                 self.mcu.set_register(2, 0); // hold in reset: GIE off
@@ -877,7 +892,7 @@ impl Stack {
                     self.load_rf,
                     self.load_wakeup,
                 ] {
-                    self.ledger.set_load_current(load, Amps::ZERO);
+                    self.ledger.set_load_current(load, Amps::ZERO)?;
                 }
                 self.trace
                     .record(self.ledger.now(), self.ledger.total_power());
@@ -931,7 +946,7 @@ impl Stack {
     /// Latches a fault: records it in telemetry and freezes the node.
     fn latch(&mut self, fault: NodeFault) -> RunOutcome {
         self.fault = Some(fault);
-        self.telemetry.metrics.inc("node.faults", 1);
+        self.telemetry.metrics.inc(keys::NODE_FAULTS, 1);
         self.telemetry.record(
             self.now().as_nanos(),
             EventKind::Fault { what: fault.tag() },

@@ -9,7 +9,7 @@ use picocube_mcu::firmware::PIN_RADIO_SPI;
 use picocube_power::switches::LevelShifter;
 use picocube_radio::WakeupReceiver;
 use picocube_sim::{SimDuration, SimTime};
-use picocube_telemetry::{EventKind, Metrics};
+use picocube_telemetry::{keys, EventKind, Metrics};
 use picocube_units::{Amps, Hertz, Volts};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -234,14 +234,14 @@ impl Board for RadioBoard {
     fn export_metrics(&self, metrics: &mut Metrics) {
         let frontend = self.frontend.borrow();
         let packets = frontend.packets();
-        metrics.inc("board.radio.packets", packets.len() as u64);
+        metrics.inc(keys::BOARD_RADIO_PACKETS, packets.len() as u64);
         metrics.inc(
-            "board.radio.bytes",
+            keys::BOARD_RADIO_BYTES,
             packets.iter().map(|p| p.bytes.len() as u64).sum(),
         );
         if let Some(rx) = &self.rx {
-            metrics.inc("board.radio.relays", rx.relays);
-            metrics.add("board.radio.relay_energy_uj", rx.relay_energy_uj);
+            metrics.inc(keys::BOARD_RADIO_RELAYS, rx.relays);
+            metrics.add(keys::BOARD_RADIO_RELAY_ENERGY_UJ, rx.relay_energy_uj);
         }
     }
 }

@@ -4,7 +4,7 @@
 use super::{Board, BoardDraw, StackCtx};
 use picocube_sensors::{MotionScenario, Sca3000, Sp12, TireEnvironment};
 use picocube_sim::{SimDuration, SimTime};
-use picocube_telemetry::{EventKind, Metrics};
+use picocube_telemetry::{keys, EventKind, Metrics};
 use picocube_units::{Amps, Volts};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -108,7 +108,7 @@ impl Board for SensorBoard {
                 *next_wake += SimDuration::from_seconds(interval * *interval_scale);
                 *ctx.wakes += 1;
                 self.fires += 1;
-                ctx.telemetry.metrics.inc("node.wakes", 1);
+                ctx.telemetry.metrics.inc(keys::NODE_WAKES, 1);
                 ctx.telemetry
                     .record(t_ns, EventKind::Wake { index: *ctx.wakes });
                 // The SP12 digital die raises its interrupt line.
@@ -126,7 +126,7 @@ impl Board for SensorBoard {
                 if triggered {
                     *ctx.wakes += 1;
                     self.fires += 1;
-                    ctx.telemetry.metrics.inc("node.wakes", 1);
+                    ctx.telemetry.metrics.inc(keys::NODE_WAKES, 1);
                     ctx.telemetry
                         .record(t_ns, EventKind::Wake { index: *ctx.wakes });
                     ctx.pulse_sensor_irq();
@@ -162,6 +162,6 @@ impl Board for SensorBoard {
     }
 
     fn export_metrics(&self, metrics: &mut Metrics) {
-        metrics.inc("board.sensor.fires", self.fires);
+        metrics.inc(keys::BOARD_SENSOR_FIRES, self.fires);
     }
 }

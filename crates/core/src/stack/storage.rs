@@ -10,7 +10,7 @@ use picocube_harvest::{
 };
 use picocube_sim::{SimDuration, SimTime};
 use picocube_storage::{CapacitorBank, NimhCell, StorageElement};
-use picocube_telemetry::Metrics;
+use picocube_telemetry::{keys, Metrics};
 use picocube_units::{Amps, Celsius, Coulombs, Joules, Seconds, Volts, Watts};
 
 /// Maps a harvester-model parameter rejection onto the node build error.
@@ -364,8 +364,11 @@ impl Board for StorageBoard {
     }
 
     fn export_metrics(&self, metrics: &mut Metrics) {
-        metrics.inc("board.storage.brownouts", u64::from(self.brownout_count));
-        metrics.add("board.storage.soc", self.soc());
-        metrics.add("board.storage.harvested_uj", self.harvested.micro());
+        metrics.inc(
+            keys::BOARD_STORAGE_BROWNOUTS,
+            u64::from(self.brownout_count),
+        );
+        metrics.add(keys::BOARD_STORAGE_SOC, self.soc());
+        metrics.add(keys::BOARD_STORAGE_HARVESTED_UJ, self.harvested.micro());
     }
 }

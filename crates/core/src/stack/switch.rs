@@ -5,7 +5,7 @@ use super::{Board, NodeFault};
 use crate::node::PowerChainKind;
 use picocube_power::converter_ic::PowerInterfaceIc;
 use picocube_power::cots::CotsPowerChain;
-use picocube_telemetry::Metrics;
+use picocube_telemetry::{keys, Metrics};
 use picocube_units::{Amps, Celsius, Volts, Watts};
 
 enum Chain {
@@ -243,8 +243,8 @@ impl Board for SwitchBoard {
     }
 
     fn export_metrics(&self, metrics: &mut Metrics) {
-        metrics.inc("board.switch.op_cache_hits", self.op_cache_hits);
-        metrics.inc("board.switch.op_cache_misses", self.op_cache_misses);
+        metrics.inc(keys::BOARD_SWITCH_OP_CACHE_HITS, self.op_cache_hits);
+        metrics.inc(keys::BOARD_SWITCH_OP_CACHE_MISSES, self.op_cache_misses);
     }
 }
 

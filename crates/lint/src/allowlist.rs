@@ -1,11 +1,14 @@
-//! The L2 allowlist: a budget file that may only shrink.
+//! The allowlist: a budget file that may only shrink.
 //!
-//! `lint-allowlist.txt` at the workspace root records, per file and panic
-//! kind, how many L2 sites are accepted and why. The budgets are **exact**:
-//! more actual sites than budgeted is a regression (new panic paths), and
-//! fewer is a stale entry (a site was fixed, so the budget must be
-//! tightened in the same change). Both directions fail the lint, which is
-//! what makes the allowlist shrink-only in practice.
+//! `lint-allowlist.txt` at the workspace root records, per file and
+//! finding kind, how many sites are accepted and why. Bare kinds
+//! (`unwrap`, `index`, ...) are L2 panic budgets — the original format.
+//! Lint-tagged kinds (`L5:mixed-units`, `L6:adhoc-derivation`,
+//! `L7:inline-key`) budget the syntactic lints the same way. The budgets
+//! are **exact**: more actual sites than budgeted is a regression (new
+//! violations), and fewer is a stale entry (a site was fixed, so the
+//! budget must be tightened in the same change). Both directions fail the
+//! lint, which is what makes the allowlist shrink-only in practice.
 
 use crate::report::{Finding, Lint};
 use crate::source::SiteKind;
@@ -16,12 +19,38 @@ use std::collections::BTreeMap;
 pub struct Entry {
     /// Workspace-relative file path.
     pub path: String,
-    /// Which panic kind the budget covers.
-    pub kind: SiteKind,
+    /// Which lint the budget belongs to (L2 for bare kinds).
+    pub lint: Lint,
+    /// The finding kind the budget covers (`unwrap`, `mixed-units`, ...).
+    pub kind: String,
     /// Number of accepted sites.
     pub count: usize,
     /// Why the sites are acceptable.
     pub justification: String,
+}
+
+impl Entry {
+    /// The kind token as written in the file (`unwrap` vs `L5:mixed-units`).
+    pub fn kind_token(&self) -> String {
+        if self.lint == Lint::L2 {
+            self.kind.clone()
+        } else {
+            format!("{}:{}", self.lint.code(), self.kind)
+        }
+    }
+}
+
+/// Parses a kind token into `(lint, kind)`, validating both halves.
+fn parse_kind_token(token: &str) -> Option<(Lint, String)> {
+    if let Some((code, kind)) = token.split_once(':') {
+        let lint = Lint::parse(code)?;
+        if !Lint::ALLOWLISTED.contains(&lint) || lint == Lint::L2 || kind.is_empty() {
+            return None;
+        }
+        return Some((lint, kind.to_string()));
+    }
+    // Bare kinds are L2 panic kinds and must name a real one.
+    SiteKind::parse(token).map(|k| (Lint::L2, k.name().to_string()))
 }
 
 /// The parsed allowlist.
@@ -52,9 +81,9 @@ impl Allowlist {
             let path = parts
                 .next()
                 .ok_or_else(|| format!("line {}: missing path", idx + 1))?;
-            let kind = parts
+            let (lint, kind) = parts
                 .next()
-                .and_then(SiteKind::parse)
+                .and_then(parse_kind_token)
                 .ok_or_else(|| format!("line {}: missing or unknown kind", idx + 1))?;
             let count: usize = parts
                 .next()
@@ -69,6 +98,7 @@ impl Allowlist {
             }
             entries.push(Entry {
                 path: path.to_string(),
+                lint,
                 kind,
                 count,
                 justification: justification.to_string(),
@@ -77,43 +107,51 @@ impl Allowlist {
         Ok(Self { entries })
     }
 
-    /// Budget for a `(path, kind)` pair; 0 when absent.
-    pub fn budget(&self, path: &str, kind: SiteKind) -> usize {
+    /// Budget for a `(path, lint, kind)` triple; 0 when absent.
+    pub fn budget(&self, path: &str, lint: Lint, kind: &str) -> usize {
         self.entries
             .iter()
-            .filter(|e| e.path == path && e.kind == kind)
+            .filter(|e| e.path == path && e.lint == lint && e.kind == kind)
             .map(|e| e.count)
             .sum()
     }
 
-    /// Applies the budgets to the raw L2 findings.
+    /// Total budgeted sites for one lint (the CI `--max-allowlisted` cap
+    /// applies to L2 only).
+    pub fn total(&self, lint: Lint) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.lint == lint)
+            .map(|e| e.count)
+            .sum()
+    }
+
+    /// Applies the budgets to the raw findings of every allowlisted lint.
     ///
-    /// Per `(file, kind)` group: if the actual count exceeds the budget the
-    /// excess findings are kept (reported at their real locations); if it
-    /// matches, all are suppressed; if it falls short — or an entry's file
-    /// has no findings at all — a `stale-allowlist` finding is emitted so
-    /// the budget gets tightened. Returns the surviving findings and the
-    /// number suppressed.
+    /// Per `(lint, file, kind)` group: if the actual count exceeds the
+    /// budget the excess findings are kept (reported at their real
+    /// locations); if it matches, all are suppressed; if it falls short —
+    /// or an entry's file has no findings at all — a `stale-allowlist`
+    /// finding is emitted so the budget gets tightened. Returns the
+    /// surviving findings and the number suppressed.
     pub fn apply(&self, raw: Vec<Finding>) -> (Vec<Finding>, usize) {
-        let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        let mut groups: BTreeMap<(Lint, String, String), Vec<Finding>> = BTreeMap::new();
         for f in raw {
             groups
-                .entry((f.file.clone(), f.kind.clone()))
+                .entry((f.lint, f.file.clone(), f.kind.clone()))
                 .or_default()
                 .push(f);
         }
         let mut kept = Vec::new();
         let mut suppressed = 0usize;
-        for ((file, kind), group) in &mut groups {
-            let budget = SiteKind::parse(kind)
-                .map(|k| self.budget(file, k))
-                .unwrap_or(0);
+        for ((lint, file, kind), group) in &mut groups {
+            let budget = self.budget(file, *lint, kind);
             let actual = group.len();
             if actual > budget {
                 suppressed += budget;
                 kept.extend(group.drain(budget..).map(|mut f| {
                     f.message = format!(
-                        "{} (allowlist budget {budget}, found {actual} — new panic site)",
+                        "{} (allowlist budget {budget}, found {actual} — new site)",
                         f.message
                     );
                     f
@@ -121,7 +159,7 @@ impl Allowlist {
             } else if actual < budget {
                 suppressed += actual;
                 kept.push(Finding {
-                    lint: Lint::L2,
+                    lint: *lint,
                     file: file.clone(),
                     line: 0,
                     kind: "stale-allowlist".into(),
@@ -136,17 +174,16 @@ impl Allowlist {
         }
         // Entries whose file/kind produced no findings at all are stale too.
         for e in &self.entries {
-            let key = (e.path.clone(), e.kind.name().to_string());
+            let key = (e.lint, e.path.clone(), e.kind.clone());
             if !groups.contains_key(&key) && e.count > 0 {
                 kept.push(Finding {
-                    lint: Lint::L2,
+                    lint: e.lint,
                     file: e.path.clone(),
                     line: 0,
                     kind: "stale-allowlist".into(),
                     message: format!(
                         "allowlist budgets {} `{}` site(s) but none remain — delete the entry",
-                        e.count,
-                        e.kind.name()
+                        e.count, e.kind
                     ),
                 });
             }
@@ -158,16 +195,18 @@ impl Allowlist {
     /// `--update-allowlist` to tighten budgets mechanically).
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# picocube-lint L2 allowlist — shrink-only.\n\
+            "# picocube-lint allowlist — shrink-only.\n\
              # Format: <path> <kind> <count> -- <justification>\n\
-             # Budgets are exact: the lint fails when a file gains OR loses sites\n\
-             # relative to its budget, so fixes must tighten the entry here.\n\n",
+             # Bare kinds are L2 panic budgets; `L5:`/`L6:`/`L7:`-tagged kinds budget\n\
+             # the syntactic lints. Budgets are exact: the lint fails when a file\n\
+             # gains OR loses sites relative to its budget, so fixes must tighten\n\
+             # the entry here.\n\n",
         );
         for e in &self.entries {
             out.push_str(&format!(
                 "{} {} {} -- {}\n",
                 e.path,
-                e.kind.name(),
+                e.kind_token(),
                 e.count,
                 e.justification
             ));
@@ -180,9 +219,9 @@ impl Allowlist {
 mod tests {
     use super::*;
 
-    fn finding(file: &str, kind: &str, line: u32) -> Finding {
+    fn finding(lint: Lint, file: &str, kind: &str, line: u32) -> Finding {
         Finding {
-            lint: Lint::L2,
+            lint,
             file: file.into(),
             line,
             kind: kind.into(),
@@ -197,8 +236,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.entries.len(), 1);
-        assert_eq!(a.budget("crates/sim/src/power.rs", SiteKind::Index), 2);
-        assert_eq!(a.budget("crates/sim/src/power.rs", SiteKind::Unwrap), 0);
+        assert_eq!(a.budget("crates/sim/src/power.rs", Lint::L2, "index"), 2);
+        assert_eq!(a.budget("crates/sim/src/power.rs", Lint::L2, "unwrap"), 0);
+    }
+
+    #[test]
+    fn parses_lint_tagged_kinds() {
+        let a = Allowlist::parse(
+            "crates/core/src/stack/storage.rs L6:adhoc-derivation 1 -- decorrelation hash\n",
+        )
+        .unwrap();
+        assert_eq!(a.entries[0].lint, Lint::L6);
+        assert_eq!(
+            a.budget(
+                "crates/core/src/stack/storage.rs",
+                Lint::L6,
+                "adhoc-derivation"
+            ),
+            1
+        );
+        assert_eq!(a.total(Lint::L6), 1);
+        assert_eq!(a.total(Lint::L2), 0);
     }
 
     #[test]
@@ -207,14 +265,18 @@ mod tests {
         assert!(Allowlist::parse("p unwrap x -- why\n").is_err());
         assert!(Allowlist::parse("p unwrap 1 --   \n").is_err());
         assert!(Allowlist::parse("p wibble 1 -- why\n").is_err());
+        // Only allowlisted lints may carry budgets; L2 uses bare kinds.
+        assert!(Allowlist::parse("p L3:hashmap 1 -- why\n").is_err());
+        assert!(Allowlist::parse("p L2:unwrap 1 -- why\n").is_err());
+        assert!(Allowlist::parse("p L5: 1 -- why\n").is_err());
     }
 
     #[test]
     fn exact_budget_suppresses_all() {
         let a = Allowlist::parse("f.rs unwrap 2 -- fine\n").unwrap();
         let (kept, suppressed) = a.apply(vec![
-            finding("f.rs", "unwrap", 1),
-            finding("f.rs", "unwrap", 2),
+            finding(Lint::L2, "f.rs", "unwrap", 1),
+            finding(Lint::L2, "f.rs", "unwrap", 2),
         ]);
         assert!(kept.is_empty());
         assert_eq!(suppressed, 2);
@@ -224,18 +286,31 @@ mod tests {
     fn growth_keeps_excess_findings() {
         let a = Allowlist::parse("f.rs unwrap 1 -- fine\n").unwrap();
         let (kept, _) = a.apply(vec![
-            finding("f.rs", "unwrap", 1),
-            finding("f.rs", "unwrap", 9),
+            finding(Lint::L2, "f.rs", "unwrap", 1),
+            finding(Lint::L2, "f.rs", "unwrap", 9),
         ]);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].line, 9, "excess reported at the newest site");
-        assert!(kept[0].message.contains("new panic site"));
+        assert!(kept[0].message.contains("new site"));
+    }
+
+    #[test]
+    fn budgets_are_per_lint() {
+        // An L5 budget must not absorb an L6 finding of the same kind name.
+        let a = Allowlist::parse("f.rs L5:oops 1 -- fine\n").unwrap();
+        let (kept, _) = a.apply(vec![finding(Lint::L6, "f.rs", "oops", 3)]);
+        // The L6 finding survives and the L5 entry is stale.
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|f| f.lint == Lint::L6 && f.line == 3));
+        assert!(kept
+            .iter()
+            .any(|f| f.lint == Lint::L5 && f.kind == "stale-allowlist"));
     }
 
     #[test]
     fn shrink_flags_stale_budget() {
         let a = Allowlist::parse("f.rs unwrap 3 -- fine\n").unwrap();
-        let (kept, _) = a.apply(vec![finding("f.rs", "unwrap", 1)]);
+        let (kept, _) = a.apply(vec![finding(Lint::L2, "f.rs", "unwrap", 1)]);
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0].kind, "stale-allowlist");
     }
@@ -250,10 +325,12 @@ mod tests {
 
     #[test]
     fn render_round_trips() {
-        let text = "a.rs unwrap 1 -- one\nb.rs index 2 -- two\n";
+        let text = "a.rs unwrap 1 -- one\nb.rs index 2 -- two\nc.rs L7:inline-key 3 -- three\n";
         let a = Allowlist::parse(text).unwrap();
         let again = Allowlist::parse(&a.render()).unwrap();
-        assert_eq!(again.entries.len(), 2);
-        assert_eq!(again.budget("b.rs", SiteKind::Index), 2);
+        assert_eq!(again.entries.len(), 3);
+        assert_eq!(again.budget("b.rs", Lint::L2, "index"), 2);
+        assert_eq!(again.budget("c.rs", Lint::L7, "inline-key"), 3);
+        assert!(a.render().contains("c.rs L7:inline-key 3"));
     }
 }

@@ -47,6 +47,50 @@ impl Token {
     pub fn is_ident(&self, s: &str) -> bool {
         self.kind == TokenKind::Ident && self.text == s
     }
+
+    /// For a string literal token, the decoded content (prefix, quotes and
+    /// raw-string hashes stripped, common escapes resolved). `None` for
+    /// non-string literals such as chars and numbers.
+    pub fn str_value(&self) -> Option<String> {
+        if self.kind != TokenKind::Literal {
+            return None;
+        }
+        let mut rest = self.text.as_str();
+        let mut raw = false;
+        while let Some(c) = rest.chars().next() {
+            match c {
+                'r' => {
+                    raw = true;
+                    rest = &rest[1..];
+                }
+                'b' | 'c' => rest = &rest[1..],
+                _ => break,
+            }
+        }
+        rest = rest.trim_start_matches('#').trim_end_matches('#');
+        let body = rest.strip_prefix('"')?;
+        let body = body.strip_suffix('"').unwrap_or(body);
+        if raw || !body.contains('\\') {
+            return Some(body.to_string());
+        }
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('0') => out.push('\0'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        }
+        Some(out)
+    }
 }
 
 /// Lexer output: the token stream plus the comment-derived side tables.
@@ -149,11 +193,13 @@ pub fn lex(src: &str) -> Lexed {
                 }
             }
             b'"' => {
+                let start = i;
+                let start_line = line;
                 i = lex_string(b, i, &mut line);
                 out.tokens.push(Token {
                     kind: TokenKind::Literal,
-                    text: String::new(),
-                    line,
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
                 });
             }
             b'\'' => {
@@ -174,6 +220,8 @@ pub fn lex(src: &str) -> Lexed {
                     });
                 } else {
                     // Char literal: consume escapes until the closing quote.
+                    let start = i;
+                    let start_line = line;
                     i += 1;
                     while i < b.len() {
                         if b[i] == b'\\' {
@@ -190,8 +238,8 @@ pub fn lex(src: &str) -> Lexed {
                     }
                     out.tokens.push(Token {
                         kind: TokenKind::Literal,
-                        text: String::new(),
-                        line,
+                        text: src[start..i.min(src.len())].to_string(),
+                        line: start_line,
                     });
                 }
             }
@@ -207,17 +255,41 @@ pub fn lex(src: &str) -> Lexed {
                     && i < b.len()
                     && (b[i] == b'"' || b[i] == b'#');
                 if is_str_prefix && text.contains('r') {
+                    let start_line = line;
                     i = lex_raw_string(b, i, &mut line);
                     out.tokens.push(Token {
                         kind: TokenKind::Literal,
-                        text: String::new(),
-                        line,
+                        text: src[start..i.min(src.len())].to_string(),
+                        line: start_line,
                     });
                 } else if is_str_prefix && b[i] == b'"' {
+                    let start_line = line;
                     i = lex_string(b, i, &mut line);
                     out.tokens.push(Token {
                         kind: TokenKind::Literal,
-                        text: String::new(),
+                        text: src[start..i.min(src.len())].to_string(),
+                        line: start_line,
+                    });
+                } else if text == "b" && i < b.len() && b[i] == b'\'' {
+                    // Byte-char literal `b']'`: glue the prefix onto the
+                    // char literal so it doesn't read as ident + char.
+                    i += 1;
+                    while i < b.len() {
+                        if b[i] == b'\\' {
+                            i += 2;
+                        } else if b[i] == b'\'' {
+                            i += 1;
+                            break;
+                        } else {
+                            if b[i] == b'\n' {
+                                line += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: src[start..i.min(src.len())].to_string(),
                         line,
                     });
                 } else {

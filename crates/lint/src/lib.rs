@@ -1,7 +1,7 @@
 //! Workspace invariant linter for the PicoCube simulation.
 //!
-//! `cargo xtask lint` runs four AST/token-level lints over every library
-//! source in the workspace:
+//! `cargo xtask lint` runs seven lints over every library source in the
+//! workspace:
 //!
 //! - **L1 unit hygiene** — public functions in the physical crates must not
 //!   take or return bare `f64` where a `picocube-units` quantity exists.
@@ -12,12 +12,23 @@
 //!   RNG in the simulation core, fleet engine and telemetry merge paths.
 //! - **L4 provenance** — named physical constants in power/radio/storage
 //!   must cite their paper section (`§x.y`) in a doc comment.
+//! - **L5 dimensional flow** — unit types inferred through function bodies
+//!   of the physical crates must agree at every add/sub/compare, and
+//!   `.0`/`into_inner` laundering must not escape into arithmetic.
+//! - **L6 RNG-stream discipline** — reserved `SimRng` streams are declared
+//!   once, drawn by one module, never forked or re-derived ad hoc.
+//! - **L7 telemetry-key registry** — metric keys are constants from
+//!   `picocube_telemetry::keys`, and golden fixtures only mention
+//!   registered keys.
 //!
 //! The workspace builds fully offline, so there is no `syn`: the crate
-//! carries its own minimal lexer ([`lexer`]) and structural scanner
-//! ([`source`]). Individual sites opt out with an inline
+//! carries its own minimal lexer ([`lexer`]), structural scanner
+//! ([`source`]) and recursive-descent parser ([`parser`]) — L1–L4 run on
+//! tokens, L5–L7 on the AST. Individual sites opt out with an inline
 //! `picocube-lint: allow(L1)`-style marker, which applies to its own line
-//! and the next.
+//! and the next. Constructs the parser cannot understand degrade into
+//! structured parse gaps that surface in the report rather than hiding
+//! violations silently.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,12 +36,15 @@
 pub mod allowlist;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 pub mod report;
 pub mod scope;
 pub mod source;
 
 use allowlist::Allowlist;
-use report::{Finding, Lint, Report};
+use lints::{GoldenKeys, KeyFacts, StreamFacts};
+use picocube_units::json::Json;
+use report::{Finding, Lint, Report, ReportGap};
 use scope::scope_for;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -38,50 +52,99 @@ use std::path::{Path, PathBuf};
 /// The allowlist's location, relative to the workspace root.
 pub const ALLOWLIST_PATH: &str = "lint-allowlist.txt";
 
-/// Lints one file's contents under the scope its path implies. L2 findings
-/// are returned raw (not netted against any allowlist). Files outside
-/// every scope yield no findings.
-pub fn lint_file_contents(rel_path: &str, src: &str) -> Vec<Finding> {
+/// The golden-fixture tree scanned by the L7 drift check.
+pub const GOLDEN_DIR: &str = "tests/golden";
+
+/// One file's full analysis: findings, cross-file facts and parse gaps.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Raw findings (nothing netted against the allowlist yet).
+    pub findings: Vec<Finding>,
+    /// L6 facts for the workspace stream-registry check.
+    pub stream_facts: Option<StreamFacts>,
+    /// L7 facts for the workspace key-registry check.
+    pub key_facts: Option<KeyFacts>,
+    /// Constructs the parser could not understand.
+    pub parse_gaps: Vec<ReportGap>,
+}
+
+/// Analyzes one file's contents under the scope its path implies. Files
+/// outside every scope yield an empty analysis.
+pub fn analyze_file(rel_path: &str, src: &str) -> FileAnalysis {
+    let mut out = FileAnalysis::default();
     let Some(scope) = scope_for(rel_path) else {
-        return Vec::new();
+        return out;
     };
     let scanned = source::scan(src);
-    let mut out = Vec::new();
     if scope.l1 {
-        out.extend(lints::check_units(&scanned, rel_path));
+        out.findings.extend(lints::check_units(&scanned, rel_path));
     }
     if scope.l2 {
-        out.extend(lints::check_panics(&scanned, rel_path, scope.l2_index));
+        out.findings
+            .extend(lints::check_panics(&scanned, rel_path, scope.l2_index));
     }
     if scope.l3 {
-        out.extend(lints::check_determinism(&scanned, rel_path));
+        out.findings
+            .extend(lints::check_determinism(&scanned, rel_path));
     }
     if scope.l4 {
-        out.extend(lints::check_provenance(&scanned, rel_path));
+        out.findings
+            .extend(lints::check_provenance(&scanned, rel_path));
+    }
+    if scope.l5 || scope.l6 || scope.l7 {
+        let ast = parser::parse(src);
+        out.parse_gaps.extend(ast.gaps.iter().map(|g| ReportGap {
+            file: rel_path.to_string(),
+            line: g.line,
+            context: g.context.to_string(),
+            found: g.found.clone(),
+        }));
+        if scope.l5 {
+            out.findings.extend(lints::check_dimflow(&ast, rel_path));
+        }
+        if scope.l6 {
+            let (facts, findings) = lints::collect_streams(&ast, rel_path);
+            out.findings.extend(findings);
+            out.stream_facts = Some(facts);
+        }
+        if scope.l7 {
+            let (facts, findings) = lints::collect_keys(&ast, rel_path);
+            out.findings.extend(findings);
+            out.key_facts = Some(facts);
+        }
     }
     out
+}
+
+/// Lints one file's contents under the scope its path implies. Findings of
+/// the allowlisted lints are returned raw (not netted against any
+/// allowlist), and the cross-file registry checks do not run — this is the
+/// per-file surface the fixture tests exercise.
+pub fn lint_file_contents(rel_path: &str, src: &str) -> Vec<Finding> {
+    analyze_file(rel_path, src).findings
 }
 
 /// A completed workspace run.
 #[derive(Debug)]
 pub struct RunOutput {
-    /// The final report (L2 already netted against the allowlist).
+    /// The final report (allowlisted lints already netted).
     pub report: Report,
-    /// Raw L2 findings before the allowlist, for `--update-allowlist`.
-    pub raw_l2: Vec<Finding>,
+    /// Raw findings of the allowlisted lints (L2/L5/L6/L7) before the
+    /// allowlist, for `--update-allowlist`.
+    pub raw_allowlisted: Vec<Finding>,
 }
 
-/// Recursively collects `.rs` files under `dir`, as workspace-relative
+/// Recursively collects files with `ext` under `dir`, as workspace-relative
 /// paths with `/` separators, in sorted order.
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+fn collect_files(root: &Path, dir: &Path, ext: &str, out: &mut Vec<String>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .collect();
     entries.sort();
     for path in entries {
         if path.is_dir() {
-            collect_rs_files(root, &path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
+            collect_files(root, &path, ext, out)?;
+        } else if path.extension().is_some_and(|e| e == ext) {
             if let Ok(rel) = path.strip_prefix(root) {
                 let rel = rel
                     .components()
@@ -108,16 +171,63 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
         for member in members {
             let src = member.join("src");
             if src.is_dir() {
-                collect_rs_files(root, &src, &mut files)?;
+                collect_files(root, &src, "rs", &mut files)?;
             }
         }
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        collect_rs_files(root, &root_src, &mut files)?;
+        collect_files(root, &root_src, "rs", &mut files)?;
     }
     files.retain(|f| scope_for(f).is_some());
     Ok(files)
+}
+
+/// Collects every `metrics` object's keys from one parsed golden document.
+fn metrics_keys(doc: &Json, out: &mut Vec<String>) {
+    match doc {
+        Json::Obj(pairs) => {
+            for (key, value) in pairs {
+                if key == "metrics" {
+                    if let Json::Obj(metrics) = value {
+                        out.extend(metrics.iter().map(|(k, _)| k.clone()));
+                    }
+                }
+                metrics_keys(value, out);
+            }
+        }
+        Json::Arr(items) => {
+            for item in items {
+                metrics_keys(item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extracts the metric keys of every golden fixture under
+/// [`GOLDEN_DIR`], for the L7 drift check. Unparseable fixtures are
+/// skipped here — the golden tests themselves fail on those.
+pub fn golden_keys(root: &Path) -> io::Result<Vec<GoldenKeys>> {
+    let dir = root.join(GOLDEN_DIR);
+    if !dir.is_dir() {
+        return Ok(Vec::new());
+    }
+    let mut files = Vec::new();
+    collect_files(root, &dir, "json", &mut files)?;
+    let mut out = Vec::new();
+    for rel in files {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let Ok(doc) = Json::parse(&text) else {
+            continue;
+        };
+        let mut keys = Vec::new();
+        metrics_keys(&doc, &mut keys);
+        keys.sort();
+        keys.dedup();
+        out.push(GoldenKeys { file: rel, keys });
+    }
+    Ok(out)
 }
 
 /// Runs the full lint over the workspace at `root`.
@@ -133,17 +243,28 @@ pub fn run_workspace(root: &Path) -> io::Result<RunOutput> {
         files_scanned: files.len(),
         ..Report::default()
     };
-    let mut raw_l2 = Vec::new();
+    let mut raw = Vec::new();
+    let mut stream_facts = Vec::new();
+    let mut key_facts = Vec::new();
     for rel in &files {
         let src = std::fs::read_to_string(root.join(rel))?;
-        for f in lint_file_contents(rel, &src) {
-            if f.lint == Lint::L2 {
-                raw_l2.push(f);
+        let analysis = analyze_file(rel, &src);
+        for f in analysis.findings {
+            if Lint::ALLOWLISTED.contains(&f.lint) {
+                raw.push(f);
             } else {
                 report.findings.push(f);
             }
         }
+        report.parse_gaps.extend(analysis.parse_gaps);
+        stream_facts.extend(analysis.stream_facts);
+        key_facts.extend(analysis.key_facts);
     }
+
+    // Cross-file registry checks (inline-allowed sites were already
+    // filtered out during fact collection).
+    raw.extend(lints::check_streams_workspace(&stream_facts));
+    raw.extend(lints::check_keys_workspace(&key_facts, &golden_keys(root)?));
 
     let allow_path = root.join(ALLOWLIST_PATH);
     let allow = if allow_path.is_file() {
@@ -163,12 +284,15 @@ pub fn run_workspace(root: &Path) -> io::Result<RunOutput> {
     } else {
         Allowlist::default()
     };
-    raw_l2.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    let (kept, suppressed) = allow.apply(raw_l2.clone());
+    raw.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    let (kept, suppressed) = allow.apply(raw.clone());
     report.findings.extend(kept);
     report.allowlisted = suppressed;
     report.sort();
-    Ok(RunOutput { report, raw_l2 })
+    Ok(RunOutput {
+        report,
+        raw_allowlisted: raw,
+    })
 }
 
 #[cfg(test)]
@@ -193,5 +317,42 @@ mod tests {
         let src = "pub fn set(&mut self, rail_voltage: f64) {}";
         assert_eq!(lint_file_contents("crates/power/src/fake.rs", src).len(), 1);
         assert!(lint_file_contents("crates/sim/src/fake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_fires_in_physical_crates_only() {
+        let src = "fn f(v: Volts, a: Amps) -> bool { v > a }\n";
+        let findings = lint_file_contents("crates/power/src/fake.rs", src);
+        assert!(findings.iter().any(|f| f.lint == Lint::L5), "{findings:?}");
+        // The radio crate is L1-scoped but not L5-scoped.
+        let findings = lint_file_contents("crates/radio/src/fake.rs", src);
+        assert!(findings.iter().all(|f| f.lint != Lint::L5));
+    }
+
+    #[test]
+    fn l6_and_l7_fire_in_any_scanned_file() {
+        let src = "fn f(m: &mut Metrics, s: u64) {\n\
+                       m.inc(\"ad.hoc\", 1);\n\
+                       let _r = SimRng::stream(s, 3);\n\
+                   }\n";
+        let findings = lint_file_contents("crates/core/src/fake.rs", src);
+        assert!(findings.iter().any(|f| f.lint == Lint::L6));
+        assert!(findings.iter().any(|f| f.lint == Lint::L7));
+    }
+
+    #[test]
+    fn analyze_reports_parse_gaps() {
+        let analysis = analyze_file("crates/sim/src/fake.rs", "fn f() { let x = @!; }\n");
+        assert!(!analysis.parse_gaps.is_empty());
+    }
+
+    #[test]
+    fn metrics_keys_walks_nested_objects() {
+        let doc = Json::parse(r#"{"outcome":{"metrics":{"a.b":1,"c.d":2}},"metrics":{"e.f":3}}"#)
+            .unwrap();
+        let mut keys = Vec::new();
+        metrics_keys(&doc, &mut keys);
+        keys.sort();
+        assert_eq!(keys, ["a.b", "c.d", "e.f"]);
     }
 }

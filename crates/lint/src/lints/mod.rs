@@ -1,16 +1,25 @@
-//! The four lint passes.
+//! The seven lint passes.
 //!
-//! Each pass is a pure function from a [`crate::source::ScannedFile`] (plus
-//! the file's workspace-relative path, which decides scope) to findings.
-//! Scope rules live in [`crate::scope`] so the passes themselves stay
-//! path-agnostic and fixture-testable.
+//! The structural passes (L1–L4) are pure functions from a
+//! [`crate::source::ScannedFile`] (plus the file's workspace-relative
+//! path, which decides scope) to findings. The syntactic passes (L5–L7)
+//! run over the [`crate::parser`] AST instead; L6 and L7 additionally
+//! split into per-file fact collection and a workspace-level registry
+//! check. Scope rules live in [`crate::scope`] so the passes themselves
+//! stay path-agnostic and fixture-testable.
 
 pub mod determinism;
+pub mod dimflow;
+pub mod keys;
 pub mod panics;
 pub mod provenance;
+pub mod streams;
 pub mod units;
 
 pub use determinism::check_determinism;
+pub use dimflow::check_dimflow;
+pub use keys::{check_keys_workspace, collect_keys, GoldenKeys, KeyFacts};
 pub use panics::check_panics;
 pub use provenance::check_provenance;
+pub use streams::{check_streams_workspace, collect_streams, StreamFacts};
 pub use units::check_units;

@@ -3,7 +3,7 @@
 use picocube_units::json::{Json, ToJson};
 use std::fmt::Write as _;
 
-/// The four workspace lints.
+/// The seven workspace lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
     /// Unit hygiene: no bare `f64` in public signatures where a
@@ -17,6 +17,16 @@ pub enum Lint {
     L3,
     /// Provenance: named physical constants must cite a paper section.
     L4,
+    /// Dimensional flow: unit types inferred through function bodies must
+    /// agree at every add/sub/compare; `.0`/`into_inner` laundering that
+    /// escapes into arithmetic is flagged.
+    L5,
+    /// RNG-stream discipline: reserved `SimRng` streams are declared once,
+    /// drawn by one module, never forked or re-derived ad hoc.
+    L6,
+    /// Telemetry-key registry: metric/event keys are constants from the
+    /// `picocube-telemetry` `keys` module, never inline strings.
+    L7,
 }
 
 impl Lint {
@@ -27,6 +37,9 @@ impl Lint {
             Self::L2 => "L2",
             Self::L3 => "L3",
             Self::L4 => "L4",
+            Self::L5 => "L5",
+            Self::L6 => "L6",
+            Self::L7 => "L7",
         }
     }
 
@@ -37,11 +50,30 @@ impl Lint {
             Self::L2 => "panic freedom",
             Self::L3 => "determinism",
             Self::L4 => "provenance",
+            Self::L5 => "dimensional flow",
+            Self::L6 => "rng-stream discipline",
+            Self::L7 => "telemetry-key registry",
         }
     }
 
+    /// Parses a lint code (`"L5"` → [`Lint::L5`]).
+    pub fn parse(code: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|l| l.code() == code)
+    }
+
     /// All lints in report order.
-    pub const ALL: [Lint; 4] = [Lint::L1, Lint::L2, Lint::L3, Lint::L4];
+    pub const ALL: [Lint; 7] = [
+        Lint::L1,
+        Lint::L2,
+        Lint::L3,
+        Lint::L4,
+        Lint::L5,
+        Lint::L6,
+        Lint::L7,
+    ];
+
+    /// The lints whose findings are netted against `lint-allowlist.txt`.
+    pub const ALLOWLISTED: [Lint; 4] = [Lint::L2, Lint::L5, Lint::L6, Lint::L7];
 }
 
 /// One lint violation at a source location.
@@ -71,6 +103,32 @@ impl ToJson for Finding {
     }
 }
 
+/// A construct the parser could not understand; the syntactic lints
+/// degraded gracefully around it. Reported so that gaps cannot silently
+/// hide violations.
+#[derive(Debug, Clone)]
+pub struct ReportGap {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What the parser was trying to parse.
+    pub context: String,
+    /// The token that stopped it.
+    pub found: String,
+}
+
+impl ToJson for ReportGap {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("file".into(), Json::Str(self.file.clone())),
+            ("line".into(), Json::UInt(u64::from(self.line))),
+            ("context".into(), Json::Str(self.context.clone())),
+            ("found".into(), Json::Str(self.found.clone())),
+        ])
+    }
+}
+
 /// A full lint run: findings plus bookkeeping for the summary.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -78,8 +136,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
-    /// Number of L2 sites suppressed by the allowlist.
+    /// Number of sites suppressed by the allowlist (all layers).
     pub allowlisted: usize,
+    /// Parser gaps encountered while building the syntactic lints' ASTs.
+    pub parse_gaps: Vec<ReportGap>,
 }
 
 impl Report {
@@ -108,7 +168,7 @@ impl Report {
                 .collect(),
         );
         Json::Obj(vec![
-            ("schema".into(), Json::Str("picocube-lint/v1".into())),
+            ("schema".into(), Json::Str("picocube-lint/v2".into())),
             (
                 "files_scanned".into(),
                 Json::UInt(self.files_scanned as u64),
@@ -116,6 +176,7 @@ impl Report {
             ("allowlisted".into(), Json::UInt(self.allowlisted as u64)),
             ("counts".into(), counts),
             ("findings".into(), self.findings.to_json()),
+            ("parse_gaps".into(), self.parse_gaps.to_json()),
         ])
     }
 
@@ -125,8 +186,10 @@ impl Report {
         if self.findings.is_empty() {
             let _ = writeln!(
                 out,
-                "picocube-lint: clean ({} files scanned, {} allowlisted L2 sites)",
-                self.files_scanned, self.allowlisted
+                "picocube-lint: clean ({} files scanned, {} allowlisted sites, {} parse gaps)",
+                self.files_scanned,
+                self.allowlisted,
+                self.parse_gaps.len()
             );
             return out;
         }
@@ -201,6 +264,7 @@ mod tests {
             ],
             files_scanned: 2,
             allowlisted: 1,
+            parse_gaps: Vec::new(),
         };
         r.sort();
         r

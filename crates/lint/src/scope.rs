@@ -19,6 +19,13 @@ pub struct Scope {
     pub l3: bool,
     /// L4 provenance (power, radio, storage constants).
     pub l4: bool,
+    /// L5 dimensional flow (function bodies of the physical crates).
+    pub l5: bool,
+    /// L6 RNG-stream discipline (fact collection runs on every scanned
+    /// file; the registry check itself is cross-file).
+    pub l6: bool,
+    /// L7 telemetry-key registry (every scanned file's emit sites).
+    pub l7: bool,
 }
 
 /// Crates whose public API must use unit newtypes (L1).
@@ -26,6 +33,9 @@ const L1_CRATES: &[&str] = &["power", "harvest", "storage", "radio", "sensors"];
 
 /// Crates whose named constants must cite the paper (L4).
 const L4_CRATES: &[&str] = &["power", "radio", "storage"];
+
+/// Crates whose function bodies get dimensional-flow inference (L5).
+const L5_CRATES: &[&str] = &["harvest", "storage", "power", "sim", "core"];
 
 /// The crate name for a `crates/<name>/src/...` path, if any.
 fn crate_of(path: &str) -> Option<&str> {
@@ -58,12 +68,17 @@ pub fn scope_for(path: &str) -> Option<Scope> {
                 || path == "crates/core/src/fleet.rs"
                 || path == "crates/core/src/mesh.rs",
             l4: L4_CRATES.contains(&krate),
+            l5: L5_CRATES.contains(&krate),
+            l6: true,
+            l7: true,
         });
     }
     // The root package's library sources.
     if path.starts_with("src/") {
         return Some(Scope {
             l2: true,
+            l6: true,
+            l7: true,
             ..Scope::default()
         });
     }
@@ -105,14 +120,23 @@ mod tests {
     }
 
     #[test]
-    fn root_package_gets_l2_only() {
+    fn root_package_gets_l2_and_registry_lints_only() {
         let s = scope_for("src/lib.rs").unwrap();
         assert_eq!(
             s,
             Scope {
                 l2: true,
+                l6: true,
+                l7: true,
                 ..Scope::default()
             }
         );
+    }
+
+    #[test]
+    fn physical_crates_get_dimensional_flow() {
+        assert!(scope_for("crates/power/src/charge_pump.rs").unwrap().l5);
+        assert!(scope_for("crates/sim/src/power.rs").unwrap().l5);
+        assert!(!scope_for("crates/radio/src/channel.rs").unwrap().l5);
     }
 }

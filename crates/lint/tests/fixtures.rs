@@ -130,6 +130,109 @@ fn l4_violation_fixture_is_caught() {
     assert!(f[0].message.contains("CELL_NOMINAL_V"));
 }
 
+#[test]
+fn l5_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        Lint::L5,
+        "crates/power/src/fixture.rs",
+        include_str!("fixtures/l5_pass.rs"),
+    );
+    assert!(f.is_empty(), "unexpected L5 findings: {f:?}");
+}
+
+#[test]
+fn l5_violation_fixture_is_caught() {
+    let f = lint_fixture(
+        Lint::L5,
+        "crates/power/src/fixture.rs",
+        include_str!("fixtures/l5_violation.rs"),
+    );
+    let mut kinds: Vec<&str> = f.iter().map(|f| f.kind.as_str()).collect();
+    kinds.sort_unstable();
+    assert_eq!(kinds, ["launder", "mixed-units", "mixed-units"], "{f:?}");
+}
+
+#[test]
+fn l5_is_out_of_scope_outside_physical_crates() {
+    let f = lint_fixture(
+        Lint::L5,
+        "crates/radio/src/fixture.rs",
+        include_str!("fixtures/l5_violation.rs"),
+    );
+    assert!(f.is_empty(), "L5 fired outside its scope: {f:?}");
+}
+
+#[test]
+fn l6_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        Lint::L6,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/l6_pass.rs"),
+    );
+    assert!(f.is_empty(), "unexpected L6 findings: {f:?}");
+}
+
+#[test]
+fn l6_violation_fixture_catches_every_discipline_breach() {
+    let f = lint_fixture(
+        Lint::L6,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/l6_violation.rs"),
+    );
+    let kinds: Vec<&str> = f.iter().map(|f| f.kind.as_str()).collect();
+    assert_eq!(
+        kinds,
+        [
+            "literal-stream",
+            "derived-stream",
+            "fork",
+            "adhoc-derivation"
+        ],
+        "{f:?}"
+    );
+}
+
+#[test]
+fn l6_homes_are_exempt_from_their_own_rules() {
+    // The RNG home may mix seeds; the fleet engine may derive stream
+    // indices arithmetically.
+    let f = lint_fixture(
+        Lint::L6,
+        "crates/sim/src/rng.rs",
+        "fn mix(s: u64) -> u64 { s.wrapping_add(0x9E37_79B9_7F4A_7C15) }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+    let f = lint_fixture(
+        Lint::L6,
+        "crates/core/src/fleet.rs",
+        "fn node_stream(master: u64, node: usize) -> u64 {\n\
+             SimRng::stream_seed(master, 2 * node as u64)\n\
+         }\n",
+    );
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn l7_pass_fixture_is_clean() {
+    let f = lint_fixture(
+        Lint::L7,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/l7_pass.rs"),
+    );
+    assert!(f.is_empty(), "unexpected L7 findings: {f:?}");
+}
+
+#[test]
+fn l7_violation_fixture_is_caught() {
+    let f = lint_fixture(
+        Lint::L7,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/l7_violation.rs"),
+    );
+    let kinds: Vec<&str> = f.iter().map(|f| f.kind.as_str()).collect();
+    assert_eq!(kinds, ["inline-key", "unregistered-key"], "{f:?}");
+}
+
 /// All violation fixtures rolled into one report, serialized and compared
 /// against the checked-in snapshot — any schema or message drift shows up
 /// as a diff here.
@@ -153,10 +256,22 @@ fn violation_report_json_snapshot() {
             "crates/storage/src/l4_violation.rs",
             include_str!("fixtures/l4_violation.rs"),
         ),
+        (
+            "crates/power/src/l5_violation.rs",
+            include_str!("fixtures/l5_violation.rs"),
+        ),
+        (
+            "crates/core/src/l6_violation.rs",
+            include_str!("fixtures/l6_violation.rs"),
+        ),
+        (
+            "crates/core/src/l7_violation.rs",
+            include_str!("fixtures/l7_violation.rs"),
+        ),
     ] {
         report.findings.extend(lint_file_contents(path, src));
     }
-    report.files_scanned = 4;
+    report.files_scanned = 7;
     report.sort();
     let actual = report.to_json().to_string();
 

@@ -1,0 +1,27 @@
+//! L5 pass fixture: dimensionally consistent arithmetic. Unit algebra
+//! (V·A·s = J), same-unit sums/compares, and scalar offsets are all fine.
+
+fn energy_budget(p: Watts, t: Seconds) -> Joules {
+    p * t
+}
+
+fn total(a: Joules, b: Joules) -> Joules {
+    a + b
+}
+
+fn rate(e: Joules, t: Seconds) -> Watts {
+    e / t
+}
+
+fn headroom(stored: Joules, cost: Joules) -> bool {
+    stored.value() > cost.value()
+}
+
+fn biased(e: Joules) -> f64 {
+    e.micro() + 1.0
+}
+
+fn integral(v: Volts, i: Amps, t: Seconds) -> f64 {
+    let e = v * i * t;
+    e.value() + Joules::ZERO.value()
+}

@@ -1,0 +1,13 @@
+//! L5 violation fixture: mixed-unit arithmetic and raw-`f64` laundering.
+
+fn mixed_add(e: Joules, p: Watts) -> f64 {
+    e.value() + p.value()
+}
+
+fn mixed_compare(v: Volts, t: Seconds) -> bool {
+    v.value() < t.value()
+}
+
+fn laundered(e: Joules) -> f64 {
+    e.into_inner() * 2.0
+}

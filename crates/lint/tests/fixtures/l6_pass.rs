@@ -1,0 +1,8 @@
+//! L6 pass fixture: a stream id declared as a named constant and drawn
+//! through `SimRng::stream` — the registry discipline the lint enforces.
+
+const FIXTURE_STREAM: u64 = 11;
+
+fn spawn(seed: u64) -> SimRng {
+    SimRng::stream(seed, FIXTURE_STREAM)
+}

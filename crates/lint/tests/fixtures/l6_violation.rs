@@ -1,0 +1,19 @@
+//! L6 violation fixture: every way to break stream discipline — magic
+//! stream numbers, arithmetic index derivation outside the fleet engine,
+//! forking outside the RNG home, and golden-ratio seed mixing by hand.
+
+fn literal(seed: u64) -> SimRng {
+    SimRng::stream(seed, 3)
+}
+
+fn derived(seed: u64, i: u64) -> u64 {
+    SimRng::stream_seed(seed, 2 * i)
+}
+
+fn forked(rng: &mut SimRng) -> SimRng {
+    rng.fork()
+}
+
+fn remixed(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}

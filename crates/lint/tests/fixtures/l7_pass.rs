@@ -1,0 +1,9 @@
+//! L7 pass fixture: metric keys come from the `picocube_telemetry::keys`
+//! registry, either as constants or as its wildcard helper fns.
+
+use picocube_telemetry::keys;
+
+fn export(m: &mut Metrics, rail: &str) {
+    m.inc(keys::MESH_OFFERED, 1);
+    m.add(&keys::power_rail_uj(rail), 2.0);
+}

@@ -1,0 +1,9 @@
+//! L7 violation fixture: an inline key string at an emit site, and a
+//! constant minted outside the registry module.
+
+const LOCAL_KEY: &str = "fixture.local";
+
+fn export(m: &mut Metrics) {
+    m.inc("fixture.inline", 1);
+    m.inc(LOCAL_KEY, 1);
+}

@@ -46,10 +46,11 @@ impl Transmission {
     /// `radio.tx.packets` / `radio.tx.bits`, the accumulating gauge
     /// `radio.tx.energy_uj`, and the `radio.tx.airtime_us` histogram.
     pub fn export_metrics(&self, metrics: &mut picocube_telemetry::Metrics) {
-        metrics.inc("radio.tx.packets", 1);
-        metrics.inc("radio.tx.bits", self.bits as u64);
-        metrics.add("radio.tx.energy_uj", self.energy.micro());
-        metrics.observe("radio.tx.airtime_us", self.duration.value() * 1e6);
+        use picocube_telemetry::keys;
+        metrics.inc(keys::RADIO_TX_PACKETS, 1);
+        metrics.inc(keys::RADIO_TX_BITS, self.bits as u64);
+        metrics.add(keys::RADIO_TX_ENERGY_UJ, self.energy.micro());
+        metrics.observe(keys::RADIO_TX_AIRTIME_US, self.duration.value() * 1e6);
     }
 }
 

@@ -12,6 +12,34 @@ use crate::{SimDuration, SimTime};
 use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 use picocube_units::{Amps, Joules, Seconds, Volts, Watts};
 
+/// A [`PowerLedger`] lookup was given a handle the ledger never issued
+/// (a `RailId`/`LoadId` from a different ledger, or a corrupted one).
+///
+/// Handles are only obtainable from [`PowerLedger::add_rail`] and
+/// [`PowerLedger::register_load`] and loads are never removed, so within
+/// one ledger every issued handle stays valid for the ledger's lifetime;
+/// this error is always a wiring bug in the caller, never a model
+/// outcome. It is still surfaced as a `Result` (rather than a panic) so
+/// a single mis-wired node degrades instead of aborting a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The `RailId` does not name a rail of this ledger.
+    UnknownRail,
+    /// The `LoadId` does not name a load of this ledger.
+    UnknownLoad,
+}
+
+impl core::fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnknownRail => write!(f, "rail handle was not issued by this power ledger"),
+            Self::UnknownLoad => write!(f, "load handle was not issued by this power ledger"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
 /// Identifies a supply rail registered with a [`PowerLedger`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RailId(usize);
@@ -52,13 +80,16 @@ struct Rail {
 /// use picocube_sim::{PowerLedger, SimTime};
 /// use picocube_units::{Volts, Amps, Watts};
 ///
+/// # fn main() -> Result<(), picocube_sim::LedgerError> {
 /// let mut ledger = PowerLedger::new();
 /// let vdd = ledger.add_rail("VDD", Volts::new(3.0));
-/// let mcu = ledger.register_load(vdd, "MSP430");
+/// let mcu = ledger.register_load(vdd, "MSP430")?;
 ///
-/// ledger.set_load_current(mcu, Amps::from_micro(0.5)); // deep sleep
+/// ledger.set_load_current(mcu, Amps::from_micro(0.5))?; // deep sleep
 /// ledger.advance_to(SimTime::from_secs(6));
 /// assert!((ledger.total_energy().micro() - 9.0).abs() < 1e-9); // 3V*0.5µA*6s
+/// # Ok(())
+/// # }
 /// ```
 #[derive(Debug, Clone)]
 pub struct PowerLedger {
@@ -99,23 +130,49 @@ impl PowerLedger {
         RailId(self.rails.len() - 1)
     }
 
+    /// Looks up a rail by handle.
+    fn rail_slot(&self, rail: RailId) -> Result<&Rail, LedgerError> {
+        self.rails.get(rail.0).ok_or(LedgerError::UnknownRail)
+    }
+
+    /// Looks up a rail by handle, mutably.
+    fn rail_slot_mut(&mut self, rail: RailId) -> Result<&mut Rail, LedgerError> {
+        self.rails.get_mut(rail.0).ok_or(LedgerError::UnknownRail)
+    }
+
+    /// Looks up a load by handle.
+    fn load_slot(&self, load: LoadId) -> Result<&Load, LedgerError> {
+        self.rails
+            .get(load.rail)
+            .and_then(|r| r.loads.get(load.load))
+            .ok_or(LedgerError::UnknownLoad)
+    }
+
+    /// Looks up a load by handle, mutably.
+    fn load_slot_mut(&mut self, load: LoadId) -> Result<&mut Load, LedgerError> {
+        self.rails
+            .get_mut(load.rail)
+            .and_then(|r| r.loads.get_mut(load.load))
+            .ok_or(LedgerError::UnknownLoad)
+    }
+
     /// Registers a named load on `rail`, initially drawing zero current.
     ///
-    /// # Panics
-    ///
-    /// Panics if `rail` was not issued by this ledger.
-    pub fn register_load(&mut self, rail: RailId, name: impl Into<String>) -> LoadId {
-        let r = &mut self.rails[rail.0];
+    /// Fails if `rail` was not issued by this ledger.
+    pub fn register_load(
+        &mut self,
+        rail: RailId,
+        name: impl Into<String>,
+    ) -> Result<LoadId, LedgerError> {
+        let r = self.rail_slot_mut(rail)?;
         r.loads.push(Load {
             name: name.into(),
             current: Amps::ZERO,
             energy: Joules::ZERO,
         });
+        let load = r.loads.len() - 1;
         self.hot_dirty = true;
-        LoadId {
-            rail: rail.0,
-            load: r.loads.len() - 1,
-        }
+        Ok(LoadId { rail: rail.0, load })
     }
 
     /// Current simulation time of the ledger.
@@ -128,38 +185,46 @@ impl PowerLedger {
     /// The previous draw is assumed to have held since the last
     /// [`advance_to`](Self::advance_to); call `advance_to` *before* changing
     /// currents at an event boundary.
-    pub fn set_load_current(&mut self, load: LoadId, current: Amps) {
-        self.rails[load.rail].loads[load.load].current = current;
+    pub fn set_load_current(&mut self, load: LoadId, current: Amps) -> Result<(), LedgerError> {
+        self.load_slot_mut(load)?.current = current;
         self.hot_dirty = true;
+        Ok(())
     }
 
     /// Reads back the instantaneous current drawn by `load`.
-    pub fn load_current(&self, load: LoadId) -> Amps {
-        self.rails[load.rail].loads[load.load].current
+    pub fn load_current(&self, load: LoadId) -> Result<Amps, LedgerError> {
+        Ok(self.load_slot(load)?.current)
     }
 
     /// Updates the rail voltage (e.g. battery sag). Takes effect for energy
     /// integrated after the call.
-    pub fn set_rail_voltage(&mut self, rail: RailId, voltage: Volts) {
-        self.rails[rail.0].voltage = voltage;
+    pub fn set_rail_voltage(&mut self, rail: RailId, voltage: Volts) -> Result<(), LedgerError> {
+        self.rail_slot_mut(rail)?.voltage = voltage;
+        Ok(())
     }
 
     /// The present voltage of `rail`.
-    pub fn rail_voltage(&self, rail: RailId) -> Volts {
-        self.rails[rail.0].voltage
+    pub fn rail_voltage(&self, rail: RailId) -> Result<Volts, LedgerError> {
+        Ok(self.rail_slot(rail)?.voltage)
     }
 
     /// Instantaneous power drawn from `rail` (sum over its loads).
-    pub fn rail_power(&self, rail: RailId) -> Watts {
-        let r = &self.rails[rail.0];
+    pub fn rail_power(&self, rail: RailId) -> Result<Watts, LedgerError> {
+        let r = self.rail_slot(rail)?;
         let total: Amps = r.loads.iter().map(|l| l.current).sum();
-        r.voltage * total
+        Ok(r.voltage * total)
     }
 
     /// Instantaneous total power across all rails.
     pub fn total_power(&self) -> Watts {
-        (0..self.rails.len())
-            .map(|i| self.rail_power(RailId(i)))
+        // Same per-rail visit and accumulation order as summing
+        // `rail_power` over every issued handle.
+        self.rails
+            .iter()
+            .map(|r| {
+                let total: Amps = r.loads.iter().map(|l| l.current).sum();
+                r.voltage * total
+            })
             .sum()
     }
 
@@ -251,19 +316,22 @@ impl PowerLedger {
     }
 
     /// Total energy consumed from `rail` so far.
-    pub fn rail_energy(&self, rail: RailId) -> Joules {
-        self.rails[rail.0].loads.iter().map(|l| l.energy).sum()
+    pub fn rail_energy(&self, rail: RailId) -> Result<Joules, LedgerError> {
+        Ok(self.rail_slot(rail)?.loads.iter().map(|l| l.energy).sum())
     }
 
     /// Energy consumed by one load so far.
-    pub fn load_energy(&self, load: LoadId) -> Joules {
-        self.rails[load.rail].loads[load.load].energy
+    pub fn load_energy(&self, load: LoadId) -> Result<Joules, LedgerError> {
+        Ok(self.load_slot(load)?.energy)
     }
 
     /// Total energy consumed across all rails so far.
     pub fn total_energy(&self) -> Joules {
-        (0..self.rails.len())
-            .map(|i| self.rail_energy(RailId(i)))
+        // Same per-rail visit and accumulation order as summing
+        // `rail_energy` over every issued handle.
+        self.rails
+            .iter()
+            .map(|r| r.loads.iter().map(|l| l.energy).sum::<Joules>())
             .sum()
     }
 
@@ -285,19 +353,20 @@ impl PowerLedger {
     /// (`power.total.uj`), all in microjoules. Gauges merge by addition,
     /// so fleet-merged registries carry per-rail totals across nodes.
     pub fn export_metrics(&self, metrics: &mut picocube_telemetry::Metrics) {
+        use picocube_telemetry::keys;
         for rail in &self.rails {
             metrics.add(
-                &format!("power.rail.{}.uj", rail.name),
+                &keys::power_rail_uj(&rail.name),
                 rail.loads.iter().map(|l| l.energy.micro()).sum(),
             );
             for load in &rail.loads {
                 metrics.add(
-                    &format!("power.load.{}.{}.uj", rail.name, load.name),
+                    &keys::power_load_uj(&rail.name, &load.name),
                     load.energy.micro(),
                 );
             }
         }
-        metrics.add("power.total.uj", self.total_energy().micro());
+        metrics.add(keys::POWER_TOTAL_UJ, self.total_energy().micro());
     }
 
     /// Produces a structured per-rail, per-load energy report.
@@ -425,11 +494,13 @@ mod tests {
     fn integrates_piecewise_constant_current() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VBAT", Volts::new(1.2));
-        let load = ledger.register_load(rail, "radio");
+        let load = ledger.register_load(rail, "radio").unwrap();
 
-        ledger.set_load_current(load, Amps::from_milli(1.0));
+        ledger
+            .set_load_current(load, Amps::from_milli(1.0))
+            .unwrap();
         ledger.advance_to(SimTime::from_millis(10));
-        ledger.set_load_current(load, Amps::ZERO);
+        ledger.set_load_current(load, Amps::ZERO).unwrap();
         ledger.advance_to(SimTime::from_secs(10));
 
         // 1.2 V * 1 mA * 10 ms = 12 µJ
@@ -440,24 +511,24 @@ mod tests {
     fn per_load_breakdown() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VDD", Volts::new(2.0));
-        let a = ledger.register_load(rail, "a");
-        let b = ledger.register_load(rail, "b");
-        ledger.set_load_current(a, Amps::from_micro(1.0));
-        ledger.set_load_current(b, Amps::from_micro(3.0));
+        let a = ledger.register_load(rail, "a").unwrap();
+        let b = ledger.register_load(rail, "b").unwrap();
+        ledger.set_load_current(a, Amps::from_micro(1.0)).unwrap();
+        ledger.set_load_current(b, Amps::from_micro(3.0)).unwrap();
         ledger.advance_to(SimTime::from_secs(1));
-        assert!((ledger.load_energy(a).micro() - 2.0).abs() < 1e-9);
-        assert!((ledger.load_energy(b).micro() - 6.0).abs() < 1e-9);
-        assert!((ledger.rail_energy(rail).micro() - 8.0).abs() < 1e-9);
+        assert!((ledger.load_energy(a).unwrap().micro() - 2.0).abs() < 1e-9);
+        assert!((ledger.load_energy(b).unwrap().micro() - 6.0).abs() < 1e-9);
+        assert!((ledger.rail_energy(rail).unwrap().micro() - 8.0).abs() < 1e-9);
     }
 
     #[test]
     fn rail_voltage_change_applies_forward() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VBAT", Volts::new(1.2));
-        let load = ledger.register_load(rail, "mcu");
-        ledger.set_load_current(load, Amps::new(1.0));
+        let load = ledger.register_load(rail, "mcu").unwrap();
+        ledger.set_load_current(load, Amps::new(1.0)).unwrap();
         ledger.advance_to(SimTime::from_secs(1)); // 1.2 J
-        ledger.set_rail_voltage(rail, Volts::new(1.0));
+        ledger.set_rail_voltage(rail, Volts::new(1.0)).unwrap();
         ledger.advance_to(SimTime::from_secs(2)); // +1.0 J
         assert!((ledger.total_energy().value() - 2.2).abs() < 1e-9);
     }
@@ -466,8 +537,10 @@ mod tests {
     fn average_power_matches_energy_over_time() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VDD", Volts::new(3.0));
-        let load = ledger.register_load(rail, "x");
-        ledger.set_load_current(load, Amps::from_micro(2.0));
+        let load = ledger.register_load(rail, "x").unwrap();
+        ledger
+            .set_load_current(load, Amps::from_micro(2.0))
+            .unwrap();
         ledger.advance_to(SimTime::from_secs(100));
         assert!((ledger.average_power().micro() - 6.0).abs() < 1e-9);
     }
@@ -483,10 +556,10 @@ mod tests {
         let mut ledger = PowerLedger::new();
         let r1 = ledger.add_rail("a", Volts::new(1.0));
         let r2 = ledger.add_rail("b", Volts::new(2.0));
-        let l1 = ledger.register_load(r1, "x");
-        let l2 = ledger.register_load(r2, "y");
-        ledger.set_load_current(l1, Amps::new(1.0));
-        ledger.set_load_current(l2, Amps::new(1.0));
+        let l1 = ledger.register_load(r1, "x").unwrap();
+        let l2 = ledger.register_load(r2, "y").unwrap();
+        ledger.set_load_current(l1, Amps::new(1.0)).unwrap();
+        ledger.set_load_current(l2, Amps::new(1.0)).unwrap();
         assert!((ledger.total_power().value() - 3.0).abs() < 1e-12);
     }
 
@@ -502,10 +575,10 @@ mod tests {
     fn export_metrics_breaks_energy_out_per_rail_and_load() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VBAT", Volts::new(1.0));
-        let a = ledger.register_load(rail, "mcu");
-        let b = ledger.register_load(rail, "radio");
-        ledger.set_load_current(a, Amps::from_micro(1.0));
-        ledger.set_load_current(b, Amps::from_micro(3.0));
+        let a = ledger.register_load(rail, "mcu").unwrap();
+        let b = ledger.register_load(rail, "radio").unwrap();
+        ledger.set_load_current(a, Amps::from_micro(1.0)).unwrap();
+        ledger.set_load_current(b, Amps::from_micro(3.0)).unwrap();
         ledger.advance_to(SimTime::from_secs(2));
 
         let mut metrics = picocube_telemetry::Metrics::new();
@@ -522,8 +595,10 @@ mod tests {
     fn unbalanced_ledger_trips_the_sanitizer() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VBAT", Volts::new(1.2));
-        let load = ledger.register_load(rail, "radio");
-        ledger.set_load_current(load, Amps::from_milli(1.0));
+        let load = ledger.register_load(rail, "radio").unwrap();
+        ledger
+            .set_load_current(load, Amps::from_milli(1.0))
+            .unwrap();
         ledger.advance_to(SimTime::from_secs(1));
         // Corrupt one integral behind the ledger's back; the next advance
         // must catch the imbalance.
@@ -535,11 +610,15 @@ mod tests {
     fn sanitizer_accepts_a_balanced_ledger() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VDD", Volts::new(3.0));
-        let a = ledger.register_load(rail, "mcu");
-        let b = ledger.register_load(rail, "sensor");
+        let a = ledger.register_load(rail, "mcu").unwrap();
+        let b = ledger.register_load(rail, "sensor").unwrap();
         for step in 1..=1_000u64 {
-            ledger.set_load_current(a, Amps::from_micro(step as f64));
-            ledger.set_load_current(b, Amps::from_micro(1_000.0 - step as f64));
+            ledger
+                .set_load_current(a, Amps::from_micro(step as f64))
+                .unwrap();
+            ledger
+                .set_load_current(b, Amps::from_micro(1_000.0 - step as f64))
+                .unwrap();
             ledger.advance_to(SimTime::from_millis(step));
         }
         // 1 mA aggregate at 3 V for 1 s = 3 mJ; the two accumulators agree.
@@ -547,11 +626,54 @@ mod tests {
     }
 
     #[test]
+    fn foreign_handles_are_rejected_not_panicked() {
+        // Handles minted by one ledger must be refused (not panic) when
+        // presented to another, emptier ledger.
+        let mut big = PowerLedger::new();
+        let r0 = big.add_rail("a", Volts::new(1.0));
+        let r1 = big.add_rail("b", Volts::new(1.0));
+        let l0 = big.register_load(r0, "w").unwrap();
+        let l1 = big.register_load(r1, "x").unwrap();
+
+        let mut small = PowerLedger::new();
+        small.add_rail("only", Volts::new(1.0));
+        assert_eq!(
+            small.register_load(r1, "y").unwrap_err(),
+            LedgerError::UnknownRail
+        );
+        assert_eq!(
+            small.rail_voltage(r1).unwrap_err(),
+            LedgerError::UnknownRail
+        );
+        assert_eq!(small.rail_power(r1).unwrap_err(), LedgerError::UnknownRail);
+        assert_eq!(small.rail_energy(r1).unwrap_err(), LedgerError::UnknownRail);
+        assert_eq!(
+            small.set_rail_voltage(r1, Volts::new(2.0)).unwrap_err(),
+            LedgerError::UnknownRail
+        );
+        assert_eq!(
+            small.load_current(l1).unwrap_err(),
+            LedgerError::UnknownLoad
+        );
+        assert_eq!(small.load_energy(l1).unwrap_err(), LedgerError::UnknownLoad);
+        assert_eq!(
+            small.set_load_current(l1, Amps::ZERO).unwrap_err(),
+            LedgerError::UnknownLoad
+        );
+        // A valid rail with an out-of-range load slot is an unknown load.
+        assert!(small.rail_voltage(r0).is_ok());
+        assert_eq!(
+            small.load_current(l0).unwrap_err(),
+            LedgerError::UnknownLoad
+        );
+    }
+
+    #[test]
     fn report_contains_all_loads() {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("VDD", Volts::new(3.0));
-        ledger.register_load(rail, "mcu");
-        ledger.register_load(rail, "sensor");
+        ledger.register_load(rail, "mcu").unwrap();
+        ledger.register_load(rail, "sensor").unwrap();
         let report = ledger.report();
         assert_eq!(report.rails.len(), 1);
         assert_eq!(report.rails[0].loads.len(), 2);

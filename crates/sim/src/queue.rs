@@ -116,10 +116,11 @@ impl<E> EventQueue<E> {
     /// Exports the queue statistics as counters under `prefix`
     /// (`<prefix>.pushed`, `<prefix>.popped`, `<prefix>.max_depth`).
     pub fn export_metrics(&self, metrics: &mut picocube_telemetry::Metrics, prefix: &str) {
+        use picocube_telemetry::keys;
         let stats = self.stats();
-        metrics.inc(&format!("{prefix}.pushed"), stats.pushed);
-        metrics.inc(&format!("{prefix}.popped"), stats.popped);
-        metrics.inc(&format!("{prefix}.max_depth"), stats.max_len as u64);
+        metrics.inc(&keys::queue_pushed(prefix), stats.pushed);
+        metrics.inc(&keys::queue_popped(prefix), stats.popped);
+        metrics.inc(&keys::queue_max_depth(prefix), stats.max_len as u64);
     }
 
     /// The timestamp of the earliest pending event, if any.

@@ -71,6 +71,21 @@ impl SimRng {
         Self::seed_from(Self::stream_seed(master, stream))
     }
 
+    /// Fans a master seed into decorrelated whole-run seeds (Monte Carlo
+    /// campaigns): seed `k` of the fan, with `fan_seed(master, 0) ==
+    /// master` so the first run reproduces the un-fanned spec exactly.
+    ///
+    /// This is a Weyl sequence stepped by the 64-bit golden ratio — a
+    /// deliberately *weaker* mix than [`stream_seed`](Self::stream_seed)
+    /// (no splitmix64 finalizer) because each fanned seed is itself a
+    /// master that [`seed_from`](Self::seed_from) scrambles; keeping `k =
+    /// 0` an identity is the property campaigns rely on. Like the stream
+    /// rule, it lives here so seed derivation has exactly one home (the
+    /// L6 lint enforces this).
+    pub fn fan_seed(master: u64, k: u64) -> u64 {
+        master.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     /// Derives an independent child RNG. Forking lets subsystems consume
     /// randomness without perturbing each other's streams, so adding a model
     /// does not change the draws seen by existing ones.
@@ -146,18 +161,19 @@ impl SimRng {
 
     /// A raw `u64`, for callers that need bits rather than floats.
     pub fn next_u64(&mut self) -> u64 {
-        // xoshiro256++ (Blackman & Vigna, 2019).
+        // xoshiro256++ (Blackman & Vigna, 2019). The update is written as
+        // a shadowing chain (same order as the reference's indexed form)
+        // so the hot path carries no slice indexing at all.
         let [s0, s1, s2, s3] = self.state;
         let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
         let t = s1 << 17;
-        let mut s = [s0, s1, s2, s3];
-        s[2] ^= s[0];
-        s[3] ^= s[1];
-        s[1] ^= s[2];
-        s[0] ^= s[3];
-        s[2] ^= t;
-        s[3] = s[3].rotate_left(45);
-        self.state = s;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        let s2 = s2 ^ t;
+        let s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
         result
     }
 

@@ -50,11 +50,11 @@ proptest! {
     ) {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("r", Volts::new(voltage));
-        let load = ledger.register_load(rail, "l");
+        let load = ledger.register_load(rail, "l").unwrap();
         let mut t = 0u64;
         let mut expected = 0.0;
         for &(dt_us, amps) in &schedule {
-            ledger.set_load_current(load, Amps::new(amps));
+            ledger.set_load_current(load, Amps::new(amps)).unwrap();
             t += dt_us * 1_000;
             ledger.advance_to(SimTime::from_nanos(t));
             expected += voltage * amps * (dt_us as f64 * 1e-6);
@@ -70,9 +70,9 @@ proptest! {
     ) {
         let mut ledger = PowerLedger::new();
         let rail = ledger.add_rail("r", Volts::new(1.2));
-        let load = ledger.register_load(rail, "l");
+        let load = ledger.register_load(rail, "l").unwrap();
         for (i, &a) in currents.iter().enumerate() {
-            ledger.set_load_current(load, Amps::new(a));
+            ledger.set_load_current(load, Amps::new(a)).unwrap();
             ledger.advance_to(SimTime::from_millis((i as u64 + 1) * 10));
         }
         let avg = ledger.average_power().value();

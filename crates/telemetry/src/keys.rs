@@ -1,0 +1,201 @@
+//! The metric-key registry.
+//!
+//! Every key passed to a [`crate::Metrics`] method is declared here —
+//! emit sites reference these constants (enforced by the workspace's L7
+//! lint), so a metric cannot be silently split by a typo or orphaned by a
+//! rename: the registry, the emit sites and the golden fixtures move
+//! together or the lint fails.
+//!
+//! Dynamic key families (per-rail, per-load, per-queue) get a helper
+//! function — the one blessed home for `format!`-built keys — plus a
+//! `*_PATTERN` constant (with `*` wildcards) that documents the family
+//! and anchors the golden-fixture drift check.
+//!
+//! Events need no registry: [`crate::EventKind`] is a typed enum.
+
+// --- MCU duty cycle ------------------------------------------------------
+
+/// Nanoseconds the MCU spent in its active mode.
+pub const MCU_ACTIVE_NS: &str = "mcu.active_ns";
+/// Nanoseconds the MCU spent in low-power mode.
+pub const MCU_LPM_NS: &str = "mcu.lpm_ns";
+
+// --- Node lifecycle ------------------------------------------------------
+
+/// Sensor-driven node wakeups.
+pub const NODE_WAKES: &str = "node.wakes";
+/// Supply-collapse events observed by the node.
+pub const NODE_BROWNOUTS: &str = "node.brownouts";
+/// Injected chaos faults the node absorbed.
+pub const NODE_FAULTS: &str = "node.faults";
+
+// --- Board peripherals ---------------------------------------------------
+
+/// Sensor trigger count on the integrated board.
+pub const BOARD_SENSOR_FIRES: &str = "board.sensor.fires";
+/// Load-switch operations served from the switch's settling cache.
+pub const BOARD_SWITCH_OP_CACHE_HITS: &str = "board.switch.op_cache_hits";
+/// Load-switch operations that missed the settling cache.
+pub const BOARD_SWITCH_OP_CACHE_MISSES: &str = "board.switch.op_cache_misses";
+/// Packets sent by the board radio.
+pub const BOARD_RADIO_PACKETS: &str = "board.radio.packets";
+/// Payload bytes sent by the board radio.
+pub const BOARD_RADIO_BYTES: &str = "board.radio.bytes";
+/// Packets relayed by the board's wakeup-radio receive path.
+pub const BOARD_RADIO_RELAYS: &str = "board.radio.relays";
+/// Energy spent relaying, in microjoules.
+pub const BOARD_RADIO_RELAY_ENERGY_UJ: &str = "board.radio.relay_energy_uj";
+/// Brownouts recorded by the board's storage element.
+pub const BOARD_STORAGE_BROWNOUTS: &str = "board.storage.brownouts";
+/// Final state of charge of the board's storage element.
+pub const BOARD_STORAGE_SOC: &str = "board.storage.soc";
+/// Energy harvested into storage, in microjoules.
+pub const BOARD_STORAGE_HARVESTED_UJ: &str = "board.storage.harvested_uj";
+
+// --- Radio transmitter ---------------------------------------------------
+
+/// Packets transmitted.
+pub const RADIO_TX_PACKETS: &str = "radio.tx.packets";
+/// Bits transmitted.
+pub const RADIO_TX_BITS: &str = "radio.tx.bits";
+/// Transmit energy, in microjoules.
+pub const RADIO_TX_ENERGY_UJ: &str = "radio.tx.energy_uj";
+/// Per-packet airtime histogram, in microseconds.
+pub const RADIO_TX_AIRTIME_US: &str = "radio.tx.airtime_us";
+
+// --- Power ledger --------------------------------------------------------
+
+/// Total energy drawn across all rails, in microjoules.
+pub const POWER_TOTAL_UJ: &str = "power.total.uj";
+/// Per-rail energy family: `power.rail.<rail>.uj`.
+pub const POWER_RAIL_UJ_PATTERN: &str = "power.rail.*.uj";
+/// Per-load energy family: `power.load.<rail>.<load>.uj`.
+pub const POWER_LOAD_UJ_PATTERN: &str = "power.load.*.uj";
+
+/// The accumulated energy key for one rail (family
+/// [`POWER_RAIL_UJ_PATTERN`]).
+pub fn power_rail_uj(rail: &str) -> String {
+    format!("power.rail.{rail}.uj")
+}
+
+/// The accumulated energy key for one load on a rail (family
+/// [`POWER_LOAD_UJ_PATTERN`]).
+pub fn power_load_uj(rail: &str, load: &str) -> String {
+    format!("power.load.{rail}.{load}.uj")
+}
+
+// --- Event-queue statistics ----------------------------------------------
+
+/// Queue push-count family: `<queue>.pushed`.
+pub const QUEUE_PUSHED_PATTERN: &str = "*.pushed";
+/// Queue pop-count family: `<queue>.popped`.
+pub const QUEUE_POPPED_PATTERN: &str = "*.popped";
+/// Queue high-water-mark family: `<queue>.max_depth`.
+pub const QUEUE_MAX_DEPTH_PATTERN: &str = "*.max_depth";
+
+/// The push-count key for one queue (family [`QUEUE_PUSHED_PATTERN`]).
+pub fn queue_pushed(prefix: &str) -> String {
+    format!("{prefix}.pushed")
+}
+
+/// The pop-count key for one queue (family [`QUEUE_POPPED_PATTERN`]).
+pub fn queue_popped(prefix: &str) -> String {
+    format!("{prefix}.popped")
+}
+
+/// The high-water-mark key for one queue (family
+/// [`QUEUE_MAX_DEPTH_PATTERN`]).
+pub fn queue_max_depth(prefix: &str) -> String {
+    format!("{prefix}.max_depth")
+}
+
+// --- Fleet engine --------------------------------------------------------
+
+/// Worker threads used by the fleet scheduler.
+pub const FLEET_SCHED_WORKERS: &str = "fleet.sched.workers";
+/// Work chunks the fleet scheduler produced.
+pub const FLEET_SCHED_CHUNKS: &str = "fleet.sched.chunks";
+/// Nodes per scheduler chunk.
+pub const FLEET_SCHED_CHUNK_SIZE: &str = "fleet.sched.chunk_size";
+/// Chunks stolen across scheduler workers.
+pub const FLEET_SCHED_STEALS: &str = "fleet.sched.steals";
+/// Received-power histogram at the fleet collector, in dBm.
+pub const FLEET_RX_DBM: &str = "fleet.rx_dbm";
+/// Transmissions offered to the shared channel.
+pub const FLEET_OFFERED: &str = "fleet.offered";
+/// Transmissions lost to collisions.
+pub const FLEET_COLLIDED: &str = "fleet.collided";
+/// Transmissions lost to the channel model.
+pub const FLEET_CHANNEL_LOSSES: &str = "fleet.channel_losses";
+/// Transmissions delivered to the collector.
+pub const FLEET_DELIVERED: &str = "fleet.delivered";
+/// Nodes whose chaos faults left them dead at merge time.
+pub const FLEET_FAULTED_NODES: &str = "fleet.faulted_nodes";
+/// Mean offered load (Erlang) over the run.
+pub const FLEET_OFFERED_LOAD: &str = "fleet.offered_load";
+
+// --- Mesh engine ---------------------------------------------------------
+
+/// Receptions lost because the listener saw overlapping frames.
+pub const MESH_RX_COLLIDED: &str = "mesh.rx.collided";
+/// Receptions missed because the listener was transmitting.
+pub const MESH_RX_HALF_DUPLEX: &str = "mesh.rx.half_duplex";
+/// Frames detected by a listening node.
+pub const MESH_RX_DETECTED: &str = "mesh.rx.detected";
+/// Frames discarded as already-seen duplicates.
+pub const MESH_RX_DUPLICATES: &str = "mesh.rx.duplicates";
+/// Relays suppressed by the hop limit.
+pub const MESH_RELAY_HOP_LIMITED: &str = "mesh.relay.hop_limited";
+/// Relay transmissions injected into the schedule.
+pub const MESH_RELAY_INJECTED: &str = "mesh.relay.injected";
+/// Relay transmissions that made it on air.
+pub const MESH_RELAY_ON_AIR: &str = "mesh.relay.on_air";
+/// Relay transmissions dropped before airtime.
+pub const MESH_RELAY_DROPPED: &str = "mesh.relay.dropped";
+/// Noise-triggered wakeups across the mesh.
+pub const MESH_FALSE_WAKES: &str = "mesh.false_wakes";
+/// Received-power histogram at the sink, in dBm.
+pub const MESH_SINK_RX_DBM: &str = "mesh.sink.rx_dbm";
+/// Hop-count histogram of delivered packets.
+pub const MESH_DELIVERED_HOPS: &str = "mesh.delivered_hops";
+/// Transmissions offered to the mesh channel.
+pub const MESH_OFFERED: &str = "mesh.offered";
+/// Transmissions lost to collisions at the sink.
+pub const MESH_COLLIDED: &str = "mesh.collided";
+/// Transmissions lost to the channel model at the sink.
+pub const MESH_CHANNEL_LOSSES: &str = "mesh.channel_losses";
+/// Transmissions delivered to the sink.
+pub const MESH_DELIVERED: &str = "mesh.delivered";
+/// Distinct origin packets offered at least once.
+pub const MESH_UNIQUE_OFFERED: &str = "mesh.unique.offered";
+/// Distinct origin packets delivered at least once.
+pub const MESH_UNIQUE_DELIVERED: &str = "mesh.unique.delivered";
+/// Nodes whose chaos faults left them dead at merge time.
+pub const MESH_FAULTED_NODES: &str = "mesh.faulted_nodes";
+/// Mean offered load (Erlang) over the run.
+pub const MESH_OFFERED_LOAD: &str = "mesh.offered_load";
+
+// --- Scenario campaigns --------------------------------------------------
+
+/// Seeds folded into the campaign.
+pub const CAMPAIGN_SEEDS: &str = "campaign.seeds";
+/// Total nodes simulated across all seeds.
+pub const CAMPAIGN_NODES_TOTAL: &str = "campaign.nodes_total";
+/// Nodes that browned out at least once, across all seeds.
+pub const CAMPAIGN_BROWNED_OUT_NODES: &str = "campaign.browned_out_nodes";
+/// Final alive fraction of the pooled survival curve.
+pub const CAMPAIGN_FINAL_ALIVE_FRACTION: &str = "campaign.final_alive_fraction";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_agree_with_their_patterns() {
+        assert_eq!(power_rail_uj("VBAT"), "power.rail.VBAT.uj");
+        assert_eq!(power_load_uj("VBAT", "mcu"), "power.load.VBAT.mcu.uj");
+        assert_eq!(queue_pushed("sim.queue"), "sim.queue.pushed");
+        assert_eq!(queue_popped("sim.queue"), "sim.queue.popped");
+        assert_eq!(queue_max_depth("sim.queue"), "sim.queue.max_depth");
+    }
+}

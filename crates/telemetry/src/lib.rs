@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod keys;
 mod metrics;
 mod recorder;
 

@@ -1,21 +1,25 @@
 //! Workspace task runner.
 //!
 //! ```text
-//! cargo xtask lint [--json PATH] [--update-allowlist] [--max-allowlisted N]
+//! cargo xtask lint [--json PATH] [--update-allowlist] [--allow-growth]
+//!                  [--max-allowlisted N]
 //! ```
 //!
 //! Runs the picocube-lint invariant checks over the workspace, prints the
 //! human diagnostic table, optionally writes the machine-readable JSON
 //! report, and exits non-zero when any finding survives the allowlist.
 //! `--update-allowlist` mechanically tightens `lint-allowlist.txt` to the
-//! current L2 counts (existing justifications are preserved; new groups get
-//! a TODO placeholder that must be justified before commit).
-//! `--max-allowlisted N` additionally fails the run when the allowlist
-//! budgets more than `N` total L2 sites — CI pins `N` to the current total
-//! so the panic-freedom burndown can only shrink.
+//! current raw counts of the allowlisted lints (existing justifications
+//! are preserved; new groups get a TODO placeholder that must be justified
+//! before commit). The update is **shrink-only**: it refuses to raise any
+//! budget or add entries for new findings unless `--allow-growth` is also
+//! passed, so a regression cannot be waved through by regenerating the
+//! file. `--max-allowlisted N` additionally fails the run when the
+//! allowlist budgets more than `N` total L2 sites — CI pins `N` to the
+//! current total so the panic-freedom burndown can only shrink.
 
 use picocube_lint::allowlist::{Allowlist, Entry};
-use picocube_lint::source::SiteKind;
+use picocube_lint::report::Lint;
 use picocube_lint::{run_workspace, ALLOWLIST_PATH};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -28,7 +32,10 @@ fn workspace_root() -> PathBuf {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: cargo xtask lint [--json PATH] [--update-allowlist] [--max-allowlisted N]");
+    eprintln!(
+        "usage: cargo xtask lint [--json PATH] [--update-allowlist] [--allow-growth] \
+         [--max-allowlisted N]"
+    );
     ExitCode::from(2)
 }
 
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
     }
     let mut json_path: Option<PathBuf> = None;
     let mut update_allowlist = false;
+    let mut allow_growth = false;
     let mut max_allowlisted: Option<usize> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -51,12 +59,17 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--update-allowlist" => update_allowlist = true,
+            "--allow-growth" => allow_growth = true,
             "--max-allowlisted" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) => max_allowlisted = Some(n),
                 None => return usage(),
             },
             _ => return usage(),
         }
+    }
+    if allow_growth && !update_allowlist {
+        eprintln!("xtask lint: --allow-growth only makes sense with --update-allowlist");
+        return usage();
     }
 
     let root = workspace_root();
@@ -69,7 +82,7 @@ fn main() -> ExitCode {
     };
 
     if update_allowlist {
-        return match write_allowlist(&root, &run) {
+        return match write_allowlist(&root, &run, allow_growth) {
             Ok(n) => {
                 println!("xtask lint: wrote {ALLOWLIST_PATH} with {n} entries");
                 ExitCode::SUCCESS
@@ -91,7 +104,7 @@ fn main() -> ExitCode {
         println!("json report: {}", path.display());
     }
     if let Some(cap) = max_allowlisted {
-        match allowlist_total(&root) {
+        match allowlist_l2_total(&root) {
             Ok(total) if total > cap => {
                 eprintln!(
                     "xtask lint: allowlist budgets {total} L2 sites but the cap is {cap} — \
@@ -113,23 +126,26 @@ fn main() -> ExitCode {
     }
 }
 
-/// Total L2 sites budgeted by `lint-allowlist.txt` (0 when absent).
-fn allowlist_total(root: &Path) -> Result<usize, String> {
+/// Total L2 sites budgeted by `lint-allowlist.txt` (0 when absent). The
+/// syntactic lints' budgets are tracked per entry but not capped here.
+fn allowlist_l2_total(root: &Path) -> Result<usize, String> {
     let path = root.join(ALLOWLIST_PATH);
     if !path.is_file() {
         return Ok(0);
     }
     let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
-    Ok(Allowlist::parse(&text)?
-        .entries
-        .iter()
-        .map(|e| e.count)
-        .sum())
+    Ok(Allowlist::parse(&text)?.total(Lint::L2))
 }
 
-/// Rewrites the allowlist to match the current raw L2 counts, preserving
-/// existing justifications. Returns the number of entries written.
-fn write_allowlist(root: &Path, run: &picocube_lint::RunOutput) -> Result<usize, String> {
+/// Rewrites the allowlist to match the current raw finding counts,
+/// preserving existing justifications. Shrink-only unless `allow_growth`:
+/// raising a budget or adding a group is refused with a description of
+/// every offending group. Returns the number of entries written.
+fn write_allowlist(
+    root: &Path,
+    run: &picocube_lint::RunOutput,
+    allow_growth: bool,
+) -> Result<usize, String> {
     let path = root.join(ALLOWLIST_PATH);
     let existing = if path.is_file() {
         let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
@@ -138,29 +154,41 @@ fn write_allowlist(root: &Path, run: &picocube_lint::RunOutput) -> Result<usize,
         Allowlist::default()
     };
 
-    let mut groups: BTreeMap<(String, SiteKind), usize> = BTreeMap::new();
-    for f in &run.raw_l2 {
-        if let Some(kind) = SiteKind::parse(&f.kind) {
-            *groups.entry((f.file.clone(), kind)).or_insert(0) += 1;
-        }
+    let mut groups: BTreeMap<(String, Lint, String), usize> = BTreeMap::new();
+    for f in &run.raw_allowlisted {
+        *groups
+            .entry((f.file.clone(), f.lint, f.kind.clone()))
+            .or_insert(0) += 1;
     }
+    let mut grown = Vec::new();
     let entries: Vec<Entry> = groups
         .into_iter()
-        .map(|((file, kind), count)| {
+        .map(|((file, lint, kind), count)| {
+            let budget = existing.budget(&file, lint, &kind);
+            if count > budget {
+                grown.push(format!("{file} {}:{kind} {budget} -> {count}", lint.code()));
+            }
             let justification = existing
                 .entries
                 .iter()
-                .find(|e| e.path == file && e.kind == kind)
+                .find(|e| e.path == file && e.lint == lint && e.kind == kind)
                 .map(|e| e.justification.clone())
                 .unwrap_or_else(|| "TODO: justify or fix before commit".to_string());
             Entry {
                 path: file,
+                lint,
                 kind,
                 count,
                 justification,
             }
         })
         .collect();
+    if !grown.is_empty() && !allow_growth {
+        return Err(format!(
+            "refusing to grow the allowlist (pass --allow-growth to override):\n  {}",
+            grown.join("\n  ")
+        ));
+    }
     let n = entries.len();
     let rendered = Allowlist { entries }.render();
     std::fs::write(&path, rendered).map_err(|e| e.to_string())?;
