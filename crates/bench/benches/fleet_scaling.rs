@@ -1,6 +1,8 @@
 //! Scaling benchmark for the work-stealing fleet engine: serial vs a sweep
 //! of thread counts at increasing fleet sizes, with a bit-identity check
-//! between serial and every threaded run.
+//! between serial and every threaded run, plus the streaming ladder —
+//! 1k/100k/1M-node runs at a short simulated span whose nodes/sec and
+//! peak-RSS rows quantify the engine's O(workers) live state.
 //!
 //! Emits `BENCH_fleet.json` in the workspace root. Run with
 //! `cargo bench -p picocube-bench --bench fleet_scaling`. Flags:
@@ -24,6 +26,7 @@
 //! - The pre-overhaul 256-node serial time is embedded as `baseline` so
 //!   the before/after comparison travels with the numbers.
 
+use picocube_bench::rss::{fmt_bytes, max_rss_bytes};
 use picocube_bench::timing::{time_best, time_once};
 use picocube_node::{run_fleet_with_stats, FleetConfig, Parallelism};
 use picocube_sim::SimDuration;
@@ -84,6 +87,35 @@ impl SizeRow {
             (
                 "sweep".into(),
                 Json::Arr(self.sweep.iter().map(ThreadRow::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// One rung of the streaming ladder: a short-duration run at a fleet size
+/// the materialize-then-merge engine could not hold in memory, with the
+/// process's peak RSS sampled after the run. The high-water mark is
+/// monotonic, so each row reports the largest fleet streamed *so far* —
+/// run the rungs smallest-first and the flat curve is the O(workers)
+/// memory claim.
+struct LadderRow {
+    nodes: usize,
+    threads: usize,
+    wall_s: f64,
+    nodes_per_s: f64,
+    max_rss_bytes: Option<u64>,
+}
+
+impl LadderRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("nodes".into(), self.nodes.to_json()),
+            ("threads".into(), self.threads.to_json()),
+            ("wall_s".into(), self.wall_s.to_json()),
+            ("nodes_per_s".into(), self.nodes_per_s.to_json()),
+            (
+                "max_rss_bytes".into(),
+                self.max_rss_bytes.map_or(Json::Null, |b| b.to_json()),
             ),
         ])
     }
@@ -206,6 +238,47 @@ fn main() {
         });
     }
 
+    // The streaming ladder: million-node scale at a short simulated span.
+    // One TPMS report cycle (6 s) is enough simulated time for every node
+    // to wake, sample and transmit, so nodes/sec here measures the
+    // engine's streaming throughput, not the firmware's duty cycle.
+    let ladder_sizes: &[usize] = if args.short {
+        &[1_000, 100_000]
+    } else {
+        &[1_000, 100_000, 1_000_000]
+    };
+    let ladder_threads = hardware_threads.unwrap_or(4).clamp(2, 16);
+    let ladder_duration_s = 6u64;
+    println!("\nstreaming ladder: {ladder_duration_s} s simulated, {ladder_threads} threads");
+    println!(
+        "{:>9} {:>10} {:>13} {:>12}",
+        "nodes", "wall", "nodes/sec", "peak RSS"
+    );
+    let mut ladder = Vec::new();
+    for &nodes in ladder_sizes {
+        let config = FleetConfig::builder()
+            .nodes(nodes)
+            .duration(SimDuration::from_secs(ladder_duration_s))
+            .seed(SEED)
+            .parallelism(Parallelism::Threads(ladder_threads))
+            .build()
+            .expect("valid ladder configuration");
+        let (wall_s, _) = time_once(|| run_fleet_with_stats(&config, &mut NullRecorder));
+        let hwm = max_rss_bytes();
+        println!(
+            "{nodes:>9} {wall_s:>9.2}s {:>13.0} {:>12}",
+            nodes as f64 / wall_s,
+            hwm.map_or("n/a".to_string(), fmt_bytes),
+        );
+        ladder.push(LadderRow {
+            nodes,
+            threads: ladder_threads,
+            wall_s,
+            nodes_per_s: nodes as f64 / wall_s,
+            max_rss_bytes: hwm,
+        });
+    }
+
     let baseline = rows
         .iter()
         .find(|r| r.nodes == 256)
@@ -236,6 +309,19 @@ fn main() {
         (
             "results".into(),
             Json::Arr(rows.iter().map(SizeRow::to_json).collect()),
+        ),
+        (
+            "ladder".into(),
+            Json::Obj(vec![
+                (
+                    "simulated_duration_s".into(),
+                    (ladder_duration_s as f64).to_json(),
+                ),
+                (
+                    "rows".into(),
+                    Json::Arr(ladder.iter().map(LadderRow::to_json).collect()),
+                ),
+            ]),
         ),
     ]);
     // Cargo runs benches with the package as working directory; anchor the

@@ -2,14 +2,17 @@
 //! transmit-only, so its MAC is pure unslotted ALOHA; this experiment maps
 //! packet delivery vs deployment density, with the capture effect.
 //!
-//! Usage: `exp_dense_network [--nodes N[,N...]] [--threads T] [--telemetry PATH] [--mesh]`
+//! Usage: `exp_dense_network [--nodes N[,N...]] [--threads T] [--duration S] [--telemetry PATH] [--mesh]`
 //!
 //! `--nodes` overrides the default density sweep with specific fleet
 //! sizes; `--threads` runs phase 1 of the fleet engine on T worker
-//! threads (results are bit-identical to the serial path); `--telemetry`
-//! streams every fleet run's structured event log to PATH as JSON lines
-//! and prints the merged metric registry. Telemetry is deterministic: the
-//! same seed produces byte-identical logs serial or threaded.
+//! threads (results are bit-identical to the serial path); `--duration`
+//! shortens the simulated span from the default 120 s — the streaming
+//! smoke for 100k–1M-node fleets, whose peak RSS the run reports;
+//! `--telemetry` streams every fleet run's structured event log to PATH
+//! as JSON lines and prints the merged metric registry. Telemetry is
+//! deterministic: the same seed produces byte-identical logs serial or
+//! threaded.
 //!
 //! `--mesh` switches the experiment to the wakeup-RX relay mesh
 //! (DESIGN.md §12): nodes on a line stretched past the sink's direct
@@ -24,7 +27,7 @@ use picocube_sim::SimDuration;
 use picocube_telemetry::{summary_table, JsonlRecorder, Metrics, NullRecorder, Recorder};
 
 const USAGE: &str =
-    "exp_dense_network [--nodes N[,N...]] [--threads T] [--telemetry PATH] [--mesh]";
+    "exp_dense_network [--nodes N[,N...]] [--threads T] [--duration S] [--telemetry PATH] [--mesh]";
 
 fn parse_args() -> CommonArgs {
     let mut args = CommonArgs::parse_or_exit(USAGE);
@@ -59,7 +62,8 @@ fn run_mesh_sweep(args: &CommonArgs) {
     });
     let mut merged = Metrics::new();
 
-    println!("\n60 s deployments, 2.5 m spacing, sink 2 m off the head of the line:\n");
+    let duration_s = args.duration_s.unwrap_or(60);
+    println!("\n{duration_s} s deployments, 2.5 m spacing, sink 2 m off the head of the line:\n");
     println!(
         "{:>6} {:>8} {:>10} {:>7} {:>8} {:>8} {:>8} {:>12}  by hops",
         "nodes", "unique", "delivered", "ratio", "relays", "rx", "dupes", "relay-uJ"
@@ -67,7 +71,7 @@ fn run_mesh_sweep(args: &CommonArgs) {
     for &nodes in &args.nodes {
         let config = MeshConfig {
             nodes,
-            duration: SimDuration::from_secs(60),
+            duration: SimDuration::from_secs(duration_s),
             spacing_m: 2.5,
             seed: 42,
             parallelism: args.parallelism,
@@ -131,6 +135,18 @@ fn main() {
         run_mesh_sweep(&args);
         return;
     }
+    run_fleet_sweep(&args);
+    if let Some(hwm) = picocube_bench::rss::max_rss_bytes() {
+        // The streaming engine's O(workers) claim, as a number: peak RSS
+        // stays flat no matter how many nodes the sweep above streamed.
+        println!(
+            "\npeak RSS: {} (streaming engine, O(workers) live state)",
+            picocube_bench::rss::fmt_bytes(hwm)
+        );
+    }
+}
+
+fn run_fleet_sweep(args: &CommonArgs) {
     banner(
         "E13 / §1 (extension)",
         "dense deployments: ALOHA delivery vs fleet size",
@@ -153,7 +169,8 @@ fn main() {
         out
     };
 
-    println!("\n2-minute deployments, 6 s sample period, ~1 ms airtime per packet:\n");
+    let duration_s = args.duration_s.unwrap_or(120);
+    println!("\n{duration_s} s deployments, 6 s sample period, ~1 ms airtime per packet:\n");
     println!(
         "{:>7} {:>9} {:>10} {:>10} {:>10} {:>9}",
         "nodes", "offered", "collided", "chan-lost", "delivered", "ratio"
@@ -161,7 +178,7 @@ fn main() {
     for &nodes in &args.nodes {
         let config = FleetConfig::builder()
             .nodes(nodes)
-            .duration(SimDuration::from_secs(120))
+            .duration(SimDuration::from_secs(duration_s))
             .seed(42)
             .parallelism(args.parallelism)
             .build()
@@ -187,7 +204,7 @@ fn main() {
     // Worst case: clock-locked nodes.
     let locked_config = FleetConfig::builder()
         .nodes(32)
-        .duration(SimDuration::from_secs(120))
+        .duration(SimDuration::from_secs(duration_s))
         .distance_range(1.0, 1.05)
         .seed(43)
         .parallelism(args.parallelism)

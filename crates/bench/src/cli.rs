@@ -1,8 +1,8 @@
 //! Shared command-line parsing for the `exp_*` experiment binaries.
 //!
 //! Every fleet-flavoured experiment historically carried its own copy of
-//! the `--nodes/--threads/--telemetry/--mesh` parser; this module is the
-//! one shared implementation. Parsing is `Result`-based — binaries call
+//! the `--nodes/--threads/--duration/--telemetry/--mesh` parser; this
+//! module is the one shared implementation. Parsing is `Result`-based — binaries call
 //! [`CommonArgs::parse_or_exit`] which prints the error plus a usage line
 //! and exits with status 2, the conventional "bad invocation" code,
 //! instead of panicking with a backtrace at the user.
@@ -24,9 +24,13 @@ pub struct CommonArgs {
     /// Fleet sizes from `--nodes N[,N...]`; empty when the flag was
     /// omitted (binaries substitute their own default sweep).
     pub nodes: Vec<usize>,
-    /// Engine parallelism from `--threads T` (`T <= 1` means serial;
-    /// results are bit-identical either way).
+    /// Engine parallelism from `--threads T` (`T == 1` means serial, `0`
+    /// is rejected; results are bit-identical either way).
     pub parallelism: Parallelism,
+    /// Simulated span in seconds from `--duration S`; `None` when omitted
+    /// (binaries substitute their own default). Big-fleet streaming smokes
+    /// shorten this so a 100k–1M-node run finishes in CI time.
+    pub duration_s: Option<u64>,
     /// JSONL event-log path from `--telemetry PATH`.
     pub telemetry: Option<String>,
     /// Whether `--mesh` selected the wakeup-RX relay-mesh engine.
@@ -38,6 +42,7 @@ impl Default for CommonArgs {
         Self {
             nodes: Vec::new(),
             parallelism: Parallelism::Serial,
+            duration_s: None,
             telemetry: None,
             mesh: false,
         }
@@ -53,6 +58,10 @@ pub enum CliError {
     /// A flag's value failed to parse; carries the flag and the offending
     /// token.
     InvalidValue(&'static str, String),
+    /// A count flag parsed but was zero — a fleet of zero nodes or an
+    /// engine with zero threads is never what the caller meant, so the
+    /// parser names the flag instead of silently "rounding up".
+    ZeroValue(&'static str),
     /// A token no experiment binary understands.
     UnknownArg(String),
 }
@@ -62,6 +71,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::MissingValue(flag) => write!(f, "{flag} needs a value"),
             CliError::InvalidValue(flag, got) => write!(f, "{flag}: invalid value {got:?}"),
+            CliError::ZeroValue(flag) => write!(f, "{flag}: must be at least 1"),
             CliError::UnknownArg(arg) => write!(f, "unknown argument {arg:?}"),
         }
     }
@@ -73,8 +83,8 @@ impl CommonArgs {
     /// Parses an argument iterator (without the program name).
     ///
     /// Accepts `--nodes N[,N...]` (positive integers), `--threads T`,
-    /// `--telemetry PATH` and `--mesh`, in any order; later occurrences
-    /// override earlier ones.
+    /// `--duration S`, `--telemetry PATH` and `--mesh`, in any order;
+    /// later occurrences override earlier ones.
     pub fn parse<I: Iterator<Item = String>>(mut argv: I) -> Result<Self, CliError> {
         let mut args = CommonArgs::default();
         while let Some(arg) = argv.next() {
@@ -84,7 +94,10 @@ impl CommonArgs {
                     let nodes: Result<Vec<usize>, _> =
                         list.split(',').map(|n| n.trim().parse::<usize>()).collect();
                     args.nodes = match nodes {
-                        Ok(nodes) if !nodes.is_empty() && nodes.iter().all(|&n| n > 0) => nodes,
+                        Ok(nodes) if nodes.contains(&0) => {
+                            return Err(CliError::ZeroValue("--nodes"))
+                        }
+                        Ok(nodes) if !nodes.is_empty() => nodes,
                         _ => return Err(CliError::InvalidValue("--nodes", list)),
                     };
                 }
@@ -94,11 +107,22 @@ impl CommonArgs {
                         .trim()
                         .parse()
                         .map_err(|_| CliError::InvalidValue("--threads", value))?;
-                    args.parallelism = if t <= 1 {
-                        Parallelism::Serial
-                    } else {
-                        Parallelism::Threads(t)
+                    args.parallelism = match t {
+                        0 => return Err(CliError::ZeroValue("--threads")),
+                        1 => Parallelism::Serial,
+                        t => Parallelism::Threads(t),
                     };
+                }
+                "--duration" => {
+                    let value = argv.next().ok_or(CliError::MissingValue("--duration"))?;
+                    let s: u64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| CliError::InvalidValue("--duration", value))?;
+                    if s == 0 {
+                        return Err(CliError::ZeroValue("--duration"));
+                    }
+                    args.duration_s = Some(s);
                 }
                 "--telemetry" => {
                     args.telemetry =
@@ -165,12 +189,39 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_input() {
-        assert_eq!(parse(&["--nodes"]), Err(CliError::MissingValue("--nodes")));
+    fn parses_duration() {
+        let args = parse(&["--duration", "6"]).unwrap();
+        assert_eq!(args.duration_s, Some(6));
+        assert_eq!(parse(&[]).unwrap().duration_s, None);
+    }
+
+    #[test]
+    fn zero_counts_are_rejected_by_flag_name() {
         assert_eq!(
             parse(&["--nodes", "0"]),
-            Err(CliError::InvalidValue("--nodes", "0".into()))
+            Err(CliError::ZeroValue("--nodes"))
         );
+        assert_eq!(
+            parse(&["--nodes", "4,0,16"]),
+            Err(CliError::ZeroValue("--nodes"))
+        );
+        assert_eq!(
+            parse(&["--threads", "0"]),
+            Err(CliError::ZeroValue("--threads"))
+        );
+        assert_eq!(
+            parse(&["--duration", "0"]),
+            Err(CliError::ZeroValue("--duration"))
+        );
+        assert_eq!(
+            CliError::ZeroValue("--threads").to_string(),
+            "--threads: must be at least 1"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(parse(&["--nodes"]), Err(CliError::MissingValue("--nodes")));
         assert_eq!(
             parse(&["--nodes", "4,x"]),
             Err(CliError::InvalidValue("--nodes", "4,x".into()))

@@ -25,10 +25,11 @@
 //!
 //! The `scenario_run` binary executes a declarative JSON scenario spec
 //! (DESIGN.md §13) instead of a hard-coded experiment, and the shared
-//! `--nodes/--threads/--telemetry/--mesh` flag parsing for all of the
-//! above lives in [`cli`].
+//! `--nodes/--threads/--duration/--telemetry/--mesh` flag parsing for all
+//! of the above lives in [`cli`].
 
 pub mod cli;
+pub mod rss;
 pub mod timing;
 
 /// Prints the standard experiment header.

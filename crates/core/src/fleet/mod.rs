@@ -8,7 +8,7 @@
 //! collision model (with capture), and pushes survivors through the demo
 //! receiver — the delivery-vs-density curve a deployment planner needs.
 //!
-//! # Two-phase engine
+//! # Streaming two-phase engine
 //!
 //! The fleet runs in two phases so node simulations can execute on worker
 //! threads without changing any result:
@@ -28,18 +28,40 @@
 //!    operates on data whose order is already canonical, so it is
 //!    deterministic by construction.
 //!
+//! Phase 1 *streams*: a node's stack is built on claim, simulated, reduced
+//! to a compact per-packet record list plus its telemetry, folded into the
+//! run's [accumulator](accumulator) in node order, and torn down before
+//! the worker claims its next chunk. Live state is O(workers) node stacks
+//! plus the O(offered packets) record list the merge irreducibly consumes
+//! — never O(nodes) stacks or telemetry registries — which is what lets
+//! one machine sweep million-node fleets. A bounded reorder window keeps
+//! fast workers from buffering unboundedly ahead of the in-order fold.
+//!
 //! [`FleetConfig::parallelism`] selects serial or threaded execution of
-//! phase 1; both paths produce bit-identical [`FleetOutcome`]s.
+//! phase 1; both paths produce bit-identical [`FleetOutcome`]s. The fold
+//! can also be cut and serialized mid-run: see [`FleetCheckpoint`] and
+//! [`run_fleet_resumable`], which are bit-identical to uninterrupted runs.
+
+mod accumulator;
+mod checkpoint;
+
+pub(crate) use accumulator::NodeCounts;
+
+pub use checkpoint::{
+    run_fleet_partial, run_fleet_resumable, CheckpointError, FleetCheckpoint, StackCheckpoint,
+};
 
 use crate::bus::TransmittedPacket;
 use crate::node::{BuildError, NodeConfig, PicoCube};
 use crate::stack::{AppBoard, NodeFault, StackBuilder};
-use picocube_radio::packet::Checksum;
+use accumulator::{FleetAccumulator, NodeYield, PacketRecord};
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
 use picocube_sensors::MotionScenario;
 use picocube_sim::{SimDuration, SimRng, SimTime};
 use picocube_telemetry::{keys, EventKind, Metrics, NullRecorder, Recorder, TelemetryBuffer};
 use picocube_units::{Db, Dbm, Gs, Hertz, Meters, Seconds};
+use std::collections::BTreeMap;
+use std::sync::{Condvar, Mutex};
 
 /// How fleet phase 1 (per-node simulation) is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +235,14 @@ pub struct FleetConfig {
     /// default 500 reproduces the historical `uniform(-500, 500)` draw
     /// bit-identically; widening it models worse clock drift (chaos).
     pub wake_ppm_range: f64,
+    /// Whether to keep O(nodes) per-node tallies and populate
+    /// [`FleetOutcome::per_node_delivery`]. Off by default: a streaming
+    /// million-node run should not allocate a million-entry vector for a
+    /// curve most callers never read. Per-packet, per-node fates still
+    /// stream to the run's [`Recorder`] as [`EventKind::PacketFate`]
+    /// events regardless, so an O(1)-memory sink can rebuild any per-node
+    /// statistic offline.
+    pub per_node_stats: bool,
 }
 
 impl Default for FleetConfig {
@@ -227,6 +257,7 @@ impl Default for FleetConfig {
             parallelism: Parallelism::Serial,
             app: FleetApp::Tpms,
             wake_ppm_range: 500.0,
+            per_node_stats: false,
         }
     }
 }
@@ -383,6 +414,12 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Opts into the O(nodes) [`FleetOutcome::per_node_delivery`] vector.
+    pub fn per_node_stats(mut self, enabled: bool) -> Self {
+        self.config.per_node_stats = enabled;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<FleetConfig, FleetConfigError> {
         self.config.validate()?;
@@ -415,7 +452,10 @@ pub struct FleetOutcome {
     /// Nodes whose simulation latched a [`NodeFault`] before the run ended
     /// (their packets up to the fault still count toward `offered`).
     pub faulted: usize,
-    /// Per-node delivery fractions (indexed by node).
+    /// Per-node delivery fractions (indexed by node). Empty unless the run
+    /// opted in via [`FleetConfig::per_node_stats`] — the only O(nodes)
+    /// output the engine can produce, kept off the streaming path by
+    /// default.
     pub per_node_delivery: Vec<f64>,
     /// Normalized offered load `G` (fleet airtime / elapsed time).
     pub offered_load: f64,
@@ -434,7 +474,7 @@ impl FleetOutcome {
 
 /// One packet interval on the shared channel.
 #[derive(Debug, Clone)]
-struct OnAir {
+pub(crate) struct OnAir {
     node: usize,
     start: SimTime,
     end: SimTime,
@@ -648,86 +688,150 @@ impl FleetSchedStats {
     }
 }
 
-/// Runs phase 1 for every node, honoring `config.parallelism`. Results are
-/// returned indexed by node regardless of completion order.
-fn simulate_all_nodes(
-    config: &FleetConfig,
-    record_events: bool,
-) -> (Vec<NodeOnAir>, FleetSchedStats) {
-    let workers = config.parallelism.workers().min(config.nodes).max(1);
+/// Shared scheduler state for the streaming threaded path, behind one
+/// mutex: the chunk-claim cursor, the fold frontier, and the bounded
+/// reorder buffer of finished-but-not-yet-foldable chunks.
+struct StreamState<'acc> {
+    /// Next chunk index to hand to a claiming worker.
+    next_chunk: usize,
+    /// Lowest chunk index not yet folded into the accumulator.
+    floor_chunk: usize,
+    /// Finished chunks waiting for the fold frontier to reach them.
+    pending: BTreeMap<usize, Vec<NodeYield>>,
+    /// The run's in-order fold.
+    acc: &'acc mut FleetAccumulator,
+}
+
+/// Runs phase 1 for nodes `[acc.nodes_done(), upto)`, honoring
+/// `config.parallelism`, folding every node's yield into `acc` in node
+/// order the moment it can. Live state is O(workers): each worker holds at
+/// most one in-flight chunk of stacks-then-yields, and the bounded reorder
+/// window below keeps fast workers from buffering unboundedly ahead of the
+/// in-order fold.
+fn stream_nodes(config: &FleetConfig, acc: &mut FleetAccumulator, upto: usize) -> FleetSchedStats {
+    let record_events = acc.record_events();
+    let first = acc.nodes_done();
+    let remaining = upto.saturating_sub(first);
+    let workers = config.parallelism.workers().min(remaining).max(1);
     if workers == 1 {
-        let nodes = (0..config.nodes)
-            .map(|i| simulate_node_instrumented(config, i, record_events))
-            .collect();
-        return (nodes, FleetSchedStats::serial(config.nodes));
-    }
-    // Work stealing over an atomic chunk-claim queue: the node range is cut
-    // into fixed chunks and every worker loops claiming the next unclaimed
-    // chunk. Which worker simulates which node is scheduling-dependent, but
-    // each node's draws derive only from `(master seed, node index)` and
-    // results are scattered into per-node slots below, so the merge phase
-    // sees exactly the serial engine's input — even when faulted or
-    // browned-out nodes make per-node cost wildly uneven.
-    let chunks = config.nodes.div_ceil(STEAL_CHUNK);
-    let next_chunk = std::sync::atomic::AtomicUsize::new(0);
-    let per_worker: Vec<(u64, Vec<NodeOnAir>)> = std::thread::scope(|scope| {
-        let next_chunk = &next_chunk;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut claimed = 0u64;
-                    let mut out = Vec::new();
-                    loop {
-                        let chunk = next_chunk.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if chunk >= chunks {
-                            break;
-                        }
-                        claimed += 1;
-                        let lo = chunk * STEAL_CHUNK;
-                        let hi = (lo + STEAL_CHUNK).min(config.nodes);
-                        out.extend(
-                            (lo..hi).map(|i| simulate_node_instrumented(config, i, record_events)),
-                        );
-                    }
-                    (claimed, out)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|handle| match handle.join() {
-                Ok(result) => result,
-                // Re-raise the worker's own panic payload instead of
-                // replacing it with a second, less informative one.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut claims = Vec::with_capacity(workers);
-    let mut slots: Vec<Option<NodeOnAir>> = (0..config.nodes).map(|_| None).collect();
-    for (claimed, results) in per_worker {
-        claims.push(claimed);
-        for result in results {
-            if let Some(slot) = slots.get_mut(result.node) {
-                *slot = Some(result);
-            }
+        for index in first..upto {
+            acc.absorb(simulate_node_instrumented(config, index, record_events).into_yield());
         }
+        return FleetSchedStats::serial(remaining);
     }
-    let all: Vec<NodeOnAir> = slots.into_iter().flatten().collect();
-    assert_eq!(
-        all.len(),
-        config.nodes,
-        "chunk claim queue must cover every node exactly once"
+    // Work stealing over a chunk-claim cursor: the node range is cut into
+    // fixed chunks and every worker loops claiming the next unclaimed
+    // chunk. Which worker simulates which node is scheduling-dependent,
+    // but each node's draws derive only from `(master seed, node index)`
+    // and yields are folded strictly in node order via the reorder buffer,
+    // so the accumulator sees exactly the serial engine's fold — even when
+    // faulted or browned-out nodes make per-node cost wildly uneven.
+    //
+    // A worker may claim chunk `c` only while `c < floor + WINDOW`
+    // (`floor` = the fold frontier), so at most WINDOW chunks of yields
+    // exist at once: the claim rule is what bounds memory. Deadlock-free:
+    // after every deposit the floor chunk is never left sitting in
+    // `pending` (the depositing worker drains it), so the floor chunk is
+    // always in flight on some worker, and that worker's deposit path
+    // never waits.
+    let chunks = remaining.div_ceil(STEAL_CHUNK);
+    let window = 2 * workers;
+    let mut state = StreamState {
+        next_chunk: 0,
+        floor_chunk: 0,
+        pending: BTreeMap::new(),
+        acc,
+    };
+    let claims: Vec<u64> = {
+        let state = Mutex::new(&mut state);
+        let frontier_moved = Condvar::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let state = &state;
+                    let frontier_moved = &frontier_moved;
+                    scope.spawn(move || {
+                        let mut claimed = 0u64;
+                        loop {
+                            let mut guard = match state.lock() {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            let chunk = loop {
+                                if guard.next_chunk >= chunks {
+                                    break None;
+                                }
+                                if guard.next_chunk < guard.floor_chunk + window {
+                                    let chunk = guard.next_chunk;
+                                    guard.next_chunk += 1;
+                                    break Some(chunk);
+                                }
+                                guard = match frontier_moved.wait(guard) {
+                                    Ok(guard) => guard,
+                                    Err(poisoned) => poisoned.into_inner(),
+                                };
+                            };
+                            drop(guard);
+                            let Some(chunk) = chunk else {
+                                break;
+                            };
+                            claimed += 1;
+                            let lo = first + chunk * STEAL_CHUNK;
+                            let hi = (lo + STEAL_CHUNK).min(upto);
+                            // Simulate outside the lock; this is where the
+                            // wall-clock time goes.
+                            let yields: Vec<NodeYield> = (lo..hi)
+                                .map(|i| {
+                                    simulate_node_instrumented(config, i, record_events)
+                                        .into_yield()
+                                })
+                                .collect();
+                            let mut guard = match state.lock() {
+                                Ok(guard) => guard,
+                                Err(poisoned) => poisoned.into_inner(),
+                            };
+                            guard.pending.insert(chunk, yields);
+                            // Drain every consecutive chunk at the
+                            // frontier so the floor never idles in
+                            // `pending`.
+                            loop {
+                                let floor = guard.floor_chunk;
+                                let Some(folds) = guard.pending.remove(&floor) else {
+                                    break;
+                                };
+                                for fold in folds {
+                                    guard.acc.absorb(fold);
+                                }
+                                guard.floor_chunk += 1;
+                            }
+                            drop(guard);
+                            frontier_moved.notify_all();
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(claimed) => claimed,
+                    // Re-raise the worker's own panic payload instead of
+                    // replacing it with a second, less informative one.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+    assert!(
+        state.pending.is_empty() && state.floor_chunk == chunks,
+        "streaming fold must drain every claimed chunk"
     );
-    (
-        all,
-        FleetSchedStats {
-            workers,
-            chunk_size: STEAL_CHUNK,
-            chunks,
-            claims,
-        },
-    )
+    FleetSchedStats {
+        workers,
+        chunk_size: STEAL_CHUNK,
+        chunks,
+        claims,
+    }
 }
 
 /// The pre-work-stealing phase-1 scheduler: contiguous static shards,
@@ -867,30 +971,56 @@ fn merge_fleet_impl(
     nodes: Vec<NodeOnAir>,
     telemetry: &mut TelemetryBuffer,
 ) -> FleetOutcome {
-    let mut per_node_offered = vec![0usize; config.nodes];
-    let faulted_nodes = nodes.iter().filter(|n| n.fault.is_some()).count();
-    let mut on_air: Vec<OnAir> = Vec::new();
-    for node in nodes {
-        debug_assert!(node.node < per_node_offered.len(), "node index in range");
-        if let Some(offered) = per_node_offered.get_mut(node.node) {
-            *offered = node.packets.len();
+    // Lower the materialized per-node results onto the streaming merge
+    // input. Nodes may arrive in any order through this pre-streaming API
+    // (results used to be scattered into per-node slots); the canonical
+    // sort inside `merge_records` erases arrival order either way, and the
+    // per-node tallies index by the yield's own node field.
+    let faulted = nodes.iter().filter(|n| n.fault.is_some()).count();
+    let mut per_node = config
+        .per_node_stats
+        .then(|| vec![NodeCounts::default(); config.nodes]);
+    let mut records: Vec<PacketRecord> = Vec::new();
+    for node in &nodes {
+        if let Some(counts) = per_node.as_mut().and_then(|p| p.get_mut(node.node)) {
+            counts.offered = node.packets.len() as u32;
         }
-        on_air.extend(node.packets);
+        records.extend(node.packets.iter().map(PacketRecord::from_on_air));
     }
+    merge_records(config, records, faulted, per_node, telemetry)
+}
+
+/// The merge proper, over the accumulator's compact packet records:
+/// canonical `(start, node)` sort, collision/capture sweep, channel trials
+/// on the reserved merge stream, instrumentation, aggregation.
+///
+/// Bit-compatibility with the materializing engine is carried by two
+/// properties: the Bernoulli-per-bit channel trial short-circuits on the
+/// first corrupted bit exactly as before (records store the bit count, so
+/// the draw sequence is unchanged), and the checksum verdict — evaluated
+/// only when every bit survives — was precomputed at reduction time
+/// (`decode` draws no randomness, so hoisting it cannot shift the stream).
+fn merge_records(
+    config: &FleetConfig,
+    mut records: Vec<PacketRecord>,
+    faulted_nodes: usize,
+    mut per_node: Option<Vec<NodeCounts>>,
+    telemetry: &mut TelemetryBuffer,
+) -> FleetOutcome {
     // Canonical order. Two packets from the same node cannot share a start
     // time, so (start, node) is a total order independent of arrival order.
-    on_air.sort_by_key(|p| (p.start, p.node));
+    records.sort_by_key(|p| (p.start, p.node));
 
-    let slots: Vec<AirSlot> = on_air
+    let slots: Vec<AirSlot> = records
         .iter()
         .map(|p| AirSlot {
-            node: p.node,
+            node: p.node as usize,
             start: p.start,
             end: p.end,
             rx_dbm: p.rx_dbm,
         })
         .collect();
-    let mut fates = vec![PacketFate::Delivered; on_air.len()];
+    let mut fates = vec![PacketFate::Delivered; records.len()];
     for (fate, collided) in fates
         .iter_mut()
         .zip(capture_sweep(&slots, config.capture_margin))
@@ -905,22 +1035,21 @@ fn merge_fleet_impl(
     let mut rng = SimRng::stream(config.seed, MERGE_STREAM);
     let mut delivered = 0;
     let mut channel_losses = 0;
-    let mut per_node_delivered = vec![0usize; config.nodes];
-    for (entry, fate) in on_air.iter().zip(&mut fates) {
+    for (entry, fate) in records.iter().zip(&mut fates) {
         if *fate == PacketFate::Collided {
             continue;
         }
         // The link budget is already folded into rx_dbm; trial on SNR via
         // the receiver's error model.
         let ber = receiver.ber(entry.rx_dbm);
-        let bits = entry.packet.bytes.len() * 8;
-        let survived = (0..bits).all(|_| !rng.bernoulli(ber))
-            && picocube_radio::packet::decode(&entry.packet.bytes, Checksum::Xor).is_ok();
+        let survived = (0..entry.bits).all(|_| !rng.bernoulli(ber)) && entry.decode_ok;
         if survived {
             delivered += 1;
-            debug_assert!(entry.node < per_node_delivered.len(), "node index in range");
-            if let Some(count) = per_node_delivered.get_mut(entry.node) {
-                *count += 1;
+            if let Some(counts) = per_node
+                .as_mut()
+                .and_then(|p| p.get_mut(entry.node as usize))
+            {
+                counts.delivered += 1;
             }
         } else {
             channel_losses += 1;
@@ -930,7 +1059,7 @@ fn merge_fleet_impl(
 
     let collided = fates.iter().filter(|f| **f == PacketFate::Collided).count();
     let elapsed = config.duration.as_seconds().value();
-    let airtime: f64 = on_air
+    let airtime: f64 = records
         .iter()
         .map(|p| p.end.duration_since(p.start).as_seconds().value())
         .sum();
@@ -941,7 +1070,7 @@ fn merge_fleet_impl(
     telemetry
         .metrics
         .register_histogram(keys::FLEET_RX_DBM, &RX_DBM_BOUNDS);
-    for (entry, fate) in on_air.iter().zip(&fates) {
+    for (entry, fate) in records.iter().zip(&fates) {
         telemetry
             .metrics
             .observe(keys::FLEET_RX_DBM, entry.rx_dbm.value());
@@ -951,14 +1080,14 @@ fn merge_fleet_impl(
             PacketFate::ChannelLoss => "channel_loss",
         };
         telemetry.record_for(
-            entry.node as u32,
+            entry.node,
             entry.end.as_nanos(),
             EventKind::PacketFate { fate },
         );
     }
     telemetry
         .metrics
-        .inc(keys::FLEET_OFFERED, on_air.len() as u64);
+        .inc(keys::FLEET_OFFERED, records.len() as u64);
     telemetry.metrics.inc(keys::FLEET_COLLIDED, collided as u64);
     telemetry
         .metrics
@@ -979,16 +1108,14 @@ fn merge_fleet_impl(
         .add(keys::FLEET_OFFERED_LOAD, offered_load);
 
     FleetOutcome {
-        offered: on_air.len(),
+        offered: records.len(),
         collided,
         channel_losses,
         delivered,
         faulted: faulted_nodes,
-        per_node_delivery: per_node_offered
-            .iter()
-            .zip(&per_node_delivered)
-            .map(|(&o, &d)| if o == 0 { 0.0 } else { d as f64 / o as f64 })
-            .collect(),
+        per_node_delivery: per_node
+            .map(|counts| counts.iter().map(NodeCounts::delivery_ratio).collect())
+            .unwrap_or_default(),
         // Zero-duration (or packet-free) runs report 0, never NaN.
         offered_load,
     }
@@ -1048,9 +1175,17 @@ pub fn run_fleet_with_stats(
         // picocube-lint: allow(L2) documented `# Panics`; struct-literal configs bypass the builder's typed rejection
         panic!("degenerate fleet config: {error}");
     }
-    // Probe-build node 0 before any worker threads exist, so an invalid
-    // base config fails here with its typed build error rather than as a
-    // panic inside a shard thread.
+    probe_build(config);
+    let mut acc = FleetAccumulator::new(recorder.wants_events(), config.per_node_stats);
+    let sched_stats = stream_nodes(config, &mut acc, config.nodes);
+    let (outcome, metrics) = finalize_fleet(config, acc, recorder);
+    (outcome, metrics, sched_stats)
+}
+
+/// Probe-builds node 0 before any worker threads exist, so an invalid base
+/// config fails here with its typed build error rather than as a panic
+/// inside a worker thread.
+pub(crate) fn probe_build(config: &FleetConfig) {
     let probe = build_fleet_node(
         fleet_node_config(config, 0, &mut node_setup_rng(config.seed, 0)),
         config.app,
@@ -1060,9 +1195,30 @@ pub fn run_fleet_with_stats(
         "fleet base config does not build: {:?}",
         probe.as_ref().err()
     );
-    drop(probe);
-    let record_events = recorder.wants_events();
+}
+
+/// The run's tail: canonicalizes the fully-fed accumulator's event
+/// interleaving, frames the stream with phase markers, merges, and drains
+/// events into `recorder`.
+///
+/// The telemetry fold here reproduces the materializing engine's order of
+/// operations exactly — empty engine registry, node-order shard fold
+/// (already inside the accumulator), `(t_ns, node)` event sort, then the
+/// merge's instrumentation — so metric registries and event streams stay
+/// bit-identical to pre-streaming goldens.
+pub(crate) fn finalize_fleet(
+    config: &FleetConfig,
+    acc: FleetAccumulator,
+    recorder: &mut dyn Recorder,
+) -> (FleetOutcome, Metrics) {
+    assert_eq!(
+        acc.nodes_done(),
+        config.nodes,
+        "fleet fold finalized before every node was absorbed"
+    );
+    let record_events = acc.record_events();
     let duration_ns = config.duration.as_nanos();
+    let (records, mut shards, faulted, per_node) = acc.into_parts();
 
     let mut engine = TelemetryBuffer::with_events(record_events);
     engine.record(
@@ -1071,16 +1227,8 @@ pub fn run_fleet_with_stats(
             phase: "simulate".into(),
         },
     );
-    let (mut nodes, sched_stats) = simulate_all_nodes(config, record_events);
-
-    // Deterministic shard merge: absorb per-node buffers in node order,
-    // then canonicalize the interleaving. Thread scheduling cannot reorder
-    // anything because `simulate_all_nodes` returns results indexed by
-    // node regardless of completion order.
-    let mut shards = TelemetryBuffer::with_events(record_events);
-    for node in &mut nodes {
-        shards.absorb(std::mem::take(&mut node.telemetry));
-    }
+    // Deterministic shard merge: the accumulator absorbed per-node buffers
+    // in node order; canonicalize the interleaving.
     shards.sort_events();
     engine.absorb(shards);
     engine.record(
@@ -1096,7 +1244,7 @@ pub fn run_fleet_with_stats(
             phase: "merge".into(),
         },
     );
-    let outcome = merge_fleet_impl(config, nodes, &mut engine);
+    let outcome = merge_records(config, records, faulted, per_node, &mut engine);
     engine.record(
         duration_ns,
         EventKind::PhaseEnd {
@@ -1105,7 +1253,7 @@ pub fn run_fleet_with_stats(
     );
 
     engine.drain_events_into(recorder);
-    (outcome, engine.metrics, sched_stats)
+    (outcome, engine.metrics)
 }
 
 #[cfg(test)]
@@ -1298,13 +1446,42 @@ mod tests {
     }
 
     #[test]
-    fn per_node_stats_cover_all_nodes() {
-        let out = quick(5, 8);
+    fn per_node_stats_cover_all_nodes_when_opted_in() {
+        let out = run_fleet(
+            &FleetConfig::builder()
+                .nodes(5)
+                .duration(SimDuration::from_secs(60))
+                .seed(8)
+                .per_node_stats(true)
+                .build()
+                .expect("valid test scenario"),
+        );
         assert_eq!(out.per_node_delivery.len(), 5);
         assert!(out
             .per_node_delivery
             .iter()
             .all(|&d| (0.0..=1.0).contains(&d)));
+    }
+
+    #[test]
+    fn per_node_stats_default_off_keeps_output_o1() {
+        // The streaming default: no O(nodes) output vector. Aggregates are
+        // unchanged by the opt-in.
+        let opted = run_fleet(
+            &FleetConfig::builder()
+                .nodes(5)
+                .duration(SimDuration::from_secs(60))
+                .seed(8)
+                .per_node_stats(true)
+                .build()
+                .expect("valid test scenario"),
+        );
+        let off = quick(5, 8);
+        assert!(off.per_node_delivery.is_empty());
+        assert_eq!(off.offered, opted.offered);
+        assert_eq!(off.delivered, opted.delivered);
+        assert_eq!(off.collided, opted.collided);
+        assert_eq!(off.offered_load.to_bits(), opted.offered_load.to_bits());
     }
 
     #[test]
@@ -1315,6 +1492,7 @@ mod tests {
             nodes: 4,
             duration: SimDuration::from_secs(1),
             seed: 11,
+            per_node_stats: true,
             ..FleetConfig::default()
         });
         assert!(out.offered_load.is_finite());
@@ -1333,6 +1511,7 @@ mod tests {
                 duration: SimDuration::from_secs(30),
                 seed,
                 parallelism: Parallelism::Serial,
+                per_node_stats: true,
                 ..FleetConfig::default()
             });
             let threaded = run_fleet(&FleetConfig {
@@ -1340,6 +1519,7 @@ mod tests {
                 duration: SimDuration::from_secs(30),
                 seed,
                 parallelism: Parallelism::Threads(4),
+                per_node_stats: true,
                 ..FleetConfig::default()
             });
             assert_eq!(serial.offered, threaded.offered, "seed {seed}");
@@ -1392,6 +1572,33 @@ mod tests {
                 "{workers} workers"
             );
         }
+    }
+
+    #[test]
+    fn reorder_window_stall_path_is_bit_identical() {
+        // 48 nodes on 2 workers: 12 chunks against a window of 4, so fast
+        // workers must stall on the reorder window and resume when the
+        // fold frontier advances — the streaming engine's backpressure
+        // path, which the wider tests above never enter.
+        let run = |parallelism| {
+            run_fleet_with(
+                &FleetConfig {
+                    nodes: 48,
+                    duration: SimDuration::from_secs(10),
+                    seed: 31,
+                    parallelism,
+                    ..FleetConfig::default()
+                },
+                &mut NullRecorder,
+            )
+        };
+        let (serial_out, serial_metrics) = run(Parallelism::Serial);
+        let (threaded_out, threaded_metrics) = run(Parallelism::Threads(2));
+        assert_eq!(serial_out, threaded_out);
+        assert_eq!(
+            serial_metrics.to_json().to_string(),
+            threaded_metrics.to_json().to_string()
+        );
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub use baseline::{node_class_table, MoteClassNode, NodeClassRow};
 pub use bus::{RadioFrontend, TransmittedPacket};
 pub use demo::{DemoStation, ReceivedSample};
 pub use fleet::{
-    capture_sweep, merge_fleet, run_fleet, run_fleet_with, run_fleet_with_stats, simulate_node,
-    simulate_node_instrumented, AirSlot, FleetApp, FleetConfig, FleetConfigBuilder,
-    FleetConfigError, FleetOutcome, FleetSchedStats, NodeOnAir, PacketFate, Parallelism,
+    capture_sweep, merge_fleet, run_fleet, run_fleet_partial, run_fleet_resumable, run_fleet_with,
+    run_fleet_with_stats, simulate_node, simulate_node_instrumented, AirSlot, CheckpointError,
+    FleetApp, FleetCheckpoint, FleetConfig, FleetConfigBuilder, FleetConfigError, FleetOutcome,
+    FleetSchedStats, NodeOnAir, PacketFate, Parallelism, StackCheckpoint,
 };
 pub use mesh::{run_mesh, run_mesh_with, MeshConfig, MeshConfigError, MeshOutcome};
 pub use node::{

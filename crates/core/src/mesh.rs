@@ -34,7 +34,7 @@
 
 use crate::fleet::{
     capture_sweep, link_for_fleet, node_setup_rng, node_sim_seed, AirSlot, FleetApp,
-    FleetConfigError, FleetOutcome, Parallelism, RX_DBM_BOUNDS,
+    FleetConfigError, FleetOutcome, NodeCounts, Parallelism, RX_DBM_BOUNDS,
 };
 use crate::node::NodeConfig;
 use crate::stack::Stack;
@@ -909,8 +909,7 @@ fn sink_phase(
     let mut delivered = 0usize;
     let mut collided = 0usize;
     let mut channel_losses = 0usize;
-    let mut per_node_offered = vec![0usize; config.nodes];
-    let mut per_node_delivered = vec![0usize; config.nodes];
+    let mut per_node = vec![NodeCounts::default(); config.nodes];
     let mut delivered_by_hop = vec![0usize; config.max_hops as usize + 1];
     let mut delivered_keys: Vec<(u32, u32)> = Vec::new();
 
@@ -922,8 +921,8 @@ fn sink_phase(
         .register_histogram(keys::MESH_DELIVERED_HOPS, &HOP_BOUNDS);
 
     for ((tx, slot), was_collided) in txs.iter().zip(&slots).zip(&collided_flags) {
-        if let Some(count) = per_node_offered.get_mut(tx.node) {
-            *count += 1;
+        if let Some(counts) = per_node.get_mut(tx.node) {
+            counts.offered += 1;
         }
         engine
             .metrics
@@ -939,8 +938,8 @@ fn sink_phase(
             let flips = (0..bits).filter(|_| rng.bernoulli(ber)).count();
             if flips == 0 && packet::decode(&tx.bytes, Checksum::Xor).is_ok() {
                 delivered += 1;
-                if let Some(count) = per_node_delivered.get_mut(tx.node) {
-                    *count += 1;
+                if let Some(counts) = per_node.get_mut(tx.node) {
+                    counts.delivered += 1;
                 }
                 if let Some(bucket) = delivered_by_hop.get_mut(tx.hops as usize) {
                     *bucket += 1;
@@ -1006,11 +1005,7 @@ fn sink_phase(
             channel_losses,
             delivered,
             faulted,
-            per_node_delivery: per_node_offered
-                .iter()
-                .zip(&per_node_delivered)
-                .map(|(&o, &d)| if o == 0 { 0.0 } else { d as f64 / o as f64 })
-                .collect(),
+            per_node_delivery: per_node.iter().map(NodeCounts::delivery_ratio).collect(),
             offered_load,
         },
         unique_offered,

@@ -188,6 +188,9 @@ impl Scenario {
             parallelism,
             app: self.app,
             wake_ppm_range: self.wake_ppm_range(),
+            // Scenario summaries read only fleet aggregates; keep the
+            // lowered run on the O(workers) streaming path.
+            per_node_stats: false,
         };
         config.validate()?;
         Ok(config)
@@ -424,21 +427,61 @@ pub fn run_scenario_with(
     })
 }
 
+/// The campaign runner's one-time spec lowering: the engines' immutable
+/// configs, built once and reused across every fanned seed.
+enum LoweredCampaign {
+    Fleet(FleetConfig),
+    Mesh(MeshConfig),
+}
+
 fn run_campaign(
     spec: &Scenario,
     campaign: Campaign,
     parallelism: Parallelism,
     recorder: &mut dyn Recorder,
 ) -> Result<ScenarioOutcome, ScenarioError> {
+    // Lower the spec ONCE. Each fanned run reuses the same lowered config
+    // — harvest traces, chaos overlays and all — and swaps only the seed,
+    // so a wide Monte Carlo campaign pays lowering and validation once,
+    // and the per-seed engine passes ride the streaming fleet path in
+    // O(workers) memory.
+    let mut lowered = if spec.mesh.is_some() {
+        LoweredCampaign::Mesh(spec.mesh_config(parallelism)?)
+    } else {
+        LoweredCampaign::Fleet(spec.fleet_config(parallelism)?)
+    };
     let mut runs = Vec::with_capacity(campaign.seeds);
     let mut merged = Metrics::new();
     let mut first_downs: Vec<Vec<Option<u64>>> = Vec::with_capacity(campaign.seeds);
     for k in 0..campaign.seeds {
-        let mut fanned = spec.clone();
-        fanned.campaign = None;
-        fanned.seed = fan_seed(spec.seed, k);
-        let mut tracker = SurvivalTracker::new(recorder, fanned.nodes);
-        let (summary, metrics) = run_once(&fanned, parallelism, &mut tracker, None)?;
+        let seed = fan_seed(spec.seed, k);
+        let mut tracker = SurvivalTracker::new(recorder, spec.nodes);
+        let (summary, metrics) = match &mut lowered {
+            LoweredCampaign::Fleet(config) => {
+                config.seed = seed;
+                // `run_fleet_with` asserts its probe build; run the same
+                // probe through the Result path first (per seed — the
+                // probe's setup draws are seed-dependent) so a bad spec
+                // comes back typed instead of panicking.
+                build_fleet_node(
+                    fleet_node_config(config, 0, &mut node_setup_rng(config.seed, 0)),
+                    config.app,
+                )?;
+                let (outcome, metrics) = run_fleet_with(config, &mut tracker);
+                (
+                    RunSummary::from_fleet(seed, None, &outcome, &metrics),
+                    metrics,
+                )
+            }
+            LoweredCampaign::Mesh(config) => {
+                config.seed = seed;
+                let (outcome, metrics) = run_mesh_with(config, &mut tracker)?;
+                (
+                    RunSummary::from_fleet(seed, None, &outcome.sink, &metrics),
+                    metrics,
+                )
+            }
+        };
         first_downs.push(tracker.into_first_down());
         merged.merge_from(&metrics);
         runs.push(summary);

@@ -28,7 +28,7 @@ const RNG_HOME: &str = "crates/sim/src/rng.rs";
 
 /// The one module allowed to derive stream indices arithmetically (its
 /// per-node `2i`/`2i + 1` scheme is the documented derivation rule).
-const DERIVATION_HOME: &str = "crates/core/src/fleet.rs";
+const DERIVATION_HOME: &str = "crates/core/src/fleet/mod.rs";
 
 /// The 64-bit golden-ratio constant used by splitmix64 and the stream
 /// derivation rule; its appearance outside [`RNG_HOME`] marks a re-derived
@@ -449,7 +449,7 @@ mod tests {
     #[test]
     fn fleet_engine_may_derive_streams() {
         let (_, findings) = facts(
-            "crates/core/src/fleet.rs",
+            "crates/core/src/fleet/mod.rs",
             "fn node_stream(master: u64, node: usize) -> u64 {\n\
                  SimRng::stream_seed(master, 2 * node as u64)\n\
              }\n",

@@ -65,7 +65,7 @@ pub fn scope_for(path: &str) -> Option<Scope> {
             l2_index: in_sim || in_core,
             l3: in_sim
                 || in_telemetry
-                || path == "crates/core/src/fleet.rs"
+                || path.starts_with("crates/core/src/fleet/")
                 || path == "crates/core/src/mesh.rs",
             l4: L4_CRATES.contains(&krate),
             l5: L5_CRATES.contains(&krate),
@@ -105,7 +105,12 @@ mod tests {
 
     #[test]
     fn fleet_is_determinism_scoped_but_demo_is_not() {
-        assert!(scope_for("crates/core/src/fleet.rs").unwrap().l3);
+        assert!(scope_for("crates/core/src/fleet/mod.rs").unwrap().l3);
+        assert!(
+            scope_for("crates/core/src/fleet/accumulator.rs")
+                .unwrap()
+                .l3
+        );
         assert!(scope_for("crates/core/src/mesh.rs").unwrap().l3);
         let demo = scope_for("crates/core/src/demo.rs").unwrap();
         assert!(!demo.l3 && demo.l2_index);

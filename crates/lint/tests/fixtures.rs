@@ -204,7 +204,7 @@ fn l6_homes_are_exempt_from_their_own_rules() {
     assert!(f.is_empty(), "{f:?}");
     let f = lint_fixture(
         Lint::L6,
-        "crates/core/src/fleet.rs",
+        "crates/core/src/fleet/mod.rs",
         "fn node_stream(master: u64, node: usize) -> u64 {\n\
              SimRng::stream_seed(master, 2 * node as u64)\n\
          }\n",

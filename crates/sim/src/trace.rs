@@ -44,7 +44,7 @@ impl ScalarTrace {
         // rather than rewriting its timestamp in place: every retained
         // `(t, v)` pair is then one that was actually recorded, and a
         // run's leading edge (its first sample) is never touched.
-        if let [.., (_, a), (_, b)] = self.samples[..] {
+        if let &[.., (_, a), (_, b)] = self.samples.as_slice() {
             if a == value && b == value {
                 self.samples.pop();
             }
@@ -71,17 +71,17 @@ impl ScalarTrace {
     /// before the first sample.
     pub fn value_at(&self, t: SimTime) -> Option<f64> {
         match self.samples.binary_search_by(|&(st, _)| st.cmp(&t)) {
-            Ok(i) => {
-                // Multiple samples can share a timestamp (an instantaneous
-                // step); the last one wins.
-                let mut i = i;
-                while i + 1 < self.samples.len() && self.samples[i + 1].0 == t {
-                    i += 1;
-                }
-                Some(self.samples[i].1)
-            }
+            // Multiple samples can share a timestamp (an instantaneous
+            // step); the last one wins.
+            Ok(i) => self
+                .samples
+                .iter()
+                .skip(i)
+                .take_while(|&&(st, _)| st == t)
+                .last()
+                .map(|&(_, v)| v),
             Err(0) => None,
-            Err(i) => Some(self.samples[i - 1].1),
+            Err(i) => self.samples.get(i - 1).map(|&(_, v)| v),
         }
     }
 
@@ -92,9 +92,7 @@ impl ScalarTrace {
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         let mut weighted = 0.0;
-        for w in self.samples.windows(2) {
-            let (ta, va) = w[0];
-            let (tb, _) = w[1];
+        for (&(ta, va), &(tb, _)) in self.samples.iter().zip(self.samples.iter().skip(1)) {
             min = min.min(va);
             max = max.max(va);
             weighted += va * tb.duration_since(ta).as_seconds().value();
@@ -124,11 +122,15 @@ impl ScalarTrace {
     /// Resamples onto a uniform grid of `n` points across the recorded span
     /// (zero-order hold). Useful for plotting Fig. 6-style profiles.
     pub fn resample(&self, n: usize) -> Vec<(Seconds, f64)> {
-        if self.samples.is_empty() || n == 0 {
+        let (Some(&(first, _)), Some(&(last, _))) = (self.samples.first(), self.samples.last())
+        else {
+            return Vec::new();
+        };
+        if n == 0 {
             return Vec::new();
         }
-        let t0 = self.samples[0].0.as_nanos();
-        let t1 = self.samples[self.samples.len() - 1].0.as_nanos();
+        let t0 = first.as_nanos();
+        let t1 = last.as_nanos();
         (0..n)
             .map(|i| {
                 let frac = if n == 1 {

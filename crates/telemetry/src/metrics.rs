@@ -7,7 +7,7 @@
 //! merged floating-point sums are bit-identical no matter how phase 1 was
 //! scheduled across threads.
 
-use picocube_units::json::{Json, ToJson};
+use picocube_units::json::{field, FromJson, Json, JsonError, ToJson};
 
 /// Bucket upper bounds used when a histogram is observed before being
 /// registered: half-decade steps spanning sub-µs to minutes when values are
@@ -155,11 +155,46 @@ impl ToJson for Histogram {
             ("bounds".into(), self.bounds.to_json()),
             ("counts".into(), self.counts.to_json()),
             ("count".into(), self.count.to_json()),
+            ("finite_count".into(), self.finite_count.to_json()),
             ("nan_count".into(), self.nan_count.to_json()),
             ("sum".into(), self.sum.to_json()),
             ("min".into(), self.min().to_json()),
             ("max".into(), self.max().to_json()),
         ])
+    }
+}
+
+impl FromJson for Histogram {
+    /// Rebuilds a histogram from its [`ToJson`] form, bit-exactly: every
+    /// field round-trips (`units::json` preserves `f64` bits), and the
+    /// `min`/`max` sentinels for an empty histogram are restored from the
+    /// serialized `null`s — the checkpoint/resume contract.
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let bounds: Vec<f64> = FromJson::from_json(field(value, "bounds")?)?;
+        if bounds.is_empty() || !bounds.iter().all(|b| b.is_finite()) {
+            return Err(JsonError::new("histogram bounds must be finite, non-empty"));
+        }
+        if !bounds.windows(2).all(|w| matches!(w, [a, b] if a < b)) {
+            return Err(JsonError::new("histogram bounds must ascend"));
+        }
+        let counts: Vec<u64> = FromJson::from_json(field(value, "counts")?)?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(JsonError::new(
+                "histogram needs one count per bound plus the overflow bucket",
+            ));
+        }
+        let min: Option<f64> = FromJson::from_json(field(value, "min")?)?;
+        let max: Option<f64> = FromJson::from_json(field(value, "max")?)?;
+        Ok(Self {
+            bounds,
+            counts,
+            sum: FromJson::from_json(field(value, "sum")?)?,
+            count: FromJson::from_json(field(value, "count")?)?,
+            finite_count: FromJson::from_json(field(value, "finite_count")?)?,
+            nan_count: FromJson::from_json(field(value, "nan_count")?)?,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        })
     }
 }
 
@@ -191,6 +226,20 @@ impl ToJson for Metric {
             Self::Counter(v) => v.to_json(),
             Self::Gauge(v) => v.to_json(),
             Self::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+impl FromJson for Metric {
+    /// The wire form is self-describing: counters serialize as JSON
+    /// integers, gauges always carry a decimal marker (`units::json` keeps
+    /// the two token families distinct), and histograms are objects.
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        match value {
+            Json::UInt(v) => Ok(Self::Counter(*v)),
+            Json::Num(v) => Ok(Self::Gauge(*v)),
+            Json::Obj(_) => Ok(Self::Histogram(FromJson::from_json(value)?)),
+            _ => Err(JsonError::new("expected a counter, gauge or histogram")),
         }
     }
 }
@@ -362,6 +411,24 @@ impl ToJson for Metrics {
     }
 }
 
+impl FromJson for Metrics {
+    /// Rebuilds a registry from its [`ToJson`] object, preserving the
+    /// insertion order the deterministic merge depends on.
+    fn from_json(value: &Json) -> Result<Self, JsonError> {
+        let Json::Obj(entries) = value else {
+            return Err(JsonError::new("expected a metrics object"));
+        };
+        let mut out = Self::new();
+        for (name, raw) in entries {
+            if out.get(name).is_some() {
+                return Err(JsonError::new(format!("duplicate metric {name:?}")));
+            }
+            out.entries.push((name.clone(), FromJson::from_json(raw)?));
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -499,6 +566,62 @@ mod tests {
         a.merge_from(&b);
         let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
         assert_eq!(names, ["x", "y", "z"]);
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json_bit_exactly() {
+        let mut m = Metrics::new();
+        m.inc("fleet.offered", 7);
+        m.add("power.total.uj", 12.5 + 0.1); // a non-terminating binary sum
+        m.observe("airtime_us", 1040.0);
+        m.observe("airtime_us", f64::NAN);
+        m.observe("airtime_us", f64::INFINITY);
+        m.register_histogram("empty.hist", &[1.0, 2.0]);
+        let text = m.to_json().to_string();
+        let back = Metrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        // Bit-exact: the gauge sum, the histogram aggregates and the empty
+        // histogram's min/max sentinels all survive the text round trip.
+        assert_eq!(m, back);
+        assert_eq!(
+            m.gauge("power.total.uj").to_bits(),
+            back.gauge("power.total.uj").to_bits()
+        );
+        let (a, b) = (
+            m.histogram("airtime_us").unwrap(),
+            back.histogram("airtime_us").unwrap(),
+        );
+        assert_eq!(a.mean().unwrap().to_bits(), b.mean().unwrap().to_bits());
+        assert_eq!(b.nan_count(), 1);
+        // Registration order (the merge law's fold order) is preserved.
+        let names: Vec<&str> = back.iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            [
+                "fleet.offered",
+                "power.total.uj",
+                "airtime_us",
+                "empty.hist"
+            ]
+        );
+    }
+
+    #[test]
+    fn metric_from_json_rejects_foreign_shapes() {
+        assert!(Metric::from_json(&Json::Str("x".into())).is_err());
+        assert!(Metric::from_json(&Json::Int(-3)).is_err());
+        assert!(Metrics::from_json(&Json::Arr(Vec::new())).is_err());
+        // A histogram missing its overflow bucket is structurally invalid.
+        let mut h = Histogram::new(&[1.0]);
+        h.observe(0.5);
+        let mut json = h.to_json();
+        if let Json::Obj(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "counts" {
+                    *v = Json::Arr(vec![Json::UInt(1)]);
+                }
+            }
+        }
+        assert!(Histogram::from_json(&json).is_err());
     }
 
     #[test]

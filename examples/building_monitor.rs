@@ -57,6 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         duration: SimDuration::from_secs(300),
         distance_range: (1.0, 12.0),
         seed: 9,
+        // The starvation report below needs the per-node curve, which is
+        // opt-in on the streaming engine.
+        per_node_stats: true,
         ..FleetConfig::default()
     });
     println!("  packets offered  : {}", out.offered);

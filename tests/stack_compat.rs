@@ -212,6 +212,9 @@ fn capture_fleet(parallelism: Parallelism) -> Json {
         .duration(SimDuration::from_secs(30))
         .seed(7)
         .parallelism(parallelism)
+        // The golden predates the streaming engine and pins the per-node
+        // curve, which is opt-in now.
+        .per_node_stats(true)
         .build()
         .expect("valid scenario");
     let mut events: Vec<Event> = Vec::new();
