@@ -1,0 +1,159 @@
+//! Batched sleep integration: co-simulating a chunk of fleet nodes so
+//! their inter-wake sleep spans integrate in one struct-of-arrays ledger
+//! pass.
+//!
+//! A homogeneous fleet spends most of its wall-clock in the sleep path:
+//! every node parks in an LPM between sensor wakes and the engine
+//! integrates each span load-by-load through that node's own
+//! heap-scattered ledger. This driver instead holds a small chunk of
+//! stacks live at once and advances them in *rounds*:
+//!
+//! 1. **Park** — each node runs [`Stack::next_park`]: active segments,
+//!    zero-gap board events and supervisor holds execute on the exact
+//!    per-node path; the round's sleepers come back with a pending span.
+//! 2. **Integrate** — every sleeper's span is staged into one
+//!    [`SleepBatch`] and the whole group's energy accumulation runs as a
+//!    single linear sweep ([`SleepBatch::integrate`]).
+//! 3. **Settle** — each sleeper commits its span and runs its battery
+//!    settle / event fire ([`Stack::finish_park`]).
+//!
+//! **Gating.** Only plain LPM sleeps ([`Park::Asleep`]) batch. A node
+//! with a due board event (zero gap), in an active burst, supervisor-held
+//! after a brown-out ([`Park::Held`]), or faulted stays on the exact
+//! path — divergent state never takes the grouped route.
+//!
+//! **Bit-identity.** Nodes are independent (transmit-only, seed streams
+//! keyed by `(master, index)`), so interleaving their execution changes
+//! nothing; and a batched span performs the identical f64 operations in
+//! the identical order as the inline `advance_to` (see
+//! [`PowerLedger::stage_sleep`](picocube_sim::PowerLedger::stage_sleep)).
+//! Per node, the call sequence here is exactly [`Stack::run_for`]'s
+//! decomposition — `fleet::tests` pins chunk-vs-exact equality.
+//!
+//! [`Stack::next_park`]: crate::stack::Stack
+//! [`Stack::finish_park`]: crate::stack::Stack
+//! [`Stack::run_for`]: crate::stack::Stack
+
+use super::{build_node, package_node, FleetConfig, NodeOnAir};
+use crate::node::PicoCube;
+use crate::stack::Park;
+use picocube_sim::{SimRng, SimTime, SleepBatch};
+
+/// Nodes co-simulated per serial batch. Sized so a chunk's stacks stay
+/// cache-resident while the grouped ledger pass amortizes across all of
+/// them; phase-1 live state grows from one stack to this many.
+pub(crate) const SLEEP_CHUNK: usize = 4;
+
+/// One not-yet-finished node of the chunk.
+struct LiveNode {
+    index: usize,
+    node: PicoCube,
+    setup: SimRng,
+    /// This node's run horizon (`now + duration` at build).
+    end: SimTime,
+    /// The stuck-firmware guard, persistent across parks like the
+    /// single-node loop's local.
+    fault_guard: u64,
+}
+
+/// Simulates fleet nodes `indices` to completion through the batched
+/// rounds described in the module docs, returning their [`NodeOnAir`]s in
+/// index order. Behaviorally identical to mapping
+/// [`simulate_node_instrumented`](super::simulate_node_instrumented) over
+/// the range.
+pub(crate) fn simulate_chunk(
+    config: &FleetConfig,
+    indices: core::ops::Range<usize>,
+    record_events: bool,
+) -> Vec<NodeOnAir> {
+    let first = indices.start;
+    let mut out: Vec<Option<NodeOnAir>> = indices.clone().map(|_| None).collect();
+    let mut live: Vec<Option<LiveNode>> = indices
+        .map(|index| {
+            let (node, setup) = build_node(config, index, record_events);
+            let end = node.now() + config.duration;
+            Some(LiveNode {
+                index,
+                node,
+                setup,
+                end,
+                fault_guard: 0,
+            })
+        })
+        .collect();
+    let mut batch = SleepBatch::new();
+    // `(live slot, park, span handle)` of this round's sleepers.
+    let mut staged: Vec<(usize, Park, usize)> = Vec::new();
+    let mut remaining = live.len();
+    while remaining > 0 {
+        batch.clear();
+        staged.clear();
+        // Round phase 1: drive every live node to its next park.
+        for slot in 0..live.len() {
+            let Some(ln) = live.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            match ln.node.next_park(ln.end, &mut ln.fault_guard) {
+                Ok(park @ Park::Asleep { .. }) => {
+                    ln.node.sleep_clock(park);
+                    let span = ln.node.stage_sleep_span(&mut batch);
+                    staged.push((slot, park, span));
+                }
+                Ok(park @ Park::Held { .. }) => {
+                    // Supervisor-held: divergent state, exact path.
+                    ln.node.sleep_clock(park);
+                    ln.node.integrate_sleep_now();
+                    if let Err(fault) = ln.node.finish_park(park, ln.end) {
+                        let outcome = ln.node.latch_fault(fault);
+                        retire(config, &mut live, &mut out, first, slot, outcome);
+                        remaining -= 1;
+                    }
+                }
+                Ok(Park::Done) => {
+                    let end = ln.end;
+                    let outcome = ln.node.finish_run(end);
+                    retire(config, &mut live, &mut out, first, slot, outcome);
+                    remaining -= 1;
+                }
+                Err(fault) => {
+                    let outcome = ln.node.latch_fault(fault);
+                    retire(config, &mut live, &mut out, first, slot, outcome);
+                    remaining -= 1;
+                }
+            }
+        }
+        // Round phase 2: the grouped struct-of-arrays energy pass.
+        batch.integrate();
+        // Round phase 3: write spans back and settle, in the same order.
+        for &(slot, park, span) in &staged {
+            let Some(ln) = live.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            ln.node.commit_sleep_span(&batch, span);
+            if let Err(fault) = ln.node.finish_park(park, ln.end) {
+                let outcome = ln.node.latch_fault(fault);
+                retire(config, &mut live, &mut out, first, slot, outcome);
+                remaining -= 1;
+            }
+        }
+    }
+    out.into_iter().flatten().collect()
+}
+
+/// Packages a finished node out of its chunk slot.
+fn retire(
+    config: &FleetConfig,
+    live: &mut [Option<LiveNode>],
+    out: &mut [Option<NodeOnAir>],
+    first: usize,
+    slot: usize,
+    outcome: crate::stack::RunOutcome,
+) {
+    let Some(ln) = live.get_mut(slot).and_then(Option::take) else {
+        return;
+    };
+    debug_assert_eq!(ln.index, first + slot);
+    if let Some(dst) = out.get_mut(slot) {
+        *dst = Some(package_node(config, ln.index, ln.node, ln.setup, outcome));
+    }
+}

@@ -43,6 +43,7 @@
 //! [`run_fleet_resumable`], which are bit-identical to uninterrupted runs.
 
 mod accumulator;
+mod batch;
 mod checkpoint;
 
 pub(crate) use accumulator::NodeCounts;
@@ -53,7 +54,7 @@ pub use checkpoint::{
 
 use crate::bus::TransmittedPacket;
 use crate::node::{BuildError, NodeConfig, PicoCube};
-use crate::stack::{AppBoard, NodeFault, StackBuilder};
+use crate::stack::{AppBoard, NodeFault, RunOutcome, StackBuilder};
 use accumulator::{FleetAccumulator, NodeYield, PacketRecord};
 use picocube_radio::{Channel, Link, PatchAntenna, SuperRegenReceiver};
 use picocube_sensors::MotionScenario;
@@ -587,6 +588,22 @@ pub fn simulate_node_instrumented(
     index: usize,
     record_events: bool,
 ) -> NodeOnAir {
+    let (mut node, setup) = build_node(config, index, record_events);
+    let outcome = node.run_for(config.duration);
+    package_node(config, index, node, setup, outcome)
+}
+
+/// Builds fleet node `index` ready to run, alongside its setup RNG (still
+/// needed after the run for the deployment-distance draw).
+///
+/// # Panics
+///
+/// Panics if the node fails to build.
+pub(crate) fn build_node(
+    config: &FleetConfig,
+    index: usize,
+    record_events: bool,
+) -> (PicoCube, SimRng) {
     let mut setup = node_setup_rng(config.seed, index);
     // Per-node fields (id, seed, offsets) cannot invalidate a base config
     // that builds, and `run_fleet_with` probe-builds the base up front.
@@ -594,7 +611,21 @@ pub fn simulate_node_instrumented(
         // picocube-lint: allow(L2) documented `# Panics`; base pre-validated by the fleet probe
         .expect("fleet node builds");
     node.set_event_recording(record_events);
-    let outcome = node.run_for(config.duration);
+    (node, setup)
+}
+
+/// Reduces a finished node to its plain-data [`NodeOnAir`]: drains and
+/// attributes telemetry, draws the deployment distance (the setup stream's
+/// post-run draw — order is part of the RNG contract), and converts the
+/// packet log to on-air intervals. Consumes the stack: phase 1 streams,
+/// node state never outlives its chunk.
+pub(crate) fn package_node(
+    config: &FleetConfig,
+    index: usize,
+    mut node: PicoCube,
+    mut setup: SimRng,
+    outcome: RunOutcome,
+) -> NodeOnAir {
     let mut telemetry = node.drain_telemetry();
     telemetry.attribute_to(index as u32);
     let distance = setup.uniform(config.distance_range.0, config.distance_range.1);
@@ -714,8 +745,18 @@ fn stream_nodes(config: &FleetConfig, acc: &mut FleetAccumulator, upto: usize) -
     let remaining = upto.saturating_sub(first);
     let workers = config.parallelism.workers().min(remaining).max(1);
     if workers == 1 {
-        for index in first..upto {
-            acc.absorb(simulate_node_instrumented(config, index, record_events).into_yield());
+        // Serial runs chunk through the batched sleep driver: a few stacks
+        // live at once, their inter-wake sleep spans integrated in one
+        // struct-of-arrays ledger pass per round. Behaviorally identical
+        // to the per-node loop (see `fleet::batch`); live state grows from
+        // one stack to `SLEEP_CHUNK`.
+        let mut lo = first;
+        while lo < upto {
+            let hi = (lo + batch::SLEEP_CHUNK).min(upto);
+            for on_air in batch::simulate_chunk(config, lo..hi, record_events) {
+                acc.absorb(on_air.into_yield());
+            }
+            lo = hi;
         }
         return FleetSchedStats::serial(remaining);
     }
@@ -779,13 +820,14 @@ fn stream_nodes(config: &FleetConfig, acc: &mut FleetAccumulator, upto: usize) -
                             let lo = first + chunk * STEAL_CHUNK;
                             let hi = (lo + STEAL_CHUNK).min(upto);
                             // Simulate outside the lock; this is where the
-                            // wall-clock time goes.
-                            let yields: Vec<NodeYield> = (lo..hi)
-                                .map(|i| {
-                                    simulate_node_instrumented(config, i, record_events)
-                                        .into_yield()
-                                })
-                                .collect();
+                            // wall-clock time goes. The claimed chunk runs
+                            // through the batched sleep driver, same as
+                            // serial.
+                            let yields: Vec<NodeYield> =
+                                batch::simulate_chunk(config, lo..hi, record_events)
+                                    .into_iter()
+                                    .map(NodeOnAir::into_yield)
+                                    .collect();
                             let mut guard = match state.lock() {
                                 Ok(guard) => guard,
                                 Err(poisoned) => poisoned.into_inner(),
@@ -1662,6 +1704,52 @@ mod tests {
             serial_json,
             "static shards: metric registries diverged"
         );
+    }
+
+    #[test]
+    fn batched_chunks_match_per_node_exact_path() {
+        // The serial engine now runs chunks through the batched sleep
+        // driver (`fleet::batch`); the per-node `simulate_node_instrumented`
+        // loop is the exact reference it must reproduce bit-for-bit —
+        // outcome and full metric registry. 11 nodes: one full SLEEP_CHUNK
+        // plus a ragged tail.
+        for (app, duration) in [
+            (FleetApp::Tpms, SimDuration::from_secs(30)),
+            (
+                FleetApp::Beacon {
+                    rest_s: 5.0,
+                    handled_s: 1.0,
+                    vigor_g: 1.5,
+                    period_s: 4,
+                },
+                SimDuration::from_secs(20),
+            ),
+        ] {
+            let cfg = FleetConfig {
+                nodes: 11,
+                duration,
+                seed: 77,
+                app,
+                ..FleetConfig::default()
+            };
+            let (batched_out, batched_metrics) = run_fleet_with(&cfg, &mut NullRecorder);
+
+            let mut nodes: Vec<NodeOnAir> = (0..cfg.nodes)
+                .map(|i| simulate_node_instrumented(&cfg, i, false))
+                .collect();
+            let mut telemetry = TelemetryBuffer::new();
+            for node in &mut nodes {
+                telemetry.absorb(std::mem::take(&mut node.telemetry));
+            }
+            let exact_out = merge_fleet_impl(&cfg, nodes, &mut telemetry);
+
+            assert_eq!(batched_out, exact_out, "{app:?}: outcome diverged");
+            assert_eq!(
+                batched_metrics.to_json().to_string(),
+                telemetry.metrics.to_json().to_string(),
+                "{app:?}: metric registries diverged"
+            );
+        }
     }
 
     #[test]

@@ -66,7 +66,11 @@ pub fn scope_for(path: &str) -> Option<Scope> {
             l3: in_sim
                 || in_telemetry
                 || path.starts_with("crates/core/src/fleet/")
-                || path == "crates/core/src/mesh.rs",
+                || path == "crates/core/src/mesh.rs"
+                // The decoder must translate identically on every host:
+                // a nondeterministic micro-op cache would silently fork
+                // the instruction-level goldens.
+                || path == "crates/mcu/src/uops.rs",
             l4: L4_CRATES.contains(&krate),
             l5: L5_CRATES.contains(&krate),
             l6: true,
@@ -114,6 +118,14 @@ mod tests {
         assert!(scope_for("crates/core/src/mesh.rs").unwrap().l3);
         let demo = scope_for("crates/core/src/demo.rs").unwrap();
         assert!(!demo.l3 && demo.l2_index);
+    }
+
+    #[test]
+    fn mcu_decoder_is_determinism_scoped_but_cpu_is_not() {
+        let uops = scope_for("crates/mcu/src/uops.rs").unwrap();
+        assert!(uops.l3 && uops.l2);
+        let cpu = scope_for("crates/mcu/src/cpu.rs").unwrap();
+        assert!(!cpu.l3 && cpu.l2);
     }
 
     #[test]

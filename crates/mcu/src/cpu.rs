@@ -49,6 +49,28 @@ pub enum StepResult {
     },
 }
 
+/// Why a [`Mcu::run_segment`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentStop {
+    /// The cycle or instruction budget ran out.
+    Budget,
+    /// A board-observable output changed — GPIO output pins, SPI engine
+    /// activity, or the operating mode — so the caller must re-sample the
+    /// world before executing further.
+    Observable,
+    /// The core is parked in a low-power mode with no serviceable
+    /// interrupt (the [`StepResult::Sleeping`] condition).
+    Sleeping(OperatingMode),
+    /// The core latched an illegal-instruction fault. Cycle deltas for
+    /// instructions that ran before the fault are still recorded.
+    Fault {
+        /// The undecodable word.
+        word: u16,
+        /// Address it was fetched from.
+        at: u16,
+    },
+}
+
 /// The emulated microcontroller: core, memory, peripherals and clock.
 pub struct Mcu {
     regs: [u16; 16],
@@ -56,8 +78,20 @@ pub struct Mcu {
     periph: Peripherals,
     power: McuPowerModel,
     cycles: u64,
-    pending: Vec<Irq>,
+    /// Latched interrupt requests, one bit per [`Irq`] priority rank
+    /// (bit 0 = highest). Dispatch takes the lowest set bit.
+    pending: u8,
     halted_on_fault: bool,
+    /// Pre-decoded micro-op stream for the loaded image, shared across
+    /// cores running identical firmware.
+    uops: Option<std::sync::Arc<crate::uops::UopCache>>,
+    /// Whether the decoded path may be used. Cleared on any write into
+    /// the cached flash span (self-modifying code falls back to the
+    /// interpreter for the rest of the run).
+    uops_on: bool,
+    /// Latched by the self-modifying-code guard: some write landed in the
+    /// cached flash span, so the cache no longer matches memory.
+    flash_dirty: bool,
 }
 
 impl core::fmt::Debug for Mcu {
@@ -84,14 +118,36 @@ impl Mcu {
             periph: Peripherals::new(),
             power,
             cycles: 0,
-            pending: Vec::new(),
+            pending: 0,
             halted_on_fault: false,
+            uops: None,
+            uops_on: false,
+            flash_dirty: false,
         }
     }
 
-    /// Loads a program image into memory.
+    /// Loads a program image into memory and pre-decodes it into the
+    /// translation cache. Loading a second image replaces the cache, so
+    /// only the most recent image executes through the decoded path.
     pub fn load(&mut self, image: &Image) {
         self.mem.load(image);
+        // Every decoded instruction lies wholly inside the image's segments,
+        // which this load just (re)wrote, so any earlier dirtying is moot.
+        self.uops = Some(crate::uops::cache_for(image));
+        self.uops_on = true;
+        self.flash_dirty = false;
+    }
+
+    /// Enables or disables the pre-decoded translation cache (testing /
+    /// benchmarking hook; both paths are bit-identical). Re-enabling
+    /// after a write into cached flash is unsupported — the cache would
+    /// be stale — so `true` only takes effect while the image is intact.
+    pub fn set_translation(&mut self, on: bool) {
+        if on {
+            self.uops_on = self.uops.is_some() && !self.flash_dirty;
+        } else {
+            self.uops_on = false;
+        }
     }
 
     /// Applies the reset vector: PC from `0xFFFE`, SR cleared, cycle
@@ -106,14 +162,14 @@ impl Mcu {
     pub fn warm_reset(&mut self) {
         self.regs = [0; 16];
         self.regs[PC] = self.mem.read16(crate::memory::vectors::RESET);
-        self.pending.clear();
+        self.pending = 0;
         self.halted_on_fault = false;
     }
 
     /// Drops all latched interrupt requests (the node uses this while the
     /// supervisor holds the part in reset during a brown-out).
     pub fn clear_pending_irqs(&mut self) {
-        self.pending.clear();
+        self.pending = 0;
     }
 
     /// Attaches an SPI slave.
@@ -155,7 +211,19 @@ impl Mcu {
         if Peripherals::owns(addr) {
             self.periph.write(addr, value);
         } else {
+            self.invalidate_uops(addr);
             self.mem.write8(addr, value);
+        }
+    }
+
+    /// Self-modifying-code guard: a write into the cached flash span makes
+    /// the pre-decoded stream stale, so the core permanently drops back to
+    /// the interpreter (which reads memory as written).
+    #[inline]
+    fn invalidate_uops(&mut self, addr: u16) {
+        if self.uops_on && self.uops.as_ref().is_some_and(|c| c.covers(addr)) {
+            self.uops_on = false;
+            self.flash_dirty = true;
         }
     }
 
@@ -212,17 +280,15 @@ impl Mcu {
         }
     }
 
-    /// Latches an interrupt request.
+    /// Latches an interrupt request. Latching an already-pending request
+    /// is idempotent (the bit is simply set again).
     pub fn raise(&mut self, irq: Irq) {
-        if !self.pending.contains(&irq) {
-            self.pending.push(irq);
-            self.pending.sort();
-        }
+        self.pending |= irq.mask();
     }
 
     /// Whether any interrupt is latched.
     pub fn has_pending_irq(&self) -> bool {
-        !self.pending.is_empty()
+        self.pending != 0
     }
 
     /// Executes one instruction, services one interrupt, or reports sleep.
@@ -234,15 +300,32 @@ impl Mcu {
             };
         }
         // Interrupt dispatch: GIE must be set (an interrupt also wakes any
-        // LPM, clearing the low-power bits for the ISR's duration).
-        if self.regs[SR] & FLAG_GIE != 0 && !self.pending.is_empty() {
-            let irq = self.pending.remove(0);
-            let cycles = self.enter_interrupt(irq);
-            self.tick_peripherals(cycles);
-            return StepResult::Ran { cycles };
+        // LPM, clearing the low-power bits for the ISR's duration). The
+        // lowest set bit of the pending mask is the highest-priority
+        // request — same order the sorted-vector queue used to dispatch.
+        if self.pending != 0 && self.regs[SR] & FLAG_GIE != 0 {
+            for irq in Irq::PRIORITY {
+                if self.pending & irq.mask() != 0 {
+                    self.pending &= !irq.mask();
+                    let cycles = self.enter_interrupt(irq);
+                    self.tick_peripherals(cycles);
+                    return StepResult::Ran { cycles };
+                }
+            }
         }
         if self.regs[SR] & FLAG_CPUOFF != 0 {
             return StepResult::Sleeping(self.mode());
+        }
+        // Decoded fast path: firmware is immutable after load, so the
+        // pre-decoded micro-op (when one exists for this PC) replays the
+        // interpreter bit-identically without refetching or redecoding.
+        if self.uops_on {
+            let pc = self.regs[PC];
+            if let Some(u) = self.uops.as_ref().and_then(|c| c.lookup(pc)) {
+                let cycles = self.exec_uop(u);
+                self.tick_peripherals(cycles);
+                return StepResult::Ran { cycles };
+            }
         }
         let at = self.regs[PC];
         let word = self.fetch16();
@@ -260,15 +343,286 @@ impl Mcu {
 
     /// Runs until the core sleeps, faults, or `max_cycles` elapse. Returns
     /// the cycles consumed.
+    ///
+    /// Streams through decoded basic blocks where it can: between block
+    /// boundaries (branches, calls, `reti`, SR writes) the SR cannot
+    /// change, so only a freshly latched interrupt needs re-checking per
+    /// instruction; everything else re-enters the full [`Mcu::step`]
+    /// dispatch.
     pub fn run(&mut self, max_cycles: u64) -> u64 {
         let start = self.cycles;
         while self.cycles - start < max_cycles {
+            if self.uops_on && !self.halted_on_fault {
+                let sr = self.regs[SR];
+                let mut gie = sr & FLAG_GIE != 0;
+                if sr & FLAG_CPUOFF == 0 && (!gie || self.pending == 0) {
+                    let cache = self.uops.clone();
+                    let mut advanced = false;
+                    if let Some(cache) = cache {
+                        while self.uops_on && self.cycles - start < max_cycles {
+                            let Some(u) = cache.lookup(self.regs[PC]) else {
+                                break;
+                            };
+                            let cycles = self.exec_uop(u);
+                            self.tick_peripherals(cycles);
+                            advanced = true;
+                            if gie && self.pending != 0 {
+                                break;
+                            }
+                            if u.ends_block {
+                                // Only SR-writing forms end blocks, so the
+                                // hoisted GIE/CPUOFF state is refreshed here
+                                // and streaming continues across the jump.
+                                let sr = self.regs[SR];
+                                if sr & FLAG_CPUOFF != 0 {
+                                    break;
+                                }
+                                gie = sr & FLAG_GIE != 0;
+                                if gie && self.pending != 0 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                }
+            }
             match self.step() {
                 StepResult::Ran { .. } => {}
                 _ => break,
             }
         }
         self.cycles - start
+    }
+
+    /// Externally observable state: GPIO output pins, SPI engine activity,
+    /// and the operating mode — everything a board can react to between
+    /// instructions.
+    #[inline]
+    fn observables(&self) -> (u8, u8, bool, OperatingMode) {
+        (
+            self.periph.p1_output(),
+            self.periph.p2_output(),
+            self.periph.spi_busy(),
+            self.mode(),
+        )
+    }
+
+    /// Runs a *segment*: a maximal run of instructions across which nothing
+    /// board-observable changes, recording each instruction's cycle cost in
+    /// `deltas`.
+    ///
+    /// Semantically this is exactly a sequence of [`Mcu::step`] calls — same
+    /// interrupt dispatch, same decoded-path/interpreter split, same fault
+    /// latching — stopping *after* the first step that changes an observable
+    /// (GPIO output pins, SPI activity, operating mode — the
+    /// [`SegmentStop::Observable`] set), *before* a step that would exceed the
+    /// budget, or when the core reports sleep or faults. The caller can
+    /// therefore integrate power over the whole segment from `deltas` and
+    /// re-inspect pins/SPI/mode once at the boundary instead of after every
+    /// instruction.
+    ///
+    /// `limit_cycles` is an *absolute* cycle count: no instruction starts
+    /// once `self.cycles() >= limit_cycles` (matching a caller loop of the
+    /// form `while cycles < limit { step() }`). `max_insns` bounds how many
+    /// entries are appended to `deltas`.
+    pub fn run_segment(
+        &mut self,
+        limit_cycles: u64,
+        max_insns: usize,
+        deltas: &mut Vec<u32>,
+    ) -> SegmentStop {
+        let base = self.observables();
+        loop {
+            if self.cycles >= limit_cycles || deltas.len() >= max_insns {
+                return SegmentStop::Budget;
+            }
+            if self.halted_on_fault {
+                return SegmentStop::Fault {
+                    word: 0,
+                    at: self.regs[PC],
+                };
+            }
+            let sr = self.regs[SR];
+            if self.pending != 0 && sr & FLAG_GIE != 0 {
+                for irq in Irq::PRIORITY {
+                    if self.pending & irq.mask() != 0 {
+                        self.pending &= !irq.mask();
+                        let cycles = self.enter_interrupt(irq);
+                        self.tick_peripherals(cycles);
+                        deltas.push(cycles);
+                        break;
+                    }
+                }
+                if self.observables() != base {
+                    return SegmentStop::Observable;
+                }
+                continue;
+            }
+            if sr & FLAG_CPUOFF != 0 {
+                return SegmentStop::Sleeping(self.mode());
+            }
+            // Decoded fast path: stream micro-ops without leaving the loop.
+            // Unlike [`Mcu::run`]'s per-block streaming this continues
+            // straight through basic-block boundaries, re-reading SR at each
+            // one (only SR-writing instructions end blocks, so between
+            // boundaries the hoisted GIE/CPUOFF state cannot go stale).
+            if self.uops_on {
+                let cache = self.uops.clone();
+                if let Some(cache) = cache {
+                    let mut gie = sr & FLAG_GIE != 0;
+                    let mut advanced = false;
+                    while self.uops_on && self.cycles < limit_cycles && deltas.len() < max_insns {
+                        let Some(u) = cache.lookup(self.regs[PC]) else {
+                            break;
+                        };
+                        if u.spin_spi && self.periph.spi_busy() {
+                            advanced = true;
+                            match self.exec_spi_spin(&u, limit_cycles, max_insns, deltas, gie) {
+                                Some(stop) => return stop,
+                                None => break, // re-check through the outer loop
+                            }
+                        }
+                        let cycles = self.exec_uop(u);
+                        self.tick_peripherals(cycles);
+                        deltas.push(cycles);
+                        advanced = true;
+                        if self.observables() != base {
+                            return SegmentStop::Observable;
+                        }
+                        if gie && self.pending != 0 {
+                            break; // dispatch through the outer loop
+                        }
+                        if u.ends_block {
+                            let sr = self.regs[SR];
+                            if sr & FLAG_CPUOFF != 0 {
+                                break; // sleeping: outer loop reports it
+                            }
+                            gie = sr & FLAG_GIE != 0;
+                            if gie && self.pending != 0 {
+                                break;
+                            }
+                        }
+                    }
+                    if advanced {
+                        continue;
+                    }
+                }
+            }
+            // Interpreter fallback (translation disabled, or a decode hole /
+            // self-modified span): one full fetch-decode-execute step.
+            let at = self.regs[PC];
+            let word = self.fetch16();
+            match self.execute(word) {
+                Some(c) => {
+                    self.tick_peripherals(c);
+                    deltas.push(c);
+                    if self.observables() != base {
+                        return SegmentStop::Observable;
+                    }
+                }
+                None => {
+                    self.halted_on_fault = true;
+                    self.regs[PC] = at;
+                    return SegmentStop::Fault { word, at };
+                }
+            }
+        }
+    }
+
+    /// Fast-forwards the two-instruction SPI busy-wait idiom
+    /// (`bit.b #1, &SPISTAT; jnz`) inside a segment without per-iteration
+    /// dispatch. Each half-iteration replays the exact per-instruction
+    /// semantics: the poll reads `SPISTAT` (a constant 1 while the engine
+    /// is busy), sets the logic flags from `1 & 1`, and ticks its cycle
+    /// cost; the `jnz` (always taken — Z is clear) jumps back and ticks 2
+    /// cycles, the constant [`UOp::Jump`] cost.
+    ///
+    /// Called only while the engine is busy. Nothing observable can change
+    /// mid-spin except the SPI completion itself (no memory writes, no SR
+    /// mode bits, GPIO untouched), so the per-instruction observable check
+    /// reduces to "did `spi_busy` flip". Returns `Some(stop)` to end the
+    /// segment, or `None` when a freshly latched enabled interrupt needs
+    /// the outer dispatch loop. The PC is always left exactly where the
+    /// unfused loop would have left it.
+    fn exec_spi_spin(
+        &mut self,
+        u: &crate::uops::UInsn,
+        limit_cycles: u64,
+        max_insns: usize,
+        deltas: &mut Vec<u32>,
+        gie: bool,
+    ) -> Option<SegmentStop> {
+        let spin_pc = self.regs[PC];
+        loop {
+            // --- bit.b #1, &SPISTAT (engine busy: reads 1) ---
+            if self.cycles >= limit_cycles || deltas.len() >= max_insns {
+                return Some(SegmentStop::Budget);
+            }
+            if !self.periph.spi_busy() {
+                // Engine already idle (only reachable on re-entry edge
+                // cases): run the poll through the generic path instead.
+                return None;
+            }
+            // Bulk fast-forward: `k` whole iterations are event-free when
+            // the engine stays busy past them (completion is the only
+            // observable), every stepwise budget check inside them passes,
+            // and — under GIE — no enabled timer fire lands inside the
+            // span. The flag write is idempotent, the peripheral
+            // arithmetic is a plain sum, and PC ends back at the spin
+            // head, so one bulk tick plus the same per-instruction deltas
+            // reproduces the stepwise loop exactly; the boundary
+            // iterations then run stepwise below.
+            const LPM4_BITS: u16 = FLAG_CPUOFF | FLAG_OSCOFF;
+            let aclk_alive = self.regs[SR] & LPM4_BITS != LPM4_BITS;
+            let per = u64::from(u.cycles) + 2;
+            let mut k = (u64::from(self.periph.spi_busy_remaining()) - 1) / per;
+            k = k.min(limit_cycles.saturating_sub(self.cycles) / per);
+            k = k.min(((max_insns - deltas.len()) / 2) as u64);
+            if gie {
+                if let Some(fire) = self.periph.cycles_until_timer_fire(aclk_alive) {
+                    k = k.min(fire.saturating_sub(1) / per);
+                }
+            }
+            if k > 0 {
+                self.set_flags_logic(1, true, false);
+                let total = k * per;
+                self.cycles += total;
+                if let Some(irq) = self.periph.tick_bulk(total, aclk_alive) {
+                    self.raise(irq);
+                }
+                for _ in 0..k {
+                    deltas.push(u.cycles);
+                    deltas.push(2);
+                }
+                continue;
+            }
+            self.regs[PC] = u.next_pc;
+            self.set_flags_logic(1, true, false);
+            self.tick_peripherals(u.cycles);
+            deltas.push(u.cycles);
+            if !self.periph.spi_busy() {
+                return Some(SegmentStop::Observable);
+            }
+            if gie && self.pending != 0 {
+                return None;
+            }
+            // --- jnz back to the poll (Z clear: always taken) ---
+            if self.cycles >= limit_cycles || deltas.len() >= max_insns {
+                return Some(SegmentStop::Budget);
+            }
+            self.regs[PC] = spin_pc;
+            self.tick_peripherals(2);
+            deltas.push(2);
+            if !self.periph.spi_busy() {
+                return Some(SegmentStop::Observable);
+            }
+            if gie && self.pending != 0 {
+                return None;
+            }
+        }
     }
 
     /// Fast-forwards through a low-power period: advances the clock by up
@@ -282,7 +636,7 @@ impl Mcu {
         let aclk_alive = self.mode() != OperatingMode::Lpm4;
         let mut slept = 0u64;
         while slept < max_cycles {
-            if !self.pending.is_empty() && self.regs[SR] & FLAG_GIE != 0 {
+            if self.pending != 0 && self.regs[SR] & FLAG_GIE != 0 {
                 break;
             }
             // Bound the quantum by the next timer match so wake timing is
@@ -308,7 +662,11 @@ impl Mcu {
         if !self.periph.needs_tick() {
             return; // SPI idle and timer stopped: nothing can change
         }
-        let aclk_alive = self.mode() != OperatingMode::Lpm4;
+        // ACLK dies only in LPM4, i.e. CPUOFF and OSCOFF both set; testing
+        // the bits directly skips the full mode decode on this per-
+        // instruction path.
+        const LPM4_BITS: u16 = FLAG_CPUOFF | FLAG_OSCOFF;
+        let aclk_alive = self.regs[SR] & LPM4_BITS != LPM4_BITS;
         if let Some(irq) = self.periph.tick(cycles, aclk_alive) {
             self.raise(irq);
         }
@@ -357,6 +715,7 @@ impl Mcu {
             self.periph.write(addr, value as u8);
             self.periph.write(addr + 1, (value >> 8) as u8);
         } else {
+            self.invalidate_uops(addr);
             self.mem.write16(addr, value);
         }
     }
@@ -378,6 +737,7 @@ impl Mcu {
             if Peripherals::owns(addr) {
                 self.periph.write(addr, value as u8);
             } else {
+                self.invalidate_uops(addr);
                 self.mem.write8(addr, value as u8);
             }
         } else {
@@ -559,8 +919,22 @@ impl Mcu {
         let (src, _, src_cycles) = self.resolve_src(src_reg, as_mode, byte);
         let (dst, loc, dst_cycles) = self.resolve_dst(dst_reg, ad, byte);
 
+        let result = self.format1_result(op, src, dst, byte);
+        if op.writes_back() {
+            self.write_dst(loc, result, byte);
+        }
+        let mut cycles = 1 + src_cycles + dst_cycles;
+        if matches!(loc, DstLoc::Reg(0)) && op.writes_back() {
+            cycles += 1; // writing the PC costs an extra cycle
+        }
+        Some(cycles)
+    }
+
+    /// The format-I ALU: computes the result and sets flags. Shared by the
+    /// interpreter and the decoded path so their semantics cannot drift.
+    fn format1_result(&mut self, op: Format1Op, src: u16, dst: u16, byte: bool) -> u16 {
         let carry = u16::from(self.regs[SR] & FLAG_C != 0);
-        let result = match op {
+        match op {
             Format1Op::Mov => src,
             Format1Op::Add => self.add_with_flags(dst, src, 0, byte),
             Format1Op::Addc => self.add_with_flags(dst, src, carry, byte),
@@ -590,15 +964,7 @@ impl Mcu {
                 self.set_flags_logic(r, byte, false);
                 r
             }
-        };
-        if op.writes_back() {
-            self.write_dst(loc, result, byte);
         }
-        let mut cycles = 1 + src_cycles + dst_cycles;
-        if matches!(loc, DstLoc::Reg(0)) && op.writes_back() {
-            cycles += 1; // writing the PC costs an extra cycle
-        }
-        Some(cycles)
     }
 
     fn execute_format2(&mut self, word: u16) -> Option<u32> {
@@ -613,13 +979,28 @@ impl Mcu {
         let as_mode = (word >> 4) & 0x3;
         let reg = usize::from(word & 0xF);
         let (value, addr, src_cycles) = self.resolve_src(reg, as_mode, byte);
-        let write = |cpu: &mut Self, v: u16| {
-            if let Some(a) = addr {
-                cpu.mem_write(a, v, byte);
-            } else {
-                cpu.regs[reg] = if byte { v & 0xFF } else { v };
-            }
+        self.format2_apply(op, value, byte, addr, reg);
+        let base = match op {
+            Format2Op::Push => 3,
+            Format2Op::Call => 4,
+            _ => 1,
         };
+        Some(base + src_cycles)
+    }
+
+    /// The format-II operation body: flags, result and writeback. Shared by
+    /// the interpreter and the decoded path so their semantics cannot
+    /// drift. `addr` is the operand's writeback address when it had one;
+    /// otherwise the result lands in `regs[reg]` (including the
+    /// constant-generator quirk of writing R2/R3).
+    fn format2_apply(
+        &mut self,
+        op: Format2Op,
+        value: u16,
+        byte: bool,
+        addr: Option<u16>,
+        reg: usize,
+    ) {
         let msb = if byte { 0x80u16 } else { 0x8000 };
         match op {
             Format2Op::Rrc => {
@@ -643,8 +1024,7 @@ impl Mcu {
                     sr |= FLAG_N;
                 }
                 self.regs[SR] = sr;
-                write(self, r);
-                Some(1 + src_cycles)
+                self.write_operand(addr, reg, r, byte);
             }
             Format2Op::Rra => {
                 let carry_out = value & 1 != 0;
@@ -664,13 +1044,11 @@ impl Mcu {
                     sr |= FLAG_N;
                 }
                 self.regs[SR] = sr;
-                write(self, r);
-                Some(1 + src_cycles)
+                self.write_operand(addr, reg, r, byte);
             }
             Format2Op::Swpb => {
                 let r = value.rotate_left(8);
-                write(self, r);
-                Some(1 + src_cycles)
+                self.write_operand(addr, reg, r, byte);
             }
             Format2Op::Sxt => {
                 let r = if value & 0x80 != 0 {
@@ -679,19 +1057,141 @@ impl Mcu {
                     value & 0x00FF
                 };
                 self.set_flags_logic(r, false, false);
-                write(self, r);
-                Some(1 + src_cycles)
+                self.write_operand(addr, reg, r, byte);
             }
             Format2Op::Push => {
                 self.push(value);
-                Some(3 + src_cycles)
             }
             Format2Op::Call => {
                 self.push(self.regs[PC]);
                 self.regs[PC] = value;
-                Some(4 + src_cycles)
             }
-            Format2Op::Reti => unreachable!("handled above"),
+            Format2Op::Reti => unreachable!("dispatched before operand resolution"),
+        }
+    }
+
+    /// Format-II writeback: to the resolved address when there was one,
+    /// else to the raw register field.
+    fn write_operand(&mut self, addr: Option<u16>, reg: usize, v: u16, byte: bool) {
+        if let Some(a) = addr {
+            self.mem_write(a, v, byte);
+        } else {
+            self.regs[reg] = if byte { v & 0xFF } else { v };
+        }
+    }
+
+    /// Executes one pre-decoded micro-op. Mirrors the interpreter exactly:
+    /// PC-dependent operands were folded at decode time (so the PC can be
+    /// bumped up front), memory operands stay dynamic, and the ALU/flag
+    /// bodies are the same functions the interpreter calls.
+    fn exec_uop(&mut self, u: crate::uops::UInsn) -> u32 {
+        use crate::uops::UOp;
+        match u.op {
+            UOp::Fmt1 { op, byte, src, dst } => {
+                self.regs[PC] = u.next_pc;
+                let src_val = self.read_src_uop(src, byte);
+                let (dst_val, loc) = self.read_dst_uop(dst, byte);
+                let result = self.format1_result(op, src_val, dst_val, byte);
+                if op.writes_back() {
+                    self.write_dst(loc, result, byte);
+                }
+                u.cycles
+            }
+            UOp::Fmt2 { op, byte, reg, src } => {
+                self.regs[PC] = u.next_pc;
+                let (value, addr) = self.read_src_addr_uop(src, byte);
+                self.format2_apply(op, value, byte, addr, usize::from(reg));
+                u.cycles
+            }
+            UOp::Jump { cond, target } => {
+                self.regs[PC] = if cond.taken(self.regs[SR]) {
+                    target
+                } else {
+                    u.next_pc
+                };
+                2
+            }
+            UOp::Reti => {
+                self.regs[SR] = self.pop();
+                self.regs[PC] = self.pop();
+                5
+            }
+        }
+    }
+
+    /// Reads a pre-decoded source operand (value only).
+    #[inline]
+    fn read_src_uop(&mut self, src: crate::uops::SrcOp, byte: bool) -> u16 {
+        use crate::uops::SrcOp;
+        match src {
+            SrcOp::Const(v) => v,
+            SrcOp::Reg(r) => {
+                let v = self.regs[usize::from(r)];
+                if byte {
+                    v & 0xFF
+                } else {
+                    v
+                }
+            }
+            SrcOp::Abs(a) => self.mem_read(a, byte),
+            SrcOp::Indexed(r, x) => {
+                let a = self.regs[usize::from(r)].wrapping_add(x);
+                self.mem_read(a, byte)
+            }
+            SrcOp::Indirect(r) => self.mem_read(self.regs[usize::from(r)], byte),
+            SrcOp::AutoInc(r, bump) => {
+                let a = self.regs[usize::from(r)];
+                self.regs[usize::from(r)] = a.wrapping_add(u16::from(bump));
+                self.mem_read(a, byte)
+            }
+        }
+    }
+
+    /// Reads a pre-decoded source operand plus its writeback address (the
+    /// format-II shape; matches `resolve_src`'s `Option<u16>`).
+    #[inline]
+    fn read_src_addr_uop(&mut self, src: crate::uops::SrcOp, byte: bool) -> (u16, Option<u16>) {
+        use crate::uops::SrcOp;
+        match src {
+            SrcOp::Const(v) => (v, None),
+            SrcOp::Reg(r) => {
+                let v = self.regs[usize::from(r)];
+                (if byte { v & 0xFF } else { v }, None)
+            }
+            SrcOp::Abs(a) => (self.mem_read(a, byte), Some(a)),
+            SrcOp::Indexed(r, x) => {
+                let a = self.regs[usize::from(r)].wrapping_add(x);
+                (self.mem_read(a, byte), Some(a))
+            }
+            SrcOp::Indirect(r) => {
+                let a = self.regs[usize::from(r)];
+                (self.mem_read(a, byte), Some(a))
+            }
+            SrcOp::AutoInc(r, bump) => {
+                let a = self.regs[usize::from(r)];
+                self.regs[usize::from(r)] = a.wrapping_add(u16::from(bump));
+                (self.mem_read(a, byte), Some(a))
+            }
+        }
+    }
+
+    /// Reads a pre-decoded destination operand: current value + location.
+    #[inline]
+    fn read_dst_uop(&mut self, dst: crate::uops::DstOp, byte: bool) -> (u16, DstLoc) {
+        use crate::uops::DstOp;
+        match dst {
+            DstOp::Reg(r) => {
+                let v = self.regs[usize::from(r)];
+                (if byte { v & 0xFF } else { v }, DstLoc::Reg(usize::from(r)))
+            }
+            // Destination PC register-direct: the read value was folded at
+            // decode time (byte-masked there when applicable).
+            DstOp::PcReg(v) => (v, DstLoc::Reg(0)),
+            DstOp::Mem(a) => (self.mem_read(a, byte), DstLoc::Mem(a)),
+            DstOp::Indexed(r, x) => {
+                let a = self.regs[usize::from(r)].wrapping_add(x);
+                (self.mem_read(a, byte), DstLoc::Mem(a))
+            }
         }
     }
 }
@@ -992,6 +1492,58 @@ isr:    mov #99, r5
         assert_eq!(mcu.register(5), 99);
         // Back in the loop with GIE restored.
         assert_ne!(mcu.register(2) & FLAG_GIE, 0);
+    }
+
+    #[test]
+    fn multi_pending_interrupts_dispatch_in_priority_order() {
+        // Latch all four requests out of order (plus a duplicate): dispatch
+        // must drain them highest-priority first — TimerA, SPI, Port1,
+        // Port2 — one per step, exactly as the sorted queue used to.
+        let mut mcu = boot(
+            r#"
+            .org 0xF000
+start:  mov #0x0A00, r1
+        eint
+loop:   jmp loop
+tisr:   add #1, r4
+        reti
+sisr:   add #1, r5
+        reti
+p1isr:  add #1, r6
+        reti
+p2isr:  add #1, r7
+        reti
+        .vector reset, start
+        .vector timera, tisr
+        .vector spi, sisr
+        .vector port1, p1isr
+        .vector port2, p2isr
+        "#,
+        );
+        run_steps(&mut mcu, 3);
+        mcu.raise(Irq::Port2);
+        mcu.raise(Irq::TimerA);
+        mcu.raise(Irq::Port1);
+        mcu.raise(Irq::Spi);
+        mcu.raise(Irq::Port1); // duplicate: must latch once
+        let order = |mcu: &Mcu| {
+            (
+                mcu.register(4),
+                mcu.register(5),
+                mcu.register(6),
+                mcu.register(7),
+            )
+        };
+        // Each ISR is enter + add + reti = 3 steps.
+        run_steps(&mut mcu, 3);
+        assert_eq!(order(&mcu), (1, 0, 0, 0), "TimerA first");
+        run_steps(&mut mcu, 3);
+        assert_eq!(order(&mcu), (1, 1, 0, 0), "then SPI");
+        run_steps(&mut mcu, 3);
+        assert_eq!(order(&mcu), (1, 1, 1, 0), "then Port1");
+        run_steps(&mut mcu, 3);
+        assert_eq!(order(&mcu), (1, 1, 1, 1), "then Port2");
+        assert!(!mcu.has_pending_irq(), "duplicate raise latched only once");
     }
 
     #[test]

@@ -32,6 +32,44 @@
 
 use crate::asm::{assemble, AsmError};
 use crate::memory::Image;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Cache key: `(application discriminant, node id, app argument)`.
+type ImageKey = (u8, u8, u16);
+
+/// Process-wide cache of assembled stock images, keyed by entry point and
+/// arguments. Assembly is deterministic, and a fleet instantiates at most
+/// 256 distinct ids per application, so each distinct image is assembled
+/// once and cheaply cloned out afterwards.
+static IMAGES: OnceLock<Mutex<HashMap<ImageKey, Image>>> = OnceLock::new();
+
+/// Growth bound for [`IMAGES`]: far above any fleet's distinct-image count,
+/// so in practice the cache never evicts; it merely stops growing if a
+/// caller sweeps the whole argument space.
+const IMAGE_CACHE_CAP: usize = 4096;
+
+/// Returns the cached image for `key`, assembling (and caching) it on the
+/// first request. Assembly runs outside the lock; a racing duplicate build
+/// is benign because assembly is deterministic.
+fn cached(
+    key: ImageKey,
+    build: impl FnOnce() -> Result<Image, AsmError>,
+) -> Result<Image, AsmError> {
+    let map = IMAGES.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Ok(guard) = map.lock() {
+        if let Some(image) = guard.get(&key) {
+            return Ok(image.clone());
+        }
+    }
+    let image = build()?;
+    if let Ok(mut guard) = map.lock() {
+        if guard.len() < IMAGE_CACHE_CAP {
+            guard.insert(key, image.clone());
+        }
+    }
+    Ok(image)
+}
 
 /// Preamble byte (OOK-friendly alternating pattern).
 pub const PREAMBLE: u8 = 0xAA;
@@ -92,6 +130,10 @@ spi_wait:
 ///
 /// Returns an [`AsmError`] only if the embedded source is broken (a bug).
 pub fn tpms_app(node_id: u8) -> Result<Image, AsmError> {
+    cached((0, node_id, 0), || tpms_app_fresh(node_id))
+}
+
+fn tpms_app_fresh(node_id: u8) -> Result<Image, AsmError> {
     let src = format!(
         r#"{prelude}
         .org 0xF000
@@ -178,6 +220,12 @@ txb:    mov.b @r7+, r4
 ///
 /// Returns an [`AsmError`] only if the embedded source is broken (a bug).
 pub fn tpms_alarm_app(node_id: u8, threshold_code: u16) -> Result<Image, AsmError> {
+    cached((1, node_id, threshold_code), || {
+        tpms_alarm_app_fresh(node_id, threshold_code)
+    })
+}
+
+fn tpms_alarm_app_fresh(node_id: u8, threshold_code: u16) -> Result<Image, AsmError> {
     let src = format!(
         r#"{prelude}
         .org 0xF000
@@ -268,6 +316,10 @@ txb:    mov.b @r7+, r4
 ///
 /// Returns an [`AsmError`] only if the embedded source is broken (a bug).
 pub fn motion_app(node_id: u8) -> Result<Image, AsmError> {
+    cached((2, node_id, 0), || motion_app_fresh(node_id))
+}
+
+fn motion_app_fresh(node_id: u8) -> Result<Image, AsmError> {
     let src = format!(
         r#"{prelude}
         .org 0xF000
@@ -351,6 +403,12 @@ txb:    mov.b @r7+, r4
 /// Returns an [`AsmError`] only if the embedded source is broken (a bug)
 /// or `period_s` is zero (reported as an assembly error on the `cmp`).
 pub fn beacon_app(node_id: u8, period_s: u16) -> Result<Image, AsmError> {
+    cached((3, node_id, period_s), || {
+        beacon_app_fresh(node_id, period_s)
+    })
+}
+
+fn beacon_app_fresh(node_id: u8, period_s: u16) -> Result<Image, AsmError> {
     let src = format!(
         r#"{prelude}
         .equ TACTL,  0x0060

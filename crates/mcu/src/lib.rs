@@ -61,8 +61,9 @@ mod isa;
 mod memory;
 mod peripherals;
 mod power_model;
+mod uops;
 
-pub use cpu::{Mcu, StepResult};
+pub use cpu::{Mcu, SegmentStop, StepResult};
 pub use isa::{Condition, Format1Op, Format2Op};
 pub use memory::{io, vectors, FlatMemory, Image};
 pub use peripherals::{Irq, SpiDevice};

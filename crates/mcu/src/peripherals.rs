@@ -16,6 +16,20 @@ pub enum Irq {
 }
 
 impl Irq {
+    /// All interrupts, highest priority first (the order `Ord` sorts by).
+    /// Rank `i` maps to bit `i` of the CPU's pending mask.
+    pub const PRIORITY: [Irq; 4] = [Irq::TimerA, Irq::Spi, Irq::Port1, Irq::Port2];
+
+    /// This interrupt's bit in the pending mask (bit = priority rank).
+    pub fn mask(self) -> u8 {
+        match self {
+            Self::TimerA => 1 << 0,
+            Self::Spi => 1 << 1,
+            Self::Port1 => 1 << 2,
+            Self::Port2 => 1 << 3,
+        }
+    }
+
     /// The vector address holding this interrupt's service-routine entry.
     pub fn vector(self) -> u16 {
         match self {
@@ -203,6 +217,46 @@ impl Peripherals {
             // Subtraction instead of div/mod: per-instruction calls carry at
             // most a handful of cycles, so the accumulator crosses the ratio
             // zero or one times and the 64-bit divide is pure overhead.
+            while self.aclk_accum >= self.aclk_ratio_num {
+                self.aclk_accum -= self.aclk_ratio_num;
+                self.timer_count = self.timer_count.wrapping_add(1);
+                if self.timer_count == self.timer_ccr0 {
+                    self.timer_count = 0;
+                    if self.timer_ctl & 0b010 != 0 {
+                        self.timer_ctl |= 0b100;
+                        pending = Some(Irq::TimerA);
+                    }
+                }
+            }
+        }
+        pending
+    }
+
+    /// Remaining MCLK cycles on the in-flight SPI transfer (0 when the
+    /// bus is idle). Lets the CPU bound how far a fused busy-wait can
+    /// fast-forward without crossing the completion event.
+    #[inline]
+    pub fn spi_busy_remaining(&self) -> u32 {
+        self.spi_busy_cycles
+    }
+
+    /// Bulk equivalent of [`tick`](Self::tick) for spans the caller has
+    /// proven completion-free: `cycles` must be strictly less than the
+    /// SPI engine's remaining busy count, so the in-flight transfer
+    /// cannot finish inside the span. The arithmetic is identical to
+    /// ticking stepwise — the busy countdown and the ACLK accumulator
+    /// are plain sums, and every CCR0 crossing latches the same
+    /// interrupt it would latch per-instruction — so only the call
+    /// count differs.
+    pub fn tick_bulk(&mut self, cycles: u64, aclk_alive: bool) -> Option<Irq> {
+        debug_assert!(cycles < u64::from(self.spi_busy_cycles));
+        #[allow(clippy::cast_possible_truncation)] // < spi_busy_cycles: u32
+        {
+            self.spi_busy_cycles -= cycles as u32;
+        }
+        let mut pending = None;
+        if aclk_alive && self.timer_ctl & 0b001 != 0 {
+            self.aclk_accum += cycles * 32_768;
             while self.aclk_accum >= self.aclk_ratio_num {
                 self.aclk_accum -= self.aclk_ratio_num;
                 self.timer_count = self.timer_count.wrapping_add(1);

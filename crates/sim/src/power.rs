@@ -106,6 +106,21 @@ pub struct PowerLedger {
     /// bit-identical to walking every load.
     hot: Vec<(usize, usize)>,
     hot_dirty: bool,
+    /// Scratch reused by [`advance_deltas`](Self::advance_deltas): the
+    /// per-hot-load × per-cycle-count energy-delta table and the per-load
+    /// energy accumulators. Pure caches — their contents never outlive one
+    /// call.
+    scratch_table: Vec<f64>,
+    scratch_energy: Vec<f64>,
+    scratch_watts: Vec<Watts>,
+    /// Rows currently built in `scratch_table` (cycle counts `0..rows`).
+    table_rows: usize,
+    /// `draw_gen` value the table was built at; a mismatch means some
+    /// voltage, current, or load registration happened since.
+    table_gen: u64,
+    /// Bumped on every voltage/current/registration change. Purely a
+    /// cache-invalidation counter — never part of any result.
+    draw_gen: u64,
 }
 
 impl PowerLedger {
@@ -117,6 +132,12 @@ impl PowerLedger {
             integrated_total: Joules::ZERO,
             hot: Vec::new(),
             hot_dirty: true,
+            scratch_table: Vec::new(),
+            scratch_energy: Vec::new(),
+            scratch_watts: Vec::new(),
+            table_rows: 0,
+            table_gen: 0,
+            draw_gen: 1,
         }
     }
 
@@ -172,6 +193,7 @@ impl PowerLedger {
         });
         let load = r.loads.len() - 1;
         self.hot_dirty = true;
+        self.draw_gen = self.draw_gen.wrapping_add(1);
         Ok(LoadId { rail: rail.0, load })
     }
 
@@ -188,6 +210,7 @@ impl PowerLedger {
     pub fn set_load_current(&mut self, load: LoadId, current: Amps) -> Result<(), LedgerError> {
         self.load_slot_mut(load)?.current = current;
         self.hot_dirty = true;
+        self.draw_gen = self.draw_gen.wrapping_add(1);
         Ok(())
     }
 
@@ -200,6 +223,7 @@ impl PowerLedger {
     /// integrated after the call.
     pub fn set_rail_voltage(&mut self, rail: RailId, voltage: Volts) -> Result<(), LedgerError> {
         self.rail_slot_mut(rail)?.voltage = voltage;
+        self.draw_gen = self.draw_gen.wrapping_add(1);
         Ok(())
     }
 
@@ -242,15 +266,7 @@ impl PowerLedger {
             // -0.0 exists to be normalized). Most of a node's loads are
             // gated off at any instant, so the hot list is short.
             if self.hot_dirty {
-                self.hot.clear();
-                for (ri, rail) in self.rails.iter().enumerate() {
-                    for (li, load) in rail.loads.iter().enumerate() {
-                        if load.current.value() != 0.0 {
-                            self.hot.push((ri, li));
-                        }
-                    }
-                }
-                self.hot_dirty = false;
+                self.rebuild_hot();
             }
             for &(ri, li) in &self.hot {
                 // The indices were rebuilt above from the live rails, so
@@ -269,6 +285,202 @@ impl PowerLedger {
             }
         }
         self.now = t;
+        self.debug_check_balance();
+    }
+
+    /// Rebuilds the hot list: registration-ordered indices of loads with
+    /// nonzero current.
+    fn rebuild_hot(&mut self) {
+        self.hot.clear();
+        for (ri, rail) in self.rails.iter().enumerate() {
+            for (li, load) in rail.loads.iter().enumerate() {
+                if load.current.value() != 0.0 {
+                    self.hot.push((ri, li));
+                }
+            }
+        }
+        self.hot_dirty = false;
+    }
+
+    /// Integrates a run of per-instruction advances in one pass,
+    /// bit-identically to calling [`advance_to`](Self::advance_to) once
+    /// after each instruction with that instruction's cycle cost
+    /// (1 µs per cycle).
+    ///
+    /// Voltages and currents cannot change between instructions of a run
+    /// (nothing else executes), so each load contributes
+    /// `watts * dt(cycles)` per instruction, where `watts = voltage *
+    /// current` is exactly the first product `advance_to`'s left-to-right
+    /// `voltage * current * dt` forms. Instruction costs are tiny integers
+    /// (1–6 cycles), so each product takes only a handful of distinct
+    /// values per load: they are computed once into a table and replayed,
+    /// which preserves the exact f64 value of every per-instruction add —
+    /// same operands, same operation, same accumulation order.
+    pub fn advance_deltas(&mut self, deltas: &[u32]) {
+        let Some(max) = deltas.iter().copied().max() else {
+            return;
+        };
+        let nanos: u64 = deltas.iter().map(|&d| u64::from(d) * 1_000).sum();
+        let end = SimTime::from_nanos(self.now.as_nanos() + nanos);
+        if self.hot_dirty {
+            self.rebuild_hot();
+        }
+        let stride = max as usize + 1;
+        let mut table = core::mem::take(&mut self.scratch_table);
+        let mut energy = core::mem::take(&mut self.scratch_energy);
+        let mut watts_row = core::mem::take(&mut self.scratch_watts);
+        energy.clear();
+        for &(ri, li) in &self.hot {
+            let Some(rail) = self.rails.get(ri) else {
+                continue;
+            };
+            let Some(load) = rail.loads.get(li) else {
+                continue;
+            };
+            energy.push(load.energy.value());
+        }
+        // The product table is a pure function of the hot loads' watts, so
+        // it survives across calls until some draw changes (`draw_gen`
+        // bumps) or a run needs more rows than are built. Rebuilding with
+        // the same watts would reproduce the same bits; skipping it only
+        // skips work. A floor of 8 rows covers every datasheet cycle cost
+        // so stride growth alone almost never forces a rebuild.
+        if self.table_gen != self.draw_gen || stride > self.table_rows {
+            table.clear();
+            watts_row.clear();
+            for &(ri, li) in &self.hot {
+                let Some(rail) = self.rails.get(ri) else {
+                    continue;
+                };
+                let Some(load) = rail.loads.get(li) else {
+                    continue;
+                };
+                watts_row.push(rail.voltage * load.current);
+            }
+            // Delta-major layout: each cycle count's per-load products sit
+            // contiguously, so the replay walks one short row per
+            // instruction.
+            let rows = stride.max(8);
+            for c in 0..rows {
+                let dt = SimDuration::from_micros(c as u64).as_seconds();
+                for &watts in &watts_row {
+                    table.push((watts * dt).value());
+                }
+            }
+            self.table_rows = rows;
+            self.table_gen = self.draw_gen;
+        }
+        let n = energy.len();
+        let mut total = self.integrated_total.value();
+        for &d in deltas {
+            if d == 0 {
+                continue; // advance_to's `dt > 0` gate
+            }
+            // In-bounds by construction: `d <= max` so the slice ends at
+            // or before `stride * n`, the table's length.
+            let base = d as usize * n;
+            let Some(row) = table.get(base..base + n) else {
+                continue;
+            };
+            for (e, &delta) in energy.iter_mut().zip(row) {
+                *e += delta;
+                total += delta;
+            }
+        }
+        for (&(ri, li), &e) in self.hot.iter().zip(&energy) {
+            if let Some(load) = self.rails.get_mut(ri).and_then(|r| r.loads.get_mut(li)) {
+                load.energy = Joules::new(e);
+            }
+        }
+        self.integrated_total = Joules::new(total);
+        self.now = end;
+        self.scratch_table = table;
+        self.scratch_energy = energy;
+        self.scratch_watts = watts_row;
+        self.debug_check_balance();
+    }
+
+    /// Stages this ledger's pending advance to `t` into a cross-ledger
+    /// [`SleepBatch`] pass, returning the span handle to later
+    /// [`commit_sleep`](Self::commit_sleep) with.
+    ///
+    /// Bit-identical to [`advance_to`](Self::advance_to): the staged rows
+    /// are exactly the hot-list products `rail.voltage * load.current` (the
+    /// first multiply `advance_to` forms) and the span's `dt` is the same
+    /// `duration_since(now).as_seconds()` value, so the batch's
+    /// `watts * dt` / `energy += delta` replay performs the identical f64
+    /// operations in the identical order. Grouping many ledgers into one
+    /// pass adds no cross-ledger arithmetic — each span integrates on its
+    /// own accumulators.
+    ///
+    /// The ledger's clock does **not** move until the commit; between stage
+    /// and commit the ledger must not be touched (currents, voltages, or
+    /// further advances), which the commit's debug assertions police.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the ledger's current time (same
+    /// contract as `advance_to`).
+    pub fn stage_sleep(&mut self, t: SimTime, batch: &mut SleepBatch) -> usize {
+        debug_assert!(
+            !batch.integrated,
+            "stage_sleep after integrate: clear the batch between passes"
+        );
+        let dt: Seconds = t.duration_since(self.now).as_seconds();
+        let first = batch.watts.len();
+        if dt.value() > 0.0 {
+            if self.hot_dirty {
+                self.rebuild_hot();
+            }
+            for &(ri, li) in &self.hot {
+                let Some(rail) = self.rails.get(ri) else {
+                    continue;
+                };
+                let Some(load) = rail.loads.get(li) else {
+                    continue;
+                };
+                batch.watts.push((rail.voltage * load.current).value());
+                batch.energy.push(load.energy.value());
+            }
+        }
+        batch.spans.push(SleepSpan {
+            first,
+            rows: batch.watts.len() - first,
+            dt: dt.value(),
+            end: t,
+            total: self.integrated_total.value(),
+        });
+        batch.spans.len() - 1
+    }
+
+    /// Writes an integrated [`SleepBatch`] span back into this ledger:
+    /// per-load energies, the grand total, and the clock. Must be called on
+    /// the same ledger that staged `span`, with the hot list untouched
+    /// since; a stale or foreign handle is a driver bug and trips the
+    /// sanitizer (release builds write back whatever was staged).
+    pub fn commit_sleep(&mut self, batch: &SleepBatch, span: usize) {
+        let Some(span) = batch.spans.get(span) else {
+            debug_assert!(false, "commit_sleep: span handle out of range");
+            return;
+        };
+        debug_assert!(
+            batch.integrated,
+            "commit_sleep before SleepBatch::integrate"
+        );
+        if span.rows > 0 {
+            debug_assert!(
+                !self.hot_dirty && self.hot.len() == span.rows,
+                "ledger mutated between stage_sleep and commit_sleep"
+            );
+            let energies = batch.energy.iter().skip(span.first).take(span.rows);
+            for (&(ri, li), &e) in self.hot.iter().zip(energies) {
+                if let Some(load) = self.rails.get_mut(ri).and_then(|r| r.loads.get_mut(li)) {
+                    load.energy = Joules::new(e);
+                }
+            }
+        }
+        self.integrated_total = Joules::new(span.total);
+        self.now = span.end;
         self.debug_check_balance();
     }
 
@@ -392,6 +604,88 @@ impl PowerLedger {
 impl Default for PowerLedger {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// One ledger's staged sleep span inside a [`SleepBatch`].
+#[derive(Debug, Clone, Copy)]
+struct SleepSpan {
+    /// First row of this span in the batch's flat arrays.
+    first: usize,
+    /// Hot-load rows staged (zero when the span's `dt` was zero).
+    rows: usize,
+    /// Elapsed seconds, exactly as `advance_to` would have formed it.
+    dt: f64,
+    /// The ledger clock after the commit.
+    end: SimTime,
+    /// The ledger's grand total: staged value before
+    /// [`SleepBatch::integrate`], final value after.
+    total: f64,
+}
+
+/// Struct-of-arrays batch integrator for a fleet's sleep path.
+///
+/// Many ledgers stage their pending sleep advance
+/// ([`PowerLedger::stage_sleep`]) into one pair of flat `watts`/`energy`
+/// arrays; [`integrate`](Self::integrate) then runs the whole group's
+/// energy accumulation as a single tight loop over those arrays, and each
+/// ledger copies its span back with [`PowerLedger::commit_sleep`]. Every
+/// span's arithmetic is bit-identical to that ledger calling
+/// [`PowerLedger::advance_to`] by itself — same operand values, same
+/// operations, same accumulation order, no cross-ledger math — so batching
+/// is purely a memory-layout optimization: one cache-friendly pass instead
+/// of a pointer-chasing walk per node.
+#[derive(Debug, Default)]
+pub struct SleepBatch {
+    watts: Vec<f64>,
+    energy: Vec<f64>,
+    spans: Vec<SleepSpan>,
+    /// Set once [`integrate`](Self::integrate) has run; staging is only
+    /// legal before, committing only after.
+    integrated: bool,
+}
+
+impl SleepBatch {
+    /// Creates an empty batch. Reuse one per worker: `clear` keeps the
+    /// allocations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all staged spans, keeping capacity for the next round.
+    pub fn clear(&mut self) {
+        self.watts.clear();
+        self.energy.clear();
+        self.spans.clear();
+        self.integrated = false;
+    }
+
+    /// Number of spans staged this round.
+    pub fn spans(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The grouped integration pass: for every staged span, accumulates
+    /// `energy += watts * dt` per row and folds the same deltas into the
+    /// span's grand total — the exact f64 sequence `advance_to` performs
+    /// per ledger, laid out as one linear sweep.
+    pub fn integrate(&mut self) {
+        for span in &mut self.spans {
+            let mut total = span.total;
+            let rows = self
+                .energy
+                .iter_mut()
+                .skip(span.first)
+                .take(span.rows)
+                .zip(self.watts.iter().skip(span.first));
+            for (e, &w) in rows {
+                let delta = w * span.dt;
+                *e += delta;
+                total += delta;
+            }
+            span.total = total;
+        }
+        self.integrated = true;
     }
 }
 
@@ -569,6 +863,94 @@ mod tests {
         let mut ledger = PowerLedger::new();
         ledger.advance_to(SimTime::from_secs(2));
         ledger.advance_to(SimTime::from_secs(1));
+    }
+
+    /// Builds a small ledger with an irrationally odd operating point so
+    /// any deviation from `advance_to`'s float sequence shows up in the
+    /// low bits.
+    fn odd_ledger(scale: f64) -> (PowerLedger, LoadId, LoadId) {
+        let mut ledger = PowerLedger::new();
+        let vbat = ledger.add_rail("VBAT", Volts::new(1.217 * scale));
+        let vdd = ledger.add_rail("VDD", Volts::new(2.393));
+        let a = ledger.register_load(vbat, "a").unwrap();
+        let b = ledger.register_load(vdd, "b").unwrap();
+        let z = ledger.register_load(vdd, "gated off").unwrap();
+        ledger
+            .set_load_current(a, Amps::new(1.0e-3 / 3.0 * scale))
+            .unwrap();
+        ledger.set_load_current(b, Amps::new(7.7e-6 / 9.0)).unwrap();
+        ledger.set_load_current(z, Amps::ZERO).unwrap();
+        (ledger, a, b)
+    }
+
+    #[test]
+    fn sleep_batch_matches_advance_to_bit_for_bit() {
+        // Three ledgers at different operating points and span lengths,
+        // staged into one batch; a clone of each advances alone. Every
+        // energy integral, total, and clock must agree exactly — the
+        // batch's contract is bit-identity, not tolerance.
+        let mut group: Vec<PowerLedger> = (1..=3)
+            .map(|k| {
+                let (mut l, _, _) = odd_ledger(k as f64);
+                l.advance_to(SimTime::from_nanos(12_345 * k));
+                l
+            })
+            .collect();
+        let mut solo = group.clone();
+        let ends = [
+            SimTime::from_nanos(7_777_777),
+            SimTime::from_nanos(12_345 * 2), // dt == 0: clock-only commit
+            SimTime::from_secs(3),
+        ];
+
+        let mut batch = SleepBatch::new();
+        let handles: Vec<usize> = group
+            .iter_mut()
+            .zip(ends)
+            .map(|(ledger, end)| ledger.stage_sleep(end, &mut batch))
+            .collect();
+        batch.integrate();
+        for (ledger, span) in group.iter_mut().zip(handles) {
+            ledger.commit_sleep(&batch, span);
+        }
+
+        for (ledger, end) in solo.iter_mut().zip(ends) {
+            ledger.advance_to(end);
+        }
+        for (batched, alone) in group.iter().zip(&solo) {
+            assert_eq!(batched.now(), alone.now());
+            assert_eq!(
+                batched.total_energy().value().to_bits(),
+                alone.total_energy().value().to_bits(),
+                "grand totals must be bit-identical"
+            );
+            let (br, ar) = (batched.report(), alone.report());
+            for (b, a) in br.rails.iter().zip(&ar.rails) {
+                for ((_, be), (_, ae)) in b.loads.iter().zip(&a.loads) {
+                    assert_eq!(be.value().to_bits(), ae.value().to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sleep_batch_reuse_after_clear() {
+        let (mut ledger, _, _) = odd_ledger(1.0);
+        let mut solo = ledger.clone();
+        let mut batch = SleepBatch::new();
+        for round in 1..=4u64 {
+            batch.clear();
+            let end = SimTime::from_millis(round * 13);
+            let span = ledger.stage_sleep(end, &mut batch);
+            assert_eq!(batch.spans(), 1);
+            batch.integrate();
+            ledger.commit_sleep(&batch, span);
+            solo.advance_to(end);
+            assert_eq!(
+                ledger.total_energy().value().to_bits(),
+                solo.total_energy().value().to_bits()
+            );
+        }
     }
 
     #[test]
